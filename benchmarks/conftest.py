@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure benches are full experiment reproductions; training happens
+once per session and is shared.  Set ``REPRO_BENCH_FAST=1`` to run a
+reduced-scale version (fewer episodes/iterations) for smoke checks.
+
+Reports are written to ``benchmarks/out/*.txt`` and echoed to the
+terminal, so ``pytest benchmarks/ --benchmark-only`` leaves a
+paper-vs-measured record behind.
+"""
+
+import os
+
+import pytest
+
+from repro.core.trainer import TrainerConfig
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+#: Episodes for the offline DRL training stage.
+TESTBED_EPISODES = 120 if FAST else 800
+SIM_EPISODES = 40 if FAST else 200
+#: Online-reasoning evaluation iterations.
+TESTBED_EVAL_ITERS = 60 if FAST else 400
+SIM_EVAL_ITERS = 40 if FAST else 200
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_report(name: str, text: str) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, name), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def fig6_result():
+    """Offline DRL training on the testbed preset (shared by fig6/fig7)."""
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.presets import TESTBED_PRESET
+
+    return run_fig6(TESTBED_PRESET, n_episodes=TESTBED_EPISODES, seed=0)
+
+
+@pytest.fixture(scope="session")
+def fig7_result(fig6_result):
+    from repro.core.drl_allocator import DRLAllocator
+    from repro.experiments.fig7 import run_fig7
+    from repro.experiments.presets import TESTBED_PRESET
+
+    return run_fig7(
+        TESTBED_PRESET,
+        eval_iterations=TESTBED_EVAL_ITERS,
+        seed=0,
+        trained_allocator=DRLAllocator(fig6_result.trainer.agent),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig8_result():
+    from repro.experiments.fig8 import run_fig8
+    from repro.experiments.presets import SIMULATION_PRESET
+
+    return run_fig8(
+        SIMULATION_PRESET,
+        n_episodes=SIM_EPISODES,
+        eval_iterations=SIM_EVAL_ITERS,
+        seed=0,
+    )

@@ -1,0 +1,170 @@
+"""Benches for the extension features beyond the paper's core results.
+
+* **sync vs async** — tests the paper's premise (Section III.A, citing
+  [14]) that synchronized FL is more efficient than asynchronous FL:
+  identical FedAvg tasks trained to the same Eq. (10) threshold.
+* **client selection** — partial participation (cited related work,
+  Nishio & Yonetani [38]) interacting with frequency scheduling.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from benchmarks.conftest import FAST, write_report
+from repro.devices.fleet import FleetConfig
+from repro.experiments.presets import TESTBED_PRESET, build_system
+from repro.experiments.sync_async import run_sync_async
+from repro.fl.selection import RandomSelector, ResourceAwareSelector
+from repro.utils.tables import format_table
+
+EXT_ITERS = 30 if FAST else 150
+
+
+def test_sync_vs_async(benchmark):
+    result = run_sync_async(
+        TESTBED_PRESET, epsilon=0.55, seed=0, max_rounds=200 if not FAST else 60
+    )
+    rows = [
+        ["sync", result.sync.wall_clock_s, result.sync.total_energy,
+         result.sync.rounds_or_updates, result.sync.converged],
+        ["async", result.async_.wall_clock_s, result.async_.total_energy,
+         result.async_.rounds_or_updates, result.async_.converged],
+    ]
+    write_report(
+        "ext_sync_async.txt",
+        format_table(
+            ["mode", "wall clock (s)", "total energy", "rounds/updates", "converged"],
+            rows,
+            title="== Extension: sync vs async FedAvg to the same loss ==",
+        )
+        + f"\nasync/sync time ratio: {result.time_ratio:.2f} "
+        f"(paper's premise [14]: sync more efficient)",
+    )
+    assert result.sync.converged
+    # the paper's premise: synchronized training reaches the target with
+    # no more energy than async (async wastes work on stale updates)
+    if result.async_.converged:
+        assert result.sync.total_energy <= result.async_.total_energy * 1.1
+
+    # microbench: one async device round simulation
+    from repro.experiments.sync_async import _make_trainer
+    from repro.sim.async_system import AsyncFLSystem
+    from repro.experiments.presets import build_fleet
+
+    fleet = build_fleet(TESTBED_PRESET, seed=0)
+    system = AsyncFLSystem(fleet, _make_trainer(3, 0.5, 0), TESTBED_PRESET.system_config())
+    benchmark(system._device_round, 0, 100.0, 1.2)
+
+
+def _subset_heuristic_frequencies(system, mask):
+    """Heuristic deadline solve restricted to the selected participants.
+
+    Solving over the full fleet would let an *excluded* straggler's
+    estimate inflate the deadline and stretch the participants' compute —
+    exactly the coupling this bench exists to expose.
+    """
+    from repro.baselines.solver import optimal_frequencies_for_estimate
+    from repro.devices.fleet import DeviceFleet
+
+    est_bw = system.last_observed_bandwidths()
+    if est_bw is None:
+        est_bw = system.current_bandwidths()
+    est_bw = np.maximum(np.nan_to_num(est_bw, nan=1e-6), 1e-6)
+    idx = np.flatnonzero(mask)
+    subfleet = DeviceFleet([system.fleet[i] for i in idx])
+    est_upload = system.config.model_size_mbit / est_bw[idx]
+    sol = optimal_frequencies_for_estimate(subfleet, est_upload, system.config.cost)
+    freqs = system.fleet.max_frequencies.copy()
+    freqs[idx] = sol.frequencies
+    return freqs
+
+
+def test_shared_policy_transfer(benchmark):
+    """Train a permutation-shared policy on the N=3 testbed and deploy it
+    unchanged on the N=50 simulation (the scalable-architecture
+    extension, in the spirit of the parameter sharing in Decima [51])."""
+    from repro.core.drl_allocator import DRLAllocator
+    from repro.core.trainer import OfflineTrainer, TrainerConfig
+    from repro.core.transfer import transfer_allocator
+    from repro.baselines import HeuristicAllocator
+    from repro.experiments.presets import SIMULATION_PRESET, build_env
+    from repro.experiments.runner import EvaluationRunner
+
+    episodes = 120 if FAST else 500
+    env = build_env(TESTBED_PRESET, seed=0)
+    trainer = OfflineTrainer(
+        env, TrainerConfig(n_episodes=episodes, policy="shared"), rng=0
+    )
+    trainer.train()
+
+    runner3 = EvaluationRunner(TESTBED_PRESET, seed=0)
+    r3 = runner3.evaluate(
+        [DRLAllocator(trainer.agent), HeuristicAllocator()], n_iterations=EXT_ITERS
+    )
+    alloc50 = transfer_allocator(trainer.agent, SIMULATION_PRESET.n_devices)
+    runner50 = EvaluationRunner(SIMULATION_PRESET, seed=0)
+    r50 = runner50.evaluate(
+        [alloc50, HeuristicAllocator()], n_iterations=EXT_ITERS
+    )
+
+    rows = [
+        ["N=3 (trained)", r3.metrics["drl"].avg_cost, r3.metrics["heuristic"].avg_cost],
+        ["N=50 (zero-shot)", r50.metrics["drl-transfer"].avg_cost,
+         r50.metrics["heuristic"].avg_cost],
+    ]
+    write_report(
+        "ext_shared_policy_transfer.txt",
+        format_table(
+            ["deployment", "shared-policy DRL", "heuristic"],
+            rows,
+            title="== Extension: train at N=3, deploy zero-shot at N=50 ==",
+        ),
+    )
+    assert r3.metrics["drl"].avg_cost < r3.metrics["heuristic"].avg_cost
+    assert (
+        r50.metrics["drl-transfer"].avg_cost < r50.metrics["heuristic"].avg_cost
+    ), "the zero-shot transferred policy must beat the heuristic at N=50"
+
+    from repro.experiments.presets import build_system
+
+    system = build_system(SIMULATION_PRESET, seed=0)
+    system.reset(100.0)
+    alloc50.reset(system)
+    benchmark(alloc50.allocate, system)
+
+
+def test_client_selection_participation(benchmark):
+    """Participation fraction vs per-round cost under the heuristic."""
+    preset = replace(TESTBED_PRESET, n_devices=8, fleet=FleetConfig(n_devices=8))
+    rows = []
+    costs = {}
+    for k in (8, 6, 4, 2):
+        system = build_system(preset, seed=0)
+        system.reset(80.0)
+        selector = ResourceAwareSelector()
+        total = []
+        for _ in range(EXT_ITERS):
+            mask = selector.select(system, k)
+            freqs = _subset_heuristic_frequencies(system, mask)
+            result = system.step(freqs, participants=mask)
+            total.append(result.cost)
+        costs[k] = float(np.mean(total))
+        rows.append([k, costs[k]])
+    write_report(
+        "ext_client_selection.txt",
+        format_table(
+            ["participants k (of 8)", "avg per-round cost"],
+            rows,
+            title="== Extension: resource-aware client selection ==",
+        ),
+    )
+    # selecting fewer, faster clients must reduce the per-round cost
+    assert costs[2] < costs[8]
+    assert costs[4] < costs[8]
+
+    system = build_system(preset, seed=0)
+    system.reset(80.0)
+    system.step(system.fleet.max_frequencies)
+    selector = RandomSelector(rng=0)
+    benchmark(selector.select, system, 4)

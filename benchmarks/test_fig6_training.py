@@ -1,0 +1,112 @@
+"""Fig. 6 — offline DRL training convergence (testbed, N=3).
+
+(a) the training loss drops and stabilizes within ~200 episodes;
+(b) the average per-episode system cost decreases and saturates.
+The microbenchmark times one PPO update on a full replay buffer.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.utils.tables import format_table, paper_vs_measured_table
+
+
+def test_fig6_convergence_report(fig6_result, benchmark):
+    history = fig6_result.history
+    costs = np.asarray(history.episode_costs)
+    losses = fig6_result.losses
+
+    # Episode-cost curve, decimated for the report (the Fig. 6(b) series).
+    block = max(1, len(costs) // 10)
+    rows = [
+        [f"{i * block}-{(i + 1) * block}", costs[i * block : (i + 1) * block].mean()]
+        for i in range(len(costs) // block)
+    ]
+    table = format_table(
+        ["episodes", "avg system cost"],
+        rows,
+        title="== Fig. 6(b): average system cost vs training episode ==",
+    )
+
+    improvement = history.improvement(head=10, tail=10)
+    entries = [
+        {
+            "metric": "training loss stabilizes",
+            "paper": "within ~200 episodes",
+            "measured": "yes" if fig6_result.loss_stabilized() else "no",
+        },
+        {
+            "metric": "episode cost decreases over training",
+            "paper": "decreases, saturates ~200",
+            "measured": f"{improvement:.1%} reduction first->last",
+        },
+        {
+            "metric": "critic loss trend (first->last quartile)",
+            "paper": "decreasing",
+            "measured": float(
+                np.mean(losses[-max(1, len(losses) // 4):])
+                - np.mean(losses[: max(1, len(losses) // 4)])
+            ),
+        },
+    ]
+    write_report("fig6.txt", table + "\n\n" + paper_vs_measured_table("Fig. 6", entries))
+
+    # SVG renditions of Fig. 6(a)/(b).
+    import os
+
+    from benchmarks.conftest import OUT_DIR
+    from repro.viz import line_chart
+
+    if losses.size:
+        line_chart(
+            {"total loss": (np.arange(losses.size), losses)},
+            title="Fig. 6(a): DRL training loss", xlabel="update", ylabel="loss",
+        ).save(os.path.join(OUT_DIR, "fig6a.svg"))
+    smoothed = history.smoothed_costs(window=10)
+    line_chart(
+        {"avg cost (smoothed)": (np.arange(smoothed.size), smoothed)},
+        title="Fig. 6(b): system cost vs episode",
+        xlabel="episode", ylabel="avg system cost",
+    ).save(os.path.join(OUT_DIR, "fig6b.svg"))
+
+    assert improvement > 0.0, "training must reduce the average system cost"
+    assert fig6_result.loss_stabilized()
+
+    # Microbenchmark: one PPO update over a filled buffer.  Use a fresh
+    # agent with the same architecture — the trained agent is shared with
+    # the Fig. 7 bench and must not be mutated here.
+    from repro.rl.agent import AgentConfig, PPOAgent
+
+    trained = fig6_result.trainer.agent
+    agent = PPOAgent(
+        AgentConfig(
+            obs_dim=trained.config.obs_dim,
+            act_dim=trained.config.act_dim,
+            hidden=trained.config.hidden,
+            buffer_size=trained.config.buffer_size,
+            ppo=trained.config.ppo,
+        ),
+        rng=0,
+    )
+    rng = np.random.default_rng(0)
+    obs_dim = agent.config.obs_dim
+    act_dim = agent.config.act_dim
+
+    def ppo_update():
+        agent.buffer.clear()
+        while not agent.buffer.full:
+            agent.buffer.add(
+                rng.standard_normal(obs_dim),
+                rng.standard_normal(act_dim) * 0.1,
+                -1.0,
+                rng.standard_normal(obs_dim),
+                False,
+                -1.0,
+                0.0,
+            )
+        stats = agent.updater.update(agent.buffer)
+        agent.buffer.clear()
+        return stats
+
+    stats = benchmark(ppo_update)
+    assert np.isfinite(stats.policy_loss)

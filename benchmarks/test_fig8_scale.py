@@ -1,0 +1,69 @@
+"""Fig. 8 — scalability simulation: N=50 devices, lambda=0.1, traces
+drawn from a pool of five walking datasets.
+
+Paper reference values: average per-iteration system cost 11.2 (DRL),
+14.3 (heuristic), 17.3 (static); the DRL series sits visibly below both
+baselines across iterations.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.experiments.reporting import fig8_report, method_table
+from repro.utils.tables import format_table
+
+
+def test_fig8_scalability_report(fig8_result, benchmark):
+    result = fig8_result
+    averages = result.averages()
+
+    # The per-iteration series Fig. 8 plots (decimated).
+    series_rows = []
+    n = len(result.cost_series("drl"))
+    step = max(1, n // 10)
+    for i in range(0, n, step):
+        series_rows.append(
+            [i]
+            + [float(result.cost_series(m)[i]) for m in ("drl", "heuristic", "static")]
+        )
+    series = format_table(
+        ["iteration", "drl", "heuristic", "static"],
+        series_rows,
+        title="== Fig. 8: per-iteration system cost (sampled) ==",
+    )
+
+    write_report("fig8.txt", series + "\n\n" + fig8_report(result))
+
+    # SVG rendition of Fig. 8 (per-iteration cost series).
+    import os
+
+    from benchmarks.conftest import OUT_DIR
+    from repro.viz import line_chart
+
+    line_chart(
+        {
+            m: (np.arange(n), result.cost_series(m)[:n])
+            for m in ("drl", "heuristic", "static")
+        },
+        title="Fig. 8: system cost per iteration (N=50)",
+        xlabel="iteration", ylabel="system cost",
+    ).save(os.path.join(OUT_DIR, "fig8.svg"))
+
+    # -- shape assertions --------------------------------------------------
+    assert result.drl_wins(), "DRL must rank first at N=50"
+    assert averages["drl"] < averages["heuristic"]
+    assert averages["drl"] < averages["static"]
+
+    # Microbenchmark: one 50-device simulated iteration (the sim hot path).
+    from repro.experiments.presets import SIMULATION_PRESET, build_system
+
+    system = build_system(SIMULATION_PRESET, seed=0)
+    system.reset(100.0)
+    freqs = system.fleet.max_frequencies * 0.8
+
+    def one_iteration():
+        system.reset(100.0)
+        return system.step(freqs)
+
+    res = benchmark(one_iteration)
+    assert res.iteration_time > 0

@@ -1,0 +1,71 @@
+"""Multi-seed robustness: do the Fig. 7 conclusions survive resampling?
+
+The paper evaluates one testbed instance.  This bench resamples the
+entire setup — device parameters, traces and evaluation start time — over
+several seeds and checks the DRL conclusion seed by seed.  The DRL agent
+is trained *once* (on the seed-0 environment) and deployed frozen on
+every other seed's fleet, which simultaneously measures robustness to
+fleet resampling.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FAST, write_report
+from repro.baselines import HeuristicAllocator, OracleAllocator, StaticAllocator
+from repro.core.drl_allocator import DRLAllocator
+from repro.experiments.presets import TESTBED_PRESET
+from repro.experiments.stats import run_multi_seed
+from repro.utils.tables import format_table
+
+SEEDS = (0, 1, 2) if FAST else (0, 1, 2, 3, 4)
+ITERS = 40 if FAST else 200
+
+
+def test_multiseed_fig7_conclusion(fig6_result, benchmark):
+    agent = fig6_result.trainer.agent
+
+    result = run_multi_seed(
+        {
+            "drl": lambda s: DRLAllocator(agent),
+            "heuristic": lambda s: HeuristicAllocator(),
+            "static": lambda s: StaticAllocator(rng=s),
+            "oracle": lambda s: OracleAllocator(),
+        },
+        preset=TESTBED_PRESET,
+        seeds=SEEDS,
+        n_iterations=ITERS,
+    )
+
+    rows = []
+    for name in result.ranking():
+        stats = result.per_method[name]
+        lo, hi = stats.confidence_interval()
+        rows.append([name, stats.mean, stats.std, f"[{lo:.2f}, {hi:.2f}]",
+                     stats.win_fraction])
+    write_report(
+        "robustness_multiseed.txt",
+        format_table(
+            ["method", "mean cost", "std", "95% CI", "win fraction"],
+            rows,
+            title=f"== Robustness: {len(SEEDS)} resampled testbeds ==",
+        ),
+    )
+
+    drl = result.per_method["drl"]
+    heuristic = result.per_method["heuristic"]
+    # the headline conclusion must hold in expectation across seeds
+    assert drl.mean < heuristic.mean
+    # ... and the oracle must dominate everything on every seed
+    for other in ("drl", "heuristic", "static"):
+        assert result.dominant("oracle", other)
+
+    # microbench: one full evaluation episode of the frozen policy
+    from repro.experiments.runner import EvaluationRunner
+
+    runner = EvaluationRunner(TESTBED_PRESET, seed=1)
+
+    def eval_once():
+        return runner.run_one(DRLAllocator(agent), 20)
+
+    results = benchmark(eval_once)
+    assert len(results) == 20

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Update compression x frequency scheduling.
+
+The paper fixes the upload payload ``xi``; the communication-efficiency
+literature it cites shrinks it.  This example quantifies the interplay on
+the same substrate: for each compression scheme we (a) compute the
+effective ``xi`` for a 1M-parameter model, (b) run the oracle and
+heuristic allocators under that payload, and (c) report the
+reconstruction error the scheme costs.
+
+Run:  python examples/compressed_uploads.py [--params 1000000]
+"""
+
+import argparse
+from dataclasses import replace
+
+import numpy as np
+
+from repro import TESTBED_PRESET
+from repro.baselines import HeuristicAllocator, OracleAllocator
+from repro.experiments.presets import build_system
+from repro.fl.compression import (
+    IdentityCompressor,
+    TopKSparsifier,
+    UniformQuantizer,
+    compressed_model_size,
+    compression_error,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--params", type=int, default=1_000_000,
+                        help="model parameter count")
+    parser.add_argument("--iters", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    schemes = [
+        ("float32 (paper)", IdentityCompressor()),
+        ("8-bit quantized", UniformQuantizer(bits=8, rng=0)),
+        ("4-bit quantized", UniformQuantizer(bits=4, rng=0)),
+        ("top-10% sparse", TopKSparsifier(k_fraction=0.10)),
+    ]
+
+    probe = np.random.default_rng(args.seed).standard_normal(min(args.params, 20000))
+    rows = []
+    for label, compressor in schemes:
+        xi = compressed_model_size(args.params, compressor)
+        err = compression_error(probe, compressor)
+        preset = replace(TESTBED_PRESET, model_size_mbit=max(xi, 0.1))
+        costs = {}
+        for allocator in (OracleAllocator(), HeuristicAllocator()):
+            system = build_system(preset, seed=args.seed)
+            system.reset(60.0)
+            results = system.run(allocator, args.iters)
+            costs[allocator.name] = float(np.mean([r.cost for r in results]))
+        rows.append(
+            [label, xi, f"{err:.3f}", costs["oracle"], costs["heuristic"]]
+        )
+
+    print(format_table(
+        ["scheme", "xi (Mbit)", "rel. L2 error", "oracle cost", "heuristic cost"],
+        rows,
+        title=f"compression x scheduling ({args.params:,} parameters)",
+    ))
+    print("\nsmaller payloads cut communication time *and* shrink the gap "
+          "bandwidth-unaware schedulers pay — compression and DVFS compose.")
+
+
+if __name__ == "__main__":
+    main()

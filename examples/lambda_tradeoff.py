@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The time/energy tradeoff knob (Section III.B): sweep lambda.
+
+"A large lambda indicates that the parameter server is not particularly
+concerned about time.  On the other hand, more efforts are made to
+achieve fast federated learning model training under a small lambda."
+
+The sweep uses the clairvoyant oracle allocator (the per-iteration
+optimum) so the curve isolates the *objective's* tradeoff from learning
+noise: as lambda grows, iteration time rises and energy falls.
+
+Run:  python examples/lambda_tradeoff.py [--iters 150]
+"""
+
+import argparse
+from dataclasses import replace
+
+import numpy as np
+
+from repro import TESTBED_PRESET
+from repro.baselines import FullSpeedAllocator, OracleAllocator
+from repro.experiments.presets import build_system
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iters", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--lambdas", type=float, nargs="*",
+        default=[0.0, 0.1, 0.3, 1.0, 3.0, 10.0],
+    )
+    args = parser.parse_args()
+
+    rows = []
+    for lam in args.lambdas:
+        preset = replace(TESTBED_PRESET, lam=lam)
+        system = build_system(preset, seed=args.seed)
+        system.reset(60.0)
+        results = system.run(OracleAllocator(), args.iters)
+        time_s = np.mean([r.iteration_time for r in results])
+        energy = np.mean([r.total_energy for r in results])
+        freqs = np.mean([r.frequencies.mean() for r in results])
+        rows.append([lam, time_s, energy, freqs])
+    print(format_table(
+        ["lambda", "avg iter time (s)", "avg energy", "avg frequency (GHz)"],
+        rows,
+        title="time/energy tradeoff under the oracle allocator",
+    ))
+
+    times = np.array([r[1] for r in rows])
+    energies = np.array([r[2] for r in rows])
+    print("\nas lambda grows: iteration time "
+          f"{'rises' if times[-1] > times[0] else 'falls'} "
+          f"({times[0]:.1f} -> {times[-1]:.1f} s) and energy "
+          f"{'falls' if energies[-1] < energies[0] else 'rises'} "
+          f"({energies[0]:.2f} -> {energies[-1]:.2f} units)")
+
+    # Reference: the energy cost of ignoring the knob entirely.
+    system = build_system(TESTBED_PRESET, seed=args.seed)
+    system.reset(60.0)
+    full = system.run(FullSpeedAllocator(), args.iters)
+    print(f"full-speed reference: time {np.mean([r.iteration_time for r in full]):.1f} s, "
+          f"energy {np.mean([r.total_energy for r in full]):.2f} units")
+
+
+if __name__ == "__main__":
+    main()

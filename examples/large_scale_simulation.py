@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Large-scale simulation (paper Fig. 8): 50 mobile devices drawing
+bandwidth traces from a pool of five walking datasets, lambda = 0.1.
+
+Run:  python examples/large_scale_simulation.py [--devices 50] [--episodes 200]
+"""
+
+import argparse
+from dataclasses import replace
+
+from repro import SIMULATION_PRESET
+from repro.devices.fleet import FleetConfig
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.reporting import fig8_report
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", type=int, default=50)
+    parser.add_argument("--episodes", type=int, default=200)
+    parser.add_argument("--iters", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    preset = replace(
+        SIMULATION_PRESET,
+        n_devices=args.devices,
+        fleet=FleetConfig(n_devices=args.devices),
+        eval_iterations=args.iters,
+    )
+    print(f"simulation: {args.devices} devices, lambda={preset.lam}, "
+          f"trace pool of {preset.trace_pool_size}")
+    print(f"offline DRL training ({args.episodes} episodes)...")
+    result = run_fig8(
+        preset, n_episodes=args.episodes, eval_iterations=args.iters, seed=args.seed
+    )
+
+    # Per-iteration series (what Fig. 8 plots), decimated.
+    n = len(result.cost_series("drl"))
+    step = max(1, n // 12)
+    rows = [
+        [i] + [float(result.cost_series(m)[i]) for m in ("drl", "heuristic", "static")]
+        for i in range(0, n, step)
+    ]
+    print(format_table(
+        ["iter", "drl", "heuristic", "static"],
+        rows,
+        title="Fig. 8: per-iteration system cost (sampled)",
+    ))
+    print()
+    print(fig8_report(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Full testbed experiment (paper Figs. 6 and 7): offline DRL training to
+convergence, then 400 iterations of online reasoning against the
+Heuristic and Static baselines, with CDF summaries.
+
+Run:  python examples/testbed_experiment.py [--episodes 800] [--save agent.npz]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DRLAllocator,
+    EvaluationRunner,
+    FullSpeedAllocator,
+    HeuristicAllocator,
+    OracleAllocator,
+    StaticAllocator,
+    TESTBED_PRESET,
+)
+from repro.experiments.fig6 import run_fig6
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=800)
+    parser.add_argument("--iters", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", type=str, default=None, help="save agent checkpoint")
+    args = parser.parse_args()
+
+    # ---- Fig. 6: offline training convergence --------------------------
+    print(f"offline DRL training ({args.episodes} episodes)...")
+    fig6 = run_fig6(TESTBED_PRESET, n_episodes=args.episodes, seed=args.seed)
+    costs = fig6.episode_costs
+    block = max(1, len(costs) // 8)
+    rows = [
+        [f"{i * block}", costs[i * block : (i + 1) * block].mean()]
+        for i in range(len(costs) // block)
+    ]
+    print(format_table(["episode", "avg cost"], rows,
+                       title="Fig. 6(b): cost vs training episode"))
+    print(f"loss stabilized: {fig6.loss_stabilized()}, "
+          f"cost improvement: {fig6.cost_improvement():.1%}\n")
+
+    if args.save:
+        fig6.trainer.save_agent(args.save)
+        print(f"agent checkpoint saved to {args.save}\n")
+
+    # ---- Fig. 7: online reasoning ---------------------------------------
+    print(f"online reasoning ({args.iters} iterations)...")
+    runner = EvaluationRunner(TESTBED_PRESET, seed=args.seed)
+    result = runner.evaluate(
+        [
+            DRLAllocator(fig6.trainer.agent),
+            HeuristicAllocator(),
+            StaticAllocator(rng=42),
+            FullSpeedAllocator(),
+            OracleAllocator(),
+        ],
+        n_iterations=args.iters,
+    )
+
+    rows = []
+    for name, m in result.metrics.items():
+        rows.append(
+            [
+                name,
+                m.avg_cost,
+                m.avg_time,
+                m.avg_energy,
+                m.cost_cdf().fraction_below(8.0),
+                float(np.std(m.energies)),
+            ]
+        )
+    print(format_table(
+        ["method", "avg cost", "avg time", "avg energy", "P[cost<=8]", "energy std"],
+        rows,
+        title="Fig. 7: online reasoning summary",
+    ))
+
+    drl = result.metrics["drl"]
+    for base in ("heuristic", "static"):
+        gap = result.metrics[base].avg_cost / drl.avg_cost - 1
+        print(f"{base} cost vs DRL: {gap:+.1%}")
+    oracle = result.metrics["oracle"]
+    print(f"DRL is within {drl.avg_cost / oracle.avg_cost - 1:+.1%} "
+          f"of the clairvoyant oracle")
+
+
+if __name__ == "__main__":
+    main()

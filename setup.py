@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package
+(the offline environment has setuptools but no wheel)."""
+
+from setuptools import setup
+
+setup()

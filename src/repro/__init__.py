@@ -1,0 +1,130 @@
+"""repro — reproduction of "Experience-Driven Computational Resource
+Allocation of Federated Learning by Deep Reinforcement Learning"
+(Zhan, Li, Guo — IPDPS 2020).
+
+The library lowers the CPU-cycle frequency of fast devices in a
+synchronized federated-learning group to save energy without slowing the
+iteration, choosing frequencies with a PPO actor-critic agent whose state
+is each device's recent bandwidth history.
+
+Quickstart::
+
+    from repro import (
+        TESTBED_PRESET, build_env, OfflineTrainer, TrainerConfig,
+        DRLAllocator, EvaluationRunner, HeuristicAllocator, StaticAllocator,
+    )
+
+    env = build_env(TESTBED_PRESET, seed=0)
+    trainer = OfflineTrainer(env, TrainerConfig(n_episodes=100), rng=0)
+    trainer.train()
+
+    runner = EvaluationRunner(TESTBED_PRESET, seed=0)
+    result = runner.evaluate(
+        [DRLAllocator(trainer.agent), HeuristicAllocator(), StaticAllocator()]
+    )
+    print(result.ranking())
+
+Subpackages
+-----------
+``repro.nn``          numpy neural-network substrate (manual backprop)
+``repro.rl``          PPO actor-critic substrate
+``repro.traces``      bandwidth traces (synthetic 4G/HSDPA + CSV loader)
+``repro.devices``     device timing/energy models (Eqs. 1, 6)
+``repro.fl``          FedAvg federated-learning substrate (Eqs. 7, 8, 10)
+``repro.sim``         continuous-time iteration simulator (Eqs. 2-5, 9, 11)
+``repro.env``         Gym-style scheduling environment (Section IV.B)
+``repro.baselines``   Heuristic/Static/Oracle/FullSpeed/Random allocators
+``repro.core``        Algorithm 1 trainer + online DRL allocator
+``repro.experiments`` presets, evaluation runner, per-figure modules
+"""
+
+from repro.baselines import (
+    Allocator,
+    FullSpeedAllocator,
+    HeuristicAllocator,
+    OracleAllocator,
+    RandomAllocator,
+    StaticAllocator,
+)
+from repro.core import DRLAllocator, OfflineTrainer, TrainerConfig, TrainingHistory
+from repro.devices import DeviceFleet, DeviceParams, FleetConfig, MobileDevice, sample_fleet
+from repro.env import EnvConfig, FLSchedulingEnv
+from repro.experiments import (
+    SIMULATION_PRESET,
+    TESTBED_PRESET,
+    EvaluationRunner,
+    ExperimentPreset,
+    build_env,
+    build_system,
+    run_fig2,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.fl import FederatedTrainer, FLTrainingConfig, make_federated_dataset
+from repro.rl import PPOAgent, PPOConfig
+from repro.sim import CostModel, FLSystem, IterationResult, SystemConfig
+from repro.traces import (
+    BandwidthTrace,
+    TracePool,
+    hsdpa_bus_trace,
+    load_trace_csv,
+    lte_walking_trace,
+    scenario_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # traces
+    "BandwidthTrace",
+    "TracePool",
+    "lte_walking_trace",
+    "hsdpa_bus_trace",
+    "scenario_trace",
+    "load_trace_csv",
+    # devices
+    "DeviceParams",
+    "MobileDevice",
+    "DeviceFleet",
+    "FleetConfig",
+    "sample_fleet",
+    # sim
+    "CostModel",
+    "FLSystem",
+    "SystemConfig",
+    "IterationResult",
+    # fl
+    "FederatedTrainer",
+    "FLTrainingConfig",
+    "make_federated_dataset",
+    # env
+    "FLSchedulingEnv",
+    "EnvConfig",
+    # rl / core
+    "PPOAgent",
+    "PPOConfig",
+    "OfflineTrainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "DRLAllocator",
+    # baselines
+    "Allocator",
+    "HeuristicAllocator",
+    "StaticAllocator",
+    "OracleAllocator",
+    "FullSpeedAllocator",
+    "RandomAllocator",
+    # experiments
+    "ExperimentPreset",
+    "TESTBED_PRESET",
+    "SIMULATION_PRESET",
+    "EvaluationRunner",
+    "build_env",
+    "build_system",
+    "run_fig2",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+]

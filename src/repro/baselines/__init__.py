@@ -1,0 +1,36 @@
+"""Baseline frequency allocators the paper compares against.
+
+* :class:`HeuristicAllocator` — Wang et al. [3]-style: re-optimizes every
+  iteration using the bandwidth observed in the *previous* iteration.
+* :class:`StaticAllocator` — Tran et al. [4]-style: assumes a static
+  network, solves once from an average-bandwidth estimate and keeps the
+  same frequencies for the whole run.
+* :class:`OracleAllocator` — clairvoyant lower-bound reference (knows the
+  actual trace while optimizing).
+* :class:`FullSpeedAllocator`, :class:`RandomAllocator` — sanity
+  references.
+
+All of them reduce to the same convex per-iteration subproblem, solved in
+:mod:`repro.baselines.solver`.
+"""
+
+from repro.baselines.base import Allocator
+from repro.baselines.solver import DeadlineSolution, optimal_frequencies_for_estimate
+from repro.baselines.heuristic import HeuristicAllocator
+from repro.baselines.static_alloc import StaticAllocator
+from repro.baselines.fullspeed import FullSpeedAllocator
+from repro.baselines.random_alloc import RandomAllocator
+from repro.baselines.oracle import OracleAllocator
+from repro.baselines.predictive import PredictiveAllocator
+
+__all__ = [
+    "Allocator",
+    "DeadlineSolution",
+    "optimal_frequencies_for_estimate",
+    "HeuristicAllocator",
+    "StaticAllocator",
+    "FullSpeedAllocator",
+    "RandomAllocator",
+    "OracleAllocator",
+    "PredictiveAllocator",
+]

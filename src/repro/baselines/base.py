@@ -1,0 +1,27 @@
+"""Allocator interface: anything that maps system state to frequencies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Allocator:
+    """Base class for CPU-cycle-frequency allocators.
+
+    ``reset(system)`` is called once before a run; ``allocate(system)`` is
+    called at the *start* of every iteration and must return a frequency
+    vector (GHz) of length ``system.n_devices``.  Implementations must
+    only read information causally available at the iteration start
+    (clairvoyant allocators say so explicitly).
+    """
+
+    name = "allocator"
+
+    def reset(self, system) -> None:
+        """Prepare for a fresh run (default: stateless)."""
+
+    def allocate(self, system) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"

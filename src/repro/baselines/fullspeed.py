@@ -1,0 +1,18 @@
+"""Full-speed reference: every device always runs at ``delta_max``.
+
+This is the implicit default of energy-unaware federated learning — the
+behaviour the paper's motivation (Section II) argues against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+
+
+class FullSpeedAllocator(Allocator):
+    name = "full-speed"
+
+    def allocate(self, system) -> np.ndarray:
+        return system.fleet.max_frequencies.copy()

@@ -1,0 +1,35 @@
+"""Heuristic baseline (after Wang et al. [3], as described in Section V).
+
+"At the beginning of each training iteration ..., since the last
+iteration is just ended, the parameter server could know all the mobile
+devices' bandwidth information.  Hence, the parameter server can
+determine the mobile device's CPU-cycle frequency in the current
+iteration with the bandwidth in the last iteration."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.baselines.solver import optimal_frequencies_for_estimate
+
+
+class HeuristicAllocator(Allocator):
+    """Re-optimizes each iteration using last iteration's bandwidth.
+
+    The first iteration has no history, so it falls back to the current
+    instantaneous slot bandwidth (the best causally available estimate).
+    """
+
+    name = "heuristic"
+
+    def allocate(self, system) -> np.ndarray:
+        est_bw = system.last_observed_bandwidths()
+        if est_bw is None:
+            est_bw = system.current_bandwidths()
+        est_upload = system.config.model_size_mbit / np.maximum(est_bw, 1e-9)
+        solution = optimal_frequencies_for_estimate(
+            system.fleet, est_upload, system.config.cost
+        )
+        return solution.frequencies

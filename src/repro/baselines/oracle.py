@@ -1,0 +1,47 @@
+"""Clairvoyant oracle: optimizes with the *actual* future bandwidth.
+
+Not part of the paper's comparison — it is the per-iteration lower-bound
+reference that bounds how much headroom is left above the DRL policy.
+
+Upload time depends on the chosen frequency (a slower device starts its
+upload later, under different bandwidth), so the oracle runs a short
+fixed-point loop: frequencies -> realized upload times -> re-solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.baselines.solver import optimal_frequencies_for_estimate
+
+
+class OracleAllocator(Allocator):
+    name = "oracle"
+
+    def __init__(self, fixed_point_iters: int = 4):
+        if fixed_point_iters <= 0:
+            raise ValueError("fixed_point_iters must be positive")
+        self.fixed_point_iters = int(fixed_point_iters)
+
+    def allocate(self, system) -> np.ndarray:
+        fleet = system.fleet
+        xi = system.config.model_size_mbit
+        t0 = system.clock
+        freqs = fleet.max_frequencies.copy()
+        for _ in range(self.fixed_point_iters):
+            t_cmp = fleet.compute_times(freqs)
+            t_com = np.array(
+                [
+                    device.upload_time(t0 + t_cmp[i], xi)
+                    for i, device in enumerate(fleet)
+                ]
+            )
+            solution = optimal_frequencies_for_estimate(
+                fleet, t_com, system.config.cost
+            )
+            if np.allclose(solution.frequencies, freqs, rtol=1e-4):
+                freqs = solution.frequencies
+                break
+            freqs = solution.frequencies
+        return freqs

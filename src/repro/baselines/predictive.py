@@ -1,0 +1,51 @@
+"""Prediction-based allocator: classical forecasting + convex solve.
+
+This is the "struggle with network quality prediction" alternative the
+paper's introduction contrasts DRL against: forecast each device's
+bandwidth from its slot history with a classical time-series model, then
+solve the same deadline subproblem the other baselines use.  It upgrades
+the Heuristic baseline (which uses the raw last-iteration observation)
+with a proper predictor, and bounds how much of the DRL gain is
+explainable by better point forecasts alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.baselines.solver import optimal_frequencies_for_estimate
+from repro.traces.forecast import Forecaster, get_forecaster
+
+
+class PredictiveAllocator(Allocator):
+    """Forecast bandwidth per device, then deadline-solve.
+
+    Parameters
+    ----------
+    forecaster:
+        A :class:`repro.traces.forecast.Forecaster` instance or a registry
+        name (``"ewma"``, ``"holt"``, ``"ar1"``, ``"harmonic"``, ``"last"``).
+    """
+
+    def __init__(self, forecaster="ewma", **forecaster_kwargs):
+        if isinstance(forecaster, str):
+            self.name = f"predictive-{forecaster}"
+            self.forecaster: Forecaster = get_forecaster(
+                forecaster, **forecaster_kwargs
+            )
+        else:
+            self.name = f"predictive-{type(forecaster).__name__}"
+            self.forecaster = forecaster
+
+    def allocate(self, system) -> np.ndarray:
+        n_slots = system.config.history_slots + 1
+        est_bw = np.empty(system.n_devices, dtype=np.float64)
+        for i, device in enumerate(system.fleet):
+            history = device.trace.history(system.clock, n_slots)
+            est_bw[i] = max(self.forecaster.predict(history), 1e-6)
+        est_upload = system.config.model_size_mbit / est_bw
+        solution = optimal_frequencies_for_estimate(
+            system.fleet, est_upload, system.config.cost
+        )
+        return solution.frequencies

@@ -1,0 +1,26 @@
+"""Random reference: uniform frequencies in ``(floor, delta_max]``.
+
+Serves as the no-intelligence control for the DRL comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.utils.rng import SeedLike, as_generator
+
+
+class RandomAllocator(Allocator):
+    name = "random"
+
+    def __init__(self, rng: SeedLike = None, floor_frac: float = 0.1):
+        if not 0.0 < floor_frac <= 1.0:
+            raise ValueError("floor_frac must be in (0, 1]")
+        self.rng = as_generator(rng)
+        self.floor_frac = float(floor_frac)
+
+    def allocate(self, system) -> np.ndarray:
+        fmax = system.fleet.max_frequencies
+        u = self.rng.uniform(self.floor_frac, 1.0, size=system.n_devices)
+        return fmax * u

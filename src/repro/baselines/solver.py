@@ -1,0 +1,117 @@
+"""The per-iteration frequency-optimization subproblem.
+
+Given *estimated* per-device upload times ``that_i`` (from some bandwidth
+estimate), the best response is: pick a common deadline ``T`` and run
+each device at the slowest frequency that still meets it,
+
+    delta_i(T) = a_i / (T - that_i),   a_i = tau c_i D_i,
+
+feasible for ``T >= T_min = max_i (a_i / delta_max_i + that_i)``.  The
+estimated cost
+
+    phi(T) = T / u + lam * sum_i [ beta_i delta_i(T)^2 + e_i that_i ]
+
+(``u`` = display time unit, ``beta_i = alpha_i c_i D_i``) has derivative
+``1/u - 2 lam sum_i beta_i a_i^2 / (T - that_i)^3``, strictly increasing
+in T, so phi is convex with a unique minimizer found by bisection on
+``phi'``.  This solver is the common core of the Heuristic, Static and
+Oracle baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.fleet import DeviceFleet
+from repro.sim.cost import CostModel
+
+
+@dataclass(frozen=True)
+class DeadlineSolution:
+    """Result of the deadline optimization."""
+
+    frequencies: np.ndarray
+    deadline: float
+    estimated_cost: float
+
+
+def _phi_prime(
+    T: float,
+    a: np.ndarray,
+    beta: np.ndarray,
+    that: np.ndarray,
+    lam: float,
+    time_unit_s: float,
+) -> float:
+    gap = np.maximum(T - that, 1e-12)
+    return 1.0 / time_unit_s - 2.0 * lam * float(np.sum(beta * a * a / gap**3))
+
+
+def optimal_frequencies_for_estimate(
+    fleet: DeviceFleet,
+    est_upload_times: np.ndarray,
+    cost_model: CostModel,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> DeadlineSolution:
+    """Solve the convex deadline subproblem for a fleet.
+
+    Parameters
+    ----------
+    est_upload_times:
+        Estimated ``t_com_i`` in seconds (``xi / B_hat_i``).
+    cost_model:
+        Supplies lambda and the display time unit, so the baseline
+        optimizes the same objective the simulator scores.
+    """
+    that = np.asarray(est_upload_times, dtype=np.float64)
+    if that.shape != (fleet.n,):
+        raise ValueError(f"expected {fleet.n} upload estimates, got {that.shape}")
+    if np.any(that < 0):
+        raise ValueError("upload-time estimates must be non-negative")
+    a = fleet.cycle_budgets
+    beta = fleet.energy_coefficients
+    fmax = fleet.max_frequencies
+    lam = cost_model.lam
+    u = cost_model.time_unit_s
+
+    t_min = float(np.max(a / fmax + that))
+    if lam == 0.0:
+        # No energy term: every deadline-feasible point is equally good in
+        # the estimate; return the canonical full-speed choice (no reason
+        # to stretch compute toward the deadline).
+        est_energy = float(np.sum(beta * fmax**2 + fleet.tx_powers * that))
+        return DeadlineSolution(
+            frequencies=fmax.copy(),
+            deadline=t_min,
+            estimated_cost=cost_model.cost(t_min, est_energy),
+        )
+    if _phi_prime(t_min, a, beta, that, lam, u) >= 0.0:
+        # Time-dominated: run at the deadline-critical (full-speed) point.
+        deadline = t_min
+    else:
+        # Bracket: phi' -> 1/u > 0 as T grows; expand geometrically.
+        lo, hi = t_min, 2.0 * t_min + 1.0
+        while _phi_prime(hi, a, beta, that, lam, u) < 0.0:
+            hi *= 2.0
+            if hi > 1e12:  # pragma: no cover - defensive
+                break
+        for _ in range(max_iter):
+            mid = 0.5 * (lo + hi)
+            if _phi_prime(mid, a, beta, that, lam, u) < 0.0:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol * max(1.0, t_min):
+                break
+        deadline = 0.5 * (lo + hi)
+
+    gap = np.maximum(deadline - that, 1e-12)
+    freqs = np.minimum(a / gap, fmax)
+    est_energy = float(np.sum(beta * freqs**2 + fleet.tx_powers * that))
+    est_cost = cost_model.cost(deadline, est_energy)
+    return DeadlineSolution(
+        frequencies=freqs, deadline=float(deadline), estimated_cost=est_cost
+    )

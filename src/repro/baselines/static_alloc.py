@@ -1,0 +1,100 @@
+"""Static baseline (after Tran et al. [4], as described in Section V).
+
+"The authors assume that the network is static, and determine the optimal
+CPU-cycle frequency at the beginning of federated learning.  ...  we
+randomly select some bandwidth data from the dataset, and determine the
+CPU-cycle frequency for each mobile device according to the average value
+of these bandwidth data.  Then, in each training iteration, the mobile
+devices will use the consistent CPU-cycle frequency directly."
+
+Estimator variants (``scope``):
+
+* ``"recent"`` (default) — probe each device's bandwidth in a short
+  window at the start of federated learning ("determine the optimal
+  CPU-cycle frequency at the beginning of federated learning").  Under
+  non-stationary networks this setup-time estimate goes stale, which is
+  precisely the failure mode the paper attributes to the static scheme.
+* ``"per-device"`` — sample random slots from each device's whole trace
+  (a stronger, dataset-wide average).
+* ``"global"`` — pool samples across all devices into one dataset-wide
+  average (note that with a common estimate for every device the deadline
+  subproblem's optimizer becomes independent of the estimate, so this
+  variant degenerates to a fixed hedge).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.baselines.solver import optimal_frequencies_for_estimate
+from repro.utils.rng import SeedLike, as_generator
+
+
+class StaticAllocator(Allocator):
+    """Solves once at run start from sampled average bandwidths."""
+
+    name = "static"
+
+    def __init__(
+        self,
+        n_bandwidth_samples: int = 8,
+        rng: SeedLike = None,
+        scope: str = "recent",
+        probe_window_s: float = 60.0,
+    ):
+        if n_bandwidth_samples <= 0:
+            raise ValueError("n_bandwidth_samples must be positive")
+        if scope not in ("recent", "global", "per-device"):
+            raise ValueError("scope must be 'recent', 'global' or 'per-device'")
+        if probe_window_s <= 0:
+            raise ValueError("probe_window_s must be positive")
+        self.n_bandwidth_samples = int(n_bandwidth_samples)
+        self.scope = scope
+        self.probe_window_s = float(probe_window_s)
+        self._rng = as_generator(rng)
+        self._frequencies: Optional[np.ndarray] = None
+
+    def _estimate_bandwidths(self, system) -> np.ndarray:
+        rng = self._rng
+        if self.scope == "global":
+            # One dataset-wide average applied to every device.
+            pooled = np.concatenate(
+                [device.trace.values for device in system.fleet]
+            )
+            idx = rng.integers(0, pooled.size, size=self.n_bandwidth_samples)
+            return np.full(system.n_devices, float(pooled[idx].mean()))
+        est = np.empty(system.n_devices, dtype=np.float64)
+        if self.scope == "recent":
+            # Probe the window just before the run starts (setup-time
+            # measurement); sample slots within it.
+            window_slots = max(
+                1, int(round(self.probe_window_s / system.config.slot_duration))
+            )
+            for i, device in enumerate(system.fleet):
+                window = device.trace.history(system.clock, window_slots)
+                idx = rng.integers(0, window.size, size=self.n_bandwidth_samples)
+                est[i] = float(window[idx].mean())
+            return est
+        for i, device in enumerate(system.fleet):
+            idx = rng.integers(
+                0, device.trace.n_slots, size=self.n_bandwidth_samples
+            )
+            est[i] = float(device.trace.values[idx].mean())
+        return est
+
+    def reset(self, system) -> None:
+        est_bw = self._estimate_bandwidths(system)
+        est_upload = system.config.model_size_mbit / np.maximum(est_bw, 1e-9)
+        solution = optimal_frequencies_for_estimate(
+            system.fleet, est_upload, system.config.cost
+        )
+        self._frequencies = solution.frequencies
+
+    def allocate(self, system) -> np.ndarray:
+        if self._frequencies is None:
+            # Tolerate callers that skip reset().
+            self.reset(system)
+        return self._frequencies.copy()

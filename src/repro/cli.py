@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``      offline DRL training (Algorithm 1) + checkpoint save
+``evaluate``   online reasoning: compare allocators on a preset
+``traces``     generate synthetic traces to CSV / report their statistics
+``fig``        regenerate a paper figure's numbers (2, 3, 6, 7, 8)
+
+Everything the CLI does is also available as a library call; the CLI
+exists so experiments can be scripted without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from repro.utils.tables import format_table
+
+
+def _get_preset(name: str, n_devices=None, lam=None):
+    from repro.devices.fleet import FleetConfig
+    from repro.experiments.presets import SIMULATION_PRESET, TESTBED_PRESET
+
+    presets = {"testbed": TESTBED_PRESET, "simulation": SIMULATION_PRESET}
+    try:
+        preset = presets[name]
+    except KeyError:
+        raise SystemExit(f"unknown preset {name!r}; available: {sorted(presets)}")
+    if n_devices is not None:
+        preset = replace(
+            preset, n_devices=n_devices, fleet=FleetConfig(n_devices=n_devices)
+        )
+    if lam is not None:
+        preset = replace(preset, lam=lam)
+    return preset
+
+
+def cmd_train(args) -> int:
+    from repro.core.trainer import OfflineTrainer, TrainerConfig
+    from repro.experiments.presets import build_env
+
+    preset = _get_preset(args.preset, args.devices, args.lam)
+    env = build_env(preset, seed=args.seed)
+    config = TrainerConfig(n_episodes=args.episodes, algorithm=args.algorithm)
+    trainer = OfflineTrainer(env, config, rng=args.seed)
+
+    def progress(episode, summary):
+        if (episode + 1) % max(1, args.episodes // 20) == 0:
+            print(f"episode {episode + 1:5d}/{args.episodes}  "
+                  f"avg cost {summary['avg_cost']:.3f}")
+
+    history = trainer.train(progress_callback=progress)
+    window = min(10, max(1, history.n_episodes // 2))
+    improvement = history.improvement(head=window, tail=window)
+    print(f"trained {history.n_episodes} episodes / {history.n_updates} updates; "
+          f"cost improvement {improvement:.1%}")
+    trainer.save_agent(args.out)
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _build_allocators(names, checkpoint, hidden):
+    from repro.baselines import (
+        FullSpeedAllocator,
+        HeuristicAllocator,
+        OracleAllocator,
+        PredictiveAllocator,
+        RandomAllocator,
+        StaticAllocator,
+    )
+    from repro.core.drl_allocator import DRLAllocator
+
+    out = []
+    for name in names:
+        if name == "drl":
+            if not checkpoint:
+                raise SystemExit("--checkpoint is required to evaluate 'drl'")
+            out.append(DRLAllocator.from_checkpoint(checkpoint, hidden=hidden))
+        elif name == "heuristic":
+            out.append(HeuristicAllocator())
+        elif name == "static":
+            out.append(StaticAllocator(rng=1))
+        elif name == "oracle":
+            out.append(OracleAllocator())
+        elif name == "full-speed":
+            out.append(FullSpeedAllocator())
+        elif name == "random":
+            out.append(RandomAllocator(rng=1))
+        elif name.startswith("predictive-"):
+            out.append(PredictiveAllocator(name.split("-", 1)[1]))
+        else:
+            raise SystemExit(f"unknown allocator {name!r}")
+    return out
+
+
+def cmd_evaluate(args) -> int:
+    from repro.experiments.runner import EvaluationRunner
+
+    preset = _get_preset(args.preset, args.devices, args.lam)
+    runner = EvaluationRunner(preset, seed=args.seed)
+    allocators = _build_allocators(args.allocators, args.checkpoint, tuple(args.hidden))
+    result = runner.evaluate(allocators, n_iterations=args.iters)
+    rows = [
+        [name, m.avg_cost, m.avg_time, m.avg_energy]
+        for name, m in result.metrics.items()
+    ]
+    print(format_table(
+        ["method", "avg cost", "avg time", "avg energy"],
+        rows,
+        title=f"{preset.name}: {args.iters or preset.eval_iterations} iterations",
+    ))
+    print("ranking:", " < ".join(result.ranking()))
+    return 0
+
+
+def cmd_traces(args) -> int:
+    from repro.traces.analysis import fluctuation_report
+    from repro.traces.loader import save_trace_csv
+    from repro.traces.synthetic import SCENARIOS, hsdpa_bus_trace, scenario_trace
+
+    traces = []
+    for i in range(args.count):
+        if args.kind == "hsdpa":
+            traces.append(hsdpa_bus_trace(n_slots=args.slots, rng=args.seed + i,
+                                          name=f"hsdpa-{i}"))
+        elif args.kind in SCENARIOS:
+            traces.append(scenario_trace(args.kind, n_slots=args.slots,
+                                         rng=args.seed + i))
+        else:
+            raise SystemExit(
+                f"unknown kind {args.kind!r}; available: {sorted(SCENARIOS) + ['hsdpa']}"
+            )
+    report = fluctuation_report(traces)
+    rows = [
+        [name, s["mean_mbps"], s["min_mbps"], s["max_mbps"], s["lag1_autocorr"]]
+        for name, s in report.items()
+    ]
+    print(format_table(
+        ["trace", "mean Mbit/s", "min", "max", "lag-1 autocorr"], rows
+    ))
+    if args.out_dir:
+        import os
+
+        os.makedirs(args.out_dir, exist_ok=True)
+        for i, trace in enumerate(traces):
+            path = os.path.join(args.out_dir, f"{args.kind}-{i}.csv")
+            save_trace_csv(trace, path)
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_fig(args) -> int:
+    if args.number == 2:
+        from repro.experiments.fig2 import run_fig2
+
+        result = run_fig2(seed=args.seed)
+        for name, (lo, hi) in result.walking_range_mbytes().items():
+            print(f"{name}: {lo:.2f} - {hi:.2f} MB/s")
+        lo, hi = result.hsdpa_range_kbytes()
+        print(f"hsdpa: {lo:.0f} - {hi:.0f} KB/s")
+    elif args.number == 3:
+        from repro.experiments.fig3 import run_fig3
+
+        result = run_fig3(seed=args.seed, n_iterations=args.iters or 200)
+        print("idle fractions under full speed:",
+              np.round(result.idle_fractions, 3))
+        print(f"DVFS recovers {result.energy_saving:.1%} energy at "
+              f"{result.time_penalty:+.1%} time")
+    elif args.number == 6:
+        from repro.experiments.fig6 import run_fig6
+
+        result = run_fig6(n_episodes=args.episodes, seed=args.seed)
+        costs = result.episode_costs
+        print(f"episode cost: first 10 avg {costs[:10].mean():.2f}, "
+              f"last 10 avg {costs[-10:].mean():.2f}")
+        print(f"loss stabilized: {result.loss_stabilized()}")
+    elif args.number == 7:
+        from repro.experiments.fig7 import run_fig7
+        from repro.experiments.reporting import fig7_report
+
+        result = run_fig7(n_episodes=args.episodes, eval_iterations=args.iters,
+                          seed=args.seed)
+        print(fig7_report(result))
+    elif args.number == 8:
+        from repro.experiments.fig8 import run_fig8
+        from repro.experiments.reporting import fig8_report
+
+        result = run_fig8(n_episodes=args.episodes or 200,
+                          eval_iterations=args.iters, seed=args.seed)
+        print(fig8_report(result))
+    else:
+        raise SystemExit("supported figures: 2, 3, 6, 7, 8")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experience-driven FL resource allocation (IPDPS'20 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="offline DRL training (Algorithm 1)")
+    p.add_argument("--preset", default="testbed", help="testbed | simulation")
+    p.add_argument("--episodes", type=int, default=800)
+    p.add_argument("--devices", type=int, default=None)
+    p.add_argument("--lam", type=float, default=None)
+    p.add_argument("--algorithm", default="ppo", choices=("ppo", "a2c", "ddpg"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="agent.npz")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="online reasoning comparison")
+    p.add_argument("--preset", default="testbed")
+    p.add_argument(
+        "--allocators", nargs="+",
+        default=["heuristic", "static", "oracle", "full-speed"],
+        help="drl heuristic static oracle full-speed random predictive-<name>",
+    )
+    p.add_argument("--checkpoint", default=None, help="agent .npz for 'drl'")
+    p.add_argument("--hidden", type=int, nargs="+", default=[64, 64])
+    p.add_argument("--iters", type=int, default=None)
+    p.add_argument("--devices", type=int, default=None)
+    p.add_argument("--lam", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("traces", help="generate/inspect bandwidth traces")
+    p.add_argument("--kind", default="walking")
+    p.add_argument("--count", type=int, default=3)
+    p.add_argument("--slots", type=int, default=1200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-dir", default=None)
+    p.set_defaults(func=cmd_traces)
+
+    p = sub.add_parser("fig", help="regenerate a paper figure's numbers")
+    p.add_argument("number", type=int, choices=(2, 3, 6, 7, 8))
+    p.add_argument("--episodes", type=int, default=800)
+    p.add_argument("--iters", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's contribution: experience-driven frequency allocation.
+
+:class:`OfflineTrainer` implements Algorithm 1 (offline DRL training over
+the trace-driven simulated environment); :class:`DRLAllocator` is the
+online-reasoning stage that drives a live system with the trained actor
+only (Section V.B.2).
+"""
+
+from repro.core.callbacks import TrainingHistory
+from repro.core.drl_allocator import DRLAllocator
+from repro.core.trainer import OfflineTrainer, TrainerConfig
+from repro.core.transfer import TransferredAllocator, transfer_allocator
+from repro.core.online import OnlineAdaptingAllocator
+
+__all__ = [
+    "TrainingHistory",
+    "DRLAllocator",
+    "OfflineTrainer",
+    "TrainerConfig",
+    "TransferredAllocator",
+    "transfer_allocator",
+    "OnlineAdaptingAllocator",
+]

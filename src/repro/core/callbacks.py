@@ -1,0 +1,95 @@
+"""Training history: the data behind Fig. 6.
+
+Records per-episode average system cost (Fig. 6(b)) and per-update DRL
+losses (Fig. 6(a)), plus convergence detection used by tests and the
+Fig. 6 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulates DRL training diagnostics."""
+
+    episode_costs: List[float] = field(default_factory=list)
+    episode_rewards: List[float] = field(default_factory=list)
+    episode_times: List[float] = field(default_factory=list)
+    episode_energies: List[float] = field(default_factory=list)
+    update_policy_losses: List[float] = field(default_factory=list)
+    update_value_losses: List[float] = field(default_factory=list)
+    update_total_losses: List[float] = field(default_factory=list)
+    update_entropies: List[float] = field(default_factory=list)
+    update_kls: List[float] = field(default_factory=list)
+
+    def record_episode(
+        self, avg_cost: float, avg_reward: float, avg_time: float, avg_energy: float
+    ) -> None:
+        self.episode_costs.append(float(avg_cost))
+        self.episode_rewards.append(float(avg_reward))
+        self.episode_times.append(float(avg_time))
+        self.episode_energies.append(float(avg_energy))
+
+    def record_update(self, stats) -> None:
+        """Record a :class:`repro.rl.ppo.UpdateStats`."""
+        self.update_policy_losses.append(stats.policy_loss)
+        self.update_value_losses.append(stats.value_loss)
+        self.update_total_losses.append(stats.total_loss)
+        self.update_entropies.append(stats.entropy)
+        self.update_kls.append(stats.approx_kl)
+
+    @property
+    def n_episodes(self) -> int:
+        return len(self.episode_costs)
+
+    @property
+    def n_updates(self) -> int:
+        return len(self.update_total_losses)
+
+    def smoothed_costs(self, window: int = 10) -> np.ndarray:
+        """Moving average of per-episode cost (the Fig. 6(b) curve)."""
+        costs = np.asarray(self.episode_costs, dtype=np.float64)
+        if costs.size == 0:
+            return costs
+        window = max(1, min(window, costs.size))
+        kernel = np.ones(window) / window
+        return np.convolve(costs, kernel, mode="valid")
+
+    def converged(
+        self, window: int = 20, rel_tol: float = 0.05
+    ) -> bool:
+        """Heuristic convergence check: the smoothed cost of the last
+        window is within ``rel_tol`` of the window before it."""
+        costs = self.smoothed_costs(window=5)
+        if costs.size < 2 * window:
+            return False
+        recent = costs[-window:].mean()
+        previous = costs[-2 * window : -window].mean()
+        return abs(recent - previous) <= rel_tol * abs(previous)
+
+    def improvement(self, head: int = 10, tail: int = 10) -> float:
+        """Relative cost reduction from the first to the last episodes."""
+        costs = np.asarray(self.episode_costs, dtype=np.float64)
+        if costs.size < head + tail:
+            raise ValueError("not enough episodes for improvement estimate")
+        start = costs[:head].mean()
+        end = costs[-tail:].mean()
+        return float((start - end) / start)
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "episode_costs": np.asarray(self.episode_costs),
+            "episode_rewards": np.asarray(self.episode_rewards),
+            "episode_times": np.asarray(self.episode_times),
+            "episode_energies": np.asarray(self.episode_energies),
+            "update_policy_losses": np.asarray(self.update_policy_losses),
+            "update_value_losses": np.asarray(self.update_value_losses),
+            "update_total_losses": np.asarray(self.update_total_losses),
+            "update_entropies": np.asarray(self.update_entropies),
+            "update_kls": np.asarray(self.update_kls),
+        }

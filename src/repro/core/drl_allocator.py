@@ -1,0 +1,62 @@
+"""Online reasoning: the trained actor drives a live system.
+
+Section V.B.2: "During reasoning, we only use the trained actor network
+to generate its action a_k, given its own state s_k."  The allocator is
+deterministic (policy mean) and needs no critic, reward or buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.env.wrappers import ActionMapper
+from repro.rl.agent import AgentConfig, PPOAgent
+from repro.utils.serialization import load_npz_state
+
+
+class DRLAllocator(Allocator):
+    """Adapter exposing a trained :class:`PPOAgent` as an Allocator."""
+
+    name = "drl"
+
+    def __init__(self, agent: PPOAgent, action_floor_frac: float = 0.1):
+        self.agent = agent
+        self.action_floor_frac = float(action_floor_frac)
+        self._mapper = None
+
+    def reset(self, system) -> None:
+        self._mapper = ActionMapper(
+            system.fleet.max_frequencies, self.action_floor_frac
+        )
+
+    def allocate(self, system) -> np.ndarray:
+        if self._mapper is None:
+            self.reset(system)
+        obs = system.bandwidth_state().ravel()
+        if obs.size != self.agent.config.obs_dim:
+            raise ValueError(
+                f"system state dim {obs.size} does not match the agent's "
+                f"trained obs dim {self.agent.config.obs_dim}"
+            )
+        raw_action = self.agent.policy_action(obs)
+        return self._mapper.to_frequencies(raw_action)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        hidden=(64, 64),
+        action_floor_frac: float = 0.1,
+    ) -> "DRLAllocator":
+        """Rehydrate an allocator from a saved agent checkpoint."""
+        state = load_npz_state(path)
+        obs_dim = int(np.asarray(state["meta/obs_dim"]))
+        act_dim = int(np.asarray(state["meta/act_dim"]))
+        agent = PPOAgent(
+            AgentConfig(obs_dim=obs_dim, act_dim=act_dim, hidden=tuple(hidden)),
+            rng=0,
+        )
+        agent.load_state_dict(state)
+        agent.freeze()
+        return cls(agent, action_floor_frac=action_floor_frac)

@@ -1,0 +1,79 @@
+"""Online adaptation: keep learning during deployment.
+
+The paper's pipeline is strictly offline-train / online-reason (Section
+V.B).  Because the parameter server sees every reward anyway, nothing
+prevents it from continuing PPO updates while the system serves real
+traffic — the policy then tracks network-distribution drift that offline
+training never saw.  :class:`OnlineAdaptingAllocator` wraps a
+:class:`repro.rl.agent.PPOAgent` so each ``allocate`` both acts
+(with exploration) and feeds the realized reward back into the agent.
+
+The allocator needs the reward of the *previous* iteration, which is only
+known once the system has stepped; it therefore reads
+``system.history[-1]`` on the next call — exactly the information flow
+of Algorithm 1's online loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.env.wrappers import ActionMapper
+from repro.rl.agent import PPOAgent
+
+
+class OnlineAdaptingAllocator(Allocator):
+    """DRL allocator that continues PPO training while deployed.
+
+    Compared with :class:`repro.core.drl_allocator.DRLAllocator` (frozen,
+    deterministic), this allocator samples from the stochastic policy and
+    performs the Algorithm-1 buffer/update cycle on live transitions.
+    ``adapt=False`` turns it into a frozen stochastic baseline so the
+    adaptation effect can be isolated.
+    """
+
+    name = "drl-online"
+
+    def __init__(
+        self,
+        agent: PPOAgent,
+        adapt: bool = True,
+        action_floor_frac: float = 0.1,
+    ):
+        self.agent = agent
+        self.adapt = bool(adapt)
+        self.action_floor_frac = float(action_floor_frac)
+        self._mapper: Optional[ActionMapper] = None
+        self._pending = None  # (obs, action, log_prob, value)
+
+    def reset(self, system) -> None:
+        self._mapper = ActionMapper(
+            system.fleet.max_frequencies, self.action_floor_frac
+        )
+        self._pending = None
+        if self.adapt:
+            # re-open the normalizers closed by trainer.freeze()
+            self.agent.obs_norm.unfreeze()
+            self.agent.reward_scaler.frozen = False
+
+    def allocate(self, system) -> np.ndarray:
+        if self._mapper is None:
+            self.reset(system)
+        obs = system.bandwidth_state().ravel()
+
+        if self.adapt and self._pending is not None and system.history:
+            prev_obs, prev_action, prev_logp, prev_value = self._pending
+            reward = system.history[-1].reward
+            self.agent.observe(
+                prev_obs, prev_action, reward, obs, False, prev_logp, prev_value
+            )
+
+        if self.adapt:
+            action, log_prob, value = self.agent.act(obs)
+            self._pending = (obs, action, log_prob, value)
+        else:
+            action = self.agent.policy_action(obs)
+        return self._mapper.to_frequencies(action)

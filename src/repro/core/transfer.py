@@ -1,0 +1,76 @@
+"""Cross-fleet-size deployment of a permutation-shared policy.
+
+A :class:`repro.rl.shared_policy.SharedGaussianActor` has parameters
+independent of the fleet size; with the matching per-device observation
+normalizer (:class:`repro.rl.normalization.PerDeviceNormalizer`) the
+whole policy transfers: train on a 3-device testbed, deploy on a
+500-device fleet.  :func:`transfer_allocator` performs the rebinding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.env.wrappers import ActionMapper
+from repro.rl.agent import PPOAgent
+from repro.rl.normalization import PerDeviceNormalizer
+from repro.rl.shared_policy import SharedGaussianActor
+
+
+class TransferredAllocator(Allocator):
+    """A shared policy rebound to a (possibly different-size) fleet."""
+
+    name = "drl-transfer"
+
+    def __init__(
+        self,
+        actor: SharedGaussianActor,
+        normalizer: PerDeviceNormalizer,
+        action_floor_frac: float = 0.1,
+    ):
+        self.actor = actor
+        self.normalizer = normalizer
+        self.action_floor_frac = float(action_floor_frac)
+        self._mapper = None
+
+    def reset(self, system) -> None:
+        if system.n_devices != self.actor.n_devices:
+            raise ValueError(
+                f"actor bound to {self.actor.n_devices} devices but system "
+                f"has {system.n_devices}; use transfer_allocator(agent, n)"
+            )
+        self._mapper = ActionMapper(
+            system.fleet.max_frequencies, self.action_floor_frac
+        )
+
+    def allocate(self, system) -> np.ndarray:
+        if self._mapper is None:
+            self.reset(system)
+        obs = system.bandwidth_state().ravel()
+        norm = self.normalizer.normalize_frozen(obs)
+        action, _ = self.actor.act(norm, deterministic=True)
+        return self._mapper.to_frequencies(action)
+
+
+def transfer_allocator(
+    agent: PPOAgent, n_devices: int, action_floor_frac: float = 0.1
+) -> TransferredAllocator:
+    """Rebind a trained shared-policy agent to a new fleet size.
+
+    Raises ``TypeError`` when the agent was trained with the dense
+    (fleet-size-locked) architecture.
+    """
+    if not isinstance(agent.actor, SharedGaussianActor):
+        raise TypeError(
+            "transfer requires an agent trained with policy='shared' "
+            f"(got actor type {type(agent.actor).__name__})"
+        )
+    if not isinstance(agent.obs_norm, PerDeviceNormalizer):
+        raise TypeError("transfer requires the per-device observation normalizer")
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    rebound = agent.actor.with_fleet_size(n_devices)
+    return TransferredAllocator(
+        rebound, agent.obs_norm, action_floor_frac=action_floor_frac
+    )

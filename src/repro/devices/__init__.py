@@ -1,0 +1,23 @@
+"""Mobile device models: compute timing (Eq. 1), DVFS energy (Eq. 6) and
+the fleet sampler implementing the paper's Section V parameter ranges."""
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet, FleetConfig, sample_fleet
+from repro.devices.energy import (
+    compute_energy,
+    cycle_budget,
+    frequency_for_deadline,
+    transmission_energy,
+)
+
+__all__ = [
+    "DeviceParams",
+    "MobileDevice",
+    "DeviceFleet",
+    "FleetConfig",
+    "sample_fleet",
+    "compute_energy",
+    "transmission_energy",
+    "cycle_budget",
+    "frequency_for_deadline",
+]

@@ -1,0 +1,164 @@
+"""Mobile device model (Table I / Eqs. 1, 6 of the paper).
+
+Unit conventions (see also :mod:`repro.devices.energy`):
+
+* data size ``D_i``: Mbit;
+* ``c_i``: Gcycles per Mbit (numerically: cycles/bit * 1e-3);
+* frequency ``delta``: GHz, so compute time ``tau c_i D_i / delta`` is in
+  seconds;
+* ``alpha_i``: energy-units per Gcycle per GHz^2;
+* ``e_i``: energy-units per second of transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.energy import compute_energy, cycle_budget, transmission_energy
+from repro.traces.base import BandwidthTrace
+
+#: Conversion: cycles/bit -> Gcycles/Mbit.
+CYCLES_PER_BIT_TO_GC_PER_MBIT = 1e-3
+#: Conversion: megabytes -> Mbit.
+MB_TO_MBIT = 8.0
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Static parameters of one mobile device (Table I)."""
+
+    #: Local dataset size D_i (Mbit).
+    data_mbit: float
+    #: Cycles to train one unit of data, c_i (Gcycles/Mbit).
+    cycles_per_mbit: float
+    #: Maximum CPU-cycle frequency delta_i^max (GHz).
+    max_frequency_ghz: float
+    #: Effective capacitance coefficient alpha_i (energy/Gcycle/GHz^2).
+    alpha: float
+    #: Transmission energy rate e_i (energy units per second).
+    e_tx: float = 0.02
+    #: Number of local training passes per iteration (tau).
+    tau: int = 1
+    #: Whether energy scales with tau (Eq. 6 as printed omits tau).
+    include_tau_in_energy: bool = False
+    #: Idle power draw (energy units per second spent waiting for the
+    #: iteration barrier).  The paper's Eq. (6) neglects idle energy;
+    #: the default 0 is paper-faithful.  A positive value makes idle time
+    #: itself costly, further rewarding DVFS (see the idle-power test).
+    p_idle: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "DeviceParams":
+        if self.data_mbit <= 0:
+            raise ValueError("data_mbit must be positive")
+        if self.cycles_per_mbit <= 0:
+            raise ValueError("cycles_per_mbit must be positive")
+        if self.max_frequency_ghz <= 0:
+            raise ValueError("max_frequency_ghz must be positive")
+        if self.alpha < 0 or self.e_tx < 0:
+            raise ValueError("alpha and e_tx must be non-negative")
+        if self.p_idle < 0:
+            raise ValueError("p_idle must be non-negative")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        return self
+
+    @property
+    def cycles_total_gc(self) -> float:
+        """Per-iteration training cycles ``tau c_i D_i`` (Gcycles)."""
+        return cycle_budget(self.tau, self.cycles_per_mbit, self.data_mbit)
+
+    @classmethod
+    def from_paper_units(
+        cls,
+        data_mb: float,
+        cycles_per_bit: float,
+        max_frequency_ghz: float,
+        alpha: float,
+        e_tx: float = 0.02,
+        tau: int = 1,
+    ) -> "DeviceParams":
+        """Construct from the units used in the paper's Section V
+        (data in MB, c_i in cycles/bit)."""
+        return cls(
+            data_mbit=data_mb * MB_TO_MBIT,
+            cycles_per_mbit=cycles_per_bit * CYCLES_PER_BIT_TO_GC_PER_MBIT,
+            max_frequency_ghz=max_frequency_ghz,
+            alpha=alpha,
+            e_tx=e_tx,
+            tau=tau,
+        ).validate()
+
+
+class MobileDevice:
+    """One federated-learning participant: parameters + bandwidth trace."""
+
+    def __init__(self, params: DeviceParams, trace: BandwidthTrace, device_id: int = 0):
+        self.params = params.validate()
+        self.trace = trace
+        self.device_id = int(device_id)
+
+    # -- Eq. (1): computation time ---------------------------------------
+    def compute_time(self, frequency_ghz: float) -> float:
+        """``t_cmp = tau c_i D_i / delta`` (seconds)."""
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        f = min(frequency_ghz, self.params.max_frequency_ghz)
+        return self.params.cycles_total_gc / f
+
+    # -- Eqs. (2)-(3): communication time under the time-varying trace ---
+    def upload_time(self, start_time: float, model_size_mbit: float) -> float:
+        """Time to upload ``xi`` Mbit starting at ``start_time``.
+
+        Equals Eq. (2) evaluated with the Eq. (3) interval-average
+        bandwidth; computed exactly by inverting the trace's
+        cumulative-volume function.
+        """
+        if model_size_mbit <= 0:
+            raise ValueError("model_size_mbit must be positive")
+        return self.trace.time_to_transfer(start_time, model_size_mbit)
+
+    # -- Eq. (6): energy ---------------------------------------------------
+    def energy(self, frequency_ghz: float, t_com: float) -> float:
+        """``E = alpha c_i D_i delta^2 + e_i t_com`` (energy units)."""
+        f = min(frequency_ghz, self.params.max_frequency_ghz)
+        e_cmp = float(
+            compute_energy(
+                self.params.alpha,
+                self.params.cycles_per_mbit,
+                self.params.data_mbit,
+                f,
+                tau=self.params.tau,
+                include_tau=self.params.include_tau_in_energy,
+            )
+        )
+        return e_cmp + transmission_energy(self.params.e_tx, t_com)
+
+    def clamp_frequency(self, frequency_ghz: float, floor_frac: float = 0.02) -> float:
+        """Clamp a requested frequency into ``(0, delta_max]``.
+
+        A small positive floor keeps Eq. (1) finite; the paper's action
+        space is the half-open interval ``(0, delta_max]``.
+        """
+        lo = floor_frac * self.params.max_frequency_ghz
+        return float(np.clip(frequency_ghz, lo, self.params.max_frequency_ghz))
+
+    def min_iteration_time(self, start_time: float, model_size_mbit: float) -> float:
+        """Lower bound on this device's iteration time (full speed)."""
+        t_cmp = self.compute_time(self.params.max_frequency_ghz)
+        return t_cmp + self.upload_time(start_time + t_cmp, model_size_mbit)
+
+    def with_trace(self, trace: BandwidthTrace) -> "MobileDevice":
+        return MobileDevice(self.params, trace, self.device_id)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        p = self.params
+        return (
+            f"MobileDevice(id={self.device_id}, D={p.data_mbit:.0f} Mbit, "
+            f"c={p.cycles_per_mbit:.3g} Gc/Mbit, fmax={p.max_frequency_ghz:.2f} GHz)"
+        )

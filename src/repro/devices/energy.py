@@ -1,0 +1,77 @@
+"""DVFS energy model of Burd & Brodersen (Eq. 6 of the paper).
+
+Units used throughout the repository:
+
+* CPU-cycle frequency ``delta``: GHz (= 1e9 cycles/s);
+* cycle counts: Gcycles (so ``time = Gcycles / GHz`` is in seconds);
+* effective capacitance ``alpha``: energy-units per Gcycle per GHz^2;
+* energy: abstract "energy units" calibrated so one full-speed testbed
+  iteration costs ~0.5 units per device (matching Fig. 7(c,f) scales).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cycle_budget(tau: int, cycles_per_mbit: float, data_mbit: float) -> float:
+    """Total training cycles per iteration: ``tau * c_i * D_i`` (Gcycles).
+
+    ``cycles_per_mbit`` is ``c_i`` expressed in Gcycles/Mbit, which equals
+    cycles/bit numerically times 1e-3 (1 Gcycle/Mbit = 1000 cycles/bit).
+    """
+    if tau <= 0:
+        raise ValueError("tau must be a positive number of local passes")
+    if cycles_per_mbit <= 0 or data_mbit <= 0:
+        raise ValueError("cycles_per_mbit and data_mbit must be positive")
+    return float(tau) * float(cycles_per_mbit) * float(data_mbit)
+
+
+def compute_energy(
+    alpha: float,
+    cycles_per_mbit: float,
+    data_mbit: float,
+    frequency_ghz,
+    tau: int = 1,
+    include_tau: bool = False,
+) -> np.ndarray:
+    """Computation energy ``alpha * c_i * D_i * delta^2`` (Eq. 6, first term).
+
+    The paper's Eq. (6) omits ``tau`` from the energy term even though the
+    compute-time Eq. (1) includes it; with the paper's implicit tau=1 the
+    two conventions coincide.  Set ``include_tau=True`` to scale energy
+    with the number of local passes.
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    freq = np.asarray(frequency_ghz, dtype=np.float64)
+    if np.any(freq < 0):
+        raise ValueError("frequency must be non-negative")
+    scale = float(tau) if include_tau else 1.0
+    return alpha * cycles_per_mbit * data_mbit * scale * freq**2
+
+
+def transmission_energy(e_unit: float, t_com: float) -> float:
+    """Communication energy ``e_i * t_com`` (Eq. 6, second term)."""
+    if e_unit < 0 or t_com < 0:
+        raise ValueError("e_unit and t_com must be non-negative")
+    return float(e_unit * t_com)
+
+
+def frequency_for_deadline(
+    cycles_gc: float, compute_budget_s, max_frequency_ghz: float
+) -> np.ndarray:
+    """Lowest frequency finishing ``cycles_gc`` within ``compute_budget_s``.
+
+    Returns the clamped frequency ``min(max_f, cycles/budget)``; a budget
+    of zero or less yields ``max_frequency_ghz`` (the device cannot meet
+    the deadline and simply runs flat out).
+    """
+    if cycles_gc <= 0:
+        raise ValueError("cycles_gc must be positive")
+    if max_frequency_ghz <= 0:
+        raise ValueError("max_frequency_ghz must be positive")
+    budget = np.asarray(compute_budget_s, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        needed = np.where(budget > 0, cycles_gc / np.maximum(budget, 1e-12), np.inf)
+    return np.minimum(needed, max_frequency_ghz)

@@ -1,0 +1,193 @@
+"""Fleet sampling per the paper's Section V experimental settings.
+
+"We set the size of training data held by mobile device as a uniform
+distribution within 50-100 MB.  The number of CPU cycles used for
+training a single data sample ... is uniformly distributed within 10-30
+cycles/bit.  The maximum CPU-cycle frequency ... is uniformly distributed
+within 1.0-2.0 GHz."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.device import (
+    CYCLES_PER_BIT_TO_GC_PER_MBIT,
+    MB_TO_MBIT,
+    DeviceParams,
+    MobileDevice,
+)
+from repro.traces.base import BandwidthTrace, TracePool
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class FleetConfig:
+    """Sampling ranges for device parameters (paper Section V defaults)."""
+
+    n_devices: int = 3
+    data_mb_range: Tuple[float, float] = (50.0, 100.0)
+    cycles_per_bit_range: Tuple[float, float] = (10.0, 30.0)
+    max_freq_ghz_range: Tuple[float, float] = (1.0, 2.0)
+    #: Effective capacitance (energy units / Gcycle / GHz^2).  Calibrated
+    #: so the testbed's per-iteration total energy lands in the Fig.
+    #: 7(c,f) band (~1.5 units for an energy-aware allocator).
+    alpha: float = 0.05
+    #: Transmission power (energy units per second of upload).
+    e_tx_range: Tuple[float, float] = (0.005, 0.016)
+    tau: int = 1
+
+    def validate(self) -> "FleetConfig":
+        if self.n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        for name in ("data_mb_range", "cycles_per_bit_range", "max_freq_ghz_range", "e_tx_range"):
+            lo, hi = getattr(self, name)
+            if not (0 < lo <= hi):
+                raise ValueError(f"{name} must satisfy 0 < lo <= hi, got ({lo}, {hi})")
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        return self
+
+
+def sample_fleet(
+    config: FleetConfig,
+    traces: Sequence[BandwidthTrace],
+    rng: SeedLike = None,
+) -> "DeviceFleet":
+    """Sample device parameters and pair them with the given traces."""
+    config.validate()
+    if len(traces) != config.n_devices:
+        raise ValueError(
+            f"need one trace per device: {config.n_devices} devices, {len(traces)} traces"
+        )
+    rng = as_generator(rng)
+    devices: List[MobileDevice] = []
+    for i in range(config.n_devices):
+        params = DeviceParams(
+            data_mbit=rng.uniform(*config.data_mb_range) * MB_TO_MBIT,
+            cycles_per_mbit=rng.uniform(*config.cycles_per_bit_range)
+            * CYCLES_PER_BIT_TO_GC_PER_MBIT,
+            max_frequency_ghz=rng.uniform(*config.max_freq_ghz_range),
+            alpha=config.alpha,
+            e_tx=rng.uniform(*config.e_tx_range),
+            tau=config.tau,
+        )
+        devices.append(MobileDevice(params, traces[i], device_id=i))
+    return DeviceFleet(devices)
+
+
+class DeviceFleet:
+    """An ordered collection of :class:`MobileDevice` with vector views.
+
+    The vector properties (``max_frequencies``, ``cycle_budgets``, ...)
+    let the simulator and baselines operate on whole-fleet numpy arrays
+    instead of per-device Python loops.
+    """
+
+    def __init__(self, devices: Sequence[MobileDevice]):
+        devices = list(devices)
+        if not devices:
+            raise ValueError("fleet must contain at least one device")
+        self.devices = devices
+        self._max_freq = np.array(
+            [d.params.max_frequency_ghz for d in devices], dtype=np.float64
+        )
+        self._cycles = np.array(
+            [d.params.cycles_total_gc for d in devices], dtype=np.float64
+        )
+        self._alpha_cd = np.array(
+            [
+                d.params.alpha * d.params.cycles_per_mbit * d.params.data_mbit
+                for d in devices
+            ],
+            dtype=np.float64,
+        )
+        self._e_tx = np.array([d.params.e_tx for d in devices], dtype=np.float64)
+        self._p_idle = np.array([d.params.p_idle for d in devices], dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def __getitem__(self, i: int) -> MobileDevice:
+        return self.devices[i]
+
+    @property
+    def n(self) -> int:
+        return len(self.devices)
+
+    @property
+    def max_frequencies(self) -> np.ndarray:
+        """delta_i^max vector (GHz)."""
+        return self._max_freq
+
+    @property
+    def cycle_budgets(self) -> np.ndarray:
+        """tau c_i D_i vector (Gcycles) — numerator of Eq. (1)."""
+        return self._cycles
+
+    @property
+    def energy_coefficients(self) -> np.ndarray:
+        """alpha_i c_i D_i vector — coefficient of delta^2 in Eq. (6)."""
+        return self._alpha_cd
+
+    @property
+    def tx_powers(self) -> np.ndarray:
+        """e_i vector (energy units / s)."""
+        return self._e_tx
+
+    @property
+    def idle_powers(self) -> np.ndarray:
+        """p_idle vector (energy units / s of barrier wait); zeros in the
+        paper-faithful configuration."""
+        return self._p_idle
+
+    def clamp_frequencies(self, freqs, floor_frac: float = 0.02) -> np.ndarray:
+        """Elementwise clamp into ``(0, delta_max]`` (vectorized)."""
+        freqs = np.asarray(freqs, dtype=np.float64)
+        if freqs.shape != (self.n,):
+            raise ValueError(f"expected {self.n} frequencies, got shape {freqs.shape}")
+        lo = floor_frac * self._max_freq
+        return np.clip(freqs, lo, self._max_freq)
+
+    def compute_times(self, freqs) -> np.ndarray:
+        """Vectorized Eq. (1) across the fleet."""
+        freqs = np.asarray(freqs, dtype=np.float64)
+        if np.any(freqs <= 0):
+            raise ValueError("all frequencies must be positive")
+        return self._cycles / np.minimum(freqs, self._max_freq)
+
+    def compute_energies(self, freqs) -> np.ndarray:
+        """Vectorized first term of Eq. (6)."""
+        freqs = np.minimum(np.asarray(freqs, dtype=np.float64), self._max_freq)
+        return self._alpha_cd * freqs**2
+
+    def with_traces(self, traces: Sequence[BandwidthTrace]) -> "DeviceFleet":
+        if len(traces) != self.n:
+            raise ValueError("need one trace per device")
+        return DeviceFleet(
+            [d.with_trace(t) for d, t in zip(self.devices, traces)]
+        )
+
+    @classmethod
+    def from_pool(
+        cls,
+        config: FleetConfig,
+        pool: TracePool,
+        rng: SeedLike = None,
+    ) -> "DeviceFleet":
+        """Sample a fleet whose traces are drawn from ``pool``.
+
+        Reproduces the paper's 50-device setup: each device randomly
+        selects one of the pool's (five) walking traces.
+        """
+        rng = as_generator(rng)
+        traces = pool.assign(config.n_devices, rng=rng)
+        return sample_fleet(config, traces, rng=rng)

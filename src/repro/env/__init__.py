@@ -1,0 +1,17 @@
+"""Gym-style environment exposing the FL scheduling problem to DRL.
+
+State, action and reward follow Section IV.B of the paper exactly:
+state = per-device bandwidth history (H+1 slots), action = per-device
+CPU-cycle frequency in ``(0, delta_max]``, reward = Eq. (13).
+"""
+
+from repro.env.fl_env import EnvConfig, FLSchedulingEnv, StepResult
+from repro.env.wrappers import ActionMapper, NoisyObservationWrapper
+
+__all__ = [
+    "FLSchedulingEnv",
+    "EnvConfig",
+    "StepResult",
+    "ActionMapper",
+    "NoisyObservationWrapper",
+]

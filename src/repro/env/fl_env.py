@@ -1,0 +1,134 @@
+"""The FL computational-resource-allocation environment (Fig. 5).
+
+Each environment step is one synchronized federated-learning iteration:
+
+* **state** ``s_k``: the flattened ``(N, H+1)`` bandwidth-history matrix
+  (Section IV.B.1);
+* **action** ``a_k``: a raw policy vector mapped by
+  :class:`repro.env.wrappers.ActionMapper` onto per-device frequencies
+  ``delta_i^k in (0, delta_i^max]`` (Section IV.B.2);
+* **reward** ``r_k = -T^k - lambda sum_i E_i^k`` (Eq. 13).
+
+Optionally the environment co-simulates actual FedAvg training (a
+:class:`repro.fl.FederatedTrainer`), terminating the episode early when
+the Eq. (10) loss constraint ``F(omega) <= epsilon`` is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.env.wrappers import ActionMapper
+from repro.rl.spaces import Box
+from repro.sim.iteration import IterationResult
+from repro.sim.system import FLSystem
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class EnvConfig:
+    """Episode configuration."""
+
+    episode_length: int = 64
+    #: Lowest frequency fraction the action can select.
+    action_floor_frac: float = 0.1
+    #: Randomize the start time t^1 on every reset (Algorithm 1, line 6).
+    random_start: bool = True
+
+    def validate(self) -> "EnvConfig":
+        if self.episode_length <= 0:
+            raise ValueError("episode_length must be positive")
+        if not 0.0 < self.action_floor_frac < 1.0:
+            raise ValueError("action_floor_frac must be in (0, 1)")
+        return self
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """The (s', r, done, info) tuple plus the raw iteration record."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    info: Dict[str, float]
+    iteration: IterationResult
+
+
+class FLSchedulingEnv:
+    """Gym-style wrapper around :class:`repro.sim.system.FLSystem`."""
+
+    def __init__(
+        self,
+        system: FLSystem,
+        config: Optional[EnvConfig] = None,
+        fl_trainer=None,
+        rng: SeedLike = None,
+    ):
+        self.system = system
+        self.config = (config or EnvConfig()).validate()
+        self.fl_trainer = fl_trainer
+        self.rng = as_generator(rng)
+        self.mapper = ActionMapper(
+            system.fleet.max_frequencies, self.config.action_floor_frac
+        )
+        n = system.n_devices
+        h = system.config.history_slots + 1
+        self.observation_space = Box(low=0.0, high=np.inf, shape=(n * h,))
+        self.action_space = Box(low=-1.0, high=1.0, shape=(n,))
+        self._steps = 0
+
+    @property
+    def obs_dim(self) -> int:
+        return self.observation_space.dim
+
+    @property
+    def act_dim(self) -> int:
+        return self.action_space.dim
+
+    def _observe(self) -> np.ndarray:
+        return self.system.bandwidth_state().ravel()
+
+    def reset(self, start_time: Optional[float] = None) -> np.ndarray:
+        """Start a new episode; returns the initial observation ``s_1``."""
+        if start_time is not None:
+            self.system.reset(start_time)
+        elif self.config.random_start:
+            self.system.reset_random(self.rng)
+        else:
+            self.system.reset(0.0)
+        self._steps = 0
+        return self._observe()
+
+    def step(self, raw_action: np.ndarray) -> StepResult:
+        """Advance one federated-learning iteration."""
+        freqs = self.mapper.to_frequencies(raw_action)
+        result = self.system.step(freqs)
+        self._steps += 1
+        done = self._steps >= self.config.episode_length
+        info: Dict[str, float] = {
+            "cost": result.cost,
+            "iteration_time_s": result.iteration_time,
+            "total_energy": result.total_energy,
+            "clock": self.system.clock,
+        }
+        if self.fl_trainer is not None:
+            global_loss = self.fl_trainer.run_round()
+            info["global_loss"] = global_loss
+            if global_loss <= self.fl_trainer.config.epsilon:
+                # Eq. (10): quality threshold reached — learning finished.
+                done = True
+                info["converged"] = 1.0
+        return StepResult(
+            observation=self._observe(),
+            reward=result.reward,
+            done=done,
+            info=info,
+            iteration=result,
+        )
+
+    def frequencies_to_action(self, freqs: np.ndarray) -> np.ndarray:
+        """Expose the inverse action map (testing/behaviour cloning)."""
+        return self.mapper.to_raw(freqs)

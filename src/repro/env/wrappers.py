@@ -1,0 +1,102 @@
+"""Action mapping and observation wrappers.
+
+The Gaussian policy emits unbounded real vectors.  :class:`ActionMapper`
+squashes them into the paper's action set ``(0, delta_max]`` per device:
+
+    frac_i = floor + (1 + clip(a_i, -1, 1)) / 2 * (1 - floor)
+    delta_i = frac_i * delta_max_i
+
+A raw action of 0 (the freshly initialized policy mean) therefore maps to
+mid-range frequencies, giving PPO a sensible starting operating point.
+
+:class:`NoisyObservationWrapper` injects multiplicative measurement noise
+into the bandwidth-history state — real slot measurements come from
+imperfect throughput sampling, and the robustness test
+(``tests/test_core_online.py``) checks the trained policy tolerates it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class ActionMapper:
+    """Bijective-on-[-1,1] map from policy outputs to frequencies (GHz)."""
+
+    def __init__(self, max_frequencies: np.ndarray, floor_frac: float = 0.1):
+        if not 0.0 < floor_frac < 1.0:
+            raise ValueError("floor_frac must be in (0, 1)")
+        self.max_frequencies = np.asarray(max_frequencies, dtype=np.float64)
+        if np.any(self.max_frequencies <= 0):
+            raise ValueError("max frequencies must be positive")
+        self.floor_frac = float(floor_frac)
+
+    @property
+    def n(self) -> int:
+        return self.max_frequencies.size
+
+    def to_frequencies(self, raw_action: np.ndarray) -> np.ndarray:
+        """Map a raw policy action to clamped frequencies."""
+        a = np.clip(np.asarray(raw_action, dtype=np.float64).ravel(), -1.0, 1.0)
+        if a.size != self.n:
+            raise ValueError(f"expected action of size {self.n}, got {a.size}")
+        frac = self.floor_frac + 0.5 * (1.0 + a) * (1.0 - self.floor_frac)
+        return frac * self.max_frequencies
+
+    def to_raw(self, frequencies: np.ndarray) -> np.ndarray:
+        """Inverse map (frequencies inside the range; used in tests)."""
+        f = np.asarray(frequencies, dtype=np.float64).ravel()
+        frac = f / self.max_frequencies
+        frac = np.clip(frac, self.floor_frac, 1.0)
+        return 2.0 * (frac - self.floor_frac) / (1.0 - self.floor_frac) - 1.0
+
+
+class NoisyObservationWrapper:
+    """Wraps an :class:`repro.env.fl_env.FLSchedulingEnv` with
+    multiplicative log-normal noise on the bandwidth observations.
+
+    ``sigma`` is the log-std of the noise factor; 0 disables it.  Actions
+    and rewards pass through untouched — only what the *policy sees* is
+    corrupted, modelling imperfect throughput measurement.
+    """
+
+    def __init__(self, env, sigma: float = 0.1, rng: SeedLike = None):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.env = env
+        self.sigma = float(sigma)
+        self.rng = as_generator(rng)
+
+    def _corrupt(self, obs: np.ndarray) -> np.ndarray:
+        if self.sigma == 0.0:
+            return obs
+        factors = np.exp(self.rng.standard_normal(obs.shape) * self.sigma)
+        return obs * factors
+
+    # -- pass-through surface ------------------------------------------------
+    @property
+    def obs_dim(self) -> int:
+        return self.env.obs_dim
+
+    @property
+    def act_dim(self) -> int:
+        return self.env.act_dim
+
+    @property
+    def system(self):
+        return self.env.system
+
+    @property
+    def config(self):
+        return self.env.config
+
+    def reset(self, start_time=None) -> np.ndarray:
+        return self._corrupt(self.env.reset(start_time))
+
+    def step(self, raw_action: np.ndarray):
+        result = self.env.step(raw_action)
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(result, observation=self._corrupt(result.observation))

@@ -1,0 +1,57 @@
+"""Experiment harness: presets, evaluation runner and per-figure modules.
+
+Each paper figure has a module (``fig2``, ``fig6``, ``fig7``, ``fig8``)
+whose ``run_*`` function regenerates the corresponding rows/series; the
+benchmarks under ``benchmarks/`` call these and print paper-vs-measured
+tables.
+"""
+
+from repro.experiments.presets import (
+    ExperimentPreset,
+    SIMULATION_PRESET,
+    TESTBED_PRESET,
+    build_env,
+    build_system,
+    build_traces,
+)
+from repro.experiments.runner import EvaluationResult, EvaluationRunner
+from repro.experiments.metrics import MethodMetrics, collect_metrics
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.convergence import ConvergenceResult, run_convergence
+from repro.experiments.generalization import GeneralizationResult, run_generalization
+from repro.experiments.stats import MultiSeedResult, run_multi_seed
+from repro.experiments.sync_async import SyncAsyncResult, run_sync_async
+
+__all__ = [
+    "ExperimentPreset",
+    "TESTBED_PRESET",
+    "SIMULATION_PRESET",
+    "build_traces",
+    "build_system",
+    "build_env",
+    "EvaluationRunner",
+    "EvaluationResult",
+    "MethodMetrics",
+    "collect_metrics",
+    "run_fig2",
+    "run_fig3",
+    "Fig3Result",
+    "run_fig6",
+    "Fig6Result",
+    "run_fig7",
+    "Fig7Result",
+    "run_fig8",
+    "Fig8Result",
+    "run_convergence",
+    "ConvergenceResult",
+    "run_generalization",
+    "GeneralizationResult",
+    "run_multi_seed",
+    "MultiSeedResult",
+    "run_sync_async",
+    "SyncAsyncResult",
+]

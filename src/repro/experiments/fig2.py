@@ -1,0 +1,58 @@
+"""Fig. 2 — bandwidth dynamics of the trace substrate.
+
+Regenerates the evidence behind the paper's motivation: (a) three 4G/LTE
+walking traces whose speed swings between <1 MB/s and ~9 MB/s within a
+400 s window; (b) an HSDPA bus trace fluctuating in [0, 800 KB/s].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.traces.analysis import fluctuation_report
+from repro.traces.base import BandwidthTrace
+from repro.traces.synthetic import hsdpa_bus_trace, lte_walking_trace
+from repro.utils.rng import RngFactory, SeedLike
+
+MBPS_PER_MBYTE = 8.0  # Mbit/s per MB/s
+KBPS_PER_MBIT = 125.0  # KB/s per Mbit/s
+
+
+@dataclass
+class Fig2Result:
+    walking_traces: List[BandwidthTrace]
+    hsdpa_trace: BandwidthTrace
+    report: Dict[str, Dict[str, float]]
+
+    def walking_range_mbytes(self) -> Dict[str, tuple]:
+        """Per-trace (min, max) in MB/s over the 400 s window."""
+        out = {}
+        for t in self.walking_traces:
+            stats = self.report[t.name]
+            out[t.name] = (
+                stats["min_mbps"] / MBPS_PER_MBYTE,
+                stats["max_mbps"] / MBPS_PER_MBYTE,
+            )
+        return out
+
+    def hsdpa_range_kbytes(self) -> tuple:
+        stats = self.report[self.hsdpa_trace.name]
+        return (
+            stats["min_mbps"] * KBPS_PER_MBIT,
+            stats["max_mbps"] * KBPS_PER_MBIT,
+        )
+
+
+def run_fig2(seed: SeedLike = 0, window_s: float = 400.0) -> Fig2Result:
+    """Generate the Fig. 2 traces and their fluctuation report."""
+    rngs = RngFactory(seed)
+    walking = [
+        lte_walking_trace(rng=rng, name=f"walking-{i}")
+        for i, rng in enumerate(rngs.spawn("fig2-walking", 3))
+    ]
+    hsdpa = hsdpa_bus_trace(rng=rngs.get("fig2-hsdpa"), name="hsdpa-bus")
+    report = fluctuation_report(walking + [hsdpa], window_s=window_s)
+    return Fig2Result(walking_traces=walking, hsdpa_trace=hsdpa, report=report)

@@ -1,0 +1,64 @@
+"""Fig. 3 — the motivation: idle time under full-speed training.
+
+The paper's Fig. 3 illustrates one iteration in which the slowest device
+determines the iteration time while faster devices sit idle after their
+upload — "unnecessary idle time" that DVFS can convert into energy
+savings.  This experiment quantifies that: it runs the full-speed
+allocator and reports per-device idle fractions and the energy an oracle
+DVFS policy recovers at (almost) no time cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines import FullSpeedAllocator, OracleAllocator
+from repro.experiments.presets import ExperimentPreset, TESTBED_PRESET, build_system
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class Fig3Result:
+    idle_fractions: np.ndarray       # per-device mean idle / iteration time
+    fullspeed_energy: float
+    oracle_energy: float
+    fullspeed_time: float
+    oracle_time: float
+
+    @property
+    def energy_saving(self) -> float:
+        """Fraction of full-speed energy the DVFS oracle recovers."""
+        return float(1.0 - self.oracle_energy / self.fullspeed_energy)
+
+    @property
+    def time_penalty(self) -> float:
+        """Relative iteration-time increase the oracle pays for it."""
+        return float(self.oracle_time / self.fullspeed_time - 1.0)
+
+
+def run_fig3(
+    preset: ExperimentPreset = TESTBED_PRESET,
+    n_iterations: int = 200,
+    seed: SeedLike = 0,
+    start_time: float = 60.0,
+) -> Fig3Result:
+    """Quantify idle time under full speed and the recoverable energy."""
+    system = build_system(preset, seed)
+    system.reset(start_time)
+    full = system.run(FullSpeedAllocator(), n_iterations)
+
+    system = build_system(preset, seed)
+    system.reset(start_time)
+    oracle = system.run(OracleAllocator(), n_iterations)
+
+    idle = np.stack([r.idle_times / max(r.iteration_time, 1e-12) for r in full])
+    return Fig3Result(
+        idle_fractions=idle.mean(axis=0),
+        fullspeed_energy=float(np.mean([r.total_energy for r in full])),
+        oracle_energy=float(np.mean([r.total_energy for r in oracle])),
+        fullspeed_time=float(np.mean([r.iteration_time for r in full])),
+        oracle_time=float(np.mean([r.iteration_time for r in oracle])),
+    )

@@ -1,0 +1,65 @@
+"""Fig. 8 — scalability simulation: 50 devices, lambda = 0.1.
+
+"We randomly select five walking datasets and let each mobile device
+randomly select one dataset. ... we set lambda = 0.1, and all the other
+parameters are the same as in the testbed experiment."  Paper averages:
+DRL 11.2, heuristic 14.3, static 17.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines import HeuristicAllocator, StaticAllocator
+from repro.core.drl_allocator import DRLAllocator
+from repro.core.trainer import OfflineTrainer, TrainerConfig
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.metrics import MethodMetrics, relative_gap
+from repro.experiments.presets import ExperimentPreset, SIMULATION_PRESET
+from repro.experiments.runner import EvaluationResult, EvaluationRunner
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class Fig8Result:
+    evaluation: EvaluationResult
+    trainer: Optional[OfflineTrainer]
+
+    def cost_series(self, name: str) -> np.ndarray:
+        """Per-iteration system cost — the series Fig. 8 plots."""
+        return self.evaluation.metrics[name].costs
+
+    def averages(self) -> dict:
+        return {
+            name: m.avg_cost for name, m in self.evaluation.metrics.items()
+        }
+
+    def drl_wins(self) -> bool:
+        ranking = self.evaluation.ranking()
+        return ranking[0] == "drl"
+
+
+def run_fig8(
+    preset: ExperimentPreset = SIMULATION_PRESET,
+    n_episodes: int = 200,
+    eval_iterations: Optional[int] = None,
+    seed: SeedLike = 0,
+    trainer_config: Optional[TrainerConfig] = None,
+) -> Fig8Result:
+    """Train on the 50-device simulation preset and evaluate all methods."""
+    fig6 = run_fig6(
+        preset, n_episodes=n_episodes, seed=seed, trainer_config=trainer_config
+    )
+    n_iter = eval_iterations or preset.eval_iterations
+    runner = EvaluationRunner(preset, seed=seed)
+    evaluation = runner.evaluate(
+        [DRLAllocator(fig6.trainer.agent), HeuristicAllocator()],
+        n_iterations=n_iter,
+    )
+    evaluation.metrics["static"] = runner.evaluate_pooled(
+        lambda s: StaticAllocator(rng=s), "static", (1, 2, 3), n_iter
+    )
+    return Fig8Result(evaluation=evaluation, trainer=fig6.trainer)

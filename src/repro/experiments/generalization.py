@@ -1,0 +1,110 @@
+"""Generalization study: does the trained policy transfer across
+network environments?
+
+The paper trains its agent offline on walking 4G traces and deploys it
+online on the same kind of network.  A natural robustness question for a
+downstream user is what happens when the deployment network differs from
+the training network (e.g. the user boards a bus).  This experiment
+trains on one mobility scenario and evaluates the frozen policy on every
+other scenario, against the heuristic baseline evaluated natively there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import HeuristicAllocator, OracleAllocator
+from repro.core.drl_allocator import DRLAllocator
+from repro.core.trainer import OfflineTrainer, TrainerConfig
+from repro.devices.fleet import sample_fleet
+from repro.env.fl_env import EnvConfig, FLSchedulingEnv
+from repro.experiments.metrics import collect_metrics
+from repro.experiments.presets import ExperimentPreset, TESTBED_PRESET
+from repro.sim.system import FLSystem
+from repro.traces.synthetic import SCENARIOS, scenario_trace
+from repro.utils.rng import RngFactory, SeedLike
+
+
+@dataclass
+class TransferCell:
+    """DRL vs heuristic vs oracle on one deployment scenario."""
+
+    drl_cost: float
+    heuristic_cost: float
+    oracle_cost: float
+
+    @property
+    def drl_vs_heuristic(self) -> float:
+        """Negative = DRL still beats the native heuristic."""
+        return self.drl_cost / self.heuristic_cost - 1.0
+
+
+@dataclass
+class GeneralizationResult:
+    train_scenario: str
+    cells: Dict[str, TransferCell]
+
+    def scenarios_where_drl_wins(self) -> list:
+        return [s for s, c in self.cells.items() if c.drl_cost < c.heuristic_cost]
+
+
+def _scenario_system(
+    scenario: str, preset: ExperimentPreset, seed: SeedLike
+) -> FLSystem:
+    rngs = RngFactory(seed)
+    traces = [
+        scenario_trace(
+            scenario,
+            n_slots=preset.trace_slots,
+            slot_duration=preset.slot_duration,
+            rng=rng,
+        )
+        for rng in rngs.spawn(f"traces-{scenario}", preset.n_devices)
+    ]
+    fleet = sample_fleet(
+        replace(preset.fleet, n_devices=preset.n_devices),
+        traces,
+        rng=rngs.get("fleet"),
+    )
+    return FLSystem(fleet, preset.system_config())
+
+
+def run_generalization(
+    train_scenario: str = "walking",
+    eval_scenarios: Optional[Sequence[str]] = None,
+    preset: ExperimentPreset = TESTBED_PRESET,
+    n_episodes: int = 400,
+    eval_iterations: int = 200,
+    seed: SeedLike = 0,
+) -> GeneralizationResult:
+    """Train on one scenario, deploy on the others."""
+    eval_scenarios = list(eval_scenarios or sorted(SCENARIOS))
+
+    train_system = _scenario_system(train_scenario, preset, seed)
+    env = FLSchedulingEnv(
+        train_system, EnvConfig(episode_length=preset.episode_length), rng=1
+    )
+    trainer = OfflineTrainer(env, TrainerConfig(n_episodes=n_episodes), rng=seed)
+    trainer.train()
+    drl = DRLAllocator(trainer.agent)
+
+    cells: Dict[str, TransferCell] = {}
+    for scenario in eval_scenarios:
+        costs = {}
+        for allocator in (drl, HeuristicAllocator(), OracleAllocator()):
+            system = _scenario_system(scenario, preset, seed)
+            system.reset(80.0)
+            results = system.run(allocator, eval_iterations)
+            metrics = collect_metrics(
+                allocator.name, results, time_unit_s=preset.time_unit_s
+            )
+            costs[allocator.name] = metrics.avg_cost
+        cells[scenario] = TransferCell(
+            drl_cost=costs["drl"],
+            heuristic_cost=costs["heuristic"],
+            oracle_cost=costs["oracle"],
+        )
+    return GeneralizationResult(train_scenario=train_scenario, cells=cells)

@@ -1,0 +1,71 @@
+"""Per-method evaluation metrics: means, CDFs and comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sim.iteration import IterationResult
+from repro.utils.stats import EmpiricalCDF, describe
+
+
+@dataclass
+class MethodMetrics:
+    """Aggregated per-iteration series for one allocator."""
+
+    name: str
+    costs: np.ndarray
+    times: np.ndarray          # in display time units
+    energies: np.ndarray
+
+    @property
+    def avg_cost(self) -> float:
+        return float(self.costs.mean())
+
+    @property
+    def avg_time(self) -> float:
+        return float(self.times.mean())
+
+    @property
+    def avg_energy(self) -> float:
+        return float(self.energies.mean())
+
+    def cost_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.costs)
+
+    def time_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.times)
+
+    def energy_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.energies)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "cost": describe(self.costs),
+            "time": describe(self.times),
+            "energy": describe(self.energies),
+        }
+
+
+def collect_metrics(
+    name: str,
+    results: Sequence[IterationResult],
+    time_unit_s: float = 1.0,
+) -> MethodMetrics:
+    """Build :class:`MethodMetrics` from raw iteration records."""
+    if not results:
+        raise ValueError("no iteration results to collect")
+    costs = np.array([r.cost for r in results], dtype=np.float64)
+    times = np.array(
+        [r.iteration_time / time_unit_s for r in results], dtype=np.float64
+    )
+    energies = np.array([r.total_energy for r in results], dtype=np.float64)
+    return MethodMetrics(name=name, costs=costs, times=times, energies=energies)
+
+
+def relative_gap(baseline: MethodMetrics, method: MethodMetrics) -> float:
+    """How much worse ``baseline`` is than ``method`` on mean cost
+    (positive = method wins), e.g. the paper's "35% higher" statements."""
+    return float((baseline.avg_cost - method.avg_cost) / method.avg_cost)

@@ -1,0 +1,103 @@
+"""Evaluation runner: drive several allocators over identical systems.
+
+Fair comparison requires every allocator to face the same fleet, the same
+traces and the same start time; each gets its own :class:`FLSystem`
+instance (clocks diverge as soon as decisions differ — that is the
+physics of the problem, not an unfairness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.experiments.metrics import MethodMetrics, collect_metrics
+from repro.experiments.presets import ExperimentPreset, build_system
+from repro.sim.iteration import IterationResult
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class EvaluationResult:
+    """Evaluation output for a set of allocators on one preset."""
+
+    preset_name: str
+    n_iterations: int
+    metrics: Dict[str, MethodMetrics]
+    raw: Dict[str, List[IterationResult]]
+
+    def method(self, name: str) -> MethodMetrics:
+        return self.metrics[name]
+
+    def ranking(self) -> List[str]:
+        """Method names sorted by ascending mean cost (best first)."""
+        return sorted(self.metrics, key=lambda m: self.metrics[m].avg_cost)
+
+
+class EvaluationRunner:
+    """Runs allocators over ``n_iterations`` from a common start time."""
+
+    def __init__(
+        self,
+        preset: ExperimentPreset,
+        seed: SeedLike = 0,
+        start_time: Optional[float] = None,
+        rng: SeedLike = 123,
+    ):
+        self.preset = preset
+        self.seed = seed
+        rng = as_generator(rng)
+        if start_time is None:
+            # A start away from t=0 so the history window is well defined.
+            margin = (preset.history_slots + 1) * preset.slot_duration
+            start_time = margin + float(rng.uniform(0.0, preset.trace_slots / 4))
+        self.start_time = float(start_time)
+
+    def run_one(self, allocator: Allocator, n_iterations: int) -> List[IterationResult]:
+        """Run a single allocator on a fresh copy of the preset's system."""
+        system = build_system(self.preset, self.seed)
+        system.reset(self.start_time)
+        return system.run(allocator, n_iterations)
+
+    def evaluate(
+        self,
+        allocators: Sequence[Allocator],
+        n_iterations: Optional[int] = None,
+    ) -> EvaluationResult:
+        n_iter = int(n_iterations or self.preset.eval_iterations)
+        metrics: Dict[str, MethodMetrics] = {}
+        raw: Dict[str, List[IterationResult]] = {}
+        for allocator in allocators:
+            results = self.run_one(allocator, n_iter)
+            raw[allocator.name] = results
+            metrics[allocator.name] = collect_metrics(
+                allocator.name, results, time_unit_s=self.preset.time_unit_s
+            )
+        return EvaluationResult(
+            preset_name=self.preset.name,
+            n_iterations=n_iter,
+            metrics=metrics,
+            raw=raw,
+        )
+
+    def evaluate_pooled(
+        self,
+        make_allocator,
+        name: str,
+        seeds: Sequence[int],
+        n_iterations: Optional[int] = None,
+    ) -> MethodMetrics:
+        """Evaluate a randomized allocator pooled over several seeds.
+
+        The Static baseline's cost depends heavily on which bandwidth
+        samples its setup probe happens to draw; pooling the per-iteration
+        series over ``seeds`` reports the scheme rather than one draw.
+        """
+        n_iter = int(n_iterations or self.preset.eval_iterations)
+        all_results: List[IterationResult] = []
+        for seed in seeds:
+            all_results.extend(self.run_one(make_allocator(seed), n_iter))
+        return collect_metrics(name, all_results, time_unit_s=self.preset.time_unit_s)

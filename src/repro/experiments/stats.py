@@ -1,0 +1,95 @@
+"""Multi-seed experiment statistics.
+
+Single-seed comparisons can flatter or punish a method by luck;
+:func:`run_multi_seed` repeats an evaluation across seeds (fresh fleet,
+traces and start time each) and reports per-method mean, std and a
+normal-approximation confidence interval, plus the fraction of seeds on
+which each method ranked first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.base import Allocator
+from repro.experiments.presets import ExperimentPreset, TESTBED_PRESET
+from repro.experiments.runner import EvaluationRunner
+
+
+@dataclass
+class MethodStats:
+    """Across-seed statistics of one method's average cost."""
+
+    name: str
+    costs: np.ndarray           # one avg cost per seed
+    win_fraction: float
+
+    @property
+    def mean(self) -> float:
+        return float(self.costs.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.costs.std(ddof=1)) if self.costs.size > 1 else 0.0
+
+    def confidence_interval(self, z: float = 1.96):
+        half = z * self.std / np.sqrt(max(self.costs.size, 1))
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass
+class MultiSeedResult:
+    per_method: Dict[str, MethodStats]
+    n_seeds: int
+
+    def ranking(self) -> List[str]:
+        return sorted(self.per_method, key=lambda m: self.per_method[m].mean)
+
+    def dominant(self, a: str, b: str) -> bool:
+        """Does method ``a`` beat ``b`` on every seed?"""
+        return bool(np.all(self.per_method[a].costs < self.per_method[b].costs))
+
+
+def run_multi_seed(
+    allocator_factories: Dict[str, Callable[[int], Allocator]],
+    preset: ExperimentPreset = TESTBED_PRESET,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    n_iterations: int = 200,
+) -> MultiSeedResult:
+    """Evaluate every method on every seed's (fleet, traces, start).
+
+    ``allocator_factories`` maps method name -> factory taking the seed
+    (so trained or seed-randomized allocators can be rebuilt per seed).
+    """
+    if not allocator_factories:
+        raise ValueError("need at least one allocator factory")
+    names = list(allocator_factories)
+    costs = {name: [] for name in names}
+    wins = {name: 0 for name in names}
+    for seed in seeds:
+        runner = EvaluationRunner(preset, seed=seed, rng=1000 + seed)
+        seed_costs = {}
+        for name in names:
+            allocator = allocator_factories[name](seed)
+            results = runner.run_one(allocator, n_iterations)
+            seed_costs[name] = float(
+                np.mean([r.cost for r in results])
+            )
+        for name in names:
+            costs[name].append(seed_costs[name])
+        wins[min(seed_costs, key=seed_costs.get)] += 1
+    n = len(list(seeds))
+    return MultiSeedResult(
+        per_method={
+            name: MethodStats(
+                name=name,
+                costs=np.asarray(costs[name]),
+                win_fraction=wins[name] / n,
+            )
+            for name in names
+        },
+        n_seeds=n,
+    )

@@ -1,0 +1,147 @@
+"""Synchronous vs asynchronous federated learning on the same substrate.
+
+The paper adopts the synchronous model "which has been shown to be more
+efficient than asynchronous models" [14].  This experiment tests that on
+our substrate: train the *same* FedAvg task to the *same* Eq. (10) loss
+threshold under (a) synchronized iterations and (b) the event-driven
+asynchronous server of :mod:`repro.sim.async_system`, and compare
+wall-clock time and total energy to target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.fleet import DeviceFleet
+from repro.fl.data import make_federated_dataset
+from repro.fl.training import FederatedTrainer, FLTrainingConfig
+from repro.fl.client import LocalTrainConfig
+from repro.sim.async_system import AsyncFLSystem
+from repro.sim.system import FLSystem
+from repro.experiments.presets import ExperimentPreset, TESTBED_PRESET, build_fleet
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class ModeResult:
+    """Time/energy to reach the loss target in one mode."""
+
+    wall_clock_s: float
+    total_energy: float
+    rounds_or_updates: int
+    converged: bool
+    final_loss: float
+
+
+@dataclass
+class SyncAsyncResult:
+    sync: ModeResult
+    async_: ModeResult
+
+    @property
+    def sync_faster(self) -> bool:
+        return self.sync.wall_clock_s <= self.async_.wall_clock_s
+
+    @property
+    def time_ratio(self) -> float:
+        """async wall clock / sync wall clock (>1 means sync faster)."""
+        return self.async_.wall_clock_s / max(self.sync.wall_clock_s, 1e-12)
+
+
+def _make_trainer(n_devices: int, epsilon: float, seed: SeedLike) -> FederatedTrainer:
+    dataset = make_federated_dataset(
+        n_devices,
+        samples_per_device=120,
+        n_features=12,
+        n_classes=4,
+        non_iid_alpha=0.4,
+        class_sep=1.0,
+        noise=1.2,
+        rng=seed,
+    )
+    return FederatedTrainer(
+        dataset,
+        FLTrainingConfig(
+            model="softmax",
+            epsilon=epsilon,
+            max_rounds=10_000,
+            local=LocalTrainConfig(tau=1, learning_rate=0.05),
+        ),
+        rng=seed,
+    )
+
+
+def _run_sync(
+    fleet: DeviceFleet,
+    trainer: FederatedTrainer,
+    preset: ExperimentPreset,
+    frequencies: np.ndarray,
+    max_rounds: int,
+    start_time: float,
+) -> ModeResult:
+    system = FLSystem(fleet, preset.system_config())
+    system.reset(start_time)
+    total_energy = 0.0
+    loss = float("inf")
+    for round_idx in range(1, max_rounds + 1):
+        result = system.step(frequencies)
+        total_energy += result.total_energy
+        loss = trainer.run_round()
+        if loss <= trainer.config.epsilon:
+            return ModeResult(
+                wall_clock_s=system.clock - start_time,
+                total_energy=total_energy,
+                rounds_or_updates=round_idx,
+                converged=True,
+                final_loss=loss,
+            )
+    return ModeResult(
+        wall_clock_s=system.clock - start_time,
+        total_energy=total_energy,
+        rounds_or_updates=max_rounds,
+        converged=False,
+        final_loss=loss,
+    )
+
+
+def run_sync_async(
+    preset: ExperimentPreset = TESTBED_PRESET,
+    epsilon: float = 0.55,
+    frequencies: Optional[np.ndarray] = None,
+    max_rounds: int = 400,
+    mixing: float = 0.6,
+    seed: SeedLike = 0,
+    start_time: float = 60.0,
+) -> SyncAsyncResult:
+    """Run both modes on identical fleets/tasks and compare."""
+    fleet = build_fleet(preset, seed=seed)
+    if frequencies is None:
+        frequencies = fleet.max_frequencies * 0.8
+
+    sync_trainer = _make_trainer(preset.n_devices, epsilon, seed)
+    sync = _run_sync(fleet, sync_trainer, preset, frequencies, max_rounds, start_time)
+
+    async_trainer = _make_trainer(preset.n_devices, epsilon, seed)
+    async_system = AsyncFLSystem(
+        build_fleet(preset, seed=seed),
+        async_trainer,
+        preset.system_config(),
+        mixing=mixing,
+    )
+    async_result = async_system.run(
+        frequencies,
+        max_time=max(sync.wall_clock_s * 20, 1e4),
+        max_updates=max_rounds * preset.n_devices * 4,
+        start_time=start_time,
+    )
+    async_mode = ModeResult(
+        wall_clock_s=async_result.wall_clock,
+        total_energy=async_result.total_energy,
+        rounds_or_updates=async_result.n_updates,
+        converged=async_result.converged,
+        final_loss=async_result.final_loss,
+    )
+    return SyncAsyncResult(sync=sync, async_=async_mode)

@@ -1,0 +1,60 @@
+"""Federated learning substrate: FedAvg over numpy models.
+
+Implements the learning side of the paper's system model (Section III.A):
+local gradient-descent training of a shared model ``omega`` for ``tau``
+passes per iteration, upload to a parameter server, weighted averaging
+(Eq. 8) and loss-threshold stopping (Eq. 10).
+"""
+
+from repro.fl.data import (
+    FederatedDataset,
+    dirichlet_partition,
+    make_classification_data,
+    make_federated_dataset,
+)
+from repro.fl.models import MLPClassifier, SoftmaxRegression, init_model
+from repro.fl.client import FLClient, LocalTrainConfig
+from repro.fl.server import ParameterServer
+from repro.fl.training import FederatedTrainer, FLTrainingConfig, FLTrainingResult
+from repro.fl.selection import (
+    ClientSelector,
+    FullParticipation,
+    RandomSelector,
+    ResourceAwareSelector,
+    get_selector,
+)
+from repro.fl.compression import (
+    IdentityCompressor,
+    TopKSparsifier,
+    UniformQuantizer,
+    compressed_model_size,
+    compression_error,
+    get_compressor,
+)
+
+__all__ = [
+    "FederatedDataset",
+    "make_classification_data",
+    "dirichlet_partition",
+    "make_federated_dataset",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "init_model",
+    "FLClient",
+    "LocalTrainConfig",
+    "ParameterServer",
+    "FederatedTrainer",
+    "FLTrainingConfig",
+    "FLTrainingResult",
+    "ClientSelector",
+    "FullParticipation",
+    "RandomSelector",
+    "ResourceAwareSelector",
+    "get_selector",
+    "IdentityCompressor",
+    "UniformQuantizer",
+    "TopKSparsifier",
+    "get_compressor",
+    "compressed_model_size",
+    "compression_error",
+]

@@ -1,0 +1,85 @@
+"""FL client: tau passes of local minibatch SGD (the paper's local step)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.fl.models import BaseClassifier
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class LocalTrainConfig:
+    """Local-training hyperparameters."""
+
+    tau: int = 1              # local passes per global iteration (Table I)
+    batch_size: int = 32
+    learning_rate: float = 0.1
+
+    def validate(self) -> "LocalTrainConfig":
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        return self
+
+
+class FLClient:
+    """One device's training logic.
+
+    The client receives the global weights, runs ``tau`` epochs of
+    minibatch SGD over its local shard and returns the updated weights —
+    exactly the "train the model by tau times" step of Section III.A.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        x: np.ndarray,
+        y: np.ndarray,
+        model_template: BaseClassifier,
+        config: LocalTrainConfig = None,
+        rng: SeedLike = None,
+    ):
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have matching first dimension")
+        if x.shape[0] == 0:
+            raise ValueError("client shard must be non-empty")
+        self.client_id = int(client_id)
+        self.x = np.asarray(x, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.int64)
+        self.model = model_template.clone()
+        self.config = (config or LocalTrainConfig()).validate()
+        self.rng = as_generator(rng)
+
+    @property
+    def n_samples(self) -> int:
+        return self.x.shape[0]
+
+    def local_update(self, global_weights: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Run tau local epochs from ``global_weights``.
+
+        Returns ``(new_weights, post_update_local_loss)``.
+        """
+        cfg = self.config
+        self.model.set_weights(global_weights)
+        n = self.n_samples
+        for _ in range(cfg.tau):
+            perm = self.rng.permutation(n)
+            for start in range(0, n, cfg.batch_size):
+                idx = perm[start : start + cfg.batch_size]
+                _, grad = self.model.loss_and_grad(self.x[idx], self.y[idx])
+                weights = self.model.get_weights()
+                self.model.set_weights(weights - cfg.learning_rate * grad)
+        final_loss = self.model.loss(self.x, self.y)
+        return self.model.get_weights(), float(final_loss)
+
+    def evaluate(self, global_weights: np.ndarray) -> Tuple[float, float]:
+        """Local loss F_i(omega) (Eq. 7) and accuracy at given weights."""
+        self.model.set_weights(global_weights)
+        return float(self.model.loss(self.x, self.y)), self.model.accuracy(self.x, self.y)

@@ -1,0 +1,183 @@
+"""Model-update compression: the other lever on communication time.
+
+The paper fixes the upload payload ``xi`` and optimizes compute speed;
+the communication-efficiency line of work it cites (Konecny et al. [2],
+[8]) shrinks ``xi`` itself.  This module implements the two standard
+lossy schemes so the interplay can be studied on the same substrate:
+
+* :class:`UniformQuantizer` — stochastic uniform quantization to ``b``
+  bits per weight (unbiased: ``E[decode(encode(w))] = w``);
+* :class:`TopKSparsifier` — keep the ``k`` largest-magnitude entries
+  (transmitting value + index pairs).
+
+Both expose ``compress(weights) -> CompressedUpdate`` with an exact
+``payload_mbit`` accounting, and ``decompress`` back to a dense vector,
+so a compressed federated round is: client update -> compress ->
+(simulated) upload of ``payload_mbit`` -> decompress -> aggregate.
+:func:`compressed_model_size` feeds the simulator's ``xi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+#: Bits used per transmitted index in sparse encodings.
+INDEX_BITS = 32
+#: Bits per float in the uncompressed baseline.
+FLOAT_BITS = 32
+
+
+@dataclass
+class CompressedUpdate:
+    """A compressed weight vector plus its exact wire size."""
+
+    data: dict
+    n_params: int
+    payload_mbit: float
+    scheme: str
+
+    @property
+    def compression_ratio(self) -> float:
+        """Uncompressed bits / compressed bits (>1 means smaller)."""
+        raw = self.n_params * FLOAT_BITS / 1e6
+        return raw / max(self.payload_mbit, 1e-12)
+
+
+class IdentityCompressor:
+    """No-op baseline (full float32 payload)."""
+
+    name = "identity"
+
+    def compress(self, weights: np.ndarray) -> CompressedUpdate:
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        return CompressedUpdate(
+            data={"weights": weights.copy()},
+            n_params=weights.size,
+            payload_mbit=weights.size * FLOAT_BITS / 1e6,
+            scheme=self.name,
+        )
+
+    def decompress(self, update: CompressedUpdate) -> np.ndarray:
+        return update.data["weights"].copy()
+
+
+class UniformQuantizer:
+    """Stochastic uniform quantization to ``bits`` per weight.
+
+    The range ``[min, max]`` is split into ``2^bits - 1`` levels; each
+    weight rounds up or down with probability proportional to its
+    position in the cell, making the quantizer unbiased.  The payload is
+    ``n * bits`` plus two floats for the range.
+    """
+
+    name = "quantize"
+
+    def __init__(self, bits: int = 8, rng: SeedLike = None):
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be in [1, 16]")
+        self.bits = int(bits)
+        self.rng = as_generator(rng)
+
+    def compress(self, weights: np.ndarray) -> CompressedUpdate:
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        lo, hi = float(weights.min()), float(weights.max())
+        span = hi - lo
+        levels = 2**self.bits - 1
+        if span <= 0:
+            codes = np.zeros(weights.size, dtype=np.uint32)
+        else:
+            pos = (weights - lo) / span * levels
+            floor = np.floor(pos)
+            frac = pos - floor
+            codes = (floor + (self.rng.random(weights.size) < frac)).astype(np.uint32)
+        payload = (weights.size * self.bits + 2 * FLOAT_BITS) / 1e6
+        return CompressedUpdate(
+            data={"codes": codes, "lo": lo, "hi": hi},
+            n_params=weights.size,
+            payload_mbit=payload,
+            scheme=f"{self.name}-{self.bits}b",
+        )
+
+    def decompress(self, update: CompressedUpdate) -> np.ndarray:
+        codes = update.data["codes"]
+        lo, hi = update.data["lo"], update.data["hi"]
+        levels = 2**self.bits - 1
+        if hi <= lo:
+            return np.full(update.n_params, lo)
+        return lo + codes.astype(np.float64) / levels * (hi - lo)
+
+
+class TopKSparsifier:
+    """Transmit only the ``k`` largest-magnitude entries (value+index)."""
+
+    name = "topk"
+
+    def __init__(self, k_fraction: float = 0.1):
+        if not 0.0 < k_fraction <= 1.0:
+            raise ValueError("k_fraction must be in (0, 1]")
+        self.k_fraction = float(k_fraction)
+
+    def _k(self, n: int) -> int:
+        return max(1, int(round(self.k_fraction * n)))
+
+    def compress(self, weights: np.ndarray) -> CompressedUpdate:
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        k = self._k(weights.size)
+        idx = np.argpartition(np.abs(weights), -k)[-k:]
+        payload = k * (FLOAT_BITS + INDEX_BITS) / 1e6
+        return CompressedUpdate(
+            data={"indices": idx.astype(np.int64), "values": weights[idx].copy()},
+            n_params=weights.size,
+            payload_mbit=payload,
+            scheme=f"{self.name}-{self.k_fraction:g}",
+        )
+
+    def decompress(self, update: CompressedUpdate) -> np.ndarray:
+        out = np.zeros(update.n_params)
+        out[update.data["indices"]] = update.data["values"]
+        return out
+
+
+COMPRESSORS = {
+    "identity": IdentityCompressor,
+    "quantize": UniformQuantizer,
+    "topk": TopKSparsifier,
+}
+
+
+def get_compressor(name: str, **kwargs):
+    """Instantiate a compressor by registry name."""
+    try:
+        cls = COMPRESSORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {sorted(COMPRESSORS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def compressed_model_size(n_params: int, compressor) -> float:
+    """The effective ``xi`` (Mbit) a scheme produces for a given model.
+
+    Uses a representative compress call on a zero vector where the
+    payload is data-independent (quantizer, top-k, identity all qualify).
+    """
+    if n_params <= 0:
+        raise ValueError("n_params must be positive")
+    update = compressor.compress(np.zeros(n_params))
+    return update.payload_mbit
+
+
+def compression_error(weights: np.ndarray, compressor) -> float:
+    """Relative L2 reconstruction error of one compress/decompress trip."""
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    restored = compressor.decompress(compressor.compress(weights))
+    denom = np.linalg.norm(weights)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(restored - weights) / denom)

@@ -1,0 +1,207 @@
+"""Numpy classification models trained on-device.
+
+Models expose a flat-vector parameter view (``get_weights`` /
+``set_weights``) so the parameter server can average raw vectors — the
+``omega`` of the paper — independent of architecture.  The loss is
+cross-entropy, matching Eq. (7)'s per-sample loss ``f_j(omega)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def _one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    out = np.zeros((y.size, n_classes), dtype=np.float64)
+    out[np.arange(y.size), y] = 1.0
+    return out
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class BaseClassifier:
+    """Interface shared by the on-device models."""
+
+    n_params: int
+
+    def get_weights(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def set_weights(self, flat: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        return self.loss_and_grad(x, y)[0]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == y))
+
+    def clone(self) -> "BaseClassifier":
+        raise NotImplementedError
+
+    @property
+    def model_size_mbit(self) -> float:
+        """Size of the serialized parameters ``xi`` in Mbit (float32)."""
+        return self.n_params * 32 / 1e6
+
+
+class SoftmaxRegression(BaseClassifier):
+    """Multinomial logistic regression with L2 regularization."""
+
+    def __init__(self, n_features: int, n_classes: int, l2: float = 1e-4, rng: SeedLike = None):
+        if n_features <= 0 or n_classes <= 1:
+            raise ValueError("need n_features >= 1 and n_classes >= 2")
+        rng = as_generator(rng)
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.l2 = float(l2)
+        self.W = rng.standard_normal((n_features, n_classes)) * 0.01
+        self.b = np.zeros(n_classes)
+        self.n_params = self.W.size + self.b.size
+
+    def get_weights(self) -> np.ndarray:
+        return np.concatenate([self.W.ravel(), self.b])
+
+    def set_weights(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.size != self.n_params:
+            raise ValueError(f"expected {self.n_params} params, got {flat.size}")
+        self.W = flat[: self.W.size].reshape(self.n_features, self.n_classes).copy()
+        self.b = flat[self.W.size :].copy()
+
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = x.shape[0]
+        probs = _softmax(x @ self.W + self.b)
+        eps = 1e-12
+        nll = -np.log(probs[np.arange(n), y] + eps).mean()
+        loss = float(nll + 0.5 * self.l2 * np.sum(self.W * self.W))
+        delta = (probs - _one_hot(y, self.n_classes)) / n
+        grad_w = x.T @ delta + self.l2 * self.W
+        grad_b = delta.sum(axis=0)
+        return loss, np.concatenate([grad_w.ravel(), grad_b])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(x @ self.W + self.b, axis=1)
+
+    def clone(self) -> "SoftmaxRegression":
+        model = SoftmaxRegression(self.n_features, self.n_classes, self.l2, rng=0)
+        model.set_weights(self.get_weights())
+        return model
+
+
+class MLPClassifier(BaseClassifier):
+    """One-hidden-layer tanh MLP classifier (a heavier local model)."""
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        hidden: int = 32,
+        l2: float = 1e-4,
+        rng: SeedLike = None,
+    ):
+        if hidden <= 0:
+            raise ValueError("hidden must be positive")
+        rng = as_generator(rng)
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.hidden = hidden
+        self.l2 = float(l2)
+        s1 = np.sqrt(2.0 / n_features)
+        s2 = np.sqrt(2.0 / hidden)
+        self.W1 = rng.standard_normal((n_features, hidden)) * s1
+        self.b1 = np.zeros(hidden)
+        self.W2 = rng.standard_normal((hidden, n_classes)) * s2
+        self.b2 = np.zeros(n_classes)
+        self.n_params = self.W1.size + self.b1.size + self.W2.size + self.b2.size
+
+    def get_weights(self) -> np.ndarray:
+        return np.concatenate(
+            [self.W1.ravel(), self.b1, self.W2.ravel(), self.b2]
+        )
+
+    def set_weights(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.size != self.n_params:
+            raise ValueError(f"expected {self.n_params} params, got {flat.size}")
+        i = 0
+        for attr, shape in (
+            ("W1", (self.n_features, self.hidden)),
+            ("b1", (self.hidden,)),
+            ("W2", (self.hidden, self.n_classes)),
+            ("b2", (self.n_classes,)),
+        ):
+            size = int(np.prod(shape))
+            setattr(self, attr, flat[i : i + size].reshape(shape).copy())
+            i += size
+
+    def _forward(self, x: np.ndarray):
+        h = np.tanh(x @ self.W1 + self.b1)
+        logits = h @ self.W2 + self.b2
+        return h, logits
+
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = x.shape[0]
+        h, logits = self._forward(x)
+        probs = _softmax(logits)
+        eps = 1e-12
+        nll = -np.log(probs[np.arange(n), y] + eps).mean()
+        reg = 0.5 * self.l2 * (np.sum(self.W1**2) + np.sum(self.W2**2))
+        loss = float(nll + reg)
+        delta2 = (probs - _one_hot(y, self.n_classes)) / n
+        grad_w2 = h.T @ delta2 + self.l2 * self.W2
+        grad_b2 = delta2.sum(axis=0)
+        delta1 = (delta2 @ self.W2.T) * (1.0 - h * h)
+        grad_w1 = x.T @ delta1 + self.l2 * self.W1
+        grad_b1 = delta1.sum(axis=0)
+        return loss, np.concatenate(
+            [grad_w1.ravel(), grad_b1, grad_w2.ravel(), grad_b2]
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        _, logits = self._forward(np.asarray(x, dtype=np.float64))
+        return np.argmax(logits, axis=1)
+
+    def clone(self) -> "MLPClassifier":
+        model = MLPClassifier(
+            self.n_features, self.n_classes, self.hidden, self.l2, rng=0
+        )
+        model.set_weights(self.get_weights())
+        return model
+
+
+MODEL_REGISTRY = {
+    "softmax": SoftmaxRegression,
+    "mlp": MLPClassifier,
+}
+
+
+def init_model(
+    kind: str, n_features: int, n_classes: int, rng: SeedLike = None, **kwargs
+) -> BaseClassifier:
+    """Construct a model by registry name (``softmax`` or ``mlp``)."""
+    try:
+        cls = MODEL_REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {kind!r}; available: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return cls(n_features, n_classes, rng=rng, **kwargs)

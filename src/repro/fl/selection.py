@@ -1,0 +1,118 @@
+"""Client selection strategies.
+
+The paper assumes full participation; its related work (Nishio &
+Yonetani [38]) selects a resource-aware subset each round.  This module
+implements selection as an orthogonal layer over the simulator so the
+participation ablation (``benchmarks/test_extensions.py``) can quantify
+how partial participation interacts with frequency scheduling.
+
+Selectors return a boolean participation mask for the round, computed
+from causally-available information only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class ClientSelector:
+    """Interface: map (system, round index) to a participation mask."""
+
+    name = "selector"
+
+    def select(self, system, k: int) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate_k(n: int, k: int) -> int:
+        if not 1 <= k <= n:
+            raise ValueError(f"k must be in [1, {n}], got {k}")
+        return int(k)
+
+
+class FullParticipation(ClientSelector):
+    """Everyone trains every round (the paper's setting)."""
+
+    name = "full"
+
+    def select(self, system, k: int = None) -> np.ndarray:
+        return np.ones(system.n_devices, dtype=bool)
+
+
+class RandomSelector(ClientSelector):
+    """Uniformly random k-subset per round (FedAvg's classic sampling)."""
+
+    name = "random"
+
+    def __init__(self, rng: SeedLike = None):
+        self.rng = as_generator(rng)
+
+    def select(self, system, k: int) -> np.ndarray:
+        n = system.n_devices
+        k = self._validate_k(n, k)
+        mask = np.zeros(n, dtype=bool)
+        mask[self.rng.permutation(n)[:k]] = True
+        return mask
+
+
+class ResourceAwareSelector(ClientSelector):
+    """Pick the k devices with the best estimated completion time.
+
+    Estimate = full-speed compute time + upload time from the freshest
+    bandwidth observation (Nishio-style FedCS greedy selection).  A
+    fairness temperature softens the ranking so slow devices are not
+    starved forever: with ``temperature > 0`` selection is a softmax
+    sample weighted by negative estimated time.
+    """
+
+    name = "resource-aware"
+
+    def __init__(self, temperature: float = 0.0, rng: SeedLike = None):
+        if temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        self.temperature = float(temperature)
+        self.rng = as_generator(rng)
+
+    def _estimated_times(self, system) -> np.ndarray:
+        est_bw = system.last_observed_bandwidths()
+        if est_bw is None:
+            est_bw = system.current_bandwidths()
+        est_bw = np.maximum(np.nan_to_num(est_bw, nan=1e-6), 1e-6)
+        t_cmp = system.fleet.cycle_budgets / system.fleet.max_frequencies
+        return t_cmp + system.config.model_size_mbit / est_bw
+
+    def select(self, system, k: int) -> np.ndarray:
+        n = system.n_devices
+        k = self._validate_k(n, k)
+        times = self._estimated_times(system)
+        mask = np.zeros(n, dtype=bool)
+        if self.temperature == 0.0:
+            mask[np.argsort(times)[:k]] = True
+            return mask
+        scores = -times / (self.temperature * max(times.mean(), 1e-12))
+        scores -= scores.max()
+        probs = np.exp(scores)
+        probs /= probs.sum()
+        picked = self.rng.choice(n, size=k, replace=False, p=probs)
+        mask[picked] = True
+        return mask
+
+
+SELECTORS = {
+    "full": FullParticipation,
+    "random": RandomSelector,
+    "resource-aware": ResourceAwareSelector,
+}
+
+
+def get_selector(name: str, **kwargs) -> ClientSelector:
+    """Instantiate a selector by registry name."""
+    try:
+        cls = SELECTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown selector {name!r}; available: {sorted(SELECTORS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,70 @@
+"""Parameter server: FedAvg aggregation (Eq. 8)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.models import BaseClassifier
+
+
+class ParameterServer:
+    """Holds the global model ``omega`` and aggregates client updates.
+
+    Aggregation is the data-size-weighted average of Eq. (8):
+    ``omega = sum_i (D_i / sum_n D_n) * omega_i``.
+    """
+
+    def __init__(self, model: BaseClassifier):
+        self.model = model
+        self._round = 0
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def global_weights(self) -> np.ndarray:
+        """The weights clients download at iteration start."""
+        return self.model.get_weights()
+
+    def aggregate(
+        self,
+        client_weights: Sequence[np.ndarray],
+        client_sizes: Sequence[float],
+    ) -> np.ndarray:
+        """FedAvg step; returns (and installs) the new global weights."""
+        if len(client_weights) == 0:
+            raise ValueError("no client updates to aggregate")
+        if len(client_weights) != len(client_sizes):
+            raise ValueError("one size per client update required")
+        sizes = np.asarray(client_sizes, dtype=np.float64)
+        if np.any(sizes <= 0):
+            raise ValueError("client sizes must be positive")
+        stacked = np.stack([np.asarray(w, dtype=np.float64) for w in client_weights])
+        if stacked.shape[1] != self.model.n_params:
+            raise ValueError(
+                f"weight vectors of size {stacked.shape[1]} do not fit model "
+                f"with {self.model.n_params} parameters"
+            )
+        weights = sizes / sizes.sum()
+        new_global = weights @ stacked
+        self.model.set_weights(new_global)
+        self._round += 1
+        return new_global
+
+    def global_loss(
+        self,
+        client_losses: Sequence[float],
+        client_sizes: Sequence[float],
+    ) -> float:
+        """Global loss F(omega) as the Eq. (8) weighted client-loss sum."""
+        losses = np.asarray(client_losses, dtype=np.float64)
+        sizes = np.asarray(client_sizes, dtype=np.float64)
+        if losses.shape != sizes.shape:
+            raise ValueError("losses and sizes must align")
+        return float(np.sum(losses * sizes) / np.sum(sizes))
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+        """Centralized test loss/accuracy of the current global model."""
+        return float(self.model.loss(x, y)), self.model.accuracy(x, y)

@@ -1,0 +1,128 @@
+"""End-to-end federated training loop with Eq. (10) stopping.
+
+:class:`FederatedTrainer` runs synchronous FedAvg rounds until the global
+loss drops below ``epsilon`` (constraint (10)) or ``max_rounds`` is hit.
+It is deliberately independent of the timing simulator; the
+:class:`repro.env.FLSchedulingEnv` couples the two when a fully integrated
+run is wanted (see ``examples/fedavg_training.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.fl.client import FLClient, LocalTrainConfig
+from repro.fl.data import FederatedDataset
+from repro.fl.models import init_model
+from repro.fl.server import ParameterServer
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+
+
+@dataclass
+class FLTrainingConfig:
+    """Configuration of a federated training run."""
+
+    model: str = "softmax"
+    epsilon: float = 0.35          # loss-quality threshold of Eq. (10)
+    max_rounds: int = 100          # K upper bound
+    local: LocalTrainConfig = field(default_factory=LocalTrainConfig)
+    model_kwargs: dict = field(default_factory=dict)
+
+    def validate(self) -> "FLTrainingConfig":
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+        self.local.validate()
+        return self
+
+
+@dataclass
+class FLTrainingResult:
+    """Round-by-round history of one federated run."""
+
+    global_losses: List[float]
+    test_losses: List[float]
+    test_accuracies: List[float]
+    rounds_run: int
+    converged: bool
+
+    @property
+    def final_loss(self) -> float:
+        return self.global_losses[-1]
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.test_accuracies[-1]
+
+
+class FederatedTrainer:
+    """Synchronous FedAvg driver over a :class:`FederatedDataset`."""
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        config: Optional[FLTrainingConfig] = None,
+        rng: SeedLike = None,
+    ):
+        self.dataset = dataset
+        self.config = (config or FLTrainingConfig()).validate()
+        rng = as_generator(rng)
+        model_rng, *client_rngs = spawn_generators(rng, dataset.n_devices + 1)
+        template = init_model(
+            self.config.model,
+            dataset.n_features,
+            dataset.n_classes,
+            rng=model_rng,
+            **self.config.model_kwargs,
+        )
+        self.server = ParameterServer(template.clone())
+        self.clients = [
+            FLClient(i, x, y, template, self.config.local, rng=client_rngs[i])
+            for i, (x, y) in enumerate(dataset.shards)
+        ]
+
+    @property
+    def model_size_mbit(self) -> float:
+        """The upload payload ``xi`` implied by the model architecture."""
+        return self.server.model.model_size_mbit
+
+    def run_round(self) -> float:
+        """One synchronous FedAvg iteration; returns the global loss."""
+        global_w = self.server.global_weights()
+        updates, losses, sizes = [], [], []
+        for client in self.clients:
+            new_w, loss = client.local_update(global_w)
+            updates.append(new_w)
+            losses.append(loss)
+            sizes.append(client.n_samples)
+        self.server.aggregate(updates, sizes)
+        return self.server.global_loss(losses, sizes)
+
+    def run(self) -> FLTrainingResult:
+        """Train until ``F(omega) <= epsilon`` (Eq. 10) or ``max_rounds``."""
+        cfg = self.config
+        global_losses: List[float] = []
+        test_losses: List[float] = []
+        test_accs: List[float] = []
+        converged = False
+        for _ in range(cfg.max_rounds):
+            global_losses.append(self.run_round())
+            t_loss, t_acc = self.server.evaluate(
+                self.dataset.test_x, self.dataset.test_y
+            )
+            test_losses.append(t_loss)
+            test_accs.append(t_acc)
+            if global_losses[-1] <= cfg.epsilon:
+                converged = True
+                break
+        return FLTrainingResult(
+            global_losses=global_losses,
+            test_losses=test_losses,
+            test_accuracies=test_accs,
+            rounds_run=len(global_losses),
+            converged=converged,
+        )

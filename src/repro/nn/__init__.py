@@ -1,0 +1,54 @@
+"""Minimal, numpy-vectorized neural-network library.
+
+The paper trains a small MLP actor-critic with PPO.  PyTorch is not a
+dependency of this reproduction; instead this package provides exact
+manual backpropagation (gradient-checked against finite differences in
+``tests/test_nn_gradients.py``) for the layer types the agent needs.
+
+Design notes (per the HPC guides): every forward/backward is a handful of
+BLAS-backed matrix ops over contiguous ``float64`` arrays — there are no
+per-element Python loops in the hot path.
+"""
+
+from repro.nn.initializers import he_init, orthogonal_init, xavier_init
+from repro.nn.modules import (
+    MLP,
+    Identity,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+)
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.schedules import ConstantSchedule, LinearSchedule
+from repro.nn.distributions import DiagGaussian
+from repro.nn.losses import huber_loss, mse_loss
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "Softplus",
+    "Identity",
+    "Sequential",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "ConstantSchedule",
+    "LinearSchedule",
+    "DiagGaussian",
+    "mse_loss",
+    "huber_loss",
+    "xavier_init",
+    "he_init",
+    "orthogonal_init",
+]

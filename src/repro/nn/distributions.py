@@ -1,0 +1,96 @@
+"""Diagonal-Gaussian action distribution with analytic derivatives.
+
+The PPO actor outputs a mean vector per state; the log standard deviation
+is a free, state-independent parameter (the common PPO parameterization).
+This module provides ``sample``, ``log_prob`` and ``entropy`` together
+with the exact partial derivatives the PPO update needs:
+
+* ``dlogp/dmean  = (a - mu) / sigma^2``
+* ``dlogp/dlogstd = ((a - mu)/sigma)^2 - 1``   (per dimension)
+* ``dH/dlogstd   = 1``                          (per dimension)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class DiagGaussian:
+    """A batch of independent diagonal Gaussians ``N(mean, diag(std^2))``.
+
+    Parameters
+    ----------
+    mean:
+        ``(B, A)`` mean matrix.
+    log_std:
+        ``(A,)`` shared log standard deviation (state-independent).
+    """
+
+    def __init__(self, mean: np.ndarray, log_std: np.ndarray):
+        self.mean = np.atleast_2d(np.asarray(mean, dtype=np.float64))
+        self.log_std = np.asarray(log_std, dtype=np.float64).ravel()
+        if self.mean.shape[1] != self.log_std.shape[0]:
+            raise ValueError(
+                f"mean dim {self.mean.shape[1]} != log_std dim {self.log_std.shape[0]}"
+            )
+        self.std = np.exp(self.log_std)
+
+    @property
+    def batch(self) -> int:
+        return self.mean.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.mean.shape[1]
+
+    def sample(self, rng: SeedLike = None) -> np.ndarray:
+        """Draw one action per batch row (reparameterized form)."""
+        rng = as_generator(rng)
+        noise = rng.standard_normal(self.mean.shape)
+        return self.mean + self.std * noise
+
+    def mode(self) -> np.ndarray:
+        """Deterministic action (the mean) — used for online reasoning."""
+        return self.mean.copy()
+
+    def log_prob(self, actions: np.ndarray) -> np.ndarray:
+        """Per-row log density, shape ``(B,)``."""
+        actions = np.atleast_2d(np.asarray(actions, dtype=np.float64))
+        z = (actions - self.mean) / self.std
+        return -0.5 * np.sum(z * z, axis=1) - np.sum(self.log_std) - 0.5 * self.dim * _LOG_2PI
+
+    def entropy(self) -> float:
+        """Entropy (identical for every batch row)."""
+        return float(np.sum(self.log_std) + 0.5 * self.dim * (1.0 + _LOG_2PI))
+
+    # -- analytic derivatives for the policy-gradient update -------------
+    def log_prob_grads(self, actions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(dlogp/dmean, dlogp/dlog_std)``.
+
+        Shapes: ``(B, A)`` and ``(B, A)``.  The log_std gradient is per
+        batch row *before* summation so callers can weight rows (e.g. by
+        the PPO ratio term) and then reduce.
+        """
+        actions = np.atleast_2d(np.asarray(actions, dtype=np.float64))
+        z = (actions - self.mean) / self.std
+        d_mean = z / self.std
+        d_log_std = z * z - 1.0
+        return d_mean, d_log_std
+
+    def entropy_grad_log_std(self) -> np.ndarray:
+        """``dH/dlog_std`` — a ones vector of shape ``(A,)``."""
+        return np.ones_like(self.log_std)
+
+    def kl_divergence(self, other: "DiagGaussian") -> np.ndarray:
+        """Per-row ``KL(self || other)`` — a PPO early-stop diagnostic."""
+        if self.dim != other.dim:
+            raise ValueError("KL between distributions of different dims")
+        var_ratio = (self.std / other.std) ** 2
+        mean_term = ((self.mean - other.mean) / other.std) ** 2
+        return 0.5 * np.sum(var_ratio + mean_term - 1.0 - np.log(var_ratio), axis=1)

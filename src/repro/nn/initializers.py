@@ -1,0 +1,60 @@
+"""Weight initialization schemes.
+
+Orthogonal initialization with per-layer gain is the standard choice for
+PPO policies (it keeps early policy outputs near-deterministic and small);
+Xavier/He are provided for the supervised FL models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def xavier_init(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """Glorot-uniform initialization, suited to tanh networks."""
+    rng = as_generator(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(np.float64)
+
+
+def he_init(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """He-normal initialization, suited to ReLU networks."""
+    rng = as_generator(rng)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal((fan_in, fan_out)) * std).astype(np.float64)
+
+
+def orthogonal_init(
+    fan_in: int, fan_out: int, gain: float = 1.0, rng: SeedLike = None
+) -> np.ndarray:
+    """Orthogonal initialization (Saxe et al.) with scale ``gain``."""
+    rng = as_generator(rng)
+    a = rng.standard_normal((fan_in, fan_out))
+    # Economy QR of the taller orientation, then slice back.
+    if fan_in < fan_out:
+        a = a.T
+    q, r = np.linalg.qr(a)
+    # Sign correction so the distribution is uniform over orthogonal matrices.
+    q *= np.sign(np.diag(r))
+    if fan_in < fan_out:
+        q = q.T
+    return (gain * q[:fan_in, :fan_out]).astype(np.float64)
+
+
+INITIALIZERS = {
+    "xavier": xavier_init,
+    "he": he_init,
+    "orthogonal": orthogonal_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises ``KeyError`` with options."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,50 @@
+"""Scalar losses with analytic gradients.
+
+Each loss returns ``(value, grad_wrt_prediction)`` so callers can feed the
+gradient straight into ``Module.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared error over all elements."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    diff = pred - target
+    n = pred.size
+    value = float(np.sum(diff * diff) / n)
+    grad = (2.0 / n) * diff
+    return value, grad
+
+
+def huber_loss(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> Tuple[float, np.ndarray]:
+    """Huber (smooth-L1) loss; robust alternative for the critic."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff <= delta
+    n = pred.size
+    value = float(
+        np.sum(
+            np.where(
+                quadratic, 0.5 * diff * diff, delta * (abs_diff - 0.5 * delta)
+            )
+        )
+        / n
+    )
+    grad = np.where(quadratic, diff, delta * np.sign(diff)) / n
+    return value, grad

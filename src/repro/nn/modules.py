@@ -1,0 +1,262 @@
+"""Layers with exact manual backpropagation.
+
+The contract every :class:`Module` obeys:
+
+* ``forward(x)`` consumes a batch ``(B, in)`` and returns ``(B, out)``,
+  caching whatever the backward pass needs;
+* ``backward(grad_out)`` consumes ``dL/d(output)`` of the *most recent*
+  forward, **accumulates** ``dL/d(param)`` into each parameter's ``grad``
+  and returns ``dL/d(input)``;
+* ``zero_grad()`` clears accumulated gradients.
+
+This mirrors the torch autograd surface closely enough that the RL code
+reads naturally, while staying pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient buffer."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class; subclasses define ``forward``/``backward``."""
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- persistence -----------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        out = {}
+        for i, p in enumerate(self.parameters()):
+            out[f"{prefix}p{i}"] = p.data.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        params = self.parameters()
+        for i, p in enumerate(params):
+            key = f"{prefix}p{i}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key} in state dict")
+            arr = np.asarray(state[key], dtype=np.float64)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: checkpoint {arr.shape} vs model {p.data.shape}"
+                )
+            p.data[...] = arr
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with cached input for backward."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        init: str = "orthogonal",
+        gain: float = np.sqrt(2.0),
+        rng: SeedLike = None,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        rng = as_generator(rng)
+        initializer = get_initializer(init)
+        if init == "orthogonal":
+            w = initializer(in_features, out_features, gain=gain, rng=rng)
+        else:
+            w = initializer(in_features, out_features, rng=rng)
+        self.W = Parameter(w, "W")
+        self.b = Parameter(np.zeros(out_features), "b")
+        self.in_features = in_features
+        self.out_features = out_features
+        self._x: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected (B, {self.in_features}); got {x.shape}"
+            )
+        self._x = x
+        return x @ self.W.data + self.b.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        self.W.grad += self._x.T @ grad_out
+        self.b.grad += grad_out.sum(axis=0)
+        return grad_out @ self.W.data.T
+
+
+class _Activation(Module):
+    """Stateless elementwise activation with cached forward context."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[np.ndarray] = None
+
+
+class Tanh(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.tanh(x)
+        self._cache = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._cache**2)
+
+
+class ReLU(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x > 0
+        return np.where(self._cache, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._cache
+
+
+class Sigmoid(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        self._cache = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._cache * (1.0 - self._cache)
+
+
+class Softplus(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x
+        return np.logaddexp(0.0, x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out / (1.0 + np.exp(-self._cache))
+
+
+class Identity(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+ACTIVATIONS = {
+    "tanh": Tanh,
+    "relu": ReLU,
+    "sigmoid": Sigmoid,
+    "softplus": Softplus,
+    "identity": Identity,
+}
+
+
+class Sequential(Module):
+    """Composes modules; backward runs the chain in reverse."""
+
+    def __init__(self, layers: Sequence[Module]):
+        self.layers = list(layers)
+
+    def parameters(self) -> List[Parameter]:
+        out: List[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __iter__(self):
+        return iter(self.layers)
+
+
+class MLP(Sequential):
+    """Multilayer perceptron with configurable hidden sizes/activation.
+
+    The final layer uses a small orthogonal gain (``out_gain``), the usual
+    PPO trick to start near a uniform/deterministic output.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: Iterable[int],
+        out_dim: int,
+        activation: str = "tanh",
+        out_activation: str = "identity",
+        out_gain: float = 0.01,
+        rng: SeedLike = None,
+    ):
+        rng = as_generator(rng)
+        if activation not in ACTIVATIONS or out_activation not in ACTIVATIONS:
+            raise KeyError(
+                f"unknown activation; available: {sorted(ACTIVATIONS)}"
+            )
+        hidden = list(hidden)
+        layers: List[Module] = []
+        prev = in_dim
+        for width in hidden:
+            layers.append(Linear(prev, width, gain=np.sqrt(2.0), rng=rng))
+            layers.append(ACTIVATIONS[activation]())
+            prev = width
+        layers.append(Linear(prev, out_dim, gain=out_gain, rng=rng))
+        layers.append(ACTIVATIONS[out_activation]())
+        super().__init__(layers)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.hidden = hidden

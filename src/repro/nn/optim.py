@@ -1,0 +1,120 @@
+"""First-order optimizers over :class:`repro.nn.modules.Parameter` lists."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in-place so their global L2 norm <= ``max_norm``.
+
+    Returns the pre-clipping norm (useful for training diagnostics).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for p in params:
+        total += float(np.sum(p.grad * p.grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`step`."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {"lr": np.asarray(self.lr)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.lr = float(np.asarray(state["lr"]))
+
+
+class SGD(Optimizer):
+    """Vanilla SGD with optional classical momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for v, p in zip(self._velocity, self.params):
+            if self.momentum > 0.0:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.data += v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 3e-4,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        if not (0.0 <= self.beta1 < 1.0 and 0.0 <= self.beta2 < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1t = 1.0 - self.beta1**self.t
+        b2t = 1.0 - self.beta2**self.t
+        for m, v, p in zip(self._m, self._v, self.params):
+            g = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / b1t
+            v_hat = v / b2t
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {"lr": np.asarray(self.lr), "t": np.asarray(self.t)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m{i}"] = m.copy()
+            state[f"v{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.lr = float(np.asarray(state["lr"]))
+        self.t = int(np.asarray(state["t"]))
+        for i in range(len(self._m)):
+            self._m[i][...] = state[f"m{i}"]
+            self._v[i][...] = state[f"v{i}"]

@@ -1,0 +1,36 @@
+"""Scalar schedules for learning rates and exploration coefficients."""
+
+from __future__ import annotations
+
+
+class ConstantSchedule:
+    """Always returns ``value``."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def __call__(self, progress: float) -> float:
+        return self.value
+
+
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over progress in [0, 1].
+
+    ``progress`` outside [0, 1] is clamped, so callers can pass raw
+    ``step / total_steps`` ratios without pre-clipping.
+    """
+
+    def __init__(self, start: float, end: float = 0.0):
+        self.start = float(start)
+        self.end = float(end)
+
+    def __call__(self, progress: float) -> float:
+        p = min(max(progress, 0.0), 1.0)
+        return self.start + (self.end - self.start) * p
+
+
+def as_schedule(value) -> "ConstantSchedule":
+    """Coerce a number into a constant schedule; pass schedules through."""
+    if callable(value):
+        return value
+    return ConstantSchedule(float(value))

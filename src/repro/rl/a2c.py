@@ -1,0 +1,114 @@
+"""Advantage actor-critic (A2C) updater — the ablation alternative.
+
+The paper (Section IV.C) surveys DPG, A2C, TRPO and PPO and picks PPO for
+its stability/simplicity balance.  This updater implements synchronous
+A2C over the same buffer/actor/critic machinery so the choice can be
+ablated: a single pass of vanilla policy gradient with GAE advantages,
+no importance ratio, no clipping, no reuse of the batch.
+
+Gradient of the objective ``-mean(logp * A) - c_ent H``:
+
+* d/d(logp) = -A / n, then through
+  :meth:`repro.nn.distributions.DiagGaussian.log_prob_grads`;
+* entropy gradient flows into ``log_std`` exactly as in PPO.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.gae import compute_gae, normalize_advantages
+from repro.rl.policy import Critic, GaussianActor
+from repro.rl.ppo import PPOConfig, UpdateStats
+from repro.utils.rng import SeedLike, as_generator
+
+
+class A2CUpdater:
+    """Single-pass advantage actor-critic update.
+
+    Accepts a :class:`PPOConfig` so trainer plumbing is shared; the
+    PPO-specific fields (``clip_epsilon``, ``epochs``, ``target_kl``) are
+    ignored — A2C consumes each batch exactly once.
+    """
+
+    def __init__(
+        self,
+        actor: GaussianActor,
+        critic: Critic,
+        config: Optional[PPOConfig] = None,
+        rng: SeedLike = None,
+    ):
+        self.actor = actor
+        self.critic = critic
+        self.config = (config or PPOConfig()).validate()
+        self.rng = as_generator(rng)
+        self.actor_opt = Adam(actor.parameters(), lr=self.config.actor_lr)
+        self.critic_opt = Adam(critic.parameters(), lr=self.config.critic_lr)
+        from repro.nn.schedules import LinearSchedule
+
+        self._lr_schedule = LinearSchedule(1.0, self.config.lr_decay_to)
+
+    def set_progress(self, progress: float) -> None:
+        """Apply the linear LR decay at training progress in [0, 1]."""
+        scale = self._lr_schedule(progress)
+        self.actor_opt.lr = self.config.actor_lr * scale
+        self.critic_opt.lr = self.config.critic_lr * scale
+
+    def update(self, buffer: RolloutBuffer, last_value: float = 0.0) -> UpdateStats:
+        if len(buffer) == 0:
+            raise ValueError("cannot update from an empty buffer")
+        cfg = self.config
+        data = buffer.data()
+        states = data["states"]
+        actions = data["actions"]
+
+        advantages, returns = compute_gae(
+            data["rewards"], data["values"], data["dones"],
+            last_value, cfg.gamma, cfg.gae_lambda,
+        )
+        if cfg.normalize_advantages:
+            advantages = normalize_advantages(advantages)
+
+        n = states.shape[0]
+        dist = self.actor.distribution(states)
+        log_probs = dist.log_prob(actions)
+        d_loss_d_logp = -advantages / n
+        d_mean, d_log_std_rows = dist.log_prob_grads(actions)
+        grad_mean = d_loss_d_logp[:, None] * d_mean
+        grad_log_std = (d_loss_d_logp[:, None] * d_log_std_rows).sum(axis=0)
+        grad_log_std -= cfg.entropy_coef * dist.entropy_grad_log_std()
+
+        from repro.rl.ppo import _accumulate_log_std_grad
+
+        self.actor.zero_grad()
+        self.actor.backward(grad_mean)
+        _accumulate_log_std_grad(self.actor.log_std, grad_log_std)
+        gnorm_a = clip_grad_norm(self.actor.parameters(), cfg.max_grad_norm)
+        self.actor_opt.step()
+        self.actor.clamp_log_std()
+
+        pred = self.critic.forward(states)
+        value_loss, grad_v = mse_loss(pred, returns[:, None])
+        self.critic.zero_grad()
+        self.critic.backward(grad_v)
+        gnorm_c = clip_grad_norm(self.critic.parameters(), cfg.max_grad_norm)
+        self.critic_opt.step()
+
+        entropy = dist.entropy()
+        policy_loss = float(-(log_probs * advantages).mean() - cfg.entropy_coef * entropy)
+        return UpdateStats(
+            policy_loss=policy_loss,
+            value_loss=value_loss,
+            entropy=entropy,
+            approx_kl=0.0,
+            clip_fraction=0.0,
+            grad_norm_actor=gnorm_a,
+            grad_norm_critic=gnorm_c,
+            n_minibatches=1,
+            early_stopped=False,
+        )

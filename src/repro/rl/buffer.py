@@ -1,0 +1,115 @@
+"""Experience replay buffer ``D`` of Algorithm 1.
+
+The paper's procedure stores transitions ``(s_k, a_k, r_k, s_{k+1})``,
+updates the networks for ``M`` epochs once the buffer is full, then clears
+it (on-policy use, PPO-style).  The buffer stores preallocated contiguous
+arrays so the PPO update consumes plain matrix views with no per-sample
+Python overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One ``(s, a, r, s')`` sample plus the log-prob/value at collection."""
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    done: bool
+    log_prob: float
+    value: float
+
+
+class RolloutBuffer:
+    """Fixed-capacity on-policy buffer with preallocated storage."""
+
+    def __init__(self, capacity: int, obs_dim: int, act_dim: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.obs_dim = int(obs_dim)
+        self.act_dim = int(act_dim)
+        self.states = np.zeros((capacity, obs_dim), dtype=np.float64)
+        self.actions = np.zeros((capacity, act_dim), dtype=np.float64)
+        self.rewards = np.zeros(capacity, dtype=np.float64)
+        self.next_states = np.zeros((capacity, obs_dim), dtype=np.float64)
+        self.dones = np.zeros(capacity, dtype=bool)
+        self.log_probs = np.zeros(capacity, dtype=np.float64)
+        self.values = np.zeros(capacity, dtype=np.float64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size >= self.capacity
+
+    def add(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        log_prob: float,
+        value: float,
+    ) -> None:
+        """Append one transition; raises when the buffer is already full."""
+        if self.full:
+            raise RuntimeError(
+                "RolloutBuffer is full; run the PPO update and clear() first"
+            )
+        i = self._size
+        self.states[i] = state
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.next_states[i] = next_state
+        self.dones[i] = done
+        self.log_probs[i] = log_prob
+        self.values[i] = value
+        self._size += 1
+
+    def add_transition(self, t: Transition) -> None:
+        self.add(t.state, t.action, t.reward, t.next_state, t.done, t.log_prob, t.value)
+
+    def clear(self) -> None:
+        """Empty the buffer (Algorithm 1, line 23)."""
+        self._size = 0
+
+    def data(self) -> Dict[str, np.ndarray]:
+        """Views over the filled prefix (no copies)."""
+        n = self._size
+        return {
+            "states": self.states[:n],
+            "actions": self.actions[:n],
+            "rewards": self.rewards[:n],
+            "next_states": self.next_states[:n],
+            "dones": self.dones[:n],
+            "log_probs": self.log_probs[:n],
+            "values": self.values[:n],
+        }
+
+    def minibatch_indices(
+        self, batch_size: int, rng: SeedLike = None, drop_last: bool = False
+    ) -> Iterator[np.ndarray]:
+        """Yield shuffled index blocks covering the filled prefix."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        rng = as_generator(rng)
+        perm = rng.permutation(self._size)
+        for start in range(0, self._size, batch_size):
+            block = perm[start : start + batch_size]
+            if drop_last and block.size < batch_size:
+                break
+            yield block

@@ -1,0 +1,128 @@
+"""Actor and critic networks.
+
+``GaussianActor`` is the policy ``pi(a|s; theta_a)`` of the paper: an MLP
+mapping the bandwidth-history state to a per-device action mean, plus a
+state-independent log-std parameter.  ``Critic`` is the value estimate
+``V(s; theta_v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.distributions import DiagGaussian
+from repro.nn.modules import MLP, Module, Parameter
+from repro.utils.rng import SeedLike, as_generator
+
+
+class GaussianActor(Module):
+    """MLP policy with diagonal-Gaussian output head.
+
+    ``forward`` returns the action mean; :meth:`distribution` wraps it in a
+    :class:`DiagGaussian`.  ``backward_mean`` propagates an upstream
+    gradient with respect to the mean through the MLP; gradients with
+    respect to ``log_std`` are accumulated directly by the PPO updater.
+    """
+
+    LOG_STD_MIN = -5.0
+    LOG_STD_MAX = 1.0
+
+    def __init__(
+        self,
+        obs_dim: int,
+        act_dim: int,
+        hidden=(64, 64),
+        activation: str = "tanh",
+        init_log_std: float = -0.5,
+        rng: SeedLike = None,
+    ):
+        rng = as_generator(rng)
+        self.obs_dim = int(obs_dim)
+        self.act_dim = int(act_dim)
+        self.mean_net = MLP(
+            obs_dim, hidden, act_dim, activation=activation, out_gain=0.01, rng=rng
+        )
+        self.log_std = Parameter(
+            np.full(act_dim, float(init_log_std)), name="log_std"
+        )
+
+    def parameters(self) -> List[Parameter]:
+        return self.mean_net.parameters() + [self.log_std]
+
+    def forward(self, obs: np.ndarray) -> np.ndarray:
+        obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        return self.mean_net.forward(obs)
+
+    def backward(self, grad_mean: np.ndarray) -> np.ndarray:
+        return self.mean_net.backward(grad_mean)
+
+    def clamp_log_std(self) -> None:
+        """Keep exploration noise in a sane band after each optimizer step."""
+        np.clip(self.log_std.data, self.LOG_STD_MIN, self.LOG_STD_MAX, out=self.log_std.data)
+
+    def distribution(self, obs: np.ndarray) -> DiagGaussian:
+        mean = self.forward(obs)
+        return DiagGaussian(mean, self.log_std.data)
+
+    def act(self, obs: np.ndarray, rng: SeedLike = None, deterministic: bool = False):
+        """Sample an action; returns ``(action, log_prob)`` for one obs."""
+        dist = self.distribution(obs)
+        if deterministic:
+            action = dist.mode()
+        else:
+            action = dist.sample(rng)
+        log_prob = dist.log_prob(action)
+        return action[0], float(log_prob[0])
+
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state = self.mean_net.state_dict(prefix=f"{prefix}mean/")
+        state[f"{prefix}log_std"] = self.log_std.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        self.mean_net.load_state_dict(state, prefix=f"{prefix}mean/")
+        self.log_std.data[...] = np.asarray(state[f"{prefix}log_std"], dtype=np.float64)
+
+    def copy_weights_from(self, other: "GaussianActor") -> None:
+        """theta_a_old <- theta_a (Algorithm 1, lines 4 and 22)."""
+        for dst, src in zip(self.parameters(), other.parameters()):
+            if dst.data.shape != src.data.shape:
+                raise ValueError("actor architecture mismatch in copy_weights_from")
+            dst.data[...] = src.data
+
+
+class Critic(Module):
+    """MLP state-value function ``V(s; theta_v)``."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        hidden=(64, 64),
+        activation: str = "tanh",
+        rng: SeedLike = None,
+    ):
+        rng = as_generator(rng)
+        self.obs_dim = int(obs_dim)
+        self.net = MLP(obs_dim, hidden, 1, activation=activation, out_gain=1.0, rng=rng)
+
+    def parameters(self) -> List[Parameter]:
+        return self.net.parameters()
+
+    def forward(self, obs: np.ndarray) -> np.ndarray:
+        obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        return self.net.forward(obs)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)
+
+    def value(self, obs: np.ndarray) -> np.ndarray:
+        """Values as a flat ``(B,)`` vector (no gradient caching concerns)."""
+        return self.forward(obs)[:, 0]
+
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        return self.net.state_dict(prefix=f"{prefix}value/")
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        self.net.load_state_dict(state, prefix=f"{prefix}value/")

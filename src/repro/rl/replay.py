@@ -1,0 +1,60 @@
+"""Off-policy uniform replay memory (for DDPG).
+
+Unlike the on-policy :class:`repro.rl.buffer.RolloutBuffer` (Algorithm
+1's ``D``, cleared after each PPO update), this memory is a ring buffer
+sampled uniformly with replacement — the classic experience replay of
+DQN/DDPG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class ReplayMemory:
+    """Fixed-capacity ring buffer of transitions with uniform sampling."""
+
+    def __init__(self, capacity: int, obs_dim: int, act_dim: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.states = np.zeros((capacity, obs_dim), dtype=np.float64)
+        self.actions = np.zeros((capacity, act_dim), dtype=np.float64)
+        self.rewards = np.zeros(capacity, dtype=np.float64)
+        self.next_states = np.zeros((capacity, obs_dim), dtype=np.float64)
+        self.dones = np.zeros(capacity, dtype=bool)
+        self._next = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, state, action, reward, next_state, done) -> None:
+        i = self._next
+        self.states[i] = state
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.next_states[i] = next_state
+        self.dones[i] = done
+        self._next = (self._next + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: SeedLike = None) -> Dict[str, np.ndarray]:
+        """Uniform sample with replacement over the stored prefix."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay memory")
+        rng = as_generator(rng)
+        idx = rng.integers(0, self._size, size=batch_size)
+        return {
+            "states": self.states[idx],
+            "actions": self.actions[idx],
+            "rewards": self.rewards[idx],
+            "next_states": self.next_states[idx],
+            "dones": self.dones[idx],
+        }

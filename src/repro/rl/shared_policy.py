@@ -1,0 +1,161 @@
+"""Permutation-shared actor: one network for any fleet size.
+
+The paper's actor takes the flat ``N x (H+1)`` state, so its parameter
+count grows with the number of devices and a trained policy is locked to
+one N.  A scalable alternative (in the spirit of the parameter-sharing
+used by Decima [51], which the paper cites) applies *one shared network*
+to every device:
+
+    mean_i = f_theta([ own_history_i ; mean-pooled fleet context ])
+
+The per-device input is the device's own H+1 bandwidth slots plus the
+fleet's mean/min/max history (the coupling signal: the deadline is set by
+the slowest device).  The same parameters therefore serve N = 3 or
+N = 500, and the policy is permutation-equivariant by construction.
+
+:class:`SharedGaussianActor` is a drop-in replacement for
+:class:`repro.rl.policy.GaussianActor` — same ``forward`` /
+``backward`` / ``distribution`` / ``act`` surface over the flattened
+observation — so the PPO machinery is reused unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.distributions import DiagGaussian
+from repro.nn.modules import MLP, Module, Parameter
+from repro.utils.rng import SeedLike, as_generator
+
+#: Fleet-context features appended to each device's own history.
+N_CONTEXT_STATS = 3  # mean, min, max per history slot
+
+
+class SharedGaussianActor(Module):
+    """Parameter-shared per-device Gaussian policy.
+
+    Parameters
+    ----------
+    n_devices:
+        Fleet size N the observations are shaped for.  Only the *input
+    reshaping* depends on it — the learned parameters do not, and
+        :meth:`with_fleet_size` rebinds a trained network to a new N.
+    history_slots_plus_one:
+        H+1, the per-device slot count.
+    """
+
+    LOG_STD_MIN = -5.0
+    LOG_STD_MAX = 1.0
+
+    def __init__(
+        self,
+        n_devices: int,
+        history_slots_plus_one: int,
+        hidden=(64, 64),
+        activation: str = "tanh",
+        init_log_std: float = -1.0,
+        rng: SeedLike = None,
+    ):
+        if n_devices <= 0 or history_slots_plus_one <= 0:
+            raise ValueError("n_devices and history_slots_plus_one must be positive")
+        rng = as_generator(rng)
+        self.n_devices = int(n_devices)
+        self.h = int(history_slots_plus_one)
+        self.obs_dim = self.n_devices * self.h
+        self.act_dim = self.n_devices
+        per_device_in = self.h * (1 + N_CONTEXT_STATS)
+        self.net = MLP(
+            per_device_in, hidden, 1, activation=activation, out_gain=0.01, rng=rng
+        )
+        self.log_std = Parameter(np.full(1, float(init_log_std)), name="log_std")
+        self._batch = 0
+
+    def parameters(self) -> List[Parameter]:
+        return self.net.parameters() + [self.log_std]
+
+    # -- observation plumbing ------------------------------------------------
+    def _per_device_inputs(self, obs: np.ndarray) -> np.ndarray:
+        """(B, N*h) -> (B*N, h*(1+stats)) shared-network input."""
+        obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        if obs.shape[1] != self.obs_dim:
+            raise ValueError(
+                f"expected obs dim {self.obs_dim} (= {self.n_devices} x {self.h}), "
+                f"got {obs.shape[1]}"
+            )
+        b = obs.shape[0]
+        per = obs.reshape(b, self.n_devices, self.h)
+        context = np.concatenate(
+            [
+                per.mean(axis=1, keepdims=True),
+                per.min(axis=1, keepdims=True),
+                per.max(axis=1, keepdims=True),
+            ],
+            axis=2,
+        )  # (B, 1, 3h)
+        context = np.broadcast_to(context, (b, self.n_devices, N_CONTEXT_STATS * self.h))
+        stacked = np.concatenate([per, context], axis=2)
+        self._batch = b
+        return stacked.reshape(b * self.n_devices, self.h * (1 + N_CONTEXT_STATS))
+
+    def forward(self, obs: np.ndarray) -> np.ndarray:
+        flat = self._per_device_inputs(obs)
+        out = self.net.forward(flat)              # (B*N, 1)
+        return out.reshape(self._batch, self.n_devices)
+
+    def backward(self, grad_mean: np.ndarray) -> np.ndarray:
+        """Backprop d(loss)/d(mean) through the shared network.
+
+        Gradients w.r.t. the *observation* are returned reshaped to the
+        flat layout; the context-pooling path is treated as constant
+        (standard stop-gradient on pooled summaries), which keeps the
+        update exact for the network parameters.
+        """
+        grad_mean = np.asarray(grad_mean, dtype=np.float64)
+        grad_flat = grad_mean.reshape(self._batch * self.n_devices, 1)
+        grad_in = self.net.backward(grad_flat)    # (B*N, h*(1+stats))
+        own = grad_in[:, : self.h].reshape(self._batch, self.n_devices * self.h)
+        return own
+
+    # -- GaussianActor-compatible surface ------------------------------------
+    def clamp_log_std(self) -> None:
+        np.clip(self.log_std.data, self.LOG_STD_MIN, self.LOG_STD_MAX,
+                out=self.log_std.data)
+
+    def distribution(self, obs: np.ndarray) -> DiagGaussian:
+        # The scalar log_std broadcasts over the action dimensions; the
+        # PPO/A2C updaters tie the gradient by summing into the scalar
+        # (see repro.rl.ppo._accumulate_log_std_grad).
+        mean = self.forward(obs)
+        shared_std = np.full(self.act_dim, float(self.log_std.data[0]))
+        return DiagGaussian(mean, shared_std)
+
+    def act(self, obs: np.ndarray, rng: SeedLike = None, deterministic: bool = False):
+        dist = self.distribution(obs)
+        action = dist.mode() if deterministic else dist.sample(rng)
+        return action[0], float(dist.log_prob(action)[0])
+
+    def copy_weights_from(self, other: "SharedGaussianActor") -> None:
+        for dst, src in zip(self.parameters(), other.parameters()):
+            if dst.data.shape != src.data.shape:
+                raise ValueError("shared-actor architecture mismatch")
+            dst.data[...] = src.data
+
+    def with_fleet_size(self, n_devices: int) -> "SharedGaussianActor":
+        """Rebind the trained parameters to a different fleet size."""
+        clone = SharedGaussianActor(
+            n_devices, self.h, hidden=self.net.hidden, rng=0
+        )
+        clone.net.load_state_dict(self.net.state_dict())
+        clone.log_std.data[...] = self.log_std.data
+        return clone
+
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state = self.net.state_dict(prefix=f"{prefix}mean/")
+        state[f"{prefix}log_std"] = self.log_std.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        self.net.load_state_dict(state, prefix=f"{prefix}mean/")
+        self.log_std.data[...] = np.asarray(state[f"{prefix}log_std"])

@@ -1,0 +1,60 @@
+"""Continuous box spaces (the only space the scheduling problem needs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Box:
+    """An axis-aligned box ``[low, high]^d`` in R^d.
+
+    The environment's action space is
+    ``Box(low=f_min/delta_max, high=1)^N`` — normalized CPU frequencies —
+    and its observation space is the bandwidth-history box.
+    """
+
+    def __init__(self, low, high, shape=None):
+        if shape is not None:
+            low = np.full(shape, low, dtype=np.float64)
+            high = np.full(shape, high, dtype=np.float64)
+        self.low = np.asarray(low, dtype=np.float64)
+        self.high = np.asarray(high, dtype=np.float64)
+        if self.low.shape != self.high.shape:
+            raise ValueError("low/high shape mismatch")
+        if np.any(self.low > self.high):
+            raise ValueError("low must be elementwise <= high")
+        self.shape = self.low.shape
+
+    @property
+    def dim(self) -> int:
+        return int(np.prod(self.shape))
+
+    def contains(self, x) -> bool:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != self.shape:
+            return False
+        return bool(np.all(x >= self.low - 1e-12) and np.all(x <= self.high + 1e-12))
+
+    def clip(self, x) -> np.ndarray:
+        return np.clip(np.asarray(x, dtype=np.float64), self.low, self.high)
+
+    def sample(self, rng: SeedLike = None) -> np.ndarray:
+        rng = as_generator(rng)
+        return rng.uniform(self.low, self.high)
+
+    def scale_from_unit(self, u) -> np.ndarray:
+        """Map ``u`` in [0,1]^d affinely onto the box."""
+        u = np.asarray(u, dtype=np.float64)
+        return self.low + u * (self.high - self.low)
+
+    def to_unit(self, x) -> np.ndarray:
+        """Inverse of :meth:`scale_from_unit` (degenerate dims map to 0)."""
+        x = np.asarray(x, dtype=np.float64)
+        span = self.high - self.low
+        safe = np.where(span > 0, span, 1.0)
+        return np.where(span > 0, (x - self.low) / safe, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Box(shape={self.shape}, low={self.low.min():.3g}, high={self.high.max():.3g})"

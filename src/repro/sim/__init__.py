@@ -1,0 +1,21 @@
+"""Continuous-time federated-learning system simulator.
+
+Implements the timing/energy dynamics of Section III: per-device compute
+time (Eq. 1), upload time under a time-varying trace (Eqs. 2-3),
+iteration time as the fleet max (Eq. 5), energy (Eq. 6), wall-clock
+chaining (Eq. 11) and the system cost / reward (Eqs. 9, 13).
+"""
+
+from repro.sim.cost import CostModel, iteration_cost, reward_from_cost
+from repro.sim.iteration import IterationResult, simulate_iteration
+from repro.sim.system import FLSystem, SystemConfig
+
+__all__ = [
+    "CostModel",
+    "iteration_cost",
+    "reward_from_cost",
+    "IterationResult",
+    "simulate_iteration",
+    "FLSystem",
+    "SystemConfig",
+]

@@ -1,0 +1,115 @@
+"""Simulation of a single synchronized FL iteration (Fig. 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.fleet import DeviceFleet
+from repro.sim.cost import CostModel
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """All per-iteration quantities the paper defines.
+
+    Attributes mirror Table I: ``compute_times`` is ``t_cmp_i^k`` (Eq. 1),
+    ``upload_times`` is ``t_com_i^k`` (Eqs. 2-3), ``device_times`` is
+    ``T_i^k`` (Eq. 4), ``iteration_time`` is ``T^k`` (Eq. 5), ``energies``
+    is ``E_i^k`` (Eq. 6), ``idle_times`` is ``Delta t_i^k`` and
+    ``avg_bandwidths`` is the realized ``B_i^k`` of Eq. (3).
+    """
+
+    start_time: float
+    frequencies: np.ndarray
+    compute_times: np.ndarray
+    upload_times: np.ndarray
+    device_times: np.ndarray
+    iteration_time: float
+    energies: np.ndarray
+    idle_times: np.ndarray
+    avg_bandwidths: np.ndarray
+    cost: float
+    reward: float
+    #: Boolean mask of devices that trained this iteration (client
+    #: selection support; all-true in the paper's full-participation mode).
+    participants: np.ndarray = None
+
+    @property
+    def total_energy(self) -> float:
+        return float(np.sum(self.energies))
+
+    @property
+    def end_time(self) -> float:
+        """Start of the next iteration, Eq. (11)."""
+        return self.start_time + self.iteration_time
+
+    @property
+    def slowest_device(self) -> int:
+        return int(np.argmax(self.device_times))
+
+
+def simulate_iteration(
+    fleet: DeviceFleet,
+    frequencies: np.ndarray,
+    start_time: float,
+    model_size_mbit: float,
+    cost_model: CostModel,
+    participants: np.ndarray = None,
+) -> IterationResult:
+    """Simulate one synchronized iteration starting at ``start_time``.
+
+    ``frequencies`` are the DRL/baseline-chosen ``delta_i^k`` (GHz); they
+    are clamped into ``(0, delta_max]`` here so every allocator sees the
+    identical feasibility treatment.  ``participants`` (boolean mask)
+    restricts the iteration to a selected subset of clients: excluded
+    devices neither compute nor upload, contribute zero energy and do not
+    gate the iteration time (client-selection support, cf. Nishio &
+    Yonetani).
+    """
+    if model_size_mbit <= 0:
+        raise ValueError("model_size_mbit must be positive")
+    if participants is None:
+        mask = np.ones(fleet.n, dtype=bool)
+    else:
+        mask = np.asarray(participants, dtype=bool)
+        if mask.shape != (fleet.n,):
+            raise ValueError(f"participants mask must have shape ({fleet.n},)")
+        if not mask.any():
+            raise ValueError("at least one device must participate")
+    freqs = fleet.clamp_frequencies(frequencies)
+    t_cmp = fleet.compute_times(freqs)                       # Eq. (1)
+    t_com = np.zeros(fleet.n, dtype=np.float64)
+    for i, device in enumerate(fleet):                       # Eqs. (2)-(3)
+        if mask[i]:
+            t_com[i] = device.upload_time(start_time + t_cmp[i], model_size_mbit)
+    t_cmp = np.where(mask, t_cmp, 0.0)
+    device_times = t_cmp + t_com                             # Eq. (4)
+    iteration_time = float(device_times[mask].max())         # Eq. (5)
+    idle = np.where(mask, iteration_time - device_times, iteration_time)
+    energies = np.where(                                     # Eq. (6)
+        mask,
+        fleet.compute_energies(freqs)
+        + fleet.tx_powers * t_com
+        # idle-power extension (zero in the paper-faithful configuration)
+        + fleet.idle_powers * np.maximum(idle, 0.0),
+        0.0,
+    )
+    with np.errstate(divide="ignore"):
+        avg_bw = np.where(mask, model_size_mbit / np.maximum(t_com, 1e-300), np.nan)
+    cost = cost_model.cost(iteration_time, float(energies.sum()))
+    return IterationResult(
+        start_time=float(start_time),
+        frequencies=freqs,
+        compute_times=t_cmp,
+        upload_times=t_com,
+        device_times=device_times,
+        iteration_time=iteration_time,
+        energies=energies,
+        idle_times=idle,
+        avg_bandwidths=avg_bw,
+        cost=cost,
+        reward=-cost,
+        participants=mask,
+    )

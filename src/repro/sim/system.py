@@ -1,0 +1,144 @@
+"""The federated-learning system clock: chained iterations (Eq. 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.devices.fleet import DeviceFleet
+from repro.sim.cost import CostModel
+from repro.sim.iteration import IterationResult, simulate_iteration
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class SystemConfig:
+    """Static configuration of one simulated FL system."""
+
+    #: Model upload payload xi (Mbit).
+    model_size_mbit: float = 40.0
+    #: Bandwidth-history slot length h (seconds).
+    slot_duration: float = 1.0
+    #: History depth H (the state holds H+1 slots per device).
+    history_slots: int = 8
+    cost: CostModel = field(default_factory=CostModel)
+
+    def validate(self) -> "SystemConfig":
+        if self.model_size_mbit <= 0:
+            raise ValueError("model_size_mbit must be positive")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        if self.history_slots < 0:
+            raise ValueError("history_slots must be non-negative")
+        return self
+
+
+class FLSystem:
+    """A fleet plus a wall clock: step with frequencies, observe history.
+
+    This is the "federated learning system" box of the paper's Fig. 5:
+    the DRL agent (or any baseline allocator) feeds it per-device
+    CPU-cycle frequencies; the system advances the clock by the realized
+    iteration time (Eq. 11) and exposes the bandwidth-history state.
+    """
+
+    def __init__(self, fleet: DeviceFleet, config: Optional[SystemConfig] = None):
+        self.fleet = fleet
+        self.config = (config or SystemConfig()).validate()
+        self.clock = 0.0
+        self.iteration = 0
+        self.history: List[IterationResult] = []
+        self._last_bw: Optional[np.ndarray] = None
+
+    @property
+    def n_devices(self) -> int:
+        return self.fleet.n
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Rewind the system to a (possibly random) start time ``t^1``."""
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self.clock = float(start_time)
+        self.iteration = 0
+        self.history = []
+        self._last_bw = None
+
+    def reset_random(self, rng: SeedLike = None) -> float:
+        """Algorithm 1 line 6: randomly select a start time ``t^1``."""
+        rng = as_generator(rng)
+        horizon = min(trace.duration for trace in (d.trace for d in self.fleet))
+        # Leave room for the history window before t^1.
+        min_start = (self.config.history_slots + 1) * self.config.slot_duration
+        start = float(rng.uniform(min_start, min_start + horizon))
+        self.reset(start)
+        return start
+
+    def bandwidth_state(self) -> np.ndarray:
+        """The DRL state ``s_k``: (N, H+1) matrix of past slot bandwidths.
+
+        Row i is ``B_i^k = (B_i(|t/h|), ..., B_i(|t/h|-H))``, newest first,
+        exactly the paper's state definition (Section IV.B.1).
+        """
+        n_slots = self.config.history_slots + 1
+        state = np.empty((self.fleet.n, n_slots), dtype=np.float64)
+        for i, device in enumerate(self.fleet):
+            state[i] = device.trace.history(self.clock, n_slots)
+        return state
+
+    def current_bandwidths(self) -> np.ndarray:
+        """Instantaneous per-device bandwidth at the clock (Mbit/s)."""
+        return np.array(
+            [d.trace.bandwidth_at(self.clock) for d in self.fleet], dtype=np.float64
+        )
+
+    def last_observed_bandwidths(self) -> Optional[np.ndarray]:
+        """The Eq. (3) average bandwidths realized in the last iteration.
+
+        This is the information the Heuristic baseline of Section V uses:
+        "since the last iteration is just ended, the parameter server
+        could know all the mobile devices' bandwidth information".
+        """
+        if self._last_bw is None:
+            return None
+        return self._last_bw.copy()
+
+    def step(self, frequencies: np.ndarray, participants=None) -> IterationResult:
+        """Run one iteration; advances the clock per Eq. (11).
+
+        ``participants`` optionally restricts the round to a device subset
+        (boolean mask) — see :func:`repro.sim.iteration.simulate_iteration`.
+        """
+        result = simulate_iteration(
+            self.fleet,
+            frequencies,
+            self.clock,
+            self.config.model_size_mbit,
+            self.config.cost,
+            participants=participants,
+        )
+        self.clock = result.end_time
+        self.iteration += 1
+        self.history.append(result)
+        # Track the freshest Eq. (3) observation per device: devices that
+        # sat out keep their previous estimate (the server saw nothing new).
+        observed = result.avg_bandwidths
+        if self._last_bw is None:
+            self._last_bw = np.where(
+                result.participants, observed, self.current_bandwidths()
+            )
+        else:
+            self._last_bw = np.where(result.participants, observed, self._last_bw)
+        return result
+
+    def run(self, allocator, n_iterations: int) -> List[IterationResult]:
+        """Drive ``n_iterations`` with an allocator (see repro.baselines)."""
+        if n_iterations <= 0:
+            raise ValueError("n_iterations must be positive")
+        results = []
+        allocator.reset(self)
+        for _ in range(n_iterations):
+            freqs = allocator.allocate(self)
+            results.append(self.step(freqs))
+        return results

@@ -1,0 +1,59 @@
+"""Network bandwidth traces.
+
+The paper drives both its testbed and simulations with real 4G/LTE
+measurements (Ghent walking traces) and HSDPA bus traces.  Those datasets
+are not redistributable here, so this package provides:
+
+* :class:`BandwidthTrace` — a piecewise-constant slotted bandwidth
+  process with *exact* interval integration and inverse integration
+  (the Eq. (3) machinery);
+* synthetic generators calibrated to the envelopes the paper reports in
+  Fig. 2 (walking 4G ~1-9 MB/s with violent short-term swings; HSDPA
+  ~0-800 KB/s), plus six mobility-scenario presets;
+* a CSV loader so the real datasets drop in unchanged.
+"""
+
+from repro.traces.base import BandwidthTrace, TracePool
+from repro.traces.synthetic import (
+    SCENARIOS,
+    TraceConfig,
+    generate_trace,
+    hsdpa_bus_trace,
+    lte_walking_trace,
+    markov_modulated_trace,
+    ou_trace,
+    scenario_trace,
+)
+from repro.traces.loader import load_trace_csv, save_trace_csv
+from repro.traces.analysis import fluctuation_report, trace_statistics
+from repro.traces.forecast import (
+    AR1Forecaster,
+    EWMAForecaster,
+    HarmonicMeanForecaster,
+    HoltForecaster,
+    LastValueForecaster,
+    get_forecaster,
+)
+
+__all__ = [
+    "BandwidthTrace",
+    "TracePool",
+    "TraceConfig",
+    "generate_trace",
+    "lte_walking_trace",
+    "hsdpa_bus_trace",
+    "ou_trace",
+    "markov_modulated_trace",
+    "scenario_trace",
+    "SCENARIOS",
+    "load_trace_csv",
+    "save_trace_csv",
+    "trace_statistics",
+    "fluctuation_report",
+    "LastValueForecaster",
+    "EWMAForecaster",
+    "HoltForecaster",
+    "AR1Forecaster",
+    "HarmonicMeanForecaster",
+    "get_forecaster",
+]

@@ -1,0 +1,60 @@
+"""Trace statistics backing Fig. 2 of the paper.
+
+The paper's Fig. 2 argues two things: (a) 4G bandwidth swings between
+<1 MB/s and 9 MB/s within seconds; (b) HSDPA bandwidth fluctuates in
+[0, 800 KB/s].  :func:`trace_statistics` and :func:`fluctuation_report`
+quantify exactly those properties so the Fig. 2 bench can assert the
+synthetic substitutes match the published envelopes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.traces.base import BandwidthTrace
+
+
+def trace_statistics(trace: BandwidthTrace, window_s: float = 400.0) -> Dict[str, float]:
+    """Envelope and variability statistics over the first ``window_s``."""
+    n = min(trace.n_slots, max(1, int(round(window_s / trace.h))))
+    values = trace.values[:n]
+    diffs = np.abs(np.diff(values))
+    return {
+        "mean_mbps": float(values.mean()),
+        "std_mbps": float(values.std()),
+        "min_mbps": float(values.min()),
+        "max_mbps": float(values.max()),
+        "p05_mbps": float(np.quantile(values, 0.05)),
+        "p95_mbps": float(np.quantile(values, 0.95)),
+        "mean_abs_step_mbps": float(diffs.mean()) if diffs.size else 0.0,
+        "max_abs_step_mbps": float(diffs.max()) if diffs.size else 0.0,
+        "coeff_variation": float(values.std() / values.mean()),
+        "window_s": float(n * trace.h),
+    }
+
+
+def lag1_autocorrelation(trace: BandwidthTrace) -> float:
+    """Lag-1 autocorrelation — the short-timescale stability the DRL
+    state design relies on ("related to historical bandwidth")."""
+    v = trace.values
+    if v.size < 3:
+        return 0.0
+    x = v - v.mean()
+    denom = float(np.dot(x, x))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(x[:-1], x[1:]) / denom)
+
+
+def fluctuation_report(
+    traces: Sequence[BandwidthTrace], window_s: float = 400.0
+) -> Dict[str, Dict[str, float]]:
+    """Per-trace statistics plus autocorrelation, keyed by trace name."""
+    report: Dict[str, Dict[str, float]] = {}
+    for trace in traces:
+        stats = trace_statistics(trace, window_s)
+        stats["lag1_autocorr"] = lag1_autocorrelation(trace)
+        report[trace.name] = stats
+    return report

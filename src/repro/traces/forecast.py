@@ -1,0 +1,156 @@
+"""Bandwidth forecasting from slot history.
+
+The paper's introduction argues that "instead of struggling with network
+quality prediction and optimization-based algorithm design, we turn to
+machine learning techniques".  To quantify exactly what that struggle
+buys, this module implements the classical predictors an
+optimization-based scheduler would use:
+
+* :class:`EWMAForecaster` — exponentially weighted moving average;
+* :class:`HoltForecaster` — Holt's double exponential smoothing (level
+  + trend), suited to the slow drift component;
+* :class:`AR1Forecaster` — least-squares AR(1) fitted online;
+* :class:`HarmonicMeanForecaster` — harmonic-mean estimator, the right
+  mean for transfer *times* (time = volume / bandwidth is convex in
+  bandwidth, so the arithmetic mean is optimistic by Jensen).
+
+All share the interface ``predict(history) -> float`` where ``history``
+is newest-first (as produced by :meth:`BandwidthTrace.history`), so they
+plug straight into :class:`repro.baselines.predictive.PredictiveAllocator`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+
+class Forecaster(Protocol):
+    """Anything that maps a newest-first bandwidth history to a forecast."""
+
+    def predict(self, history: np.ndarray) -> float:  # pragma: no cover
+        ...
+
+
+def _validate_history(history) -> np.ndarray:
+    history = np.asarray(history, dtype=np.float64).ravel()
+    if history.size == 0:
+        raise ValueError("history must contain at least one slot")
+    if np.any(history <= 0):
+        raise ValueError("bandwidth history must be positive")
+    return history
+
+
+class LastValueForecaster:
+    """Persistence forecast: tomorrow looks like the last slot."""
+
+    def predict(self, history) -> float:
+        return float(_validate_history(history)[0])
+
+
+class EWMAForecaster:
+    """Exponentially weighted moving average over the window.
+
+    ``alpha`` is the weight of the newest slot; weights decay
+    geometrically into the past.
+    """
+
+    def __init__(self, alpha: float = 0.4):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def predict(self, history) -> float:
+        history = _validate_history(history)
+        weights = self.alpha * (1.0 - self.alpha) ** np.arange(history.size)
+        weights[-1] += (1.0 - self.alpha) ** history.size  # mass of the tail
+        return float(np.dot(weights, history) / weights.sum())
+
+
+class HoltForecaster:
+    """Holt's linear (level + trend) smoothing, one-step-ahead forecast.
+
+    The smoother runs oldest-to-newest over the window; the forecast is
+    ``level + trend``.  Captures the slow drift that a plain average
+    lags behind.
+    """
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def predict(self, history) -> float:
+        history = _validate_history(history)[::-1]  # oldest first
+        level = history[0]
+        trend = 0.0
+        for x in history[1:]:
+            prev_level = level
+            level = self.alpha * x + (1.0 - self.alpha) * (level + trend)
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend
+        return float(max(level + trend, 1e-6))
+
+
+class AR1Forecaster:
+    """Least-squares AR(1): ``x_{t+1} = c + phi x_t`` fitted on the window.
+
+    Falls back to persistence when the window is too short or degenerate
+    (constant history gives an ill-conditioned fit).
+    """
+
+    def __init__(self, clip_phi: float = 1.0):
+        if clip_phi <= 0:
+            raise ValueError("clip_phi must be positive")
+        self.clip_phi = float(clip_phi)
+
+    def predict(self, history) -> float:
+        history = _validate_history(history)[::-1]  # oldest first
+        if history.size < 3 or np.allclose(history, history[0]):
+            return float(history[-1])
+        x_prev = history[:-1]
+        x_next = history[1:]
+        var = np.var(x_prev)
+        if var < 1e-12:
+            return float(history[-1])
+        phi = float(np.cov(x_prev, x_next, bias=True)[0, 1] / var)
+        phi = float(np.clip(phi, -self.clip_phi, self.clip_phi))
+        c = float(x_next.mean() - phi * x_prev.mean())
+        return float(max(c + phi * history[-1], 1e-6))
+
+
+class HarmonicMeanForecaster:
+    """Harmonic mean of the window.
+
+    For a transfer of fixed volume V over a window with bandwidths b_i,
+    the expected time is ``V * mean(1/b_i)``; the harmonic mean is the
+    bandwidth whose reciprocal matches that, making it the unbiased
+    plug-in for upload-*time* estimation.
+    """
+
+    def predict(self, history) -> float:
+        history = _validate_history(history)
+        return float(history.size / np.sum(1.0 / history))
+
+
+FORECASTERS = {
+    "last": LastValueForecaster,
+    "ewma": EWMAForecaster,
+    "holt": HoltForecaster,
+    "ar1": AR1Forecaster,
+    "harmonic": HarmonicMeanForecaster,
+}
+
+
+def get_forecaster(name: str, **kwargs) -> Forecaster:
+    """Instantiate a forecaster by registry name."""
+    try:
+        cls = FORECASTERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown forecaster {name!r}; available: {sorted(FORECASTERS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,75 @@
+"""CSV persistence for bandwidth traces.
+
+The format is a two-column CSV ``time_s,bandwidth_mbps`` (a header row is
+optional); rows must be sorted by time.  Real datasets (e.g. the Ghent
+4G/LTE logs, converted to Mbit/s) drop in through :func:`load_trace_csv`
+and are resampled onto a uniform slot grid.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.traces.base import BandwidthTrace
+
+
+def save_trace_csv(trace: BandwidthTrace, path: str, header: bool = True) -> None:
+    """Write a trace as ``time_s,bandwidth_mbps`` rows."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        if header:
+            writer.writerow(["time_s", "bandwidth_mbps"])
+        for i, value in enumerate(trace.values):
+            writer.writerow([f"{i * trace.h:.6g}", f"{value:.6g}"])
+
+
+def _read_rows(path: str) -> Tuple[np.ndarray, np.ndarray]:
+    times: List[float] = []
+    values: List[float] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        for row in reader:
+            if not row or row[0].strip().startswith("#"):
+                continue
+            try:
+                t = float(row[0])
+                v = float(row[1])
+            except (ValueError, IndexError):
+                if not times:  # tolerate a single header row
+                    continue
+                raise ValueError(f"malformed trace row in {path}: {row!r}")
+            times.append(t)
+            values.append(v)
+    if not times:
+        raise ValueError(f"no samples found in trace file {path}")
+    t_arr = np.asarray(times)
+    v_arr = np.asarray(values)
+    if np.any(np.diff(t_arr) < 0):
+        raise ValueError(f"trace times must be sorted in {path}")
+    return t_arr, v_arr
+
+
+def load_trace_csv(
+    path: str, slot_duration: float = 1.0, name: str = None
+) -> BandwidthTrace:
+    """Load a CSV trace, resampling onto a uniform ``slot_duration`` grid.
+
+    Resampling uses previous-sample (zero-order) hold, matching the
+    piecewise-constant trace model.
+    """
+    if slot_duration <= 0:
+        raise ValueError("slot_duration must be positive")
+    times, values = _read_rows(path)
+    t_end = times[-1] + slot_duration
+    grid = np.arange(times[0], t_end, slot_duration)
+    idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, times.size - 1)
+    resampled = values[idx]
+    return BandwidthTrace(
+        resampled, slot_duration, name=name or os.path.basename(path)
+    )

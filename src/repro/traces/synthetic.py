@@ -1,0 +1,259 @@
+"""Synthetic bandwidth generators calibrated to the paper's Fig. 2.
+
+Two stochastic processes are combined:
+
+* a **Markov-modulated level process** — the channel hops between a few
+  quality regimes (deep fade / poor / fair / good), reproducing the
+  abrupt 1 -> 9 MB/s swings visible in the Ghent walking traces;
+* an **Ornstein-Uhlenbeck (OU) fluctuation** riding on the regime level,
+  reproducing the short-timescale jitter and the "reasonably stable on
+  short timescales" property the paper's state design relies on.
+
+Presets:
+
+* :func:`lte_walking_trace` — 4G walking, ~8-72 Mbit/s (1-9 MB/s, Fig. 2a);
+* :func:`hsdpa_bus_trace` — HSDPA bus, ~0-6.4 Mbit/s (0-800 KB/s, Fig. 2b);
+* :func:`scenario_trace` — the six mobility scenarios of the dataset
+  (walking, bicycle, bus, tram, train, car).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.base import MIN_BANDWIDTH, BandwidthTrace
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class TraceConfig:
+    """Parameters of the combined Markov/OU bandwidth process.
+
+    Bandwidth unit is Mbit/s throughout.
+    """
+
+    n_slots: int = 1200
+    slot_duration: float = 1.0
+    #: Mean bandwidth of each Markov regime.
+    regime_means: Tuple[float, ...] = (8.0, 24.0, 48.0, 68.0)
+    #: Expected dwell time (seconds) in a regime before hopping.
+    regime_dwell: float = 25.0
+    #: OU mean-reversion rate (1/s); higher = faster jitter decay.
+    ou_theta: float = 0.25
+    #: OU stationary std as a fraction of the regime mean.
+    ou_sigma_frac: float = 0.25
+    #: Hard floor/ceiling on the generated bandwidth.
+    min_bandwidth: float = 0.5
+    max_bandwidth: float = 80.0
+    #: Slow non-stationary drift: the regime level is modulated by
+    #: ``1 + drift_amplitude * sin(2 pi t / drift_period_s + phase)``
+    #: with a random phase.  Models walking through coverage areas; a
+    #: zero amplitude disables it.
+    drift_amplitude: float = 0.0
+    drift_period_s: float = 600.0
+    name: str = "synthetic"
+
+    def validate(self) -> "TraceConfig":
+        if self.n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        if not self.regime_means or any(m <= 0 for m in self.regime_means):
+            raise ValueError("regime_means must be positive")
+        if self.regime_dwell <= 0:
+            raise ValueError("regime_dwell must be positive")
+        if self.min_bandwidth < 0 or self.max_bandwidth <= self.min_bandwidth:
+            raise ValueError("need 0 <= min_bandwidth < max_bandwidth")
+        if not 0.0 <= self.drift_amplitude < 1.0:
+            raise ValueError("drift_amplitude must be in [0, 1)")
+        if self.drift_period_s <= 0:
+            raise ValueError("drift_period_s must be positive")
+        return self
+
+
+def _markov_levels(cfg: TraceConfig, rng: np.random.Generator) -> np.ndarray:
+    """Sample the per-slot regime mean via a uniform-jump Markov chain."""
+    means = np.asarray(cfg.regime_means, dtype=np.float64)
+    n_regimes = means.size
+    hop_prob = min(1.0, cfg.slot_duration / cfg.regime_dwell)
+    levels = np.empty(cfg.n_slots, dtype=np.float64)
+    state = int(rng.integers(0, n_regimes))
+    for t in range(cfg.n_slots):
+        levels[t] = means[state]
+        if rng.random() < hop_prob:
+            # Jump to a uniformly-random *different* regime: walking users
+            # cross cell edges, so adjacent-only transitions are too tame.
+            move = int(rng.integers(1, n_regimes))
+            state = (state + move) % n_regimes
+    return levels
+
+
+def _ou_fluctuation(
+    n: int, dt: float, theta: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Unit-stationary-variance OU path sampled at slot boundaries."""
+    if theta <= 0:
+        return np.zeros(n)
+    x = np.empty(n, dtype=np.float64)
+    x[0] = rng.standard_normal()
+    decay = np.exp(-theta * dt)
+    noise_std = np.sqrt(max(1.0 - decay**2, 1e-12))
+    shocks = rng.standard_normal(n)
+    for t in range(1, n):
+        x[t] = decay * x[t - 1] + noise_std * shocks[t]
+    return x
+
+
+def generate_trace(cfg: TraceConfig, rng: SeedLike = None) -> BandwidthTrace:
+    """Generate one trace from a :class:`TraceConfig`."""
+    cfg.validate()
+    rng = as_generator(rng)
+    levels = _markov_levels(cfg, rng)
+    if cfg.drift_amplitude > 0.0:
+        t = np.arange(cfg.n_slots) * cfg.slot_duration
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        levels = levels * (
+            1.0
+            + cfg.drift_amplitude
+            * np.sin(2.0 * np.pi * t / cfg.drift_period_s + phase)
+        )
+    ou = _ou_fluctuation(cfg.n_slots, cfg.slot_duration, cfg.ou_theta, rng)
+    bw = levels * (1.0 + cfg.ou_sigma_frac * ou)
+    bw = np.clip(bw, cfg.min_bandwidth, cfg.max_bandwidth)
+    return BandwidthTrace(bw, cfg.slot_duration, name=cfg.name)
+
+
+def ou_trace(
+    mean: float,
+    sigma_frac: float = 0.3,
+    n_slots: int = 1200,
+    slot_duration: float = 1.0,
+    theta: float = 0.2,
+    rng: SeedLike = None,
+    name: str = "ou",
+) -> BandwidthTrace:
+    """Pure OU trace around a fixed mean (no regime switching)."""
+    cfg = TraceConfig(
+        n_slots=n_slots,
+        slot_duration=slot_duration,
+        regime_means=(mean,),
+        regime_dwell=1e9,
+        ou_theta=theta,
+        ou_sigma_frac=sigma_frac,
+        min_bandwidth=max(MIN_BANDWIDTH, mean * 0.05),
+        max_bandwidth=mean * 3.0,
+        name=name,
+    )
+    return generate_trace(cfg, rng)
+
+
+def markov_modulated_trace(
+    regime_means: Sequence[float],
+    dwell: float = 20.0,
+    n_slots: int = 1200,
+    slot_duration: float = 1.0,
+    rng: SeedLike = None,
+    name: str = "mmpp",
+) -> BandwidthTrace:
+    """Pure regime-hopping trace (no OU jitter)."""
+    cfg = TraceConfig(
+        n_slots=n_slots,
+        slot_duration=slot_duration,
+        regime_means=tuple(regime_means),
+        regime_dwell=dwell,
+        ou_sigma_frac=0.0,
+        min_bandwidth=MIN_BANDWIDTH,
+        max_bandwidth=max(regime_means) * 1.5,
+        name=name,
+    )
+    return generate_trace(cfg, rng)
+
+
+def lte_walking_trace(
+    n_slots: int = 1200, slot_duration: float = 1.0, rng: SeedLike = None, name: str = "lte-walking"
+) -> BandwidthTrace:
+    """4G/LTE walking trace, Fig. 2(a) envelope (~0.1-9.5 MB/s).
+
+    Combines regime hops (cell handovers), OU jitter and a slow coverage
+    drift (walking toward/away from towers).  The drift makes the process
+    non-stationary on the minutes scale — the property that separates
+    adaptive allocators from static ones in the paper's evaluation.
+    """
+    cfg = TraceConfig(
+        n_slots=n_slots,
+        slot_duration=slot_duration,
+        regime_means=(4.0, 14.0, 32.0, 55.0),
+        regime_dwell=40.0,
+        ou_theta=0.25,
+        ou_sigma_frac=0.25,
+        min_bandwidth=0.8,
+        max_bandwidth=76.0,
+        drift_amplitude=0.85,
+        drift_period_s=800.0,
+        name=name,
+    )
+    return generate_trace(cfg, rng)
+
+
+def hsdpa_bus_trace(
+    n_slots: int = 1200, slot_duration: float = 1.0, rng: SeedLike = None, name: str = "hsdpa-bus"
+) -> BandwidthTrace:
+    """HSDPA bus trace, Fig. 2(b) envelope (0-800 KB/s = 0-6.4 Mbit/s)."""
+    cfg = TraceConfig(
+        n_slots=n_slots,
+        slot_duration=slot_duration,
+        regime_means=(0.6, 1.8, 3.6, 5.2),
+        regime_dwell=30.0,
+        ou_theta=0.2,
+        ou_sigma_frac=0.35,
+        min_bandwidth=0.05,
+        max_bandwidth=6.4,
+        name=name,
+    )
+    return generate_trace(cfg, rng)
+
+
+#: Mobility scenarios of the Ghent dataset;
+#: (regime means Mbit/s, regime dwell s, drift period s).  Faster vehicles
+#: cross coverage areas sooner, so both the regime dwell and the drift
+#: period shrink from walking to car.
+SCENARIOS: Dict[str, Tuple[Tuple[float, ...], float, float]] = {
+    "walking": ((4.0, 14.0, 32.0, 55.0), 40.0, 800.0),
+    "bicycle": ((4.0, 14.0, 30.0, 50.0), 28.0, 500.0),
+    "bus": ((3.0, 12.0, 28.0, 46.0), 18.0, 300.0),
+    "tram": ((3.0, 13.0, 30.0, 48.0), 20.0, 350.0),
+    "train": ((2.0, 10.0, 26.0, 44.0), 12.0, 200.0),
+    "car": ((2.0, 11.0, 28.0, 45.0), 10.0, 150.0),
+}
+
+
+def scenario_trace(
+    scenario: str,
+    n_slots: int = 1200,
+    slot_duration: float = 1.0,
+    rng: SeedLike = None,
+) -> BandwidthTrace:
+    """Trace for one of the six Ghent mobility scenarios."""
+    try:
+        means, dwell, drift_period = SCENARIOS[scenario]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {scenario!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    cfg = TraceConfig(
+        n_slots=n_slots,
+        slot_duration=slot_duration,
+        regime_means=means,
+        regime_dwell=dwell,
+        ou_theta=0.25,
+        ou_sigma_frac=0.25,
+        min_bandwidth=0.5,
+        max_bandwidth=max(means) * 1.4,
+        drift_amplitude=0.85,
+        drift_period_s=drift_period,
+        name=scenario,
+    )
+    return generate_trace(cfg, rng)

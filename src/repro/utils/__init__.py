@@ -1,0 +1,34 @@
+"""Shared utilities: deterministic RNG management, running statistics,
+empirical CDFs, ASCII tables and checkpoint serialization.
+
+These are deliberately dependency-light (numpy only) so every other
+subpackage can build on them.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.stats import (
+    EmpiricalCDF,
+    RunningMeanStd,
+    RunningStat,
+    describe,
+    ecdf,
+    quantiles,
+)
+from repro.utils.tables import format_table, paper_vs_measured_table
+from repro.utils.serialization import load_npz_state, save_npz_state
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "EmpiricalCDF",
+    "RunningMeanStd",
+    "RunningStat",
+    "describe",
+    "ecdf",
+    "quantiles",
+    "format_table",
+    "paper_vs_measured_table",
+    "load_npz_state",
+    "save_npz_state",
+]

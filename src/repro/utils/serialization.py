@@ -1,0 +1,53 @@
+"""Checkpoint serialization on top of ``numpy.savez``.
+
+State dicts throughout the library are flat ``{name: ndarray}`` mappings;
+nesting is expressed with ``/``-separated keys (e.g. ``actor/layer0/W``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+def save_npz_state(path: str, state: Mapping[str, np.ndarray]) -> None:
+    """Atomically persist a flat state dict to ``path`` (.npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    arrays = {k: np.asarray(v) for k, v in state.items()}
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+    os.replace(tmp, path)
+
+
+def load_npz_state(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict saved by :func:`save_npz_state`."""
+    with np.load(path, allow_pickle=False) as data:
+        return {k: data[k].copy() for k in data.files}
+
+
+def flatten_state(nested: Mapping, prefix: str = "") -> Dict[str, np.ndarray]:
+    """Flatten nested dicts of arrays into ``/``-keyed flat form."""
+    out: Dict[str, np.ndarray] = {}
+    for key, value in nested.items():
+        full = f"{prefix}/{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            out.update(flatten_state(value, full))
+        else:
+            out[full] = np.asarray(value)
+    return out
+
+
+def unflatten_state(flat: Mapping[str, np.ndarray]) -> Dict:
+    """Inverse of :func:`flatten_state`."""
+    out: Dict = {}
+    for key, value in flat.items():
+        parts = key.split("/")
+        node = out
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return out

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables/figures
+report; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _fmt_cell(value, ndigits: int = 4) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    ndigits: int = 4,
+) -> str:
+    """Render an ASCII table with auto-sized columns."""
+    str_rows: List[List[str]] = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def paper_vs_measured_table(
+    experiment: str,
+    entries: Sequence[dict],
+) -> str:
+    """Render paper-vs-measured comparison rows.
+
+    Each entry is a dict with keys ``metric``, ``paper``, ``measured`` and
+    optionally ``note``.
+    """
+    rows = []
+    for e in entries:
+        rows.append(
+            [
+                e["metric"],
+                _fmt_cell(e.get("paper", "-")),
+                _fmt_cell(e.get("measured", "-")),
+                e.get("note", ""),
+            ]
+        )
+    return format_table(
+        ["metric", "paper", "measured", "note"],
+        rows,
+        title=f"== {experiment}: paper vs measured ==",
+    )

@@ -1,0 +1,11 @@
+"""Dependency-free SVG charts for the figure benches.
+
+The offline environment has no matplotlib; this small renderer emits
+hand-written SVG for the three chart shapes the paper's figures use:
+line series (Figs. 2, 6, 8), CDF curves (Fig. 7 d-f) and grouped bars
+(Fig. 7 a-c).
+"""
+
+from repro.viz.svg import SvgFigure, bar_chart, cdf_chart, line_chart
+
+__all__ = ["SvgFigure", "line_chart", "cdf_chart", "bar_chart"]

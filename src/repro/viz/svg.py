@@ -1,0 +1,255 @@
+"""Minimal SVG chart renderer (no third-party dependencies).
+
+Produces self-contained ``.svg`` files with axes, ticks, legends and the
+three mark types the reproduction needs.  Not a plotting library — just
+enough to regenerate the paper's figure shapes from bench data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Default categorical palette (colorblind-safe-ish).
+PALETTE = ["#4472c4", "#ed7d31", "#70ad47", "#9e480e", "#636363", "#997300"]
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(n - 1, 1)
+    mag = 10 ** np.floor(np.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if span / step <= n:
+            break
+    start = np.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 0.5 * step:
+        if t >= lo - 0.5 * step:
+            ticks.append(float(t))
+        t += step
+    return ticks
+
+
+class SvgFigure:
+    """A single-axes SVG figure with manual layout."""
+
+    def __init__(
+        self,
+        width: int = 560,
+        height: int = 360,
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+        margin: Tuple[int, int, int, int] = (50, 20, 42, 62),  # top right bottom left
+    ):
+        self.width = width
+        self.height = height
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.m_top, self.m_right, self.m_bottom, self.m_left = margin
+        self._elements: List[str] = []
+        self._legend: List[Tuple[str, str]] = []
+        self._xlim: Optional[Tuple[float, float]] = None
+        self._ylim: Optional[Tuple[float, float]] = None
+
+    # -- coordinate mapping -------------------------------------------------
+    @property
+    def plot_w(self) -> float:
+        return self.width - self.m_left - self.m_right
+
+    @property
+    def plot_h(self) -> float:
+        return self.height - self.m_top - self.m_bottom
+
+    def set_limits(self, xs, ys) -> None:
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        x_lo, x_hi = float(xs.min()), float(xs.max())
+        y_lo, y_hi = float(ys.min()), float(ys.max())
+        if self._xlim:
+            x_lo, x_hi = min(x_lo, self._xlim[0]), max(x_hi, self._xlim[1])
+        if self._ylim:
+            y_lo, y_hi = min(y_lo, self._ylim[0]), max(y_hi, self._ylim[1])
+        pad_y = 0.05 * max(y_hi - y_lo, 1e-9)
+        self._xlim = (x_lo, x_hi)
+        self._ylim = (y_lo - pad_y, y_hi + pad_y)
+
+    def _px(self, x: float) -> float:
+        lo, hi = self._xlim
+        frac = (x - lo) / max(hi - lo, 1e-12)
+        return self.m_left + frac * self.plot_w
+
+    def _py(self, y: float) -> float:
+        lo, hi = self._ylim
+        frac = (y - lo) / max(hi - lo, 1e-12)
+        return self.m_top + (1.0 - frac) * self.plot_h
+
+    # -- marks ---------------------------------------------------------------
+    def add_line(self, xs, ys, label: str = "", color: Optional[str] = None,
+                 dash: bool = False) -> None:
+        color = color or PALETTE[len(self._legend) % len(PALETTE)]
+        self.set_limits(xs, ys)
+        pts = " ".join(
+            f"{self._px(float(x)):.1f},{self._py(float(y)):.1f}"
+            for x, y in zip(xs, ys)
+        )
+        dash_attr = ' stroke-dasharray="6,4"' if dash else ""
+        self._elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"{dash_attr}/>'
+        )
+        if label:
+            self._legend.append((label, color))
+
+    def add_bars(self, labels: Sequence[str], values: Sequence[float],
+                 color: Optional[str] = None) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self._xlim = (-0.6, len(labels) - 0.4)
+        self.set_limits([0, len(labels) - 1], np.concatenate([[0.0], values]))
+        width = 0.6
+        for i, (label, value) in enumerate(zip(labels, values)):
+            c = color or PALETTE[i % len(PALETTE)]
+            x0 = self._px(i - width / 2)
+            x1 = self._px(i + width / 2)
+            y0 = self._py(float(value))
+            y1 = self._py(0.0)
+            self._elements.append(
+                f'<rect x="{x0:.1f}" y="{min(y0, y1):.1f}" width="{x1 - x0:.1f}" '
+                f'height="{abs(y1 - y0):.1f}" fill="{c}" opacity="0.9"/>'
+            )
+            self._elements.append(
+                f'<text x="{(x0 + x1) / 2:.1f}" y="{self.height - self.m_bottom + 16}" '
+                f'text-anchor="middle" font-size="11">{label}</text>'
+            )
+            self._elements.append(
+                f'<text x="{(x0 + x1) / 2:.1f}" y="{min(y0, y1) - 4:.1f}" '
+                f'text-anchor="middle" font-size="10">{value:.3g}</text>'
+            )
+
+    # -- rendering -------------------------------------------------------------
+    def _axes_svg(self, numeric_x: bool = True) -> List[str]:
+        out = []
+        x0, y0 = self.m_left, self.m_top
+        x1, y1 = self.width - self.m_right, self.height - self.m_bottom
+        out.append(
+            f'<rect x="{x0}" y="{y0}" width="{self.plot_w:.1f}" '
+            f'height="{self.plot_h:.1f}" fill="none" stroke="#999"/>'
+        )
+        if self._ylim:
+            for t in _nice_ticks(*self._ylim):
+                py = self._py(t)
+                if y0 - 1 <= py <= y1 + 1:
+                    out.append(
+                        f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" stroke="#555"/>'
+                    )
+                    out.append(
+                        f'<text x="{x0 - 7}" y="{py + 3.5:.1f}" text-anchor="end" '
+                        f'font-size="10">{t:.4g}</text>'
+                    )
+                    out.append(
+                        f'<line x1="{x0}" y1="{py:.1f}" x2="{x1}" y2="{py:.1f}" '
+                        f'stroke="#eee"/>'
+                    )
+        if numeric_x and self._xlim:
+            for t in _nice_ticks(*self._xlim):
+                px = self._px(t)
+                if x0 - 1 <= px <= x1 + 1:
+                    out.append(
+                        f'<line x1="{px:.1f}" y1="{y1}" x2="{px:.1f}" y2="{y1 + 4}" stroke="#555"/>'
+                    )
+                    out.append(
+                        f'<text x="{px:.1f}" y="{y1 + 16}" text-anchor="middle" '
+                        f'font-size="10">{t:.4g}</text>'
+                    )
+        return out
+
+    def render(self, numeric_x: bool = True) -> str:
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="Helvetica,Arial,sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+                f'font-size="14" font-weight="bold">{self.title}</text>'
+            )
+        parts.extend(self._axes_svg(numeric_x=numeric_x))
+        # grid lines first, marks on top
+        parts.extend(self._elements)
+        if self.xlabel:
+            parts.append(
+                f'<text x="{self.width / 2}" y="{self.height - 8}" '
+                f'text-anchor="middle" font-size="12">{self.xlabel}</text>'
+            )
+        if self.ylabel:
+            cx, cy = 14, self.height / 2
+            parts.append(
+                f'<text x="{cx}" y="{cy}" text-anchor="middle" font-size="12" '
+                f'transform="rotate(-90 {cx} {cy})">{self.ylabel}</text>'
+            )
+        for i, (label, color) in enumerate(self._legend):
+            lx = self.m_left + 10
+            ly = self.m_top + 14 + 15 * i
+            parts.append(
+                f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 23}" y="{ly}" font-size="11">{label}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str, numeric_x: bool = True) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(self.render(numeric_x=numeric_x))
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> SvgFigure:
+    """Multi-series line chart; ``series`` maps label -> (xs, ys)."""
+    fig = SvgFigure(title=title, xlabel=xlabel, ylabel=ylabel)
+    for label, (xs, ys) in series.items():
+        fig.add_line(xs, ys, label=label)
+    return fig
+
+
+def cdf_chart(
+    samples: Dict[str, Sequence[float]],
+    title: str = "",
+    xlabel: str = "",
+) -> SvgFigure:
+    """Empirical-CDF chart; ``samples`` maps label -> raw sample values."""
+    fig = SvgFigure(title=title, xlabel=xlabel, ylabel="CDF")
+    for label, values in samples.items():
+        xs = np.sort(np.asarray(values, dtype=np.float64))
+        ys = np.arange(1, xs.size + 1) / xs.size
+        fig.add_line(xs, ys, label=label)
+    return fig
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    ylabel: str = "",
+) -> SvgFigure:
+    """Per-method bar chart (Fig. 7 a-c style)."""
+    fig = SvgFigure(title=title, ylabel=ylabel)
+    fig.add_bars(labels, values)
+    return fig

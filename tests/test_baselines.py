@@ -1,0 +1,210 @@
+"""Tests for repro.baselines — deadline solver and allocators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    FullSpeedAllocator,
+    HeuristicAllocator,
+    OracleAllocator,
+    RandomAllocator,
+    StaticAllocator,
+    optimal_frequencies_for_estimate,
+)
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.sim.cost import CostModel
+from repro.sim.system import FLSystem, SystemConfig
+from repro.traces.base import BandwidthTrace
+
+
+def make_fleet(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    devices = []
+    for i in range(n):
+        p = DeviceParams(
+            data_mbit=float(rng.uniform(400, 800)),
+            cycles_per_mbit=float(rng.uniform(0.01, 0.03)),
+            max_frequency_ghz=float(rng.uniform(1.0, 2.0)),
+            alpha=0.05,
+            e_tx=0.01,
+        )
+        bw = float(rng.uniform(5, 50))
+        devices.append(MobileDevice(p, BandwidthTrace(np.full(400, bw)), device_id=i))
+    return DeviceFleet(devices)
+
+
+def make_system(n=3, seed=0, lam=1.0):
+    return FLSystem(
+        make_fleet(n, seed),
+        SystemConfig(model_size_mbit=40.0, history_slots=4, cost=CostModel(lam=lam)),
+    )
+
+
+class TestDeadlineSolver:
+    def estimated_cost(self, fleet, freqs, that, cm):
+        """Evaluate the solver's objective at arbitrary frequencies."""
+        t_total = np.max(fleet.cycle_budgets / freqs + that)
+        energy = np.sum(
+            fleet.energy_coefficients * freqs**2 + fleet.tx_powers * that
+        )
+        return cm.cost(t_total, float(energy))
+
+    def test_solution_feasible(self):
+        fleet = make_fleet()
+        that = np.array([2.0, 3.0, 1.0])
+        sol = optimal_frequencies_for_estimate(fleet, that, CostModel(lam=1.0))
+        assert np.all(sol.frequencies > 0)
+        assert np.all(sol.frequencies <= fleet.max_frequencies + 1e-12)
+
+    def test_devices_finish_at_deadline(self):
+        fleet = make_fleet()
+        that = np.array([2.0, 3.0, 1.0])
+        sol = optimal_frequencies_for_estimate(fleet, that, CostModel(lam=1.0))
+        finish = fleet.cycle_budgets / sol.frequencies + that
+        # every unconstrained device finishes exactly at the deadline
+        for i in range(fleet.n):
+            if sol.frequencies[i] < fleet.max_frequencies[i] - 1e-9:
+                assert finish[i] == pytest.approx(sol.deadline, rel=1e-6)
+            else:
+                assert finish[i] <= sol.deadline + 1e-9
+
+    def test_lambda_zero_runs_full_speed(self):
+        fleet = make_fleet()
+        that = np.zeros(3)
+        sol = optimal_frequencies_for_estimate(fleet, that, CostModel(lam=0.0))
+        assert np.allclose(sol.frequencies, fleet.max_frequencies)
+
+    def test_larger_lambda_slower_frequencies(self):
+        fleet = make_fleet()
+        that = np.array([1.0, 1.0, 1.0])
+        lo = optimal_frequencies_for_estimate(fleet, that, CostModel(lam=0.1))
+        hi = optimal_frequencies_for_estimate(fleet, that, CostModel(lam=10.0))
+        assert np.all(hi.frequencies <= lo.frequencies + 1e-9)
+        assert hi.deadline >= lo.deadline
+
+    def test_validations(self):
+        fleet = make_fleet()
+        with pytest.raises(ValueError):
+            optimal_frequencies_for_estimate(fleet, np.zeros(2), CostModel())
+        with pytest.raises(ValueError):
+            optimal_frequencies_for_estimate(fleet, np.array([1.0, -1.0, 0.0]), CostModel())
+
+    @given(
+        seed=st.integers(0, 50),
+        lam=st.floats(0.01, 5.0),
+        scale=st.floats(0.2, 5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_solver_beats_perturbations_property(self, seed, lam, scale):
+        """The solver's point is optimal for its own objective: random
+        feasible perturbations never achieve lower estimated cost."""
+        fleet = make_fleet(seed=seed % 5)
+        rng = np.random.default_rng(seed)
+        that = rng.uniform(0.5, 5.0, fleet.n) * scale
+        cm = CostModel(lam=lam)
+        sol = optimal_frequencies_for_estimate(fleet, that, cm)
+        base = self.estimated_cost(fleet, sol.frequencies, that, cm)
+        for _ in range(10):
+            pert = sol.frequencies * rng.uniform(0.7, 1.3, fleet.n)
+            pert = np.minimum(pert, fleet.max_frequencies)
+            pert = np.maximum(pert, 1e-3)
+            assert base <= self.estimated_cost(fleet, pert, that, cm) + 1e-6
+
+
+class TestAllocators:
+    def test_fullspeed(self):
+        system = make_system()
+        out = FullSpeedAllocator().allocate(system)
+        assert np.allclose(out, system.fleet.max_frequencies)
+
+    def test_random_in_bounds(self):
+        system = make_system()
+        alloc = RandomAllocator(rng=0, floor_frac=0.2)
+        for _ in range(10):
+            f = alloc.allocate(system)
+            assert np.all(f <= system.fleet.max_frequencies + 1e-12)
+            assert np.all(f >= 0.2 * system.fleet.max_frequencies - 1e-12)
+
+    def test_random_invalid_floor(self):
+        with pytest.raises(ValueError):
+            RandomAllocator(floor_frac=0.0)
+
+    def test_heuristic_first_iteration_uses_current_bw(self):
+        system = make_system()
+        system.reset(10.0)
+        f = HeuristicAllocator().allocate(system)
+        assert f.shape == (3,)
+        assert np.all(f > 0)
+
+    def test_heuristic_uses_last_iteration_afterwards(self):
+        system = make_system()
+        system.reset(10.0)
+        alloc = HeuristicAllocator()
+        system.step(alloc.allocate(system))
+        f = alloc.allocate(system)
+        assert np.all(f > 0)
+
+    def test_static_fixed_over_run(self):
+        system = make_system()
+        system.reset(10.0)
+        alloc = StaticAllocator(rng=0)
+        alloc.reset(system)
+        f1 = alloc.allocate(system)
+        system.step(f1)
+        f2 = alloc.allocate(system)
+        assert np.allclose(f1, f2)
+
+    def test_static_allocate_without_reset_tolerated(self):
+        system = make_system()
+        system.reset(10.0)
+        f = StaticAllocator(rng=0).allocate(system)
+        assert f.shape == (3,)
+
+    def test_static_scopes(self):
+        system = make_system()
+        system.reset(10.0)
+        for scope in ("recent", "per-device", "global"):
+            f = StaticAllocator(rng=0, scope=scope).allocate(system)
+            assert np.all(f > 0)
+
+    def test_static_invalid_args(self):
+        with pytest.raises(ValueError):
+            StaticAllocator(n_bandwidth_samples=0)
+        with pytest.raises(ValueError):
+            StaticAllocator(scope="psychic")
+        with pytest.raises(ValueError):
+            StaticAllocator(probe_window_s=0.0)
+
+    def test_oracle_matches_solver_on_flat_traces(self):
+        """With constant bandwidth the oracle's fixed point equals the
+        one-shot solve with exact upload times."""
+        system = make_system()
+        system.reset(10.0)
+        oracle_f = OracleAllocator().allocate(system)
+        # exact upload times are xi / bw regardless of start
+        that = np.array(
+            [system.config.model_size_mbit / d.trace.values[0] for d in system.fleet]
+        )
+        sol = optimal_frequencies_for_estimate(system.fleet, that, system.config.cost)
+        assert np.allclose(oracle_f, sol.frequencies, rtol=1e-3)
+
+    def test_oracle_invalid_iters(self):
+        with pytest.raises(ValueError):
+            OracleAllocator(fixed_point_iters=0)
+
+    def test_oracle_beats_others_on_average(self):
+        """On the flat-trace system, the oracle cost must be minimal."""
+        from repro.sim.iteration import simulate_iteration
+
+        system = make_system(seed=3)
+        results = {}
+        for alloc in (OracleAllocator(), FullSpeedAllocator(), RandomAllocator(rng=0)):
+            system.reset(10.0)
+            alloc.reset(system)
+            costs = [system.step(alloc.allocate(system)).cost for _ in range(20)]
+            results[alloc.name] = np.mean(costs)
+        assert results["oracle"] <= results["full-speed"] + 1e-9
+        assert results["oracle"] <= results["random"] + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for repro.baselines.predictive — forecast-driven allocation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OracleAllocator, PredictiveAllocator
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.sim.cost import CostModel
+from repro.sim.system import FLSystem, SystemConfig
+from repro.traces.base import BandwidthTrace
+from repro.traces.forecast import LastValueForecaster
+
+
+def make_system(bws=(10.0, 30.0), lam=1.0):
+    devices = []
+    for i, bw in enumerate(bws):
+        p = DeviceParams(
+            data_mbit=500.0, cycles_per_mbit=0.02, max_frequency_ghz=1.5,
+            alpha=0.05, e_tx=0.01,
+        )
+        devices.append(MobileDevice(p, BandwidthTrace(np.full(300, bw)), device_id=i))
+    return FLSystem(
+        DeviceFleet(devices),
+        SystemConfig(model_size_mbit=40.0, history_slots=4, cost=CostModel(lam=lam)),
+    )
+
+
+class TestPredictiveAllocator:
+    def test_by_name(self):
+        alloc = PredictiveAllocator("ewma", alpha=0.3)
+        assert alloc.name == "predictive-ewma"
+
+    def test_by_instance(self):
+        alloc = PredictiveAllocator(LastValueForecaster())
+        assert "LastValueForecaster" in alloc.name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            PredictiveAllocator("prophet")
+
+    def test_allocation_shape_and_bounds(self):
+        system = make_system()
+        system.reset(20.0)
+        freqs = PredictiveAllocator("ewma").allocate(system)
+        assert freqs.shape == (2,)
+        assert np.all(freqs > 0)
+        assert np.all(freqs <= system.fleet.max_frequencies + 1e-12)
+
+    def test_matches_oracle_on_constant_traces(self):
+        """With flat traces every forecaster is exact, so the predictive
+        allocator and the clairvoyant oracle coincide."""
+        system = make_system()
+        system.reset(20.0)
+        pred = PredictiveAllocator("last").allocate(system)
+        oracle = OracleAllocator().allocate(system)
+        assert np.allclose(pred, oracle, rtol=1e-3)
+
+    @pytest.mark.parametrize("name", ["last", "ewma", "holt", "ar1", "harmonic"])
+    def test_all_forecasters_run_on_real_traces(self, name):
+        from repro.experiments.presets import TESTBED_PRESET, build_system
+        from dataclasses import replace
+
+        preset = replace(TESTBED_PRESET, trace_slots=300)
+        system = build_system(preset, seed=0)
+        system.reset(30.0)
+        alloc = PredictiveAllocator(name)
+        for _ in range(5):
+            result = system.step(alloc.allocate(system))
+            assert np.isfinite(result.cost)

@@ -1,0 +1,109 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.preset == "testbed"
+        assert args.algorithm == "ppo"
+
+    def test_fig_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "5"])
+
+
+class TestTracesCommand:
+    def test_report_only(self, capsys):
+        assert main(["traces", "--kind", "walking", "--count", "2", "--slots", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "walking" in out
+        assert "lag-1 autocorr" in out
+
+    def test_writes_csv(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "traces")
+        assert main([
+            "traces", "--kind", "hsdpa", "--count", "1",
+            "--slots", "100", "--out-dir", out_dir,
+        ]) == 0
+        import os
+
+        assert os.path.exists(os.path.join(out_dir, "hsdpa-0.csv"))
+
+    def test_unknown_kind_exits(self):
+        with pytest.raises(SystemExit):
+            main(["traces", "--kind", "hovercraft"])
+
+
+class TestEvaluateCommand:
+    def test_evaluate_baselines(self, capsys):
+        rc = main([
+            "evaluate", "--allocators", "heuristic", "full-speed",
+            "--iters", "5", "--seed", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "heuristic" in out
+        assert "ranking:" in out
+
+    def test_evaluate_predictive(self, capsys):
+        rc = main([
+            "evaluate", "--allocators", "predictive-ewma", "--iters", "3",
+        ])
+        assert rc == 0
+        assert "predictive-ewma" in capsys.readouterr().out
+
+    def test_drl_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--allocators", "drl", "--iters", "2"])
+
+    def test_unknown_allocator_exits(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--allocators", "psychic", "--iters", "2"])
+
+    def test_unknown_preset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--preset", "mars", "--iters", "2"])
+
+
+class TestTrainAndDeploy:
+    def test_train_then_evaluate_drl(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "agent.npz")
+        rc = main([
+            "train", "--episodes", "6", "--seed", "0", "--out", ckpt,
+        ])
+        assert rc == 0
+        rc = main([
+            "evaluate", "--allocators", "drl", "heuristic",
+            "--checkpoint", ckpt, "--iters", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drl" in out
+
+    def test_train_a2c(self, tmp_path):
+        ckpt = str(tmp_path / "a2c.npz")
+        rc = main([
+            "train", "--episodes", "4", "--algorithm", "a2c", "--out", ckpt,
+        ])
+        assert rc == 0
+
+
+class TestFigCommand:
+    def test_fig2(self, capsys):
+        assert main(["fig", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MB/s" in out and "hsdpa" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig", "3", "--iters", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "idle fractions" in out

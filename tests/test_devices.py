@@ -1,0 +1,232 @@
+"""Tests for repro.devices — Eqs. (1) and (6) and fleet sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.energy import (
+    compute_energy,
+    cycle_budget,
+    frequency_for_deadline,
+    transmission_energy,
+)
+from repro.devices.fleet import DeviceFleet, FleetConfig, sample_fleet
+from repro.traces.base import BandwidthTrace, TracePool
+
+
+def params(**over):
+    base = dict(
+        data_mbit=600.0,
+        cycles_per_mbit=0.02,
+        max_frequency_ghz=1.5,
+        alpha=0.05,
+        e_tx=0.01,
+        tau=1,
+    )
+    base.update(over)
+    return DeviceParams(**base)
+
+
+def flat_trace(bw=10.0, n=100):
+    return BandwidthTrace(np.full(n, bw))
+
+
+class TestEnergyHelpers:
+    def test_cycle_budget(self):
+        assert cycle_budget(2, 0.02, 600.0) == pytest.approx(24.0)
+
+    def test_cycle_budget_invalid(self):
+        with pytest.raises(ValueError):
+            cycle_budget(0, 0.02, 600.0)
+        with pytest.raises(ValueError):
+            cycle_budget(1, -1.0, 600.0)
+
+    def test_compute_energy_quadratic_in_frequency(self):
+        e1 = compute_energy(0.05, 0.02, 600.0, 1.0)
+        e2 = compute_energy(0.05, 0.02, 600.0, 2.0)
+        assert e2 == pytest.approx(4.0 * e1)
+
+    def test_compute_energy_tau_flag(self):
+        base = compute_energy(0.05, 0.02, 600.0, 1.0, tau=3, include_tau=False)
+        with_tau = compute_energy(0.05, 0.02, 600.0, 1.0, tau=3, include_tau=True)
+        assert with_tau == pytest.approx(3.0 * base)
+
+    def test_compute_energy_vectorized(self):
+        e = compute_energy(0.05, 0.02, 600.0, np.array([1.0, 2.0]))
+        assert e.shape == (2,)
+
+    def test_compute_energy_invalid(self):
+        with pytest.raises(ValueError):
+            compute_energy(-1.0, 0.02, 600.0, 1.0)
+        with pytest.raises(ValueError):
+            compute_energy(0.05, 0.02, 600.0, -1.0)
+
+    def test_transmission_energy(self):
+        assert transmission_energy(0.02, 5.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            transmission_energy(-0.1, 1.0)
+
+    def test_frequency_for_deadline(self):
+        f = frequency_for_deadline(12.0, 10.0, 2.0)
+        assert f == pytest.approx(1.2)
+
+    def test_frequency_for_deadline_clamps(self):
+        assert frequency_for_deadline(12.0, 1.0, 2.0) == pytest.approx(2.0)
+        assert frequency_for_deadline(12.0, 0.0, 2.0) == pytest.approx(2.0)
+
+    def test_frequency_for_deadline_invalid(self):
+        with pytest.raises(ValueError):
+            frequency_for_deadline(-1.0, 1.0, 2.0)
+
+
+class TestDeviceParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            params(data_mbit=0.0)
+        with pytest.raises(ValueError):
+            params(max_frequency_ghz=-1.0)
+        with pytest.raises(ValueError):
+            params(tau=0)
+
+    def test_cycles_total(self):
+        assert params(tau=2).cycles_total_gc == pytest.approx(24.0)
+
+    def test_from_paper_units(self):
+        p = DeviceParams.from_paper_units(
+            data_mb=75.0, cycles_per_bit=20.0, max_frequency_ghz=1.5, alpha=0.05
+        )
+        assert p.data_mbit == pytest.approx(600.0)
+        assert p.cycles_per_mbit == pytest.approx(0.02)
+        # t_cmp at 1.5 GHz = 0.02*600/1.5 = 8 s
+        assert p.cycles_total_gc / p.max_frequency_ghz == pytest.approx(8.0)
+
+
+class TestMobileDevice:
+    def test_compute_time_eq1(self):
+        d = MobileDevice(params(), flat_trace())
+        assert d.compute_time(1.5) == pytest.approx(12.0 / 1.5)
+
+    def test_compute_time_clamps_to_max(self):
+        d = MobileDevice(params(), flat_trace())
+        assert d.compute_time(99.0) == d.compute_time(1.5)
+
+    def test_compute_time_invalid(self):
+        d = MobileDevice(params(), flat_trace())
+        with pytest.raises(ValueError):
+            d.compute_time(0.0)
+
+    def test_upload_time_flat_trace(self):
+        d = MobileDevice(params(), flat_trace(bw=10.0))
+        assert d.upload_time(0.0, 40.0) == pytest.approx(4.0)
+
+    def test_upload_time_invalid_size(self):
+        d = MobileDevice(params(), flat_trace())
+        with pytest.raises(ValueError):
+            d.upload_time(0.0, 0.0)
+
+    def test_energy_eq6(self):
+        d = MobileDevice(params(), flat_trace())
+        # alpha*c*D*delta^2 + e*t_com = 0.05*12*1 + 0.01*5
+        assert d.energy(1.0, 5.0) == pytest.approx(0.05 * 12.0 + 0.05)
+
+    def test_energy_clamps_frequency(self):
+        d = MobileDevice(params(), flat_trace())
+        assert d.energy(99.0, 0.0) == pytest.approx(d.energy(1.5, 0.0))
+
+    def test_clamp_frequency(self):
+        d = MobileDevice(params(), flat_trace())
+        assert d.clamp_frequency(9.0) == 1.5
+        assert d.clamp_frequency(0.0) == pytest.approx(0.02 * 1.5)
+
+    def test_min_iteration_time(self):
+        d = MobileDevice(params(), flat_trace(bw=10.0))
+        assert d.min_iteration_time(0.0, 40.0) == pytest.approx(8.0 + 4.0)
+
+    def test_with_trace(self):
+        d = MobileDevice(params(), flat_trace(10.0))
+        d2 = d.with_trace(flat_trace(20.0))
+        assert d2.upload_time(0.0, 40.0) == pytest.approx(2.0)
+        assert d2.device_id == d.device_id
+
+    @given(freq=st.floats(0.1, 1.5), t_com=st.floats(0.0, 100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_energy_monotone_in_frequency_property(self, freq, t_com):
+        d = MobileDevice(params(), flat_trace())
+        assert d.energy(freq, t_com) <= d.energy(1.5, t_com) + 1e-12
+
+
+class TestFleet:
+    def make_fleet(self, n=3):
+        cfg = FleetConfig(n_devices=n)
+        traces = [flat_trace(bw=10.0 * (i + 1)) for i in range(n)]
+        return sample_fleet(cfg, traces, rng=0)
+
+    def test_sampled_ranges(self):
+        cfg = FleetConfig(n_devices=50)
+        fleet = sample_fleet(cfg, [flat_trace() for _ in range(50)], rng=0)
+        for d in fleet:
+            p = d.params
+            assert 50.0 * 8 <= p.data_mbit <= 100.0 * 8
+            assert 0.010 <= p.cycles_per_mbit <= 0.030
+            assert 1.0 <= p.max_frequency_ghz <= 2.0
+
+    def test_trace_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sample_fleet(FleetConfig(n_devices=3), [flat_trace()], rng=0)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_devices=0).validate()
+        with pytest.raises(ValueError):
+            FleetConfig(data_mb_range=(100.0, 50.0)).validate()
+
+    def test_vector_views_consistent(self):
+        fleet = self.make_fleet()
+        for i, d in enumerate(fleet):
+            assert fleet.max_frequencies[i] == d.params.max_frequency_ghz
+            assert fleet.cycle_budgets[i] == pytest.approx(d.params.cycles_total_gc)
+
+    def test_compute_times_vectorized_matches_scalar(self):
+        fleet = self.make_fleet()
+        freqs = np.array([1.0, 1.2, 1.4])
+        times = fleet.compute_times(freqs)
+        for i, d in enumerate(fleet):
+            assert times[i] == pytest.approx(d.compute_time(freqs[i]))
+
+    def test_compute_energies_vectorized(self):
+        fleet = self.make_fleet()
+        freqs = np.array([1.0, 1.2, 1.4])
+        energies = fleet.compute_energies(freqs)
+        for i, d in enumerate(fleet):
+            assert energies[i] == pytest.approx(d.energy(freqs[i], 0.0))
+
+    def test_clamp_frequencies(self):
+        fleet = self.make_fleet()
+        out = fleet.clamp_frequencies(np.array([99.0, 0.0, 1.0]))
+        assert out[0] == fleet.max_frequencies[0]
+        assert out[1] == pytest.approx(0.02 * fleet.max_frequencies[1])
+
+    def test_clamp_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            self.make_fleet().clamp_frequencies(np.ones(5))
+
+    def test_compute_times_invalid_freq(self):
+        with pytest.raises(ValueError):
+            self.make_fleet().compute_times(np.array([1.0, -1.0, 1.0]))
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ValueError):
+            DeviceFleet([])
+
+    def test_with_traces(self):
+        fleet = self.make_fleet()
+        new = fleet.with_traces([flat_trace(5.0)] * 3)
+        assert new[0].trace.values[0] == 5.0
+        assert np.allclose(new.max_frequencies, fleet.max_frequencies)
+
+    def test_from_pool(self):
+        pool = TracePool([flat_trace(5.0), flat_trace(15.0)])
+        fleet = DeviceFleet.from_pool(FleetConfig(n_devices=7), pool, rng=0)
+        assert fleet.n == 7

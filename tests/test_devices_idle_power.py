@@ -1,0 +1,72 @@
+"""Tests for the idle-power model extension (paper-faithful default 0)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.sim.cost import CostModel
+from repro.sim.iteration import simulate_iteration
+from repro.traces.base import BandwidthTrace
+
+
+def make_fleet(p_idle=0.0):
+    devices = []
+    for i, bw in enumerate((10.0, 40.0)):
+        p = DeviceParams(
+            data_mbit=600.0, cycles_per_mbit=0.02, max_frequency_ghz=1.5,
+            alpha=0.05, e_tx=0.01, p_idle=p_idle,
+        )
+        devices.append(MobileDevice(p, BandwidthTrace(np.full(200, bw)), device_id=i))
+    return DeviceFleet(devices)
+
+
+class TestIdlePower:
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            DeviceParams(
+                data_mbit=1.0, cycles_per_mbit=0.01,
+                max_frequency_ghz=1.0, alpha=0.0, p_idle=-1.0,
+            )
+
+    def test_default_zero_matches_paper_energy(self):
+        fleet = make_fleet(p_idle=0.0)
+        result = simulate_iteration(
+            fleet, np.full(2, 1.5), 0.0, 40.0, CostModel(lam=1.0)
+        )
+        # Eq. (6) exactly: alpha c D delta^2 + e t_com
+        expected = 0.05 * 12.0 * 1.5**2 + 0.01 * np.array([4.0, 1.0])
+        assert np.allclose(result.energies, expected)
+
+    def test_idle_power_charges_the_faster_device(self):
+        fleet = make_fleet(p_idle=0.1)
+        result = simulate_iteration(
+            fleet, np.full(2, 1.5), 0.0, 40.0, CostModel(lam=1.0)
+        )
+        base = make_fleet(p_idle=0.0)
+        ref = simulate_iteration(base, np.full(2, 1.5), 0.0, 40.0, CostModel(lam=1.0))
+        # device 1 (fast upload) idles 3 s; its energy grows by 0.1*3
+        assert result.energies[1] == pytest.approx(ref.energies[1] + 0.1 * 3.0)
+        # the slowest device has no idle, so no surcharge
+        assert result.energies[0] == pytest.approx(ref.energies[0])
+
+    def test_idle_power_raises_cost_of_fullspeed_imbalance(self):
+        """With idle power, perfectly-balanced schedules become even more
+        attractive than full speed — the DVFS incentive strengthens."""
+        from repro.baselines import OracleAllocator
+        from repro.sim.system import FLSystem, SystemConfig
+
+        costs = {}
+        for p_idle in (0.0, 0.2):
+            system = FLSystem(
+                make_fleet(p_idle=p_idle),
+                SystemConfig(model_size_mbit=40.0, cost=CostModel(lam=1.0)),
+            )
+            system.reset(10.0)
+            full = system.step(system.fleet.max_frequencies)
+            costs[p_idle] = full.cost
+        assert costs[0.2] > costs[0.0]
+
+    def test_fleet_exposes_idle_powers(self):
+        fleet = make_fleet(p_idle=0.07)
+        assert np.allclose(fleet.idle_powers, 0.07)

@@ -1,0 +1,149 @@
+"""Tests for repro.env — action mapping and the scheduling environment."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.env.fl_env import EnvConfig, FLSchedulingEnv
+from repro.env.wrappers import ActionMapper
+from repro.sim.cost import CostModel
+from repro.sim.system import FLSystem, SystemConfig
+from repro.traces.base import BandwidthTrace
+
+
+def make_system(bws=(10.0, 20.0), history_slots=3):
+    devices = []
+    for i, bw in enumerate(bws):
+        p = DeviceParams(
+            data_mbit=600.0, cycles_per_mbit=0.02, max_frequency_ghz=1.0 + 0.5 * i,
+            alpha=0.05, e_tx=0.01,
+        )
+        devices.append(MobileDevice(p, BandwidthTrace(np.full(300, bw)), device_id=i))
+    return FLSystem(
+        DeviceFleet(devices),
+        SystemConfig(model_size_mbit=40.0, history_slots=history_slots, cost=CostModel(lam=1.0)),
+    )
+
+
+class TestActionMapper:
+    def test_zero_maps_to_midrange(self):
+        mapper = ActionMapper(np.array([2.0]), floor_frac=0.1)
+        f = mapper.to_frequencies(np.array([0.0]))
+        # frac = floor + 0.5 * (1 - floor) = 0.1 + 0.45 = 0.55
+        assert f[0] == pytest.approx(2.0 * 0.55)
+
+    def test_extremes(self):
+        mapper = ActionMapper(np.array([2.0]), floor_frac=0.1)
+        assert mapper.to_frequencies(np.array([1.0]))[0] == pytest.approx(2.0)
+        assert mapper.to_frequencies(np.array([-1.0]))[0] == pytest.approx(0.2)
+
+    def test_out_of_range_clipped(self):
+        mapper = ActionMapper(np.array([2.0]))
+        assert mapper.to_frequencies(np.array([99.0]))[0] == pytest.approx(2.0)
+
+    def test_roundtrip(self):
+        mapper = ActionMapper(np.array([1.5, 2.0]), floor_frac=0.1)
+        raw = np.array([-0.4, 0.7])
+        freqs = mapper.to_frequencies(raw)
+        assert np.allclose(mapper.to_raw(freqs), raw)
+
+    def test_wrong_size_raises(self):
+        mapper = ActionMapper(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            mapper.to_frequencies(np.array([0.0]))
+
+    def test_invalid_floor_raises(self):
+        with pytest.raises(ValueError):
+            ActionMapper(np.array([1.0]), floor_frac=0.0)
+
+    def test_invalid_max_freq_raises(self):
+        with pytest.raises(ValueError):
+            ActionMapper(np.array([0.0]))
+
+
+class TestEnvConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvConfig(episode_length=0).validate()
+        with pytest.raises(ValueError):
+            EnvConfig(action_floor_frac=1.0).validate()
+
+
+class TestFLSchedulingEnv:
+    def test_spaces(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=4), rng=0)
+        assert env.obs_dim == 2 * 4  # N * (H+1)
+        assert env.act_dim == 2
+
+    def test_reset_returns_obs(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=4), rng=0)
+        obs = env.reset()
+        assert obs.shape == (8,)
+        assert np.all(obs > 0)
+
+    def test_reset_fixed_start(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=4), rng=0)
+        env.reset(start_time=30.0)
+        assert env.system.clock == 30.0
+
+    def test_step_reward_is_negative_cost(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=4), rng=0)
+        env.reset(start_time=20.0)
+        step = env.step(np.zeros(2))
+        assert step.reward == pytest.approx(-step.info["cost"])
+        assert step.reward < 0
+
+    def test_episode_termination(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=3), rng=0)
+        env.reset(start_time=20.0)
+        dones = [env.step(np.zeros(2)).done for _ in range(3)]
+        assert dones == [False, False, True]
+
+    def test_observation_is_bandwidth_history(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=4), rng=0)
+        obs = env.reset(start_time=50.0)
+        assert np.allclose(obs[:4], 10.0)
+        assert np.allclose(obs[4:], 20.0)
+
+    def test_random_start_varies(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=4, random_start=True), rng=0)
+        env.reset()
+        t1 = env.system.clock
+        env.reset()
+        t2 = env.system.clock
+        assert t1 != t2
+
+    def test_action_affects_iteration_time(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=8), rng=0)
+        env.reset(start_time=20.0)
+        slow = env.step(np.full(2, -1.0)).info["iteration_time_s"]
+        env.reset(start_time=20.0)
+        fast = env.step(np.full(2, 1.0)).info["iteration_time_s"]
+        assert slow > fast
+
+    def test_frequencies_to_action_inverse(self):
+        env = FLSchedulingEnv(make_system(), EnvConfig(episode_length=4), rng=0)
+        freqs = env.system.fleet.max_frequencies * 0.7
+        raw = env.frequencies_to_action(freqs)
+        assert np.allclose(env.mapper.to_frequencies(raw), freqs)
+
+
+class TestEnvWithFLTrainer:
+    def test_fl_coupling_terminates_on_epsilon(self):
+        from repro.fl.data import make_federated_dataset
+        from repro.fl.training import FederatedTrainer, FLTrainingConfig
+
+        ds = make_federated_dataset(2, samples_per_device=40, rng=0)
+        trainer = FederatedTrainer(
+            ds, FLTrainingConfig(epsilon=100.0, max_rounds=50), rng=0
+        )
+        env = FLSchedulingEnv(
+            make_system(), EnvConfig(episode_length=50), fl_trainer=trainer, rng=0
+        )
+        env.reset(start_time=20.0)
+        step = env.step(np.zeros(2))
+        # epsilon=100 is trivially satisfied after one round
+        assert step.done
+        assert step.info.get("converged") == 1.0
+        assert "global_loss" in step.info

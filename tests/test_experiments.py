@@ -1,0 +1,185 @@
+"""Tests for repro.experiments — presets, runner, metrics, reporting."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.baselines import FullSpeedAllocator, HeuristicAllocator, StaticAllocator
+from repro.devices.fleet import FleetConfig
+from repro.experiments.metrics import MethodMetrics, collect_metrics, relative_gap
+from repro.experiments.presets import (
+    SIMULATION_PRESET,
+    TESTBED_PRESET,
+    ExperimentPreset,
+    build_env,
+    build_fleet,
+    build_system,
+    build_traces,
+)
+from repro.experiments.reporting import fig7_report, fig8_report, method_table
+from repro.experiments.runner import EvaluationRunner
+from repro.sim.iteration import IterationResult
+
+
+SMALL = replace(
+    TESTBED_PRESET, trace_slots=300, eval_iterations=10, fleet=FleetConfig(n_devices=3)
+)
+
+
+class TestPresets:
+    def test_testbed_matches_paper_settings(self):
+        assert TESTBED_PRESET.n_devices == 3
+        assert TESTBED_PRESET.eval_iterations == 400
+        assert SIMULATION_PRESET.n_devices == 50
+        assert SIMULATION_PRESET.lam == pytest.approx(0.1)  # stated in paper
+        assert SIMULATION_PRESET.trace_pool_size == 5       # five walking datasets
+
+    def test_build_traces_private(self):
+        traces = build_traces(SMALL, seed=0)
+        assert len(traces) == 3
+        # private traces should differ
+        assert not np.allclose(traces[0].values, traces[1].values)
+
+    def test_build_traces_pool(self):
+        preset = replace(SMALL, trace_pool_size=2)
+        traces = build_traces(preset, seed=0)
+        assert len(traces) == 3
+
+    def test_build_traces_deterministic(self):
+        a = build_traces(SMALL, seed=5)
+        b = build_traces(SMALL, seed=5)
+        for x, y in zip(a, b):
+            assert np.allclose(x.values, y.values)
+
+    def test_build_fleet_ranges(self):
+        fleet = build_fleet(SMALL, seed=0)
+        assert fleet.n == 3
+        assert np.all(fleet.max_frequencies >= 1.0)
+        assert np.all(fleet.max_frequencies <= 2.0)
+
+    def test_build_system_deterministic(self):
+        s1 = build_system(SMALL, seed=1)
+        s2 = build_system(SMALL, seed=1)
+        assert np.allclose(s1.fleet.max_frequencies, s2.fleet.max_frequencies)
+        assert np.allclose(s1.fleet[0].trace.values, s2.fleet[0].trace.values)
+
+    def test_build_env(self):
+        env = build_env(SMALL, seed=0, episode_length=5)
+        assert env.config.episode_length == 5
+        assert env.obs_dim == 3 * (SMALL.history_slots + 1)
+
+
+class TestMetrics:
+    def make_results(self, n=5):
+        system = build_system(SMALL, seed=0)
+        system.reset(20.0)
+        return [system.step(system.fleet.max_frequencies) for _ in range(n)]
+
+    def test_collect_metrics(self):
+        results = self.make_results()
+        m = collect_metrics("x", results, time_unit_s=2.0)
+        assert m.costs.shape == (5,)
+        assert m.avg_time == pytest.approx(
+            np.mean([r.iteration_time for r in results]) / 2.0
+        )
+
+    def test_collect_empty_raises(self):
+        with pytest.raises(ValueError):
+            collect_metrics("x", [])
+
+    def test_cdfs(self):
+        m = collect_metrics("x", self.make_results())
+        assert 0.0 <= m.cost_cdf()(m.avg_cost) <= 1.0
+        assert m.energy_cdf().fraction_below(1e9) == 1.0
+
+    def test_relative_gap(self):
+        a = MethodMetrics("a", np.array([10.0]), np.array([1.0]), np.array([1.0]))
+        b = MethodMetrics("b", np.array([8.0]), np.array([1.0]), np.array([1.0]))
+        assert relative_gap(a, b) == pytest.approx(0.25)
+
+    def test_summary_keys(self):
+        m = collect_metrics("x", self.make_results())
+        s = m.summary()
+        assert set(s) == {"cost", "time", "energy"}
+
+
+class TestRunner:
+    def test_evaluate_multiple_allocators(self):
+        runner = EvaluationRunner(SMALL, seed=0)
+        result = runner.evaluate(
+            [FullSpeedAllocator(), HeuristicAllocator(), StaticAllocator(rng=0)],
+            n_iterations=6,
+        )
+        assert set(result.metrics) == {"full-speed", "heuristic", "static"}
+        assert result.n_iterations == 6
+        for m in result.metrics.values():
+            assert m.costs.shape == (6,)
+
+    def test_same_start_time_for_all(self):
+        runner = EvaluationRunner(SMALL, seed=0)
+        result = runner.evaluate([FullSpeedAllocator(), HeuristicAllocator()], 3)
+        starts = {
+            name: series[0].start_time for name, series in result.raw.items()
+        }
+        assert len(set(starts.values())) == 1
+
+    def test_ranking_sorted(self):
+        runner = EvaluationRunner(SMALL, seed=0)
+        result = runner.evaluate(
+            [FullSpeedAllocator(), HeuristicAllocator(), StaticAllocator(rng=0)], 6
+        )
+        ranking = result.ranking()
+        costs = [result.metrics[name].avg_cost for name in ranking]
+        assert costs == sorted(costs)
+
+    def test_explicit_start_time(self):
+        runner = EvaluationRunner(SMALL, seed=0, start_time=42.0)
+        result = runner.evaluate([FullSpeedAllocator()], 2)
+        assert result.raw["full-speed"][0].start_time == pytest.approx(42.0)
+
+
+class TestReporting:
+    def test_method_table(self):
+        m = MethodMetrics("drl", np.array([7.0]), np.array([5.0]), np.array([1.5]))
+        out = method_table({"drl": m}, title="T")
+        assert "drl" in out and "T" in out
+
+    def test_fig7_report_renders(self):
+        from repro.experiments.fig7 import Fig7Result
+        from repro.experiments.runner import EvaluationResult
+
+        def mm(name, cost):
+            return MethodMetrics(
+                name, np.full(10, cost), np.full(10, 5.0), np.full(10, 1.5)
+            )
+
+        ev = EvaluationResult(
+            preset_name="t",
+            n_iterations=10,
+            metrics={"drl": mm("drl", 7.0), "heuristic": mm("heuristic", 9.5), "static": mm("static", 10.0)},
+            raw={},
+        )
+        result = Fig7Result(evaluation=ev, trainer=None)
+        out = fig7_report(result)
+        assert "avg system cost (drl)" in out
+        assert "7.25" in out  # the paper reference number
+
+    def test_fig8_report_renders(self):
+        from repro.experiments.fig8 import Fig8Result
+        from repro.experiments.runner import EvaluationResult
+
+        def mm(name, cost):
+            return MethodMetrics(
+                name, np.full(10, cost), np.full(10, 5.0), np.full(10, 1.5)
+            )
+
+        ev = EvaluationResult(
+            preset_name="s",
+            n_iterations=10,
+            metrics={"drl": mm("drl", 11.0), "heuristic": mm("heuristic", 14.0), "static": mm("static", 17.0)},
+            raw={},
+        )
+        result = Fig8Result(evaluation=ev, trainer=None)
+        out = fig8_report(result)
+        assert "drl < heuristic < static" in out
+        assert result.drl_wins()

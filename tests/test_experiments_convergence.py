@@ -1,0 +1,54 @@
+"""Tests for repro.experiments.convergence — scheduling vs learning."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.baselines import FullSpeedAllocator, HeuristicAllocator, OracleAllocator
+from repro.devices.fleet import FleetConfig
+from repro.experiments.convergence import run_convergence
+from repro.experiments.presets import TESTBED_PRESET
+
+SMALL = replace(
+    TESTBED_PRESET, trace_slots=400, fleet=FleetConfig(n_devices=3)
+)
+
+
+class TestConvergence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_convergence(
+            [FullSpeedAllocator(), HeuristicAllocator(), OracleAllocator()],
+            preset=SMALL,
+            epsilon=0.5,
+            max_rounds=120,
+            seed=0,
+        )
+
+    def test_all_converge(self, result):
+        assert all(run.converged for run in result.runs.values())
+
+    def test_per_round_losses_identical(self, result):
+        """The paper's observation: compute speed does not change the
+        learning trajectory — only wall-clock time and energy."""
+        assert result.loss_curves_identical()
+
+    def test_same_round_counts(self, result):
+        rounds = {run.rounds for run in result.runs.values()}
+        assert len(rounds) == 1
+
+    def test_wall_clock_and_energy_differ(self, result):
+        clocks = [run.wall_clock_s for run in result.runs.values()]
+        energies = [run.total_energy for run in result.runs.values()]
+        assert max(clocks) > min(clocks)
+        assert max(energies) > min(energies)
+
+    def test_fullspeed_fastest_but_most_energy(self, result):
+        full = result.runs["full-speed"]
+        oracle = result.runs["oracle"]
+        assert full.wall_clock_s <= oracle.wall_clock_s + 1e-9
+        assert full.total_energy > oracle.total_energy
+
+    def test_ranking_helper(self, result):
+        ranking = result.wall_clock_ranking()
+        assert ranking[0] == "full-speed"

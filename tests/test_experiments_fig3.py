@@ -1,0 +1,38 @@
+"""Tests for repro.experiments.fig3 — the idle-time motivation."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.devices.fleet import FleetConfig
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.presets import TESTBED_PRESET
+
+SMALL = replace(
+    TESTBED_PRESET, trace_slots=300, fleet=FleetConfig(n_devices=3)
+)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(SMALL, n_iterations=40, seed=0)
+
+    def test_idle_fractions_shape_and_range(self, result):
+        assert result.idle_fractions.shape == (3,)
+        assert np.all(result.idle_fractions >= 0.0)
+        assert np.all(result.idle_fractions < 1.0)
+
+    def test_some_device_idles_at_full_speed(self, result):
+        """The motivation: heterogeneous devices => somebody waits."""
+        assert result.idle_fractions.max() > 0.05
+
+    def test_oracle_saves_energy(self, result):
+        assert result.energy_saving > 0.2
+
+    def test_time_penalty_modest(self, result):
+        """DVFS trades little time for the energy saved."""
+        assert result.time_penalty < 0.5
+
+    def test_oracle_energy_below_fullspeed(self, result):
+        assert result.oracle_energy < result.fullspeed_energy

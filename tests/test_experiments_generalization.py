@@ -1,0 +1,58 @@
+"""Tests for repro.experiments.generalization."""
+
+import pytest
+from dataclasses import replace
+
+from repro.devices.fleet import FleetConfig
+from repro.experiments.generalization import (
+    GeneralizationResult,
+    TransferCell,
+    run_generalization,
+)
+from repro.experiments.presets import TESTBED_PRESET
+
+SMALL = replace(
+    TESTBED_PRESET, trace_slots=400, fleet=FleetConfig(n_devices=2), n_devices=2,
+    episode_length=16,
+)
+
+
+class TestTransferCell:
+    def test_drl_vs_heuristic_sign(self):
+        win = TransferCell(drl_cost=8.0, heuristic_cost=10.0, oracle_cost=7.0)
+        lose = TransferCell(drl_cost=11.0, heuristic_cost=10.0, oracle_cost=7.0)
+        assert win.drl_vs_heuristic < 0
+        assert lose.drl_vs_heuristic > 0
+
+
+class TestRunGeneralization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_generalization(
+            train_scenario="walking",
+            eval_scenarios=["walking", "bus"],
+            preset=SMALL,
+            n_episodes=60,
+            eval_iterations=40,
+            seed=0,
+        )
+
+    def test_structure(self, result):
+        assert isinstance(result, GeneralizationResult)
+        assert set(result.cells) == {"walking", "bus"}
+        assert result.train_scenario == "walking"
+
+    def test_costs_finite_and_positive(self, result):
+        for cell in result.cells.values():
+            assert cell.drl_cost > 0
+            assert cell.heuristic_cost > 0
+            assert cell.oracle_cost > 0
+
+    def test_oracle_is_lower_bound_per_scenario(self, result):
+        for cell in result.cells.values():
+            assert cell.oracle_cost <= cell.heuristic_cost + 1e-9
+
+    def test_wins_helper_consistent(self, result):
+        wins = result.scenarios_where_drl_wins()
+        for s in wins:
+            assert result.cells[s].drl_cost < result.cells[s].heuristic_cost

@@ -1,0 +1,61 @@
+"""Tests for repro.experiments.stats — multi-seed aggregation."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.baselines import FullSpeedAllocator, OracleAllocator, RandomAllocator
+from repro.devices.fleet import FleetConfig
+from repro.experiments.presets import TESTBED_PRESET
+from repro.experiments.stats import MethodStats, run_multi_seed
+
+SMALL = replace(
+    TESTBED_PRESET, trace_slots=300, fleet=FleetConfig(n_devices=3)
+)
+
+
+class TestMethodStats:
+    def test_mean_std_ci(self):
+        stats = MethodStats("m", np.array([8.0, 9.0, 10.0]), win_fraction=0.5)
+        assert stats.mean == pytest.approx(9.0)
+        assert stats.std == pytest.approx(1.0)
+        lo, hi = stats.confidence_interval()
+        assert lo < 9.0 < hi
+
+    def test_single_seed_zero_std(self):
+        stats = MethodStats("m", np.array([8.0]), win_fraction=1.0)
+        assert stats.std == 0.0
+
+
+class TestRunMultiSeed:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_multi_seed(
+            {
+                "oracle": lambda s: OracleAllocator(),
+                "full-speed": lambda s: FullSpeedAllocator(),
+                "random": lambda s: RandomAllocator(rng=s),
+            },
+            preset=SMALL,
+            seeds=(0, 1, 2),
+            n_iterations=25,
+        )
+
+    def test_structure(self, result):
+        assert result.n_seeds == 3
+        assert set(result.per_method) == {"oracle", "full-speed", "random"}
+        for stats in result.per_method.values():
+            assert stats.costs.shape == (3,)
+
+    def test_win_fractions_sum_to_one(self, result):
+        total = sum(s.win_fraction for s in result.per_method.values())
+        assert total == pytest.approx(1.0)
+
+    def test_oracle_dominates_everywhere(self, result):
+        assert result.dominant("oracle", "full-speed")
+        assert result.dominant("oracle", "random")
+        assert result.ranking()[0] == "oracle"
+
+    def test_empty_factories_raise(self):
+        with pytest.raises(ValueError):
+            run_multi_seed({}, preset=SMALL, seeds=(0,))

@@ -1,0 +1,186 @@
+"""Tests for repro.fl.compression — quantization and sparsification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.compression import (
+    FLOAT_BITS,
+    IdentityCompressor,
+    TopKSparsifier,
+    UniformQuantizer,
+    compressed_model_size,
+    compression_error,
+    get_compressor,
+)
+
+
+class TestIdentity:
+    def test_roundtrip_exact(self):
+        w = np.random.default_rng(0).standard_normal(100)
+        c = IdentityCompressor()
+        assert np.allclose(c.decompress(c.compress(w)), w)
+
+    def test_payload_is_float32(self):
+        update = IdentityCompressor().compress(np.zeros(1000))
+        assert update.payload_mbit == pytest.approx(1000 * FLOAT_BITS / 1e6)
+        assert update.compression_ratio == pytest.approx(1.0)
+
+
+class TestUniformQuantizer:
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=17)
+
+    def test_constant_vector_exact(self):
+        q = UniformQuantizer(bits=4, rng=0)
+        w = np.full(50, 3.7)
+        assert np.allclose(q.decompress(q.compress(w)), 3.7)
+
+    def test_bounded_error(self):
+        q = UniformQuantizer(bits=8, rng=0)
+        w = np.random.default_rng(0).uniform(-1, 1, 1000)
+        restored = q.decompress(q.compress(w))
+        cell = 2.0 / (2**8 - 1)
+        assert np.max(np.abs(restored - w)) <= cell + 1e-12
+
+    def test_unbiased(self):
+        """Stochastic rounding: the mean reconstruction approaches w."""
+        w = np.full(1, 0.3)
+        total = np.zeros(1)
+        n = 4000
+        q = UniformQuantizer(bits=1, rng=0)
+        for _ in range(n):
+            # range [0.3, 0.3] is degenerate; embed in a fixed range
+            vec = np.array([0.0, 0.3, 1.0])
+            total += q.decompress(q.compress(vec))[1]
+        assert total[0] / n == pytest.approx(0.3, abs=0.05)
+
+    def test_payload_scales_with_bits(self):
+        w = np.zeros(1000)
+        p4 = UniformQuantizer(bits=4, rng=0).compress(w).payload_mbit
+        p8 = UniformQuantizer(bits=8, rng=0).compress(w).payload_mbit
+        assert p8 > p4
+        assert p4 == pytest.approx((1000 * 4 + 64) / 1e6)
+
+    def test_compression_ratio_8bit(self):
+        update = UniformQuantizer(bits=8, rng=0).compress(np.zeros(10000))
+        assert update.compression_ratio == pytest.approx(4.0, rel=0.01)
+
+    @given(
+        seed=st.integers(0, 100),
+        bits=st.integers(2, 12),
+        n=st.integers(2, 200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction_within_range_property(self, seed, bits, n):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal(n) * rng.uniform(0.1, 10)
+        q = UniformQuantizer(bits=bits, rng=seed)
+        restored = q.decompress(q.compress(w))
+        assert np.all(restored >= w.min() - 1e-9)
+        assert np.all(restored <= w.max() + 1e-9)
+
+
+class TestTopK:
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TopKSparsifier(k_fraction=0.0)
+        with pytest.raises(ValueError):
+            TopKSparsifier(k_fraction=1.5)
+
+    def test_keeps_largest(self):
+        w = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        sp = TopKSparsifier(k_fraction=0.4)  # k = 2
+        restored = sp.decompress(sp.compress(w))
+        assert restored[1] == -5.0
+        assert restored[3] == 3.0
+        assert restored[0] == restored[2] == restored[4] == 0.0
+
+    def test_full_fraction_lossless(self):
+        w = np.random.default_rng(0).standard_normal(32)
+        sp = TopKSparsifier(k_fraction=1.0)
+        assert np.allclose(sp.decompress(sp.compress(w)), w)
+
+    def test_payload_accounting(self):
+        update = TopKSparsifier(k_fraction=0.1).compress(np.ones(1000))
+        assert update.payload_mbit == pytest.approx(100 * 64 / 1e6)
+
+    def test_error_decreases_with_k(self):
+        w = np.random.default_rng(0).standard_normal(500)
+        errs = [
+            compression_error(w, TopKSparsifier(k_fraction=f))
+            for f in (0.05, 0.2, 0.8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestHelpers:
+    def test_registry(self):
+        assert isinstance(get_compressor("quantize", bits=4), UniformQuantizer)
+        with pytest.raises(KeyError):
+            get_compressor("zip")
+
+    def test_compressed_model_size(self):
+        xi_full = compressed_model_size(10000, IdentityCompressor())
+        xi_q = compressed_model_size(10000, UniformQuantizer(bits=8, rng=0))
+        xi_s = compressed_model_size(10000, TopKSparsifier(k_fraction=0.05))
+        assert xi_q < xi_full
+        assert xi_s < xi_q
+
+    def test_compressed_model_size_invalid(self):
+        with pytest.raises(ValueError):
+            compressed_model_size(0, IdentityCompressor())
+
+    def test_compression_error_zero_vector(self):
+        assert compression_error(np.zeros(10), TopKSparsifier(0.5)) == 0.0
+
+
+class TestEndToEndWithScheduling:
+    def test_compression_shrinks_upload_time(self):
+        """A compressed xi shortens uploads in the actual simulator."""
+        from repro.devices.device import DeviceParams, MobileDevice
+        from repro.devices.fleet import DeviceFleet
+        from repro.sim.cost import CostModel
+        from repro.sim.iteration import simulate_iteration
+        from repro.traces.base import BandwidthTrace
+
+        p = DeviceParams(
+            data_mbit=400.0, cycles_per_mbit=0.02, max_frequency_ghz=1.5, alpha=0.05
+        )
+        fleet = DeviceFleet([MobileDevice(p, BandwidthTrace(np.full(60, 10.0)))])
+        n_params = 1_000_000
+        xi_full = compressed_model_size(n_params, IdentityCompressor())
+        xi_q = compressed_model_size(n_params, UniformQuantizer(bits=4, rng=0))
+        full = simulate_iteration(fleet, np.array([1.5]), 0.0, xi_full, CostModel())
+        quant = simulate_iteration(fleet, np.array([1.5]), 0.0, xi_q, CostModel())
+        assert quant.upload_times[0] < full.upload_times[0] / 7
+
+    def test_quantized_fedavg_still_learns(self):
+        """FedAvg with 8-bit quantized uploads converges like dense."""
+        from repro.fl.data import make_federated_dataset
+        from repro.fl.models import SoftmaxRegression
+        from repro.fl.client import FLClient, LocalTrainConfig
+        from repro.fl.server import ParameterServer
+
+        ds = make_federated_dataset(3, samples_per_device=80, class_sep=3.0, rng=0)
+        template = SoftmaxRegression(ds.n_features, ds.n_classes, rng=0)
+        server = ParameterServer(template.clone())
+        clients = [
+            FLClient(i, x, y, template, LocalTrainConfig(learning_rate=0.2), rng=i)
+            for i, (x, y) in enumerate(ds.shards)
+        ]
+        q = UniformQuantizer(bits=8, rng=0)
+        for _ in range(15):
+            w = server.global_weights()
+            updates, sizes = [], []
+            for c in clients:
+                new_w, _ = c.local_update(w)
+                updates.append(q.decompress(q.compress(new_w)))
+                sizes.append(c.n_samples)
+            server.aggregate(updates, sizes)
+        loss, acc = server.evaluate(ds.test_x, ds.test_y)
+        assert acc > 0.8

@@ -1,0 +1,187 @@
+"""Tests for repro.fl.data and repro.fl.models."""
+
+import numpy as np
+import pytest
+
+from repro.fl.data import (
+    dirichlet_partition,
+    make_classification_data,
+    make_federated_dataset,
+)
+from repro.fl.models import MLPClassifier, SoftmaxRegression, init_model
+
+
+def numerical_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = g.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+class TestClassificationData:
+    def test_shapes(self):
+        x, y = make_classification_data(100, n_features=8, n_classes=3, rng=0)
+        assert x.shape == (100, 8)
+        assert y.shape == (100,)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_classification_data(50, rng=7)[0]
+        b = make_classification_data(50, rng=7)[0]
+        assert np.allclose(a, b)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            make_classification_data(2, n_classes=4)
+
+    def test_separable_with_high_sep(self):
+        x, y = make_classification_data(
+            400, n_features=8, n_classes=3, class_sep=6.0, noise=0.3, rng=0
+        )
+        model = SoftmaxRegression(8, 3, rng=0)
+        for _ in range(300):
+            _, g = model.loss_and_grad(x, y)
+            model.set_weights(model.get_weights() - 0.5 * g)
+        assert model.accuracy(x, y) > 0.95
+
+
+class TestDirichletPartition:
+    def test_partition_covers_all(self):
+        labels = np.random.default_rng(0).integers(0, 4, 200)
+        parts = dirichlet_partition(labels, 5, alpha=0.5, rng=0)
+        all_idx = np.concatenate(parts)
+        assert sorted(all_idx.tolist()) == list(range(200))
+
+    def test_min_per_device(self):
+        labels = np.random.default_rng(0).integers(0, 4, 200)
+        parts = dirichlet_partition(labels, 10, alpha=0.1, rng=0, min_per_device=3)
+        assert all(len(p) >= 3 for p in parts)
+
+    def test_low_alpha_more_skewed_than_high(self):
+        labels = np.random.default_rng(0).integers(0, 4, 4000)
+
+        def skew(alpha):
+            parts = dirichlet_partition(labels, 8, alpha=alpha, rng=1)
+            props = []
+            for p in parts:
+                counts = np.bincount(labels[p], minlength=4) / len(p)
+                props.append(counts.max())
+            return np.mean(props)
+
+        assert skew(0.1) > skew(100.0)
+
+    def test_invalid_args(self):
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 2, alpha=0.0)
+
+
+class TestFederatedDataset:
+    def test_structure(self):
+        ds = make_federated_dataset(4, samples_per_device=50, rng=0)
+        assert ds.n_devices == 4
+        assert ds.test_x.shape[0] == ds.test_y.shape[0] > 0
+        assert ds.shard_sizes.sum() + ds.test_x.shape[0] == pytest.approx(
+            4 * 50 / 0.8, rel=0.05
+        )
+
+    def test_invalid_test_fraction(self):
+        with pytest.raises(ValueError):
+            make_federated_dataset(2, test_fraction=1.0)
+
+
+class TestSoftmaxRegression:
+    def test_weights_roundtrip(self):
+        m = SoftmaxRegression(4, 3, rng=0)
+        w = m.get_weights()
+        m2 = SoftmaxRegression(4, 3, rng=1)
+        m2.set_weights(w)
+        assert np.allclose(m2.get_weights(), w)
+
+    def test_wrong_size_raises(self):
+        m = SoftmaxRegression(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            m.set_weights(np.zeros(5))
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        m = SoftmaxRegression(3, 3, l2=1e-3, rng=0)
+        x = rng.standard_normal((10, 3))
+        y = rng.integers(0, 3, 10)
+        _, grad = m.loss_and_grad(x, y)
+        w0 = m.get_weights().copy()
+
+        def f():
+            return m.loss(x, y)
+
+        num = numerical_grad(f, m.W)
+        # numerical over W only (first block of the flat gradient)
+        assert np.allclose(grad[: m.W.size].reshape(m.W.shape), num, rtol=1e-5, atol=1e-8)
+        m.set_weights(w0)
+
+    def test_model_size_mbit(self):
+        m = SoftmaxRegression(100, 10, rng=0)
+        assert m.model_size_mbit == pytest.approx((100 * 10 + 10) * 32 / 1e6)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(0, 3)
+        with pytest.raises(ValueError):
+            SoftmaxRegression(3, 1)
+
+
+class TestMLPClassifier:
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        m = MLPClassifier(3, 2, hidden=4, l2=1e-3, rng=0)
+        x = rng.standard_normal((8, 3))
+        y = rng.integers(0, 2, 8)
+        _, grad = m.loss_and_grad(x, y)
+        flat = m.get_weights()
+
+        def f():
+            m.set_weights(flat)
+            return m.loss(x, y)
+
+        num = numerical_grad(f, flat)
+        assert np.allclose(grad, num, rtol=1e-4, atol=1e-7)
+
+    def test_clone_independent(self):
+        m = MLPClassifier(3, 2, rng=0)
+        c = m.clone()
+        c.set_weights(c.get_weights() + 1.0)
+        assert not np.allclose(m.get_weights(), c.get_weights())
+
+    def test_trains_on_blobs(self):
+        x, y = make_classification_data(300, n_features=6, n_classes=3, class_sep=4.0, rng=0)
+        m = MLPClassifier(6, 3, hidden=16, rng=0)
+        for _ in range(400):
+            _, g = m.loss_and_grad(x, y)
+            m.set_weights(m.get_weights() - 0.3 * g)
+        assert m.accuracy(x, y) > 0.9
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(3, 2, hidden=0)
+
+
+class TestRegistry:
+    def test_init_model(self):
+        m = init_model("softmax", 4, 3, rng=0)
+        assert isinstance(m, SoftmaxRegression)
+        m = init_model("mlp", 4, 3, rng=0, hidden=8)
+        assert isinstance(m, MLPClassifier)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            init_model("transformer", 4, 3)

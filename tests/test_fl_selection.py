@@ -1,0 +1,138 @@
+"""Tests for repro.fl.selection and participant-restricted iterations."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.fl.selection import (
+    FullParticipation,
+    RandomSelector,
+    ResourceAwareSelector,
+    get_selector,
+)
+from repro.sim.cost import CostModel
+from repro.sim.system import FLSystem, SystemConfig
+from repro.traces.base import BandwidthTrace
+
+
+def make_system(bws=(5.0, 20.0, 40.0, 60.0)):
+    devices = []
+    for i, bw in enumerate(bws):
+        p = DeviceParams(
+            data_mbit=500.0, cycles_per_mbit=0.02,
+            max_frequency_ghz=1.0 + 0.2 * i, alpha=0.05, e_tx=0.01,
+        )
+        devices.append(MobileDevice(p, BandwidthTrace(np.full(300, bw)), device_id=i))
+    return FLSystem(
+        DeviceFleet(devices),
+        SystemConfig(model_size_mbit=40.0, history_slots=3, cost=CostModel(lam=1.0)),
+    )
+
+
+class TestSelectors:
+    def test_full_participation(self):
+        system = make_system()
+        mask = FullParticipation().select(system)
+        assert mask.all() and mask.shape == (4,)
+
+    def test_random_selector_size(self):
+        system = make_system()
+        sel = RandomSelector(rng=0)
+        for k in (1, 2, 4):
+            mask = sel.select(system, k)
+            assert mask.sum() == k
+
+    def test_random_selector_varies(self):
+        system = make_system()
+        sel = RandomSelector(rng=0)
+        masks = {tuple(sel.select(system, 2)) for _ in range(20)}
+        assert len(masks) > 1
+
+    def test_invalid_k(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            RandomSelector(rng=0).select(system, 0)
+        with pytest.raises(ValueError):
+            RandomSelector(rng=0).select(system, 5)
+
+    def test_resource_aware_prefers_fast_devices(self):
+        system = make_system()
+        system.reset(10.0)
+        # device 0 has 5 Mbit/s (slow upload); device 3 has 60 Mbit/s
+        mask = ResourceAwareSelector().select(system, 2)
+        assert not mask[0]
+        assert mask.sum() == 2
+
+    def test_resource_aware_temperature_randomizes(self):
+        system = make_system()
+        system.reset(10.0)
+        sel = ResourceAwareSelector(temperature=2.0, rng=0)
+        masks = {tuple(sel.select(system, 2)) for _ in range(30)}
+        assert len(masks) > 1
+
+    def test_resource_aware_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            ResourceAwareSelector(temperature=-1.0)
+
+    def test_registry(self):
+        assert isinstance(get_selector("random", rng=0), RandomSelector)
+        with pytest.raises(KeyError):
+            get_selector("favourites")
+
+
+class TestParticipantIterations:
+    def test_excluded_devices_cost_nothing(self):
+        system = make_system()
+        system.reset(10.0)
+        mask = np.array([False, True, True, False])
+        result = system.step(system.fleet.max_frequencies, participants=mask)
+        assert result.energies[0] == 0.0
+        assert result.energies[3] == 0.0
+        assert result.compute_times[0] == 0.0
+        assert result.upload_times[3] == 0.0
+        assert np.array_equal(result.participants, mask)
+
+    def test_iteration_time_over_participants_only(self):
+        system = make_system()
+        system.reset(10.0)
+        # device 0 (5 Mbit/s) is the straggler; excluding it must shrink T
+        all_in = system.step(system.fleet.max_frequencies)
+        system.reset(10.0)
+        mask = np.array([False, True, True, True])
+        subset = system.step(system.fleet.max_frequencies, participants=mask)
+        assert subset.iteration_time < all_in.iteration_time
+
+    def test_empty_mask_raises(self):
+        system = make_system()
+        system.reset(10.0)
+        with pytest.raises(ValueError):
+            system.step(system.fleet.max_frequencies, participants=np.zeros(4, bool))
+
+    def test_wrong_shape_raises(self):
+        system = make_system()
+        system.reset(10.0)
+        with pytest.raises(ValueError):
+            system.step(system.fleet.max_frequencies, participants=np.ones(3, bool))
+
+    def test_last_observed_bandwidth_kept_for_absentees(self):
+        system = make_system()
+        system.reset(10.0)
+        system.step(system.fleet.max_frequencies)  # everyone observed once
+        first = system.last_observed_bandwidths().copy()
+        mask = np.array([False, True, True, True])
+        system.step(system.fleet.max_frequencies, participants=mask)
+        second = system.last_observed_bandwidths()
+        assert second[0] == pytest.approx(first[0])  # stale value retained
+        assert np.all(np.isfinite(second))
+
+    def test_cost_decreases_with_fewer_participants(self):
+        system = make_system()
+        system.reset(10.0)
+        full = system.step(system.fleet.max_frequencies)
+        system.reset(10.0)
+        half = system.step(
+            system.fleet.max_frequencies,
+            participants=np.array([False, False, True, True]),
+        )
+        assert half.cost < full.cost

@@ -1,0 +1,158 @@
+"""Tests for repro.fl client/server/training — FedAvg end to end."""
+
+import numpy as np
+import pytest
+
+from repro.fl.client import FLClient, LocalTrainConfig
+from repro.fl.data import make_federated_dataset
+from repro.fl.models import SoftmaxRegression
+from repro.fl.server import ParameterServer
+from repro.fl.training import FederatedTrainer, FLTrainingConfig
+
+
+class TestLocalTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalTrainConfig(tau=0).validate()
+        with pytest.raises(ValueError):
+            LocalTrainConfig(batch_size=0).validate()
+        with pytest.raises(ValueError):
+            LocalTrainConfig(learning_rate=0).validate()
+
+
+class TestFLClient:
+    def make_client(self, n=40):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((n, 4))
+        y = rng.integers(0, 2, n)
+        template = SoftmaxRegression(4, 2, rng=0)
+        return FLClient(0, x, y, template, LocalTrainConfig(tau=2), rng=1)
+
+    def test_empty_shard_raises(self):
+        template = SoftmaxRegression(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            FLClient(0, np.zeros((0, 4)), np.zeros(0, dtype=int), template)
+
+    def test_mismatched_xy_raises(self):
+        template = SoftmaxRegression(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            FLClient(0, np.zeros((3, 4)), np.zeros(2, dtype=int), template)
+
+    def test_local_update_changes_weights(self):
+        client = self.make_client()
+        w0 = np.zeros(client.model.n_params)
+        w1, loss = client.local_update(w0)
+        assert not np.allclose(w0, w1)
+        assert np.isfinite(loss)
+
+    def test_local_update_reduces_local_loss(self):
+        client = self.make_client(n=100)
+        w0 = np.zeros(client.model.n_params)
+        loss_before, _ = client.evaluate(w0)
+        _, loss_after = client.local_update(w0)
+        assert loss_after < loss_before
+
+    def test_evaluate(self):
+        client = self.make_client()
+        loss, acc = client.evaluate(np.zeros(client.model.n_params))
+        assert np.isfinite(loss)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestParameterServer:
+    def test_aggregate_weighted_average(self):
+        server = ParameterServer(SoftmaxRegression(2, 2, rng=0))
+        n = server.model.n_params
+        w = server.aggregate([np.zeros(n), np.ones(n)], [1.0, 3.0])
+        assert np.allclose(w, 0.75)
+        assert server.round == 1
+
+    def test_aggregate_installs_weights(self):
+        server = ParameterServer(SoftmaxRegression(2, 2, rng=0))
+        n = server.model.n_params
+        server.aggregate([np.full(n, 2.0)], [5.0])
+        assert np.allclose(server.global_weights(), 2.0)
+
+    def test_aggregate_validations(self):
+        server = ParameterServer(SoftmaxRegression(2, 2, rng=0))
+        n = server.model.n_params
+        with pytest.raises(ValueError):
+            server.aggregate([], [])
+        with pytest.raises(ValueError):
+            server.aggregate([np.zeros(n)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            server.aggregate([np.zeros(n)], [0.0])
+        with pytest.raises(ValueError):
+            server.aggregate([np.zeros(n + 1)], [1.0])
+
+    def test_global_loss_eq8(self):
+        server = ParameterServer(SoftmaxRegression(2, 2, rng=0))
+        # weighted by sizes: (1*10 + 3*30)/40 = 2.5
+        assert server.global_loss([1.0, 3.0], [10.0, 30.0]) == pytest.approx(2.5)
+
+    def test_global_loss_shape_mismatch(self):
+        server = ParameterServer(SoftmaxRegression(2, 2, rng=0))
+        with pytest.raises(ValueError):
+            server.global_loss([1.0], [1.0, 2.0])
+
+
+class TestFederatedTrainer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FLTrainingConfig(epsilon=0.0).validate()
+        with pytest.raises(ValueError):
+            FLTrainingConfig(max_rounds=0).validate()
+
+    def test_fedavg_converges_on_separable_data(self):
+        ds = make_federated_dataset(
+            4, samples_per_device=80, n_features=8, n_classes=3,
+            non_iid_alpha=1.0, rng=0,
+        )
+        cfg = FLTrainingConfig(
+            model="softmax",
+            epsilon=0.08,
+            max_rounds=80,
+            local=LocalTrainConfig(tau=1, learning_rate=0.05),
+        )
+        trainer = FederatedTrainer(ds, cfg, rng=0)
+        result = trainer.run()
+        assert result.rounds_run > 1
+        assert result.global_losses[0] > result.final_loss
+        assert result.final_accuracy > 0.7
+
+    def test_eq10_stopping(self):
+        ds = make_federated_dataset(3, samples_per_device=60, rng=1)
+        cfg = FLTrainingConfig(epsilon=10.0, max_rounds=50)  # trivially satisfied
+        trainer = FederatedTrainer(ds, cfg, rng=0)
+        result = trainer.run()
+        assert result.converged
+        assert result.rounds_run == 1
+
+    def test_max_rounds_respected(self):
+        ds = make_federated_dataset(3, samples_per_device=60, rng=1)
+        cfg = FLTrainingConfig(epsilon=1e-9, max_rounds=3)  # unreachable
+        trainer = FederatedTrainer(ds, cfg, rng=0)
+        result = trainer.run()
+        assert not result.converged
+        assert result.rounds_run == 3
+
+    def test_loss_decreases_over_rounds(self):
+        ds = make_federated_dataset(4, samples_per_device=80, rng=2)
+        cfg = FLTrainingConfig(epsilon=1e-9, max_rounds=15)
+        trainer = FederatedTrainer(ds, cfg, rng=0)
+        result = trainer.run()
+        assert result.global_losses[-1] < result.global_losses[0]
+
+    def test_model_size_exposed(self):
+        ds = make_federated_dataset(2, samples_per_device=30, rng=0)
+        trainer = FederatedTrainer(ds, rng=0)
+        assert trainer.model_size_mbit > 0
+
+    def test_mlp_model_variant(self):
+        ds = make_federated_dataset(3, samples_per_device=60, rng=3)
+        cfg = FLTrainingConfig(
+            model="mlp", epsilon=1e-9, max_rounds=5, model_kwargs={"hidden": 8}
+        )
+        trainer = FederatedTrainer(ds, cfg, rng=0)
+        result = trainer.run()
+        assert result.rounds_run == 5

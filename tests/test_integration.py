@@ -1,0 +1,127 @@
+"""Integration tests: the full pipeline at reduced scale.
+
+These run the actual paper workflow — offline DRL training (Algorithm 1)
+on a trace-driven system, then online reasoning against the Heuristic and
+Static baselines — with sizes small enough for CI.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro import (
+    DRLAllocator,
+    EvaluationRunner,
+    FullSpeedAllocator,
+    HeuristicAllocator,
+    OfflineTrainer,
+    OracleAllocator,
+    StaticAllocator,
+    TrainerConfig,
+    TESTBED_PRESET,
+    build_env,
+    build_system,
+)
+from repro.devices.fleet import FleetConfig
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig6 import run_fig6
+from repro.rl.ppo import PPOConfig
+
+SMALL = replace(
+    TESTBED_PRESET,
+    trace_slots=600,
+    eval_iterations=30,
+    episode_length=16,
+    fleet=FleetConfig(n_devices=3),
+)
+
+
+@pytest.fixture(scope="module")
+def trained_trainer():
+    env = build_env(SMALL, seed=0)
+    cfg = TrainerConfig(n_episodes=300, hidden=(32, 32), buffer_size=128)
+    trainer = OfflineTrainer(env, cfg, rng=0)
+    trainer.train()
+    return trainer
+
+
+class TestEndToEnd:
+    def test_training_converges_downward(self, trained_trainer):
+        costs = np.asarray(trained_trainer.history.episode_costs)
+        assert costs[:50].mean() > costs[-50:].mean()
+
+    def test_drl_beats_naive_baselines(self, trained_trainer):
+        runner = EvaluationRunner(SMALL, seed=0)
+        result = runner.evaluate(
+            [
+                DRLAllocator(trained_trainer.agent),
+                FullSpeedAllocator(),
+            ],
+            n_iterations=60,
+        )
+        drl = result.metrics["drl"].avg_cost
+        full = result.metrics["full-speed"].avg_cost
+        assert drl < full
+
+    def test_oracle_lower_bounds_drl(self, trained_trainer):
+        runner = EvaluationRunner(SMALL, seed=0)
+        result = runner.evaluate(
+            [DRLAllocator(trained_trainer.agent), OracleAllocator()],
+            n_iterations=60,
+        )
+        # the clairvoyant reference should not lose to the causal policy
+        # (tolerance for fixed-point approximation in the oracle)
+        assert result.metrics["oracle"].avg_cost <= result.metrics["drl"].avg_cost * 1.05
+
+    def test_full_evaluation_pipeline(self, trained_trainer):
+        runner = EvaluationRunner(SMALL, seed=0)
+        result = runner.evaluate(
+            [
+                DRLAllocator(trained_trainer.agent),
+                HeuristicAllocator(),
+                StaticAllocator(rng=0),
+            ],
+            n_iterations=40,
+        )
+        for m in result.metrics.values():
+            assert np.all(np.isfinite(m.costs))
+            assert np.all(m.costs > 0)
+            assert np.all(m.energies > 0)
+        assert len(result.ranking()) == 3
+
+    def test_checkpoint_deployment_cycle(self, trained_trainer, tmp_path):
+        """Save after offline training, reload for online reasoning."""
+        path = str(tmp_path / "agent.npz")
+        trained_trainer.save_agent(path)
+        alloc = DRLAllocator.from_checkpoint(path, hidden=(32, 32))
+        system = build_system(SMALL, seed=0)
+        system.reset(40.0)
+        results = system.run(alloc, 10)
+        assert len(results) == 10
+
+
+class TestFigurePipelines:
+    def test_fig2_pipeline(self):
+        result = run_fig2(seed=0)
+        assert len(result.walking_traces) == 3
+        ranges = result.walking_range_mbytes()
+        assert all(lo < hi for lo, hi in ranges.values())
+        lo_k, hi_k = result.hsdpa_range_kbytes()
+        assert hi_k <= 800.0
+
+    def test_fig6_pipeline_small(self):
+        cfg = TrainerConfig(n_episodes=20, hidden=(16,), buffer_size=64)
+        result = run_fig6(SMALL, n_episodes=20, seed=0, trainer_config=cfg)
+        assert result.episode_costs.shape == (20,)
+        assert result.losses.size > 0
+        assert np.all(np.isfinite(result.losses))
+
+    def test_wall_clock_consistency(self, trained_trainer):
+        """Eq. (11): iteration start times chain by iteration durations."""
+        system = build_system(SMALL, seed=0)
+        system.reset(25.0)
+        alloc = HeuristicAllocator()
+        alloc.reset(system)
+        results = [system.step(alloc.allocate(system)) for _ in range(10)]
+        for prev, cur in zip(results, results[1:]):
+            assert cur.start_time == pytest.approx(prev.end_time)

@@ -1,0 +1,143 @@
+"""Tests for repro.nn.distributions — DiagGaussian correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.nn.distributions import DiagGaussian
+
+
+def numerical_grad_1d(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = g.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+class TestLogProb:
+    def test_matches_scipy(self):
+        mean = np.array([[0.5, -1.0]])
+        log_std = np.array([0.1, -0.3])
+        dist = DiagGaussian(mean, log_std)
+        a = np.array([[0.2, 0.4]])
+        expected = sps.norm.logpdf(a, loc=mean, scale=np.exp(log_std)).sum()
+        assert dist.log_prob(a)[0] == pytest.approx(expected)
+
+    def test_batch_shape(self):
+        dist = DiagGaussian(np.zeros((7, 3)), np.zeros(3))
+        lp = dist.log_prob(np.zeros((7, 3)))
+        assert lp.shape == (7,)
+
+    def test_peak_at_mean(self):
+        dist = DiagGaussian(np.array([[1.0, 2.0]]), np.array([0.0, 0.0]))
+        lp_mean = dist.log_prob(np.array([[1.0, 2.0]]))[0]
+        lp_off = dist.log_prob(np.array([[1.5, 2.0]]))[0]
+        assert lp_mean > lp_off
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DiagGaussian(np.zeros((1, 3)), np.zeros(2))
+
+
+class TestEntropy:
+    def test_matches_scipy(self):
+        log_std = np.array([0.2, -0.5, 0.0])
+        dist = DiagGaussian(np.zeros((1, 3)), log_std)
+        expected = sum(
+            sps.norm.entropy(scale=np.exp(s)) for s in log_std
+        )
+        assert dist.entropy() == pytest.approx(float(expected))
+
+    def test_entropy_increases_with_std(self):
+        lo = DiagGaussian(np.zeros((1, 2)), np.array([-1.0, -1.0]))
+        hi = DiagGaussian(np.zeros((1, 2)), np.array([0.5, 0.5]))
+        assert hi.entropy() > lo.entropy()
+
+
+class TestSampling:
+    def test_sample_statistics(self):
+        dist = DiagGaussian(np.full((20000, 2), [1.0, -2.0]), np.array([0.0, np.log(2.0)]))
+        samples = dist.sample(rng=0)
+        assert np.allclose(samples.mean(axis=0), [1.0, -2.0], atol=0.05)
+        assert np.allclose(samples.std(axis=0), [1.0, 2.0], atol=0.05)
+
+    def test_mode_is_mean(self):
+        mean = np.array([[3.0, 4.0]])
+        dist = DiagGaussian(mean, np.zeros(2))
+        assert np.allclose(dist.mode(), mean)
+
+    def test_sample_deterministic_given_seed(self):
+        dist = DiagGaussian(np.zeros((3, 2)), np.zeros(2))
+        assert np.allclose(dist.sample(rng=5), dist.sample(rng=5))
+
+
+class TestGradients:
+    def test_log_prob_grads_match_numerical(self):
+        rng = np.random.default_rng(0)
+        mean = rng.standard_normal((4, 3))
+        log_std = rng.standard_normal(3) * 0.3
+        actions = rng.standard_normal((4, 3))
+
+        dist = DiagGaussian(mean, log_std)
+        d_mean, d_log_std = dist.log_prob_grads(actions)
+
+        def total_lp():
+            return float(DiagGaussian(mean, log_std).log_prob(actions).sum())
+
+        num_mean = numerical_grad_1d(total_lp, mean)
+        num_log_std = numerical_grad_1d(total_lp, log_std)
+        assert np.allclose(d_mean, num_mean, rtol=1e-5, atol=1e-8)
+        assert np.allclose(d_log_std.sum(axis=0), num_log_std, rtol=1e-5, atol=1e-8)
+
+    def test_entropy_grad(self):
+        dist = DiagGaussian(np.zeros((1, 4)), np.zeros(4))
+        assert np.allclose(dist.entropy_grad_log_std(), np.ones(4))
+
+
+class TestKL:
+    def test_kl_self_is_zero(self):
+        dist = DiagGaussian(np.ones((2, 3)), np.full(3, 0.2))
+        assert np.allclose(dist.kl_divergence(dist), 0.0, atol=1e-12)
+
+    def test_kl_nonnegative_property(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            p = DiagGaussian(rng.standard_normal((1, 2)), rng.standard_normal(2) * 0.3)
+            q = DiagGaussian(rng.standard_normal((1, 2)), rng.standard_normal(2) * 0.3)
+            assert p.kl_divergence(q)[0] >= -1e-12
+
+    def test_kl_matches_closed_form_1d(self):
+        p = DiagGaussian(np.array([[1.0]]), np.array([np.log(2.0)]))
+        q = DiagGaussian(np.array([[0.0]]), np.array([0.0]))
+        # KL(N(1,4) || N(0,1)) = log(1/2) + (4 + 1)/2 - 1/2
+        expected = np.log(0.5) + (4 + 1) / 2 - 0.5
+        assert p.kl_divergence(q)[0] == pytest.approx(expected)
+
+    def test_kl_dim_mismatch_raises(self):
+        p = DiagGaussian(np.zeros((1, 2)), np.zeros(2))
+        q = DiagGaussian(np.zeros((1, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            p.kl_divergence(q)
+
+
+@given(
+    mean=st.floats(-5, 5),
+    log_std=st.floats(-2, 1),
+    action=st.floats(-5, 5),
+)
+@settings(max_examples=50, deadline=None)
+def test_log_prob_never_exceeds_mode_density(mean, log_std, action):
+    dist = DiagGaussian(np.array([[mean]]), np.array([log_std]))
+    lp_action = dist.log_prob(np.array([[action]]))[0]
+    lp_mode = dist.log_prob(np.array([[mean]]))[0]
+    assert lp_action <= lp_mode + 1e-12

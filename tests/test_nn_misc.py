@@ -1,0 +1,91 @@
+"""Tests for repro.nn initializers, schedules and remaining loss paths."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import get_initializer, he_init, orthogonal_init, xavier_init
+from repro.nn.losses import huber_loss, mse_loss
+from repro.nn.schedules import ConstantSchedule, LinearSchedule, as_schedule
+
+
+class TestInitializers:
+    def test_xavier_bounds(self):
+        w = xavier_init(10, 20, rng=0)
+        limit = np.sqrt(6.0 / 30)
+        assert w.shape == (10, 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_scale(self):
+        w = he_init(500, 400, rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 500), rel=0.1)
+
+    def test_orthogonal_columns(self):
+        w = orthogonal_init(16, 8, gain=1.0, rng=0)
+        assert np.allclose(w.T @ w, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_rows_when_wide(self):
+        w = orthogonal_init(8, 16, gain=1.0, rng=0)
+        assert np.allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_gain(self):
+        w = orthogonal_init(8, 8, gain=3.0, rng=0)
+        assert np.allclose(w.T @ w, 9.0 * np.eye(8), atol=1e-9)
+
+    def test_deterministic(self):
+        assert np.allclose(xavier_init(4, 4, rng=7), xavier_init(4, 4, rng=7))
+
+    def test_registry_lookup(self):
+        assert get_initializer("xavier") is xavier_init
+        with pytest.raises(KeyError):
+            get_initializer("nope")
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.3)
+        assert s(0.0) == s(1.0) == 0.3
+
+    def test_linear_endpoints(self):
+        s = LinearSchedule(1.0, 0.0)
+        assert s(0.0) == 1.0
+        assert s(1.0) == 0.0
+        assert s(0.5) == pytest.approx(0.5)
+
+    def test_linear_clamps(self):
+        s = LinearSchedule(2.0, 1.0)
+        assert s(-1.0) == 2.0
+        assert s(5.0) == 1.0
+
+    def test_as_schedule_coerces(self):
+        assert as_schedule(0.7)(0.3) == 0.7
+        s = LinearSchedule(1, 0)
+        assert as_schedule(s) is s
+
+
+class TestLossValues:
+    def test_mse_value(self):
+        loss, _ = mse_loss(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss == pytest.approx(2.5)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros(2), np.zeros(3))
+
+    def test_huber_quadratic_region_matches_half_mse(self):
+        pred = np.array([0.3, -0.2])
+        target = np.zeros(2)
+        h, _ = huber_loss(pred, target, delta=1.0)
+        m, _ = mse_loss(pred, target)
+        assert h == pytest.approx(0.5 * m)
+
+    def test_huber_linear_region(self):
+        h, _ = huber_loss(np.array([10.0]), np.array([0.0]), delta=1.0)
+        assert h == pytest.approx(1.0 * (10.0 - 0.5))
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros(2), np.zeros(2), delta=0.0)
+
+    def test_huber_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros(2), np.zeros(3))

@@ -1,0 +1,159 @@
+"""Tests for repro.nn.modules — layers, shapes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import (
+    MLP,
+    Identity,
+    Linear,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+)
+
+
+class TestParameter:
+    def test_grad_initialized_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert np.all(p.grad == 0)
+        assert p.shape == (2, 3)
+        assert p.size == 6
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_data_is_float64_contiguous(self):
+        p = Parameter(np.ones((2, 2), dtype=np.float32))
+        assert p.data.dtype == np.float64
+        assert p.data.flags["C_CONTIGUOUS"]
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=0)
+        y = layer.forward(np.zeros((5, 4)))
+        assert y.shape == (5, 3)
+
+    def test_forward_values(self):
+        layer = Linear(2, 2, rng=0)
+        layer.W.data[...] = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.b.data[...] = np.array([1.0, -1.0])
+        y = layer.forward(np.array([[3.0, 4.0]]))
+        assert np.allclose(y, [[4.0, 7.0]])
+
+    def test_bad_input_shape_raises(self):
+        layer = Linear(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((5, 7)))
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(2, 2, rng=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_backward_accumulates(self):
+        layer = Linear(2, 2, rng=0)
+        x = np.ones((3, 2))
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        g1 = layer.W.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        assert np.allclose(layer.W.grad, 2 * g1)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+        with pytest.raises(ValueError):
+            Linear(2, -1)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "act,fn",
+        [
+            (Tanh(), np.tanh),
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (Softplus(), lambda x: np.log1p(np.exp(x))),
+            (Identity(), lambda x: x),
+        ],
+    )
+    def test_forward_matches_reference(self, act, fn):
+        x = np.linspace(-3, 3, 13).reshape(1, -1)
+        assert np.allclose(act.forward(x), fn(x), atol=1e-12)
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        y = Sigmoid().forward(np.array([[-1e4, 1e4]]))
+        assert np.all(np.isfinite(y))
+        assert y[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert y[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_relu_backward_mask(self):
+        act = ReLU()
+        act.forward(np.array([[-1.0, 2.0]]))
+        g = act.backward(np.array([[5.0, 5.0]]))
+        assert np.allclose(g, [[0.0, 5.0]])
+
+
+class TestSequentialAndMLP:
+    def test_sequential_chains(self):
+        seq = Sequential([Linear(3, 4, rng=0), Tanh(), Linear(4, 2, rng=1)])
+        y = seq.forward(np.zeros((2, 3)))
+        assert y.shape == (2, 2)
+        assert len(seq.parameters()) == 4
+
+    def test_mlp_structure(self):
+        mlp = MLP(5, [8, 8], 2, rng=0)
+        assert mlp.forward(np.zeros((3, 5))).shape == (3, 2)
+        # 3 Linear layers -> 6 parameters
+        assert len(mlp.parameters()) == 6
+
+    def test_mlp_no_hidden(self):
+        mlp = MLP(4, [], 3, rng=0)
+        assert mlp.forward(np.zeros((1, 4))).shape == (1, 3)
+
+    def test_mlp_small_out_gain(self):
+        mlp = MLP(4, [16], 2, out_gain=0.01, rng=0)
+        y = mlp.forward(np.random.default_rng(0).standard_normal((10, 4)))
+        assert np.max(np.abs(y)) < 0.5
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(KeyError):
+            MLP(2, [4], 1, activation="swish")
+
+    def test_state_dict_roundtrip(self):
+        a = MLP(3, [4], 2, rng=0)
+        b = MLP(3, [4], 2, rng=99)
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(1).standard_normal((5, 3))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a = MLP(3, [4], 2, rng=0)
+        b = MLP(3, [5], 2, rng=0)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_state_dict_missing_key_raises(self):
+        a = MLP(3, [4], 2, rng=0)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_num_parameters(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        assert mlp.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_zero_grad_clears_all(self):
+        mlp = MLP(3, [4], 2, rng=0)
+        mlp.forward(np.ones((2, 3)))
+        mlp.backward(np.ones((2, 2)))
+        mlp.zero_grad()
+        assert all(np.all(p.grad == 0) for p in mlp.parameters())

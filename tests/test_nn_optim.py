@@ -1,0 +1,124 @@
+"""Tests for repro.nn.optim — SGD, Adam, gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_params():
+    """A parameter initialized away from the optimum of f(x)=||x||^2/2."""
+    return [Parameter(np.array([3.0, -4.0]))]
+
+
+class TestSGD:
+    def test_step_direction(self):
+        params = quadratic_params()
+        opt = SGD(params, lr=0.1)
+        params[0].grad[...] = params[0].data  # grad of ||x||^2/2
+        opt.step()
+        assert np.allclose(params[0].data, [2.7, -3.6])
+
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        opt = SGD(params, lr=0.1)
+        for _ in range(200):
+            params[0].grad[...] = params[0].data
+            opt.step()
+            params[0].zero_grad()
+        assert np.linalg.norm(params[0].data) < 1e-6
+
+    def test_momentum_converges(self):
+        params = quadratic_params()
+        opt = SGD(params, lr=0.05, momentum=0.9)
+        for _ in range(300):
+            params[0].grad[...] = params[0].data
+            opt.step()
+            params[0].zero_grad()
+        assert np.linalg.norm(params[0].data) < 1e-6
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD(quadratic_params(), lr=0.0)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD(quadratic_params(), lr=0.1, momentum=1.0)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        opt = Adam(params, lr=0.1)
+        for _ in range(500):
+            params[0].grad[...] = params[0].data
+            opt.step()
+            params[0].zero_grad()
+        assert np.linalg.norm(params[0].data) < 1e-4
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in magnitude.
+        params = [Parameter(np.array([1.0]))]
+        opt = Adam(params, lr=0.01)
+        params[0].grad[...] = np.array([123.0])
+        opt.step()
+        assert abs(1.0 - params[0].data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam(quadratic_params(), lr=0.1, betas=(1.0, 0.9))
+
+    def test_state_roundtrip_continues_identically(self):
+        rng = np.random.default_rng(0)
+        p1 = [Parameter(np.array([1.0, 2.0]))]
+        p2 = [Parameter(np.array([1.0, 2.0]))]
+        o1 = Adam(p1, lr=0.05)
+        o2 = Adam(p2, lr=0.05)
+        grads = rng.standard_normal((5, 2))
+        for g in grads[:3]:
+            for o, p in ((o1, p1), (o2, p2)):
+                p[0].grad[...] = g
+                o.step()
+                p[0].zero_grad()
+        state = o1.state_dict()
+        o3 = Adam(p2, lr=0.05)
+        o3.load_state_dict(state)
+        p1[0].grad[...] = grads[3]
+        o1.step()
+        p2[0].grad[...] = grads[3]
+        o3.step()
+        assert np.allclose(p1[0].data, p2[0].data)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad[...] = [0.3, 0.4]  # norm 0.5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad[...] = [3.0, 4.0]  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad[...] = [3.0]
+        b.grad[...] = [4.0]
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_max_norm_raises(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)

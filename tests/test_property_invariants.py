@@ -1,0 +1,113 @@
+"""Cross-cutting property tests: invariants that must hold for *any*
+randomly-generated fleet, trace and frequency assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.sim.cost import CostModel
+from repro.sim.iteration import simulate_iteration
+from repro.sim.system import FLSystem, SystemConfig
+from repro.traces.base import BandwidthTrace
+
+
+@st.composite
+def fleet_and_freqs(draw):
+    n = draw(st.integers(1, 6))
+    devices = []
+    freqs = []
+    for i in range(n):
+        fmax = draw(st.floats(0.5, 3.0))
+        p = DeviceParams(
+            data_mbit=draw(st.floats(10.0, 1000.0)),
+            cycles_per_mbit=draw(st.floats(0.005, 0.05)),
+            max_frequency_ghz=fmax,
+            alpha=draw(st.floats(0.0, 0.2)),
+            e_tx=draw(st.floats(0.0, 0.05)),
+        )
+        n_slots = draw(st.integers(3, 30))
+        values = [draw(st.floats(0.2, 80.0)) for _ in range(n_slots)]
+        devices.append(MobileDevice(p, BandwidthTrace(values), device_id=i))
+        freqs.append(draw(st.floats(0.05, 3.5)))
+    return DeviceFleet(devices), np.asarray(freqs)
+
+
+class TestIterationInvariants:
+    @given(data=fleet_and_freqs(), lam=st.floats(0.0, 5.0), t0=st.floats(0.0, 200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_core_identities(self, data, lam, t0):
+        fleet, freqs = data
+        cm = CostModel(lam=lam, time_unit_s=2.0)
+        r = simulate_iteration(fleet, freqs, t0, 40.0, cm)
+
+        # Eq. (5): iteration time is the max device time.
+        assert r.iteration_time == pytest.approx(r.device_times.max())
+        # Eq. (13): reward is the negated cost; cost decomposes exactly.
+        assert r.reward == -r.cost
+        assert r.cost == pytest.approx(
+            r.iteration_time / 2.0 + lam * r.total_energy
+        )
+        # idle times are non-negative and zero for the slowest device.
+        assert np.all(r.idle_times >= -1e-9)
+        assert r.idle_times[r.slowest_device] == pytest.approx(0.0, abs=1e-9)
+        # frequencies were clamped into (0, delta_max].
+        assert np.all(r.frequencies > 0)
+        assert np.all(r.frequencies <= fleet.max_frequencies + 1e-12)
+        # Eq. (11): end time chains.
+        assert r.end_time == pytest.approx(t0 + r.iteration_time)
+        # realized bandwidth is consistent with upload time.
+        assert np.allclose(
+            r.avg_bandwidths * r.upload_times, 40.0, rtol=1e-9
+        )
+
+    @given(data=fleet_and_freqs(), t0=st.floats(0.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_monotone_in_frequency(self, data, t0):
+        """Raising every frequency never lowers compute energy and never
+        raises the iteration's compute time."""
+        fleet, freqs = data
+        cm = CostModel(lam=1.0)
+        lo = simulate_iteration(fleet, freqs * 0.5, t0, 40.0, cm)
+        hi = simulate_iteration(fleet, freqs, t0, 40.0, cm)
+        assert np.all(
+            fleet.compute_energies(fleet.clamp_frequencies(freqs * 0.5))
+            <= fleet.compute_energies(fleet.clamp_frequencies(freqs)) + 1e-12
+        )
+        assert np.all(hi.compute_times <= lo.compute_times + 1e-12)
+
+
+class TestSystemInvariants:
+    @given(
+        data=fleet_and_freqs(),
+        n_steps=st.integers(1, 8),
+        start=st.floats(0.0, 50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_clock_is_sum_of_iteration_times(self, data, n_steps, start):
+        fleet, freqs = data
+        system = FLSystem(fleet, SystemConfig(model_size_mbit=20.0))
+        system.reset(start)
+        total = 0.0
+        for _ in range(n_steps):
+            r = system.step(freqs)
+            total += r.iteration_time
+        assert system.clock == pytest.approx(start + total)
+        assert system.iteration == n_steps
+        assert len(system.history) == n_steps
+
+    @given(data=fleet_and_freqs(), start=st.floats(20.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_bandwidth_state_matches_trace_slots(self, data, start):
+        fleet, _ = data
+        system = FLSystem(fleet, SystemConfig(model_size_mbit=20.0, history_slots=3))
+        system.reset(start)
+        state = system.bandwidth_state()
+        assert state.shape == (fleet.n, 4)
+        for i, device in enumerate(fleet):
+            assert state[i, 0] == pytest.approx(
+                device.trace.slot_value(int(start // device.trace.h))
+            )
+        assert np.all(state > 0)

@@ -1,0 +1,123 @@
+"""Tests for repro.rl.agent — the Algorithm-1 agent state machine."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agent import AgentConfig, PPOAgent
+from repro.rl.ppo import PPOConfig
+
+
+def make_agent(buffer_size=8, obs_dim=3, act_dim=2, **kwargs):
+    cfg = AgentConfig(
+        obs_dim=obs_dim,
+        act_dim=act_dim,
+        hidden=(8,),
+        buffer_size=buffer_size,
+        ppo=PPOConfig(epochs=1, minibatch_size=4),
+        **kwargs,
+    )
+    return PPOAgent(cfg, rng=0)
+
+
+def drive(agent, n, rng):
+    """Feed n random transitions through act/observe; return update stats."""
+    stats_seen = []
+    obs = rng.standard_normal(agent.config.obs_dim)
+    for _ in range(n):
+        action, logp, value = agent.act(obs)
+        next_obs = rng.standard_normal(agent.config.obs_dim)
+        stats = agent.observe(obs, action, -1.0, next_obs, False, logp, value)
+        if stats is not None:
+            stats_seen.append(stats)
+        obs = next_obs
+    return stats_seen
+
+
+class TestAgentConfig:
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            AgentConfig(obs_dim=0, act_dim=1).validate()
+        with pytest.raises(ValueError):
+            AgentConfig(obs_dim=1, act_dim=1, buffer_size=0).validate()
+
+
+class TestActObserve:
+    def test_act_shapes(self):
+        agent = make_agent()
+        action, logp, value = agent.act(np.zeros(3))
+        assert action.shape == (2,)
+        assert np.isfinite(logp) and np.isfinite(value)
+
+    def test_update_fires_exactly_when_buffer_full(self):
+        agent = make_agent(buffer_size=8)
+        stats = drive(agent, 20, np.random.default_rng(0))
+        # 20 steps, |D| = 8 -> exactly 2 updates
+        assert len(stats) == 2
+        assert agent.total_updates == 2
+        assert len(agent.buffer) == 20 - 16
+
+    def test_buffer_cleared_after_update(self):
+        agent = make_agent(buffer_size=4)
+        drive(agent, 4, np.random.default_rng(0))
+        assert len(agent.buffer) == 0
+
+    def test_old_policy_synced_after_update(self):
+        agent = make_agent(buffer_size=4)
+        drive(agent, 4, np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((3, 3))
+        assert np.allclose(agent.actor.forward(x), agent.actor_old.forward(x))
+
+    def test_old_policy_differs_mid_buffer(self):
+        agent = make_agent(buffer_size=8)
+        drive(agent, 4, np.random.default_rng(0))  # update after 8, so none yet
+        # force divergence of theta_a to check sampling uses theta_old
+        agent.actor.log_std.data[...] = -3.0
+        assert not np.allclose(agent.actor.log_std.data, agent.actor_old.log_std.data)
+
+    def test_policy_action_deterministic(self):
+        agent = make_agent()
+        obs = np.ones(3)
+        a1 = agent.policy_action(obs)
+        a2 = agent.policy_action(obs)
+        assert np.allclose(a1, a2)
+
+    def test_freeze_stops_normalizers(self):
+        agent = make_agent()
+        drive(agent, 4, np.random.default_rng(0))
+        agent.freeze()
+        mean_before = agent.obs_norm.rms.mean.copy()
+        drive(agent, 4, np.random.default_rng(1))
+        assert np.allclose(agent.obs_norm.rms.mean, mean_before)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        agent = make_agent()
+        drive(agent, 16, np.random.default_rng(0))
+        path = str(tmp_path / "agent.npz")
+        agent.save(path)
+
+        other = make_agent()
+        other.load(path)
+        obs = np.random.default_rng(2).standard_normal(3)
+        assert np.allclose(agent.policy_action(obs), other.policy_action(obs))
+        assert other.total_steps == agent.total_steps
+        assert other.total_updates == agent.total_updates
+
+    def test_load_wrong_dims_raises(self, tmp_path):
+        agent = make_agent()
+        path = str(tmp_path / "agent.npz")
+        agent.save(path)
+        wrong = make_agent(obs_dim=4)
+        with pytest.raises(ValueError):
+            wrong.load(path)
+
+    def test_loaded_actor_old_synced(self, tmp_path):
+        agent = make_agent()
+        drive(agent, 8, np.random.default_rng(0))
+        path = str(tmp_path / "agent.npz")
+        agent.save(path)
+        other = make_agent()
+        other.load(path)
+        x = np.random.default_rng(3).standard_normal((2, 3))
+        assert np.allclose(other.actor.forward(x), other.actor_old.forward(x))

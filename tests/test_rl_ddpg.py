@@ -1,0 +1,172 @@
+"""Tests for repro.rl.replay and repro.rl.ddpg."""
+
+import numpy as np
+import pytest
+
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.replay import ReplayMemory
+
+
+class TestReplayMemory:
+    def test_ring_overwrite(self):
+        mem = ReplayMemory(3, obs_dim=1, act_dim=1)
+        for i in range(5):
+            mem.add([float(i)], [0.0], float(i), [0.0], False)
+        assert len(mem) == 3
+        # oldest entries (0, 1) were overwritten by (3, 4)
+        stored = set(mem.states[:, 0].tolist())
+        assert stored == {2.0, 3.0, 4.0}
+
+    def test_sample_shapes(self):
+        mem = ReplayMemory(10, obs_dim=2, act_dim=3)
+        for i in range(6):
+            mem.add(np.ones(2) * i, np.zeros(3), 1.0, np.ones(2), False)
+        batch = mem.sample(4, rng=0)
+        assert batch["states"].shape == (4, 2)
+        assert batch["actions"].shape == (4, 3)
+        assert batch["rewards"].shape == (4,)
+
+    def test_sample_only_stored_prefix(self):
+        mem = ReplayMemory(100, obs_dim=1, act_dim=1)
+        mem.add([7.0], [0.0], 0.0, [0.0], False)
+        batch = mem.sample(16, rng=0)
+        assert np.all(batch["states"] == 7.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            ReplayMemory(0, 1, 1)
+        mem = ReplayMemory(4, 1, 1)
+        with pytest.raises(ValueError):
+            mem.sample(2)
+        mem.add([0.0], [0.0], 0.0, [0.0], False)
+        with pytest.raises(ValueError):
+            mem.sample(0)
+
+
+def small_agent(**over):
+    cfg = dict(
+        obs_dim=3, act_dim=2, hidden=(16,), replay_capacity=512,
+        batch_size=16, warmup_steps=16, update_every=1,
+    )
+    cfg.update(over)
+    return DDPGAgent(DDPGConfig(**cfg), rng=0)
+
+
+class TestDDPGAgent:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DDPGConfig(obs_dim=0).validate()
+        with pytest.raises(ValueError):
+            DDPGConfig(tau=0.0).validate()
+        with pytest.raises(ValueError):
+            DDPGConfig(replay_capacity=4, batch_size=8).validate()
+
+    def test_act_in_action_box(self):
+        agent = small_agent()
+        for _ in range(20):
+            action, logp, value = agent.act(np.random.default_rng(0).standard_normal(3))
+            assert np.all(action >= -1.0) and np.all(action <= 1.0)
+            assert logp == 0.0 and value == 0.0
+
+    def test_policy_action_deterministic(self):
+        agent = small_agent()
+        obs = np.ones(3)
+        assert np.allclose(agent.policy_action(obs), agent.policy_action(obs))
+
+    def test_updates_start_after_warmup(self):
+        agent = small_agent(warmup_steps=8)
+        rng = np.random.default_rng(0)
+        stats = []
+        obs = rng.standard_normal(3)
+        for i in range(12):
+            action, _, _ = agent.act(obs)
+            nxt = rng.standard_normal(3)
+            s = agent.observe(obs, action, -1.0, nxt, False)
+            stats.append(s is not None)
+            obs = nxt
+        assert not any(stats[:7])
+        assert any(stats[8:])
+
+    def test_exploration_noise_decays(self):
+        agent = small_agent(exploration_std=0.5, exploration_decay_to=0.0,
+                            decay_steps=100)
+        before = agent._noise_std()
+        agent.total_steps = 100
+        after = agent._noise_std()
+        assert after < before
+        assert after == pytest.approx(0.0)
+
+    def test_target_networks_track_online(self):
+        agent = small_agent(tau=1.0)  # full copy each update
+        rng = np.random.default_rng(0)
+        obs = rng.standard_normal(3)
+        for _ in range(20):
+            action, _, _ = agent.act(obs)
+            nxt = rng.standard_normal(3)
+            agent.observe(obs, action, -1.0, nxt, False)
+            obs = nxt
+        x = rng.standard_normal((4, 3))
+        assert np.allclose(agent.actor.forward(x), agent.actor_target.forward(x))
+
+    def test_solves_continuous_bandit(self):
+        """DDPG must learn a trivial deterministic target map."""
+        rng = np.random.default_rng(0)
+        agent = small_agent(
+            obs_dim=2, act_dim=1, hidden=(32,), batch_size=64,
+            warmup_steps=64, exploration_std=0.3, decay_steps=3000,
+            gamma=0.0,
+        )
+        obs = rng.uniform(-1, 1, 2)
+        for _ in range(3000):
+            action, _, _ = agent.act(obs)
+            target = np.clip(obs.sum() * 0.4, -1, 1)
+            reward = -float((action[0] - target) ** 2)
+            next_obs = rng.uniform(-1, 1, 2)
+            agent.observe(obs, action, reward, next_obs, True)
+            obs = next_obs
+        agent.freeze()
+        errs = []
+        for _ in range(100):
+            o = rng.uniform(-1, 1, 2)
+            a = agent.policy_action(o)
+            errs.append(float((a[0] - np.clip(o.sum() * 0.4, -1, 1)) ** 2))
+        assert np.mean(errs) < 0.05
+
+    def test_save_load_roundtrip(self, tmp_path):
+        agent = small_agent()
+        rng = np.random.default_rng(0)
+        obs = rng.standard_normal(3)
+        for _ in range(20):
+            action, _, _ = agent.act(obs)
+            nxt = rng.standard_normal(3)
+            agent.observe(obs, action, -1.0, nxt, False)
+            obs = nxt
+        path = str(tmp_path / "ddpg.npz")
+        agent.save(path)
+        other = small_agent()
+        other.load(path)
+        x = np.ones(3)
+        assert np.allclose(agent.policy_action(x), other.policy_action(x))
+
+
+class TestTrainerIntegration:
+    def test_trainer_builds_ddpg(self):
+        from dataclasses import replace
+
+        from repro.core.trainer import OfflineTrainer, TrainerConfig
+        from repro.devices.fleet import FleetConfig
+        from repro.experiments.presets import TESTBED_PRESET, build_env
+
+        preset = replace(
+            TESTBED_PRESET, trace_slots=300, episode_length=8,
+            fleet=FleetConfig(n_devices=2), n_devices=2,
+        )
+        env = build_env(preset, seed=0)
+        trainer = OfflineTrainer(
+            env, TrainerConfig(n_episodes=3, algorithm="ddpg", hidden=(8,)), rng=0
+        )
+        from repro.rl.ddpg import DDPGAgent
+
+        assert isinstance(trainer.agent, DDPGAgent)
+        history = trainer.train()
+        assert history.n_episodes == 3

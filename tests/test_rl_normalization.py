@@ -1,0 +1,92 @@
+"""Tests for repro.rl.normalization."""
+
+import numpy as np
+import pytest
+
+from repro.rl.normalization import ObservationNormalizer, RewardScaler
+
+
+class TestObservationNormalizer:
+    def test_whitens_stream(self):
+        rng = np.random.default_rng(0)
+        norm = ObservationNormalizer(obs_dim=3)
+        outs = [norm(rng.standard_normal(3) * 5 + 10) for _ in range(500)]
+        tail = np.stack(outs[-100:])
+        assert np.all(np.abs(tail.mean(axis=0)) < 0.5)
+        assert np.all(np.abs(tail.std(axis=0) - 1.0) < 0.5)
+
+    def test_disabled_passthrough(self):
+        norm = ObservationNormalizer(obs_dim=2, enabled=False)
+        x = np.array([100.0, -100.0])
+        assert np.allclose(norm(x), x)
+
+    def test_freeze_stops_updates(self):
+        norm = ObservationNormalizer(obs_dim=1)
+        norm(np.array([1.0]))
+        norm.freeze()
+        mean_before = norm.rms.mean.copy()
+        norm(np.array([100.0]))
+        assert np.allclose(norm.rms.mean, mean_before)
+
+    def test_clipping(self):
+        norm = ObservationNormalizer(obs_dim=1, clip=2.0)
+        for _ in range(50):
+            norm(np.array([0.0]))
+        z = norm(np.array([1e12]))
+        assert abs(z[0]) <= 2.0
+
+    def test_state_roundtrip(self):
+        norm = ObservationNormalizer(obs_dim=2)
+        for i in range(20):
+            norm(np.array([i, -i], dtype=float))
+        other = ObservationNormalizer(obs_dim=2)
+        other.load_state_dict(norm.state_dict())
+        x = np.array([3.0, 4.0])
+        other.freeze()
+        norm.freeze()
+        assert np.allclose(norm(x), other(x))
+
+
+class TestRewardScaler:
+    def test_scaling_reduces_magnitude_of_big_rewards(self):
+        scaler = RewardScaler(gamma=0.9)
+        outs = [scaler(-100.0) for _ in range(200)]
+        assert abs(outs[-1]) < 10.0
+
+    def test_disabled_passthrough(self):
+        scaler = RewardScaler(enabled=False)
+        assert scaler(-42.0) == -42.0
+
+    def test_sign_preserved(self):
+        scaler = RewardScaler()
+        for _ in range(50):
+            out = scaler(-3.0)
+            assert out <= 0.0
+
+    def test_done_resets_return(self):
+        scaler = RewardScaler(gamma=1.0)
+        scaler(-1.0, done=True)
+        assert scaler._ret == 0.0
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            RewardScaler(gamma=1.5)
+
+    def test_freeze_stops_adaptation(self):
+        scaler = RewardScaler()
+        for _ in range(20):
+            scaler(-5.0)
+        scaler.freeze()
+        var_before = scaler.rms.var.copy()
+        scaler(-1e9)
+        assert np.allclose(scaler.rms.var, var_before)
+
+    def test_state_roundtrip(self):
+        scaler = RewardScaler()
+        for _ in range(20):
+            scaler(-2.0)
+        other = RewardScaler()
+        other.load_state_dict(scaler.state_dict())
+        other.freeze()
+        scaler.freeze()
+        assert scaler(-2.0) == pytest.approx(other(-2.0))

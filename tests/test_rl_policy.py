@@ -1,0 +1,110 @@
+"""Tests for repro.rl.policy — actor and critic networks."""
+
+import numpy as np
+import pytest
+
+from repro.rl.policy import Critic, GaussianActor
+
+
+class TestGaussianActor:
+    def test_forward_shape(self):
+        actor = GaussianActor(6, 3, rng=0)
+        mean = actor.forward(np.zeros(6))
+        assert mean.shape == (1, 3)
+        mean = actor.forward(np.zeros((7, 6)))
+        assert mean.shape == (7, 3)
+
+    def test_act_returns_action_and_logp(self):
+        actor = GaussianActor(4, 2, rng=0)
+        action, logp = actor.act(np.zeros(4), rng=0)
+        assert action.shape == (2,)
+        assert np.isfinite(logp)
+
+    def test_deterministic_act_is_mean(self):
+        actor = GaussianActor(4, 2, rng=0)
+        a1 = actor.act(np.ones(4), deterministic=True)[0]
+        a2 = actor.act(np.ones(4), deterministic=True)[0]
+        assert np.allclose(a1, a2)
+        assert np.allclose(a1, actor.forward(np.ones(4))[0])
+
+    def test_initial_mean_near_zero(self):
+        actor = GaussianActor(4, 2, rng=0)
+        mean = actor.forward(np.random.default_rng(0).standard_normal((10, 4)))
+        assert np.max(np.abs(mean)) < 0.5
+
+    def test_clamp_log_std(self):
+        actor = GaussianActor(4, 2, rng=0)
+        actor.log_std.data[...] = 10.0
+        actor.clamp_log_std()
+        assert np.all(actor.log_std.data <= actor.LOG_STD_MAX)
+        actor.log_std.data[...] = -10.0
+        actor.clamp_log_std()
+        assert np.all(actor.log_std.data >= actor.LOG_STD_MIN)
+
+    def test_copy_weights(self):
+        a = GaussianActor(4, 2, rng=0)
+        b = GaussianActor(4, 2, rng=1)
+        b.copy_weights_from(a)
+        x = np.random.default_rng(2).standard_normal((3, 4))
+        assert np.allclose(a.forward(x), b.forward(x))
+        assert np.allclose(a.log_std.data, b.log_std.data)
+
+    def test_copy_weights_architecture_mismatch(self):
+        a = GaussianActor(4, 2, hidden=(8,), rng=0)
+        b = GaussianActor(4, 2, hidden=(16,), rng=0)
+        with pytest.raises(ValueError):
+            b.copy_weights_from(a)
+
+    def test_state_dict_roundtrip(self):
+        a = GaussianActor(4, 2, rng=0)
+        a.log_std.data[...] = [-1.3, -0.7]
+        b = GaussianActor(4, 2, rng=9)
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(0).standard_normal((3, 4))
+        assert np.allclose(a.forward(x), b.forward(x))
+        assert np.allclose(b.log_std.data, [-1.3, -0.7])
+
+    def test_parameters_include_log_std(self):
+        actor = GaussianActor(4, 2, hidden=(8,), rng=0)
+        params = actor.parameters()
+        assert any(p is actor.log_std for p in params)
+
+
+class TestCritic:
+    def test_value_shape(self):
+        critic = Critic(5, rng=0)
+        v = critic.value(np.zeros((4, 5)))
+        assert v.shape == (4,)
+
+    def test_single_obs(self):
+        critic = Critic(5, rng=0)
+        v = critic.value(np.zeros(5))
+        assert v.shape == (1,)
+
+    def test_state_dict_roundtrip(self):
+        a = Critic(5, rng=0)
+        b = Critic(5, rng=3)
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(1).standard_normal((6, 5))
+        assert np.allclose(a.value(x), b.value(x))
+
+    def test_trainable(self):
+        """The critic can regress a simple function of the state."""
+        from repro.nn.losses import mse_loss
+        from repro.nn.optim import Adam
+
+        rng = np.random.default_rng(0)
+        critic = Critic(3, hidden=(32,), rng=0)
+        opt = Adam(critic.parameters(), lr=1e-2)
+        x = rng.standard_normal((256, 3))
+        y = x.sum(axis=1, keepdims=True)
+        first_loss = None
+        for _ in range(300):
+            pred = critic.forward(x)
+            loss, grad = mse_loss(pred, y)
+            if first_loss is None:
+                first_loss = loss
+            critic.zero_grad()
+            critic.backward(grad)
+            opt.step()
+        assert loss < 0.05 * first_loss

@@ -1,0 +1,60 @@
+"""Tests for LR-decay wiring (PPOConfig.lr_decay_to + set_progress)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.a2c import A2CUpdater
+from repro.rl.policy import Critic, GaussianActor
+from repro.rl.ppo import PPOConfig, PPOUpdater
+
+
+def make_updater(cls, **ppo_kwargs):
+    actor = GaussianActor(3, 2, hidden=(8,), rng=0)
+    critic = Critic(3, hidden=(8,), rng=0)
+    return cls(actor, critic, PPOConfig(**ppo_kwargs), rng=0)
+
+
+class TestLrDecay:
+    @pytest.mark.parametrize("cls", [PPOUpdater, A2CUpdater])
+    def test_progress_scales_lr(self, cls):
+        updater = make_updater(cls, actor_lr=1e-3, critic_lr=2e-3, lr_decay_to=0.1)
+        updater.set_progress(0.0)
+        assert updater.actor_opt.lr == pytest.approx(1e-3)
+        updater.set_progress(1.0)
+        assert updater.actor_opt.lr == pytest.approx(1e-4)
+        assert updater.critic_opt.lr == pytest.approx(2e-4)
+        updater.set_progress(0.5)
+        assert updater.actor_opt.lr == pytest.approx(5.5e-4)
+
+    @pytest.mark.parametrize("cls", [PPOUpdater, A2CUpdater])
+    def test_default_no_decay(self, cls):
+        updater = make_updater(cls, actor_lr=1e-3)
+        updater.set_progress(1.0)
+        assert updater.actor_opt.lr == pytest.approx(1e-3)
+
+    def test_invalid_decay_raises(self):
+        with pytest.raises(ValueError):
+            PPOConfig(lr_decay_to=0.0).validate()
+        with pytest.raises(ValueError):
+            PPOConfig(lr_decay_to=1.5).validate()
+
+    def test_trainer_drives_progress(self):
+        """The trainer must reach the decayed LR by the final episode."""
+        from dataclasses import replace
+
+        from repro.core.trainer import OfflineTrainer, TrainerConfig
+        from repro.devices.fleet import FleetConfig
+        from repro.experiments.presets import TESTBED_PRESET, build_env
+
+        preset = replace(
+            TESTBED_PRESET, trace_slots=300, episode_length=4,
+            fleet=FleetConfig(n_devices=2), n_devices=2,
+        )
+        env = build_env(preset, seed=0)
+        cfg = TrainerConfig(
+            n_episodes=5, hidden=(8,), buffer_size=8,
+            ppo=PPOConfig(actor_lr=1e-3, lr_decay_to=0.5, epochs=1, minibatch_size=4),
+        )
+        trainer = OfflineTrainer(env, cfg, rng=0)
+        trainer.train()
+        assert trainer.agent.updater.actor_opt.lr == pytest.approx(5e-4)

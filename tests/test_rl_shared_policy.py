@@ -1,0 +1,223 @@
+"""Tests for the permutation-shared policy and cross-N transfer."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agent import AgentConfig, PPOAgent
+from repro.rl.normalization import PerDeviceNormalizer
+from repro.rl.ppo import PPOConfig
+from repro.rl.shared_policy import SharedGaussianActor
+
+
+def numerical_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = g.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+class TestSharedGaussianActor:
+    def test_output_shape(self):
+        actor = SharedGaussianActor(4, 3, hidden=(8,), rng=0)
+        obs = np.random.default_rng(0).uniform(1, 5, (6, 12))
+        assert actor.forward(obs).shape == (6, 4)
+
+    def test_parameter_count_independent_of_n(self):
+        a3 = SharedGaussianActor(3, 5, hidden=(16,), rng=0)
+        a50 = SharedGaussianActor(50, 5, hidden=(16,), rng=0)
+        assert a3.num_parameters() == a50.num_parameters()
+
+    def test_permutation_equivariance(self):
+        """Permuting devices permutes the action means identically."""
+        rng = np.random.default_rng(0)
+        actor = SharedGaussianActor(5, 4, hidden=(16,), rng=0)
+        obs = rng.uniform(0.5, 10.0, (1, 20))
+        perm = rng.permutation(5)
+        per = obs.reshape(1, 5, 4)[:, perm, :].reshape(1, 20)
+        out = actor.forward(obs)[0]
+        out_perm = actor.forward(per)[0]
+        assert np.allclose(out[perm], out_perm, atol=1e-12)
+
+    def test_with_fleet_size_preserves_per_device_function(self):
+        """Rebinding to another N keeps each device's mapping, given the
+        same own-history and fleet-context statistics."""
+        actor = SharedGaussianActor(2, 3, hidden=(8,), rng=0)
+        # identical histories -> context stats equal the history itself
+        h = np.array([5.0, 6.0, 7.0])
+        obs2 = np.tile(h, 2)[None]
+        out2 = actor.forward(obs2)[0]
+        big = actor.with_fleet_size(7)
+        obs7 = np.tile(h, 7)[None]
+        out7 = big.forward(obs7)[0]
+        assert np.allclose(out7, out2[0], atol=1e-12)
+
+    def test_parameter_gradients_exact(self):
+        """Backward gives exact parameter grads (the context pooling is
+        a stop-gradient on the *input* path only, not on parameters)."""
+        rng = np.random.default_rng(1)
+        actor = SharedGaussianActor(3, 2, hidden=(6,), rng=0)
+        obs = rng.uniform(0.5, 5.0, (4, 6))
+
+        def loss():
+            return float(np.sum(actor.forward(obs)))
+
+        actor.zero_grad()
+        actor.forward(obs)
+        actor.backward(np.ones((4, 3)))
+        for p in actor.net.parameters():
+            num = numerical_grad(loss, p.data)
+            assert np.allclose(p.grad, num, rtol=1e-5, atol=1e-8)
+
+    def test_act_and_distribution(self):
+        actor = SharedGaussianActor(3, 2, hidden=(6,), rng=0)
+        obs = np.ones(6)
+        action, logp = actor.act(obs, rng=0)
+        assert action.shape == (3,)
+        assert np.isfinite(logp)
+        dist = actor.distribution(obs)
+        assert dist.dim == 3
+
+    def test_state_dict_roundtrip(self):
+        a = SharedGaussianActor(3, 2, hidden=(6,), rng=0)
+        b = SharedGaussianActor(3, 2, hidden=(6,), rng=9)
+        b.load_state_dict(a.state_dict())
+        obs = np.random.default_rng(0).uniform(1, 3, (2, 6))
+        assert np.allclose(a.forward(obs), b.forward(obs))
+
+    def test_bad_obs_dim_raises(self):
+        actor = SharedGaussianActor(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            actor.forward(np.ones((1, 5)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SharedGaussianActor(0, 2)
+
+
+class TestPerDeviceNormalizer:
+    def test_shared_moments_across_devices(self):
+        norm = PerDeviceNormalizer(block_dim=2)
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            norm(rng.uniform(10, 20, 6))  # 3 devices x 2 slots
+        z = norm.normalize_frozen(np.array([15.0, 15.0] * 3))
+        assert np.all(np.abs(z) < 1.0)
+
+    def test_any_fleet_size_after_training(self):
+        norm = PerDeviceNormalizer(block_dim=3)
+        for _ in range(50):
+            norm(np.random.default_rng(0).uniform(1, 9, 9))
+        out = norm.normalize_frozen(np.ones(30))  # 10 devices now
+        assert out.shape == (30,)
+
+    def test_indivisible_raises(self):
+        norm = PerDeviceNormalizer(block_dim=4)
+        with pytest.raises(ValueError):
+            norm(np.ones(6))
+
+    def test_state_roundtrip(self):
+        norm = PerDeviceNormalizer(block_dim=2)
+        norm(np.arange(8.0))
+        other = PerDeviceNormalizer(block_dim=2)
+        other.load_state_dict(norm.state_dict())
+        x = np.arange(4.0)
+        assert np.allclose(norm.normalize_frozen(x), other.normalize_frozen(x))
+
+    def test_disabled_passthrough(self):
+        norm = PerDeviceNormalizer(block_dim=2, enabled=False)
+        x = np.array([100.0, -3.0])
+        assert np.allclose(norm(x), x)
+
+
+class TestSharedPolicyAgent:
+    def test_agent_constructs_and_updates(self):
+        cfg = AgentConfig(
+            obs_dim=12, act_dim=4, hidden=(8,), buffer_size=8,
+            policy="shared", ppo=PPOConfig(epochs=1, minibatch_size=4),
+        )
+        agent = PPOAgent(cfg, rng=0)
+        assert isinstance(agent.actor, SharedGaussianActor)
+        assert isinstance(agent.obs_norm, PerDeviceNormalizer)
+        rng = np.random.default_rng(0)
+        obs = rng.uniform(1, 9, 12)
+        stats = None
+        for _ in range(8):
+            action, logp, value = agent.act(obs)
+            nxt = rng.uniform(1, 9, 12)
+            stats = agent.observe(obs, action, -1.0, nxt, False, logp, value) or stats
+            obs = nxt
+        assert stats is not None
+
+    def test_indivisible_dims_raise(self):
+        with pytest.raises(ValueError):
+            AgentConfig(obs_dim=10, act_dim=4, policy="shared").validate()
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            AgentConfig(obs_dim=4, act_dim=2, policy="transformer").validate()
+
+
+class TestTransfer:
+    def make_trained_agent(self):
+        from dataclasses import replace
+
+        from repro.core.trainer import OfflineTrainer, TrainerConfig
+        from repro.devices.fleet import FleetConfig
+        from repro.experiments.presets import TESTBED_PRESET, build_env
+
+        preset = replace(
+            TESTBED_PRESET, trace_slots=300, episode_length=8,
+            fleet=FleetConfig(n_devices=2), n_devices=2,
+        )
+        env = build_env(preset, seed=0)
+        trainer = OfflineTrainer(
+            env,
+            TrainerConfig(n_episodes=4, hidden=(8,), buffer_size=16, policy="shared"),
+            rng=0,
+        )
+        trainer.train()
+        return trainer.agent, preset
+
+    def test_transfer_allocator_runs_on_larger_fleet(self):
+        from dataclasses import replace
+
+        from repro.core.transfer import transfer_allocator
+        from repro.devices.fleet import FleetConfig
+        from repro.experiments.presets import build_system
+
+        agent, preset = self.make_trained_agent()
+        big = replace(preset, n_devices=6, fleet=FleetConfig(n_devices=6))
+        system = build_system(big, seed=1)
+        system.reset(30.0)
+        alloc = transfer_allocator(agent, 6)
+        results = system.run(alloc, 5)
+        assert len(results) == 5
+        for r in results:
+            assert np.all(r.frequencies > 0)
+            assert np.all(r.frequencies <= system.fleet.max_frequencies + 1e-12)
+
+    def test_transfer_rejects_dense_agent(self):
+        from repro.core.transfer import transfer_allocator
+
+        dense = PPOAgent(AgentConfig(obs_dim=6, act_dim=2, hidden=(8,)), rng=0)
+        with pytest.raises(TypeError):
+            transfer_allocator(dense, 5)
+
+    def test_transfer_rejects_wrong_system_size(self):
+        from repro.core.transfer import transfer_allocator
+        from repro.experiments.presets import build_system
+
+        agent, preset = self.make_trained_agent()
+        alloc = transfer_allocator(agent, 6)
+        system = build_system(preset, seed=0)  # N=2 system
+        system.reset(30.0)
+        with pytest.raises(ValueError):
+            alloc.reset(system)

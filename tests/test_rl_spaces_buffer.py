@@ -1,0 +1,124 @@
+"""Tests for repro.rl.spaces and repro.rl.buffer."""
+
+import numpy as np
+import pytest
+
+from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.spaces import Box
+
+
+class TestBox:
+    def test_contains(self):
+        box = Box(low=0.0, high=1.0, shape=(3,))
+        assert box.contains(np.array([0.0, 0.5, 1.0]))
+        assert not box.contains(np.array([0.0, 0.5, 1.1]))
+        assert not box.contains(np.array([0.5, 0.5]))  # wrong shape
+
+    def test_clip(self):
+        box = Box(low=-1.0, high=1.0, shape=(2,))
+        assert np.allclose(box.clip([5.0, -5.0]), [1.0, -1.0])
+
+    def test_sample_in_bounds(self):
+        box = Box(low=2.0, high=3.0, shape=(4,))
+        for _ in range(10):
+            assert box.contains(box.sample(rng=np.random.default_rng(0)))
+
+    def test_scale_roundtrip(self):
+        box = Box(low=np.array([1.0, 2.0]), high=np.array([3.0, 10.0]))
+        u = np.array([0.25, 0.5])
+        x = box.scale_from_unit(u)
+        assert np.allclose(box.to_unit(x), u)
+
+    def test_degenerate_dim_to_unit(self):
+        box = Box(low=np.array([1.0]), high=np.array([1.0]))
+        assert box.to_unit(np.array([1.0]))[0] == 0.0
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Box(low=1.0, high=0.0, shape=(2,))
+
+    def test_dim(self):
+        assert Box(low=0, high=1, shape=(3,)).dim == 3
+
+
+class TestRolloutBuffer:
+    def make(self, cap=4):
+        return RolloutBuffer(cap, obs_dim=3, act_dim=2)
+
+    def add_one(self, buf, reward=1.0):
+        buf.add(np.ones(3), np.ones(2) * 0.5, reward, np.zeros(3), False, -0.7, 0.3)
+
+    def test_fill_and_full_flag(self):
+        buf = self.make(2)
+        assert not buf.full
+        self.add_one(buf)
+        self.add_one(buf)
+        assert buf.full
+        assert len(buf) == 2
+
+    def test_add_when_full_raises(self):
+        buf = self.make(1)
+        self.add_one(buf)
+        with pytest.raises(RuntimeError):
+            self.add_one(buf)
+
+    def test_clear(self):
+        buf = self.make(2)
+        self.add_one(buf)
+        buf.clear()
+        assert len(buf) == 0
+        assert not buf.full
+
+    def test_data_views_are_prefix(self):
+        buf = self.make(4)
+        self.add_one(buf, reward=1.0)
+        self.add_one(buf, reward=2.0)
+        data = buf.data()
+        assert data["rewards"].shape == (2,)
+        assert np.allclose(data["rewards"], [1.0, 2.0])
+        assert data["states"].shape == (2, 3)
+
+    def test_stored_values_roundtrip(self):
+        buf = self.make(2)
+        t = Transition(
+            state=np.array([1.0, 2.0, 3.0]),
+            action=np.array([0.1, 0.2]),
+            reward=-4.2,
+            next_state=np.array([4.0, 5.0, 6.0]),
+            done=True,
+            log_prob=-1.5,
+            value=0.8,
+        )
+        buf.add_transition(t)
+        d = buf.data()
+        assert np.allclose(d["states"][0], t.state)
+        assert np.allclose(d["actions"][0], t.action)
+        assert d["rewards"][0] == pytest.approx(-4.2)
+        assert d["dones"][0]
+        assert d["log_probs"][0] == pytest.approx(-1.5)
+        assert d["values"][0] == pytest.approx(0.8)
+
+    def test_minibatch_indices_cover_everything(self):
+        buf = self.make(10)
+        for _ in range(10):
+            self.add_one(buf)
+        seen = np.concatenate(list(buf.minibatch_indices(3, rng=0)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_minibatch_drop_last(self):
+        buf = self.make(10)
+        for _ in range(10):
+            self.add_one(buf)
+        blocks = list(buf.minibatch_indices(4, rng=0, drop_last=True))
+        assert all(b.size == 4 for b in blocks)
+        assert len(blocks) == 2
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(0, 2, 2)
+
+    def test_invalid_batch_size_raises(self):
+        buf = self.make(2)
+        self.add_one(buf)
+        with pytest.raises(ValueError):
+            list(buf.minibatch_indices(0))

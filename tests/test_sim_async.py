@@ -1,0 +1,132 @@
+"""Tests for repro.sim.async_system and the sync-vs-async experiment."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.fl.client import LocalTrainConfig
+from repro.fl.data import make_federated_dataset
+from repro.fl.training import FederatedTrainer, FLTrainingConfig
+from repro.sim.async_system import AsyncFLSystem
+from repro.sim.system import SystemConfig
+from repro.traces.base import BandwidthTrace
+
+
+def make_fleet(n=3, bws=(10.0, 25.0, 50.0)):
+    devices = []
+    for i in range(n):
+        p = DeviceParams(
+            data_mbit=400.0, cycles_per_mbit=0.015,
+            max_frequency_ghz=1.2 + 0.3 * i, alpha=0.05, e_tx=0.01,
+        )
+        devices.append(
+            MobileDevice(p, BandwidthTrace(np.full(400, bws[i % len(bws)])), device_id=i)
+        )
+    return DeviceFleet(devices)
+
+
+def make_trainer(n=3, epsilon=0.3, seed=0):
+    ds = make_federated_dataset(
+        n, samples_per_device=60, n_features=8, n_classes=3,
+        class_sep=2.0, rng=seed,
+    )
+    return FederatedTrainer(
+        ds,
+        FLTrainingConfig(
+            epsilon=epsilon, max_rounds=1000,
+            local=LocalTrainConfig(tau=1, learning_rate=0.1),
+        ),
+        rng=seed,
+    )
+
+
+class TestAsyncFLSystem:
+    def test_client_fleet_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            AsyncFLSystem(make_fleet(3), make_trainer(4))
+
+    def test_invalid_mixing_raises(self):
+        with pytest.raises(ValueError):
+            AsyncFLSystem(make_fleet(3), make_trainer(3), mixing=0.0)
+
+    def test_wrong_frequency_shape_raises(self):
+        system = AsyncFLSystem(make_fleet(3), make_trainer(3))
+        with pytest.raises(ValueError):
+            system.run(np.ones(2))
+
+    def test_run_converges(self):
+        fleet = make_fleet(3)
+        system = AsyncFLSystem(fleet, make_trainer(3, epsilon=0.4), SystemConfig())
+        result = system.run(fleet.max_frequencies, max_time=1e5)
+        assert result.converged
+        assert result.final_loss <= 0.4
+        assert result.wall_clock > 0
+        assert result.total_energy > 0
+
+    def test_update_times_monotone(self):
+        fleet = make_fleet(3)
+        system = AsyncFLSystem(fleet, make_trainer(3, epsilon=1e-6), SystemConfig())
+        result = system.run(fleet.max_frequencies, max_updates=20)
+        times = [u.time for u in result.updates]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+        assert len(result.updates) == 20
+
+    def test_staleness_nonnegative_and_bounded_weight(self):
+        fleet = make_fleet(3)
+        system = AsyncFLSystem(fleet, make_trainer(3, epsilon=1e-6), mixing=0.6)
+        result = system.run(fleet.max_frequencies, max_updates=30)
+        for u in result.updates:
+            assert u.staleness >= 0
+            assert 0.0 < u.mix_weight <= 0.6
+
+    def test_fast_device_updates_more_often(self):
+        # device 2 has the highest bandwidth+frequency -> shortest rounds
+        fleet = make_fleet(3)
+        system = AsyncFLSystem(fleet, make_trainer(3, epsilon=1e-6), SystemConfig())
+        result = system.run(fleet.max_frequencies, max_updates=60)
+        counts = np.bincount([u.device_id for u in result.updates], minlength=3)
+        assert counts[2] >= counts[0]
+
+    def test_max_time_respected(self):
+        fleet = make_fleet(3)
+        system = AsyncFLSystem(fleet, make_trainer(3, epsilon=1e-9), SystemConfig())
+        result = system.run(fleet.max_frequencies, max_time=60.0, max_updates=10000)
+        assert result.wall_clock <= 60.0 + 1e-9
+        assert not result.converged
+
+    def test_loss_curve_shape(self):
+        fleet = make_fleet(3)
+        system = AsyncFLSystem(fleet, make_trainer(3, epsilon=1e-6), SystemConfig())
+        result = system.run(fleet.max_frequencies, max_updates=15)
+        curve = result.loss_curve()
+        assert curve.shape == (15, 2)
+
+    def test_async_training_reduces_loss(self):
+        fleet = make_fleet(3)
+        trainer = make_trainer(3, epsilon=1e-6)
+        w0 = trainer.server.global_weights()
+        losses0 = [c.evaluate(w0)[0] for c in trainer.clients]
+        initial = trainer.server.global_loss(losses0, trainer.dataset.shard_sizes)
+        system = AsyncFLSystem(fleet, trainer, SystemConfig())
+        result = system.run(fleet.max_frequencies, max_updates=40)
+        assert result.final_loss < initial
+
+
+class TestSyncAsyncExperiment:
+    def test_comparison_runs_and_both_converge(self):
+        from dataclasses import replace
+
+        from repro.devices.fleet import FleetConfig
+        from repro.experiments.presets import TESTBED_PRESET
+        from repro.experiments.sync_async import run_sync_async
+
+        preset = replace(
+            TESTBED_PRESET, trace_slots=400, fleet=FleetConfig(n_devices=3)
+        )
+        result = run_sync_async(preset, epsilon=0.6, seed=0, max_rounds=200)
+        assert result.sync.converged
+        assert result.async_.converged
+        assert result.sync.wall_clock_s > 0
+        assert result.async_.wall_clock_s > 0
+        assert result.time_ratio > 0

@@ -1,0 +1,212 @@
+"""Tests for repro.traces.base — integration and inverse-integration.
+
+The Eq. (3) machinery must satisfy exact identities:
+``integrate(t, t + time_to_transfer(t, v)) == v`` for any v, t.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.base import MIN_BANDWIDTH, BandwidthTrace, TracePool
+
+
+def simple_trace():
+    # slots: [2, 4, 8] Mbit/s, h = 1 s, cycle volume = 14 Mbit
+    return BandwidthTrace([2.0, 4.0, 8.0], slot_duration=1.0, name="t")
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace([1.0, -1.0])
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace([1.0, np.nan])
+
+    def test_bad_slot_duration_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace([1.0], slot_duration=0.0)
+
+    def test_zero_clamped_to_floor(self):
+        t = BandwidthTrace([0.0, 1.0])
+        assert t.values[0] == MIN_BANDWIDTH
+
+    def test_duration(self):
+        assert BandwidthTrace([1, 2, 3], slot_duration=2.0).duration == 6.0
+
+
+class TestAccessors:
+    def test_bandwidth_at(self):
+        t = simple_trace()
+        assert t.bandwidth_at(0.5) == 2.0
+        assert t.bandwidth_at(1.5) == 4.0
+        assert t.bandwidth_at(2.9) == 8.0
+
+    def test_cyclic_wrap(self):
+        t = simple_trace()
+        assert t.bandwidth_at(3.5) == 2.0
+        assert t.bandwidth_at(7.2) == 4.0
+
+    def test_slot_value_cyclic(self):
+        t = simple_trace()
+        assert t.slot_value(0) == 2.0
+        assert t.slot_value(4) == 4.0
+        assert t.slot_value(-1) == 8.0
+
+    def test_history_newest_first(self):
+        t = simple_trace()
+        h = t.history(2.5, 3)  # floor(2.5) = slot 2 -> values [8, 4, 2]
+        assert np.allclose(h, [8.0, 4.0, 2.0])
+
+    def test_history_wraps(self):
+        t = simple_trace()
+        h = t.history(0.5, 2)  # slot 0 then slot -1 -> [2, 8]
+        assert np.allclose(h, [2.0, 8.0])
+
+    def test_history_invalid_n(self):
+        with pytest.raises(ValueError):
+            simple_trace().history(0.0, 0)
+
+
+class TestIntegration:
+    def test_within_one_slot(self):
+        t = simple_trace()
+        assert t.integrate(0.0, 0.5) == pytest.approx(1.0)
+
+    def test_across_slots(self):
+        t = simple_trace()
+        # 0.5s of 2 + 1s of 4 + 0.75s of 8 = 1 + 4 + 6 = 11
+        assert t.integrate(0.5, 2.75) == pytest.approx(11.0)
+
+    def test_full_cycle(self):
+        t = simple_trace()
+        assert t.integrate(0.0, 3.0) == pytest.approx(14.0)
+
+    def test_multi_cycle(self):
+        t = simple_trace()
+        # [1,7) = slots 1,2 (12) + full cycle (14) + slot 0 (2) = 28
+        assert t.integrate(1.0, 7.0) == pytest.approx(28.0)
+        assert t.integrate(0.0, 6.0) == pytest.approx(28.0)
+
+    def test_zero_interval(self):
+        t = simple_trace()
+        assert t.integrate(1.3, 1.3) == 0.0
+
+    def test_reversed_raises(self):
+        with pytest.raises(ValueError):
+            simple_trace().integrate(2.0, 1.0)
+
+    def test_average_bandwidth(self):
+        t = simple_trace()
+        assert t.average_bandwidth(0.0, 3.0) == pytest.approx(14.0 / 3.0)
+
+    def test_average_requires_positive_interval(self):
+        with pytest.raises(ValueError):
+            simple_trace().average_bandwidth(1.0, 1.0)
+
+
+class TestTimeToTransfer:
+    def test_zero_volume(self):
+        assert simple_trace().time_to_transfer(1.2, 0.0) == 0.0
+
+    def test_within_slot(self):
+        t = simple_trace()
+        assert t.time_to_transfer(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_across_slots(self):
+        t = simple_trace()
+        # from t=0: 2 Mbit in slot0 (1s), then 4 Mbit in slot1 (1s), then 2 of 8 (0.25)
+        assert t.time_to_transfer(0.0, 8.0) == pytest.approx(2.25)
+
+    def test_multi_cycle_volume(self):
+        t = simple_trace()
+        assert t.time_to_transfer(0.0, 14.0 * 3) == pytest.approx(9.0)
+
+    def test_negative_volume_raises(self):
+        with pytest.raises(ValueError):
+            simple_trace().time_to_transfer(0.0, -1.0)
+
+    def test_inverse_identity_examples(self):
+        t = simple_trace()
+        for t0 in [0.0, 0.3, 1.7, 5.9]:
+            for vol in [0.1, 2.0, 13.99, 14.0, 30.0]:
+                dur = t.time_to_transfer(t0, vol)
+                assert t.integrate(t0, t0 + dur) == pytest.approx(vol, abs=1e-9)
+
+    @given(
+        values=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20),
+        h=st.floats(0.1, 10.0),
+        t0=st.floats(0.0, 500.0),
+        vol=st.floats(0.001, 1000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_identity_property(self, values, h, t0, vol):
+        trace = BandwidthTrace(values, slot_duration=h)
+        dur = trace.time_to_transfer(t0, vol)
+        assert dur >= 0.0
+        assert trace.integrate(t0, t0 + dur) == pytest.approx(vol, rel=1e-7, abs=1e-7)
+
+    @given(
+        values=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=10),
+        t0=st.floats(0.0, 50.0),
+        v1=st.floats(0.01, 100.0),
+        v2=st.floats(0.01, 100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_time_monotone_in_volume(self, values, t0, v1, v2):
+        trace = BandwidthTrace(values)
+        lo, hi = sorted([v1, v2])
+        assert trace.time_to_transfer(t0, lo) <= trace.time_to_transfer(t0, hi) + 1e-12
+
+
+class TestTransforms:
+    def test_scaled(self):
+        t = simple_trace().scaled(2.0)
+        assert np.allclose(t.values, [4.0, 8.0, 16.0])
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            simple_trace().scaled(0.0)
+
+    def test_shifted(self):
+        t = simple_trace().shifted(1)
+        assert np.allclose(t.values, [4.0, 8.0, 2.0])
+
+    def test_shift_preserves_cycle_volume(self):
+        t = simple_trace()
+        assert t.shifted(2).integrate(0, 3) == pytest.approx(t.integrate(0, 3))
+
+
+class TestTracePool:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TracePool([])
+
+    def test_assign_count_and_validity(self):
+        pool = TracePool([simple_trace(), simple_trace().scaled(2)])
+        out = pool.assign(5, rng=0)
+        assert len(out) == 5
+        for tr in out:
+            assert isinstance(tr, BandwidthTrace)
+
+    def test_assign_invalid_count(self):
+        with pytest.raises(ValueError):
+            TracePool([simple_trace()]).assign(0)
+
+    def test_phase_randomization_changes_values(self):
+        base = BandwidthTrace(np.arange(1, 101, dtype=float))
+        pool = TracePool([base])
+        out = pool.assign(4, rng=1)
+        assert any(not np.allclose(tr.values, base.values) for tr in out)
+
+    def test_len_getitem(self):
+        pool = TracePool([simple_trace()])
+        assert len(pool) == 1
+        assert pool[0].name == "t"

@@ -1,0 +1,136 @@
+"""Tests for repro.traces.datasets — real measurement-log converters."""
+
+import numpy as np
+import pytest
+
+from repro.traces.datasets import convert_directory, convert_interval_log
+
+
+def write_ghent_style_log(path, rows):
+    """Ghent layout: ms-timestamp lat lon elevation bytes."""
+    with open(path, "w") as fh:
+        for t_ms, nbytes in rows:
+            fh.write(f"{t_ms} 51.05 3.72 10.0 {nbytes}\n")
+
+
+class TestConvertIntervalLog:
+    def test_basic_conversion(self, tmp_path):
+        # 1-second intervals; 1_000_000 bytes/s = 8 Mbit/s
+        path = str(tmp_path / "walk.log")
+        rows = [(i * 1000, 1_000_000) for i in range(6)]
+        write_ghent_style_log(path, rows)
+        trace = convert_interval_log(path, timestamp_col=0, bytes_col=4)
+        assert np.allclose(trace.values, 8.0)
+        assert trace.h == 1.0
+        assert trace.name == "walk.log"
+
+    def test_variable_bandwidth(self, tmp_path):
+        path = str(tmp_path / "var.log")
+        rows = [(0, 0), (1000, 125_000), (2000, 250_000), (3000, 125_000)]
+        write_ghent_style_log(path, rows)
+        trace = convert_interval_log(path)
+        # 125 KB/s = 1 Mbit/s; 250 KB/s = 2 Mbit/s
+        assert np.allclose(trace.values, [1.0, 2.0, 1.0])
+
+    def test_irregular_intervals(self, tmp_path):
+        path = str(tmp_path / "irr.log")
+        rows = [(0, 0), (2000, 2_000_000)]  # 2 s, 2 MB -> 8 Mbit/s
+        write_ghent_style_log(path, rows)
+        trace = convert_interval_log(path)
+        assert np.allclose(trace.values, 8.0)
+        assert trace.n_slots == 2
+
+    def test_seconds_unit(self, tmp_path):
+        path = tmp_path / "s.log"
+        path.write_text("0 1000000\n1 1000000\n2 1000000\n")
+        trace = convert_interval_log(
+            str(path), timestamp_col=0, bytes_col=1, timestamp_unit="s"
+        )
+        assert np.allclose(trace.values, 8.0)
+
+    def test_csv_delimiter(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("0,1000000\n1000,1000000\n")
+        trace = convert_interval_log(
+            str(path), timestamp_col=0, bytes_col=1, delimiter=","
+        )
+        assert trace.n_slots == 1
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "c.log"
+        path.write_text("# header\n\n0 1000000\n1000 1000000\n")
+        trace = convert_interval_log(str(path), timestamp_col=0, bytes_col=1)
+        assert trace.n_slots == 1
+
+    def test_errors(self, tmp_path):
+        short = tmp_path / "short.log"
+        short.write_text("0 100\n")
+        with pytest.raises(ValueError):
+            convert_interval_log(str(short), timestamp_col=0, bytes_col=1)
+
+        missing = tmp_path / "cols.log"
+        missing.write_text("0\n1000\n")
+        with pytest.raises(ValueError):
+            convert_interval_log(str(missing), timestamp_col=0, bytes_col=1)
+
+        nonnum = tmp_path / "nn.log"
+        nonnum.write_text("0 abc\n1000 100\n")
+        with pytest.raises(ValueError):
+            convert_interval_log(str(nonnum), timestamp_col=0, bytes_col=1)
+
+        backwards = tmp_path / "bw.log"
+        backwards.write_text("1000 100\n0 100\n")
+        with pytest.raises(ValueError):
+            convert_interval_log(str(backwards), timestamp_col=0, bytes_col=1)
+
+        negative = tmp_path / "neg.log"
+        negative.write_text("0 100\n1000 -5\n")
+        with pytest.raises(ValueError):
+            convert_interval_log(str(negative), timestamp_col=0, bytes_col=1)
+
+        with pytest.raises(ValueError):
+            convert_interval_log(str(short), timestamp_unit="fortnights")
+
+    def test_converted_trace_drives_simulator(self, tmp_path):
+        """End-to-end: a converted log powers an FL iteration."""
+        from repro.devices.device import DeviceParams, MobileDevice
+        from repro.devices.fleet import DeviceFleet
+        from repro.sim.cost import CostModel
+        from repro.sim.system import FLSystem, SystemConfig
+
+        path = str(tmp_path / "real.log")
+        rows = [(i * 1000, 500_000 + 250_000 * (i % 3)) for i in range(60)]
+        write_ghent_style_log(path, rows)
+        trace = convert_interval_log(path)
+        device = MobileDevice(
+            DeviceParams(
+                data_mbit=400.0, cycles_per_mbit=0.02,
+                max_frequency_ghz=1.5, alpha=0.05,
+            ),
+            trace,
+        )
+        system = FLSystem(DeviceFleet([device]), SystemConfig(model_size_mbit=20.0))
+        system.reset(10.0)
+        result = system.step(np.array([1.2]))
+        assert np.isfinite(result.cost)
+
+
+class TestConvertDirectory:
+    def test_converts_all_sorted(self, tmp_path):
+        for name in ("b.log", "a.log", "ignore.txt"):
+            write_ghent_style_log(
+                str(tmp_path / name), [(i * 1000, 1_000_000) for i in range(4)]
+            )
+        traces = convert_directory(str(tmp_path), timestamp_col=0, bytes_col=4)
+        assert [t.name for t in traces] == ["a.log", "b.log"]
+
+    def test_limit(self, tmp_path):
+        for i in range(4):
+            write_ghent_style_log(
+                str(tmp_path / f"t{i}.log"), [(j * 1000, 1_000_000) for j in range(4)]
+            )
+        assert len(convert_directory(str(tmp_path), limit=2)) == 2
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            convert_directory(str(tmp_path))

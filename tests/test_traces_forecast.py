@@ -1,0 +1,125 @@
+"""Tests for repro.traces.forecast — classical bandwidth predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.forecast import (
+    AR1Forecaster,
+    EWMAForecaster,
+    FORECASTERS,
+    HarmonicMeanForecaster,
+    HoltForecaster,
+    LastValueForecaster,
+    get_forecaster,
+)
+
+ALL_FORECASTERS = [cls() for cls in FORECASTERS.values()]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("forecaster", ALL_FORECASTERS, ids=lambda f: type(f).__name__)
+    def test_constant_history_predicts_constant(self, forecaster):
+        history = np.full(8, 12.5)
+        assert forecaster.predict(history) == pytest.approx(12.5, rel=1e-6)
+
+    @pytest.mark.parametrize("forecaster", ALL_FORECASTERS, ids=lambda f: type(f).__name__)
+    def test_prediction_positive(self, forecaster):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            history = rng.uniform(0.5, 60.0, size=rng.integers(1, 12))
+            assert forecaster.predict(history) > 0
+
+    @pytest.mark.parametrize("forecaster", ALL_FORECASTERS, ids=lambda f: type(f).__name__)
+    def test_empty_history_raises(self, forecaster):
+        with pytest.raises(ValueError):
+            forecaster.predict(np.array([]))
+
+    @pytest.mark.parametrize("forecaster", ALL_FORECASTERS, ids=lambda f: type(f).__name__)
+    def test_nonpositive_history_raises(self, forecaster):
+        with pytest.raises(ValueError):
+            forecaster.predict(np.array([5.0, 0.0]))
+
+
+class TestLastValue:
+    def test_uses_newest(self):
+        # histories are newest-first
+        assert LastValueForecaster().predict([3.0, 9.0, 9.0]) == 3.0
+
+
+class TestEWMA:
+    def test_weights_recent_more(self):
+        # newest = 10, older = 2: forecast should sit closer to 10 than mean
+        history = np.array([10.0, 2.0, 2.0, 2.0])
+        pred = EWMAForecaster(alpha=0.6).predict(history)
+        assert pred > history.mean()
+
+    def test_alpha_one_is_last_value(self):
+        history = np.array([7.0, 1.0, 1.0])
+        assert EWMAForecaster(alpha=1.0).predict(history) == pytest.approx(7.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EWMAForecaster(alpha=0.0)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_history_range(self, history):
+        pred = EWMAForecaster(alpha=0.4).predict(np.array(history))
+        assert min(history) - 1e-9 <= pred <= max(history) + 1e-9
+
+
+class TestHolt:
+    def test_tracks_linear_trend(self):
+        # increasing series (newest-first input): values 2,4,...,20
+        series_oldest_first = np.arange(2.0, 22.0, 2.0)
+        pred = HoltForecaster(alpha=0.8, beta=0.5).predict(series_oldest_first[::-1])
+        assert pred > series_oldest_first[-1]  # extrapolates the rise
+
+    def test_floors_at_positive(self):
+        series_oldest_first = np.array([50.0, 30.0, 10.0, 1.0])
+        pred = HoltForecaster(alpha=0.9, beta=0.9).predict(series_oldest_first[::-1])
+        assert pred > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HoltForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltForecaster(beta=1.5)
+
+
+class TestAR1:
+    def test_learns_mean_reversion(self):
+        rng = np.random.default_rng(0)
+        # strongly mean-reverting process around 20
+        x = [20.0]
+        for _ in range(200):
+            x.append(20.0 + 0.5 * (x[-1] - 20.0) + rng.normal(0, 0.5))
+        history_newest_first = np.array(x[::-1])
+        pred = AR1Forecaster().predict(history_newest_first[:50])
+        assert pred == pytest.approx(20.0, abs=4.0)
+
+    def test_short_history_falls_back(self):
+        assert AR1Forecaster().predict(np.array([5.0, 2.0])) == pytest.approx(5.0)
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            AR1Forecaster(clip_phi=0.0)
+
+
+class TestHarmonic:
+    def test_below_arithmetic_mean(self):
+        history = np.array([2.0, 50.0])
+        h = HarmonicMeanForecaster().predict(history)
+        assert h < history.mean()
+        assert h == pytest.approx(2 / (1 / 2.0 + 1 / 50.0))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_forecaster("ewma", alpha=0.3), EWMAForecaster)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_forecaster("oracle")

@@ -1,0 +1,95 @@
+"""Tests for repro.traces.loader and repro.traces.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.traces.analysis import fluctuation_report, lag1_autocorrelation, trace_statistics
+from repro.traces.base import BandwidthTrace
+from repro.traces.loader import load_trace_csv, save_trace_csv
+from repro.traces.synthetic import lte_walking_trace
+
+
+class TestLoader:
+    def test_roundtrip(self, tmp_path):
+        trace = BandwidthTrace([1.0, 2.5, 3.25], slot_duration=1.0, name="orig")
+        path = str(tmp_path / "trace.csv")
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path, slot_duration=1.0)
+        assert np.allclose(loaded.values, trace.values)
+
+    def test_header_optional(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,5.0\n1,6.0\n")
+        loaded = load_trace_csv(str(path))
+        assert np.allclose(loaded.values, [5.0, 6.0])
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# comment\n0,5.0\n1,6.0\n")
+        loaded = load_trace_csv(str(path))
+        assert loaded.n_slots == 2
+
+    def test_resampling_zero_order_hold(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,10\n2,20\n")
+        loaded = load_trace_csv(str(path), slot_duration=1.0)
+        assert np.allclose(loaded.values, [10.0, 10.0, 20.0])
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("time_s,bandwidth_mbps\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(str(path))
+
+    def test_unsorted_raises(self, tmp_path):
+        path = tmp_path / "u.csv"
+        path.write_text("1,5\n0,6\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(str(path))
+
+    def test_malformed_mid_file_raises(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("0,5\nbroken,row\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(str(path))
+
+    def test_invalid_slot_duration(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_trace_csv(str(tmp_path / "x.csv"), slot_duration=0.0)
+
+    def test_default_name_is_basename(self, tmp_path):
+        path = tmp_path / "mytrace.csv"
+        path.write_text("0,1\n")
+        assert load_trace_csv(str(path)).name == "mytrace.csv"
+
+
+class TestAnalysis:
+    def test_statistics_keys(self):
+        t = BandwidthTrace([1.0, 3.0, 2.0, 8.0])
+        stats = trace_statistics(t)
+        assert stats["min_mbps"] == 1.0
+        assert stats["max_mbps"] == 8.0
+        assert stats["max_abs_step_mbps"] == 6.0
+        assert stats["coeff_variation"] > 0
+
+    def test_window_truncation(self):
+        t = BandwidthTrace(np.ones(1000))
+        stats = trace_statistics(t, window_s=100.0)
+        assert stats["window_s"] == 100.0
+
+    def test_lag1_autocorr_of_constant_is_zero(self):
+        assert lag1_autocorrelation(BandwidthTrace(np.ones(50))) == 0.0
+
+    def test_lag1_autocorr_of_smooth_process_positive(self):
+        t = lte_walking_trace(n_slots=1000, rng=0)
+        assert lag1_autocorrelation(t) > 0.5
+
+    def test_lag1_autocorr_alternating_negative(self):
+        t = BandwidthTrace(np.tile([1.0, 10.0], 50))
+        assert lag1_autocorrelation(t) < -0.9
+
+    def test_fluctuation_report_keys(self):
+        traces = [lte_walking_trace(n_slots=100, rng=i, name=f"w{i}") for i in range(2)]
+        report = fluctuation_report(traces)
+        assert set(report) == {"w0", "w1"}
+        assert "lag1_autocorr" in report["w0"]

@@ -1,0 +1,108 @@
+"""Tests for repro.traces.synthetic — generators and Fig. 2 envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    SCENARIOS,
+    TraceConfig,
+    generate_trace,
+    hsdpa_bus_trace,
+    lte_walking_trace,
+    markov_modulated_trace,
+    ou_trace,
+    scenario_trace,
+)
+
+
+class TestTraceConfig:
+    def test_defaults_validate(self):
+        TraceConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_slots": 0},
+            {"slot_duration": 0.0},
+            {"regime_means": ()},
+            {"regime_means": (1.0, -1.0)},
+            {"regime_dwell": 0.0},
+            {"min_bandwidth": 5.0, "max_bandwidth": 4.0},
+            {"drift_amplitude": 1.5},
+            {"drift_period_s": 0.0},
+        ],
+    )
+    def test_invalid_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceConfig(**kwargs).validate()
+
+
+class TestGenerate:
+    def test_deterministic_given_seed(self):
+        cfg = TraceConfig(n_slots=100)
+        a = generate_trace(cfg, rng=5)
+        b = generate_trace(cfg, rng=5)
+        assert np.allclose(a.values, b.values)
+
+    def test_seeds_differ(self):
+        cfg = TraceConfig(n_slots=100)
+        assert not np.allclose(
+            generate_trace(cfg, rng=1).values, generate_trace(cfg, rng=2).values
+        )
+
+    def test_bounds_respected(self):
+        cfg = TraceConfig(n_slots=500, min_bandwidth=2.0, max_bandwidth=30.0)
+        t = generate_trace(cfg, rng=0)
+        assert t.values.min() >= 2.0
+        assert t.values.max() <= 30.0
+
+    def test_length_and_slot(self):
+        cfg = TraceConfig(n_slots=77, slot_duration=2.5)
+        t = generate_trace(cfg, rng=0)
+        assert t.n_slots == 77
+        assert t.h == 2.5
+
+    def test_drift_changes_trace(self):
+        base = TraceConfig(n_slots=400, drift_amplitude=0.0)
+        drifted = TraceConfig(n_slots=400, drift_amplitude=0.8)
+        a = generate_trace(base, rng=3)
+        b = generate_trace(drifted, rng=3)
+        assert not np.allclose(a.values, b.values)
+
+
+class TestPresets:
+    def test_walking_envelope_matches_fig2a(self):
+        """Fig. 2(a): 4G walking speed ranges from <1 MB/s to ~9 MB/s."""
+        t = lte_walking_trace(n_slots=2000, rng=0)
+        mbytes = t.values / 8.0
+        assert mbytes.min() < 1.0
+        assert 5.0 < mbytes.max() <= 9.5
+
+    def test_walking_has_large_swings(self):
+        t = lte_walking_trace(n_slots=2000, rng=0)
+        assert t.values.max() / max(t.values.min(), 1e-9) > 5.0
+
+    def test_hsdpa_envelope_matches_fig2b(self):
+        """Fig. 2(b): HSDPA fluctuates within [0, 800 KB/s]."""
+        t = hsdpa_bus_trace(n_slots=2000, rng=0)
+        kbytes = t.values * 125.0
+        assert kbytes.max() <= 800.0
+        assert kbytes.min() < 200.0
+
+    def test_ou_trace_mean(self):
+        t = ou_trace(mean=20.0, sigma_frac=0.1, n_slots=5000, rng=0)
+        assert t.values.mean() == pytest.approx(20.0, rel=0.1)
+
+    def test_markov_trace_levels(self):
+        t = markov_modulated_trace([5.0, 10.0], dwell=5.0, n_slots=500, rng=0)
+        assert set(np.round(np.unique(t.values), 6)) <= {5.0, 10.0}
+
+    def test_all_scenarios_generate(self):
+        for name in SCENARIOS:
+            t = scenario_trace(name, n_slots=50, rng=0)
+            assert t.n_slots == 50
+            assert t.name == name
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            scenario_trace("submarine")

@@ -1,0 +1,105 @@
+"""Tests for repro.utils.rng — deterministic generator management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngFactory,
+    as_generator,
+    check_probability,
+    choice_without_replacement,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9, 10)
+        b = as_generator(2).integers(0, 10**9, 10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_is_allowed(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_streams_are_independent(self):
+        g1, g2 = spawn_generators(123, 2)
+        a = g1.standard_normal(100)
+        b = g2.standard_normal(100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+    def test_deterministic_from_int_seed(self):
+        a = spawn_generators(9, 3)[2].integers(0, 10**9, 5)
+        b = spawn_generators(9, 3)[2].integers(0, 10**9, 5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_from_generator_is_deterministic_given_state(self):
+        a = spawn_generators(np.random.default_rng(5), 2)[0].integers(0, 10**9, 4)
+        b = spawn_generators(np.random.default_rng(5), 2)[0].integers(0, 10**9, 4)
+        assert np.array_equal(a, b)
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        f = RngFactory(11)
+        a = f.get("traces").standard_normal(8)
+        b = f.get("traces").standard_normal(8)
+        assert np.allclose(a, b)
+
+    def test_different_names_different_streams(self):
+        f = RngFactory(11)
+        a = f.get("traces").standard_normal(8)
+        b = f.get("fleet").standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_different_root_seeds_differ(self):
+        a = RngFactory(1).get("x").standard_normal(8)
+        b = RngFactory(2).get("x").standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_spawn_returns_n(self):
+        assert len(RngFactory(3).spawn("devs", 7)) == 7
+
+
+class TestHelpers:
+    def test_check_probability_bounds(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_choice_without_replacement(self):
+        rng = np.random.default_rng(0)
+        picked = choice_without_replacement(rng, range(10), 5)
+        assert len(picked) == 5
+        assert len(set(picked)) == 5
+
+    def test_choice_too_many_raises(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(np.random.default_rng(0), range(3), 4)

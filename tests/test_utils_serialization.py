@@ -1,0 +1,53 @@
+"""Tests for repro.utils.serialization — npz state persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import (
+    flatten_state,
+    load_npz_state,
+    save_npz_state,
+    unflatten_state,
+)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        state = {"a/w": np.arange(6).reshape(2, 3), "b": np.array(3.5)}
+        save_npz_state(path, state)
+        loaded = load_npz_state(path)
+        assert set(loaded) == {"a/w", "b"}
+        assert np.array_equal(loaded["a/w"], state["a/w"])
+        assert loaded["b"] == pytest.approx(3.5)
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        assert os.path.exists(path)
+
+    def test_atomic_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        assert not os.path.exists(path + ".tmp")
+
+    def test_overwrite(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        save_npz_state(path, {"y": np.ones(3)})
+        loaded = load_npz_state(path)
+        assert set(loaded) == {"y"}
+
+
+class TestFlatten:
+    def test_flatten_nested(self):
+        flat = flatten_state({"a": {"b": np.array([1])}, "c": np.array([2])})
+        assert set(flat) == {"a/b", "c"}
+
+    def test_unflatten_inverse(self):
+        nested = {"a": {"b": np.array([1.0]), "c": np.array([2.0])}, "d": np.array([3.0])}
+        rebuilt = unflatten_state(flatten_state(nested))
+        assert np.array_equal(rebuilt["a"]["b"], nested["a"]["b"])
+        assert np.array_equal(rebuilt["d"], nested["d"])

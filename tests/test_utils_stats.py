@@ -1,0 +1,126 @@
+"""Tests for repro.utils.stats — running moments and empirical CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    EmpiricalCDF,
+    RunningMeanStd,
+    RunningStat,
+    describe,
+    ecdf,
+    quantiles,
+)
+
+
+class TestRunningStat:
+    def test_matches_numpy(self):
+        xs = [1.0, 2.0, 4.0, 8.0, -3.0]
+        rs = RunningStat()
+        rs.extend(xs)
+        assert rs.n == 5
+        assert rs.mean == pytest.approx(np.mean(xs))
+        assert rs.var == pytest.approx(np.var(xs))
+
+    def test_single_value_zero_var(self):
+        rs = RunningStat()
+        rs.push(3.0)
+        assert rs.var == 0.0
+        assert rs.std == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_welford_matches_numpy_property(self, xs):
+        rs = RunningStat()
+        rs.extend(xs)
+        assert rs.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert rs.var == pytest.approx(np.var(xs), rel=1e-6, abs=1e-6)
+
+
+class TestRunningMeanStd:
+    def test_batch_updates_match_full_batch(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((100, 4)) * 3 + 1
+        rms = RunningMeanStd(shape=(4,), epsilon=1e-12)
+        for chunk in np.array_split(data, 7):
+            rms.update(chunk)
+        assert np.allclose(rms.mean, data.mean(axis=0), atol=1e-8)
+        assert np.allclose(rms.var, data.var(axis=0), atol=1e-8)
+
+    def test_single_sample_update(self):
+        rms = RunningMeanStd(shape=(2,))
+        rms.update(np.array([1.0, 2.0]))
+        assert rms.count > 1e-4
+
+    def test_shape_mismatch_raises(self):
+        rms = RunningMeanStd(shape=(3,))
+        with pytest.raises(ValueError):
+            rms.update(np.zeros((5, 2)))
+
+    def test_normalize_clips(self):
+        rms = RunningMeanStd(shape=(1,), epsilon=1e-12)
+        rms.update(np.zeros((10, 1)))
+        z = rms.normalize(np.array([1e9]), clip=5.0)
+        assert np.all(np.abs(z) <= 5.0)
+
+    def test_state_roundtrip(self):
+        rms = RunningMeanStd(shape=(3,))
+        rms.update(np.random.default_rng(0).standard_normal((20, 3)))
+        state = rms.state_dict()
+        other = RunningMeanStd(shape=(3,))
+        other.load_state_dict(state)
+        assert np.allclose(other.mean, rms.mean)
+        assert np.allclose(other.var, rms.var)
+        assert other.count == pytest.approx(rms.count)
+
+
+class TestEmpiricalCDF:
+    def test_basic_values(self):
+        cdf = EmpiricalCDF(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert cdf(0.5) == 0.0
+        assert cdf(2.0) == pytest.approx(0.5)
+        assert cdf(10.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.array([]))
+
+    def test_fraction_below(self):
+        cdf = ecdf([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert cdf.fraction_below(8) == pytest.approx(0.8)
+
+    def test_quantile_median(self):
+        cdf = ecdf([1.0, 2.0, 3.0])
+        assert cdf.quantile(0.5) == pytest.approx(2.0)
+
+    def test_curve_shape(self):
+        xs, ys = ecdf([3, 1, 2]).curve(n_points=50)
+        assert xs.shape == ys.shape == (50,)
+        assert np.all(np.diff(ys) >= 0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_is_monotone_and_bounded(self, xs):
+        cdf = ecdf(xs)
+        grid = np.linspace(min(xs) - 1, max(xs) + 1, 37)
+        vals = cdf(grid)
+        assert np.all(np.diff(vals) >= 0)
+        assert vals[0] >= 0.0 and vals[-1] == 1.0
+
+
+class TestDescribe:
+    def test_keys_and_values(self):
+        d = describe([1.0, 2.0, 3.0])
+        assert d["n"] == 3
+        assert d["mean"] == pytest.approx(2.0)
+        assert d["min"] == 1.0 and d["max"] == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_quantiles_helper(self):
+        q = quantiles(list(range(101)), qs=(0.5,))
+        assert q[0.5] == pytest.approx(50.0)

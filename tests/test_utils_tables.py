@@ -1,0 +1,45 @@
+"""Tests for repro.utils.tables — report rendering."""
+
+import pytest
+
+from repro.utils.tables import format_table, paper_vs_measured_table
+
+
+class TestFormatTable:
+    def test_contains_cells_and_title(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in out
+        assert "2.5" in out
+        assert "x" in out
+
+    def test_column_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_alignment_widths(self):
+        out = format_table(["col"], [["longvalue"]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+    def test_float_precision(self):
+        out = format_table(["v"], [[1.23456789]], ndigits=3)
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+
+class TestPaperVsMeasured:
+    def test_renders_entries(self):
+        out = paper_vs_measured_table(
+            "Fig X",
+            [
+                {"metric": "cost", "paper": 7.25, "measured": 7.4},
+                {"metric": "gap", "paper": 0.35, "measured": 0.3, "note": "n"},
+            ],
+        )
+        assert "Fig X" in out
+        assert "7.25" in out
+        assert "cost" in out
+
+    def test_missing_fields_default_dash(self):
+        out = paper_vs_measured_table("E", [{"metric": "m"}])
+        assert "-" in out

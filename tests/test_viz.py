@@ -1,0 +1,86 @@
+"""Tests for repro.viz — the dependency-free SVG renderer."""
+
+import os
+import re
+
+import numpy as np
+import pytest
+
+from repro.viz.svg import PALETTE, SvgFigure, _nice_ticks, bar_chart, cdf_chart, line_chart
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 2.5
+        assert ticks[-1] >= 10.0 - 2.5
+        assert all(a < b for a, b in zip(ticks, ticks[1:]))
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+    def test_small_values(self):
+        ticks = _nice_ticks(0.001, 0.009)
+        assert len(ticks) >= 2
+
+
+class TestSvgFigure:
+    def test_render_is_valid_svg_skeleton(self):
+        fig = SvgFigure(title="T", xlabel="x", ylabel="y")
+        fig.add_line([0, 1, 2], [1.0, 3.0, 2.0], label="series")
+        svg = fig.render()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert "T" in svg and "series" in svg
+
+    def test_line_coordinates_within_canvas(self):
+        fig = SvgFigure(width=400, height=300)
+        fig.add_line([0, 10], [0, 100])
+        svg = fig.render()
+        pts = re.search(r'polyline points="([^"]+)"', svg).group(1)
+        for pair in pts.split():
+            x, y = map(float, pair.split(","))
+            assert 0 <= x <= 400
+            assert 0 <= y <= 300
+
+    def test_multiple_series_distinct_colors(self):
+        fig = SvgFigure()
+        fig.add_line([0, 1], [0, 1], label="a")
+        fig.add_line([0, 1], [1, 0], label="b")
+        svg = fig.render()
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+    def test_save_creates_file(self, tmp_path):
+        path = str(tmp_path / "figs" / "chart.svg")
+        fig = SvgFigure()
+        fig.add_line([0, 1], [0, 1])
+        fig.save(path)
+        assert os.path.exists(path)
+        assert open(path).read().startswith("<svg")
+
+
+class TestChartBuilders:
+    def test_line_chart(self):
+        fig = line_chart(
+            {"a": ([0, 1, 2], [5, 6, 7]), "b": ([0, 1, 2], [7, 6, 5])},
+            title="lines",
+        )
+        svg = fig.render()
+        assert svg.count("polyline") == 2
+
+    def test_cdf_chart_monotone(self):
+        rng = np.random.default_rng(0)
+        fig = cdf_chart({"m": rng.standard_normal(50)}, title="cdf")
+        svg = fig.render()
+        pts = re.search(r'polyline points="([^"]+)"', svg).group(1)
+        ys = [float(p.split(",")[1]) for p in pts.split()]
+        # SVG y decreases upward; CDF rises, so pixel y must not increase
+        assert all(a >= b - 1e-9 for a, b in zip(ys, ys[1:]))
+
+    def test_bar_chart(self):
+        fig = bar_chart(["drl", "heuristic"], [7.25, 9.74], title="costs")
+        svg = fig.render(numeric_x=False)
+        assert svg.count("<rect") >= 3  # frame + 2 bars
+        assert "drl" in svg and "9.74" in svg
