@@ -1,0 +1,138 @@
+"""Fault-tolerance degradation curves: cost vs fault rate per allocator.
+
+The paper evaluates a fault-free system.  This bench injects the
+``repro.faults`` models — per-round dropout, straggler slowdown and
+transient upload failures, all at a coupled rate — and measures how
+gracefully each allocator's mean cost degrades, plus the fraction of
+round attempts that completed.  The DRL agent is trained fault-free
+(via the shared ``fig6_result`` fixture) and deployed frozen on the
+faulty systems, the realistic deployment scenario.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FAST, write_report
+from repro.baselines import HeuristicAllocator, StaticAllocator
+from repro.experiments.presets import TESTBED_PRESET, build_system, with_faults
+from repro.faults import FaultConfig
+from repro.utils.tables import format_table
+
+RATES = (0.0, 0.1, 0.3) if FAST else (0.0, 0.1, 0.2, 0.4)
+ITERS = 30 if FAST else 150
+START_TIME = (TESTBED_PRESET.history_slots + 1) * TESTBED_PRESET.slot_duration
+
+
+def _faulty_system(rate: float, seed: int = 0):
+    """The testbed system with all fault channels coupled at ``rate``.
+
+    Dropout alone can *lower* cost (fewer devices -> smaller max in
+    Eq. 5), so the curve couples it with stragglers and upload retries —
+    the channels that make surviving devices slower — and no deadline.
+    """
+    preset = TESTBED_PRESET
+    if rate > 0.0:
+        preset = with_faults(
+            preset,
+            FaultConfig(
+                dropout_prob=rate,
+                straggler_prob=rate,
+                upload_failure_prob=rate,
+                seed=seed,
+            ),
+        )
+    system = build_system(preset, seed=0)
+    system.reset(START_TIME)
+    return system
+
+
+def _mean_cost(results) -> float:
+    return float(np.mean([r.cost for r in results]))
+
+
+def test_fault_smoke():
+    """A ≥10% fault rate must not break the loop: no exceptions, sane output."""
+    system = _faulty_system(0.1)
+    results = system.run(HeuristicAllocator(), 20)
+    assert len(results) == 20
+    costs = np.array([r.cost for r in results])
+    assert np.all(np.isfinite(costs)) and np.all(costs > 0)
+    assert all(r.participants.any() for r in results)
+    # quorum retries are possible but must stay bounded at this rate
+    assert len(system.failed_history) < 20
+
+
+def test_degradation_curves(fig6_result):
+    from repro.core.drl_allocator import DRLAllocator
+
+    agent = fig6_result.trainer.agent
+    allocators = {
+        "drl": lambda: DRLAllocator(agent),
+        "heuristic": lambda: HeuristicAllocator(),
+        "static": lambda: StaticAllocator(rng=1),
+    }
+
+    curves = {name: [] for name in allocators}
+    completed = {name: [] for name in allocators}
+    for rate in RATES:
+        for name, make in allocators.items():
+            system = _faulty_system(rate)
+            results = system.run(make(), ITERS)
+            curves[name].append(_mean_cost(results))
+            attempts = ITERS + len(system.failed_history)
+            completed[name].append(ITERS / attempts)
+
+    rows = []
+    for i, rate in enumerate(RATES):
+        rows.append(
+            [f"{rate:.0%}"]
+            + [curves[n][i] for n in allocators]
+            + [f"{completed['drl'][i]:.2f}"]
+        )
+    write_report(
+        "fault_tolerance.txt",
+        format_table(
+            ["fault rate", "drl cost", "heuristic cost", "static cost",
+             "drl completed frac"],
+            rows,
+            title=f"== Degradation curves: {ITERS} iterations/point ==",
+        ),
+    )
+
+    # Fault-free ordering: the paper's conclusion must hold at rate 0.
+    assert curves["drl"][0] < curves["heuristic"][0] < curves["static"][0]
+
+    # Graceful degradation: cost grows (weakly) with the fault rate.
+    # Allow ~2% slack for sampling noise in the per-round fault draws.
+    for name in allocators:
+        for lo, hi in zip(curves[name], curves[name][1:]):
+            assert hi >= lo * 0.98, (
+                f"{name}: cost dropped from {lo:.3f} to {hi:.3f} as faults rose"
+            )
+
+    # Completed-round fraction never improves as faults rise.
+    for name in allocators:
+        for lo, hi in zip(completed[name], completed[name][1:]):
+            assert hi <= lo + 1e-9
+
+
+def test_quorum_degradation_smoke():
+    """Deadline + quorum: survivors-only rounds complete under pressure."""
+    # Probe the healthy system for a deadline generous to honest devices.
+    healthy = build_system(TESTBED_PRESET, seed=0)
+    healthy.reset(START_TIME)
+    probe = healthy.run(HeuristicAllocator(), 5)
+    deadline = 3.0 * max(r.iteration_time for r in probe)
+
+    preset = with_faults(
+        TESTBED_PRESET,
+        FaultConfig(dropout_prob=0.2, straggler_prob=0.2, seed=3),
+        round_deadline_s=deadline,
+        min_quorum=1,
+    )
+    system = build_system(preset, seed=0)
+    system.reset(START_TIME)
+    results = system.run(HeuristicAllocator(), 15)
+    assert len(results) == 15
+    for r in results:
+        assert r.iteration_time <= deadline + 1e-9
+        assert r.participants.sum() >= 1

@@ -31,6 +31,7 @@ Subpackages
 ``repro.traces``      bandwidth traces (synthetic 4G/HSDPA + CSV loader)
 ``repro.devices``     device timing/energy models (Eqs. 1, 6)
 ``repro.fl``          FedAvg federated-learning substrate (Eqs. 7, 8, 10)
+``repro.faults``      seeded fault injection + graceful degradation
 ``repro.sim``         continuous-time iteration simulator (Eqs. 2-5, 9, 11)
 ``repro.env``         Gym-style scheduling environment (Section IV.B)
 ``repro.baselines``   Heuristic/Static/Oracle/FullSpeed/Random allocators
@@ -60,7 +61,9 @@ from repro.experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    with_faults,
 )
+from repro.faults import FaultConfig, FaultSchedule, RoundFailedError
 from repro.fl import FederatedTrainer, FLTrainingConfig, make_federated_dataset
 from repro.rl import PPOAgent, PPOConfig
 from repro.sim import CostModel, FLSystem, IterationResult, SystemConfig
@@ -95,6 +98,11 @@ __all__ = [
     "FLSystem",
     "SystemConfig",
     "IterationResult",
+    # faults
+    "FaultConfig",
+    "FaultSchedule",
+    "RoundFailedError",
+    "with_faults",
     # fl
     "FederatedTrainer",
     "FLTrainingConfig",

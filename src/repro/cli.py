@@ -40,14 +40,57 @@ def _get_preset(name: str, n_devices=None, lam=None):
     return preset
 
 
+def _apply_faults(preset, args):
+    """Layer the CLI's fault-injection/degradation flags onto a preset."""
+    from repro.experiments.presets import with_faults
+    from repro.faults import FaultConfig
+
+    faults = FaultConfig(
+        dropout_prob=args.dropout,
+        straggler_prob=args.straggler,
+        upload_failure_prob=args.upload_failure,
+        seed=args.fault_seed,
+    ).validate()
+    if not (faults.enabled or args.deadline or args.quorum > 1):
+        return preset
+    return with_faults(
+        preset,
+        faults if faults.enabled else None,
+        round_deadline_s=args.deadline,
+        min_quorum=args.quorum,
+    )
+
+
+def _add_fault_flags(parser) -> None:
+    parser.add_argument("--dropout", type=float, default=0.0,
+                        help="per-device per-round dropout probability")
+    parser.add_argument("--straggler", type=float, default=0.0,
+                        help="per-device per-round straggler probability")
+    parser.add_argument("--upload-failure", type=float, default=0.0,
+                        help="per-attempt transient upload-failure probability")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="round deadline T_max in seconds")
+    parser.add_argument("--quorum", type=int, default=1,
+                        help="minimum completing devices per round")
+    parser.add_argument("--fault-seed", type=int, default=0)
+
+
 def cmd_train(args) -> int:
     from repro.core.trainer import OfflineTrainer, TrainerConfig
     from repro.experiments.presets import build_env
 
-    preset = _get_preset(args.preset, args.devices, args.lam)
+    preset = _apply_faults(_get_preset(args.preset, args.devices, args.lam), args)
     env = build_env(preset, seed=args.seed)
-    config = TrainerConfig(n_episodes=args.episodes, algorithm=args.algorithm)
+    config = TrainerConfig(
+        n_episodes=args.episodes,
+        algorithm=args.algorithm,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=(args.out + ".ckpt") if args.checkpoint_every else None,
+    )
     trainer = OfflineTrainer(env, config, rng=args.seed)
+    if args.resume:
+        episode = trainer.resume(args.resume)
+        print(f"resumed from {args.resume} at episode {episode}")
 
     def progress(episode, summary):
         if (episode + 1) % max(1, args.episodes // 20) == 0:
@@ -59,6 +102,8 @@ def cmd_train(args) -> int:
     improvement = history.improvement(head=window, tail=window)
     print(f"trained {history.n_episodes} episodes / {history.n_updates} updates; "
           f"cost improvement {improvement:.1%}")
+    if history.skipped_updates:
+        print(f"guards skipped {history.skipped_updates} non-finite updates")
     trainer.save_agent(args.out)
     print(f"checkpoint written to {args.out}")
     return 0
@@ -101,7 +146,7 @@ def _build_allocators(names, checkpoint, hidden):
 def cmd_evaluate(args) -> int:
     from repro.experiments.runner import EvaluationRunner
 
-    preset = _get_preset(args.preset, args.devices, args.lam)
+    preset = _apply_faults(_get_preset(args.preset, args.devices, args.lam), args)
     runner = EvaluationRunner(preset, seed=args.seed)
     allocators = _build_allocators(args.allocators, args.checkpoint, tuple(args.hidden))
     result = runner.evaluate(allocators, n_iterations=args.iters)
@@ -213,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", default="ppo", choices=("ppo", "a2c", "ddpg"))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="agent.npz")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="save a resumable checkpoint every N episodes")
+    p.add_argument("--resume", default=None,
+                   help="resume training from a checkpoint .npz")
+    _add_fault_flags(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="online reasoning comparison")
@@ -228,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--devices", type=int, default=None)
     p.add_argument("--lam", type=float, default=None)
     p.add_argument("--seed", type=int, default=0)
+    _add_fault_flags(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("traces", help="generate/inspect bandwidth traces")

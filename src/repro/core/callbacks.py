@@ -26,6 +26,9 @@ class TrainingHistory:
     update_total_losses: List[float] = field(default_factory=list)
     update_entropies: List[float] = field(default_factory=list)
     update_kls: List[float] = field(default_factory=list)
+    #: Updates refused/rolled back by the non-finite guards
+    #: (:mod:`repro.rl.guards`); their stats are not mixed into the curves.
+    skipped_updates: int = 0
 
     def record_episode(
         self, avg_cost: float, avg_reward: float, avg_time: float, avg_energy: float
@@ -37,6 +40,9 @@ class TrainingHistory:
 
     def record_update(self, stats) -> None:
         """Record a :class:`repro.rl.ppo.UpdateStats`."""
+        if getattr(stats, "skipped", False):
+            self.skipped_updates += 1
+            return
         self.update_policy_losses.append(stats.policy_loss)
         self.update_value_losses.append(stats.value_loss)
         self.update_total_losses.append(stats.total_loss)
@@ -92,4 +98,23 @@ class TrainingHistory:
             "update_total_losses": np.asarray(self.update_total_losses),
             "update_entropies": np.asarray(self.update_entropies),
             "update_kls": np.asarray(self.update_kls),
+            "skipped_updates": np.asarray(self.skipped_updates),
         }
+
+    def load_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the history from an :meth:`as_dict`-style mapping."""
+        for name in (
+            "episode_costs",
+            "episode_rewards",
+            "episode_times",
+            "episode_energies",
+            "update_policy_losses",
+            "update_value_losses",
+            "update_total_losses",
+            "update_entropies",
+            "update_kls",
+        ):
+            if name in state:
+                setattr(self, name, [float(v) for v in np.asarray(state[name])])
+        if "skipped_updates" in state:
+            self.skipped_updates = int(np.asarray(state["skipped_updates"]))

@@ -67,12 +67,20 @@ class TrainerConfig:
     #: Stop early once the smoothed episode cost stabilizes (0 disables).
     early_stop_window: int = 0
     early_stop_rel_tol: float = 0.02
+    #: Save a resumable checkpoint every this many episodes (0 disables).
+    checkpoint_every: int = 0
+    #: Destination .npz for periodic checkpoints (required when enabled).
+    checkpoint_path: Optional[str] = None
 
     def validate(self) -> "TrainerConfig":
         if self.n_episodes <= 0:
             raise ValueError("n_episodes must be positive")
         if self.buffer_size <= 0:
             raise ValueError("buffer_size must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise ValueError("checkpoint_every requires checkpoint_path")
         self.ppo.validate()
         return self
 
@@ -88,6 +96,9 @@ class OfflineTrainer:
     ):
         self.env = env
         self.config = (config or TrainerConfig()).validate()
+        #: Next episode index; advanced by :meth:`train`, restored by
+        #: :meth:`resume` so an interrupted run continues where it died.
+        self._episode = 0
         rng = as_generator(rng)
         if self.config.algorithm == "ddpg":
             from repro.rl.ddpg import DDPGAgent, DDPGConfig
@@ -155,11 +166,22 @@ class OfflineTrainer:
         return summary
 
     def train(self, progress_callback=None) -> TrainingHistory:
-        """Run the full offline training (the ``for episode`` loop)."""
+        """Run the full offline training (the ``for episode`` loop).
+
+        Starts from :attr:`_episode` (0 on a fresh trainer, the stored
+        episode after :meth:`resume`), so a killed run picks up exactly
+        where its last checkpoint left off.
+        """
         cfg = self.config
-        for episode in range(cfg.n_episodes):
+        for episode in range(self._episode, cfg.n_episodes):
             self.agent.updater.set_progress(episode / max(cfg.n_episodes - 1, 1))
             summary = self.run_episode()
+            self._episode = episode + 1
+            if (
+                cfg.checkpoint_every > 0
+                and self._episode % cfg.checkpoint_every == 0
+            ):
+                self.save_checkpoint(cfg.checkpoint_path)
             if progress_callback is not None:
                 progress_callback(episode, summary)
             if (
@@ -174,3 +196,93 @@ class OfflineTrainer:
 
     def save_agent(self, path: str) -> None:
         self.agent.save(path)
+
+    # -- crash-safe checkpointing ------------------------------------------
+    def _rng_streams(self) -> dict:
+        """Every RNG whose stream position defines the run's future."""
+        streams = {"env": self.env.rng}
+        if hasattr(self.agent, "_sample_rng"):
+            streams["sample"] = self.agent._sample_rng
+        if hasattr(self.agent, "_rng"):
+            streams["agent"] = self.agent._rng
+        updater = self.agent.updater
+        if updater is not self.agent and hasattr(updater, "rng"):
+            streams["update"] = updater.rng
+        return streams
+
+    def save_checkpoint(self, path: str) -> None:
+        """Persist the *complete* training state, resumable bit-exactly.
+
+        Beyond the agent weights this captures the optimizer moments, the
+        partially-filled rollout buffer (or DDPG replay memory), the
+        training history and the position of every RNG stream — so
+        :meth:`resume` + :meth:`train` reproduces the uninterrupted run.
+        """
+        from repro.utils.serialization import pack_rng_state, save_npz_state
+
+        state = {f"agent/{k}": v for k, v in self.agent.state_dict().items()}
+        state["trainer/episode"] = np.asarray(self._episode)
+        for key, val in self.history.as_dict().items():
+            state[f"history/{key}"] = val
+        updater = self.agent.updater
+        for name, opt in (("actor", updater.actor_opt), ("critic", updater.critic_opt)):
+            for key, val in opt.state_dict().items():
+                state[f"opt/{name}/{key}"] = val
+        buf = getattr(self.agent, "buffer", None)
+        if buf is not None:
+            state["buffer/size"] = np.asarray(len(buf))
+            for key in (
+                "states", "actions", "rewards", "next_states",
+                "dones", "log_probs", "values",
+            ):
+                state[f"buffer/{key}"] = getattr(buf, key)
+        mem = getattr(self.agent, "memory", None)
+        if mem is not None:
+            state["replay/size"] = np.asarray(len(mem))
+            state["replay/next"] = np.asarray(mem._next)
+            for key in ("states", "actions", "rewards", "next_states", "dones"):
+                state[f"replay/{key}"] = getattr(mem, key)
+        for name, gen in self._rng_streams().items():
+            state[f"rng/{name}"] = pack_rng_state(gen)
+        save_npz_state(path, state)
+
+    def resume(self, path: str) -> int:
+        """Restore a :meth:`save_checkpoint` state; returns the episode.
+
+        The trainer must have been constructed with the same environment
+        and configuration as the one that wrote the checkpoint.
+        """
+        from repro.utils.serialization import load_npz_state, unpack_rng_state
+
+        state = load_npz_state(path)
+
+        def _sub(prefix: str) -> dict:
+            cut = len(prefix)
+            return {k[cut:]: v for k, v in state.items() if k.startswith(prefix)}
+
+        self.agent.load_state_dict(_sub("agent/"))
+        self._episode = int(np.asarray(state["trainer/episode"]))
+        self.history = TrainingHistory()
+        self.history.load_dict(_sub("history/"))
+        updater = self.agent.updater
+        updater.actor_opt.load_state_dict(_sub("opt/actor/"))
+        updater.critic_opt.load_state_dict(_sub("opt/critic/"))
+        buf = getattr(self.agent, "buffer", None)
+        if buf is not None and "buffer/size" in state:
+            for key in (
+                "states", "actions", "rewards", "next_states",
+                "dones", "log_probs", "values",
+            ):
+                getattr(buf, key)[...] = state[f"buffer/{key}"]
+            buf._size = int(np.asarray(state["buffer/size"]))
+        mem = getattr(self.agent, "memory", None)
+        if mem is not None and "replay/size" in state:
+            for key in ("states", "actions", "rewards", "next_states", "dones"):
+                getattr(mem, key)[...] = state[f"replay/{key}"]
+            mem._size = int(np.asarray(state["replay/size"]))
+            mem._next = int(np.asarray(state["replay/next"]))
+        for name, gen in self._rng_streams().items():
+            key = f"rng/{name}"
+            if key in state:
+                unpack_rng_state(gen, state[key])
+        return self._episode

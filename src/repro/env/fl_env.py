@@ -103,8 +103,24 @@ class FLSchedulingEnv:
         return self._observe()
 
     def step(self, raw_action: np.ndarray) -> StepResult:
-        """Advance one federated-learning iteration."""
-        freqs = self.mapper.to_frequencies(raw_action)
+        """Advance one federated-learning iteration.
+
+        The raw action is validated before it touches the simulator: a
+        diverged policy emitting NaN/Inf (or the wrong shape) raises a
+        clear error here instead of silently corrupting the clock.
+        """
+        raw = np.asarray(raw_action, dtype=np.float64).reshape(-1)
+        if raw.shape != (self.act_dim,):
+            raise ValueError(
+                f"expected an action of {self.act_dim} entries, got shape "
+                f"{np.asarray(raw_action).shape}"
+            )
+        if not np.all(np.isfinite(raw)):
+            raise ValueError(
+                "action contains non-finite values (NaN/Inf) — the policy "
+                "has diverged; see repro.rl guards for recovery"
+            )
+        freqs = self.mapper.to_frequencies(raw)
         result = self.system.step(freqs)
         self._steps += 1
         done = self._steps >= self.config.episode_length
@@ -113,9 +129,21 @@ class FLSchedulingEnv:
             "iteration_time_s": result.iteration_time,
             "total_energy": result.total_energy,
             "clock": self.system.clock,
+            "n_participants": float(result.n_participants),
+            "failed_attempts": float(result.failed_attempts),
         }
         if self.fl_trainer is not None:
-            global_loss = self.fl_trainer.run_round()
+            # Under fault injection only the surviving devices deliver an
+            # update; mirror that in the co-simulated FedAvg round when
+            # the client count matches the fleet.
+            mask = None
+            if (
+                result.participants is not None
+                and not result.participants.all()
+                and len(self.fl_trainer.clients) == result.participants.size
+            ):
+                mask = result.participants
+            global_loss = self.fl_trainer.run_round(participants=mask)
             info["global_loss"] = global_loss
             if global_loss <= self.fl_trainer.config.epsilon:
                 # Eq. (10): quality threshold reached — learning finished.

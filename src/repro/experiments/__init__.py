@@ -13,6 +13,7 @@ from repro.experiments.presets import (
     build_env,
     build_system,
     build_traces,
+    with_faults,
 )
 from repro.experiments.runner import EvaluationResult, EvaluationRunner
 from repro.experiments.metrics import MethodMetrics, collect_metrics
@@ -33,6 +34,7 @@ __all__ = [
     "build_traces",
     "build_system",
     "build_env",
+    "with_faults",
     "EvaluationRunner",
     "EvaluationResult",
     "MethodMetrics",

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.devices.fleet import DeviceFleet, FleetConfig, sample_fleet
 from repro.env.fl_env import EnvConfig, FLSchedulingEnv
+from repro.faults import FaultConfig
 from repro.sim.cost import CostModel
 from repro.sim.system import FLSystem, SystemConfig
 from repro.traces.base import BandwidthTrace, TracePool
@@ -42,6 +43,13 @@ class ExperimentPreset:
     eval_iterations: int = 400
     episode_length: int = 64
     fleet: FleetConfig = field(default_factory=FleetConfig)
+    #: Fault injection (repro.faults); None = the paper's fault-free world.
+    faults: Optional[FaultConfig] = None
+    #: Per-round deadline T_max (seconds); None disables degradation.
+    round_deadline_s: Optional[float] = None
+    #: Minimum completing devices for a round to count.
+    min_quorum: int = 1
+    max_round_retries: int = 5
 
     def cost_model(self) -> CostModel:
         return CostModel(lam=self.lam, time_unit_s=self.time_unit_s)
@@ -52,6 +60,9 @@ class ExperimentPreset:
             slot_duration=self.slot_duration,
             history_slots=self.history_slots,
             cost=self.cost_model(),
+            round_deadline_s=self.round_deadline_s,
+            min_quorum=self.min_quorum,
+            max_round_retries=self.max_round_retries,
         )
 
 
@@ -108,8 +119,29 @@ def build_fleet(preset: ExperimentPreset, seed: SeedLike = 0) -> DeviceFleet:
 
 
 def build_system(preset: ExperimentPreset, seed: SeedLike = 0) -> FLSystem:
-    """A fresh :class:`FLSystem` — same seed => identical fleet/traces."""
-    return FLSystem(build_fleet(preset, seed), preset.system_config())
+    """A fresh :class:`FLSystem` — same seed => identical fleet/traces.
+
+    When the preset carries a :class:`FaultConfig`, the system is built
+    with the corresponding deterministic fault schedule attached (same
+    preset + seed => identical faults).
+    """
+    faults = preset.faults if preset.faults and preset.faults.enabled else None
+    return FLSystem(build_fleet(preset, seed), preset.system_config(), faults=faults)
+
+
+def with_faults(
+    preset: ExperimentPreset,
+    faults: Optional[FaultConfig],
+    round_deadline_s: Optional[float] = None,
+    min_quorum: Optional[int] = None,
+) -> ExperimentPreset:
+    """A copy of ``preset`` with fault injection / degradation knobs set."""
+    updates = {"faults": faults}
+    if round_deadline_s is not None:
+        updates["round_deadline_s"] = round_deadline_s
+    if min_quorum is not None:
+        updates["min_quorum"] = min_quorum
+    return replace(preset, **updates)
 
 
 def build_env(

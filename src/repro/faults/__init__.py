@@ -1,0 +1,26 @@
+"""Fault injection and graceful degradation for the FL simulator.
+
+Strictly opt-in: with no :class:`FaultConfig` attached (the default
+everywhere), every simulated trajectory is bit-identical to the
+fault-free stack.  See :mod:`repro.faults.schedule` for the fault models
+and :mod:`repro.sim.system` for the deadline/quorum degradation rules.
+"""
+
+from repro.faults.blackout import apply_blackouts, sample_blackout_mask
+from repro.faults.retry import upload_time_with_retries
+from repro.faults.schedule import (
+    FaultConfig,
+    FaultSchedule,
+    RoundFailedError,
+    RoundFaults,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultSchedule",
+    "RoundFaults",
+    "RoundFailedError",
+    "apply_blackouts",
+    "sample_blackout_mask",
+    "upload_time_with_retries",
+]

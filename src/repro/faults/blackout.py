@@ -1,0 +1,73 @@
+"""Bandwidth blackout windows layered onto slotted traces.
+
+A blackout models a connectivity hole — a tunnel, an elevator, a cell
+handover gone wrong.  Because :class:`repro.traces.base.BandwidthTrace`
+is a cyclic piecewise-constant process, a blackout is simply a run of
+slots clamped to (near) zero bandwidth; the result is a plain
+``BandwidthTrace`` again, so the whole simulator stack — the Eq. (3)
+upload integral included — works unchanged and stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.traces.base import MIN_BANDWIDTH, BandwidthTrace
+from repro.utils.rng import SeedLike, as_generator
+
+
+def sample_blackout_mask(
+    n_slots: int,
+    start_prob: float,
+    duration_slots: Tuple[int, int],
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Boolean per-slot blackout mask over one trace cycle.
+
+    Each slot independently *starts* a blackout window with probability
+    ``start_prob``; a window lasts a uniform integer number of slots in
+    ``duration_slots`` (inclusive) and wraps cyclically, matching the
+    trace's cyclic replay.
+    """
+    if n_slots <= 0:
+        raise ValueError("n_slots must be positive")
+    if not 0.0 <= start_prob <= 1.0:
+        raise ValueError("start_prob must be in [0, 1]")
+    lo, hi = duration_slots
+    if not 1 <= lo <= hi:
+        raise ValueError("duration_slots must satisfy 1 <= lo <= hi")
+    rng = as_generator(rng)
+    starts = rng.random(n_slots) < start_prob
+    durations = rng.integers(lo, hi + 1, size=n_slots)
+    mask = np.zeros(n_slots, dtype=bool)
+    for s in np.flatnonzero(starts):
+        idx = (s + np.arange(durations[s])) % n_slots
+        mask[idx] = True
+    return mask
+
+
+def apply_blackouts(
+    trace: BandwidthTrace,
+    mask: np.ndarray,
+    floor_mbps: float = MIN_BANDWIDTH,
+    name: str = None,
+) -> BandwidthTrace:
+    """A copy of ``trace`` with masked slots clamped to ``floor_mbps``.
+
+    The returned trace is a first-class :class:`BandwidthTrace` (uploads
+    crossing a blackout stall until bandwidth returns, exactly as the
+    inverse-integral upload time dictates).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (trace.n_slots,):
+        raise ValueError(
+            f"mask must have one entry per slot ({trace.n_slots}), got {mask.shape}"
+        )
+    if floor_mbps < 0:
+        raise ValueError("floor_mbps must be non-negative")
+    values = np.where(mask, floor_mbps, trace.values)
+    return BandwidthTrace(
+        values, trace.h, name or f"{trace.name}+blackout"
+    )

@@ -1,0 +1,57 @@
+"""Upload retry with exponential backoff under a time-varying trace.
+
+A transient upload failure wastes real airtime: the device transferred a
+fraction of the payload before the connection died, waits out a backoff,
+then restarts the upload from scratch.  Both the wasted transfer time and
+the final successful transfer are computed exactly with the trace's
+inverse cumulative-volume function, so the faulty ``t_com`` remains an
+exact Eq. (2)/(3) quantity — just over a longer, interrupted interval.
+
+The returned ``airtime`` (radio-active seconds, excluding backoff waits)
+is what the Eq. (6) transmission-energy term ``e_i * t_com`` is charged
+on; the returned wall-clock ``total`` (including backoff waits) is what
+enters the device time ``T_i^k`` (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.traces.base import BandwidthTrace
+
+
+def upload_time_with_retries(
+    trace: BandwidthTrace,
+    start_time: float,
+    model_size_mbit: float,
+    n_failures: int,
+    attempt_fracs: Sequence[float],
+    backoffs: Sequence[float],
+) -> Tuple[float, float]:
+    """Wall-clock and airtime of an upload with ``n_failures`` retries.
+
+    Failed attempt ``j`` transfers ``attempt_fracs[j] * model_size_mbit``
+    Mbit before dying, then waits ``backoffs[j]`` seconds; the final
+    attempt transfers the full payload.  Returns ``(total_s, airtime_s)``
+    with ``airtime_s <= total_s``.
+    """
+    if model_size_mbit <= 0:
+        raise ValueError("model_size_mbit must be positive")
+    if n_failures < 0:
+        raise ValueError("n_failures must be non-negative")
+    if n_failures > min(len(attempt_fracs), len(backoffs)):
+        raise ValueError("need one frac/backoff per failed attempt")
+    t = float(start_time)
+    airtime = 0.0
+    for j in range(int(n_failures)):
+        frac = float(attempt_fracs[j])
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError("attempt fractions must lie in [0, 1]")
+        dt = trace.time_to_transfer(t, frac * model_size_mbit)
+        t += dt
+        airtime += dt
+        t += float(backoffs[j])
+    dt = trace.time_to_transfer(t, model_size_mbit)
+    t += dt
+    airtime += dt
+    return t - float(start_time), airtime

@@ -1,0 +1,213 @@
+"""Seeded, deterministic fault schedules.
+
+The paper's system model (Eqs. 1-6, 11) assumes every device completes
+every synchronized round.  Its own motivation — mobile devices on
+fluctuating 4G/HSDPA links — is exactly the setting where clients stall,
+drop out and fail mid-upload.  :class:`FaultSchedule` realizes four fault
+models on top of the existing simulator without touching its default
+(fault-free) arithmetic:
+
+* **dropout** — a device crashes / loses connectivity for a round and
+  contributes nothing (Nishio & Yonetani-style non-completion);
+* **straggler slowdown** — background contention multiplies a device's
+  compute time (Eq. 1) by a sampled factor for the round;
+* **transient upload failure** — an upload attempt dies partway through
+  and is retried after exponential backoff; the wasted airtime is charged
+  to ``t_com`` (Eqs. 2-3) and to ``E_i^k`` (Eq. 6);
+* **bandwidth blackout** — windows of near-zero bandwidth layered onto
+  any :class:`repro.traces.base.BandwidthTrace`
+  (see :mod:`repro.faults.blackout`).
+
+Every realization is keyed by ``(seed, round, attempt)`` through a
+:class:`numpy.random.SeedSequence`, so the same seed reproduces the
+identical fault history regardless of query order, and retried rounds
+draw fresh — but still deterministic — faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.traces.base import MIN_BANDWIDTH, BandwidthTrace
+
+
+class RoundFailedError(RuntimeError):
+    """A round could not reach the minimum quorum within the retry budget."""
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs of the fault injector (all defaults disable injection).
+
+    Probabilities are per device per round; upload failures are per
+    attempt (so a device can fail, back off, and fail again, up to
+    ``max_upload_retries`` failed attempts before the final attempt is
+    forced to succeed — a bounded-retry transport).
+    """
+
+    #: P(device misses the round entirely).
+    dropout_prob: float = 0.0
+    #: P(device computes slower than nominal this round).
+    straggler_prob: float = 0.0
+    #: Multiplier range applied to the Eq. (1) compute time of a straggler.
+    straggler_slowdown: Tuple[float, float] = (2.0, 4.0)
+    #: P(one upload attempt fails partway through).
+    upload_failure_prob: float = 0.0
+    #: Failed attempts allowed before an upload is forced to succeed.
+    max_upload_retries: int = 3
+    #: First backoff wait (seconds); attempt ``j`` waits base * factor^j.
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    #: P(a blackout window starts at any given trace slot).
+    blackout_prob: float = 0.0
+    #: Blackout window length range (slots, inclusive).
+    blackout_slots: Tuple[int, int] = (3, 10)
+    #: Bandwidth during a blackout (Mbit/s); defaults to the trace floor.
+    blackout_bandwidth_mbps: float = MIN_BANDWIDTH
+    #: Root seed of the schedule; same seed => identical fault history.
+    seed: int = 0
+
+    def validate(self) -> "FaultConfig":
+        for name in ("dropout_prob", "straggler_prob", "upload_failure_prob",
+                     "blackout_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        lo, hi = self.straggler_slowdown
+        if not 1.0 <= lo <= hi:
+            raise ValueError("straggler_slowdown must satisfy 1 <= lo <= hi")
+        if self.max_upload_retries < 0:
+            raise ValueError("max_upload_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative with factor >= 1")
+        s_lo, s_hi = self.blackout_slots
+        if not 1 <= s_lo <= s_hi:
+            raise ValueError("blackout_slots must satisfy 1 <= lo <= hi")
+        if self.blackout_bandwidth_mbps < 0:
+            raise ValueError("blackout_bandwidth_mbps must be non-negative")
+        return self
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault model is active."""
+        return (
+            self.dropout_prob > 0.0
+            or self.straggler_prob > 0.0
+            or self.upload_failure_prob > 0.0
+            or self.blackout_prob > 0.0
+        )
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """The realized faults of one round attempt.
+
+    ``upload_failures[i]`` is the number of *failed* upload attempts
+    device ``i`` suffers before its final successful attempt;
+    ``attempt_fracs[i, j]`` is the fraction of the payload transferred
+    before failed attempt ``j`` died; ``backoffs[j]`` is the wait after
+    failed attempt ``j``.
+    """
+
+    dropped: np.ndarray
+    slowdown: np.ndarray
+    upload_failures: np.ndarray
+    attempt_fracs: np.ndarray
+    backoffs: np.ndarray
+
+    @property
+    def n_devices(self) -> int:
+        return self.dropped.size
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.dropped.any()
+            or np.any(self.slowdown != 1.0)
+            or np.any(self.upload_failures > 0)
+        )
+
+
+def _keyed_rng(seed: int, *key: int) -> np.random.Generator:
+    """A generator deterministically keyed by (seed, *key)."""
+    ss = np.random.SeedSequence(entropy=int(seed), spawn_key=tuple(int(k) for k in key))
+    return np.random.default_rng(ss)
+
+
+class FaultSchedule:
+    """Deterministic per-round fault realizations for a fleet.
+
+    Two schedules constructed with the same ``(config, n_devices)`` return
+    bit-identical :class:`RoundFaults` for every ``(round, attempt)``
+    query, in any order — runs under faults are fully reproducible.
+    """
+
+    #: spawn-key namespaces (keep distinct from round indices' dimension).
+    _ROUND_NS = 0
+    _BLACKOUT_NS = 1
+
+    def __init__(self, config: FaultConfig, n_devices: int):
+        self.config = config.validate()
+        if n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        self.n_devices = int(n_devices)
+
+    def round_faults(self, round_index: int, attempt: int = 0) -> RoundFaults:
+        """The realized faults of attempt ``attempt`` of round ``round_index``."""
+        if round_index < 0 or attempt < 0:
+            raise ValueError("round_index and attempt must be non-negative")
+        cfg = self.config
+        n = self.n_devices
+        rng = _keyed_rng(cfg.seed, self._ROUND_NS, round_index, attempt)
+        # Fixed draw order and fixed-size draws => order-independent replay.
+        dropped = rng.random(n) < cfg.dropout_prob
+        straggler = rng.random(n) < cfg.straggler_prob
+        factors = rng.uniform(*cfg.straggler_slowdown, size=n)
+        slowdown = np.where(straggler, factors, 1.0)
+        r = cfg.max_upload_retries
+        attempt_outcomes = rng.random((n, max(r, 1))) < cfg.upload_failure_prob
+        attempt_fracs = rng.uniform(0.05, 0.95, size=(n, max(r, 1)))
+        if r > 0:
+            # Failures before the first success (capped at r).
+            first_success = np.argmin(attempt_outcomes, axis=1)
+            all_failed = attempt_outcomes.all(axis=1)
+            upload_failures = np.where(all_failed, r, first_success)
+        else:
+            upload_failures = np.zeros(n, dtype=np.int64)
+        backoffs = cfg.backoff_base_s * cfg.backoff_factor ** np.arange(max(r, 1))
+        return RoundFaults(
+            dropped=dropped,
+            slowdown=slowdown,
+            upload_failures=upload_failures.astype(np.int64),
+            attempt_fracs=attempt_fracs,
+            backoffs=backoffs,
+        )
+
+    def blackout_trace(self, trace: BandwidthTrace, device_index: int) -> BandwidthTrace:
+        """``trace`` with this schedule's blackout windows for one device."""
+        from repro.faults.blackout import apply_blackouts, sample_blackout_mask
+
+        cfg = self.config
+        if cfg.blackout_prob <= 0.0:
+            return trace
+        rng = _keyed_rng(cfg.seed, self._BLACKOUT_NS, device_index)
+        mask = sample_blackout_mask(
+            trace.n_slots, cfg.blackout_prob, cfg.blackout_slots, rng
+        )
+        return apply_blackouts(trace, mask, floor_mbps=cfg.blackout_bandwidth_mbps)
+
+    def apply_to_fleet(self, fleet):
+        """A fleet whose traces carry this schedule's blackout windows.
+
+        Returns ``fleet`` unchanged when blackouts are disabled, so the
+        fault-free configuration stays bit-identical.
+        """
+        if self.config.blackout_prob <= 0.0:
+            return fleet
+        traces = [
+            self.blackout_trace(device.trace, i) for i, device in enumerate(fleet)
+        ]
+        return fleet.with_traces(traces)

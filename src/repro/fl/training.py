@@ -90,11 +90,30 @@ class FederatedTrainer:
         """The upload payload ``xi`` implied by the model architecture."""
         return self.server.model.model_size_mbit
 
-    def run_round(self) -> float:
-        """One synchronous FedAvg iteration; returns the global loss."""
+    def run_round(self, participants=None) -> float:
+        """One synchronous FedAvg iteration; returns the global loss.
+
+        ``participants`` (boolean mask over clients) restricts the round
+        to the devices that actually delivered an update — e.g. the
+        ``IterationResult.participants`` survivors under fault injection.
+        The server aggregates the subset with re-normalized FedAvg
+        weights (Eq. 8 over the survivors); with a full mask the result
+        is identical to full participation.
+        """
+        if participants is None:
+            active = self.clients
+        else:
+            mask = np.asarray(participants, dtype=bool)
+            if mask.shape != (len(self.clients),):
+                raise ValueError(
+                    f"participants mask must have shape ({len(self.clients)},)"
+                )
+            if not mask.any():
+                raise ValueError("at least one client must participate")
+            active = [c for c, m in zip(self.clients, mask) if m]
         global_w = self.server.global_weights()
         updates, losses, sizes = [], [], []
-        for client in self.clients:
+        for client in active:
             new_w, loss = client.local_update(global_w)
             updates.append(new_w)
             losses.append(loss)

@@ -7,6 +7,12 @@ Gaussian MLP actor, an MLP critic and the PPO-clip update.
 
 from repro.rl.spaces import Box
 from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.guards import (
+    arrays_finite,
+    params_finite,
+    restore_snapshot,
+    take_snapshot,
+)
 from repro.rl.gae import compute_gae, compute_returns, td_targets
 from repro.rl.normalization import ObservationNormalizer, RewardScaler
 from repro.rl.policy import Critic, GaussianActor
@@ -38,4 +44,8 @@ __all__ = [
     "ReplayMemory",
     "AgentConfig",
     "PPOAgent",
+    "arrays_finite",
+    "params_finite",
+    "take_snapshot",
+    "restore_snapshot",
 ]

@@ -60,8 +60,28 @@ class A2CUpdater:
         self.critic_opt.lr = self.config.critic_lr * scale
 
     def update(self, buffer: RolloutBuffer, last_value: float = 0.0) -> UpdateStats:
+        """Single-pass A2C update; transactional like PPO's (see there)."""
         if len(buffer) == 0:
             raise ValueError("cannot update from an empty buffer")
+        from repro.rl.guards import (
+            arrays_finite,
+            params_finite,
+            restore_snapshot,
+            take_snapshot,
+        )
+
+        if not arrays_finite(buffer.data(), np.asarray(last_value)):
+            return UpdateStats(skipped=True)
+        modules = [self.actor, self.critic]
+        opts = [self.actor_opt, self.critic_opt]
+        snapshot = take_snapshot(modules, opts)
+        stats = self._update_impl(buffer, last_value)
+        if not params_finite(modules):
+            restore_snapshot(modules, opts, snapshot)
+            return UpdateStats(skipped=True)
+        return stats
+
+    def _update_impl(self, buffer: RolloutBuffer, last_value: float) -> UpdateStats:
         cfg = self.config
         data = buffer.data()
         states = data["states"]

@@ -144,8 +144,29 @@ class DDPGAgent:
 
     # -- the DDPG update --------------------------------------------------------
     def _update(self) -> UpdateStats:
+        """One transactional DDPG update (see :mod:`repro.rl.guards`)."""
+        from repro.rl.guards import (
+            arrays_finite,
+            params_finite,
+            restore_snapshot,
+            take_snapshot,
+        )
+
         c = self.config
         batch = self.memory.sample(c.batch_size, rng=self._rng)
+        if not arrays_finite(batch):
+            return UpdateStats(skipped=True)
+        modules = [self.actor, self.critic, self.actor_target, self.critic_target]
+        opts = [self.actor_opt, self.critic_opt]
+        snapshot = take_snapshot(modules, opts)
+        stats = self._update_impl(batch)
+        if not params_finite(modules):
+            restore_snapshot(modules, opts, snapshot)
+            return UpdateStats(skipped=True)
+        return stats
+
+    def _update_impl(self, batch) -> UpdateStats:
+        c = self.config
         states = batch["states"]
         actions = batch["actions"]
 
@@ -206,22 +227,42 @@ class DDPGAgent:
         state: Dict[str, np.ndarray] = {}
         state.update(self.actor.state_dict(prefix="actor/mean/"))
         state.update(self.critic.state_dict(prefix="critic/value/"))
+        state.update(self.actor_target.state_dict(prefix="actor_target/mean/"))
+        state.update(self.critic_target.state_dict(prefix="critic_target/value/"))
         for key, val in self.obs_norm.state_dict().items():
             state[f"obs_norm/{key}"] = val
+        for key, val in self.reward_scaler.state_dict().items():
+            state[f"reward_scaler/{key}"] = val
         state["meta/total_steps"] = np.asarray(self.total_steps)
+        state["meta/total_updates"] = np.asarray(self.total_updates)
         state["meta/obs_dim"] = np.asarray(self.config.obs_dim)
         state["meta/act_dim"] = np.asarray(self.config.act_dim)
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         self.actor.load_state_dict(state, prefix="actor/mean/")
-        self.actor_target.load_state_dict(state, prefix="actor/mean/")
         self.critic.load_state_dict(state, prefix="critic/value/")
-        self.critic_target.load_state_dict(state, prefix="critic/value/")
+        # Target networks ship with newer checkpoints; older ones fall
+        # back to the (slightly lossy) online-weight copy.
+        if any(k.startswith("actor_target/") for k in state):
+            self.actor_target.load_state_dict(state, prefix="actor_target/mean/")
+            self.critic_target.load_state_dict(state, prefix="critic_target/value/")
+        else:
+            self.actor_target.load_state_dict(state, prefix="actor/mean/")
+            self.critic_target.load_state_dict(state, prefix="critic/value/")
         self.obs_norm.load_state_dict(
             {k.split("/", 1)[1]: v for k, v in state.items() if k.startswith("obs_norm/")}
         )
+        scaler = {
+            k.split("/", 1)[1]: v
+            for k, v in state.items()
+            if k.startswith("reward_scaler/")
+        }
+        if scaler:
+            self.reward_scaler.load_state_dict(scaler)
         self.total_steps = int(np.asarray(state["meta/total_steps"]))
+        if "meta/total_updates" in state:
+            self.total_updates = int(np.asarray(state["meta/total_updates"]))
 
     def save(self, path: str) -> None:
         from repro.utils.serialization import save_npz_state

@@ -1,0 +1,91 @@
+"""Crash-safety guards for the DRL updaters.
+
+One non-finite gradient is enough to destroy a policy permanently: the
+NaN propagates into the parameters *and* into the Adam moment estimates,
+after which every subsequent update is garbage.  The guards here make
+updates transactional:
+
+* :func:`arrays_finite` vets the training batch before any gradient is
+  computed (a poisoned reward/observation is refused, not learned from);
+* :func:`take_snapshot` / :func:`restore_snapshot` capture and roll back
+  *both* the network parameters and the optimizer state (Adam's ``t`` and
+  per-parameter ``m``/``v`` moments — restoring the weights alone would
+  leave the moments NaN-polluted);
+* :func:`params_finite` verifies the post-update state, triggering the
+  rollback when an update diverged mid-flight.
+
+A refused or rolled-back update is reported as ``UpdateStats.skipped``
+so trainers can count the events without crashing the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.nn.optim import Adam, Optimizer
+
+
+def arrays_finite(*arrays) -> bool:
+    """True iff every given array (or dict of arrays) is fully finite."""
+    for arr in arrays:
+        if arr is None:
+            continue
+        if isinstance(arr, dict):
+            if not arrays_finite(*arr.values()):
+                return False
+            continue
+        if not np.all(np.isfinite(np.asarray(arr, dtype=np.float64))):
+            return False
+    return True
+
+
+def params_finite(modules: Iterable) -> bool:
+    """True iff every parameter of every module is fully finite."""
+    for module in modules:
+        for p in module.parameters():
+            if not np.all(np.isfinite(p.data)):
+                return False
+    return True
+
+
+def take_snapshot(
+    modules: Sequence, optimizers: Sequence[Optimizer] = ()
+) -> Dict[str, List]:
+    """Copy all parameters and optimizer moments for a later rollback."""
+    snap: Dict[str, List] = {
+        "params": [
+            [p.data.copy() for p in module.parameters()] for module in modules
+        ],
+        "opts": [],
+    }
+    for opt in optimizers:
+        if isinstance(opt, Adam):
+            snap["opts"].append(
+                {
+                    "t": opt.t,
+                    "m": [m.copy() for m in opt._m],
+                    "v": [v.copy() for v in opt._v],
+                }
+            )
+        else:
+            snap["opts"].append(None)
+    return snap
+
+
+def restore_snapshot(
+    modules: Sequence, optimizers: Sequence[Optimizer], snap: Dict[str, List]
+) -> None:
+    """Roll modules and optimizers back to a :func:`take_snapshot` state."""
+    for module, saved in zip(modules, snap["params"]):
+        for p, data in zip(module.parameters(), saved):
+            p.data[...] = data
+    for opt, saved in zip(optimizers, snap["opts"]):
+        if saved is None or not isinstance(opt, Adam):
+            continue
+        opt.t = saved["t"]
+        for m, sm in zip(opt._m, saved["m"]):
+            m[...] = sm
+        for v, sv in zip(opt._v, saved["v"]):
+            v[...] = sv

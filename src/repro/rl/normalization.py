@@ -160,9 +160,13 @@ class RewardScaler:
         state = self.rms.state_dict()
         state["gamma"] = np.asarray(self.gamma)
         state["enabled"] = np.asarray(self.enabled)
+        state["ret"] = np.asarray(self._ret)
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         self.rms.load_state_dict({k: state[k] for k in ("mean", "var", "count")})
         self.gamma = float(np.asarray(state["gamma"]))
         self.enabled = bool(np.asarray(state["enabled"]))
+        # Older checkpoints predate the running-return field.
+        if "ret" in state:
+            self._ret = float(np.asarray(state["ret"]))

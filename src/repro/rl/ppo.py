@@ -98,6 +98,9 @@ class UpdateStats:
     grad_norm_critic: float = 0.0
     n_minibatches: int = 0
     early_stopped: bool = False
+    #: True when the update was refused (non-finite batch) or rolled back
+    #: (parameters diverged mid-update); the pre-update state is intact.
+    skipped: bool = False
 
     @property
     def total_loss(self) -> float:
@@ -194,9 +197,34 @@ class PPOUpdater:
 
     # -- full update over the buffer --------------------------------------
     def update(self, buffer: RolloutBuffer, last_value: float = 0.0) -> UpdateStats:
-        """Run ``M`` epochs of minibatch PPO over the buffer contents."""
+        """Run ``M`` epochs of minibatch PPO over the buffer contents.
+
+        The update is transactional: a non-finite batch is refused, and a
+        non-finite post-update parameter state is rolled back to the
+        pre-update snapshot (networks *and* Adam moments).  Either way the
+        returned stats carry ``skipped=True`` and the policy is unchanged.
+        """
         if len(buffer) == 0:
             raise ValueError("cannot update from an empty buffer")
+        from repro.rl.guards import (
+            arrays_finite,
+            params_finite,
+            restore_snapshot,
+            take_snapshot,
+        )
+
+        if not arrays_finite(buffer.data(), np.asarray(last_value)):
+            return UpdateStats(skipped=True)
+        modules = [self.actor, self.critic]
+        opts = [self.actor_opt, self.critic_opt]
+        snapshot = take_snapshot(modules, opts)
+        stats = self._update_impl(buffer, last_value)
+        if not params_finite(modules):
+            restore_snapshot(modules, opts, snapshot)
+            return UpdateStats(skipped=True)
+        return stats
+
+    def _update_impl(self, buffer: RolloutBuffer, last_value: float) -> UpdateStats:
         cfg = self.config
         data = buffer.data()
         states = data["states"]

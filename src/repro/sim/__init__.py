@@ -4,6 +4,10 @@ Implements the timing/energy dynamics of Section III: per-device compute
 time (Eq. 1), upload time under a time-varying trace (Eqs. 2-3),
 iteration time as the fleet max (Eq. 5), energy (Eq. 6), wall-clock
 chaining (Eq. 11) and the system cost / reward (Eqs. 9, 13).
+
+Fault injection (``repro.faults``) and graceful degradation (round
+deadlines, survivor-only aggregation, quorum retries) hook in here; both
+are strictly opt-in.
 """
 
 from repro.sim.cost import CostModel, iteration_cost, reward_from_cost

@@ -32,9 +32,16 @@ class IterationResult:
     avg_bandwidths: np.ndarray
     cost: float
     reward: float
-    #: Boolean mask of devices that trained this iteration (client
-    #: selection support; all-true in the paper's full-participation mode).
+    #: Boolean mask of devices that *completed* this iteration (client
+    #: selection support; all-true in the paper's full-participation mode;
+    #: under fault injection, devices that dropped out or missed the
+    #: round deadline are excluded here).
     participants: np.ndarray = None
+    #: Boolean mask of devices that *started* the round (post-dropout).
+    #: Differs from ``participants`` only when a deadline was missed.
+    attempted: np.ndarray = None
+    #: Whole failed round attempts (quorum misses) preceding this result.
+    failed_attempts: int = 0
 
     @property
     def total_energy(self) -> float:
@@ -49,6 +56,24 @@ class IterationResult:
     def slowest_device(self) -> int:
         return int(np.argmax(self.device_times))
 
+    @property
+    def n_participants(self) -> int:
+        """Count of devices whose update made this round's aggregation."""
+        if self.participants is None:
+            return int(self.frequencies.size)
+        return int(np.sum(self.participants))
+
+
+def _participation_mask(n: int, participants) -> np.ndarray:
+    if participants is None:
+        return np.ones(n, dtype=bool)
+    mask = np.asarray(participants, dtype=bool)
+    if mask.shape != (n,):
+        raise ValueError(f"participants mask must have shape ({n},)")
+    if not mask.any():
+        raise ValueError("at least one device must participate")
+    return mask
+
 
 def simulate_iteration(
     fleet: DeviceFleet,
@@ -57,6 +82,8 @@ def simulate_iteration(
     model_size_mbit: float,
     cost_model: CostModel,
     participants: np.ndarray = None,
+    faults=None,
+    deadline: float = None,
 ) -> IterationResult:
     """Simulate one synchronized iteration starting at ``start_time``.
 
@@ -67,37 +94,71 @@ def simulate_iteration(
     devices neither compute nor upload, contribute zero energy and do not
     gate the iteration time (client-selection support, cf. Nishio &
     Yonetani).
+
+    ``faults`` (a :class:`repro.faults.RoundFaults`) injects straggler
+    compute slowdowns and transient upload failures with retry/backoff;
+    the retry airtime is charged to ``t_com`` and to the Eq. (6)
+    transmission energy.  Dropout is applied by the *caller* (see
+    :meth:`repro.sim.system.FLSystem.step`) by shrinking ``participants``.
+
+    ``deadline`` (``T_max``, seconds) caps the round: devices whose
+    ``T_i^k`` exceeds it are excluded from ``result.participants`` (the
+    server aggregates only the survivors) and — since the server must
+    wait out the deadline to declare them missing — the iteration time
+    becomes ``T_max`` whenever anyone misses it.  With faults and
+    deadline both ``None`` the computation is bit-identical to the
+    original fault-free simulator.
     """
     if model_size_mbit <= 0:
         raise ValueError("model_size_mbit must be positive")
-    if participants is None:
-        mask = np.ones(fleet.n, dtype=bool)
-    else:
-        mask = np.asarray(participants, dtype=bool)
-        if mask.shape != (fleet.n,):
-            raise ValueError(f"participants mask must have shape ({fleet.n},)")
-        if not mask.any():
-            raise ValueError("at least one device must participate")
+    if deadline is not None and deadline <= 0:
+        raise ValueError("deadline must be positive when given")
+    mask = _participation_mask(fleet.n, participants)
     freqs = fleet.clamp_frequencies(frequencies)
     t_cmp = fleet.compute_times(freqs)                       # Eq. (1)
+    if faults is not None:
+        t_cmp = t_cmp * faults.slowdown
     t_com = np.zeros(fleet.n, dtype=np.float64)
+    t_air = t_com  # aliases the same array when no retries happen
+    if faults is not None and np.any(faults.upload_failures[mask] > 0):
+        t_air = np.zeros(fleet.n, dtype=np.float64)
     for i, device in enumerate(fleet):                       # Eqs. (2)-(3)
         if mask[i]:
-            t_com[i] = device.upload_time(start_time + t_cmp[i], model_size_mbit)
+            n_fail = int(faults.upload_failures[i]) if faults is not None else 0
+            if n_fail > 0:
+                from repro.faults.retry import upload_time_with_retries
+
+                t_com[i], t_air[i] = upload_time_with_retries(
+                    device.trace, start_time + t_cmp[i], model_size_mbit,
+                    n_fail, faults.attempt_fracs[i], faults.backoffs,
+                )
+            else:
+                t_com[i] = device.upload_time(start_time + t_cmp[i], model_size_mbit)
+                if t_air is not t_com:
+                    t_air[i] = t_com[i]
     t_cmp = np.where(mask, t_cmp, 0.0)
     device_times = t_cmp + t_com                             # Eq. (4)
-    iteration_time = float(device_times[mask].max())         # Eq. (5)
+    if deadline is not None:
+        completed = mask & (device_times <= deadline)
+        if np.array_equal(completed, mask):
+            iteration_time = float(device_times[mask].max())  # Eq. (5)
+        else:
+            # The server only learns a device missed T_max at T_max.
+            iteration_time = float(deadline)
+    else:
+        completed = mask
+        iteration_time = float(device_times[mask].max())     # Eq. (5)
     idle = np.where(mask, iteration_time - device_times, iteration_time)
     energies = np.where(                                     # Eq. (6)
         mask,
         fleet.compute_energies(freqs)
-        + fleet.tx_powers * t_com
+        + fleet.tx_powers * t_air
         # idle-power extension (zero in the paper-faithful configuration)
         + fleet.idle_powers * np.maximum(idle, 0.0),
         0.0,
     )
     with np.errstate(divide="ignore"):
-        avg_bw = np.where(mask, model_size_mbit / np.maximum(t_com, 1e-300), np.nan)
+        avg_bw = np.where(completed, model_size_mbit / np.maximum(t_com, 1e-300), np.nan)
     cost = cost_model.cost(iteration_time, float(energies.sum()))
     return IterationResult(
         start_time=float(start_time),
@@ -111,5 +172,6 @@ def simulate_iteration(
         avg_bandwidths=avg_bw,
         cost=cost,
         reward=-cost,
-        participants=mask,
+        participants=completed,
+        attempted=mask,
     )

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import List, Optional
 
 import numpy as np
 
 from repro.devices.fleet import DeviceFleet
+from repro.faults import FaultConfig, FaultSchedule, RoundFailedError
 from repro.sim.cost import CostModel
 from repro.sim.iteration import IterationResult, simulate_iteration
 from repro.utils.rng import SeedLike, as_generator
@@ -24,6 +25,15 @@ class SystemConfig:
     #: History depth H (the state holds H+1 slots per device).
     history_slots: int = 8
     cost: CostModel = field(default_factory=CostModel)
+    #: Per-round deadline ``T_max`` (seconds); ``None`` disables it.
+    #: Devices that exceed it are excluded from the round's aggregation.
+    round_deadline_s: Optional[float] = None
+    #: Minimum completing devices for a round to count; rounds below the
+    #: quorum are retried (fresh faults, clock advanced by the failed
+    #: attempt's duration).
+    min_quorum: int = 1
+    #: Failed attempts tolerated per round before :class:`RoundFailedError`.
+    max_round_retries: int = 5
 
     def validate(self) -> "SystemConfig":
         if self.model_size_mbit <= 0:
@@ -32,6 +42,12 @@ class SystemConfig:
             raise ValueError("slot_duration must be positive")
         if self.history_slots < 0:
             raise ValueError("history_slots must be non-negative")
+        if self.round_deadline_s is not None and self.round_deadline_s <= 0:
+            raise ValueError("round_deadline_s must be positive when set")
+        if self.min_quorum < 1:
+            raise ValueError("min_quorum must be at least 1")
+        if self.max_round_retries < 0:
+            raise ValueError("max_round_retries must be non-negative")
         return self
 
 
@@ -42,14 +58,39 @@ class FLSystem:
     the DRL agent (or any baseline allocator) feeds it per-device
     CPU-cycle frequencies; the system advances the clock by the realized
     iteration time (Eq. 11) and exposes the bandwidth-history state.
+
+    ``faults`` (a :class:`repro.faults.FaultConfig` or prepared
+    :class:`repro.faults.FaultSchedule`) opts into fault injection:
+    dropped devices sit rounds out, stragglers slow down, uploads retry
+    with backoff, and blackout windows are layered onto the traces.
+    Combined with ``SystemConfig.round_deadline_s`` / ``min_quorum`` the
+    system degrades gracefully — rounds aggregate whatever subset
+    finished in time, and sub-quorum rounds are retried.
     """
 
-    def __init__(self, fleet: DeviceFleet, config: Optional[SystemConfig] = None):
-        self.fleet = fleet
+    def __init__(
+        self,
+        fleet: DeviceFleet,
+        config: Optional[SystemConfig] = None,
+        faults=None,
+    ):
         self.config = (config or SystemConfig()).validate()
+        if isinstance(faults, FaultConfig):
+            faults = FaultSchedule(faults, fleet.n) if faults.enabled else None
+        if faults is not None:
+            if faults.n_devices != fleet.n:
+                raise ValueError(
+                    f"fault schedule built for {faults.n_devices} devices, "
+                    f"fleet has {fleet.n}"
+                )
+            fleet = faults.apply_to_fleet(fleet)
+        self.fleet = fleet
+        self.faults: Optional[FaultSchedule] = faults
         self.clock = 0.0
         self.iteration = 0
         self.history: List[IterationResult] = []
+        #: Sub-quorum round attempts (time/energy they wasted is real).
+        self.failed_history: List[IterationResult] = []
         self._last_bw: Optional[np.ndarray] = None
 
     @property
@@ -63,6 +104,7 @@ class FLSystem:
         self.clock = float(start_time)
         self.iteration = 0
         self.history = []
+        self.failed_history = []
         self._last_bw = None
 
     def reset_random(self, rng: SeedLike = None) -> float:
@@ -104,20 +146,54 @@ class FLSystem:
             return None
         return self._last_bw.copy()
 
+    def _validated_frequencies(self, frequencies) -> np.ndarray:
+        """Reject the output of a diverged policy before it hits the clock.
+
+        Shape, finiteness and positivity are hard errors; values above
+        ``delta_max`` are clamped into ``(0, delta_max]`` downstream by
+        :meth:`DeviceFleet.clamp_frequencies` (the paper's feasibility
+        treatment), so the bound is enforced either way.
+        """
+        freqs = np.asarray(frequencies, dtype=np.float64)
+        if freqs.shape != (self.fleet.n,):
+            raise ValueError(
+                f"expected a frequency vector of shape ({self.fleet.n},), "
+                f"got {freqs.shape}"
+            )
+        if not np.all(np.isfinite(freqs)):
+            raise ValueError(
+                "frequency vector contains non-finite values (NaN/Inf) — "
+                "a diverged policy must not reach the system clock"
+            )
+        if np.any(freqs <= 0):
+            raise ValueError(
+                "frequencies must lie in (0, delta_max]; got non-positive entries"
+            )
+        return freqs
+
     def step(self, frequencies: np.ndarray, participants=None) -> IterationResult:
         """Run one iteration; advances the clock per Eq. (11).
 
         ``participants`` optionally restricts the round to a device subset
         (boolean mask) — see :func:`repro.sim.iteration.simulate_iteration`.
+        Under fault injection and/or a round deadline, sub-quorum attempts
+        are retried (their wasted time advances the clock and they are
+        recorded in :attr:`failed_history`); the accepted result's
+        ``participants`` holds the devices that actually finished.
         """
-        result = simulate_iteration(
-            self.fleet,
-            frequencies,
-            self.clock,
-            self.config.model_size_mbit,
-            self.config.cost,
-            participants=participants,
-        )
+        freqs = self._validated_frequencies(frequencies)
+        cfg = self.config
+        if self.faults is None and cfg.round_deadline_s is None:
+            result = simulate_iteration(
+                self.fleet,
+                freqs,
+                self.clock,
+                cfg.model_size_mbit,
+                cfg.cost,
+                participants=participants,
+            )
+        else:
+            result = self._faulty_round(freqs, participants)
         self.clock = result.end_time
         self.iteration += 1
         self.history.append(result)
@@ -132,13 +208,117 @@ class FLSystem:
             self._last_bw = np.where(result.participants, observed, self._last_bw)
         return result
 
-    def run(self, allocator, n_iterations: int) -> List[IterationResult]:
-        """Drive ``n_iterations`` with an allocator (see repro.baselines)."""
+    def _faulty_round(self, freqs: np.ndarray, participants) -> IterationResult:
+        """One round under faults/deadline, retrying sub-quorum attempts."""
+        cfg = self.config
+        n = self.fleet.n
+        if participants is None:
+            base = np.ones(n, dtype=bool)
+        else:
+            base = np.asarray(participants, dtype=bool)
+            if base.shape != (n,):
+                raise ValueError(f"participants mask must have shape ({n},)")
+            if not base.any():
+                raise ValueError("at least one device must participate")
+        failed = 0
+        while True:
+            rf = (
+                self.faults.round_faults(self.iteration, failed)
+                if self.faults is not None
+                else None
+            )
+            attempt_mask = base & ~rf.dropped if rf is not None else base
+            if attempt_mask.any():
+                result = simulate_iteration(
+                    self.fleet,
+                    freqs,
+                    self.clock,
+                    cfg.model_size_mbit,
+                    cfg.cost,
+                    participants=attempt_mask,
+                    faults=rf,
+                    deadline=cfg.round_deadline_s,
+                )
+                if result.n_participants >= cfg.min_quorum:
+                    return dc_replace(result, failed_attempts=failed)
+            else:
+                # Everyone dropped before starting: the server waits out
+                # the deadline (or one slot) before declaring the round dead.
+                result = self._empty_round(
+                    cfg.round_deadline_s or cfg.slot_duration
+                )
+            self.failed_history.append(result)
+            self.clock = result.end_time
+            failed += 1
+            if failed > cfg.max_round_retries:
+                raise RoundFailedError(
+                    f"round {self.iteration} failed {failed} consecutive attempts "
+                    f"(quorum {cfg.min_quorum} of {n} devices); raise "
+                    f"max_round_retries or lower the fault rate"
+                )
+
+    def _empty_round(self, wait_s: float) -> IterationResult:
+        """A round attempt in which no device even started."""
+        n = self.fleet.n
+        zeros = np.zeros(n, dtype=np.float64)
+        nobody = np.zeros(n, dtype=bool)
+        cost = self.config.cost.cost(float(wait_s), 0.0)
+        return IterationResult(
+            start_time=self.clock,
+            frequencies=zeros.copy(),
+            compute_times=zeros.copy(),
+            upload_times=zeros.copy(),
+            device_times=zeros.copy(),
+            iteration_time=float(wait_s),
+            energies=zeros.copy(),
+            idle_times=np.full(n, float(wait_s)),
+            avg_bandwidths=np.full(n, np.nan),
+            cost=cost,
+            reward=-cost,
+            participants=nobody,
+            attempted=nobody.copy(),
+        )
+
+    def run(
+        self,
+        allocator,
+        n_iterations: int,
+        participants_fn=None,
+        participants_k: Optional[int] = None,
+    ) -> List[IterationResult]:
+        """Drive ``n_iterations`` with an allocator (see repro.baselines).
+
+        ``participants_fn`` optionally selects the per-round participant
+        subset, so client-selection strategies compose with every
+        allocator (and with fault injection): either a callable
+        ``(system, round_index) -> bool mask`` or a
+        :class:`repro.fl.selection.ClientSelector` instance, which is
+        invoked as ``select(system, participants_k)`` (``select(system)``
+        when ``participants_k`` is ``None``, for selectors with a default
+        subset size).
+        """
         if n_iterations <= 0:
             raise ValueError("n_iterations must be positive")
+        select = None
+        if participants_fn is not None:
+            if hasattr(participants_fn, "select"):
+                selector = participants_fn
+                if participants_k is None:
+                    select = lambda system, round_idx: selector.select(system)
+                else:
+                    select = lambda system, round_idx: selector.select(
+                        system, participants_k
+                    )
+            elif callable(participants_fn):
+                select = participants_fn
+            else:
+                raise TypeError(
+                    "participants_fn must be callable or have a .select method"
+                )
         results = []
         allocator.reset(self)
-        for _ in range(n_iterations):
+        for round_idx in range(n_iterations):
             freqs = allocator.allocate(self)
-            results.append(self.step(freqs))
+            mask = select(self, round_idx) if select is not None else None
+            results.append(self.step(freqs, participants=mask))
         return results

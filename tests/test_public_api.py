@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.traces",
     "repro.devices",
     "repro.fl",
+    "repro.faults",
     "repro.sim",
     "repro.env",
     "repro.baselines",
