@@ -1,0 +1,128 @@
+"""Rollout collection throughput: vectorized vs single-env.
+
+Measures raw experience-collection speed (policy forward + env step +
+buffer write, no PPO updates) for 1/2/4 envs on both vec-env backends.
+The batched serial backend amortizes the per-step policy/normalizer
+work — one forward pass and one running-moment update serve every env —
+so steps/sec must scale well past the single-env baseline even on one
+core.  The subprocess backend is recorded for completeness; on a
+single-CPU host its IPC overhead is not expected to win.
+
+Shared hosts have large CPU-speed jitter, so every configuration is
+measured once per trial (adjacent in time) and the speedup is taken as
+the best *per-trial* ratio — comparing measurements from the same trial
+cancels the machine-state drift that comparing across trials would not.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.devices.fleet import FleetConfig
+from repro.experiments.presets import TESTBED_PRESET, build_env_spec
+from repro.parallel import make_vec_env
+from repro.rl.agent import AgentConfig, PPOAgent
+from repro.utils.tables import format_table
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+N_STEPS = 1000 if FAST else 3000
+WARMUP = 50
+TRIALS = 2 if FAST else 3
+
+#: Two devices keep the env step cheap relative to the policy forward
+#: pass, which is the part batching amortizes.
+PRESET = replace(
+    TESTBED_PRESET,
+    episode_length=64,
+    n_devices=2,
+    fleet=FleetConfig(n_devices=2),
+)
+
+
+def collect_steps_per_sec(spec, n_envs: int, workers: int) -> float:
+    """Run the trainer's collection loop for ``N_STEPS`` env-steps."""
+    with make_vec_env(spec, n_envs, workers=workers) as venv:
+        agent = PPOAgent(
+            AgentConfig(
+                obs_dim=venv.obs_dim,
+                act_dim=venv.act_dim,
+                hidden=(64, 64),
+                buffer_size=10**6,  # never full: pure collection, no updates
+                n_envs=n_envs,
+            ),
+            rng=0,
+        )
+        ids = np.arange(n_envs)
+        obs = venv.reset()
+
+        def loop(target_steps: int) -> int:
+            nonlocal obs
+            steps = 0
+            while steps < target_steps:
+                actions, log_probs, values = agent.act_batch(obs)
+                next_obs, rewards, dones, infos = venv.step(actions)
+                agent.observe_batch(
+                    ids, obs, actions, rewards, next_obs, dones,
+                    log_probs, values,
+                )
+                obs = next_obs
+                steps += n_envs
+                if dones.any():
+                    obs = venv.reset()
+            return steps
+
+        loop(WARMUP)
+        start = time.perf_counter()
+        steps = loop(N_STEPS)
+        elapsed = time.perf_counter() - start
+    return steps / elapsed
+
+
+def test_rollout_throughput_report():
+    spec = build_env_spec(PRESET, seed=0)
+    configs = [
+        ("serial", 1, 0),
+        ("serial", 2, 0),
+        ("serial", 4, 0),
+        ("subproc", 2, 2),
+        ("subproc", 4, 2),
+    ]
+    trials = [
+        {
+            (backend, n_envs): collect_steps_per_sec(spec, n_envs, workers)
+            for backend, n_envs, workers in configs
+        }
+        for _ in range(TRIALS)
+    ]
+    # Speedup compares measurements taken adjacently within one trial.
+    speedup = max(
+        t[("serial", 4)] / t[("serial", 1)] for t in trials
+    )
+
+    best = {
+        (b, n): max(t[(b, n)] for t in trials) for b, n, _ in configs
+    }
+    baseline = best[("serial", 1)]
+    rows = [
+        [backend, n_envs, f"{rate:.0f}", f"{rate / baseline:.2f}x"]
+        for (backend, n_envs), rate in best.items()
+    ]
+    table = format_table(
+        ["backend", "envs", "steps/sec", "vs 1 env"],
+        rows,
+        title="== Rollout collection throughput ==",
+    )
+    note = (
+        f"\nbest of {TRIALS} interleaved trials, {N_STEPS} env-steps each "
+        f"(single-CPU host; subproc backend pays IPC with no spare cores)"
+        f"\nserial 4-env speedup over 1 env (best same-trial ratio): "
+        f"{speedup:.2f}x"
+    )
+    write_report("rollout_throughput.txt", table + note)
+
+    assert speedup >= 2.0, f"4-env batched collection only {speedup:.2f}x"
+    for (backend, n_envs), rate in best.items():
+        assert rate > 0

@@ -36,6 +36,7 @@ Subpackages
 ``repro.env``         Gym-style scheduling environment (Section IV.B)
 ``repro.baselines``   Heuristic/Static/Oracle/FullSpeed/Random allocators
 ``repro.core``        Algorithm 1 trainer + online DRL allocator
+``repro.parallel``    vectorized envs + batched rollout collection
 ``repro.experiments`` presets, evaluation runner, per-figure modules
 """
 
@@ -56,6 +57,7 @@ from repro.experiments import (
     EvaluationRunner,
     ExperimentPreset,
     build_env,
+    build_env_spec,
     build_system,
     run_fig2,
     run_fig6,
@@ -65,6 +67,15 @@ from repro.experiments import (
 )
 from repro.faults import FaultConfig, FaultSchedule, RoundFailedError
 from repro.fl import FederatedTrainer, FLTrainingConfig, make_federated_dataset
+from repro.parallel import (
+    EnvSpec,
+    SerialVecEnv,
+    SubprocVecEnv,
+    VecEnv,
+    VecRolloutCollector,
+    WorkerCrashError,
+    make_vec_env,
+)
 from repro.rl import PPOAgent, PPOConfig
 from repro.sim import CostModel, FLSystem, IterationResult, SystemConfig
 from repro.traces import (
@@ -117,6 +128,14 @@ __all__ = [
     "TrainerConfig",
     "TrainingHistory",
     "DRLAllocator",
+    # parallel
+    "EnvSpec",
+    "VecEnv",
+    "SerialVecEnv",
+    "SubprocVecEnv",
+    "VecRolloutCollector",
+    "WorkerCrashError",
+    "make_vec_env",
     # baselines
     "Allocator",
     "HeuristicAllocator",
@@ -130,6 +149,7 @@ __all__ = [
     "SIMULATION_PRESET",
     "EvaluationRunner",
     "build_env",
+    "build_env_spec",
     "build_system",
     "run_fig2",
     "run_fig6",

@@ -77,17 +77,22 @@ def _add_fault_flags(parser) -> None:
 
 def cmd_train(args) -> int:
     from repro.core.trainer import OfflineTrainer, TrainerConfig
-    from repro.experiments.presets import build_env
+    from repro.experiments.presets import build_env, build_env_spec
 
     preset = _apply_faults(_get_preset(args.preset, args.devices, args.lam), args)
-    env = build_env(preset, seed=args.seed)
     config = TrainerConfig(
         n_episodes=args.episodes,
         algorithm=args.algorithm,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=(args.out + ".ckpt") if args.checkpoint_every else None,
+        num_envs=args.num_envs,
+        workers=args.workers,
     )
-    trainer = OfflineTrainer(env, config, rng=args.seed)
+    if config.use_vectorized:
+        env, env_spec = None, build_env_spec(preset, seed=args.seed)
+    else:
+        env, env_spec = build_env(preset, seed=args.seed), None
+    trainer = OfflineTrainer(env, config, rng=args.seed, env_spec=env_spec)
     if args.resume:
         episode = trainer.resume(args.resume)
         print(f"resumed from {args.resume} at episode {episode}")
@@ -262,6 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="save a resumable checkpoint every N episodes")
     p.add_argument("--resume", default=None,
                    help="resume training from a checkpoint .npz")
+    p.add_argument("--num-envs", type=int, default=1,
+                   help="parallel envs per rollout batch (1 = serial loop)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="subprocess env workers (0 = in-process envs)")
     _add_fault_flags(p)
     p.set_defaults(func=cmd_train)
 

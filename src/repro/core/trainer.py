@@ -71,6 +71,16 @@ class TrainerConfig:
     checkpoint_every: int = 0
     #: Destination .npz for periodic checkpoints (required when enabled).
     checkpoint_path: Optional[str] = None
+    #: Parallel rollout collection (repro.parallel).  ``num_envs`` envs
+    #: step in lockstep through one stacked policy forward pass;
+    #: ``workers > 0`` shards them over subprocesses.  The default
+    #: (1 env, 0 workers, vectorize unset) is the serial Algorithm-1
+    #: loop, byte-for-byte.
+    num_envs: int = 1
+    workers: int = 0
+    #: Force the vectorized collector on/off; None = automatic
+    #: (vectorized iff ``num_envs > 1`` or ``workers > 0``).
+    vectorize: Optional[bool] = None
 
     def validate(self) -> "TrainerConfig":
         if self.n_episodes <= 0:
@@ -81,8 +91,30 @@ class TrainerConfig:
             raise ValueError("checkpoint_every must be non-negative")
         if self.checkpoint_every > 0 and not self.checkpoint_path:
             raise ValueError("checkpoint_every requires checkpoint_path")
+        if self.num_envs <= 0:
+            raise ValueError("num_envs must be positive")
+        if self.num_envs > self.buffer_size:
+            raise ValueError("num_envs cannot exceed buffer_size")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+        if self.vectorize is False and (self.num_envs > 1 or self.workers > 0):
+            raise ValueError(
+                "vectorize=False contradicts num_envs > 1 / workers > 0"
+            )
+        if self.use_vectorized and self.algorithm == "ddpg":
+            raise ValueError(
+                "vectorized collection supports ppo/a2c only, not ddpg "
+                "(its replay memory is inherently sequential here)"
+            )
         self.ppo.validate()
         return self
+
+    @property
+    def use_vectorized(self) -> bool:
+        """Whether training goes through the repro.parallel collector."""
+        if self.vectorize is not None:
+            return bool(self.vectorize)
+        return self.num_envs > 1 or self.workers > 0
 
 
 class OfflineTrainer:
@@ -90,12 +122,31 @@ class OfflineTrainer:
 
     def __init__(
         self,
-        env: FLSchedulingEnv,
+        env: Optional[FLSchedulingEnv] = None,
         config: Optional[TrainerConfig] = None,
         rng: SeedLike = None,
+        env_spec=None,
     ):
-        self.env = env
         self.config = (config or TrainerConfig()).validate()
+        if env is None and env_spec is None:
+            raise ValueError("OfflineTrainer needs an env or an env_spec")
+        if self.config.use_vectorized and env_spec is None:
+            raise ValueError(
+                "vectorized training (num_envs > 1 / workers > 0) requires "
+                "env_spec — workers rebuild envs from its picklable recipe"
+            )
+        #: Picklable recipe for (re)building envs in vec workers.
+        self.env_spec = env_spec
+        if env is None:
+            # Template env: provides dims for network construction, and
+            # *is* env 0 of the serial (non-vectorized) path.
+            env = env_spec.build(0)
+        self.env = env
+        #: Live vectorized env while _train_vectorized runs (checkpoints
+        #: read its per-env RNG streams).
+        self._vec_env = None
+        #: RNG streams restored by resume() before the vec env exists.
+        self._pending_vec_rng = None
         #: Next episode index; advanced by :meth:`train`, restored by
         #: :meth:`resume` so an interrupted run continues where it died.
         self._episode = 0
@@ -121,6 +172,7 @@ class OfflineTrainer:
             act_dim=env.act_dim,
             hidden=tuple(self.config.hidden),
             buffer_size=self.config.buffer_size,
+            n_envs=self.config.num_envs if self.config.use_vectorized else 1,
             normalize_obs=self.config.normalize_obs,
             scale_rewards=self.config.scale_rewards,
             init_log_std=self.config.init_log_std,
@@ -173,6 +225,8 @@ class OfflineTrainer:
         where its last checkpoint left off.
         """
         cfg = self.config
+        if cfg.use_vectorized:
+            return self._train_vectorized(progress_callback)
         for episode in range(self._episode, cfg.n_episodes):
             self.agent.updater.set_progress(episode / max(cfg.n_episodes - 1, 1))
             summary = self.run_episode()
@@ -191,6 +245,52 @@ class OfflineTrainer:
                 )
             ):
                 break
+        self.agent.freeze()
+        return self.history
+
+    def _train_vectorized(self, progress_callback=None) -> TrainingHistory:
+        """Training over a vectorized env (episode batches of num_envs).
+
+        Episodes advance ``num_envs`` at a time; checkpoints land only at
+        batch boundaries, so resuming needs just the agent/optimizer
+        state, the partially-filled buffer and every per-env RNG stream
+        (captured as ``rng/venv{i}``) — no mid-episode simulator state.
+        With one env this loop consumes identical RNG/normalizer streams
+        to the serial path above.
+        """
+        from repro.parallel import VecRolloutCollector, make_vec_env
+
+        cfg = self.config
+        n = cfg.num_envs
+        with make_vec_env(self.env_spec, n, workers=cfg.workers) as venv:
+            self._vec_env = venv
+            try:
+                if self._pending_vec_rng is not None:
+                    venv.set_rng_states(self._pending_vec_rng)
+                    self._pending_vec_rng = None
+                collector = VecRolloutCollector(venv, self.agent, history=self.history)
+                while self._episode < cfg.n_episodes:
+                    self.agent.updater.set_progress(
+                        self._episode / max(cfg.n_episodes - 1, 1)
+                    )
+                    summaries = collector.run_episode_batch()
+                    prev = self._episode
+                    self._episode = prev + n
+                    if cfg.checkpoint_every > 0 and (
+                        prev // cfg.checkpoint_every
+                        != self._episode // cfg.checkpoint_every
+                    ):
+                        self.save_checkpoint(cfg.checkpoint_path)
+                    if progress_callback is not None:
+                        for i, summary in enumerate(summaries):
+                            progress_callback(prev + i, summary)
+                    if cfg.early_stop_window > 0 and self.history.converged(
+                        window=cfg.early_stop_window,
+                        rel_tol=cfg.early_stop_rel_tol,
+                    ):
+                        break
+            finally:
+                self._vec_env = None
         self.agent.freeze()
         return self.history
 
@@ -233,7 +333,7 @@ class OfflineTrainer:
             state["buffer/size"] = np.asarray(len(buf))
             for key in (
                 "states", "actions", "rewards", "next_states",
-                "dones", "log_probs", "values",
+                "dones", "log_probs", "values", "env_ids",
             ):
                 state[f"buffer/{key}"] = getattr(buf, key)
         mem = getattr(self.agent, "memory", None)
@@ -244,6 +344,18 @@ class OfflineTrainer:
                 state[f"replay/{key}"] = getattr(mem, key)
         for name, gen in self._rng_streams().items():
             state[f"rng/{name}"] = pack_rng_state(gen)
+        # Vectorized runs: each env's stream lives in a (possibly remote)
+        # worker; capture them all so resume replays bit-exactly.
+        if self._vec_env is not None:
+            from repro.utils.serialization import pack_state_dict
+
+            for i, rng_state in enumerate(self._vec_env.get_rng_states()):
+                state[f"rng/venv{i}"] = pack_state_dict(rng_state)
+        elif self._pending_vec_rng is not None:
+            from repro.utils.serialization import pack_state_dict
+
+            for i, rng_state in enumerate(self._pending_vec_rng):
+                state[f"rng/venv{i}"] = pack_state_dict(rng_state)
         save_npz_state(path, state)
 
     def resume(self, path: str) -> int:
@@ -271,9 +383,11 @@ class OfflineTrainer:
         if buf is not None and "buffer/size" in state:
             for key in (
                 "states", "actions", "rewards", "next_states",
-                "dones", "log_probs", "values",
+                "dones", "log_probs", "values", "env_ids",
             ):
-                getattr(buf, key)[...] = state[f"buffer/{key}"]
+                # env_ids is absent from pre-vectorization checkpoints.
+                if f"buffer/{key}" in state:
+                    getattr(buf, key)[...] = state[f"buffer/{key}"]
             buf._size = int(np.asarray(state["buffer/size"]))
         mem = getattr(self.agent, "memory", None)
         if mem is not None and "replay/size" in state:
@@ -285,4 +399,17 @@ class OfflineTrainer:
             key = f"rng/{name}"
             if key in state:
                 unpack_rng_state(gen, state[key])
+        venv_keys = sorted(
+            (k for k in state if k.startswith("rng/venv")),
+            key=lambda k: int(k[len("rng/venv"):]),
+        )
+        if venv_keys:
+            from repro.utils.serialization import unpack_state_dict
+
+            streams = [unpack_state_dict(state[k]) for k in venv_keys]
+            if self._vec_env is not None:
+                self._vec_env.set_rng_states(streams)
+            else:
+                # train() applies these once the vec env exists.
+                self._pending_vec_rng = streams
         return self._episode

@@ -109,6 +109,7 @@ class DeviceFleet:
         )
         self._e_tx = np.array([d.params.e_tx for d in devices], dtype=np.float64)
         self._p_idle = np.array([d.params.p_idle for d in devices], dtype=np.float64)
+        self._has_idle_power = bool(self._p_idle.any())
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -148,6 +149,12 @@ class DeviceFleet:
         """p_idle vector (energy units / s of barrier wait); zeros in the
         paper-faithful configuration."""
         return self._p_idle
+
+    @property
+    def has_idle_power(self) -> bool:
+        """Whether any device draws idle power (lets the simulator skip
+        the Eq. (6) idle term in the paper-faithful all-zero case)."""
+        return self._has_idle_power
 
     def clamp_frequencies(self, freqs, floor_frac: float = 0.02) -> np.ndarray:
         """Elementwise clamp into ``(0, delta_max]`` (vectorized)."""

@@ -78,21 +78,38 @@ class FLSchedulingEnv:
         h = system.config.history_slots + 1
         self.observation_space = Box(low=0.0, high=np.inf, shape=(n * h,))
         self.action_space = Box(low=-1.0, high=1.0, shape=(n,))
+        # Cache the space dims: Box.dim recomputes a prod per call, and
+        # step() sits on the rollout hot path.
+        self._obs_dim = self.observation_space.dim
+        self._act_dim = self.action_space.dim
         self._steps = 0
 
     @property
     def obs_dim(self) -> int:
-        return self.observation_space.dim
+        return self._obs_dim
 
     @property
     def act_dim(self) -> int:
-        return self.action_space.dim
+        return self._act_dim
+
+    def reseed(self, rng: SeedLike) -> None:
+        """Replace the episode-start RNG stream (vector-worker reseeding)."""
+        self.rng = as_generator(rng)
 
     def _observe(self) -> np.ndarray:
         return self.system.bandwidth_state().ravel()
 
-    def reset(self, start_time: Optional[float] = None) -> np.ndarray:
-        """Start a new episode; returns the initial observation ``s_1``."""
+    def reset(
+        self, start_time: Optional[float] = None, seed: Optional[int] = None
+    ) -> np.ndarray:
+        """Start a new episode; returns the initial observation ``s_1``.
+
+        ``seed`` optionally reseeds the env's RNG stream for this (and
+        subsequent) episodes, so a vector worker can re-randomize a
+        long-lived env without rebuilding it.
+        """
+        if seed is not None:
+            self.reseed(seed)
         if start_time is not None:
             self.system.reset(start_time)
         elif self.config.random_start:
@@ -121,7 +138,10 @@ class FLSchedulingEnv:
                 "has diverged; see repro.rl guards for recovery"
             )
         freqs = self.mapper.to_frequencies(raw)
-        result = self.system.step(freqs)
+        # The mapper guarantees finite frequencies in (0, delta_max], so
+        # the system's defensive re-validation can be skipped on this
+        # hot path.
+        result = self.system.step(freqs, validate=False)
         self._steps += 1
         done = self._steps >= self.config.episode_length
         info: Dict[str, float] = {

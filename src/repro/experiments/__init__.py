@@ -11,6 +11,7 @@ from repro.experiments.presets import (
     SIMULATION_PRESET,
     TESTBED_PRESET,
     build_env,
+    build_env_spec,
     build_system,
     build_traces,
     with_faults,
@@ -34,6 +35,7 @@ __all__ = [
     "build_traces",
     "build_system",
     "build_env",
+    "build_env_spec",
     "with_faults",
     "EvaluationRunner",
     "EvaluationResult",

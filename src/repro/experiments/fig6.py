@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.core.trainer import OfflineTrainer, TrainerConfig
 from repro.core.callbacks import TrainingHistory
-from repro.experiments.presets import ExperimentPreset, TESTBED_PRESET, build_env
+from repro.experiments.presets import (
+    ExperimentPreset,
+    TESTBED_PRESET,
+    build_env,
+    build_env_spec,
+)
 from repro.utils.rng import SeedLike
 
 
@@ -51,11 +56,23 @@ def run_fig6(
     n_episodes: int = 300,
     seed: SeedLike = 0,
     trainer_config: Optional[TrainerConfig] = None,
+    num_envs: int = 1,
+    workers: int = 0,
 ) -> Fig6Result:
-    """Train the DRL agent and return the convergence curves."""
-    env = build_env(preset, seed=seed)
+    """Train the DRL agent and return the convergence curves.
+
+    ``num_envs``/``workers`` route training through the vectorized
+    collector (repro.parallel); the defaults keep the serial loop.
+    """
     config = trainer_config or TrainerConfig(n_episodes=n_episodes)
     config.n_episodes = n_episodes
-    trainer = OfflineTrainer(env, config, rng=seed)
+    if num_envs != 1 or workers != 0:
+        config.num_envs = num_envs
+        config.workers = workers
+    if config.use_vectorized:
+        env_spec = build_env_spec(preset, seed=int(seed))
+        trainer = OfflineTrainer(config=config, rng=seed, env_spec=env_spec)
+    else:
+        trainer = OfflineTrainer(build_env(preset, seed=seed), config, rng=seed)
     history = trainer.train()
     return Fig6Result(history=history, trainer=trainer)

@@ -157,3 +157,29 @@ def build_env(
         random_start=True,
     )
     return FLSchedulingEnv(system, cfg, rng=env_rng)
+
+
+def build_env_spec(
+    preset: ExperimentPreset,
+    seed: int = 0,
+    episode_length: Optional[int] = None,
+    stream_seed: Optional[int] = None,
+):
+    """Picklable recipe for :func:`build_env`, for vectorized workers.
+
+    Every env of the vector shares the same fleet/traces (``seed``), but
+    env ``i`` gets its own episode RNG stream spawned from
+    ``stream_seed`` (default: ``seed``) — see
+    :class:`repro.parallel.EnvSpec`.
+    """
+    from repro.parallel.spec import EnvSpec
+
+    return EnvSpec(
+        factory=build_env,
+        kwargs={
+            "preset": preset,
+            "seed": int(seed),
+            "episode_length": episode_length,
+        },
+        seed=int(seed if stream_seed is None else stream_seed),
+    )

@@ -1,0 +1,34 @@
+"""Parallel rollout collection: vectorized envs + batched collector.
+
+Public surface:
+
+* :class:`EnvSpec` — picklable recipe for building one env of a vector,
+  with worker-layout-independent per-env RNG streams;
+* :class:`VecEnv` / :class:`SerialVecEnv` / :class:`SubprocVecEnv` —
+  synchronous batch stepping, in-process or sharded over workers;
+* :func:`make_vec_env` — backend selection by worker count;
+* :class:`VecRolloutCollector` — episode-batch collection driving the
+  stacked policy forward pass;
+* :class:`WorkerCrashError` — raised (within a bounded timeout) when a
+  subprocess worker dies instead of hanging the trainer.
+"""
+
+from repro.parallel.collector import VecRolloutCollector
+from repro.parallel.spec import EnvSpec
+from repro.parallel.vec_env import (
+    SerialVecEnv,
+    SubprocVecEnv,
+    VecEnv,
+    WorkerCrashError,
+    make_vec_env,
+)
+
+__all__ = [
+    "EnvSpec",
+    "SerialVecEnv",
+    "SubprocVecEnv",
+    "VecEnv",
+    "VecRolloutCollector",
+    "WorkerCrashError",
+    "make_vec_env",
+]

@@ -1,0 +1,82 @@
+"""Batched rollout collection over a :class:`VecEnv`.
+
+The collector runs one *episode batch*: every env resets, then the whole
+batch steps in lockstep — one stacked forward pass of the Gaussian
+policy serves all active envs — until every env's episode ends (no
+auto-reset).  Transitions stream into the agent's widened
+:class:`repro.rl.buffer.RolloutBuffer` tagged with their env index, so
+GAE later recovers each env's time-ordered sub-trajectory exactly.
+
+With one env the collector consumes the same RNG/normalizer streams, in
+the same order, as the serial ``OfflineTrainer.run_episode`` loop — a
+1-env vectorized run is bit-identical to the serial trainer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.parallel.vec_env import VecEnv
+
+
+class VecRolloutCollector:
+    """Synchronous episode-batch collector feeding a PPO/A2C agent."""
+
+    def __init__(self, vec_env: VecEnv, agent, history=None):
+        self.vec_env = vec_env
+        self.agent = agent
+        self.history = history
+
+    def run_episode_batch(self) -> List[dict]:
+        """Run one episode in every env; returns per-env summaries.
+
+        Finished envs drop out of the policy batch (their stale
+        observations must not pollute the running normalizer moments);
+        the remaining envs keep stepping until the whole batch is done.
+        """
+        venv = self.vec_env
+        n = venv.n_envs
+        obs = venv.reset()
+        active = np.ones(n, dtype=bool)
+        costs: List[List[float]] = [[] for _ in range(n)]
+        rewards_acc: List[List[float]] = [[] for _ in range(n)]
+        times: List[List[float]] = [[] for _ in range(n)]
+        energies: List[List[float]] = [[] for _ in range(n)]
+        while active.any():
+            idx = np.flatnonzero(active)
+            actions, log_probs, values = self.agent.act_batch(obs[idx])
+            full_actions = np.zeros((n, venv.act_dim), dtype=np.float64)
+            full_actions[idx] = actions
+            next_obs, rewards, dones, infos = venv.step(full_actions, active)
+            stats = self.agent.observe_batch(
+                idx, obs[idx], actions, rewards[idx], next_obs[idx],
+                dones[idx], log_probs, values,
+            )
+            if stats is not None and self.history is not None:
+                self.history.record_update(stats)
+            for i in idx:
+                info = infos[i]
+                costs[i].append(info["cost"])
+                rewards_acc[i].append(float(rewards[i]))
+                times[i].append(info["iteration_time_s"])
+                energies[i].append(info["total_energy"])
+            obs[idx] = next_obs[idx]
+            active &= ~dones
+        summaries = []
+        for i in range(n):
+            summary = {
+                "avg_cost": float(np.mean(costs[i])),
+                "avg_reward": float(np.mean(rewards_acc[i])),
+                "avg_time_s": float(np.mean(times[i])),
+                "avg_energy": float(np.mean(energies[i])),
+                "episode_len": len(costs[i]),
+            }
+            if self.history is not None:
+                self.history.record_episode(
+                    summary["avg_cost"], summary["avg_reward"],
+                    summary["avg_time_s"], summary["avg_energy"],
+                )
+            summaries.append(summary)
+        return summaries

@@ -1,0 +1,71 @@
+"""Picklable environment specifications.
+
+A :class:`EnvSpec` is a recipe — factory + arguments + base seed — from
+which a fresh :class:`repro.env.fl_env.FLSchedulingEnv` can be built in
+*any* process.  Subprocess workers receive the pickled spec and construct
+their envs locally, so nothing live (open pipes, numpy generators,
+simulator state) ever crosses a process boundary.
+
+Seeding: member ``index`` of an N-env vector draws its episode RNG from
+``repro.utils.rng.env_stream(seed, index)``, a ``SeedSequence`` child
+keyed only by ``(seed, index)``.  Env ``i`` therefore produces the exact
+same stream whether it lives in the main process, alone in a worker, or
+sharing a worker with seven siblings — trajectories are bit-identical
+for every worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro.utils.rng import env_stream
+
+
+@dataclass(frozen=True)
+class EnvSpec:
+    """A worker-safe recipe for constructing one env of a vectorized set.
+
+    Parameters
+    ----------
+    factory:
+        Module-level callable returning a fresh env; must be picklable
+        (lambdas and closures are not).
+    args, kwargs:
+        Positional/keyword arguments passed to ``factory``.  Everything
+        here must survive a pickle round-trip.
+    seed:
+        Base seed of the vector's per-env RNG streams; env ``i`` is
+        reseeded with ``env_stream(seed, i)`` after construction.
+    """
+
+    factory: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def validate_picklable(self) -> "EnvSpec":
+        """Fail fast (with the culprit named) if the spec cannot cross
+        a process boundary."""
+        try:
+            pickle.dumps(self)
+        except Exception as exc:  # pickle raises many concrete types
+            raise TypeError(
+                f"EnvSpec is not picklable and cannot be shipped to a "
+                f"worker process: {exc}.  Use a module-level factory and "
+                f"plain-data arguments."
+            ) from exc
+        return self
+
+    def build(self, index: int):
+        """Construct env ``index`` with its deterministic RNG stream."""
+        env = self.factory(*self.args, **self.kwargs)
+        if not hasattr(env, "reseed"):
+            raise TypeError(
+                f"factory {self.factory!r} returned {type(env).__name__}, "
+                "which has no reseed(); vectorized envs must accept a "
+                "per-index RNG stream"
+            )
+        env.reseed(env_stream(self.seed, index))
+        return env

@@ -22,9 +22,9 @@ import numpy as np
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.rl.buffer import RolloutBuffer
-from repro.rl.gae import compute_gae, normalize_advantages
+from repro.rl.gae import compute_gae, compute_gae_grouped, normalize_advantages
 from repro.rl.policy import Critic, GaussianActor
-from repro.rl.ppo import PPOConfig, UpdateStats
+from repro.rl.ppo import PPOConfig, UpdateStats, grouped_bootstrap_values
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -87,10 +87,20 @@ class A2CUpdater:
         states = data["states"]
         actions = data["actions"]
 
-        advantages, returns = compute_gae(
-            data["rewards"], data["values"], data["dones"],
-            last_value, cfg.gamma, cfg.gae_lambda,
-        )
+        if getattr(buffer, "n_envs", 1) > 1:
+            # Vectorized buffer: run the recursion per env so bootstraps
+            # never leak across interleaved trajectories.
+            advantages, returns = compute_gae_grouped(
+                data["rewards"], data["values"], data["dones"],
+                buffer.env_ids[: len(buffer)],
+                grouped_bootstrap_values(buffer, self.critic),
+                cfg.gamma, cfg.gae_lambda,
+            )
+        else:
+            advantages, returns = compute_gae(
+                data["rewards"], data["values"], data["dones"],
+                last_value, cfg.gamma, cfg.gae_lambda,
+            )
         if cfg.normalize_advantages:
             advantages = normalize_advantages(advantages)
 

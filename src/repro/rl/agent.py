@@ -32,6 +32,9 @@ class AgentConfig:
     activation: str = "tanh"
     init_log_std: float = -0.5
     buffer_size: int = 256        # |D| of Algorithm 1
+    #: Number of parallel envs feeding the buffer (vectorized
+    #: collection); 1 reproduces the serial Algorithm-1 loop exactly.
+    n_envs: int = 1
     normalize_obs: bool = True
     scale_rewards: bool = True
     #: Policy-optimization algorithm: "ppo" (the paper's choice) or "a2c"
@@ -48,6 +51,10 @@ class AgentConfig:
             raise ValueError("obs_dim and act_dim must be positive")
         if self.buffer_size <= 0:
             raise ValueError("buffer_size must be positive")
+        if self.n_envs <= 0:
+            raise ValueError("n_envs must be positive")
+        if self.n_envs > self.buffer_size:
+            raise ValueError("n_envs cannot exceed buffer_size")
         if self.algorithm not in ("ppo", "a2c"):
             raise ValueError("algorithm must be 'ppo' or 'a2c'")
         if self.policy not in ("dense", "shared"):
@@ -119,7 +126,9 @@ class PPOAgent:
         self.critic = Critic(
             config.obs_dim, hidden=config.hidden, activation=config.activation, rng=init_rng
         )
-        self.buffer = RolloutBuffer(config.buffer_size, config.obs_dim, config.act_dim)
+        self.buffer = RolloutBuffer(
+            config.buffer_size, config.obs_dim, config.act_dim, n_envs=config.n_envs
+        )
         if config.algorithm == "a2c":
             from repro.rl.a2c import A2CUpdater
 
@@ -151,6 +160,22 @@ class PPOAgent:
         value = float(self.critic.value(norm_obs)[0])
         return action, log_prob, value
 
+    def act_batch(self, obs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample actions for a stacked ``(N, obs_dim)`` observation batch.
+
+        One forward pass serves all N envs; returns ``(actions (N, A),
+        log_probs (N,), values (N,))``.  With ``N == 1`` the normalizer
+        update, the Gaussian draw and the critic call consume exactly the
+        same RNG/moment stream as :meth:`act`, so a one-env vectorized
+        rollout is bit-identical to the serial loop.
+        """
+        norm_obs = self.obs_norm(np.atleast_2d(np.asarray(obs, dtype=np.float64)))
+        dist = self.actor_old.distribution(norm_obs)
+        actions = dist.sample(self._sample_rng)
+        log_probs = dist.log_prob(actions)
+        values = self.critic.value(norm_obs)
+        return actions, log_probs, values
+
     def policy_action(self, obs: np.ndarray) -> np.ndarray:
         """Deterministic action from the *trained* actor (online reasoning)."""
         norm_obs = self.obs_norm.normalize_frozen(obs)
@@ -181,6 +206,50 @@ class PPOAgent:
         if not self.buffer.full:
             return None
         last_value = 0.0 if done else float(self.critic.value(norm_next)[0])
+        stats = self.updater.update(self.buffer, last_value=last_value)
+        self.actor_old.copy_weights_from(self.actor)   # line 22
+        self.buffer.clear()                             # line 23
+        self.total_updates += 1
+        return stats
+
+    def observe_batch(
+        self,
+        env_ids: np.ndarray,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_obs: np.ndarray,
+        dones: np.ndarray,
+        log_probs: np.ndarray,
+        values: np.ndarray,
+    ) -> Optional[UpdateStats]:
+        """Store one transition per active env; update when the buffer fills.
+
+        The vectorized counterpart of :meth:`observe`: rows arrive in
+        env-index order from the synchronous collector.  When the buffer
+        holds several envs' trajectories the updater bootstraps each
+        env's tail itself (see ``grouped_bootstrap_values``), so no
+        scalar ``last_value`` is needed.
+        """
+        env_ids = np.asarray(env_ids, dtype=np.intp).ravel()
+        norm_obs = self.obs_norm.normalize_frozen(
+            np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        )
+        norm_next = self.obs_norm(
+            np.atleast_2d(np.asarray(next_obs, dtype=np.float64))
+        )
+        scaled = self.reward_scaler.scale_batch(rewards, dones, env_ids)
+        self.buffer.add_batch(
+            env_ids, norm_obs, actions, scaled, norm_next, dones, log_probs, values
+        )
+        self.total_steps += env_ids.size
+        if not self.buffer.full:
+            return None
+        if self.buffer.n_envs > 1:
+            last_value = 0.0  # ignored: the updater derives per-env bootstraps
+        else:
+            done = bool(np.asarray(dones).ravel()[-1])
+            last_value = 0.0 if done else float(self.critic.value(norm_next)[-1])
         stats = self.updater.update(self.buffer, last_value=last_value)
         self.actor_old.copy_weights_from(self.actor)   # line 22
         self.buffer.clear()                             # line 23

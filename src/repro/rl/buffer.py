@@ -31,14 +31,27 @@ class Transition:
 
 
 class RolloutBuffer:
-    """Fixed-capacity on-policy buffer with preallocated storage."""
+    """Fixed-capacity on-policy buffer with preallocated storage.
 
-    def __init__(self, capacity: int, obs_dim: int, act_dim: int):
+    ``n_envs > 1`` widens the buffer for vectorized collection: batches
+    of per-env transitions land via :meth:`add_batch`, and the stored
+    ``env_ids`` let the updater recover each env's time-ordered
+    sub-trajectory (episode boundaries included) for GAE.  The flat
+    storage layout — and therefore checkpointing and the PPO minibatch
+    machinery — is identical to the single-env case.
+    """
+
+    def __init__(self, capacity: int, obs_dim: int, act_dim: int, n_envs: int = 1):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if n_envs <= 0:
+            raise ValueError("n_envs must be positive")
+        if n_envs > capacity:
+            raise ValueError("n_envs cannot exceed capacity")
         self.capacity = int(capacity)
         self.obs_dim = int(obs_dim)
         self.act_dim = int(act_dim)
+        self.n_envs = int(n_envs)
         self.states = np.zeros((capacity, obs_dim), dtype=np.float64)
         self.actions = np.zeros((capacity, act_dim), dtype=np.float64)
         self.rewards = np.zeros(capacity, dtype=np.float64)
@@ -46,6 +59,7 @@ class RolloutBuffer:
         self.dones = np.zeros(capacity, dtype=bool)
         self.log_probs = np.zeros(capacity, dtype=np.float64)
         self.values = np.zeros(capacity, dtype=np.float64)
+        self.env_ids = np.zeros(capacity, dtype=np.intp)
         self._size = 0
 
     def __len__(self) -> int:
@@ -53,7 +67,13 @@ class RolloutBuffer:
 
     @property
     def full(self) -> bool:
-        return self._size >= self.capacity
+        """Whether another batch of ``n_envs`` transitions cannot fit.
+
+        For ``n_envs == 1`` this is the classic exact-capacity trigger;
+        for vectorized collection the update fires as soon as the next
+        batch would overflow (episodes of unequal length may leave the
+        final rows unused)."""
+        return self._size + self.n_envs > self.capacity
 
     def add(
         self,
@@ -79,6 +99,46 @@ class RolloutBuffer:
         self.log_probs[i] = log_prob
         self.values[i] = value
         self._size += 1
+
+    def add_batch(
+        self,
+        env_ids: np.ndarray,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        log_probs: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Append one transition per (active) env in env-index order.
+
+        ``env_ids`` names the source env of each row; rows must arrive
+        time-ordered per env (which a synchronous collector guarantees).
+        """
+        env_ids = np.asarray(env_ids, dtype=np.intp).ravel()
+        k = env_ids.size
+        if k == 0:
+            return
+        if k > self.n_envs:
+            raise ValueError(
+                f"batch of {k} transitions exceeds the buffer's {self.n_envs} envs"
+            )
+        if self.full:
+            raise RuntimeError(
+                "RolloutBuffer is full; run the PPO update and clear() first"
+            )
+        i = self._size
+        sl = slice(i, i + k)
+        self.env_ids[sl] = env_ids
+        self.states[sl] = states
+        self.actions[sl] = actions
+        self.rewards[sl] = rewards
+        self.next_states[sl] = next_states
+        self.dones[sl] = dones
+        self.log_probs[sl] = log_probs
+        self.values[sl] = values
+        self._size = i + k
 
     def add_transition(self, t: Transition) -> None:
         self.add(t.state, t.action, t.reward, t.next_state, t.done, t.log_prob, t.value)

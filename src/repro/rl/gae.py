@@ -57,6 +57,41 @@ def compute_gae(
     return advantages, returns
 
 
+def compute_gae_grouped(
+    rewards,
+    values,
+    dones,
+    env_ids,
+    last_values,
+    gamma: float = 0.99,
+    lam: float = 0.95,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """GAE over a buffer interleaving several envs' trajectories.
+
+    ``env_ids`` names each transition's source env; rows are assumed
+    time-ordered within each env (a synchronous vectorized collector
+    guarantees this).  The recursion runs independently per env so
+    bootstrapping never leaks across env boundaries.  ``last_values``
+    maps env id -> bootstrap value for that env's final stored
+    transition (ignored where that transition is terminal).
+    """
+    rewards, values, dones = _validate(rewards, values, dones)
+    env_ids = np.asarray(env_ids, dtype=np.intp).ravel()
+    if env_ids.shape != rewards.shape:
+        raise ValueError("env_ids must share shape with rewards")
+    advantages = np.zeros_like(rewards)
+    returns = np.zeros_like(rewards)
+    for e in np.unique(env_ids):
+        idx = np.flatnonzero(env_ids == e)
+        adv, ret = compute_gae(
+            rewards[idx], values[idx], dones[idx],
+            float(last_values.get(int(e), 0.0)), gamma, lam,
+        )
+        advantages[idx] = adv
+        returns[idx] = ret
+    return advantages, returns
+
+
 def compute_returns(
     rewards, dones, last_value: float, gamma: float = 0.99
 ) -> np.ndarray:

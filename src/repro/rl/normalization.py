@@ -81,7 +81,6 @@ class PerDeviceNormalizer:
         self.frozen = False
 
     def _blocks(self, obs: np.ndarray) -> np.ndarray:
-        obs = np.asarray(obs, dtype=np.float64).ravel()
         if obs.size % self.block_dim != 0:
             raise ValueError(
                 f"obs size {obs.size} is not a multiple of block dim {self.block_dim}"
@@ -89,18 +88,24 @@ class PerDeviceNormalizer:
         return obs.reshape(-1, self.block_dim)
 
     def __call__(self, obs: np.ndarray) -> np.ndarray:
+        obs = np.asarray(obs, dtype=np.float64)
         if not self.enabled:
-            return np.asarray(obs, dtype=np.float64)
+            return obs
         blocks = self._blocks(obs)
         if not self.frozen:
             self.rms.update(blocks)
-        return self.rms.normalize(blocks, clip=self.clip).ravel()
+        out = self.rms.normalize(blocks, clip=self.clip)
+        # A 2-D input is a batch of flat observations (one per env row);
+        # preserve the batch shape.  1-D input keeps the flat contract.
+        return out.reshape(obs.shape) if obs.ndim == 2 else out.ravel()
 
     def normalize_frozen(self, obs: np.ndarray) -> np.ndarray:
         """Normalize without updating moments (any fleet size)."""
+        obs = np.asarray(obs, dtype=np.float64)
         if not self.enabled:
-            return np.asarray(obs, dtype=np.float64)
-        return self.rms.normalize(self._blocks(obs), clip=self.clip).ravel()
+            return obs
+        out = self.rms.normalize(self._blocks(obs), clip=self.clip)
+        return out.reshape(obs.shape) if obs.ndim == 2 else out.ravel()
 
     def freeze(self) -> None:
         self.frozen = True
@@ -138,6 +143,10 @@ class RewardScaler:
         self.enabled = bool(enabled)
         self.rms = RunningMeanStd(shape=())
         self._ret = 0.0
+        #: Per-env discounted returns for vectorized collection; the
+        #: serial ``_ret`` chain must never mix rewards from different
+        #: envs, so each env id keeps its own accumulator.
+        self._ret_vec: Dict[int, float] = {}
         self.frozen = False
 
     def __call__(self, reward: float, done: bool = False) -> float:
@@ -150,17 +159,53 @@ class RewardScaler:
                 self._ret = 0.0
         return float(reward / (np.sqrt(self.rms.var) + 1e-8))
 
+    def scale_batch(self, rewards, dones, env_ids) -> np.ndarray:
+        """Scale one reward per env, each through its own return chain.
+
+        A one-row batch follows the scalar path bit-for-bit (update the
+        running variance, then scale), so ``num_envs=1`` training is
+        identical to the serial loop.  A multi-row batch — one transition
+        per env, so every row belongs to a distinct return chain — folds
+        all of its returns into the running variance with a single
+        batched (Chan) update and scales every row by the post-update
+        std, matching how vectorized PPO implementations treat one
+        synchronous step.
+        """
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        dones = np.asarray(dones, dtype=bool).ravel()
+        env_ids = np.asarray(env_ids, dtype=np.intp).ravel()
+        if not (rewards.shape == dones.shape == env_ids.shape):
+            raise ValueError("rewards, dones and env_ids must share shape")
+        if not self.enabled:
+            return rewards.copy()
+        if not self.frozen:
+            rets = np.empty_like(rewards)
+            for i in range(rewards.size):
+                e = int(env_ids[i])
+                ret = self.gamma * self._ret_vec.get(e, 0.0) + float(rewards[i])
+                rets[i] = ret
+                self._ret_vec[e] = 0.0 if dones[i] else ret
+            self.rms.update(rets)
+        return rewards / (np.sqrt(self.rms.var) + 1e-8)
+
     def freeze(self) -> None:
         self.frozen = True
 
     def reset_episode(self) -> None:
         self._ret = 0.0
+        self._ret_vec.clear()
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         state = self.rms.state_dict()
         state["gamma"] = np.asarray(self.gamma)
         state["enabled"] = np.asarray(self.enabled)
         state["ret"] = np.asarray(self._ret)
+        if self._ret_vec:
+            ids = sorted(self._ret_vec)
+            state["ret_vec_ids"] = np.asarray(ids, dtype=np.int64)
+            state["ret_vec_vals"] = np.asarray(
+                [self._ret_vec[i] for i in ids], dtype=np.float64
+            )
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
@@ -170,3 +215,8 @@ class RewardScaler:
         # Older checkpoints predate the running-return field.
         if "ret" in state:
             self._ret = float(np.asarray(state["ret"]))
+        self._ret_vec = {}
+        if "ret_vec_ids" in state:
+            ids = np.asarray(state["ret_vec_ids"]).ravel()
+            vals = np.asarray(state["ret_vec_vals"]).ravel()
+            self._ret_vec = {int(i): float(v) for i, v in zip(ids, vals)}

@@ -26,7 +26,12 @@ import numpy as np
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.rl.buffer import RolloutBuffer
-from repro.rl.gae import compute_gae, normalize_advantages, td_targets
+from repro.rl.gae import (
+    compute_gae,
+    compute_gae_grouped,
+    normalize_advantages,
+    td_targets,
+)
 from repro.rl.policy import Critic, GaussianActor
 from repro.utils.rng import SeedLike, as_generator
 
@@ -83,6 +88,28 @@ def _accumulate_log_std_grad(param, grad_vec: np.ndarray) -> None:
             f"log_std grad shape {grad_vec.shape} does not fit parameter "
             f"{param.data.shape}"
         )
+
+
+def grouped_bootstrap_values(buffer: RolloutBuffer, critic: Critic) -> Dict[int, float]:
+    """Per-env GAE bootstrap values for a vectorized buffer.
+
+    For each env present in the buffer, the bootstrap is ``V(s')`` of its
+    final stored transition (zero when that transition is terminal) —
+    exactly the ``last_value`` the serial trainer hands to
+    :meth:`PPOUpdater.update`, computed per env.
+    """
+    n = len(buffer)
+    env_ids = buffer.env_ids[:n]
+    dones = buffer.dones[:n]
+    next_states = buffer.next_states[:n]
+    out: Dict[int, float] = {}
+    for e in np.unique(env_ids):
+        last = int(np.flatnonzero(env_ids == e)[-1])
+        if dones[last]:
+            out[int(e)] = 0.0
+        else:
+            out[int(e)] = float(critic.value(next_states[last])[0])
+    return out
 
 
 @dataclass
@@ -231,13 +258,25 @@ class PPOUpdater:
         actions = data["actions"]
 
         if cfg.advantage_mode == "gae":
-            advantages, returns = compute_gae(
-                data["rewards"], data["values"], data["dones"],
-                last_value, cfg.gamma, cfg.gae_lambda,
-            )
+            if getattr(buffer, "n_envs", 1) > 1:
+                # Vectorized buffer: the recursion must not cross env
+                # boundaries; bootstrap each env's tail separately.
+                advantages, returns = compute_gae_grouped(
+                    data["rewards"], data["values"], data["dones"],
+                    buffer.env_ids[: len(buffer)],
+                    grouped_bootstrap_values(buffer, self.critic),
+                    cfg.gamma, cfg.gae_lambda,
+                )
+            else:
+                advantages, returns = compute_gae(
+                    data["rewards"], data["values"], data["dones"],
+                    last_value, cfg.gamma, cfg.gae_lambda,
+                )
         else:
             # Paper Algorithm 1 line 20: targets r + gamma * V(s');
-            # advantage is the one-step TD error.
+            # advantage is the one-step TD error.  One-step targets are
+            # purely elementwise, so env interleaving needs no special
+            # handling here.
             next_values = self.critic.value(data["next_states"])
             returns = td_targets(data["rewards"], next_values, data["dones"], cfg.gamma)
             advantages = returns - data["values"]

@@ -64,6 +64,55 @@ class IterationResult:
         return int(np.sum(self.participants))
 
 
+def _simulate_full_round(
+    fleet: DeviceFleet,
+    frequencies: np.ndarray,
+    start_time: float,
+    model_size_mbit: float,
+    cost_model: CostModel,
+) -> IterationResult:
+    """Fault-free full-participation iteration (bit-identical fast path).
+
+    Every operation mirrors :func:`simulate_iteration` with an all-true
+    participation mask; redundant per-device revalidation and the no-op
+    ``np.where(mask, ...)`` selects are elided.
+    """
+    n = fleet.n
+    freqs = fleet.clamp_frequencies(frequencies)
+    # Eq. (1) — same expression as DeviceFleet.compute_times, minus the
+    # positivity re-check (clamp_frequencies already enforced the floor).
+    t_cmp = fleet.cycle_budgets / np.minimum(freqs, fleet.max_frequencies)
+    t_com = np.empty(n, dtype=np.float64)
+    for i, device in enumerate(fleet):                       # Eqs. (2)-(3)
+        t_com[i] = device.trace.time_to_transfer(
+            start_time + t_cmp[i], model_size_mbit
+        )
+    device_times = t_cmp + t_com                             # Eq. (4)
+    iteration_time = float(device_times.max())               # Eq. (5)
+    idle = iteration_time - device_times
+    energies = fleet.compute_energies(freqs) + fleet.tx_powers * t_com  # Eq. (6)
+    if fleet.has_idle_power:
+        energies = energies + fleet.idle_powers * np.maximum(idle, 0.0)
+    avg_bw = model_size_mbit / np.maximum(t_com, 1e-300)
+    cost = cost_model.cost(iteration_time, float(energies.sum()))
+    everyone = np.ones(n, dtype=bool)
+    return IterationResult(
+        start_time=float(start_time),
+        frequencies=freqs,
+        compute_times=t_cmp,
+        upload_times=t_com,
+        device_times=device_times,
+        iteration_time=iteration_time,
+        energies=energies,
+        idle_times=idle,
+        avg_bandwidths=avg_bw,
+        cost=cost,
+        reward=-cost,
+        participants=everyone,
+        attempted=everyone,
+    )
+
+
 def _participation_mask(n: int, participants) -> np.ndarray:
     if participants is None:
         return np.ones(n, dtype=bool)
@@ -113,6 +162,14 @@ def simulate_iteration(
         raise ValueError("model_size_mbit must be positive")
     if deadline is not None and deadline <= 0:
         raise ValueError("deadline must be positive when given")
+    if participants is None and faults is None and deadline is None:
+        # Full-participation fault-free round: the paper's Eqs. (1)-(6)
+        # with no masking. Same arithmetic as below with an all-true
+        # mask, minus the mask bookkeeping — this is the rollout
+        # collector's hot path.
+        return _simulate_full_round(
+            fleet, frequencies, start_time, model_size_mbit, cost_model
+        )
     mask = _participation_mask(fleet.n, participants)
     freqs = fleet.clamp_frequencies(frequencies)
     t_cmp = fleet.compute_times(freqs)                       # Eq. (1)

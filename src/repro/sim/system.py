@@ -171,7 +171,9 @@ class FLSystem:
             )
         return freqs
 
-    def step(self, frequencies: np.ndarray, participants=None) -> IterationResult:
+    def step(
+        self, frequencies: np.ndarray, participants=None, validate: bool = True
+    ) -> IterationResult:
         """Run one iteration; advances the clock per Eq. (11).
 
         ``participants`` optionally restricts the round to a device subset
@@ -180,8 +182,15 @@ class FLSystem:
         are retried (their wasted time advances the clock and they are
         recorded in :attr:`failed_history`); the accepted result's
         ``participants`` holds the devices that actually finished.
+
+        ``validate=False`` skips the frequency sanity checks; callers that
+        already guarantee a finite positive vector (the env's action
+        mapper) use it to keep the rollout hot path lean.
         """
-        freqs = self._validated_frequencies(frequencies)
+        if validate:
+            freqs = self._validated_frequencies(frequencies)
+        else:
+            freqs = np.asarray(frequencies, dtype=np.float64)
         cfg = self.config
         if self.faults is None and cfg.round_deadline_s is None:
             result = simulate_iteration(

@@ -63,6 +63,9 @@ class BandwidthTrace:
         self._cum = np.concatenate(([0.0], np.cumsum(self.values * self.h)))
         self._cycle_volume = float(self._cum[-1])
         self._cycle_duration = self.values.size * self.h
+        # history() window index cache (the window length is fixed per
+        # system, and history() runs once per device per rollout step).
+        self._hist_arange: "np.ndarray" = np.empty(0, dtype=np.intp)
 
     # -- basic accessors ----------------------------------------------------
     @property
@@ -96,8 +99,12 @@ class BandwidthTrace:
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
         j = int(np.floor(t / self.h))
-        idx = (j - np.arange(n_slots)) % self.n_slots
-        return self.values[idx].copy()
+        ar = self._hist_arange
+        if ar.size != n_slots:
+            ar = np.arange(n_slots)
+            self._hist_arange = ar
+        idx = (j - ar) % self.n_slots
+        return self.values[idx]
 
     # -- integration ----------------------------------------------------------
     def _volume_to(self, t: float) -> float:

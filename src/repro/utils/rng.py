@@ -48,6 +48,29 @@ def spawn_generators(seed: SeedLike, n: int) -> List[np.random.Generator]:
     return [np.random.default_rng(child) for child in ss.spawn(n)]
 
 
+def env_stream(seed: SeedLike, index: int) -> np.random.Generator:
+    """Deterministic RNG stream for member ``index`` of a vectorized set.
+
+    The stream depends only on ``(seed, index)`` — not on how the vector
+    is partitioned across worker processes — so env ``i`` of an N-env
+    vector draws the identical randomness whether it lives in the parent
+    process, a lone worker, or shares a worker with its neighbours.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "env_stream needs a stateless seed (int/SeedSequence/None); a "
+            "Generator's position would make the stream layout-dependent"
+        )
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+    else:
+        entropy = 0 if seed is None else int(seed)
+    child = np.random.SeedSequence(entropy=entropy, spawn_key=(int(index),))
+    return np.random.default_rng(child)
+
+
 class RngFactory:
     """Named, reproducible generator factory.
 

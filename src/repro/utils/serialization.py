@@ -48,6 +48,19 @@ def unpack_rng_state(gen: np.random.Generator, packed: np.ndarray) -> None:
     gen.bit_generator.state = json.loads(payload.decode("utf-8"))
 
 
+def pack_state_dict(state: Mapping) -> np.ndarray:
+    """Serialize a plain JSON-able dict (e.g. a ``bit_generator.state``
+    fetched from a vec-env worker) into a uint8 array for ``savez``."""
+    payload = json.dumps(dict(state)).encode("utf-8")
+    return np.frombuffer(payload, dtype=np.uint8).copy()
+
+
+def unpack_state_dict(packed: np.ndarray) -> Dict:
+    """Inverse of :func:`pack_state_dict`."""
+    payload = bytes(np.asarray(packed, dtype=np.uint8).tobytes())
+    return json.loads(payload.decode("utf-8"))
+
+
 def flatten_state(nested: Mapping, prefix: str = "") -> Dict[str, np.ndarray]:
     """Flatten nested dicts of arrays into ``/``-keyed flat form."""
     out: Dict[str, np.ndarray] = {}

@@ -1,0 +1,112 @@
+"""Worker-safety audit: everything an :class:`EnvSpec` reaches must
+survive a pickle round-trip, because subprocess vec-env workers rebuild
+the whole env stack from pickled data.
+
+Round-trip here means *behavioural* equality, not just "pickle didn't
+raise": the copy must produce the same numbers as the original.
+"""
+
+import pickle
+from dataclasses import replace
+
+import numpy as np
+
+from repro.devices.fleet import FleetConfig
+from repro.env.fl_env import EnvConfig
+from repro.experiments.presets import (
+    SIMULATION_PRESET,
+    TESTBED_PRESET,
+    build_env,
+    build_env_spec,
+    build_fleet,
+    build_traces,
+)
+from repro.faults import FaultConfig, FaultSchedule
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestConfigPickling:
+    def test_env_config(self):
+        cfg = roundtrip(EnvConfig(episode_length=7, action_floor_frac=0.2))
+        assert cfg.episode_length == 7
+        assert cfg.action_floor_frac == 0.2
+
+    def test_fleet_config(self):
+        cfg = roundtrip(FleetConfig(n_devices=5, alpha=0.07))
+        assert cfg.n_devices == 5 and cfg.alpha == 0.07
+
+    def test_fault_config(self):
+        cfg = roundtrip(FaultConfig(dropout_prob=0.1, seed=3))
+        assert cfg.dropout_prob == 0.1 and cfg.seed == 3
+
+    def test_experiment_presets(self):
+        for preset in (TESTBED_PRESET, SIMULATION_PRESET):
+            copy = roundtrip(preset)
+            assert copy == preset
+
+
+class TestStackPickling:
+    def test_traces_roundtrip_behaviourally(self):
+        for trace in build_traces(TESTBED_PRESET, seed=0):
+            copy = roundtrip(trace)
+            assert np.array_equal(copy.values, trace.values)
+            assert copy.time_to_transfer(3.7, 50.0) == trace.time_to_transfer(3.7, 50.0)
+
+    def test_fleet_roundtrip_behaviourally(self):
+        fleet = build_fleet(TESTBED_PRESET, seed=0)
+        copy = roundtrip(fleet)
+        assert np.array_equal(copy.max_frequencies, fleet.max_frequencies)
+        assert np.array_equal(copy.cycle_budgets, fleet.cycle_budgets)
+        freqs = 0.5 * fleet.max_frequencies
+        assert np.array_equal(copy.compute_times(freqs), fleet.compute_times(freqs))
+
+    def test_fault_schedule_roundtrip(self):
+        schedule = FaultSchedule(FaultConfig(dropout_prob=0.3, seed=1), n_devices=4)
+        copy = roundtrip(schedule)
+        for rnd in range(5):
+            a, b = schedule.round_faults(rnd), copy.round_faults(rnd)
+            assert np.array_equal(a.dropped, b.dropped)
+            assert np.array_equal(a.slowdown, b.slowdown)
+            assert np.array_equal(a.upload_failures, b.upload_failures)
+
+    def test_env_roundtrip_behaviourally(self):
+        env = build_env(TESTBED_PRESET, seed=0)
+        copy = roundtrip(env)
+        obs_a = env.reset(start_time=100.0)
+        obs_b = copy.reset(start_time=100.0)
+        assert np.array_equal(obs_a, obs_b)
+        action = np.zeros(env.act_dim)
+        step_a, step_b = env.step(action), copy.step(action)
+        assert np.array_equal(step_a.observation, step_b.observation)
+        assert step_a.reward == step_b.reward
+
+    def test_faulty_env_roundtrip(self):
+        preset = replace(
+            TESTBED_PRESET,
+            faults=FaultConfig(dropout_prob=0.2, seed=2),
+            round_deadline_s=500.0,
+            min_quorum=1,
+        )
+        env = build_env(preset, seed=0)
+        copy = roundtrip(env)
+        obs_a = env.reset(start_time=50.0)
+        obs_b = copy.reset(start_time=50.0)
+        assert np.array_equal(obs_a, obs_b)
+        action = np.zeros(env.act_dim)
+        assert env.step(action).reward == copy.step(action).reward
+
+
+class TestEnvSpecPickling:
+    def test_spec_roundtrip_builds_identical_envs(self):
+        spec = build_env_spec(TESTBED_PRESET, seed=4)
+        copy = roundtrip(spec)
+        env_a, env_b = spec.build(1), copy.build(1)
+        assert env_a.rng.bit_generator.state == env_b.rng.bit_generator.state
+        obs_a, obs_b = env_a.reset(), env_b.reset()
+        assert np.array_equal(obs_a, obs_b)
+
+    def test_validate_picklable_passes(self):
+        build_env_spec(SIMULATION_PRESET, seed=0).validate_picklable()

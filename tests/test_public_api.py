@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.env",
     "repro.baselines",
     "repro.core",
+    "repro.parallel",
     "repro.experiments",
     "repro.viz",
 ]
