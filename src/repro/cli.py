@@ -6,6 +6,12 @@ Commands
 ``evaluate``   online reasoning: compare allocators on a preset
 ``traces``     generate synthetic traces to CSV / report their statistics
 ``fig``        regenerate a paper figure's numbers (2, 3, 6, 7, 8)
+``telemetry``  summarize a ``--telemetry-dir`` produced by train/evaluate
+
+Output goes through :data:`repro.obs.console` (level-filtered; ``--quiet``
+suppresses everything below warnings).  ``train``/``evaluate`` accept
+``--telemetry-dir`` to record a JSONL event log plus run manifest (see
+:mod:`repro.obs`); the default is no telemetry and a bit-identical run.
 
 Everything the CLI does is also available as a library call; the CLI
 exists so experiments can be scripted without writing Python.
@@ -19,6 +25,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.obs import console, get_telemetry
 from repro.utils.tables import format_table
 
 
@@ -61,6 +68,40 @@ def _apply_faults(preset, args):
     )
 
 
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="record a JSONL event log + run manifest here")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="force telemetry off even if --telemetry-dir is set")
+
+
+def _configure_telemetry(args, command: str, config=None):
+    """Install file-backed telemetry when the flags ask for it.
+
+    Returns the live :class:`repro.obs.Telemetry` (caller must pass it
+    to :func:`_teardown_telemetry` in a ``finally``) or ``None``.
+    """
+    if getattr(args, "no_telemetry", False) or not getattr(args, "telemetry_dir", None):
+        return None
+    from repro.obs import configure_telemetry
+
+    return configure_telemetry(
+        args.telemetry_dir,
+        command=command,
+        seed=getattr(args, "seed", None),
+        config=config,
+    )
+
+
+def _teardown_telemetry(telemetry) -> None:
+    if telemetry is None:
+        return
+    from repro.obs import NULL_TELEMETRY, set_telemetry
+
+    telemetry.close()
+    set_telemetry(NULL_TELEMETRY)
+
+
 def _add_fault_flags(parser) -> None:
     parser.add_argument("--dropout", type=float, default=0.0,
                         help="per-device per-round dropout probability")
@@ -92,25 +133,40 @@ def cmd_train(args) -> int:
         env, env_spec = None, build_env_spec(preset, seed=args.seed)
     else:
         env, env_spec = build_env(preset, seed=args.seed), None
-    trainer = OfflineTrainer(env, config, rng=args.seed, env_spec=env_spec)
-    if args.resume:
-        episode = trainer.resume(args.resume)
-        print(f"resumed from {args.resume} at episode {episode}")
+    telemetry = _configure_telemetry(
+        args, "train", config={"preset": preset, "trainer": config}
+    )
+    try:
+        trainer = OfflineTrainer(env, config, rng=args.seed, env_spec=env_spec)
+        if args.resume:
+            episode = trainer.resume(args.resume)
+            console.info(f"resumed from {args.resume} at episode {episode}")
 
-    def progress(episode, summary):
-        if (episode + 1) % max(1, args.episodes // 20) == 0:
-            print(f"episode {episode + 1:5d}/{args.episodes}  "
-                  f"avg cost {summary['avg_cost']:.3f}")
+        def progress(episode, summary):
+            if (episode + 1) % max(1, args.episodes // 20) == 0:
+                console.info(f"episode {episode + 1:5d}/{args.episodes}  "
+                             f"avg cost {summary['avg_cost']:.3f}")
 
-    history = trainer.train(progress_callback=progress)
-    window = min(10, max(1, history.n_episodes // 2))
-    improvement = history.improvement(head=window, tail=window)
-    print(f"trained {history.n_episodes} episodes / {history.n_updates} updates; "
-          f"cost improvement {improvement:.1%}")
-    if history.skipped_updates:
-        print(f"guards skipped {history.skipped_updates} non-finite updates")
-    trainer.save_agent(args.out)
-    print(f"checkpoint written to {args.out}")
+        with get_telemetry().span(
+            "train", algorithm=args.algorithm, episodes=args.episodes
+        ):
+            history = trainer.train(progress_callback=progress)
+        window = min(10, max(1, history.n_episodes // 2))
+        improvement = history.improvement(head=window, tail=window)
+        console.info(
+            f"trained {history.n_episodes} episodes / {history.n_updates} "
+            f"updates; cost improvement {improvement:.1%}"
+        )
+        if history.skipped_updates:
+            console.warning(
+                f"guards skipped {history.skipped_updates} non-finite updates"
+            )
+        trainer.save_agent(args.out)
+        console.info(f"checkpoint written to {args.out}")
+        if telemetry is not None:
+            console.info(f"telemetry written to {args.telemetry_dir}")
+    finally:
+        _teardown_telemetry(telemetry)
     return 0
 
 
@@ -152,19 +208,25 @@ def cmd_evaluate(args) -> int:
     from repro.experiments.runner import EvaluationRunner
 
     preset = _apply_faults(_get_preset(args.preset, args.devices, args.lam), args)
-    runner = EvaluationRunner(preset, seed=args.seed)
-    allocators = _build_allocators(args.allocators, args.checkpoint, tuple(args.hidden))
-    result = runner.evaluate(allocators, n_iterations=args.iters)
-    rows = [
-        [name, m.avg_cost, m.avg_time, m.avg_energy]
-        for name, m in result.metrics.items()
-    ]
-    print(format_table(
-        ["method", "avg cost", "avg time", "avg energy"],
-        rows,
-        title=f"{preset.name}: {args.iters or preset.eval_iterations} iterations",
-    ))
-    print("ranking:", " < ".join(result.ranking()))
+    telemetry = _configure_telemetry(args, "evaluate", config={"preset": preset})
+    try:
+        runner = EvaluationRunner(preset, seed=args.seed)
+        allocators = _build_allocators(
+            args.allocators, args.checkpoint, tuple(args.hidden)
+        )
+        result = runner.evaluate(allocators, n_iterations=args.iters)
+        rows = [
+            [name, m.avg_cost, m.avg_time, m.avg_energy]
+            for name, m in result.metrics.items()
+        ]
+        console.info(format_table(
+            ["method", "avg cost", "avg time", "avg energy"],
+            rows,
+            title=f"{preset.name}: {args.iters or preset.eval_iterations} iterations",
+        ))
+        console.info("ranking: " + " < ".join(result.ranking()))
+    finally:
+        _teardown_telemetry(telemetry)
     return 0
 
 
@@ -190,7 +252,7 @@ def cmd_traces(args) -> int:
         [name, s["mean_mbps"], s["min_mbps"], s["max_mbps"], s["lag1_autocorr"]]
         for name, s in report.items()
     ]
-    print(format_table(
+    console.info(format_table(
         ["trace", "mean Mbit/s", "min", "max", "lag-1 autocorr"], rows
     ))
     if args.out_dir:
@@ -200,7 +262,7 @@ def cmd_traces(args) -> int:
         for i, trace in enumerate(traces):
             path = os.path.join(args.out_dir, f"{args.kind}-{i}.csv")
             save_trace_csv(trace, path)
-            print(f"wrote {path}")
+            console.info(f"wrote {path}")
     return 0
 
 
@@ -210,41 +272,54 @@ def cmd_fig(args) -> int:
 
         result = run_fig2(seed=args.seed)
         for name, (lo, hi) in result.walking_range_mbytes().items():
-            print(f"{name}: {lo:.2f} - {hi:.2f} MB/s")
+            console.info(f"{name}: {lo:.2f} - {hi:.2f} MB/s")
         lo, hi = result.hsdpa_range_kbytes()
-        print(f"hsdpa: {lo:.0f} - {hi:.0f} KB/s")
+        console.info(f"hsdpa: {lo:.0f} - {hi:.0f} KB/s")
     elif args.number == 3:
         from repro.experiments.fig3 import run_fig3
 
         result = run_fig3(seed=args.seed, n_iterations=args.iters or 200)
-        print("idle fractions under full speed:",
-              np.round(result.idle_fractions, 3))
-        print(f"DVFS recovers {result.energy_saving:.1%} energy at "
-              f"{result.time_penalty:+.1%} time")
+        console.info("idle fractions under full speed: "
+                     f"{np.round(result.idle_fractions, 3)}")
+        console.info(f"DVFS recovers {result.energy_saving:.1%} energy at "
+                     f"{result.time_penalty:+.1%} time")
     elif args.number == 6:
         from repro.experiments.fig6 import run_fig6
 
         result = run_fig6(n_episodes=args.episodes, seed=args.seed)
         costs = result.episode_costs
-        print(f"episode cost: first 10 avg {costs[:10].mean():.2f}, "
-              f"last 10 avg {costs[-10:].mean():.2f}")
-        print(f"loss stabilized: {result.loss_stabilized()}")
+        console.info(f"episode cost: first 10 avg {costs[:10].mean():.2f}, "
+                     f"last 10 avg {costs[-10:].mean():.2f}")
+        console.info(f"loss stabilized: {result.loss_stabilized()}")
     elif args.number == 7:
         from repro.experiments.fig7 import run_fig7
         from repro.experiments.reporting import fig7_report
 
         result = run_fig7(n_episodes=args.episodes, eval_iterations=args.iters,
                           seed=args.seed)
-        print(fig7_report(result))
+        console.info(fig7_report(result))
     elif args.number == 8:
         from repro.experiments.fig8 import run_fig8
         from repro.experiments.reporting import fig8_report
 
         result = run_fig8(n_episodes=args.episodes or 200,
                           eval_iterations=args.iters, seed=args.seed)
-        print(fig8_report(result))
+        console.info(fig8_report(result))
     else:
         raise SystemExit("supported figures: 2, 3, 6, 7, 8")
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    from repro.obs.summarize import summarize_run
+
+    if args.telemetry_command == "summarize":
+        try:
+            report = summarize_run(args.dir)
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc))
+        # The report is the command's product: print it even under --quiet.
+        console.always(report)
     return 0
 
 
@@ -253,6 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Experience-driven FL resource allocation (IPDPS'20 reproduction)",
     )
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress informational output (warnings still show)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("train", help="offline DRL training (Algorithm 1)")
@@ -272,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0,
                    help="subprocess env workers (0 = in-process envs)")
     _add_fault_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="online reasoning comparison")
@@ -288,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lam", type=float, default=None)
     p.add_argument("--seed", type=int, default=0)
     _add_fault_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("traces", help="generate/inspect bandwidth traces")
@@ -305,12 +384,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig)
 
+    p = sub.add_parser("telemetry", help="inspect recorded telemetry")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    ps = tsub.add_parser("summarize",
+                         help="render phase/round/update tables from a run dir")
+    ps.add_argument("dir", help="directory written by --telemetry-dir")
+    ps.set_defaults(func=cmd_telemetry)
+
     return parser
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Set (not toggle) the level each invocation: main() is reentrant in
+    # tests and must not inherit a previous call's --quiet.
+    console.set_level("warning" if args.quiet else "info")
     return args.func(args)
 
 

@@ -17,6 +17,7 @@ Mapping from the paper's pseudocode to this implementation:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.core.callbacks import TrainingHistory
 from repro.env.fl_env import FLSchedulingEnv
+from repro.obs import get_telemetry
 from repro.rl.agent import AgentConfig, PPOAgent
 from repro.rl.ppo import PPOConfig
 from repro.utils.rng import SeedLike, as_generator
@@ -186,16 +188,37 @@ class OfflineTrainer:
     def run_episode(self) -> dict:
         """One training episode: lines 6-24 of Algorithm 1."""
         env = self.env
+        tel = get_telemetry()
+        instrumented = tel.enabled
+        t_episode = time.perf_counter() if instrumented else 0.0
+        env_s = 0.0
         obs = env.reset()
         costs, rewards, times, energies = [], [], [], []
         done = False
         while not done:
             action, log_prob, value = self.agent.act(obs)
-            step = env.step(action)
-            stats = self.agent.observe(
-                obs, action, step.reward, step.observation,
-                step.done, log_prob, value,
-            )
+            if instrumented:
+                t0 = time.perf_counter()
+                step = env.step(action)
+                env_s += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                stats = self.agent.observe(
+                    obs, action, step.reward, step.observation,
+                    step.done, log_prob, value,
+                )
+                if stats is not None:
+                    tel.on_update(
+                        stats,
+                        self.config.algorithm,
+                        wall_s=time.perf_counter() - t0,
+                        episode=self._episode,
+                    )
+            else:
+                step = env.step(action)
+                stats = self.agent.observe(
+                    obs, action, step.reward, step.observation,
+                    step.done, log_prob, value,
+                )
             if stats is not None:
                 self.history.record_update(stats)
             costs.append(step.info["cost"])
@@ -215,6 +238,14 @@ class OfflineTrainer:
             summary["avg_cost"], summary["avg_reward"],
             summary["avg_time_s"], summary["avg_energy"],
         )
+        if instrumented:
+            tel.event(
+                "episode",
+                index=self._episode,
+                wall_s=time.perf_counter() - t_episode,
+                env_s=env_s,
+                **summary,
+            )
         return summary
 
     def train(self, progress_callback=None) -> TrainingHistory:
@@ -269,6 +300,7 @@ class OfflineTrainer:
                     venv.set_rng_states(self._pending_vec_rng)
                     self._pending_vec_rng = None
                 collector = VecRolloutCollector(venv, self.agent, history=self.history)
+                tel = get_telemetry()
                 while self._episode < cfg.n_episodes:
                     self.agent.updater.set_progress(
                         self._episode / max(cfg.n_episodes - 1, 1)
@@ -276,6 +308,12 @@ class OfflineTrainer:
                     summaries = collector.run_episode_batch()
                     prev = self._episode
                     self._episode = prev + n
+                    if tel.enabled:
+                        # Episode records must precede the checkpoint so a
+                        # resume's rewind never drops an already-counted
+                        # episode from the log.
+                        for i, summary in enumerate(summaries):
+                            tel.event("episode", index=prev + i, **summary)
                     if cfg.checkpoint_every > 0 and (
                         prev // cfg.checkpoint_every
                         != self._episode // cfg.checkpoint_every
@@ -356,6 +394,11 @@ class OfflineTrainer:
 
             for i, rng_state in enumerate(self._pending_vec_rng):
                 state[f"rng/venv{i}"] = pack_state_dict(rng_state)
+        tel = get_telemetry()
+        if tel.enabled:
+            # The resume watermark: every event emitted so far is part of
+            # the checkpointed past (state_dict() flushes the sink first).
+            state["obs/seq"] = np.asarray(tel.state_dict()["seq"])
         save_npz_state(path, state)
 
     def resume(self, path: str) -> int:
@@ -412,4 +455,10 @@ class OfflineTrainer:
             else:
                 # train() applies these once the vec env exists.
                 self._pending_vec_rng = streams
+        if "obs/seq" in state:
+            tel = get_telemetry()
+            if tel.enabled:
+                # Discard events the crashed run emitted after its last
+                # checkpoint; the resumed run re-emits them exactly once.
+                tel.rewind(int(np.asarray(state["obs/seq"])))
         return self._episode

@@ -16,6 +16,7 @@ import numpy as np
 from repro.baselines.base import Allocator
 from repro.experiments.metrics import MethodMetrics, collect_metrics
 from repro.experiments.presets import ExperimentPreset, build_system
+from repro.obs import get_telemetry
 from repro.sim.iteration import IterationResult
 from repro.utils.rng import SeedLike, as_generator
 
@@ -68,14 +69,26 @@ class EvaluationRunner:
         n_iterations: Optional[int] = None,
     ) -> EvaluationResult:
         n_iter = int(n_iterations or self.preset.eval_iterations)
+        tel = get_telemetry()
         metrics: Dict[str, MethodMetrics] = {}
         raw: Dict[str, List[IterationResult]] = {}
         for allocator in allocators:
-            results = self.run_one(allocator, n_iter)
+            with tel.span("evaluate." + allocator.name, iterations=n_iter):
+                results = self.run_one(allocator, n_iter)
             raw[allocator.name] = results
-            metrics[allocator.name] = collect_metrics(
+            m = collect_metrics(
                 allocator.name, results, time_unit_s=self.preset.time_unit_s
             )
+            metrics[allocator.name] = m
+            if tel.enabled:
+                tel.on_eval_method(
+                    allocator.name,
+                    preset=self.preset.name,
+                    iterations=n_iter,
+                    avg_cost=m.avg_cost,
+                    avg_time=m.avg_time,
+                    avg_energy=m.avg_energy,
+                )
         return EvaluationResult(
             preset_name=self.preset.name,
             n_iterations=n_iter,

@@ -1,0 +1,96 @@
+"""repro.obs — metrics, tracing and run-manifest observability.
+
+The paper judges the agent on the per-iteration cost
+``T^k + lambda * sum_i E_i^k`` (Eqs. 1-6, 13); this subsystem makes the
+*origin* of that cost visible at runtime without perturbing it:
+
+* :mod:`repro.obs.metrics`   — counters, gauges, streaming histograms;
+* :mod:`repro.obs.trace`     — nestable ``with tel.span(...)`` timing;
+* :mod:`repro.obs.events`    — schema-versioned buffered JSONL sink;
+* :mod:`repro.obs.telemetry` — the facade + process-global instance;
+* :mod:`repro.obs.manifest`  — run provenance (config/seeds/git/versions);
+* :mod:`repro.obs.console`   — the CLI's level-filtered logger;
+* :mod:`repro.obs.summarize` — ``repro telemetry summarize`` rendering.
+
+The default backend is :data:`NULL_TELEMETRY`: every hook is a no-op
+and spans are a shared singleton, so with telemetry off the
+instrumented code paths allocate nothing and the training trajectory
+stays bit-identical.  ``repro.obs`` sits directly above ``repro.utils``
+in the layering; any layer may import it.
+"""
+
+from repro.obs.console import ConsoleLogger, console
+from repro.obs.events import (
+    EVENTS_FILENAME,
+    SCHEMA_VERSION,
+    EventSink,
+    JsonlEventSink,
+    MemoryEventSink,
+    NullEventSink,
+    read_events,
+)
+from repro.obs.manifest import MANIFEST_FILENAME, RunManifest
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, StreamingHistogram
+from repro.obs.summarize import (
+    collector_table,
+    fault_table,
+    load_run,
+    manifest_summary,
+    phase_table,
+    round_table,
+    summarize_run,
+    update_table,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    configure_telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    # console
+    "ConsoleLogger",
+    "console",
+    # events
+    "SCHEMA_VERSION",
+    "EVENTS_FILENAME",
+    "EventSink",
+    "JsonlEventSink",
+    "MemoryEventSink",
+    "NullEventSink",
+    "read_events",
+    # metrics
+    "Counter",
+    "Gauge",
+    "StreamingHistogram",
+    "MetricsRegistry",
+    # tracing
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    # telemetry facade
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "configure_telemetry",
+    "telemetry_session",
+    # manifest
+    "RunManifest",
+    "MANIFEST_FILENAME",
+    # summarize
+    "load_run",
+    "summarize_run",
+    "manifest_summary",
+    "phase_table",
+    "round_table",
+    "update_table",
+    "collector_table",
+    "fault_table",
+]

@@ -1,0 +1,78 @@
+"""Level-filtered console logging for the CLI.
+
+A tiny logger instead of bare ``print`` so output is testable
+(``capsys`` sees it), machine-suppressible (``--quiet`` raises the
+level to ``warning``) and consistent: ``info`` lines stay byte-identical
+to what ``print`` produced, warnings/errors get a prefix, and errors go
+to stderr.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class ConsoleLogger:
+    """Minimal leveled logger writing to stdout/stderr."""
+
+    def __init__(self, level: str = "info"):
+        self._level = self._resolve(level)
+
+    @staticmethod
+    def _resolve(level: str) -> int:
+        try:
+            return LEVELS[str(level).lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; available: {sorted(LEVELS)}"
+            )
+
+    @property
+    def level(self) -> str:
+        for name, value in LEVELS.items():
+            if value == self._level:
+                return name
+        return str(self._level)  # pragma: no cover - custom numeric level
+
+    def set_level(self, level: str) -> None:
+        self._level = self._resolve(level)
+
+    def is_enabled(self, level: str) -> bool:
+        return self._resolve(level) >= self._level
+
+    def log(self, level: str, message: str, stream: Optional[object] = None) -> None:
+        value = self._resolve(level)
+        if value < self._level:
+            return
+        if stream is None:
+            # Resolve at call time so pytest's capsys and stream
+            # redirection both see the output.
+            stream = sys.stderr if value >= LEVELS["error"] else sys.stdout
+        stream.write(message + "\n")
+
+    def always(self, message: str) -> None:
+        """Unfiltered output: the command's *product*, not its chatter.
+
+        Used for results the user explicitly asked for (e.g. a rendered
+        telemetry summary), which ``--quiet`` must not swallow.
+        """
+        sys.stdout.write(message + "\n")
+
+    def debug(self, message: str) -> None:
+        self.log("debug", "debug: " + message)
+
+    def info(self, message: str) -> None:
+        self.log("info", message)
+
+    def warning(self, message: str) -> None:
+        self.log("warning", "warning: " + message)
+
+    def error(self, message: str) -> None:
+        self.log("error", "error: " + message)
+
+
+#: The CLI's shared logger; ``repro --quiet`` raises it to ``warning``.
+console = ConsoleLogger()

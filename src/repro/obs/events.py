@@ -1,0 +1,175 @@
+"""Schema-versioned telemetry event records and their sinks.
+
+Every record is a flat JSON object carrying three bookkeeping fields the
+sink stamps on emission:
+
+* ``schema`` — the event-schema version (:data:`SCHEMA_VERSION`);
+* ``seq``    — a monotonically increasing sequence number, unique per
+  run directory and continued across process restarts;
+* ``type``   — the event kind (``round``, ``span``, ``update``, ...).
+
+The sequence number is the checkpoint/resume watermark: the trainer
+stores the sink's ``seq`` alongside its own state, and on resume
+:meth:`EventSink.rewind` drops every record emitted after the
+checkpoint, so a re-run of the tail of training neither duplicates nor
+loses round records.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Dict, List, Optional
+
+#: Version stamped into every emitted record; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+#: Canonical event-log filename inside a telemetry directory.
+EVENTS_FILENAME = "events.jsonl"
+
+
+class EventSink:
+    """Interface of a telemetry event destination."""
+
+    #: Last assigned sequence number (0 before any emission).
+    seq: int = 0
+
+    def emit(self, type_: str, fields: Dict) -> int:
+        """Stamp and record one event; returns its sequence number."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered records to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        self.flush()
+
+    def rewind(self, watermark: int) -> None:
+        """Drop every record with ``seq > watermark`` (resume support)."""
+        raise NotImplementedError
+
+    def _stamp(self, type_: str, fields: Dict) -> Dict:
+        self.seq += 1
+        record = {"schema": SCHEMA_VERSION, "seq": self.seq, "type": str(type_)}
+        record.update(fields)
+        return record
+
+
+class NullEventSink(EventSink):
+    """Discards everything; the disabled-telemetry backend."""
+
+    def emit(self, type_: str, fields: Dict) -> int:
+        return 0
+
+    def rewind(self, watermark: int) -> None:
+        pass
+
+
+class MemoryEventSink(EventSink):
+    """Keeps records in a list — unit tests and in-process inspection."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+
+    def emit(self, type_: str, fields: Dict) -> int:
+        record = self._stamp(type_, fields)
+        self.records.append(record)
+        return record["seq"]
+
+    def rewind(self, watermark: int) -> None:
+        self.records = [r for r in self.records if r["seq"] <= watermark]
+        self.seq = min(self.seq, int(watermark))
+
+    def of_type(self, type_: str) -> List[Dict]:
+        return [r for r in self.records if r["type"] == type_]
+
+
+class JsonlEventSink(EventSink):
+    """Buffered append-only JSONL file sink.
+
+    Records are buffered and written in batches of ``buffer_records`` to
+    keep the per-event cost at one ``json.dumps``.  Opening an existing
+    log continues its sequence numbering, so a resumed run appends to
+    the same file (after the trainer rewinds past-checkpoint records).
+    """
+
+    def __init__(self, path: str, buffer_records: int = 128):
+        if buffer_records <= 0:
+            raise ValueError("buffer_records must be positive")
+        self.path = str(path)
+        self.buffer_records = int(buffer_records)
+        self._buffer: List[str] = []
+        self._closed = False
+        self.seq = 0
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self.path):
+            for record in iter_events(self.path):
+                self.seq = max(self.seq, int(record.get("seq", 0)))
+
+    def emit(self, type_: str, fields: Dict) -> int:
+        if self._closed:
+            raise RuntimeError("emit() on a closed JsonlEventSink")
+        record = self._stamp(type_, fields)
+        self._buffer.append(json.dumps(record, separators=(",", ":")))
+        if len(self._buffer) >= self.buffer_records:
+            self.flush()
+        return record["seq"]
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        with io.open(self.path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(self._buffer) + "\n")
+        self._buffer = []
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    def rewind(self, watermark: int) -> None:
+        """Truncate the log to records with ``seq <= watermark``.
+
+        Called on resume before any new event is emitted, so everything
+        the crashed run wrote past its last checkpoint is discarded and
+        the re-run's records take their place exactly once.
+        """
+        self.flush()
+        watermark = int(watermark)
+        if not os.path.exists(self.path):
+            self.seq = watermark
+            return
+        kept = [r for r in iter_events(self.path) if r.get("seq", 0) <= watermark]
+        with io.open(self.path, "w", encoding="utf-8") as fh:
+            for record in kept:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.seq = watermark
+
+
+def iter_events(path: str):
+    """Yield records from a JSONL event log, skipping torn tail lines.
+
+    A crash can leave a partially written final line; it is ignored
+    rather than poisoning the whole log.
+    """
+    with io.open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def read_events(path: str, type_: Optional[str] = None) -> List[Dict]:
+    """Load an event log (optionally filtered by event type)."""
+    events = list(iter_events(path))
+    if type_ is not None:
+        events = [e for e in events if e.get("type") == type_]
+    return events

@@ -1,0 +1,130 @@
+"""Run manifests: what exactly produced a telemetry directory.
+
+A :class:`RunManifest` pins down everything needed to re-run or audit a
+training/evaluation run: the command and argv, the resolved
+configuration, seeds, the git commit of the working tree, interpreter
+and platform identity, and the versions of the packages the simulator
+depends on.  It is written once, at run start, next to the event log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs.events import SCHEMA_VERSION
+
+#: Canonical manifest filename inside a telemetry directory.
+MANIFEST_FILENAME = "manifest.json"
+
+
+def _git_sha() -> Optional[str]:
+    """The HEAD commit of the current working tree, if discoverable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _package_versions() -> Dict[str, str]:
+    versions: Dict[str, str] = {}
+    try:
+        import numpy
+
+        versions["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        pass
+    try:
+        import repro
+
+        versions["repro"] = repro.__version__
+    except Exception:
+        pass
+    return versions
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of config objects to JSON-safe values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return repr(value)
+
+
+@dataclass
+class RunManifest:
+    """Immutable record of a run's provenance."""
+
+    schema: int = SCHEMA_VERSION
+    command: str = ""
+    argv: list = field(default_factory=list)
+    created_unix: float = 0.0
+    python: str = ""
+    platform: str = ""
+    git_sha: Optional[str] = None
+    packages: Dict[str, str] = field(default_factory=dict)
+    seed: Optional[int] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        command: str = "",
+        seed: Optional[int] = None,
+        config: Any = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> "RunManifest":
+        """Gather the environment-dependent fields at call time."""
+        return cls(
+            command=str(command),
+            argv=list(sys.argv),
+            created_unix=time.time(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            git_sha=_git_sha(),
+            packages=_package_versions(),
+            seed=None if seed is None else int(seed),
+            config=_jsonable(config) if config is not None else {},
+            extra=_jsonable(extra) if extra else {},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def save(self, path: str) -> None:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

@@ -1,0 +1,164 @@
+"""In-process metrics: counters, gauges and streaming histograms.
+
+The histogram reuses the Welford/Chan streaming moments of
+:mod:`repro.utils.stats` for mean/variance and keeps a bounded,
+deterministically decimated sample for quantiles — no randomness, no
+unbounded memory, O(1) amortized per observation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.stats import RunningStat
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"count": float(self.value)}
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class StreamingHistogram:
+    """Streaming moments plus deterministic-reservoir quantiles.
+
+    Exact ``n``/``mean``/``std``/``min``/``max`` come from the running
+    moments; quantiles come from a capped sample that, once full, is
+    halved by keeping every other element and doubling the keep stride —
+    a deterministic decimation that preserves temporal coverage of the
+    whole stream without any RNG draw.
+    """
+
+    __slots__ = ("_stat", "_samples", "_stride", "_i", "_min", "_max", "max_samples")
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
+        self.max_samples = int(max_samples)
+        self._stat = RunningStat()
+        self._samples: List[float] = []
+        self._stride = 1
+        self._i = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        self._stat.push(x)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+        if self._i % self._stride == 0:
+            self._samples.append(x)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self._i += 1
+
+    @property
+    def n(self) -> int:
+        return self._stat.n
+
+    @property
+    def mean(self) -> float:
+        return self._stat.mean
+
+    @property
+    def std(self) -> float:
+        return self._stat.std
+
+    @property
+    def min(self) -> float:
+        return self._min if self._stat.n else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self._stat.n else float("nan")
+
+    def quantile(self, q) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.quantile(np.asarray(self._samples, dtype=np.float64), q))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(self, name: str, max_samples: int = 4096) -> StreamingHistogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = StreamingHistogram(max_samples)
+            return h
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Nested ``{kind: {name: summary}}`` view of every instrument."""
+        return {
+            "counters": {k: v.snapshot() for k, v in self._counters.items()},
+            "gauges": {k: v.snapshot() for k, v in self._gauges.items()},
+            "histograms": {k: v.snapshot() for k, v in self._histograms.items()},
+        }
+
+    def histogram_names(self, prefix: Optional[str] = None) -> List[str]:
+        names = sorted(self._histograms)
+        if prefix is not None:
+            names = [n for n in names if n.startswith(prefix)]
+        return names

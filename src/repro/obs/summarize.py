@@ -1,0 +1,243 @@
+"""Offline rendering of a telemetry directory.
+
+``repro telemetry summarize <dir>`` loads ``events.jsonl`` +
+``manifest.json`` and reconstructs, as plain-text tables
+(:mod:`repro.utils.tables`):
+
+* per-phase timing percentiles from the span events (plus DRL updates);
+* the per-round cost decomposition — per-device max/mean
+  ``t_cmp``/``t_com``/energy and straggler identity — from the round
+  events;
+* DRL update diagnostics, collector throughput and fault counts.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter as TallyCounter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.events import EVENTS_FILENAME, read_events
+from repro.obs.manifest import MANIFEST_FILENAME, RunManifest
+from repro.utils.tables import format_table
+
+
+def load_run(directory: str) -> Tuple[List[Dict], Optional[RunManifest]]:
+    """Load a telemetry directory's event log and manifest."""
+    events_path = os.path.join(directory, EVENTS_FILENAME)
+    if not os.path.exists(events_path):
+        raise FileNotFoundError(f"no {EVENTS_FILENAME} in {directory!r}")
+    events = read_events(events_path)
+    manifest_path = os.path.join(directory, MANIFEST_FILENAME)
+    manifest = RunManifest.load(manifest_path) if os.path.exists(manifest_path) else None
+    return events, manifest
+
+
+def _of_type(events: List[Dict], type_: str) -> List[Dict]:
+    return [e for e in events if e.get("type") == type_]
+
+
+def manifest_summary(manifest: Optional[RunManifest]) -> Optional[str]:
+    if manifest is None:
+        return None
+    lines = ["== Run manifest =="]
+    lines.append(f"command : {manifest.command or '-'}")
+    lines.append(f"seed    : {manifest.seed if manifest.seed is not None else '-'}")
+    lines.append(f"python  : {manifest.python}  ({manifest.platform})")
+    sha = manifest.git_sha or "-"
+    lines.append(f"git     : {sha[:12] if manifest.git_sha else '-'}")
+    pkgs = ", ".join(f"{k} {v}" for k, v in sorted(manifest.packages.items()))
+    lines.append(f"packages: {pkgs or '-'}")
+    return "\n".join(lines)
+
+
+def phase_table(events: List[Dict]) -> Optional[str]:
+    """Timing percentiles per phase (spans + timed DRL updates)."""
+    samples: Dict[str, List[float]] = {}
+    for e in _of_type(events, "span"):
+        samples.setdefault(e["name"], []).append(float(e["wall_s"]))
+    for e in _of_type(events, "update"):
+        if "wall_s" in e and not e.get("skipped", False):
+            name = "update." + str(e.get("algorithm", "?"))
+            samples.setdefault(name, []).append(float(e["wall_s"]))
+    if not samples:
+        return None
+    rows = []
+    for name in sorted(samples):
+        arr = np.asarray(samples[name], dtype=np.float64)
+        rows.append(
+            [
+                name,
+                arr.size,
+                float(arr.sum()),
+                float(arr.mean()),
+                float(np.quantile(arr, 0.5)),
+                float(np.quantile(arr, 0.9)),
+                float(arr.max()),
+            ]
+        )
+    return format_table(
+        ["phase", "count", "total s", "mean s", "p50 s", "p90 s", "max s"],
+        rows,
+        title="== Phase timing (wall-clock) ==",
+    )
+
+
+def round_table(events: List[Dict]) -> Optional[str]:
+    """Per-device decomposition of the Eq. (1)-(6) round cost terms."""
+    rounds = _of_type(events, "round")
+    rounds = [r for r in rounds if "t_cmp_s" in r]
+    if not rounds:
+        return None
+    # A run has one fleet size; tolerate mixed logs by keeping the
+    # majority size (e.g. a directory reused across presets).
+    sizes = TallyCounter(len(r["t_cmp_s"]) for r in rounds)
+    n_devices = sizes.most_common(1)[0][0]
+    rounds = [r for r in rounds if len(r["t_cmp_s"]) == n_devices]
+    t_cmp = np.asarray([r["t_cmp_s"] for r in rounds], dtype=np.float64)
+    t_com = np.asarray([r["t_com_s"] for r in rounds], dtype=np.float64)
+    energy = np.asarray([r["energy_j"] for r in rounds], dtype=np.float64)
+    freq = np.asarray([r["freq_ghz"] for r in rounds], dtype=np.float64)
+    stragglers = TallyCounter(int(r["straggler"]) for r in rounds)
+    rows = []
+    for i in range(n_devices):
+        rows.append(
+            [
+                i,
+                float(freq[:, i].mean()),
+                float(t_cmp[:, i].mean()),
+                float(t_cmp[:, i].max()),
+                float(t_com[:, i].mean()),
+                float(t_com[:, i].max()),
+                float(energy[:, i].mean()),
+                float(energy[:, i].max()),
+                stragglers.get(i, 0),
+            ]
+        )
+    table = format_table(
+        [
+            "device",
+            "mean dGHz",
+            "mean t_cmp",
+            "max t_cmp",
+            "mean t_com",
+            "max t_com",
+            "mean E",
+            "max E",
+            "straggler",
+        ],
+        rows,
+        title=f"== Per-device round cost decomposition ({len(rounds)} rounds) ==",
+    )
+    costs = np.asarray([r["cost"] for r in rounds], dtype=np.float64)
+    t_iter = np.asarray([r["t_iter_s"] for r in rounds], dtype=np.float64)
+    note = (
+        f"rounds: {len(rounds)}  mean cost {costs.mean():.4g}  "
+        f"mean T^k {t_iter.mean():.4g}s  "
+        f"mean round energy {energy.sum(axis=1).mean():.4g}J"
+    )
+    return table + "\n" + note
+
+
+def update_table(events: List[Dict]) -> Optional[str]:
+    updates = [e for e in _of_type(events, "update") if not e.get("skipped", False)]
+    if not updates:
+        return None
+    by_algo: Dict[str, List[Dict]] = {}
+    for e in updates:
+        by_algo.setdefault(str(e.get("algorithm", "?")), []).append(e)
+    rows = []
+    for algo in sorted(by_algo):
+        batch = by_algo[algo]
+
+        def mean(key: str) -> float:
+            return float(np.mean([float(e.get(key, 0.0)) for e in batch]))
+
+        rows.append(
+            [
+                algo,
+                len(batch),
+                mean("policy_loss"),
+                mean("value_loss"),
+                mean("approx_kl"),
+                mean("clip_fraction"),
+                mean("grad_norm_actor"),
+                mean("grad_norm_critic"),
+            ]
+        )
+    skipped = sum(1 for e in _of_type(events, "update") if e.get("skipped", False))
+    table = format_table(
+        [
+            "algorithm",
+            "updates",
+            "policy loss",
+            "value loss",
+            "approx KL",
+            "clip frac",
+            "|g| actor",
+            "|g| critic",
+        ],
+        rows,
+        title="== DRL update diagnostics (means) ==",
+    )
+    if skipped:
+        table += f"\nskipped (non-finite, rolled back): {skipped}"
+    return table
+
+
+def collector_table(events: List[Dict]) -> Optional[str]:
+    batches = _of_type(events, "collector")
+    if not batches:
+        return None
+    rates = np.asarray(
+        [float(e.get("steps_per_sec", 0.0)) for e in batches], dtype=np.float64
+    )
+    util = np.asarray(
+        [float(e.get("worker_utilization", 1.0)) for e in batches], dtype=np.float64
+    )
+    steps = int(sum(int(e.get("steps", 0)) for e in batches))
+    rows = [
+        [
+            len(batches),
+            steps,
+            float(rates.mean()),
+            float(rates.max()),
+            float(util.mean()),
+        ]
+    ]
+    return format_table(
+        ["batches", "env steps", "mean steps/s", "max steps/s", "mean util"],
+        rows,
+        title="== Rollout collector throughput ==",
+    )
+
+
+def fault_table(events: List[Dict]) -> Optional[str]:
+    tallies: TallyCounter = TallyCounter()
+    for e in _of_type(events, "fault"):
+        tallies[str(e.get("kind", "?"))] += 1
+    for _ in _of_type(events, "worker_crash"):
+        tallies["worker_crash"] += 1
+    if not tallies:
+        return None
+    rows = [[kind, count] for kind, count in sorted(tallies.items())]
+    return format_table(["fault kind", "events"], rows, title="== Fault events ==")
+
+
+def summarize_run(directory: str) -> str:
+    """The full plain-text report for one telemetry directory."""
+    events, manifest = load_run(directory)
+    sections = [
+        manifest_summary(manifest),
+        phase_table(events),
+        round_table(events),
+        update_table(events),
+        collector_table(events),
+        fault_table(events),
+    ]
+    rendered = [s for s in sections if s]
+    if not rendered:
+        return f"no telemetry events found in {directory!r}"
+    return "\n\n".join(rendered)

@@ -1,0 +1,259 @@
+"""The telemetry facade and its process-wide current instance.
+
+Instrumented code calls :func:`get_telemetry` and, when
+``tel.enabled`` is true, reports through the high-level hooks
+(``on_round``, ``on_update``, ``on_collector_batch``, ``on_fault``,
+``on_worker_crash``) or times phases with ``tel.span(...)``.  The
+default instance is :data:`NULL_TELEMETRY`, whose hooks are no-ops and
+whose spans are a shared singleton — with telemetry disabled the
+instrumentation costs one attribute check and allocates nothing, so the
+default training trajectory is bit-identical to an uninstrumented
+build.
+
+Enabling telemetry never perturbs the simulation either: hooks only
+*read* results and never touch an RNG stream, so an enabled run still
+produces the same ``TrainingHistory`` — it just also leaves an event
+log behind.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.obs.events import (
+    EVENTS_FILENAME,
+    EventSink,
+    JsonlEventSink,
+    MemoryEventSink,
+    NullEventSink,
+)
+from repro.obs.manifest import MANIFEST_FILENAME, RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+def _device_list(values: np.ndarray) -> list:
+    """Compact per-device float list for JSON (6 significant digits)."""
+    return [float(f"{float(v):.6g}") for v in np.asarray(values).ravel()]
+
+
+class Telemetry:
+    """Live telemetry: a sink, a metrics registry and a tracer."""
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.sink = sink if sink is not None else MemoryEventSink()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(self.sink, self.registry)
+
+    # -- generic ------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, type_: str, **fields) -> int:
+        return self.sink.emit(type_, fields)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+    # -- checkpoint/resume --------------------------------------------------
+    def state_dict(self) -> Dict[str, int]:
+        """The resume watermark; flushes so the log is durable first."""
+        self.sink.flush()
+        return {"seq": int(self.sink.seq)}
+
+    def rewind(self, watermark: int) -> None:
+        """Drop events emitted after ``watermark`` (crash recovery)."""
+        self.sink.rewind(int(watermark))
+
+    # -- domain hooks -------------------------------------------------------
+    def on_round(self, result, iteration: int, clock: float) -> None:
+        """One accepted FL round: the paper's per-device cost decomposition.
+
+        ``result`` is a :class:`repro.sim.iteration.IterationResult`;
+        the event carries per-device ``t_cmp``/``t_com``/energy, the
+        chosen frequencies delta and the straggler (round-gating device).
+        """
+        straggler = int(np.argmax(result.device_times))
+        self.sink.emit(
+            "round",
+            {
+                "iteration": int(iteration),
+                "clock": float(clock),
+                "cost": float(result.cost),
+                "reward": float(result.reward),
+                "t_iter_s": float(result.iteration_time),
+                "straggler": straggler,
+                "n_participants": int(result.n_participants),
+                "failed_attempts": int(result.failed_attempts),
+                "freq_ghz": _device_list(result.frequencies),
+                "t_cmp_s": _device_list(result.compute_times),
+                "t_com_s": _device_list(result.upload_times),
+                "energy_j": _device_list(result.energies),
+                "idle_s": _device_list(result.idle_times),
+            },
+        )
+        reg = self.registry
+        reg.counter("rounds").inc()
+        reg.histogram("round.t_iter_s").observe(result.iteration_time)
+        reg.histogram("round.cost").observe(result.cost)
+        reg.histogram("round.energy_j").observe(float(np.sum(result.energies)))
+
+    def on_update(
+        self, stats, algorithm: str, wall_s: Optional[float] = None, **fields
+    ) -> None:
+        """One DRL update batch (:class:`repro.rl.ppo.UpdateStats`)."""
+        record: Dict[str, Any] = {
+            "algorithm": str(algorithm),
+            "policy_loss": float(stats.policy_loss),
+            "value_loss": float(stats.value_loss),
+            "entropy": float(stats.entropy),
+            "approx_kl": float(stats.approx_kl),
+            "clip_fraction": float(stats.clip_fraction),
+            "grad_norm_actor": float(stats.grad_norm_actor),
+            "grad_norm_critic": float(stats.grad_norm_critic),
+            "n_minibatches": int(stats.n_minibatches),
+            "skipped": bool(getattr(stats, "skipped", False)),
+        }
+        if wall_s is not None:
+            record["wall_s"] = float(wall_s)
+        record.update(fields)
+        self.sink.emit("update", record)
+        reg = self.registry
+        reg.counter("updates").inc()
+        if record["skipped"]:
+            reg.counter("updates.skipped").inc()
+        elif wall_s is not None:
+            reg.histogram("span.update").observe(wall_s)
+
+    def on_collector_batch(self, **fields) -> None:
+        """One vectorized episode batch's throughput numbers."""
+        self.sink.emit("collector", fields)
+        if "steps_per_sec" in fields:
+            self.registry.histogram("collector.steps_per_sec").observe(
+                fields["steps_per_sec"]
+            )
+
+    def on_fault(self, kind: str, **fields) -> None:
+        """A fault-injection occurrence (dropout/straggler/retry/...)."""
+        fields["kind"] = str(kind)
+        self.sink.emit("fault", fields)
+        self.registry.counter("faults." + kind).inc()
+
+    def on_worker_crash(self, **fields) -> None:
+        """A vec-env subprocess worker died or stopped responding."""
+        self.sink.emit("worker_crash", fields)
+        self.registry.counter("worker_crashes").inc()
+
+    def on_eval_method(self, name: str, **fields) -> None:
+        """One allocator's aggregate evaluation metrics."""
+        fields["method"] = str(name)
+        self.sink.emit("eval_method", fields)
+
+
+class NullTelemetry(Telemetry):
+    """The disabled backend: every hook is a pass, spans are shared."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sink=NullEventSink())
+
+    def span(self, name: str, **attrs):
+        return NULL_SPAN
+
+    def event(self, type_: str, **fields) -> int:
+        return 0
+
+    def state_dict(self) -> Dict[str, int]:
+        return {"seq": 0}
+
+    def rewind(self, watermark: int) -> None:
+        pass
+
+    def on_round(self, result, iteration: int, clock: float) -> None:
+        pass
+
+    def on_update(self, stats, algorithm, wall_s=None, **fields) -> None:
+        pass
+
+    def on_collector_batch(self, **fields) -> None:
+        pass
+
+    def on_fault(self, kind: str, **fields) -> None:
+        pass
+
+    def on_worker_crash(self, **fields) -> None:
+        pass
+
+    def on_eval_method(self, name: str, **fields) -> None:
+        pass
+
+
+#: The process-wide disabled backend (shared, stateless).
+NULL_TELEMETRY = NullTelemetry()
+
+_CURRENT: Telemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide current telemetry (``NULL_TELEMETRY`` when off)."""
+    return _CURRENT
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` globally (``None`` = disable); returns it."""
+    global _CURRENT
+    _CURRENT = telemetry if telemetry is not None else NULL_TELEMETRY
+    return _CURRENT
+
+
+def configure_telemetry(
+    directory: str,
+    command: str = "",
+    seed: Optional[int] = None,
+    config: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+    write_manifest: bool = True,
+    buffer_records: int = 128,
+) -> Telemetry:
+    """Create a JSONL-backed telemetry in ``directory`` and install it.
+
+    Writes ``manifest.json`` (unless the directory already has one from
+    the run being resumed) and points the event sink at
+    ``events.jsonl``, continuing an existing log's sequence numbers.
+    """
+    os.makedirs(directory, exist_ok=True)
+    sink = JsonlEventSink(
+        os.path.join(directory, EVENTS_FILENAME), buffer_records=buffer_records
+    )
+    telemetry = Telemetry(sink=sink)
+    manifest_path = os.path.join(directory, MANIFEST_FILENAME)
+    if write_manifest and not os.path.exists(manifest_path):
+        RunManifest.collect(
+            command=command, seed=seed, config=config, extra=extra
+        ).save(manifest_path)
+    return set_telemetry(telemetry)
+
+
+@contextmanager
+def telemetry_session(directory: str, **kwargs):
+    """``configure_telemetry`` scoped to a ``with`` block."""
+    telemetry = configure_telemetry(directory, **kwargs)
+    try:
+        yield telemetry
+    finally:
+        telemetry.close()
+        set_telemetry(NULL_TELEMETRY)

@@ -1,0 +1,98 @@
+"""Span-based tracing with monotonic wall/CPU timers.
+
+``with tracer.span("ppo.update"):`` times a phase with
+``time.perf_counter`` (wall) and ``time.process_time`` (CPU), supports
+nesting (children record their parent span and depth), emits one
+``span`` event per exit and feeds a ``span.<name>`` streaming histogram
+so percentiles are available in-process without re-reading the log.
+
+The disabled path goes through :data:`NULL_SPAN`, a module-level
+singleton whose ``__enter__``/``__exit__`` do nothing — entering a span
+with telemetry off allocates nothing and takes two no-op calls.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.obs.events import EventSink
+from repro.obs.metrics import MetricsRegistry
+
+
+class _NullSpan:
+    """Reusable no-op span for the disabled-telemetry path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The one shared no-op span instance (allocation-free disabled path).
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed phase; emitted to the sink when the block exits."""
+
+    __slots__ = ("name", "attrs", "_tracer", "_t_wall", "_t_cpu", "parent", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict] = None):
+        self.name = str(name)
+        self.attrs = attrs
+        self._tracer = tracer
+        self._t_wall = 0.0
+        self._t_cpu = 0.0
+        self.parent: Optional[str] = None
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack
+        self.parent = stack[-1].name if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._t_wall = time.perf_counter()
+        self._t_cpu = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall_s = time.perf_counter() - self._t_wall
+        cpu_s = time.process_time() - self._t_cpu
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(self, wall_s, cpu_s, error=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Creates spans and routes their timings to a sink and registry."""
+
+    def __init__(self, sink: EventSink, registry: Optional[MetricsRegistry] = None):
+        self.sink = sink
+        self.registry = registry
+        self._stack: list = []
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs or None)
+
+    def _record(self, span: Span, wall_s: float, cpu_s: float, error: bool) -> None:
+        fields: Dict = {
+            "name": span.name,
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "depth": span.depth,
+        }
+        if span.parent is not None:
+            fields["parent"] = span.parent
+        if span.attrs:
+            fields.update(span.attrs)
+        if error:
+            fields["error"] = True
+        self.sink.emit("span", fields)
+        if self.registry is not None:
+            self.registry.histogram("span." + span.name).observe(wall_s)

@@ -14,10 +14,12 @@ the same order, as the serial ``OfflineTrainer.run_episode`` loop — a
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import get_telemetry
 from repro.parallel.vec_env import VecEnv
 
 
@@ -38,6 +40,11 @@ class VecRolloutCollector:
         """
         venv = self.vec_env
         n = venv.n_envs
+        tel = get_telemetry()
+        instrumented = tel.enabled
+        t_batch = time.perf_counter() if instrumented else 0.0
+        policy_s = env_s = 0.0
+        total_steps = active_steps = batch_iters = 0
         obs = venv.reset()
         active = np.ones(n, dtype=bool)
         costs: List[List[float]] = [[] for _ in range(n)]
@@ -46,16 +53,35 @@ class VecRolloutCollector:
         energies: List[List[float]] = [[] for _ in range(n)]
         while active.any():
             idx = np.flatnonzero(active)
-            actions, log_probs, values = self.agent.act_batch(obs[idx])
+            if instrumented:
+                t0 = time.perf_counter()
+                actions, log_probs, values = self.agent.act_batch(obs[idx])
+                policy_s += time.perf_counter() - t0
+            else:
+                actions, log_probs, values = self.agent.act_batch(obs[idx])
             full_actions = np.zeros((n, venv.act_dim), dtype=np.float64)
             full_actions[idx] = actions
-            next_obs, rewards, dones, infos = venv.step(full_actions, active)
+            if instrumented:
+                t0 = time.perf_counter()
+                next_obs, rewards, dones, infos = venv.step(full_actions, active)
+                env_s += time.perf_counter() - t0
+                total_steps += int(idx.size)
+                active_steps += int(idx.size)
+                batch_iters += 1
+            else:
+                next_obs, rewards, dones, infos = venv.step(full_actions, active)
             stats = self.agent.observe_batch(
                 idx, obs[idx], actions, rewards[idx], next_obs[idx],
                 dones[idx], log_probs, values,
             )
-            if stats is not None and self.history is not None:
-                self.history.record_update(stats)
+            if stats is not None:
+                if self.history is not None:
+                    self.history.record_update(stats)
+                if instrumented:
+                    tel.on_update(
+                        stats,
+                        getattr(self.agent.config, "algorithm", "ppo"),
+                    )
             for i in idx:
                 info = infos[i]
                 costs[i].append(info["cost"])
@@ -79,4 +105,20 @@ class VecRolloutCollector:
                     summary["avg_time_s"], summary["avg_energy"],
                 )
             summaries.append(summary)
+        if instrumented:
+            wall_s = time.perf_counter() - t_batch
+            tel.on_collector_batch(
+                n_envs=n,
+                workers=getattr(venv, "n_workers", 0),
+                steps=total_steps,
+                wall_s=wall_s,
+                policy_s=policy_s,
+                env_s=env_s,
+                steps_per_sec=total_steps / wall_s if wall_s > 0 else 0.0,
+                # Fraction of batch slots occupied by a still-active env;
+                # 1.0 means no env ever idled waiting for stragglers.
+                worker_utilization=(
+                    active_steps / (n * batch_iters) if batch_iters else 0.0
+                ),
+            )
         return summaries

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import get_telemetry
 from repro.parallel.spec import EnvSpec
 
 
@@ -243,6 +244,27 @@ class SubprocVecEnv(VecEnv):
     def n_workers(self) -> int:
         return len(self._procs)
 
+    def _crash(self, w: int, reason: str, message: str) -> WorkerCrashError:
+        """Build a :class:`WorkerCrashError`, emitting a telemetry event.
+
+        The structured ``worker_crash`` record (worker index, pid, exit
+        code, env assignment, reason) makes a degraded run diagnosable
+        post-hoc even when the raised exception itself is swallowed by a
+        retry layer further up the stack.
+        """
+        tel = get_telemetry()
+        if tel.enabled:
+            proc = self._procs[w]
+            tel.on_worker_crash(
+                worker=w,
+                pid=proc.pid,
+                exitcode=proc.exitcode,
+                envs=list(self._chunks[w]),
+                reason=reason,
+                message=message.splitlines()[0] if message else "",
+            )
+        return WorkerCrashError(message)
+
     def _recv(self, w: int):
         """Receive one message from worker ``w``; crash-aware.
 
@@ -255,24 +277,32 @@ class SubprocVecEnv(VecEnv):
         try:
             while not conn.poll(0.05):
                 if not proc.is_alive() and not conn.poll(0.0):
-                    raise WorkerCrashError(
+                    raise self._crash(
+                        w,
+                        "died",
                         f"vec-env worker {w} (pid {proc.pid}, envs "
-                        f"{self._chunks[w]}) died with exit code {proc.exitcode}"
+                        f"{self._chunks[w]}) died with exit code {proc.exitcode}",
                     )
                 if time.monotonic() > deadline:
-                    raise WorkerCrashError(
+                    raise self._crash(
+                        w,
+                        "unresponsive",
                         f"vec-env worker {w} (pid {proc.pid}) unresponsive for "
-                        f"{self.timeout:.0f}s"
+                        f"{self.timeout:.0f}s",
                     )
             tag, payload = conn.recv()
         except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
             # A SIGKILLed worker shows up as a reset/closed pipe.
-            raise WorkerCrashError(
+            raise self._crash(
+                w,
+                "pipe_closed",
                 f"vec-env worker {w} (pid {proc.pid}) closed its pipe "
-                f"unexpectedly (exit code {proc.exitcode})"
+                f"unexpectedly (exit code {proc.exitcode})",
             ) from None
         if tag == "error":
-            raise WorkerCrashError(f"vec-env worker {w} raised:\n{payload}")
+            raise self._crash(
+                w, "remote_exception", f"vec-env worker {w} raised:\n{payload}"
+            )
         return payload
 
     def _send(self, w: int, cmd: str, payload=None) -> None:
@@ -280,9 +310,11 @@ class SubprocVecEnv(VecEnv):
             self._conns[w].send((cmd, payload))
         except (BrokenPipeError, OSError) as exc:
             proc = self._procs[w]
-            raise WorkerCrashError(
+            raise self._crash(
+                w,
+                "pipe_broken",
                 f"vec-env worker {w} (pid {proc.pid}) pipe is broken "
-                f"(exit code {proc.exitcode})"
+                f"(exit code {proc.exitcode})",
             ) from exc
 
     def _broadcast(self, cmd: str, payloads=None):

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.devices.fleet import DeviceFleet
 from repro.faults import FaultConfig, FaultSchedule, RoundFailedError
+from repro.obs import get_telemetry
 from repro.sim.cost import CostModel
 from repro.sim.iteration import IterationResult, simulate_iteration
 from repro.utils.rng import SeedLike, as_generator
@@ -206,6 +207,9 @@ class FLSystem:
         self.clock = result.end_time
         self.iteration += 1
         self.history.append(result)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_round(result, iteration=self.iteration - 1, clock=self.clock)
         # Track the freshest Eq. (3) observation per device: devices that
         # sat out keep their previous estimate (the server saw nothing new).
         observed = result.avg_bandwidths
@@ -229,6 +233,7 @@ class FLSystem:
                 raise ValueError(f"participants mask must have shape ({n},)")
             if not base.any():
                 raise ValueError("at least one device must participate")
+        tel = get_telemetry()
         failed = 0
         while True:
             rf = (
@@ -237,6 +242,8 @@ class FLSystem:
                 else None
             )
             attempt_mask = base & ~rf.dropped if rf is not None else base
+            if tel.enabled and rf is not None and rf.active:
+                self._emit_fault_events(tel, rf, base, attempt_mask, failed)
             if attempt_mask.any():
                 result = simulate_iteration(
                     self.fleet,
@@ -259,12 +266,66 @@ class FLSystem:
             self.failed_history.append(result)
             self.clock = result.end_time
             failed += 1
+            if tel.enabled:
+                tel.on_fault(
+                    "quorum_miss",
+                    iteration=self.iteration,
+                    attempt=failed - 1,
+                    n_participants=int(result.n_participants),
+                    quorum=int(cfg.min_quorum),
+                    wasted_s=float(result.iteration_time),
+                )
             if failed > cfg.max_round_retries:
+                if tel.enabled:
+                    tel.on_fault(
+                        "round_failed",
+                        iteration=self.iteration,
+                        attempts=failed,
+                        quorum=int(cfg.min_quorum),
+                    )
                 raise RoundFailedError(
                     f"round {self.iteration} failed {failed} consecutive attempts "
                     f"(quorum {cfg.min_quorum} of {n} devices); raise "
                     f"max_round_retries or lower the fault rate"
                 )
+
+    def _emit_fault_events(self, tel, rf, base, attempt_mask, attempt: int) -> None:
+        """Structured events for this attempt's realized faults.
+
+        Emitted before the attempt is simulated, so degraded runs that
+        die mid-round are still diagnosable post-hoc from the log.
+        """
+        it = self.iteration
+        dropped = np.flatnonzero(base & rf.dropped)
+        if dropped.size:
+            tel.on_fault(
+                "dropout",
+                iteration=it,
+                attempt=attempt,
+                devices=[int(i) for i in dropped],
+            )
+        stragglers = np.flatnonzero(attempt_mask & (rf.slowdown != 1.0))
+        if stragglers.size:
+            tel.on_fault(
+                "straggler",
+                iteration=it,
+                attempt=attempt,
+                devices=[int(i) for i in stragglers],
+                slowdowns=[round(float(rf.slowdown[i]), 4) for i in stragglers],
+            )
+        retrying = np.flatnonzero(attempt_mask & (rf.upload_failures > 0))
+        if retrying.size:
+            tel.on_fault(
+                "retry",
+                iteration=it,
+                attempt=attempt,
+                devices=[int(i) for i in retrying],
+                failures=[int(rf.upload_failures[i]) for i in retrying],
+                backoff_s=[
+                    round(float(np.sum(rf.backoffs[: rf.upload_failures[i]])), 4)
+                    for i in retrying
+                ],
+            )
 
     def _empty_round(self, wait_s: float) -> IterationResult:
         """A round attempt in which no device even started."""

@@ -1,9 +1,22 @@
 """Tests for repro.cli — the command-line interface."""
 
+import json
+import os
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import NULL_TELEMETRY, get_telemetry, set_telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_telemetry():
+    yield
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.close()
+    set_telemetry(NULL_TELEMETRY)
 
 
 class TestParser:
@@ -95,6 +108,90 @@ class TestTrainAndDeploy:
             "train", "--episodes", "4", "--algorithm", "a2c", "--out", ckpt,
         ])
         assert rc == 0
+
+
+class TestTelemetryFlags:
+    def test_train_writes_telemetry_directory(self, tmp_path, capsys):
+        tel_dir = str(tmp_path / "tel")
+        rc = main([
+            "train", "--episodes", "2", "--seed", "0",
+            "--out", str(tmp_path / "agent.npz"),
+            "--telemetry-dir", tel_dir,
+        ])
+        assert rc == 0
+        assert os.path.exists(os.path.join(tel_dir, "events.jsonl"))
+        with open(os.path.join(tel_dir, "manifest.json"), encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        assert manifest["command"] == "train"
+        assert manifest["seed"] == 0
+        assert manifest["config"]["preset"]["name"] == "testbed"
+        assert "telemetry written to" in capsys.readouterr().out
+        # The CLI must uninstall its telemetry on the way out.
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_no_telemetry_overrides_dir(self, tmp_path):
+        tel_dir = str(tmp_path / "tel")
+        rc = main([
+            "train", "--episodes", "2", "--out", str(tmp_path / "a.npz"),
+            "--telemetry-dir", tel_dir, "--no-telemetry",
+        ])
+        assert rc == 0
+        assert not os.path.exists(tel_dir)
+
+    def test_evaluate_records_eval_events(self, tmp_path):
+        from repro.obs import read_events
+
+        tel_dir = str(tmp_path / "tel")
+        rc = main([
+            "evaluate", "--allocators", "heuristic", "--iters", "3",
+            "--telemetry-dir", tel_dir,
+        ])
+        assert rc == 0
+        events = read_events(os.path.join(tel_dir, "events.jsonl"))
+        assert any(e["type"] == "eval_method" for e in events)
+        assert any(e["type"] == "round" for e in events)
+
+    def test_summarize_renders_tables(self, tmp_path, capsys):
+        tel_dir = str(tmp_path / "tel")
+        main([
+            "train", "--episodes", "2", "--seed", "0",
+            "--out", str(tmp_path / "a.npz"), "--telemetry-dir", tel_dir,
+        ])
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", tel_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Per-device round cost decomposition" in out
+        assert "Run manifest" in out
+
+    def test_summarize_missing_dir_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["telemetry", "summarize", str(tmp_path / "nope")])
+
+
+class TestQuietFlag:
+    def test_quiet_suppresses_progress(self, tmp_path, capsys):
+        rc = main([
+            "--quiet", "train", "--episodes", "2",
+            "--out", str(tmp_path / "a.npz"),
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_keeps_summarize_product(self, tmp_path, capsys):
+        tel_dir = str(tmp_path / "tel")
+        main([
+            "--quiet", "train", "--episodes", "2", "--seed", "0",
+            "--out", str(tmp_path / "a.npz"), "--telemetry-dir", tel_dir,
+        ])
+        capsys.readouterr()
+        assert main(["--quiet", "telemetry", "summarize", tel_dir]) == 0
+        assert "round cost decomposition" in capsys.readouterr().out
+
+    def test_level_resets_between_invocations(self, capsys):
+        main(["--quiet", "fig", "2"])
+        assert capsys.readouterr().out == ""
+        main(["fig", "2"])
+        assert "MB/s" in capsys.readouterr().out
 
 
 class TestFigCommand:

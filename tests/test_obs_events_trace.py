@@ -1,0 +1,185 @@
+"""Tests for repro.obs.events (sinks, JSONL log) and repro.obs.trace."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    JsonlEventSink,
+    MemoryEventSink,
+    MetricsRegistry,
+    NullEventSink,
+    Tracer,
+    read_events,
+)
+
+
+class TestStamping:
+    def test_records_carry_schema_seq_type(self):
+        sink = MemoryEventSink()
+        sink.emit("round", {"cost": 1.0})
+        sink.emit("span", {"name": "x"})
+        a, b = sink.records
+        assert a["schema"] == SCHEMA_VERSION and b["schema"] == SCHEMA_VERSION
+        assert (a["seq"], b["seq"]) == (1, 2)
+        assert a["type"] == "round" and b["type"] == "span"
+        assert a["cost"] == 1.0
+
+    def test_null_sink_discards(self):
+        sink = NullEventSink()
+        assert sink.emit("x", {"a": 1}) == 0
+        assert sink.seq == 0
+        sink.rewind(0)  # no-op
+
+
+class TestMemoryEventSink:
+    def test_of_type_filters(self):
+        sink = MemoryEventSink()
+        sink.emit("a", {})
+        sink.emit("b", {})
+        sink.emit("a", {})
+        assert [r["seq"] for r in sink.of_type("a")] == [1, 3]
+
+    def test_rewind_drops_and_resets_seq(self):
+        sink = MemoryEventSink()
+        for _ in range(5):
+            sink.emit("x", {})
+        sink.rewind(2)
+        assert [r["seq"] for r in sink.records] == [1, 2]
+        assert sink.seq == 2
+        sink.emit("x", {})
+        assert sink.records[-1]["seq"] == 3
+
+
+class TestJsonlEventSink:
+    def test_buffering_then_flush(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlEventSink(path, buffer_records=10)
+        sink.emit("a", {"v": 1})
+        # Below the buffer threshold nothing has hit disk yet.
+        assert not os.path.exists(path) or os.path.getsize(path) == 0
+        sink.flush()
+        assert len(read_events(path)) == 1
+        sink.close()
+
+    def test_auto_flush_at_buffer_size(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlEventSink(path, buffer_records=3)
+        for i in range(3):
+            sink.emit("a", {"i": i})
+        assert len(read_events(path)) == 3
+        sink.close()
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlEventSink(path, buffer_records=1)
+        sink.emit("a", {})
+        sink.emit("a", {})
+        sink.close()
+        sink2 = JsonlEventSink(path, buffer_records=1)
+        assert sink2.seq == 2
+        assert sink2.emit("a", {}) == 3
+        sink2.close()
+        assert [r["seq"] for r in read_events(path)] == [1, 2, 3]
+
+    def test_rewind_truncates_file(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlEventSink(path, buffer_records=1)
+        for _ in range(6):
+            sink.emit("a", {})
+        sink.rewind(4)
+        assert [r["seq"] for r in read_events(path)] == [1, 2, 3, 4]
+        assert sink.emit("a", {}) == 5
+        sink.close()
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlEventSink(path, buffer_records=1)
+        sink.emit("a", {"ok": True})
+        sink.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema":1,"seq":2,"ty')  # simulated crash mid-write
+        events = read_events(path)
+        assert len(events) == 1 and events[0]["ok"] is True
+        # Reopening still continues from the last *valid* record.
+        sink2 = JsonlEventSink(path)
+        assert sink2.seq == 1
+        sink2.close()
+
+    def test_read_events_type_filter(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlEventSink(path, buffer_records=1)
+        sink.emit("round", {})
+        sink.emit("span", {})
+        sink.close()
+        assert len(read_events(path, type_="round")) == 1
+
+    def test_compact_json(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlEventSink(path, buffer_records=1)
+        sink.emit("a", {"k": [1, 2]})
+        sink.close()
+        with open(path, encoding="utf-8") as fh:
+            line = fh.readline().rstrip("\n")
+        assert ": " not in line and ", " not in line
+        json.loads(line)
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlEventSink(str(tmp_path / "e.jsonl"))
+        sink.close()
+        with pytest.raises(RuntimeError):
+            sink.emit("a", {})
+
+    def test_rejects_nonpositive_buffer(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlEventSink(str(tmp_path / "e.jsonl"), buffer_records=0)
+
+
+class TestTracer:
+    def test_span_event_fields(self):
+        sink = MemoryEventSink()
+        tracer = Tracer(sink)
+        with tracer.span("phase", preset="testbed"):
+            pass
+        (e,) = sink.records
+        assert e["type"] == "span" and e["name"] == "phase"
+        assert e["wall_s"] >= 0.0 and e["cpu_s"] >= 0.0
+        assert e["depth"] == 0 and "parent" not in e
+        assert e["preset"] == "testbed"
+
+    def test_nesting_records_parent_and_depth(self):
+        sink = MemoryEventSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sink.records  # inner exits (and emits) first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == "outer" and inner["depth"] == 1
+        assert outer["name"] == "outer" and outer["depth"] == 0
+
+    def test_error_flag_and_no_exception_swallowing(self):
+        sink = MemoryEventSink()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (e,) = sink.records
+        assert e["error"] is True
+
+    def test_feeds_registry_histogram(self):
+        sink = MemoryEventSink()
+        reg = MetricsRegistry()
+        tracer = Tracer(sink, reg)
+        with tracer.span("work"):
+            pass
+        assert reg.histogram("span.work").n == 1
+
+    def test_null_span_is_shared_noop(self):
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+        # No __dict__ (slots): truly allocation-free on entry.
+        assert not hasattr(NULL_SPAN, "__dict__")

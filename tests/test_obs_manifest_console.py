@@ -1,0 +1,115 @@
+"""Tests for repro.obs.manifest and repro.obs.console."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import ConsoleLogger, RunManifest
+from repro.obs.events import SCHEMA_VERSION
+from repro.obs.manifest import _jsonable
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        assert _jsonable({"a": 1, "b": 2.5, "c": "x", "d": None, "e": True}) == {
+            "a": 1, "b": 2.5, "c": "x", "d": None, "e": True,
+        }
+
+    def test_numpy_arrays_become_lists(self):
+        assert _jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_dataclasses_become_dicts(self):
+        @dataclasses.dataclass
+        class Cfg:
+            lr: float = 0.003
+            hidden: tuple = (8, 8)
+
+        assert _jsonable(Cfg()) == {"lr": 0.003, "hidden": [8, 8]}
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert _jsonable(Weird()) == "<weird>"
+
+
+class TestRunManifest:
+    def test_collect_pins_environment(self):
+        m = RunManifest.collect(command="train", seed=7, config={"preset": "t"})
+        assert m.schema == SCHEMA_VERSION
+        assert m.command == "train" and m.seed == 7
+        assert m.python and m.platform
+        assert "numpy" in m.packages and "repro" in m.packages
+        assert m.created_unix > 0
+        assert m.config == {"preset": "t"}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        m = RunManifest.collect(command="evaluate", seed=1, config={"k": [1, 2]})
+        m.save(path)
+        loaded = RunManifest.load(path)
+        assert loaded == m
+
+    def test_load_ignores_unknown_fields(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        RunManifest.collect(command="x").save(path)
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        data["future_field"] = "v2-only"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        assert RunManifest.load(path).command == "x"
+
+    def test_git_sha_present_in_repo_checkout(self):
+        # The test suite runs from a git checkout, so the sha resolves.
+        m = RunManifest.collect()
+        assert m.git_sha is None or len(m.git_sha) == 40
+
+
+class TestConsoleLogger:
+    def test_info_visible_by_default(self, capsys):
+        log = ConsoleLogger()
+        log.info("hello")
+        assert capsys.readouterr().out == "hello\n"
+
+    def test_debug_hidden_by_default(self, capsys):
+        log = ConsoleLogger()
+        log.debug("noise")
+        assert capsys.readouterr().out == ""
+        log.set_level("debug")
+        log.debug("noise")
+        assert capsys.readouterr().out == "debug: noise\n"
+
+    def test_quiet_level_suppresses_info_keeps_warnings(self, capsys):
+        log = ConsoleLogger("warning")
+        log.info("chatter")
+        log.warning("careful")
+        captured = capsys.readouterr()
+        assert captured.out == "warning: careful\n"
+
+    def test_errors_go_to_stderr(self, capsys):
+        log = ConsoleLogger()
+        log.error("boom")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "error: boom\n"
+
+    def test_always_bypasses_quiet(self, capsys):
+        log = ConsoleLogger("error")
+        log.always("the product")
+        assert capsys.readouterr().out == "the product\n"
+
+    def test_is_enabled(self):
+        log = ConsoleLogger("warning")
+        assert not log.is_enabled("info")
+        assert log.is_enabled("warning")
+        assert log.level == "warning"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            ConsoleLogger("loud")
+        with pytest.raises(ValueError):
+            ConsoleLogger().set_level("silent")

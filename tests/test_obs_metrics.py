@@ -1,0 +1,128 @@
+"""Tests for repro.obs.metrics — counters, gauges, streaming histograms."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, StreamingHistogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        assert c.snapshot() == {"count": 4.0}
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge()
+        assert np.isnan(g.value)
+        g.set(1.5)
+        g.set(-2)
+        assert g.value == -2.0
+        assert g.snapshot() == {"value": -2.0}
+
+
+class TestStreamingHistogram:
+    def test_moments_match_numpy_exactly_below_cap(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(3.0, 2.0, 500)
+        h = StreamingHistogram(max_samples=4096)
+        for x in xs:
+            h.observe(x)
+        assert h.n == 500
+        assert h.mean == pytest.approx(xs.mean(), rel=1e-12)
+        assert h.std == pytest.approx(xs.std(), rel=1e-12)
+        # Below the cap every observation is retained, so quantiles are exact.
+        assert h.quantile(0.5) == pytest.approx(np.quantile(xs, 0.5))
+        assert h.quantile(0.9) == pytest.approx(np.quantile(xs, 0.9))
+
+    def test_min_max_exact_even_after_decimation(self):
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(-10, 10, 20000)
+        h = StreamingHistogram(max_samples=64)
+        for x in xs:
+            h.observe(x)
+        assert h.min == xs.min()
+        assert h.max == xs.max()
+        assert h.n == xs.size
+
+    def test_decimation_bounds_memory(self):
+        h = StreamingHistogram(max_samples=128)
+        for i in range(100000):
+            h.observe(float(i))
+        assert len(h._samples) <= 128
+
+    def test_decimation_is_deterministic(self):
+        def run():
+            h = StreamingHistogram(max_samples=32)
+            for i in range(5000):
+                h.observe(float(i % 97))
+            return list(h._samples)
+
+        assert run() == run()
+
+    def test_quantiles_approximate_after_decimation(self):
+        rng = np.random.default_rng(2)
+        xs = rng.uniform(0.0, 1.0, 50000)
+        h = StreamingHistogram(max_samples=1024)
+        for x in xs:
+            h.observe(x)
+        # Decimated sample covers the whole stream; uniform quantiles
+        # should land close to the truth.
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.05)
+        assert h.quantile(0.9) == pytest.approx(0.9, abs=0.05)
+
+    def test_empty_histogram_is_nan(self):
+        h = StreamingHistogram()
+        assert np.isnan(h.min) and np.isnan(h.max)
+        assert np.isnan(h.quantile(0.5))
+        snap = h.snapshot()
+        assert snap["count"] == 0.0
+
+    def test_snapshot_fields(self):
+        h = StreamingHistogram()
+        for x in (1.0, 2.0, 3.0):
+            h.observe(x)
+        snap = h.snapshot()
+        assert set(snap) == {
+            "count", "mean", "std", "min", "p50", "p90", "p99", "max",
+        }
+        assert snap["count"] == 3.0
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert snap["p50"] == 2.0
+
+    def test_rejects_tiny_cap(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(max_samples=1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_nests_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("rounds").inc(2)
+        reg.gauge("lr").set(0.003)
+        reg.histogram("cost").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["rounds"]["count"] == 2.0
+        assert snap["gauges"]["lr"]["value"] == 0.003
+        assert snap["histograms"]["cost"]["count"] == 1.0
+
+    def test_histogram_names_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.histogram("span.update")
+        reg.histogram("span.rollout")
+        reg.histogram("round.cost")
+        assert reg.histogram_names() == [
+            "round.cost", "span.rollout", "span.update",
+        ]
+        assert reg.histogram_names("span.") == ["span.rollout", "span.update"]

@@ -1,0 +1,167 @@
+"""Tests for repro.obs.summarize — offline rendering of telemetry dirs."""
+
+import pytest
+
+from repro.obs import (
+    JsonlEventSink,
+    RunManifest,
+    collector_table,
+    fault_table,
+    load_run,
+    manifest_summary,
+    phase_table,
+    round_table,
+    summarize_run,
+    update_table,
+)
+
+
+def round_event(i, n_devices=2, straggler=0, cost=2.0):
+    return {
+        "type": "round",
+        "seq": i + 1,
+        "iteration": i,
+        "clock": 10.0 * (i + 1),
+        "cost": cost,
+        "reward": -cost,
+        "t_iter_s": 5.0 + i,
+        "straggler": straggler,
+        "n_participants": n_devices,
+        "failed_attempts": 0,
+        "freq_ghz": [1.0 + 0.1 * d for d in range(n_devices)],
+        "t_cmp_s": [2.0 + d for d in range(n_devices)],
+        "t_com_s": [1.0 + d for d in range(n_devices)],
+        "energy_j": [0.5 * (d + 1) for d in range(n_devices)],
+        "idle_s": [0.0] * n_devices,
+    }
+
+
+class TestPhaseTable:
+    def test_spans_and_timed_updates(self):
+        events = [
+            {"type": "span", "name": "evaluate.drl", "wall_s": 1.0, "cpu_s": 1.0},
+            {"type": "span", "name": "evaluate.drl", "wall_s": 3.0, "cpu_s": 3.0},
+            {"type": "update", "algorithm": "ppo", "wall_s": 0.5},
+            {"type": "update", "algorithm": "ppo", "wall_s": 0.5, "skipped": True},
+        ]
+        table = phase_table(events)
+        assert "Phase timing" in table
+        assert "evaluate.drl" in table
+        assert "update.ppo" in table
+        # The skipped update's timing must not pollute the percentiles:
+        # only one timed ppo update survives.
+        row = next(l for l in table.splitlines() if "update.ppo" in l)
+        assert "| 1" in row
+
+    def test_empty_returns_none(self):
+        assert phase_table([]) is None
+
+
+class TestRoundTable:
+    def test_per_device_decomposition(self):
+        events = [round_event(i, straggler=i % 2) for i in range(4)]
+        table = round_table(events)
+        assert "Per-device round cost decomposition (4 rounds)" in table
+        lines = table.splitlines()
+        dev0 = next(l for l in lines if l.startswith("| 0"))
+        dev1 = next(l for l in lines if l.startswith("| 1"))
+        # Device 1's t_cmp is 3.0 in every round (mean == max).
+        assert dev1.count("3") >= 2
+        assert dev0 is not None
+        assert "mean cost 2" in table
+
+    def test_mixed_fleet_sizes_keep_majority(self):
+        events = [round_event(i) for i in range(3)] + [round_event(9, n_devices=5)]
+        table = round_table(events)
+        assert "(3 rounds)" in table
+
+    def test_no_rounds_returns_none(self):
+        assert round_table([{"type": "span", "name": "x", "wall_s": 0}]) is None
+
+
+class TestUpdateTable:
+    def test_groups_by_algorithm_and_counts_skips(self):
+        base = {
+            "type": "update", "policy_loss": 0.1, "value_loss": 0.2,
+            "approx_kl": 0.01, "clip_fraction": 0.2,
+            "grad_norm_actor": 1.0, "grad_norm_critic": 2.0,
+        }
+        events = [
+            dict(base, algorithm="ppo"),
+            dict(base, algorithm="a2c"),
+            dict(base, algorithm="ppo", skipped=True),
+        ]
+        table = update_table(events)
+        assert "DRL update diagnostics" in table
+        assert "ppo" in table and "a2c" in table
+        assert "skipped (non-finite, rolled back): 1" in table
+
+
+class TestCollectorAndFaultTables:
+    def test_collector_throughput(self):
+        events = [
+            {"type": "collector", "steps": 100, "steps_per_sec": 50.0,
+             "worker_utilization": 0.9},
+            {"type": "collector", "steps": 100, "steps_per_sec": 70.0,
+             "worker_utilization": 1.0},
+        ]
+        table = collector_table(events)
+        assert "Rollout collector throughput" in table
+        assert "200" in table
+
+    def test_fault_tallies_include_worker_crashes(self):
+        events = [
+            {"type": "fault", "kind": "dropout"},
+            {"type": "fault", "kind": "dropout"},
+            {"type": "fault", "kind": "retry"},
+            {"type": "worker_crash", "worker": 0},
+        ]
+        table = fault_table(events)
+        assert "dropout" in table and "retry" in table
+        assert "worker_crash" in table
+
+    def test_empty_tables_are_none(self):
+        assert collector_table([]) is None
+        assert fault_table([]) is None
+
+
+class TestSummarizeRun:
+    def test_full_report(self, tmp_path):
+        d = str(tmp_path / "run")
+        sink = JsonlEventSink(d + "/events.jsonl", buffer_records=1)
+        for i in range(3):
+            e = round_event(i)
+            e.pop("type"), e.pop("seq")
+            sink.emit("round", e)
+        sink.emit("span", {"name": "evaluate.drl", "wall_s": 1.0, "cpu_s": 1.0})
+        sink.close()
+        RunManifest.collect(command="evaluate", seed=5).save(d + "/manifest.json")
+
+        report = summarize_run(d)
+        assert "Run manifest" in report
+        assert "command : evaluate" in report
+        assert "Phase timing" in report
+        assert "Per-device round cost decomposition" in report
+
+    def test_manifest_optional(self, tmp_path):
+        d = str(tmp_path / "run")
+        sink = JsonlEventSink(d + "/events.jsonl", buffer_records=1)
+        sink.emit("span", {"name": "x", "wall_s": 0.1, "cpu_s": 0.1})
+        sink.close()
+        events, manifest = load_run(d)
+        assert manifest is None and len(events) == 1
+        assert "Phase timing" in summarize_run(d)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            summarize_run(str(tmp_path / "nope"))
+
+    def test_empty_log_reports_no_events(self, tmp_path):
+        d = str(tmp_path / "run")
+        sink = JsonlEventSink(d + "/events.jsonl", buffer_records=1)
+        sink.emit("ping", {})
+        sink.close()
+        assert "no telemetry events found" in summarize_run(d)
+
+    def test_manifest_summary_handles_none(self):
+        assert manifest_summary(None) is None

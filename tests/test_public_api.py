@@ -9,6 +9,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.utils",
+    "repro.obs",
     "repro.nn",
     "repro.rl",
     "repro.traces",

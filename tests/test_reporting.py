@@ -1,0 +1,117 @@
+"""Tests for repro.experiments.reporting — paper-vs-measured rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.metrics import MethodMetrics
+from repro.experiments.reporting import (
+    PAPER_NUMBERS,
+    fig7_report,
+    fig8_report,
+    method_table,
+)
+from repro.experiments.runner import EvaluationResult
+
+
+def make_metrics(name, cost, time, energy, n=40):
+    """Constant per-iteration series with the requested averages."""
+    return MethodMetrics(
+        name=name,
+        costs=np.full(n, float(cost)),
+        times=np.full(n, float(time)),
+        energies=np.full(n, float(energy)),
+    )
+
+
+def make_evaluation(averages):
+    """EvaluationResult with one constant-metrics method per entry."""
+    metrics = {
+        name: make_metrics(name, cost, time, energy)
+        for name, (cost, time, energy) in averages.items()
+    }
+    return EvaluationResult(
+        preset_name="synthetic",
+        n_iterations=40,
+        metrics=metrics,
+        raw={name: [] for name in metrics},
+    )
+
+
+# The paper's qualitative outcome: drl < heuristic < static on cost,
+# heuristic slower than drl.
+EVALUATION = make_evaluation(
+    {
+        "drl": (7.0, 20.0, 1.5),
+        "heuristic": (9.5, 27.6, 1.8),
+        "static": (10.4, 25.0, 1.62),
+    }
+)
+
+
+class TestMethodTable:
+    def test_renders_all_methods_and_title(self):
+        table = method_table(EVALUATION.metrics, title="== Methods ==")
+        assert table.startswith("== Methods ==")
+        for name in ("drl", "heuristic", "static"):
+            assert name in table
+        header = table.splitlines()[1]
+        for col in ("method", "avg cost", "avg time", "avg energy"):
+            assert col in header
+
+    def test_values_are_the_averages(self):
+        table = method_table(EVALUATION.metrics, title="t")
+        drl_row = next(l for l in table.splitlines() if "drl" in l)
+        assert "7" in drl_row and "20" in drl_row and "1.5" in drl_row
+
+
+class TestFig7Report:
+    def test_report_contains_paper_and_measured_numbers(self):
+        result = Fig7Result(evaluation=EVALUATION, trainer=None)
+        report = fig7_report(result)
+        assert "Fig. 7" in report
+        for name, paper_cost in PAPER_NUMBERS["fig7_avg_cost"].items():
+            assert f"avg system cost ({name})" in report
+            assert str(paper_cost) in report
+        assert "heuristic time vs drl (rel. gap)" in report
+
+    def test_time_gap_measured_value(self):
+        result = Fig7Result(evaluation=EVALUATION, trainer=None)
+        # (27.6 - 20) / 20 = 0.38, matching the paper's quoted gap.
+        assert result.time_gap_heuristic() == pytest.approx(0.38)
+        assert "0.38" in fig7_report(result)
+
+    def test_cdf_row_present(self):
+        result = Fig7Result(evaluation=EVALUATION, trainer=None)
+        report = fig7_report(result)
+        assert "P[drl cost <= 8]" in report
+        # All synthetic drl costs are 7.0 < 8, so the measured CDF is 1.
+        assert result.drl.cost_cdf().fraction_below(8.0) == pytest.approx(1.0)
+
+
+class TestFig8Report:
+    def test_report_ranking_row(self):
+        result = Fig8Result(evaluation=EVALUATION, trainer=None)
+        report = fig8_report(result)
+        assert "Fig. 8" in report
+        assert "drl < heuristic < static" in report
+
+    def test_report_uses_averages(self):
+        result = Fig8Result(evaluation=EVALUATION, trainer=None)
+        averages = result.averages()
+        assert averages["drl"] == pytest.approx(7.0)
+        report = fig8_report(result)
+        for name in PAPER_NUMBERS["fig8_avg_cost"]:
+            assert f"avg system cost ({name})" in report
+
+    def test_inverted_ranking_is_reported_faithfully(self):
+        bad = make_evaluation(
+            {
+                "drl": (12.0, 20.0, 1.5),
+                "heuristic": (9.5, 27.6, 1.8),
+                "static": (10.4, 25.0, 1.62),
+            }
+        )
+        report = fig8_report(Fig8Result(evaluation=bad, trainer=None))
+        assert "heuristic < static < drl" in report
