@@ -38,6 +38,7 @@ Subpackages
 ``repro.core``        Algorithm 1 trainer + online DRL allocator
 ``repro.parallel``    vectorized envs + batched rollout collection
 ``repro.experiments`` presets, evaluation runner, per-figure modules
+``repro.analysis``    REPxxx static lints + opt-in runtime sanitizer
 """
 
 from repro.baselines import (

@@ -1,0 +1,82 @@
+"""repro.analysis — project-specific static checks + runtime sanitizer.
+
+Two halves, one goal: protect the reproduction's bit-exact-determinism
+claim (Eqs. 1-6 cost model, Algorithm 1 agent) from the bug classes
+that silently destroy it.
+
+* **Static** (:mod:`repro.analysis.engine` / ``rules`` / ``report``):
+  an AST lint engine with rules REP001-REP007 — global-RNG calls,
+  wall-clock reads outside ``repro.obs``, dropped ``rng``/``seed``
+  parameters, stale ``__all__`` exports, mutable defaults, swallowed
+  exceptions, unpicklable ``EnvSpec`` payloads.  Run it with
+  ``repro analyze src/ tests/``; suppress per line with
+  ``# repro: noqa REPxxx``.
+
+* **Runtime** (:mod:`repro.analysis.sanitizer`): opt-in
+  (``REPRO_SANITIZE=1`` or ``--sanitize``) shape/dtype/finiteness
+  contracts on ``repro.nn`` forward/backward and the Eq. 9 cost model,
+  with NaN/Inf provenance (module + round/update/episode) reported
+  through the :mod:`repro.obs` event sink.  Disabled, every hook is a
+  single ``None`` check — bit-identical, allocation-free.
+
+Layering: ``repro.analysis`` sits directly above ``repro.obs``; the
+hooked layers (``nn``, ``sim``, ``rl``, ``core``) import only
+:mod:`repro.analysis.sanitizer`, and the static half imports nothing
+from the runtime stack.  See ``docs/analysis.md``.
+"""
+
+from repro.analysis.engine import (
+    DEFAULT_ALLOWLISTS,
+    PARSE_ERROR_CODE,
+    AnalysisConfig,
+    AnalysisResult,
+    SourceFile,
+    Suppression,
+    Violation,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.report import format_json, format_rules, format_text
+from repro.analysis.rules import RULE_CLASSES, Rule, default_rules
+from repro.analysis.sanitizer import (
+    NonFiniteReport,
+    Sanitizer,
+    SanitizerError,
+    disable_sanitizer,
+    enable_from_env,
+    enable_sanitizer,
+    get_sanitizer,
+    sanitizer_session,
+)
+
+__all__ = [
+    # engine
+    "AnalysisConfig",
+    "AnalysisResult",
+    "SourceFile",
+    "Suppression",
+    "Violation",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "DEFAULT_ALLOWLISTS",
+    "PARSE_ERROR_CODE",
+    # rules
+    "Rule",
+    "RULE_CLASSES",
+    "default_rules",
+    # report
+    "format_text",
+    "format_json",
+    "format_rules",
+    # sanitizer
+    "Sanitizer",
+    "SanitizerError",
+    "NonFiniteReport",
+    "get_sanitizer",
+    "enable_sanitizer",
+    "disable_sanitizer",
+    "sanitizer_session",
+    "enable_from_env",
+]

@@ -1,0 +1,327 @@
+"""The AST lint engine behind ``repro analyze``.
+
+The engine parses each file once into a :class:`SourceFile` (AST +
+import-alias index + inline suppressions), runs every registered
+:class:`~repro.analysis.rules.Rule` over it and returns the surviving
+:class:`Violation` records.
+
+Suppression syntax
+------------------
+A violation on line N is suppressed by a trailing comment on that line::
+
+    t = time.time()  # repro: noqa REP002 -- frozen in tests via clock=
+
+Multiple codes separate with commas (``# repro: noqa REP001,REP005``).
+A bare ``# repro: noqa`` (no codes) suppresses *every* rule on the line;
+the engine records these "blanket" suppressions separately so CI can
+forbid them (`--no-blanket`).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+#: Matches a ``repro: noqa`` comment with an optional code list.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b[:\s]*(?P<codes>REP\d{3}(?:[,\s]+REP\d{3})*)?",
+)
+
+#: Code used for files that do not parse at all.
+PARSE_ERROR_CODE = "REP000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """An inline ``# repro: noqa`` comment."""
+
+    line: int
+    codes: FrozenSet[str]  # empty = blanket (suppresses everything)
+
+    @property
+    def blanket(self) -> bool:
+        return not self.codes
+
+    def covers(self, code: str) -> bool:
+        return self.blanket or code in self.codes
+
+
+class ImportIndex(ast.NodeVisitor):
+    """Tracks what local names are bound to the modules the rules care
+    about (``numpy``, ``numpy.random``, ``random``, ``time``,
+    ``datetime``), including lazy in-function imports and aliases."""
+
+    def __init__(self) -> None:
+        self.numpy: Set[str] = set()
+        self.numpy_random: Set[str] = set()
+        self.stdlib_random: Set[str] = set()
+        #: Local names bound to *functions* of stdlib random
+        #: (``from random import randint``).
+        self.stdlib_random_funcs: Set[str] = set()
+        self.time: Set[str] = set()
+        #: Local names bound to ``time.time``/``time.time_ns``.
+        self.time_funcs: Set[str] = set()
+        self.datetime_module: Set[str] = set()
+        #: Local names bound to the ``datetime.datetime``/``date`` classes.
+        self.datetime_class: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self.numpy_random.add(bound)
+                else:
+                    self.numpy.add(bound)
+            elif alias.name == "random":
+                self.stdlib_random.add(bound)
+            elif alias.name == "time":
+                self.time.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_module.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if module == "numpy" and alias.name == "random":
+                self.numpy_random.add(bound)
+            elif module == "random":
+                self.stdlib_random_funcs.add(bound)
+            elif module == "time" and alias.name in ("time", "time_ns"):
+                self.time_funcs.add(bound)
+            elif module == "datetime" and alias.name in ("datetime", "date"):
+                self.datetime_class.add(bound)
+        self.generic_visit(node)
+
+
+@dataclass
+class SourceFile:
+    """One parsed file: text, AST, imports, suppressions."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    imports: ImportIndex
+    suppressions: Dict[int, Suppression]
+
+    @property
+    def is_init(self) -> bool:
+        return os.path.basename(self.path) == "__init__.py"
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace(os.sep, "/")
+
+    def blanket_lines(self) -> List[int]:
+        return sorted(
+            line for line, sup in self.suppressions.items() if sup.blanket
+        )
+
+    @classmethod
+    def parse(cls, text: str, path: str = "<string>") -> "SourceFile":
+        tree = ast.parse(text, filename=path)
+        imports = ImportIndex()
+        imports.visit(tree)
+        return cls(
+            path=path,
+            text=text,
+            tree=tree,
+            imports=imports,
+            suppressions=_collect_suppressions(text),
+        )
+
+
+def _collect_suppressions(text: str) -> Dict[int, Suppression]:
+    """Find ``repro: noqa`` comments via the tokenizer (not regex over
+    raw lines, so a noqa inside a string literal does not count)."""
+    out: Dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(text.splitlines(True)).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            parsed = frozenset(re.findall(r"REP\d{3}", codes)) if codes else frozenset()
+            out[tok.start[0]] = Suppression(line=tok.start[0], codes=parsed)
+    except tokenize.TokenizeError:
+        pass
+    return out
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """What to check and where rules are exempt.
+
+    ``allowlists`` maps a rule code to path fragments (posix style); a
+    file whose path contains any fragment is exempt from that rule.  The
+    defaults encode the repository's layering contract: only
+    ``repro.obs`` may read wall clocks (REP002) — everything else must
+    take an injected clock or go through telemetry.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    allowlists: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOWLISTS)
+    )
+
+    def rule_applies(self, code: str, posix_path: str) -> bool:
+        if self.select is not None and code not in self.select:
+            return False
+        for fragment in self.allowlists.get(code, ()):
+            if fragment in posix_path:
+                return False
+        return True
+
+
+#: Per-rule path exemptions (fragments matched against posix paths).
+DEFAULT_ALLOWLISTS: Dict[str, Tuple[str, ...]] = {
+    # The observability layer is the one place wall clocks are legal:
+    # spans, manifests and event timestamps exist to *record* wall time.
+    "REP002": ("repro/obs/",),
+}
+
+
+def analyze_source(
+    text: str,
+    path: str = "<string>",
+    config: Optional[AnalysisConfig] = None,
+    rules: Optional[Iterable[object]] = None,
+) -> List[Violation]:
+    """Run the rules over one source string (the unit-test entry point)."""
+    config = config or AnalysisConfig()
+    try:
+        source = SourceFile.parse(text, path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                path=path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 1) - 1,
+            )
+        ]
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    violations: List[Violation] = []
+    for rule in rules:
+        code = rule.code  # type: ignore[attr-defined]
+        if not config.rule_applies(code, source.posix_path):
+            continue
+        for violation in rule.check(source):  # type: ignore[attr-defined]
+            sup = source.suppressions.get(violation.line)
+            if sup is not None and sup.covers(violation.code):
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        collected: List[str] = []
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    collected.append(os.path.join(root, name))
+        for file_path in collected:
+            if file_path not in seen:
+                seen.add(file_path)
+                yield file_path
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one ``repro analyze`` invocation produced."""
+
+    violations: List[Violation]
+    files_checked: int
+    #: ``path -> lines`` of bare (code-less) ``repro: noqa`` comments.
+    blanket_suppressions: Dict[str, List[int]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def exit_code(self, forbid_blanket: bool = False) -> int:
+        if self.violations:
+            return 1
+        if forbid_blanket and self.blanket_suppressions:
+            return 1
+        return 0
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    config: Optional[AnalysisConfig] = None,
+    rules: Optional[Iterable[object]] = None,
+) -> AnalysisResult:
+    """Run the rules over files and directories (recursing into dirs)."""
+    config = config or AnalysisConfig()
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = list(default_rules())
+    else:
+        rules = list(rules)
+    violations: List[Violation] = []
+    blankets: Dict[str, List[int]] = {}
+    n_files = 0
+    for file_path in iter_python_files(paths):
+        n_files += 1
+        with open(file_path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        violations.extend(
+            analyze_source(text, path=file_path, config=config, rules=rules)
+        )
+        try:
+            lines = SourceFile.parse(text, file_path).blanket_lines()
+        except SyntaxError:
+            lines = []
+        if lines:
+            blankets[file_path] = lines
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return AnalysisResult(
+        violations=violations,
+        files_checked=n_files,
+        blanket_suppressions=blankets,
+    )

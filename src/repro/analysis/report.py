@@ -1,0 +1,61 @@
+"""Reporters for ``repro analyze`` results (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.engine import AnalysisResult
+
+
+def format_text(result: AnalysisResult, forbid_blanket: bool = False) -> str:
+    """One line per violation plus a summary, flake8-style."""
+    lines: List[str] = [v.format() for v in result.violations]
+    for path, blanket_lines in sorted(result.blanket_suppressions.items()):
+        for line_no in blanket_lines:
+            note = (
+                "blanket '# repro: noqa' (no codes) suppresses every rule"
+                + ("; forbidden here" if forbid_blanket else "")
+            )
+            lines.append(f"{path}:{line_no}:1: NOTE {note}")
+    n = len(result.violations)
+    lines.append(
+        f"{result.files_checked} files checked: "
+        + ("clean" if n == 0 else f"{n} violation{'s' if n != 1 else ''}")
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: AnalysisResult) -> str:
+    """Machine-readable report (stable key order for diffing in CI)."""
+    payload: Dict[str, object] = {
+        "files_checked": result.files_checked,
+        "violations": [
+            {
+                "code": v.code,
+                "message": v.message,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+            }
+            for v in result.violations
+        ],
+        "blanket_suppressions": {
+            path: lines
+            for path, lines in sorted(result.blanket_suppressions.items())
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_rules() -> str:
+    """The ``--list-rules`` table."""
+    from repro.analysis.rules import RULE_CLASSES
+
+    rows: List[str] = []
+    for code, cls in sorted(RULE_CLASSES.items()):
+        rows.append(f"{code}  {cls.name:<24} {cls.summary}")
+    return "\n".join(rows)
+
+
+__all__ = ["format_text", "format_json", "format_rules"]

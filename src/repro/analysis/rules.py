@@ -1,0 +1,537 @@
+"""Project-specific lint rules REP001-REP007.
+
+Each rule encodes a convention the reproduction's bit-exact-determinism
+claim depends on (see ``docs/analysis.md`` for the rationale and
+suppression syntax).  Rules are pure AST checks over a parsed
+:class:`~repro.analysis.engine.SourceFile`; none of them import the
+code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Type
+
+from repro.analysis.engine import SourceFile, Violation
+
+#: ``numpy.random`` attributes that construct *owned* RNG objects rather
+#: than touching the hidden global stream — these are the sanctioned API.
+SAFE_NUMPY_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "RandomState",  # instantiation owns its stream; module fns do not
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Stdlib ``random`` module-level functions backed by the hidden global
+#: ``random.Random`` instance.
+GLOBAL_STDLIB_RANDOM = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "getstate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Call targets whose results are mutable (REP005).
+MUTABLE_CALL_NAMES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+MUTABLE_NUMPY_ATTRS = frozenset({"array", "zeros", "ones", "empty", "full"})
+
+
+class Rule:
+    """Base class: subclasses define ``code``/``name`` and ``check``."""
+
+    code: str = "REP999"
+    name: str = "abstract"
+    summary: str = ""
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            code=self.code,
+            message=message,
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class GlobalRngRule(Rule):
+    """REP001: no global-RNG calls; thread a ``numpy.random.Generator``.
+
+    ``np.random.default_rng`` / ``SeedSequence`` / bit-generator
+    constructors are fine (they *create* owned streams); module-level
+    draws like ``np.random.rand`` or ``random.randint`` consume hidden
+    process-global state that no seed plumbing controls.
+    """
+
+    code = "REP001"
+    name = "no-global-rng"
+    summary = "call on the hidden global RNG stream"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        imp = source.imports
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            if len(chain) == 1:
+                if chain[0] in imp.stdlib_random_funcs and chain[0] in GLOBAL_STDLIB_RANDOM:
+                    yield self.violation(
+                        source, node,
+                        f"global stdlib RNG call {chain[0]}(); pass an "
+                        f"explicit numpy Generator instead",
+                    )
+                continue
+            head, fn = chain[0], chain[-1]
+            if len(chain) == 3 and head in imp.numpy and chain[1] == "random":
+                if fn not in SAFE_NUMPY_RANDOM:
+                    yield self.violation(
+                        source, node,
+                        f"global numpy RNG call {'.'.join(chain)}(); use an "
+                        f"owned Generator (repro.utils.rng.as_generator)",
+                    )
+            elif len(chain) == 2 and head in imp.numpy_random:
+                if fn not in SAFE_NUMPY_RANDOM:
+                    yield self.violation(
+                        source, node,
+                        f"global numpy RNG call {'.'.join(chain)}(); use an "
+                        f"owned Generator (repro.utils.rng.as_generator)",
+                    )
+            elif len(chain) == 2 and head in imp.stdlib_random:
+                if fn in GLOBAL_STDLIB_RANDOM:
+                    yield self.violation(
+                        source, node,
+                        f"global stdlib RNG call {'.'.join(chain)}(); pass an "
+                        f"explicit numpy Generator instead",
+                    )
+
+
+class WallClockRule(Rule):
+    """REP002: no wall-clock reads outside ``repro.obs``.
+
+    Absolute time (``time.time``, ``datetime.now``) differs between
+    runs by construction; anything derived from it breaks bit-exact
+    replay.  Monotonic *duration* clocks (``perf_counter``,
+    ``process_time``) are allowed — they only ever feed telemetry.
+    """
+
+    code = "REP002"
+    name = "no-wall-clock"
+    summary = "wall-clock read outside repro.obs"
+
+    _DT_METHODS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        imp = source.imports
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            dotted = ".".join(chain)
+            if len(chain) == 1 and chain[0] in imp.time_funcs:
+                yield self.violation(
+                    source, node,
+                    f"wall-clock read {dotted}(); inject a clock or report "
+                    f"through repro.obs",
+                )
+            elif (
+                len(chain) == 2
+                and chain[0] in imp.time
+                and chain[1] in ("time", "time_ns")
+            ):
+                yield self.violation(
+                    source, node,
+                    f"wall-clock read {dotted}(); inject a clock or report "
+                    f"through repro.obs",
+                )
+            elif (
+                len(chain) == 2
+                and chain[0] in imp.datetime_class
+                and chain[1] in self._DT_METHODS
+            ):
+                yield self.violation(
+                    source, node, f"wall-clock read {dotted}()"
+                )
+            elif (
+                len(chain) == 3
+                and chain[0] in imp.datetime_module
+                and chain[1] in ("datetime", "date")
+                and chain[2] in self._DT_METHODS
+            ):
+                yield self.violation(
+                    source, node, f"wall-clock read {dotted}()"
+                )
+
+
+def _body_is_stub(body: Sequence[ast.stmt]) -> bool:
+    """True for docstring-only / ``pass`` / ``raise`` / ``...`` bodies
+    (abstract methods and protocol stubs legitimately drop params)."""
+    real = [
+        stmt
+        for stmt in body
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        )
+    ]
+    if not real:
+        return True
+    return all(isinstance(stmt, (ast.Pass, ast.Raise)) for stmt in real)
+
+
+class DroppedRngRule(Rule):
+    """REP003: a public function taking ``rng``/``seed`` must use it.
+
+    An accepted-but-ignored seed is the worst determinism bug: the
+    caller believes the stream is pinned while the callee draws from
+    somewhere else entirely.
+    """
+
+    code = "REP003"
+    name = "no-dropped-rng"
+    summary = "rng/seed parameter accepted but never used"
+
+    _PARAMS = ("rng", "seed")
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") and node.name != "__init__":
+                continue
+            params = {
+                arg.arg
+                for arg in (
+                    list(node.args.posonlyargs)
+                    + list(node.args.args)
+                    + list(node.args.kwonlyargs)
+                )
+                if arg.arg in self._PARAMS
+            }
+            if not params or _body_is_stub(node.body):
+                continue
+            used: Set[str] = set()
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name) and sub.id in params:
+                        used.add(sub.id)
+            for missing in sorted(params - used):
+                yield self.violation(
+                    source, node,
+                    f"function {node.name}() accepts {missing!r} but never "
+                    f"threads it; the caller's seeding silently does nothing",
+                )
+
+
+def _toplevel_bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope (following top-level If/Try blocks)."""
+    bound: Set[str] = set()
+
+    def scan(stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.If):
+                scan(stmt.body)
+                scan(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                scan(stmt.body)
+                scan(stmt.orelse)
+                scan(stmt.finalbody)
+                for handler in stmt.handlers:
+                    scan(handler.body)
+
+    scan(tree.body)
+    return bound
+
+
+class AllMatchesExportsRule(Rule):
+    """REP004: ``__init__.py`` ``__all__`` entries must exist.
+
+    A phantom ``__all__`` name turns ``from repro.x import *`` and
+    API-surface tests into liars; a duplicate hides a lost export.
+    """
+
+    code = "REP004"
+    name = "all-matches-exports"
+    summary = "__all__ out of sync with module bindings"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        if not source.is_init:
+            return
+        bound = _toplevel_bound_names(source.tree)
+        for stmt in source.tree.body:
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "__all__"
+                and isinstance(stmt.value, (ast.List, ast.Tuple))
+            ):
+                continue
+            seen: Set[str] = set()
+            for element in stmt.value.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    continue
+                export = element.value
+                if export in seen:
+                    yield self.violation(
+                        source, element, f"duplicate __all__ entry {export!r}"
+                    )
+                seen.add(export)
+                if export not in bound:
+                    yield self.violation(
+                        source, element,
+                        f"__all__ exports {export!r} but the module never "
+                        f"binds it",
+                    )
+
+
+class MutableDefaultRule(Rule):
+    """REP005: no mutable default arguments."""
+
+    code = "REP005"
+    name = "no-mutable-default"
+    summary = "mutable default argument shared across calls"
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain is None:
+                return False
+            if len(chain) == 1 and chain[0] in MUTABLE_CALL_NAMES:
+                return True
+            if len(chain) >= 2 and chain[-1] in (
+                MUTABLE_CALL_NAMES | MUTABLE_NUMPY_ATTRS
+            ):
+                return True
+        return False
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            positional = list(args.posonlyargs) + list(args.args)
+            for arg, default in zip(
+                positional[len(positional) - len(args.defaults):], args.defaults
+            ):
+                if self._is_mutable(default):
+                    yield self.violation(
+                        source, default,
+                        f"mutable default for {arg.arg!r} in {node.name}(); "
+                        f"use None and construct inside the body",
+                    )
+            for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                if kw_default is not None and self._is_mutable(kw_default):
+                    yield self.violation(
+                        source, kw_default,
+                        f"mutable default for {arg.arg!r} in {node.name}(); "
+                        f"use None and construct inside the body",
+                    )
+
+
+class SwallowedExceptionRule(Rule):
+    """REP006: no bare ``except:``; no ``except Exception: pass``.
+
+    Fault handling is a feature here (graceful degradation, retries,
+    crash-safe checkpointing); an invisible swallow turns an injected
+    fault into silent state corruption.  Narrow handlers with an empty
+    body (``except (EOFError, KeyboardInterrupt): pass``) stay legal.
+    """
+
+    code = "REP006"
+    name = "no-swallowed-exception"
+    summary = "bare/overbroad exception handler swallows errors"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Name):
+            return type_node.id in self._BROAD
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(el) for el in type_node.elts)
+        return False
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    source, node,
+                    "bare 'except:'; name the exceptions this path expects",
+                )
+                continue
+            if self._is_broad(node.type) and _body_is_stub(node.body):
+                only_raises = any(
+                    isinstance(stmt, ast.Raise) for stmt in node.body
+                )
+                if not only_raises:
+                    yield self.violation(
+                        source, node,
+                        "'except Exception: pass' swallows every failure; "
+                        "narrow the type or handle/log the error",
+                    )
+
+
+class EnvSpecPicklingRule(Rule):
+    """REP007: no lambdas/closures in ``EnvSpec`` payloads.
+
+    ``SubprocVecEnv`` pickles the spec into worker processes; a lambda
+    factory dies at ``pickle.dumps`` — but only on the first vectorized
+    run, long after the code merged.  Catch it at lint time.
+    """
+
+    code = "REP007"
+    name = "envspec-picklable"
+    summary = "unpicklable payload in EnvSpec construction"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        nested_defs = _nested_function_names(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or chain[-1] != "EnvSpec":
+                continue
+            payload: List[ast.expr] = list(node.args) + [
+                kw.value for kw in node.keywords if kw.value is not None
+            ]
+            for value in payload:
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Lambda):
+                        yield self.violation(
+                            source, sub,
+                            "lambda inside an EnvSpec payload cannot be "
+                            "pickled into a worker; use a module-level "
+                            "factory function",
+                        )
+            factory = self._factory_arg(node)
+            if (
+                isinstance(factory, ast.Name)
+                and factory.id in nested_defs
+            ):
+                yield self.violation(
+                    source, factory,
+                    f"EnvSpec factory {factory.id!r} is defined inside a "
+                    f"function (a closure); pickle needs a module-level "
+                    f"callable",
+                )
+
+    @staticmethod
+    def _factory_arg(node: ast.Call) -> Optional[ast.expr]:
+        for kw in node.keywords:
+            if kw.arg == "factory":
+                return kw.value
+        return node.args[0] if node.args else None
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside other functions (closures)."""
+    nested: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if sub is node:
+                    continue
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(sub.name)
+    return nested
+
+
+#: Registry in code order; ``default_rules`` instantiates fresh objects
+#: so engines can run concurrently.
+RULE_CLASSES: Dict[str, Type[Rule]] = {
+    cls.code: cls
+    for cls in (
+        GlobalRngRule,
+        WallClockRule,
+        DroppedRngRule,
+        AllMatchesExportsRule,
+        MutableDefaultRule,
+        SwallowedExceptionRule,
+        EnvSpecPicklingRule,
+    )
+}
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [cls() for _, cls in sorted(RULE_CLASSES.items())]

@@ -1,0 +1,262 @@
+"""Opt-in runtime sanitizer: numerical contracts with provenance.
+
+When active, the sanitizer checks
+
+* every ``repro.nn`` module forward (shape/dtype contract: float64
+  output, batch dimension preserved, all values finite), per layer
+  inside :class:`~repro.nn.modules.Sequential` chains;
+* every backward pass (gradient shape matches the layer input, finite);
+* every Eq. 9 cost evaluation in :mod:`repro.sim.cost`.
+
+The first non-finite value produces a :class:`NonFiniteReport` naming
+the module that emitted it and the training round/update/episode that
+was running, emitted through the :mod:`repro.obs` event sink as a
+``sanitizer`` event and (by default) raised as :class:`SanitizerError`.
+
+Cost model: the *disabled* path is one module-attribute read
+(``ACTIVE is None``) per hook — no allocation, no branch into checking
+code — so ``REPRO_SANITIZE`` unset is bit-identical to an
+uninstrumented build, exactly like ``NULL_TELEMETRY``.
+
+Enable with ``REPRO_SANITIZE=1`` (CLI honors it at startup), the
+``--sanitize`` flag, or programmatically::
+
+    from repro.analysis import sanitizer_session
+    with sanitizer_session() as san:
+        trainer.train()
+    assert san.first_nonfinite is None
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.obs import get_telemetry
+
+
+class SanitizerError(RuntimeError):
+    """A numerical contract was violated while the sanitizer was active."""
+
+    def __init__(self, report: "NonFiniteReport") -> None:
+        super().__init__(report.describe())
+        self.report = report
+
+
+@dataclass(frozen=True)
+class NonFiniteReport:
+    """Provenance of the first contract violation the sanitizer saw."""
+
+    #: ``nn.forward`` / ``nn.backward`` / ``sim.cost`` / ``nn.contract``.
+    origin: str
+    #: The emitting module, e.g. ``MLP.layers[2]:Linear`` or ``CostModel``.
+    module: str
+    #: What exactly was wrong (kind of value, where in the tensor).
+    detail: str
+    round: Optional[int] = None
+    update: Optional[int] = None
+    episode: Optional[int] = None
+
+    def describe(self) -> str:
+        where = [
+            f"{name}={value}"
+            for name, value in (
+                ("episode", self.episode),
+                ("round", self.round),
+                ("update", self.update),
+            )
+            if value is not None
+        ]
+        context = f" [{', '.join(where)}]" if where else ""
+        return f"{self.origin}: {self.module}: {self.detail}{context}"
+
+    def to_event_fields(self) -> dict:
+        fields: dict = {
+            "origin": self.origin,
+            "module": self.module,
+            "detail": self.detail,
+        }
+        for name, value in (
+            ("round", self.round),
+            ("update", self.update),
+            ("episode", self.episode),
+        ):
+            if value is not None:
+                fields[name] = int(value)
+        return fields
+
+
+def _nonfinite_detail(array: np.ndarray) -> Optional[str]:
+    """Human description of the first non-finite entry, or None."""
+    finite = np.isfinite(array)
+    if finite.all():
+        return None
+    bad = np.argwhere(~finite)
+    first = tuple(int(i) for i in bad[0])
+    value = array[first] if first else array[()]
+    kind = "NaN" if np.isnan(value) else "Inf"
+    return (
+        f"{kind} at index {first} "
+        f"({bad.shape[0]} of {array.size} entries non-finite)"
+    )
+
+
+class Sanitizer:
+    """The active checker; tracks training context and the first hit."""
+
+    def __init__(self, on_violation: str = "raise") -> None:
+        if on_violation not in ("raise", "record"):
+            raise ValueError("on_violation must be 'raise' or 'record'")
+        self.on_violation = on_violation
+        self.first_nonfinite: Optional[NonFiniteReport] = None
+        self.n_checks = 0
+        self.n_violations = 0
+        self._round: Optional[int] = None
+        self._update: Optional[int] = None
+        self._episode: Optional[int] = None
+
+    # -- training context (set by trainer/system/updater when active) -------
+    def note_round(self, index: int) -> None:
+        self._round = int(index)
+
+    def note_update(self) -> None:
+        self._update = 0 if self._update is None else self._update + 1
+
+    def note_episode(self, index: int) -> None:
+        self._episode = int(index)
+
+    # -- violation plumbing --------------------------------------------------
+    def _report(self, origin: str, module: str, detail: str) -> None:
+        self.n_violations += 1
+        report = NonFiniteReport(
+            origin=origin,
+            module=module,
+            detail=detail,
+            round=self._round,
+            update=self._update,
+            episode=self._episode,
+        )
+        if self.first_nonfinite is None:
+            self.first_nonfinite = report
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.event("sanitizer", **report.to_event_fields())
+        if self.on_violation == "raise":
+            raise SanitizerError(report)
+
+    # -- checks --------------------------------------------------------------
+    def check_forward(self, module: Any, x: Any, out: Any, name: Optional[str] = None) -> None:
+        """Shape/dtype/finiteness contract on one forward pass."""
+        self.n_checks += 1
+        label = name or type(module).__name__
+        if not isinstance(out, np.ndarray):
+            self._report(
+                "nn.contract", label,
+                f"forward returned {type(out).__name__}, not ndarray",
+            )
+            return
+        if out.dtype != np.float64:
+            self._report(
+                "nn.contract", label,
+                f"forward output dtype {out.dtype}, expected float64",
+            )
+            return
+        if (
+            isinstance(x, np.ndarray)
+            and x.ndim >= 1
+            and out.ndim >= 1
+            and out.shape[0] != x.shape[0]
+        ):
+            self._report(
+                "nn.contract", label,
+                f"forward changed the batch dimension: "
+                f"input {x.shape} -> output {out.shape}",
+            )
+            return
+        detail = _nonfinite_detail(out)
+        if detail is not None:
+            self._report("nn.forward", label, f"output contains {detail}")
+
+    def check_backward(self, module: Any, grad_out: Any, grad_in: Any, name: Optional[str] = None) -> None:
+        """Finiteness/shape contract on one backward pass."""
+        self.n_checks += 1
+        label = name or type(module).__name__
+        if not isinstance(grad_in, np.ndarray):
+            self._report(
+                "nn.contract", label,
+                f"backward returned {type(grad_in).__name__}, not ndarray",
+            )
+            return
+        detail = _nonfinite_detail(grad_in)
+        if detail is not None:
+            self._report("nn.backward", label, f"input gradient contains {detail}")
+
+    def check_cost(
+        self,
+        model: Any,
+        iteration_time_s: float,
+        total_energy: float,
+        value: float,
+    ) -> None:
+        """Eq. 9 inputs and output must be finite."""
+        self.n_checks += 1
+        label = type(model).__name__
+        if not np.isfinite(iteration_time_s):
+            self._report(
+                "sim.cost", label, f"iteration time is {iteration_time_s!r}"
+            )
+        elif not np.isfinite(total_energy):
+            self._report(
+                "sim.cost", label, f"total energy is {total_energy!r}"
+            )
+        elif not np.isfinite(value):
+            self._report("sim.cost", label, f"cost evaluated to {value!r}")
+
+
+#: The active sanitizer, or None.  Hook sites read this one attribute;
+#: ``None`` means every hook is a single pointer comparison.
+ACTIVE: Optional[Sanitizer] = None
+
+
+def get_sanitizer() -> Optional[Sanitizer]:
+    """The active sanitizer (``None`` when disabled — the default)."""
+    return ACTIVE
+
+
+def enable_sanitizer(on_violation: str = "raise") -> Sanitizer:
+    """Install and return a fresh active :class:`Sanitizer`."""
+    global ACTIVE
+    ACTIVE = Sanitizer(on_violation=on_violation)
+    return ACTIVE
+
+
+def disable_sanitizer() -> None:
+    """Deactivate; hook sites fall back to the zero-cost path."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def sanitizer_session(on_violation: str = "raise") -> Iterator[Sanitizer]:
+    """``enable_sanitizer`` scoped to a ``with`` block."""
+    sanitizer = enable_sanitizer(on_violation=on_violation)
+    try:
+        yield sanitizer
+    finally:
+        disable_sanitizer()
+
+
+#: Values of ``REPRO_SANITIZE`` that mean "leave it off".
+_FALSY = frozenset({"", "0", "false", "False", "no", "off"})
+
+
+def enable_from_env(environ: Optional[dict] = None) -> Optional[Sanitizer]:
+    """Honor ``REPRO_SANITIZE=1``; returns the sanitizer iff enabled."""
+    env = os.environ if environ is None else environ
+    if env.get("REPRO_SANITIZE", "") in _FALSY:
+        return None
+    return enable_sanitizer()

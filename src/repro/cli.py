@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` / ``repro <command>``.
 
 Commands
 --------
@@ -7,11 +7,15 @@ Commands
 ``traces``     generate synthetic traces to CSV / report their statistics
 ``fig``        regenerate a paper figure's numbers (2, 3, 6, 7, 8)
 ``telemetry``  summarize a ``--telemetry-dir`` produced by train/evaluate
+``analyze``    project-specific static checks (REP001-REP007, repro.analysis)
 
 Output goes through :data:`repro.obs.console` (level-filtered; ``--quiet``
 suppresses everything below warnings).  ``train``/``evaluate`` accept
 ``--telemetry-dir`` to record a JSONL event log plus run manifest (see
 :mod:`repro.obs`); the default is no telemetry and a bit-identical run.
+``train``/``evaluate`` also accept ``--sanitize`` (or ``REPRO_SANITIZE=1``
+in the environment) to activate the runtime numerical sanitizer of
+:mod:`repro.analysis.sanitizer`.
 
 Everything the CLI does is also available as a library call; the CLI
 exists so experiments can be scripted without writing Python.
@@ -66,6 +70,21 @@ def _apply_faults(preset, args):
         round_deadline_s=args.deadline,
         min_quorum=args.quorum,
     )
+
+
+def _add_sanitize_flag(parser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable runtime shape/dtype/NaN contract checks "
+             "(repro.analysis.sanitizer); also honored via REPRO_SANITIZE=1",
+    )
+
+
+def _maybe_enable_sanitizer(args) -> None:
+    if getattr(args, "sanitize", False):
+        from repro.analysis import enable_sanitizer
+
+        enable_sanitizer()
 
 
 def _add_telemetry_flags(parser) -> None:
@@ -136,6 +155,7 @@ def cmd_train(args) -> int:
     telemetry = _configure_telemetry(
         args, "train", config={"preset": preset, "trainer": config}
     )
+    _maybe_enable_sanitizer(args)
     try:
         trainer = OfflineTrainer(env, config, rng=args.seed, env_spec=env_spec)
         if args.resume:
@@ -209,6 +229,7 @@ def cmd_evaluate(args) -> int:
 
     preset = _apply_faults(_get_preset(args.preset, args.devices, args.lam), args)
     telemetry = _configure_telemetry(args, "evaluate", config={"preset": preset})
+    _maybe_enable_sanitizer(args)
     try:
         runner = EvaluationRunner(preset, seed=args.seed)
         allocators = _build_allocators(
@@ -323,6 +344,42 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.analysis import (
+        AnalysisConfig,
+        analyze_paths,
+        format_json,
+        format_rules,
+        format_text,
+    )
+
+    if args.list_rules:
+        console.always(format_rules())
+        return 0
+    select = None
+    if args.select:
+        select = frozenset(
+            code.strip().upper()
+            for part in args.select
+            for code in part.split(",")
+            if code.strip()
+        )
+    config = AnalysisConfig(select=select)
+    try:
+        result = analyze_paths(args.paths, config=config)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    if args.format == "json":
+        console.always(format_json(result))
+    else:
+        report = format_text(result, forbid_blanket=args.no_blanket)
+        if result.ok and not (args.no_blanket and result.blanket_suppressions):
+            console.info(report)
+        else:
+            console.always(report)
+    return result.exit_code(forbid_blanket=args.no_blanket)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subprocess env workers (0 = in-process envs)")
     _add_fault_flags(p)
     _add_telemetry_flags(p)
+    _add_sanitize_flag(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="online reasoning comparison")
@@ -367,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_fault_flags(p)
     _add_telemetry_flags(p)
+    _add_sanitize_flag(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("traces", help="generate/inspect bandwidth traces")
@@ -384,6 +443,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig)
 
+    p = sub.add_parser(
+        "analyze",
+        help="run the repro.analysis static checks (REP001-REP007)",
+    )
+    p.add_argument("paths", nargs="*", default=["src", "tests"],
+                   help="files/directories to check (default: src tests)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", nargs="+", default=None, metavar="REPxxx",
+                   help="only run these rule codes (comma/space separated)")
+    p.add_argument("--no-blanket", action="store_true",
+                   help="also fail on bare (code-less) 'repro: noqa' comments")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    p.set_defaults(func=cmd_analyze)
+
     p = sub.add_parser("telemetry", help="inspect recorded telemetry")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
     ps = tsub.add_parser("summarize",
@@ -400,6 +474,9 @@ def main(argv=None) -> int:
     # Set (not toggle) the level each invocation: main() is reentrant in
     # tests and must not inherit a previous call's --quiet.
     console.set_level("warning" if args.quiet else "info")
+    from repro.analysis import enable_from_env
+
+    enable_from_env()
     return args.func(args)
 
 

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.core.callbacks import TrainingHistory
 from repro.env.fl_env import FLSchedulingEnv
 from repro.obs import get_telemetry
@@ -188,6 +189,9 @@ class OfflineTrainer:
     def run_episode(self) -> dict:
         """One training episode: lines 6-24 of Algorithm 1."""
         env = self.env
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            san.note_episode(self._episode)
         tel = get_telemetry()
         instrumented = tel.enabled
         t_episode = time.perf_counter() if instrumented else 0.0
@@ -302,6 +306,9 @@ class OfflineTrainer:
                 collector = VecRolloutCollector(venv, self.agent, history=self.history)
                 tel = get_telemetry()
                 while self._episode < cfg.n_episodes:
+                    san = _sanitizer.ACTIVE
+                    if san is not None:
+                        san.note_episode(self._episode)
                     self.agent.updater.set_progress(
                         self._episode / max(cfg.n_episodes - 1, 1)
                     )

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.nn.initializers import get_initializer
 from repro.utils.rng import SeedLike, as_generator
 
@@ -65,7 +66,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.forward(x)
+        out = self.forward(x)
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            san.check_forward(self, x, out)
+        return out
 
     # -- persistence -----------------------------------------------------
     def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
@@ -212,13 +217,42 @@ class Sequential(Module):
         return out
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        for layer in self.layers:
-            x = layer.forward(x)
-        return x
+        san = _sanitizer.ACTIVE
+        if san is None:
+            for layer in self.layers:
+                x = layer.forward(x)
+            return x
+        return self._forward_sanitized(x, san)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
-            grad_out = layer.backward(grad_out)
+        san = _sanitizer.ACTIVE
+        if san is None:
+            for layer in reversed(self.layers):
+                grad_out = layer.backward(grad_out)
+            return grad_out
+        return self._backward_sanitized(grad_out, san)
+
+    def _forward_sanitized(self, x: np.ndarray, san) -> np.ndarray:
+        """The checking twin of ``forward``: per-layer provenance."""
+        cls = type(self).__name__
+        for i, layer in enumerate(self.layers):
+            out = layer.forward(x)
+            san.check_forward(
+                layer, x, out, name=f"{cls}.layers[{i}]:{type(layer).__name__}"
+            )
+            x = out
+        return x
+
+    def _backward_sanitized(self, grad_out: np.ndarray, san) -> np.ndarray:
+        cls = type(self).__name__
+        for i in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[i]
+            grad_in = layer.backward(grad_out)
+            san.check_backward(
+                layer, grad_out, grad_in,
+                name=f"{cls}.layers[{i}]:{type(layer).__name__}",
+            )
+            grad_out = grad_in
         return grad_out
 
     def __iter__(self):

@@ -18,7 +18,7 @@ LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 class ConsoleLogger:
     """Minimal leveled logger writing to stdout/stderr."""
 
-    def __init__(self, level: str = "info"):
+    def __init__(self, level: str = "info") -> None:
         self._level = self._resolve(level)
 
     @staticmethod

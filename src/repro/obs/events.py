@@ -95,7 +95,7 @@ class JsonlEventSink(EventSink):
     the same file (after the trainer rewinds past-checkpoint records).
     """
 
-    def __init__(self, path: str, buffer_records: int = 128):
+    def __init__(self, path: str, buffer_records: int = 128) -> None:
         if buffer_records <= 0:
             raise ValueError("buffer_records must be positive")
         self.path = str(path)

@@ -17,7 +17,7 @@ import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.events import SCHEMA_VERSION
 
@@ -47,13 +47,13 @@ def _package_versions() -> Dict[str, str]:
         import numpy
 
         versions["numpy"] = numpy.__version__
-    except Exception:  # pragma: no cover - numpy is a hard dependency
+    except (ImportError, AttributeError):  # pragma: no cover - hard dependency
         pass
     try:
         import repro
 
         versions["repro"] = repro.__version__
-    except Exception:
+    except (ImportError, AttributeError):
         pass
     return versions
 
@@ -79,7 +79,7 @@ class RunManifest:
 
     schema: int = SCHEMA_VERSION
     command: str = ""
-    argv: list = field(default_factory=list)
+    argv: List[str] = field(default_factory=list)
     created_unix: float = 0.0
     python: str = ""
     platform: str = ""
@@ -96,12 +96,17 @@ class RunManifest:
         seed: Optional[int] = None,
         config: Any = None,
         extra: Optional[Dict[str, Any]] = None,
+        clock: Callable[[], float] = time.time,
     ) -> "RunManifest":
-        """Gather the environment-dependent fields at call time."""
+        """Gather the environment-dependent fields at call time.
+
+        ``clock`` is the wall-clock source for ``created_unix``; inject a
+        frozen callable to make manifests deterministic under test.
+        """
         return cls(
             command=str(command),
             argv=list(sys.argv),
-            created_unix=time.time(),
+            created_unix=float(clock()),
             python=sys.version.split()[0],
             platform=platform.platform(),
             git_sha=_git_sha(),

@@ -57,7 +57,7 @@ class StreamingHistogram:
 
     __slots__ = ("_stat", "_samples", "_stride", "_i", "_min", "_max", "max_samples")
 
-    def __init__(self, max_samples: int = 4096):
+    def __init__(self, max_samples: int = 4096) -> None:
         if max_samples < 2:
             raise ValueError("max_samples must be at least 2")
         self.max_samples = int(max_samples)

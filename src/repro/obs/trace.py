@@ -41,7 +41,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "_tracer", "_t_wall", "_t_cpu", "parent", "depth")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict] = None):
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict] = None) -> None:
         self.name = str(name)
         self.attrs = attrs
         self._tracer = tracer
@@ -72,7 +72,7 @@ class Span:
 class Tracer:
     """Creates spans and routes their timings to a sink and registry."""
 
-    def __init__(self, sink: EventSink, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, sink: EventSink, registry: Optional[MetricsRegistry] = None) -> None:
         self.sink = sink
         self.registry = registry
         self._stack: list = []

@@ -182,7 +182,9 @@ def _worker(conn, spec_bytes: bytes, indices: Sequence[int]) -> None:
     except Exception:
         try:
             conn.send(("error", traceback.format_exc()))
-        except Exception:
+        except (OSError, ValueError):
+            # The parent is gone or the pipe is closed; the crash report
+            # has nowhere to go and the worker is exiting anyway.
             pass
     finally:
         conn.close()

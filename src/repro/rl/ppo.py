@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.rl.buffer import RolloutBuffer
@@ -233,6 +234,10 @@ class PPOUpdater:
         """
         if len(buffer) == 0:
             raise ValueError("cannot update from an empty buffer")
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            # nn checks during this update report its ordinal.
+            san.note_update()
         from repro.rl.guards import (
             arrays_finite,
             params_finite,

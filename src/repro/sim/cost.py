@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitizer
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -34,7 +36,11 @@ class CostModel:
 
     def cost(self, iteration_time_s: float, total_energy: float) -> float:
         """``T^k + lambda sum_i E_i^k`` in display units."""
-        return float(self.time_units(iteration_time_s) + self.lam * total_energy)
+        value = float(self.time_units(iteration_time_s) + self.lam * total_energy)
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            san.check_cost(self, float(iteration_time_s), float(total_energy), value)
+        return value
 
     def reward(self, iteration_time_s: float, total_energy: float) -> float:
         """Eq. (13): the negated cost."""

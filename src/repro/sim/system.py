@@ -7,6 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.devices.fleet import DeviceFleet
 from repro.faults import FaultConfig, FaultSchedule, RoundFailedError
 from repro.obs import get_telemetry
@@ -192,6 +193,10 @@ class FLSystem:
             freqs = self._validated_frequencies(frequencies)
         else:
             freqs = np.asarray(frequencies, dtype=np.float64)
+        san = _sanitizer.ACTIVE
+        if san is not None:
+            # Cost-model checks inside this round report its index.
+            san.note_round(self.iteration)
         cfg = self.config
         if self.faults is None and cfg.round_deadline_s is None:
             result = simulate_iteration(

@@ -84,7 +84,7 @@ class RngFactory:
     The same name always yields a generator with the same initial state.
     """
 
-    def __init__(self, seed: SeedLike = None):
+    def __init__(self, seed: SeedLike = None) -> None:
         if isinstance(seed, np.random.Generator):
             seed = int(seed.integers(0, 2**63 - 1))
         self._root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)

@@ -58,7 +58,7 @@ class RunningMeanStd:
     batches; shapes are fixed at construction.
     """
 
-    def __init__(self, shape: Tuple[int, ...] = (), epsilon: float = 1e-4):
+    def __init__(self, shape: Tuple[int, ...] = (), epsilon: float = 1e-4) -> None:
         self.mean = np.zeros(shape, dtype=np.float64)
         self.var = np.ones(shape, dtype=np.float64)
         self.count = float(epsilon)

@@ -1,0 +1,470 @@
+"""Fixture-driven coverage for every REPxxx rule + the repo self-check.
+
+Each rule gets three fixtures: a known violation (must fire), the same
+violation with an inline ``repro: noqa REPxxx`` (must stay silent) and a
+clean idiomatic variant (must stay silent).  Fixtures are inline source
+strings fed through :func:`repro.analysis.analyze_source`, so the repo's
+own ``repro analyze`` run never sees them as files.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    PARSE_ERROR_CODE,
+    analyze_paths,
+    analyze_source,
+    default_rules,
+    format_json,
+    format_text,
+    RULE_CLASSES,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def codes(text, path="pkg/mod.py", select=None):
+    config = AnalysisConfig(select=frozenset(select) if select else None)
+    return [
+        v.code
+        for v in analyze_source(textwrap.dedent(text), path=path, config=config)
+    ]
+
+
+# ---------------------------------------------------------------- REP001
+
+class TestGlobalRng:
+    def test_numpy_global_call_flagged(self):
+        assert codes("""
+            import numpy as np
+            x = np.random.rand(3)
+        """) == ["REP001"]
+
+    def test_numpy_seed_flagged(self):
+        assert codes("""
+            import numpy as np
+            np.random.seed(0)
+        """) == ["REP001"]
+
+    def test_stdlib_random_flagged(self):
+        assert codes("""
+            import random
+            x = random.randint(0, 10)
+        """) == ["REP001"]
+
+    def test_from_import_flagged(self):
+        assert codes("""
+            from random import shuffle
+            shuffle([1, 2, 3])
+        """) == ["REP001"]
+
+    def test_suppressed(self):
+        assert codes("""
+            import numpy as np
+            x = np.random.rand(3)  # repro: noqa REP001
+        """) == []
+
+    def test_constructors_clean(self):
+        assert codes("""
+            import numpy as np
+            rng = np.random.default_rng(0)
+            ss = np.random.SeedSequence(7)
+            legacy = np.random.RandomState(3)
+            x = rng.normal(size=4)
+        """) == []
+
+    def test_numpy_random_alias(self):
+        assert codes("""
+            from numpy import random as npr
+            x = npr.uniform()
+        """) == ["REP001"]
+
+
+# ---------------------------------------------------------------- REP002
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert codes("""
+            import time
+            t = time.time()
+        """) == ["REP002"]
+
+    def test_from_time_import_flagged(self):
+        assert codes("""
+            from time import time
+            t = time()
+        """) == ["REP002"]
+
+    def test_datetime_now_flagged(self):
+        assert codes("""
+            import datetime
+            t = datetime.datetime.now()
+        """) == ["REP002"]
+
+    def test_datetime_class_now_flagged(self):
+        assert codes("""
+            from datetime import datetime
+            t = datetime.now()
+        """) == ["REP002"]
+
+    def test_suppressed(self):
+        assert codes("""
+            import time
+            t = time.time()  # repro: noqa REP002 -- frozen via injected clock in tests
+        """) == []
+
+    def test_obs_allowlisted(self):
+        assert codes("""
+            import time
+            t = time.time()
+        """, path="src/repro/obs/manifest.py") == []
+
+    def test_monotonic_duration_clocks_clean(self):
+        assert codes("""
+            import time
+            t0 = time.perf_counter()
+            cpu = time.process_time()
+        """) == []
+
+
+# ---------------------------------------------------------------- REP003
+
+class TestDroppedRng:
+    def test_dropped_seed_flagged(self):
+        assert codes("""
+            def sample(n, seed=None):
+                return list(range(n))
+        """) == ["REP003"]
+
+    def test_dropped_rng_in_init_flagged(self):
+        assert codes("""
+            class Allocator:
+                def __init__(self, rng=None):
+                    self.k = 3
+        """) == ["REP003"]
+
+    def test_suppressed(self):
+        assert codes("""
+            def sample(n, seed=None):  # repro: noqa REP003 -- kept for API compat
+                return list(range(n))
+        """) == []
+
+    def test_threaded_rng_clean(self):
+        assert codes("""
+            from repro.utils.rng import as_generator
+
+            def sample(n, rng=None):
+                rng = as_generator(rng)
+                return rng.normal(size=n)
+        """) == []
+
+    def test_stub_bodies_clean(self):
+        assert codes("""
+            def reseed(self, rng):
+                raise NotImplementedError
+
+            def reset(self, seed=None):
+                ...
+        """) == []
+
+    def test_private_functions_exempt(self):
+        assert codes("""
+            def _helper(seed):
+                return 1
+        """) == []
+
+
+# ---------------------------------------------------------------- REP004
+
+class TestAllMatchesExports:
+    def test_phantom_export_flagged(self):
+        assert codes("""
+            from pkg.mod import Thing
+
+            __all__ = ["Thing", "Ghost"]
+        """, path="pkg/__init__.py") == ["REP004"]
+
+    def test_duplicate_flagged(self):
+        assert codes("""
+            from pkg.mod import Thing
+
+            __all__ = ["Thing", "Thing"]
+        """, path="pkg/__init__.py") == ["REP004"]
+
+    def test_suppressed(self):
+        assert codes("""
+            from pkg.mod import Thing
+
+            __all__ = ["Thing",
+                       "Ghost"]  # repro: noqa REP004 -- bound lazily via __getattr__
+        """, path="pkg/__init__.py") == []
+
+    def test_clean(self):
+        assert codes("""
+            from pkg.mod import Thing
+
+            VERSION = "1.0"
+
+            def helper():
+                return Thing
+
+            __all__ = ["Thing", "VERSION", "helper"]
+        """, path="pkg/__init__.py") == []
+
+    def test_non_init_files_exempt(self):
+        assert codes("""
+            __all__ = ["Ghost"]
+        """, path="pkg/mod.py") == []
+
+    def test_conditional_binding_seen(self):
+        assert codes("""
+            try:
+                from pkg.fast import impl
+            except ImportError:
+                impl = None
+
+            __all__ = ["impl"]
+        """, path="pkg/__init__.py") == []
+
+
+# ---------------------------------------------------------------- REP005
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        assert codes("""
+            def push(item, acc=[]):
+                acc.append(item)
+                return acc
+        """) == ["REP005"]
+
+    def test_dict_call_flagged(self):
+        assert codes("""
+            def config(overrides=dict()):
+                return overrides
+        """) == ["REP005"]
+
+    def test_numpy_array_flagged(self):
+        assert codes("""
+            import numpy as np
+
+            def scale(x, weights=np.ones(3)):
+                return x * weights
+        """) == ["REP005"]
+
+    def test_kwonly_flagged(self):
+        assert codes("""
+            def merge(*, extra={}):
+                return extra
+        """) == ["REP005"]
+
+    def test_suppressed(self):
+        assert codes("""
+            def push(item, acc=[]):  # repro: noqa REP005 -- module-lifetime cache by design
+                acc.append(item)
+                return acc
+        """) == []
+
+    def test_none_and_immutable_clean(self):
+        assert codes("""
+            def push(item, acc=None, shape=(64, 64), name="x"):
+                if acc is None:
+                    acc = []
+                acc.append(item)
+                return acc
+        """) == []
+
+
+# ---------------------------------------------------------------- REP006
+
+class TestSwallowedException:
+    def test_bare_except_flagged(self):
+        assert codes("""
+            try:
+                risky()
+            except:
+                pass
+        """) == ["REP006"]
+
+    def test_broad_pass_flagged(self):
+        assert codes("""
+            try:
+                risky()
+            except Exception:
+                pass
+        """) == ["REP006"]
+
+    def test_broad_tuple_pass_flagged(self):
+        assert codes("""
+            try:
+                risky()
+            except (ValueError, Exception):
+                pass
+        """) == ["REP006"]
+
+    def test_suppressed(self):
+        assert codes("""
+            try:
+                risky()
+            except Exception:  # repro: noqa REP006 -- best-effort probe, failure is fine
+                pass
+        """) == []
+
+    def test_narrow_pass_clean(self):
+        assert codes("""
+            try:
+                risky()
+            except (EOFError, KeyboardInterrupt):
+                pass
+        """) == []
+
+    def test_broad_with_handling_clean(self):
+        assert codes("""
+            try:
+                risky()
+            except Exception as exc:
+                log(exc)
+                raise
+        """) == []
+
+
+# ---------------------------------------------------------------- REP007
+
+class TestEnvSpecPickling:
+    def test_lambda_factory_flagged(self):
+        assert codes("""
+            from repro.parallel import EnvSpec
+            spec = EnvSpec(factory=lambda: None)
+        """) == ["REP007"]
+
+    def test_lambda_in_kwargs_flagged(self):
+        assert codes("""
+            from repro.parallel import EnvSpec
+            spec = EnvSpec(build_env, kwargs={"hook": lambda x: x})
+        """) == ["REP007"]
+
+    def test_closure_factory_flagged(self):
+        assert codes("""
+            from repro.parallel import EnvSpec
+
+            def make_spec(preset):
+                def factory():
+                    return build_env(preset)
+                return EnvSpec(factory=factory)
+        """) == ["REP007"]
+
+    def test_suppressed(self):
+        assert codes("""
+            from repro.parallel import EnvSpec
+            spec = EnvSpec(factory=lambda: None)  # repro: noqa REP007 -- negative test fixture
+        """) == []
+
+    def test_module_level_factory_clean(self):
+        assert codes("""
+            from repro.parallel import EnvSpec
+            from repro.experiments.presets import build_env
+
+            spec = EnvSpec(factory=build_env, kwargs={"seed": 3})
+        """) == []
+
+
+# ------------------------------------------------------------ engine API
+
+class TestEngine:
+    def test_parse_error_reported_not_raised(self):
+        out = analyze_source("def broken(:\n    pass\n", path="bad.py")
+        assert [v.code for v in out] == [PARSE_ERROR_CODE]
+
+    def test_blanket_noqa_suppresses_everything(self):
+        out = analyze_source(
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa\n"
+        )
+        assert out == []
+
+    def test_noqa_inside_string_is_not_a_suppression(self):
+        out = analyze_source(
+            'MSG = "# repro: noqa"\n'
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+        )
+        assert [v.code for v in out] == ["REP001"]
+
+    def test_select_filters_rules(self):
+        text = """
+            import numpy as np
+            import time
+
+            def f(seed=None):
+                np.random.seed(0)
+                return time.time()
+        """
+        assert sorted(codes(text)) == ["REP001", "REP002", "REP003"]
+        assert codes(text, select={"REP002"}) == ["REP002"]
+
+    def test_violation_format_is_clickable(self):
+        out = analyze_source("import numpy as np\nnp.random.rand()\n", path="x.py")
+        assert out[0].format().startswith("x.py:2:1: REP001 ")
+
+    def test_every_rule_has_distinct_code(self):
+        assert len(RULE_CLASSES) == 7
+        assert sorted(RULE_CLASSES) == [f"REP00{i}" for i in range(1, 8)]
+        assert [r.code for r in default_rules()] == sorted(RULE_CLASSES)
+
+    def test_reporters(self):
+        result = analyze_paths([os.path.join(REPO_ROOT, "src", "repro", "analysis")])
+        assert "clean" in format_text(result)
+        payload = format_json(result)
+        assert '"violations": []' in payload
+
+
+# ------------------------------------------------------------ self-check
+
+class TestRepoSelfCheck:
+    def test_repo_tree_is_clean(self):
+        """`repro analyze src/ tests/` exits 0 on the repo itself, with
+        zero blanket (code-less) suppressions anywhere."""
+        result = analyze_paths(
+            [os.path.join(REPO_ROOT, d) for d in ("src", "tests", "benchmarks", "examples")]
+        )
+        assert result.violations == [], format_text(result)
+        assert result.blanket_suppressions == {}
+        assert result.exit_code(forbid_blanket=True) == 0
+
+    def test_cli_analyze_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", "src", "tests", "--no-blanket"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_cli_analyze_flags_violation(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", str(bad), "--format", "json"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 1
+        assert '"code": "REP001"' in proc.stdout
+
+    def test_cli_list_rules(self):
+        from repro.cli import main
+
+        assert main(["analyze", "--list-rules"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,232 @@
+"""Runtime-sanitizer coverage: provenance, contracts, bit-identity.
+
+The two contract tests the PR hinges on:
+
+* a seeded NaN injected into a ``repro.nn`` forward produces a
+  provenance report naming the emitting module (and the obs event);
+* with the sanitizer disabled (``REPRO_SANITIZE`` unset/0) a seeded
+  training run is bit-identical to the plain trajectory — and enabling
+  it does not perturb the trajectory either, because checks only read.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    NonFiniteReport,
+    SanitizerError,
+    disable_sanitizer,
+    enable_from_env,
+    enable_sanitizer,
+    get_sanitizer,
+    sanitizer_session,
+)
+from repro.analysis import sanitizer as sanitizer_mod
+from repro.nn.modules import MLP, Linear
+from repro.obs import NULL_TELEMETRY, MemoryEventSink, Telemetry, set_telemetry
+from repro.sim.cost import CostModel
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_off_between_tests():
+    disable_sanitizer()
+    yield
+    disable_sanitizer()
+    set_telemetry(NULL_TELEMETRY)
+
+
+def _history_state(n_episodes=4, seed=0):
+    from repro import TESTBED_PRESET, OfflineTrainer, TrainerConfig, build_env
+
+    env = build_env(TESTBED_PRESET, seed=seed)
+    trainer = OfflineTrainer(
+        env, TrainerConfig(n_episodes=n_episodes), rng=seed
+    )
+    history = trainer.train()
+    return history.as_dict()
+
+
+class TestProvenance:
+    def test_nan_forward_names_module(self):
+        mlp = MLP(4, [8], 2, rng=0)
+        mlp.layers[0].W.data[0, 0] = np.nan
+        with sanitizer_session() as san:
+            with pytest.raises(SanitizerError) as excinfo:
+                mlp(np.zeros((3, 4)))
+        report = excinfo.value.report
+        assert report.origin == "nn.forward"
+        assert report.module == "MLP.layers[0]:Linear"
+        assert "NaN" in report.detail
+        assert san.first_nonfinite == report
+
+    def test_inf_in_deep_layer_localized(self):
+        mlp = MLP(4, [8, 8], 2, rng=0)
+        # Poison the second Linear (layer index 2: Linear/Tanh/Linear/...).
+        mlp.layers[2].b.data[0] = np.inf
+        with sanitizer_session():
+            with pytest.raises(SanitizerError) as excinfo:
+                mlp(np.zeros((2, 4)))
+        assert excinfo.value.report.module == "MLP.layers[2]:Linear"
+        assert "Inf" in excinfo.value.report.detail
+
+    def test_nan_backward_names_module(self):
+        mlp = MLP(3, [4], 1, rng=0)
+        out = mlp(np.ones((2, 3)))
+        assert np.isfinite(out).all()
+        with sanitizer_session():
+            with pytest.raises(SanitizerError) as excinfo:
+                mlp.backward(np.full((2, 1), np.nan))
+        assert excinfo.value.report.origin == "nn.backward"
+        assert "layers[" in excinfo.value.report.module
+
+    def test_event_reaches_obs_sink(self):
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        mlp = MLP(4, [8], 2, rng=0)
+        mlp.layers[0].W.data[0, 0] = np.nan
+        with sanitizer_session(on_violation="record"):
+            mlp(np.zeros((3, 4)))
+        events = sink.of_type("sanitizer")
+        assert len(events) == 1
+        assert events[0]["module"] == "MLP.layers[0]:Linear"
+        assert events[0]["origin"] == "nn.forward"
+
+    def test_cost_violation_carries_round(self):
+        from repro import TESTBED_PRESET
+        from repro.experiments.presets import build_system
+
+        system = build_system(TESTBED_PRESET, seed=0)
+        system.reset(0.0)
+        freqs = np.asarray(system.fleet.max_frequencies, dtype=np.float64)
+        with sanitizer_session() as san:
+            system.step(freqs)  # round 0 is healthy
+            system.config.cost = CostModel(lam=float("inf"))
+            with pytest.raises(SanitizerError) as excinfo:
+                system.step(freqs)
+        report = excinfo.value.report
+        assert report.origin == "sim.cost"
+        assert report.module == "CostModel"
+        assert report.round == 1
+        assert "round=1" in report.describe()
+        assert san.n_violations == 1
+
+    def test_update_and_episode_context(self):
+        from repro import TESTBED_PRESET, OfflineTrainer, TrainerConfig, build_env
+
+        env = build_env(TESTBED_PRESET, seed=0)
+        trainer = OfflineTrainer(
+            env, TrainerConfig(n_episodes=2, buffer_size=16), rng=0
+        )
+        with sanitizer_session() as san:
+            trainer.train()
+        assert san.first_nonfinite is None
+        assert san.n_checks > 0
+        # Context advanced: at least one PPO update ran over 2 episodes.
+        assert san._update is not None
+        assert san._episode == 1
+
+
+class TestContracts:
+    def test_dtype_contract(self):
+        class Float32Layer(Linear):
+            def forward(self, x):
+                return super().forward(x).astype(np.float32)
+
+        layer = Float32Layer(3, 2, rng=0)
+        with sanitizer_session():
+            with pytest.raises(SanitizerError) as excinfo:
+                layer(np.ones((2, 3)))
+        assert excinfo.value.report.origin == "nn.contract"
+        assert "float64" in excinfo.value.report.detail
+
+    def test_batch_dimension_contract(self):
+        class Squeezer(Linear):
+            def forward(self, x):
+                return super().forward(x)[:1]
+
+        layer = Squeezer(3, 2, rng=0)
+        with sanitizer_session():
+            with pytest.raises(SanitizerError) as excinfo:
+                layer(np.ones((4, 3)))
+        assert "batch dimension" in excinfo.value.report.detail
+
+    def test_cost_inputs_checked(self):
+        model = CostModel(lam=1.0)
+        with sanitizer_session():
+            with pytest.raises(SanitizerError) as excinfo:
+                model.cost(float("nan"), 1.0)
+        assert excinfo.value.report.origin == "sim.cost"
+
+    def test_record_mode_collects_without_raising(self):
+        mlp = MLP(4, [8], 2, rng=0)
+        mlp.layers[0].W.data[:] = np.nan
+        with sanitizer_session(on_violation="record") as san:
+            mlp(np.zeros((3, 4)))
+            mlp(np.zeros((3, 4)))
+        assert san.n_violations >= 2
+        # The *first* report is pinned, later hits only count.
+        assert san.first_nonfinite.module == "MLP.layers[0]:Linear"
+
+    def test_clean_run_reports_nothing(self):
+        mlp = MLP(4, [8], 2, rng=0)
+        with sanitizer_session() as san:
+            mlp(np.zeros((3, 4)))
+        assert san.first_nonfinite is None
+        assert san.n_checks > 0
+        assert san.n_violations == 0
+
+
+class TestBitIdentity:
+    def test_disabled_path_matches_enabled_path(self):
+        """Sanitizer off == sanitizer on, bit for bit: checks only read."""
+        plain = _history_state()
+        enable_sanitizer()
+        try:
+            checked = _history_state()
+        finally:
+            disable_sanitizer()
+        assert set(plain) == set(checked)
+        for key in plain:
+            assert np.array_equal(
+                np.asarray(plain[key]), np.asarray(checked[key])
+            ), key
+
+    def test_disabled_hooks_do_not_check(self):
+        assert get_sanitizer() is None
+        mlp = MLP(4, [8], 2, rng=0)
+        mlp(np.zeros((2, 4)))  # would raise if any stale sanitizer leaked
+        san = enable_sanitizer()
+        disable_sanitizer()
+        mlp(np.full((2, 4), np.nan))  # disabled again: no checks run
+        assert san.n_checks == 0
+
+
+class TestEnvActivation:
+    @pytest.mark.parametrize("value", ["", "0", "false", "False", "no", "off"])
+    def test_falsy_values_leave_it_off(self, value):
+        assert enable_from_env({"REPRO_SANITIZE": value}) is None
+        assert get_sanitizer() is None
+
+    def test_unset_leaves_it_off(self):
+        assert enable_from_env({}) is None
+        assert get_sanitizer() is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes"])
+    def test_truthy_values_enable(self, value):
+        san = enable_from_env({"REPRO_SANITIZE": value})
+        assert san is not None
+        assert get_sanitizer() is san
+        assert sanitizer_mod.ACTIVE is san
+
+    def test_report_dataclass_roundtrip(self):
+        report = NonFiniteReport(
+            origin="nn.forward", module="MLP.layers[0]:Linear",
+            detail="NaN at index (0, 0)", round=3, update=1, episode=2,
+        )
+        fields = report.to_event_fields()
+        assert fields["round"] == 3 and fields["update"] == 1
+        assert "episode=2" in report.describe()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

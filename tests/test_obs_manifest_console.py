@@ -46,6 +46,12 @@ class TestRunManifest:
         assert m.created_unix > 0
         assert m.config == {"preset": "t"}
 
+    def test_injected_clock_freezes_timestamp(self):
+        # ``collect`` takes the wall-clock source as a parameter so tests
+        # (and deterministic replays) can pin ``created_unix`` exactly.
+        m = RunManifest.collect(command="train", clock=lambda: 1234.5)
+        assert m.created_unix == 1234.5
+
     def test_save_load_roundtrip(self, tmp_path):
         path = str(tmp_path / "manifest.json")
         m = RunManifest.collect(command="evaluate", seed=1, config={"k": [1, 2]})

@@ -78,7 +78,8 @@ class TestEnvSpec:
         assert not np.array_equal(a, env_stream(5, 3).standard_normal(4))
 
     def test_unpicklable_spec_rejected(self):
-        spec = EnvSpec(factory=lambda: None)
+        # The lambda is the point: validate_picklable must reject it.
+        spec = EnvSpec(factory=lambda: None)  # repro: noqa REP007
         with pytest.raises(TypeError, match="picklable"):
             spec.validate_picklable()
 
