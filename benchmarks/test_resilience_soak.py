@@ -1,0 +1,75 @@
+"""Kill/resume soak: recovery must be bit-exact under real chaos.
+
+Three scenarios, all asserting **bit-identical** final artifacts against
+an uninterrupted reference:
+
+* SIGKILL the training process at randomized points and resume from the
+  durable checkpoint rotation (hard-crash recovery);
+* SIGTERM it (graceful drain: finish the episode, write a final
+  checkpoint) and resume;
+* SIGKILL individual subprocess env workers mid-rollout under the
+  supervisor (in-process self-healing).
+
+``REPRO_BENCH_FAST=1`` shrinks the runs for CI smoke checks.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FAST, write_report
+from repro.resilience import SoakConfig, run_crash_soak
+from repro.resilience.soak import run_soak
+
+EPISODES = 200 if FAST else 600
+KILLS = 1 if FAST else 3
+SPREAD_S = 0.8 if FAST else 1.5
+
+
+def _soak_config(mode: str, seed: int) -> SoakConfig:
+    return SoakConfig(
+        episodes=EPISODES,
+        checkpoint_every=10,
+        checkpoint_keep=3,
+        kills=KILLS,
+        mode=mode,
+        seed=seed,
+        devices=2,
+        episode_length=6,
+        kill_spread_s=SPREAD_S,
+    )
+
+
+def test_sigkill_resume_bit_exact(tmp_path):
+    result = run_soak(_soak_config("kill", seed=0), str(tmp_path / "kill"), rng=0)
+    write_report("resilience_soak_kill.txt", result.summary())
+    assert result.ok, result.summary()
+
+
+def test_sigterm_drain_resume_bit_exact(tmp_path):
+    result = run_soak(_soak_config("term", seed=1), str(tmp_path / "term"), rng=1)
+    write_report("resilience_soak_term.txt", result.summary())
+    assert result.ok, result.summary()
+
+
+def test_worker_crash_soak_bit_exact():
+    result = run_crash_soak(
+        n_envs=4,
+        workers=2,
+        episodes=2 if FAST else 4,
+        steps_per_episode=5,
+        kills=2 if FAST else 4,
+        rng=0,
+    )
+    write_report("resilience_soak_crash.txt", result.summary())
+    assert result.ok, result.summary()
+    assert result.restarts >= result.kills_delivered
+
+
+def test_soak_chaos_is_replayable():
+    """The same chaos seed must deliver the same kill plan."""
+    a = run_crash_soak(n_envs=2, workers=2, episodes=1,
+                       steps_per_episode=4, kills=1, rng=5)
+    b = run_crash_soak(n_envs=2, workers=2, episodes=1,
+                       steps_per_episode=4, kills=1, rng=5)
+    assert a.ok and b.ok
+    assert a.kills_delivered == b.kills_delivered
+    assert np.asarray(a.restarts).item() == np.asarray(b.restarts).item()

@@ -37,6 +37,8 @@ Subpackages
 ``repro.baselines``   Heuristic/Static/Oracle/FullSpeed/Random allocators
 ``repro.core``        Algorithm 1 trainer + online DRL allocator
 ``repro.parallel``    vectorized envs + batched rollout collection
+``repro.resilience``  self-healing: worker supervision, durable
+                      checkpoints, graceful drain, kill/resume soak
 ``repro.experiments`` presets, evaluation runner, per-figure modules
 ``repro.analysis``    REPxxx static lints + opt-in runtime sanitizer
 """
@@ -76,6 +78,17 @@ from repro.parallel import (
     VecRolloutCollector,
     WorkerCrashError,
     make_vec_env,
+)
+from repro.resilience import (
+    CheckpointCorruptError,
+    CheckpointManager,
+    GracefulDrain,
+    SoakConfig,
+    SupervisedVecEnv,
+    SupervisionExhaustedError,
+    SupervisorConfig,
+    run_crash_soak,
+    run_soak,
 )
 from repro.rl import PPOAgent, PPOConfig
 from repro.sim import CostModel, FLSystem, IterationResult, SystemConfig
@@ -137,6 +150,16 @@ __all__ = [
     "VecRolloutCollector",
     "WorkerCrashError",
     "make_vec_env",
+    # resilience
+    "SupervisedVecEnv",
+    "SupervisorConfig",
+    "SupervisionExhaustedError",
+    "CheckpointManager",
+    "CheckpointCorruptError",
+    "GracefulDrain",
+    "SoakConfig",
+    "run_soak",
+    "run_crash_soak",
     # baselines
     "Allocator",
     "HeuristicAllocator",

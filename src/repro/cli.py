@@ -6,6 +6,7 @@ Commands
 ``evaluate``   online reasoning: compare allocators on a preset
 ``traces``     generate synthetic traces to CSV / report their statistics
 ``fig``        regenerate a paper figure's numbers (2, 3, 6, 7, 8)
+``soak``       kill/resume chaos harness (repro.resilience.soak)
 ``telemetry``  summarize a ``--telemetry-dir`` produced by train/evaluate
 ``analyze``    project-specific static checks (REP001-REP007, repro.analysis)
 
@@ -33,7 +34,7 @@ from repro.obs import console, get_telemetry
 from repro.utils.tables import format_table
 
 
-def _get_preset(name: str, n_devices=None, lam=None):
+def _get_preset(name: str, n_devices=None, lam=None, episode_length=None):
     from repro.devices.fleet import FleetConfig
     from repro.experiments.presets import SIMULATION_PRESET, TESTBED_PRESET
 
@@ -48,6 +49,8 @@ def _get_preset(name: str, n_devices=None, lam=None):
         )
     if lam is not None:
         preset = replace(preset, lam=lam)
+    if episode_length is not None:
+        preset = replace(preset, episode_length=episode_length)
     return preset
 
 
@@ -138,15 +141,25 @@ def _add_fault_flags(parser) -> None:
 def cmd_train(args) -> int:
     from repro.core.trainer import OfflineTrainer, TrainerConfig
     from repro.experiments.presets import build_env, build_env_spec
+    from repro.resilience import GracefulDrain
 
-    preset = _apply_faults(_get_preset(args.preset, args.devices, args.lam), args)
+    preset = _apply_faults(
+        _get_preset(args.preset, args.devices, args.lam, args.episode_length),
+        args,
+    )
+    # The checkpoint path is always configured (even with periodic
+    # checkpoints off) so a SIGTERM drain has somewhere durable to land.
+    ckpt_path = args.out + ".ckpt"
     config = TrainerConfig(
         n_episodes=args.episodes,
         algorithm=args.algorithm,
         checkpoint_every=args.checkpoint_every,
-        checkpoint_path=(args.out + ".ckpt") if args.checkpoint_every else None,
+        checkpoint_path=ckpt_path,
+        checkpoint_keep=args.checkpoint_keep,
         num_envs=args.num_envs,
         workers=args.workers,
+        supervise=args.supervise,
+        max_restarts=args.max_restarts,
     )
     if config.use_vectorized:
         env, env_spec = None, build_env_spec(preset, seed=args.seed)
@@ -167,10 +180,29 @@ def cmd_train(args) -> int:
                 console.info(f"episode {episode + 1:5d}/{args.episodes}  "
                              f"avg cost {summary['avg_cost']:.3f}")
 
-        with get_telemetry().span(
-            "train", algorithm=args.algorithm, episodes=args.episodes
-        ):
-            history = trainer.train(progress_callback=progress)
+        with GracefulDrain() as drain:
+            with get_telemetry().span(
+                "train", algorithm=args.algorithm, episodes=args.episodes
+            ):
+                history = trainer.train(progress_callback=progress, stop=drain)
+        if trainer.drained:
+            # The trainer already wrote a final checkpoint; flush the
+            # event log and tell the operator how to pick the run up.
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.on_drain(signal=drain.describe(), episode=trainer._episode)
+                tel.flush()
+            console.warning(
+                f"{drain.describe()} received: drained at episode "
+                f"{trainer._episode}/{args.episodes}; checkpoint saved to "
+                f"{ckpt_path}"
+            )
+            console.warning(
+                f"resume with: repro train --resume {ckpt_path} "
+                f"--episodes {args.episodes} --seed {args.seed} "
+                f"--out {args.out}"
+            )
+            return 0
         window = min(10, max(1, history.n_episodes // 2))
         improvement = history.improvement(head=window, tail=window)
         console.info(
@@ -331,6 +363,45 @@ def cmd_fig(args) -> int:
     return 0
 
 
+def cmd_soak(args) -> int:
+    import tempfile
+
+    from repro.resilience import SoakConfig, run_crash_soak, run_soak
+
+    if args.mode == "crash":
+        result = run_crash_soak(
+            n_envs=args.num_envs,
+            workers=max(1, args.workers),
+            episodes=args.episodes,
+            steps_per_episode=args.episode_length,
+            kills=args.kills,
+            rng=args.seed,
+        )
+        console.always(result.summary())
+        return 0 if result.ok else 1
+
+    config = SoakConfig(
+        episodes=args.episodes,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
+        kills=args.kills,
+        mode=args.mode,
+        seed=args.seed,
+        num_envs=args.num_envs,
+        workers=args.workers,
+        devices=args.devices,
+        episode_length=args.episode_length,
+        kill_spread_s=args.kill_spread,
+    )
+    if args.out_dir:
+        result = run_soak(config, args.out_dir, rng=args.seed)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-soak-") as out_dir:
+            result = run_soak(config, out_dir, rng=args.seed)
+    console.always(result.summary())
+    return 0 if result.ok else 1
+
+
 def cmd_telemetry(args) -> int:
     from repro.obs.summarize import summarize_run
 
@@ -405,6 +476,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel envs per rollout batch (1 = serial loop)")
     p.add_argument("--workers", type=int, default=0,
                    help="subprocess env workers (0 = in-process envs)")
+    p.add_argument("--episode-length", type=int, default=None,
+                   help="override the preset's FL rounds per episode")
+    p.add_argument("--checkpoint-keep", type=int, default=1,
+                   help="rotated checkpoint generations to keep (corruption "
+                        "fallback reads older ones)")
+    p.add_argument("--supervise", action="store_true",
+                   help="auto-restart crashed/hung env workers "
+                        "(requires --workers > 0)")
+    p.add_argument("--max-restarts", type=int, default=8,
+                   help="total worker restart budget under --supervise")
     _add_fault_flags(p)
     _add_telemetry_flags(p)
     _add_sanitize_flag(p)
@@ -457,6 +538,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "soak",
+        help="kill/resume chaos harness: prove recovery is bit-exact",
+    )
+    p.add_argument("--mode", default="kill", choices=("kill", "term", "crash"),
+                   help="kill = SIGKILL the training process; term = SIGTERM "
+                        "(graceful drain); crash = SIGKILL env workers "
+                        "in-process")
+    p.add_argument("--episodes", type=int, default=8)
+    p.add_argument("--kills", type=int, default=2,
+                   help="interruptions to attempt")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint-every", type=int, default=2)
+    p.add_argument("--checkpoint-keep", type=int, default=3)
+    p.add_argument("--num-envs", type=int, default=1)
+    p.add_argument("--workers", type=int, default=0)
+    p.add_argument("--devices", type=int, default=2)
+    p.add_argument("--episode-length", type=int, default=8,
+                   help="FL rounds per episode (steps per episode for "
+                        "--mode crash)")
+    p.add_argument("--kill-spread", type=float, default=2.0,
+                   help="max random dwell (s) after the first checkpoint "
+                        "before signalling")
+    p.add_argument("--out-dir", default=None,
+                   help="keep soak artifacts here (default: temp dir)")
+    p.set_defaults(func=cmd_soak)
 
     p = sub.add_parser("telemetry", help="inspect recorded telemetry")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)

@@ -74,6 +74,9 @@ class TrainerConfig:
     checkpoint_every: int = 0
     #: Destination .npz for periodic checkpoints (required when enabled).
     checkpoint_path: Optional[str] = None
+    #: Checkpoint generations kept on disk (rotation ``path``, ``path.1``,
+    #: ...); resume falls back through them when the newest is corrupt.
+    checkpoint_keep: int = 1
     #: Parallel rollout collection (repro.parallel).  ``num_envs`` envs
     #: step in lockstep through one stacked policy forward pass;
     #: ``workers > 0`` shards them over subprocesses.  The default
@@ -84,6 +87,12 @@ class TrainerConfig:
     #: Force the vectorized collector on/off; None = automatic
     #: (vectorized iff ``num_envs > 1`` or ``workers > 0``).
     vectorize: Optional[bool] = None
+    #: Self-healing workers (repro.resilience): crashed/hung subprocess
+    #: workers are respawned, resynced and the in-flight step replayed
+    #: instead of aborting the run.  Requires ``workers > 0``.
+    supervise: bool = False
+    #: Total worker-restart budget before the supervisor escalates.
+    max_restarts: int = 8
 
     def validate(self) -> "TrainerConfig":
         if self.n_episodes <= 0:
@@ -94,6 +103,15 @@ class TrainerConfig:
             raise ValueError("checkpoint_every must be non-negative")
         if self.checkpoint_every > 0 and not self.checkpoint_path:
             raise ValueError("checkpoint_every requires checkpoint_path")
+        if self.checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.supervise and self.workers <= 0:
+            raise ValueError(
+                "supervise=True needs subprocess workers (workers > 0); "
+                "a crash in the parent process cannot be supervised"
+            )
         if self.num_envs <= 0:
             raise ValueError("num_envs must be positive")
         if self.num_envs > self.buffer_size:
@@ -153,6 +171,9 @@ class OfflineTrainer:
         #: Next episode index; advanced by :meth:`train`, restored by
         #: :meth:`resume` so an interrupted run continues where it died.
         self._episode = 0
+        #: True when the last :meth:`train` call stopped early because a
+        #: ``stop`` predicate (e.g. a SIGTERM drain) fired.
+        self.drained = False
         rng = as_generator(rng)
         if self.config.algorithm == "ddpg":
             from repro.rl.ddpg import DDPGAgent, DDPGConfig
@@ -252,16 +273,24 @@ class OfflineTrainer:
             )
         return summary
 
-    def train(self, progress_callback=None) -> TrainingHistory:
+    def train(self, progress_callback=None, stop=None) -> TrainingHistory:
         """Run the full offline training (the ``for episode`` loop).
 
         Starts from :attr:`_episode` (0 on a fresh trainer, the stored
         episode after :meth:`resume`), so a killed run picks up exactly
         where its last checkpoint left off.
+
+        ``stop`` is an optional zero-argument predicate checked after
+        every episode (batch); when it returns true — e.g. a
+        :class:`repro.resilience.GracefulDrain` armed by SIGTERM — the
+        trainer finishes the in-flight episode, writes a final
+        checkpoint (if a checkpoint path is configured), sets
+        :attr:`drained` and returns.
         """
         cfg = self.config
+        self.drained = False
         if cfg.use_vectorized:
-            return self._train_vectorized(progress_callback)
+            return self._train_vectorized(progress_callback, stop)
         for episode in range(self._episode, cfg.n_episodes):
             self.agent.updater.set_progress(episode / max(cfg.n_episodes - 1, 1))
             summary = self.run_episode()
@@ -273,6 +302,9 @@ class OfflineTrainer:
                 self.save_checkpoint(cfg.checkpoint_path)
             if progress_callback is not None:
                 progress_callback(episode, summary)
+            if stop is not None and stop():
+                self._drain()
+                break
             if (
                 cfg.early_stop_window > 0
                 and self.history.converged(
@@ -283,7 +315,13 @@ class OfflineTrainer:
         self.agent.freeze()
         return self.history
 
-    def _train_vectorized(self, progress_callback=None) -> TrainingHistory:
+    def _drain(self) -> None:
+        """Cooperative stop: persist a resumable final checkpoint."""
+        self.drained = True
+        if self.config.checkpoint_path:
+            self.save_checkpoint(self.config.checkpoint_path)
+
+    def _train_vectorized(self, progress_callback=None, stop=None) -> TrainingHistory:
         """Training over a vectorized env (episode batches of num_envs).
 
         Episodes advance ``num_envs`` at a time; checkpoints land only at
@@ -297,7 +335,15 @@ class OfflineTrainer:
 
         cfg = self.config
         n = cfg.num_envs
-        with make_vec_env(self.env_spec, n, workers=cfg.workers) as venv:
+        supervisor = None
+        if cfg.supervise:
+            from repro.resilience.supervisor import SupervisorConfig
+
+            supervisor = SupervisorConfig(max_restarts=cfg.max_restarts)
+        with make_vec_env(
+            self.env_spec, n, workers=cfg.workers,
+            supervise=cfg.supervise, supervisor=supervisor,
+        ) as venv:
             self._vec_env = venv
             try:
                 if self._pending_vec_rng is not None:
@@ -329,6 +375,9 @@ class OfflineTrainer:
                     if progress_callback is not None:
                         for i, summary in enumerate(summaries):
                             progress_callback(prev + i, summary)
+                    if stop is not None and stop():
+                        self._drain()
+                        break
                     if cfg.early_stop_window > 0 and self.history.converged(
                         window=cfg.early_stop_window,
                         rel_tol=cfg.early_stop_rel_tol,
@@ -406,17 +455,27 @@ class OfflineTrainer:
             # The resume watermark: every event emitted so far is part of
             # the checkpointed past (state_dict() flushes the sink first).
             state["obs/seq"] = np.asarray(tel.state_dict()["seq"])
-        save_npz_state(path, state)
+        # Durable publication: fsync-before-rename + sha256 sidecar, and
+        # (checkpoint_keep > 1) a rotation of last-good generations that
+        # resume() falls back through on corruption.
+        save_npz_state(path, state, keep=self.config.checkpoint_keep)
 
     def resume(self, path: str) -> int:
         """Restore a :meth:`save_checkpoint` state; returns the episode.
 
         The trainer must have been constructed with the same environment
         and configuration as the one that wrote the checkpoint.
-        """
-        from repro.utils.serialization import load_npz_state, unpack_rng_state
 
-        state = load_npz_state(path)
+        Verifies the checkpoint's sha256 sidecar; a truncated/corrupt
+        newest generation falls back through the ``checkpoint_keep``
+        rotation (``path.1``, ``path.2``, ...) to the newest good one.
+        """
+        from repro.resilience.checkpoint import load_checkpoint_with_fallback
+        from repro.utils.serialization import unpack_rng_state
+
+        state, _used = load_checkpoint_with_fallback(
+            path, keep=self.config.checkpoint_keep
+        )
 
         def _sub(prefix: str) -> dict:
             cut = len(prefix)

@@ -3,7 +3,8 @@
 Instrumented code calls :func:`get_telemetry` and, when
 ``tel.enabled`` is true, reports through the high-level hooks
 (``on_round``, ``on_update``, ``on_collector_batch``, ``on_fault``,
-``on_worker_crash``) or times phases with ``tel.span(...)``.  The
+``on_worker_crash``, ``on_worker_restart``, ``on_checkpoint_corrupt``,
+``on_drain``) or times phases with ``tel.span(...)``.  The
 default instance is :data:`NULL_TELEMETRY`, whose hooks are no-ops and
 whose spans are a shared singleton — with telemetry disabled the
 instrumentation costs one attribute check and allocates nothing, so the
@@ -157,6 +158,21 @@ class Telemetry:
         self.sink.emit("worker_crash", fields)
         self.registry.counter("worker_crashes").inc()
 
+    def on_worker_restart(self, **fields) -> None:
+        """The supervisor respawned and resynced a crashed/hung worker."""
+        self.sink.emit("worker_restart", fields)
+        self.registry.counter("worker_restarts").inc()
+
+    def on_checkpoint_corrupt(self, **fields) -> None:
+        """A checkpoint generation failed verification and was skipped."""
+        self.sink.emit("checkpoint_corrupt", fields)
+        self.registry.counter("checkpoint_corruptions").inc()
+
+    def on_drain(self, **fields) -> None:
+        """A termination signal triggered a graceful drain."""
+        self.sink.emit("drain", fields)
+        self.registry.counter("drains").inc()
+
     def on_eval_method(self, name: str, **fields) -> None:
         """One allocator's aggregate evaluation metrics."""
         fields["method"] = str(name)
@@ -196,6 +212,15 @@ class NullTelemetry(Telemetry):
         pass
 
     def on_worker_crash(self, **fields) -> None:
+        pass
+
+    def on_worker_restart(self, **fields) -> None:
+        pass
+
+    def on_checkpoint_corrupt(self, **fields) -> None:
+        pass
+
+    def on_drain(self, **fields) -> None:
         pass
 
     def on_eval_method(self, name: str, **fields) -> None:

@@ -221,30 +221,60 @@ class SubprocVecEnv(VecEnv):
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
-        ctx = mp.get_context(start_method)
-        spec_bytes = pickle.dumps(spec)
+        self._ctx = mp.get_context(start_method)
+        self._spec_bytes = pickle.dumps(spec)
         self._chunks = [
             chunk.tolist()
             for chunk in np.array_split(np.arange(self.n_envs), n_workers)
         ]
-        self._conns = []
-        self._procs = []
+        self._conns: list = [None] * n_workers
+        self._procs: list = [None] * n_workers
         self._closed = False
-        for chunk in self._chunks:
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker, args=(child, spec_bytes, chunk), daemon=True
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+        for w in range(n_workers):
+            self._spawn_worker(w)
         dims = [self._recv(w) for w in range(n_workers)]
         self._obs_dim, self._act_dim = dims[0]
 
     @property
     def n_workers(self) -> int:
         return len(self._procs)
+
+    def _spawn_worker(self, w: int) -> None:
+        """(Re)launch worker ``w`` serving its assigned env chunk.
+
+        The caller must consume the worker's ``("ready", dims)`` handshake
+        with ``_recv(w)`` before issuing commands.
+        """
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker,
+            args=(child, self._spec_bytes, self._chunks[w]),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._conns[w] = parent
+        self._procs[w] = proc
+
+    def _reap_worker(self, w: int) -> None:
+        """Tear down worker ``w`` unconditionally (crashed *or* hung).
+
+        Closes the pipe, escalates terminate -> kill so even a stopped or
+        wedged process is reclaimed, and joins it — never raises.
+        """
+        conn, proc = self._conns[w], self._procs[w]
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+        if proc.is_alive():
+            # SIGTERM is ignorable (and stays pending on a SIGSTOPped
+            # child); SIGKILL is not.
+            proc.kill()
+            proc.join(timeout=2.0)
 
     def _crash(self, w: int, reason: str, message: str) -> WorkerCrashError:
         """Build a :class:`WorkerCrashError`, emitting a telemetry event.
@@ -375,6 +405,12 @@ class SubprocVecEnv(VecEnv):
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=2.0)
+            if proc.is_alive():
+                # terminate() can be ignored (masked SIGTERM, stopped or
+                # wedged worker); kill() cannot — without this fallback a
+                # chaos-killed run leaks zombie workers.
+                proc.kill()
+                proc.join(timeout=2.0)
 
 
 def make_vec_env(
@@ -382,8 +418,25 @@ def make_vec_env(
     n_envs: int,
     workers: int = 0,
     timeout: float = 60.0,
+    supervise: bool = False,
+    supervisor=None,
 ) -> VecEnv:
-    """Build the right backend: ``workers == 0`` => serial, else subproc."""
+    """Build the right backend: ``workers == 0`` => serial, else subproc.
+
+    ``supervise=True`` (subprocess backend only) wraps the workers in
+    :class:`repro.resilience.SupervisedVecEnv`: crashed or hung workers
+    are respawned, resynced and the in-flight command replayed, within
+    the restart budget of ``supervisor`` (a
+    :class:`repro.resilience.SupervisorConfig`).
+    """
     if workers and workers > 0:
+        if supervise or supervisor is not None:
+            # Imported lazily: repro.resilience sits above repro.parallel.
+            from repro.resilience.supervisor import SupervisedVecEnv
+
+            return SupervisedVecEnv(
+                spec, n_envs, workers=workers, timeout=timeout,
+                supervisor=supervisor,
+            )
         return SubprocVecEnv(spec, n_envs, workers=workers, timeout=timeout)
     return SerialVecEnv(spec, n_envs)

@@ -1,0 +1,63 @@
+"""repro.resilience — the self-healing execution layer.
+
+Long DRL-over-FL training runs only pay off if they survive real-world
+failures; this package turns the three fatal interruption classes into
+recoverable ones:
+
+* :mod:`repro.resilience.supervisor` — :class:`SupervisedVecEnv`
+  respawns crashed/hung subprocess env workers, resyncs their RNG
+  streams and replays the in-flight step, keeping the rollout stream
+  bit-identical to an uncrashed run (bounded restart budget with
+  exponential backoff; :class:`SupervisionExhaustedError` escalation);
+* :mod:`repro.resilience.checkpoint` — rotation of fsync-durable,
+  sha256-checksummed checkpoint generations with corruption fallback
+  (:class:`CheckpointManager`, :func:`load_checkpoint_with_fallback`);
+* :mod:`repro.resilience.drain` — :class:`GracefulDrain` converts
+  SIGTERM/SIGINT into a cooperative finish-checkpoint-and-exit;
+* :mod:`repro.resilience.soak` — the ``repro soak`` chaos harness:
+  kill/drain a real training process (or SIGKILL individual workers)
+  at randomized points, resume, and assert the final artifacts are
+  bit-identical to an uninterrupted run.
+
+Layering: sits above ``repro.parallel``/``repro.utils``/``repro.obs``
+and below the CLI; ``repro.core`` reaches into it lazily (checkpoint
+fallback, supervision) so the default code path stays import-light.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    load_checkpoint_with_fallback,
+)
+from repro.resilience.drain import GracefulDrain
+from repro.resilience.soak import (
+    CrashSoakResult,
+    SoakConfig,
+    SoakResult,
+    run_crash_soak,
+    run_soak,
+)
+from repro.resilience.supervisor import (
+    SupervisedVecEnv,
+    SupervisionExhaustedError,
+    SupervisorConfig,
+)
+from repro.utils.serialization import CheckpointCorruptError
+
+__all__ = [
+    # supervision
+    "SupervisedVecEnv",
+    "SupervisorConfig",
+    "SupervisionExhaustedError",
+    # durable checkpoints
+    "CheckpointManager",
+    "CheckpointCorruptError",
+    "load_checkpoint_with_fallback",
+    # graceful drain
+    "GracefulDrain",
+    # soak harness
+    "SoakConfig",
+    "SoakResult",
+    "CrashSoakResult",
+    "run_soak",
+    "run_crash_soak",
+]

@@ -1,0 +1,100 @@
+"""Durable checkpoint rotation with corruption fallback.
+
+Builds on the durability primitives of :mod:`repro.utils.serialization`
+(fsync-before-rename publication, sha256 sidecar manifests,
+:class:`~repro.utils.serialization.CheckpointCorruptError`) to keep the
+last ``keep`` good checkpoint generations on disk and fall back through
+them at load time:
+
+* ``path``     — the newest checkpoint;
+* ``path.1``   — the previous generation;
+* ``path.{k}`` — ... up to ``keep - 1`` generations back.
+
+A checkpoint that fails its checksum or cannot be parsed is skipped
+(with a ``checkpoint_corrupt`` telemetry event) and the next older
+generation is tried, so one torn write costs at most ``checkpoint_every``
+episodes of progress instead of the whole run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import get_telemetry
+from repro.utils.serialization import (
+    CheckpointCorruptError,
+    load_npz_state,
+    rotation_chain,
+    save_npz_state,
+)
+
+
+def load_checkpoint_with_fallback(
+    path: str, keep: int = 1
+) -> Tuple[Dict[str, np.ndarray], str]:
+    """Load the newest *good* checkpoint of a rotation.
+
+    Tries ``path``, then ``path.1`` ... ``path.{keep-1}``; returns
+    ``(state, used_path)``.  Corrupt generations are reported through
+    telemetry and skipped.  Raises :class:`FileNotFoundError` when no
+    generation exists, or :class:`CheckpointCorruptError` when every
+    existing generation is corrupt.
+    """
+    tel = get_telemetry()
+    errors: List[str] = []
+    existed = False
+    for candidate in rotation_chain(path, keep):
+        if not os.path.exists(candidate):
+            continue
+        existed = True
+        try:
+            return load_npz_state(candidate), candidate
+        except CheckpointCorruptError as exc:
+            errors.append(str(exc))
+            if tel.enabled:
+                tel.on_checkpoint_corrupt(
+                    path=candidate, error=str(exc).splitlines()[0]
+                )
+    if not existed:
+        raise FileNotFoundError(f"no checkpoint at {path} (or rotations)")
+    raise CheckpointCorruptError(
+        "every checkpoint generation is corrupt:\n" + "\n".join(errors)
+    )
+
+
+class CheckpointManager:
+    """Rotated, checksummed, fsync-durable checkpoints at one path.
+
+    ``save`` publishes a new generation (rotating the existing ones);
+    ``load`` returns the newest generation that passes verification.
+    """
+
+    def __init__(self, path: str, keep: int = 3, durable: bool = True):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.path = str(path)
+        self.keep = int(keep)
+        self.durable = bool(durable)
+
+    def save(self, state: Mapping[str, np.ndarray]) -> str:
+        save_npz_state(self.path, state, keep=self.keep, durable=self.durable)
+        return self.path
+
+    def load(self) -> Dict[str, np.ndarray]:
+        return self.load_with_source()[0]
+
+    def load_with_source(self) -> Tuple[Dict[str, np.ndarray], str]:
+        """Like :meth:`load` but also reports which generation was used."""
+        return load_checkpoint_with_fallback(self.path, keep=self.keep)
+
+    def generations(self) -> List[str]:
+        """The on-disk generations, newest first."""
+        return [p for p in rotation_chain(self.path, self.keep) if os.path.exists(p)]
+
+    def latest(self) -> Optional[str]:
+        """The newest on-disk generation path, or ``None``."""
+        existing = self.generations()
+        return existing[0] if existing else None

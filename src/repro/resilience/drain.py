@@ -1,0 +1,88 @@
+"""Graceful drain on SIGTERM/SIGINT.
+
+:class:`GracefulDrain` is a context manager that converts termination
+signals into a cooperative stop flag.  The first signal requests a
+drain — the training loop finishes its current update/episode batch,
+writes a final checkpoint and exits cleanly; a second signal escalates
+to an immediate :class:`KeyboardInterrupt` (the operator insists).
+
+The handler itself only flips flags (async-signal-safe by construction:
+no allocation, no I/O); all reporting — the ``drain`` telemetry event,
+resume instructions on the console — happens in the normal control flow
+of whoever observes the flag.
+
+Usage::
+
+    with GracefulDrain() as drain:
+        trainer.train(stop=drain)      # drain() -> True once signaled
+    if drain.requested:
+        ...write checkpoint / print resume hint...
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from types import FrameType
+from typing import Dict, Optional, Tuple
+
+
+class GracefulDrain:
+    """Cooperative stop flag armed by termination signals.
+
+    Callable (returns whether a drain was requested) so it can be passed
+    directly as a ``stop`` predicate.  Outside the main thread — where
+    Python forbids installing signal handlers — it degrades to a manual
+    flag (:meth:`request`) instead of failing, so library code can use it
+    unconditionally.
+    """
+
+    def __init__(
+        self,
+        signals: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+    ) -> None:
+        self.signals = tuple(signals)
+        self.requested = False
+        #: The signal number that triggered the drain (None until then).
+        self.signum: Optional[int] = None
+        self._previous: Dict[int, object] = {}
+        self._installed = False
+
+    def __call__(self) -> bool:
+        return self.requested
+
+    def request(self, signum: Optional[int] = None) -> None:
+        """Flip the drain flag programmatically (tests, manual drains)."""
+        if not self.requested:
+            self.requested = True
+            self.signum = signum
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        if self.requested:
+            # Second signal: the operator wants out *now*.
+            raise KeyboardInterrupt(f"second signal {signum} during drain")
+        self.request(signum)
+
+    def __enter__(self) -> "GracefulDrain":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self.signals:
+                self._previous[signum] = signal.getsignal(signum)
+                signal.signal(signum, self._handle)
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)  # type: ignore[arg-type]
+            self._previous.clear()
+            self._installed = False
+
+    def describe(self) -> str:
+        """Human-readable cause, e.g. ``"SIGTERM"`` (console messages)."""
+        if self.signum is None:
+            return "drain requested"
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:
+            return f"signal {self.signum}"

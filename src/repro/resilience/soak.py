@@ -1,0 +1,382 @@
+"""Kill/resume soak harness: prove recovery is bit-exact, end to end.
+
+Two complementary chaos modes:
+
+* **Process-level** (:func:`run_soak`): run ``repro train`` as a real
+  subprocess, kill it (SIGKILL) or drain it (SIGTERM) at randomized
+  points, resume from the surviving checkpoint, repeat, and finally
+  compare the trained agent — array by array — against an uninterrupted
+  baseline run with the same seed.  Exercises the full durability chain:
+  fsync-before-rename checkpoints, sha256 verification, rotation
+  fallback, checkpoint/resume RNG capture and the SIGTERM drain path.
+
+* **Worker-level** (:func:`run_crash_soak`): in-process, roll a
+  :class:`~repro.resilience.SupervisedVecEnv` through a deterministic
+  action sequence while SIGKILLing randomly chosen workers between
+  steps, and compare the full observation/reward stream against a
+  :class:`~repro.parallel.SerialVecEnv` reference.  Exercises worker
+  respawn, journal replay and RNG resync.
+
+Both modes draw their chaos (kill times, victims) from a seeded
+generator, so a failing soak is replayable.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import console
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.serialization import load_npz_state
+
+
+@dataclass
+class SoakConfig:
+    """Parameters of one process-level kill/resume soak."""
+
+    episodes: int = 8
+    checkpoint_every: int = 2
+    checkpoint_keep: int = 3
+    #: Interruptions to attempt before the final run-to-completion.
+    kills: int = 2
+    #: "kill" => SIGKILL (crash), "term" => SIGTERM (graceful drain).
+    mode: str = "kill"
+    #: Training seed (shared by baseline and soaked run).
+    seed: int = 0
+    algorithm: str = "ppo"
+    num_envs: int = 1
+    workers: int = 0
+    devices: Optional[int] = 2
+    episode_length: Optional[int] = 8
+    #: After the first checkpoint exists, wait uniform(0, spread) seconds
+    #: before delivering the signal — the randomized kill point.
+    kill_spread_s: float = 2.0
+    #: Hard per-subprocess deadline.
+    run_timeout_s: float = 600.0
+
+    def validate(self) -> "SoakConfig":
+        if self.episodes <= 0:
+            raise ValueError("episodes must be positive")
+        if self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if self.kills < 0:
+            raise ValueError("kills must be non-negative")
+        if self.mode not in ("kill", "term"):
+            raise ValueError(f"mode must be 'kill' or 'term', got {self.mode!r}")
+        if self.kill_spread_s < 0:
+            raise ValueError("kill_spread_s must be non-negative")
+        return self
+
+
+@dataclass
+class SoakResult:
+    """Outcome of a soak: bit-exactness verdict plus chaos bookkeeping."""
+
+    ok: bool
+    kills_delivered: int
+    resumes: int
+    compared_files: List[str] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"soak {verdict}: {self.kills_delivered} interruption(s), "
+            f"{self.resumes} resume(s), "
+            f"{len(self.compared_files)} artifact(s) compared bit-exactly"
+        ]
+        lines += [f"  mismatch: {m}" for m in self.mismatches]
+        lines += [f"  note: {n}" for n in self.notes]
+        return "\n".join(lines)
+
+
+def _train_argv(
+    config: SoakConfig, out: str, resume: Optional[str], python: str
+) -> List[str]:
+    argv = [
+        python, "-m", "repro", "-q", "train",
+        "--episodes", str(config.episodes),
+        "--seed", str(config.seed),
+        "--algorithm", config.algorithm,
+        "--out", out,
+        "--checkpoint-every", str(config.checkpoint_every),
+        "--checkpoint-keep", str(config.checkpoint_keep),
+        "--num-envs", str(config.num_envs),
+        "--workers", str(config.workers),
+    ]
+    if config.devices is not None:
+        argv += ["--devices", str(config.devices)]
+    if config.episode_length is not None:
+        argv += ["--episode-length", str(config.episode_length)]
+    if resume is not None:
+        argv += ["--resume", resume]
+    return argv
+
+
+def _run_to_completion(argv: Sequence[str], timeout_s: float) -> None:
+    proc = subprocess.run(
+        list(argv), timeout=timeout_s,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"training subprocess failed (exit {proc.returncode}):\n"
+            f"{proc.stdout.decode(errors='replace')[-2000:]}"
+        )
+
+
+def _interrupt_once(
+    argv: Sequence[str],
+    ckpt: str,
+    config: SoakConfig,
+    rng: np.random.Generator,
+) -> Tuple[bool, bool]:
+    """Start a run, signal it at a randomized point.
+
+    Returns ``(delivered, finished_cleanly)`` — the run may legitimately
+    finish before the signal lands.
+    """
+    sig = signal.SIGKILL if config.mode == "kill" else signal.SIGTERM
+    # Randomize the kill point relative to checkpoint availability so
+    # interruptions land before, on, and between checkpoint writes.
+    delay_s = float(rng.uniform(0.0, config.kill_spread_s))
+    proc = subprocess.Popen(
+        list(argv), stdout=subprocess.PIPE, stderr=subprocess.STDOUT
+    )
+    try:
+        deadline = time.monotonic() + config.run_timeout_s
+        # Phase 1: wait for the first checkpoint generation (otherwise a
+        # too-early kill tests nothing but process startup).
+        while (
+            not os.path.exists(ckpt)
+            and proc.poll() is None
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        # Phase 2: the randomized dwell.
+        end_dwell = time.monotonic() + delay_s
+        while proc.poll() is None and time.monotonic() < min(end_dwell, deadline):
+            time.sleep(0.01)
+        if proc.poll() is not None:
+            return False, proc.returncode == 0
+        proc.send_signal(sig)
+        proc.wait(timeout=config.run_timeout_s)
+        return True, False
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30.0)
+        if proc.stdout is not None:
+            proc.stdout.close()
+
+
+def compare_npz(path_a: str, path_b: str) -> List[str]:
+    """Key-by-key bit-exact comparison of two .npz state files."""
+    a = load_npz_state(path_a, verify=False)
+    b = load_npz_state(path_b, verify=False)
+    problems = []
+    for key in sorted(set(a) | set(b)):
+        if key not in a or key not in b:
+            problems.append(f"{key}: present in only one file")
+        elif not np.array_equal(np.asarray(a[key]), np.asarray(b[key])):
+            problems.append(f"{key}: arrays differ")
+    return problems
+
+
+def run_soak(
+    config: SoakConfig,
+    out_dir: str,
+    rng: SeedLike = 0,
+    python: Optional[str] = None,
+) -> SoakResult:
+    """Process-level kill/resume soak; see the module docstring.
+
+    Writes everything under ``out_dir`` (created if needed) and returns
+    a :class:`SoakResult` whose ``ok`` asserts that the soaked run's
+    final agent is bit-identical to the uninterrupted baseline's.
+    """
+    config = config.validate()
+    rng = as_generator(rng)
+    python = python or sys.executable
+    os.makedirs(out_dir, exist_ok=True)
+    baseline_out = os.path.join(out_dir, "baseline-agent.npz")
+    soak_out = os.path.join(out_dir, "soak-agent.npz")
+    soak_ckpt = soak_out + ".ckpt"
+
+    console.info("soak: baseline (uninterrupted) run")
+    _run_to_completion(
+        _train_argv(config, baseline_out, None, python), config.run_timeout_s
+    )
+
+    kills_delivered = 0
+    resumes = 0
+    notes: List[str] = []
+    finished_early = False
+    for attempt in range(config.kills):
+        resume = soak_ckpt if os.path.exists(soak_ckpt) else None
+        if resume is not None:
+            resumes += 1
+        argv = _train_argv(config, soak_out, resume, python)
+        delivered, finished = _interrupt_once(argv, soak_ckpt, config, rng)
+        if delivered:
+            kills_delivered += 1
+            console.info(
+                f"soak: interruption {attempt + 1}/{config.kills} delivered "
+                f"({config.mode})"
+            )
+        if finished:
+            finished_early = True
+            notes.append(
+                f"run finished before interruption {attempt + 1} landed"
+            )
+            break
+
+    if not finished_early:
+        resume = soak_ckpt if os.path.exists(soak_ckpt) else None
+        if resume is not None:
+            resumes += 1
+        console.info("soak: final resume to completion")
+        _run_to_completion(
+            _train_argv(config, soak_out, resume, python), config.run_timeout_s
+        )
+
+    mismatches = compare_npz(baseline_out, soak_out)
+    compared = [baseline_out, soak_out]
+    return SoakResult(
+        ok=not mismatches,
+        kills_delivered=kills_delivered,
+        resumes=resumes,
+        compared_files=compared,
+        mismatches=mismatches,
+        notes=notes,
+    )
+
+
+@dataclass
+class CrashSoakResult:
+    """Outcome of an in-process worker-crash soak."""
+
+    ok: bool
+    restarts: int
+    kills_delivered: int
+    mismatches: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"crash soak {verdict}: {self.kills_delivered} worker kill(s), "
+            f"{self.restarts} supervised restart(s), rollout stream "
+            f"{'bit-identical' if self.ok else 'DIVERGED'}"
+        ]
+        lines += [f"  mismatch: {m}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def run_crash_soak(
+    spec=None,
+    n_envs: int = 4,
+    workers: int = 2,
+    episodes: int = 2,
+    steps_per_episode: int = 5,
+    kills: int = 2,
+    rng: SeedLike = 0,
+    timeout: float = 60.0,
+) -> CrashSoakResult:
+    """Worker-crash soak: SIGKILL workers mid-rollout, assert bit-exactness.
+
+    Rolls a :class:`~repro.resilience.SupervisedVecEnv` through a
+    deterministic open-loop action sequence, killing ``kills`` randomly
+    chosen workers at randomly chosen steps, and compares every
+    observation, reward and final RNG state against an uncrashed
+    :class:`~repro.parallel.SerialVecEnv` reference.
+    """
+    from repro.parallel.vec_env import SerialVecEnv
+    from repro.resilience.supervisor import SupervisedVecEnv, SupervisorConfig
+
+    rng = as_generator(rng)
+    if spec is None:
+        spec = _default_crash_spec(steps_per_episode)
+    total_steps = episodes * steps_per_episode
+    # Chaos plan: (flat step index -> worker to kill), drawn up front so
+    # the action stream below consumes an independent generator.
+    kill_steps = sorted(
+        int(s) for s in rng.choice(total_steps, size=min(kills, total_steps),
+                                   replace=False)
+    )
+    kill_victims = [int(v) for v in rng.integers(0, workers, size=len(kill_steps))]
+    action_seed = int(rng.integers(0, 2**31 - 1))
+
+    def rollout(venv, chaos: bool) -> Tuple[list, list, list, int]:
+        arng = np.random.default_rng(action_seed)
+        all_obs, all_rew = [], []
+        delivered = 0
+        flat = 0
+        pending = list(zip(kill_steps, kill_victims))
+        for _ in range(episodes):
+            all_obs.append(venv.reset())
+            for _ in range(steps_per_episode):
+                if chaos and pending and pending[0][0] == flat:
+                    _, victim = pending.pop(0)
+                    os.kill(venv._procs[victim].pid, signal.SIGKILL)
+                    delivered += 1
+                actions = arng.uniform(-1, 1, (venv.n_envs, venv.act_dim))
+                obs, rew, dones, infos = venv.step(actions)
+                all_obs.append(obs)
+                all_rew.append(rew)
+                flat += 1
+        return all_obs, all_rew, venv.get_rng_states(), delivered
+
+    with SerialVecEnv(spec, n_envs) as ref:
+        ref_obs, ref_rew, ref_rng, _ = rollout(ref, chaos=False)
+    supervisor = SupervisorConfig(
+        max_restarts=max(4, 2 * kills), backoff_base_s=0.01, backoff_max_s=0.1
+    )
+    with SupervisedVecEnv(
+        spec, n_envs, workers=workers, timeout=timeout, supervisor=supervisor
+    ) as venv:
+        obs, rew, rng_states, delivered = rollout(venv, chaos=True)
+        restarts = venv.total_restarts
+
+    mismatches: List[str] = []
+    if not all(np.array_equal(a, b) for a, b in zip(ref_obs, obs)):
+        mismatches.append("observation stream differs")
+    if not all(np.array_equal(a, b) for a, b in zip(ref_rew, rew)):
+        mismatches.append("reward stream differs")
+    if ref_rng != rng_states:
+        mismatches.append("final per-env RNG states differ")
+    if restarts < delivered:
+        mismatches.append(
+            f"only {restarts} restart(s) recorded for {delivered} kill(s)"
+        )
+    return CrashSoakResult(
+        ok=not mismatches,
+        restarts=restarts,
+        kills_delivered=delivered,
+        mismatches=mismatches,
+    )
+
+
+def _default_crash_spec(episode_length: int):
+    """A small, fast env spec for the worker-crash soak."""
+    from dataclasses import replace
+
+    from repro.devices.fleet import FleetConfig
+    from repro.experiments.presets import TESTBED_PRESET, build_env_spec
+
+    preset = replace(
+        TESTBED_PRESET,
+        trace_slots=200,
+        episode_length=episode_length,
+        n_devices=2,
+        fleet=FleetConfig(n_devices=2),
+    )
+    return build_env_spec(preset, seed=0)

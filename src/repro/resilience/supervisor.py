@@ -1,0 +1,229 @@
+"""Supervised vectorized envs: worker crashes become recoverable.
+
+:class:`SupervisedVecEnv` extends :class:`repro.parallel.SubprocVecEnv`
+with a supervision loop.  When a worker dies (killed, OOM, unhandled
+exception) or hangs past the backend timeout, the supervisor — instead
+of letting :class:`~repro.parallel.WorkerCrashError` abort the run —
+
+1. reaps the dead/hung process (terminate -> kill escalation),
+2. waits out an exponential backoff,
+3. respawns the worker, which rebuilds its envs from the pickled
+   :class:`~repro.parallel.EnvSpec` (deterministic initial state),
+4. **replays the command journal** for that worker's env chunk — an RNG
+   resync (via the ``set_rng``/``get_rng`` worker hooks) captured at the
+   last episode boundary, the episode's ``reset``, and every ``step``
+   taken since — reconstructing the worker's simulator *and* RNG state
+   bit-exactly (env randomness is keyed only by ``(spec.seed, index)``
+   and each step is a deterministic function of state + action), and
+5. re-issues the in-flight command, whose result was never consumed.
+
+The recovered rollout stream is therefore **bit-identical** to an
+uncrashed run: no other worker steps twice, no RNG stream skips ahead,
+and the trainer never observes the crash (beyond a ``worker_restart``
+telemetry event and the wall-clock cost of the replay).
+
+Restarts are budgeted (:class:`SupervisorConfig`); when the budget is
+exhausted the supervisor escalates by raising
+:class:`SupervisionExhaustedError` (a ``WorkerCrashError`` subclass, so
+existing crash handling still catches it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import get_telemetry
+from repro.parallel.spec import EnvSpec
+from repro.parallel.vec_env import SubprocVecEnv, WorkerCrashError
+
+
+class SupervisionExhaustedError(WorkerCrashError):
+    """The restart budget ran out; the crash is escalated as fatal."""
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Restart policy of a :class:`SupervisedVecEnv`.
+
+    ``max_restarts`` bounds the *total* number of worker respawns over
+    the env's lifetime; the backoff before the ``k``-th consecutive
+    restart of one worker is ``min(base * factor**(k-1), max)`` seconds,
+    so a flapping worker cannot hot-loop the supervisor.
+    """
+
+    max_restarts: int = 8
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def validate(self) -> "SupervisorConfig":
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError("backoff_max_s must be >= backoff_base_s")
+        return self
+
+    def backoff_s(self, consecutive: int) -> float:
+        """Backoff before restart number ``consecutive`` (1-based)."""
+        if consecutive <= 0:
+            return 0.0
+        return float(
+            min(
+                self.backoff_base_s * self.backoff_factor ** (consecutive - 1),
+                self.backoff_max_s,
+            )
+        )
+
+
+#: Commands that mutate worker-side env state and must be replayed on a
+#: respawned worker (``get_rng`` only reads and is not journaled).
+_JOURNALED = frozenset({"reset", "step", "set_rng"})
+
+
+class SupervisedVecEnv(SubprocVecEnv):
+    """A :class:`SubprocVecEnv` whose workers are respawned on crash.
+
+    Drop-in replacement: same constructor plus ``supervisor`` (a
+    :class:`SupervisorConfig`).  With no crashes the only behavioural
+    difference is one extra ``get_rng`` round-trip per ``reset`` — the
+    journal's RNG baseline — which reads worker state without advancing
+    any stream, so trajectories stay bit-identical to the unsupervised
+    backend.
+    """
+
+    def __init__(
+        self,
+        spec: EnvSpec,
+        n_envs: int,
+        workers: Optional[int] = None,
+        timeout: float = 60.0,
+        start_method: Optional[str] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+    ):
+        self.supervisor = (supervisor or SupervisorConfig()).validate()
+        #: Mutating commands since the last episode boundary, in order;
+        #: entry = (cmd, per-worker payload list or None).
+        self._journal: List[Tuple[str, Optional[list]]] = []
+        self.total_restarts = 0
+        self._consecutive_restarts: dict = {}
+        super().__init__(
+            spec, n_envs, workers=workers, timeout=timeout,
+            start_method=start_method,
+        )
+
+    # -- journal maintenance -------------------------------------------------
+    def _shard(self, states: Sequence[dict]) -> List[list]:
+        return [[states[i] for i in chunk] for chunk in self._chunks]
+
+    def reset(self) -> np.ndarray:
+        # Snapshot every env's RNG stream *before* reset consumes it:
+        # [set_rng(snapshot), reset, step...] replayed on a fresh worker
+        # reconstructs its exact mid-episode state.  The snapshot also
+        # truncates the journal, bounding replay cost to one episode.
+        snapshot = self.get_rng_states()
+        self._journal = [("set_rng", self._shard(snapshot))]
+        return super().reset()
+
+    # -- crash-aware command fan-out ----------------------------------------
+    def _broadcast(self, cmd: str, payloads=None):
+        """Send to every worker, then collect; recover any crash inline.
+
+        A crash while collecting worker ``w``'s reply only re-drives
+        worker ``w`` — the other workers' results (already computed,
+        sitting in their pipes) are consumed untouched, so no env ever
+        steps twice.
+        """
+        for w in range(self.n_workers):
+            self._supervised_send(w, cmd, payloads)
+        replies = [
+            self._supervised_recv(w, cmd, payloads)
+            for w in range(self.n_workers)
+        ]
+        if cmd in _JOURNALED:
+            self._journal.append((cmd, payloads))
+        return replies
+
+    def _payload_for(self, w: int, payloads) -> Any:
+        return None if payloads is None else payloads[w]
+
+    def _supervised_send(self, w: int, cmd: str, payloads) -> None:
+        while True:
+            try:
+                self._send(w, cmd, self._payload_for(w, payloads))
+                return
+            except WorkerCrashError as exc:
+                self._restart_worker(w, exc)
+
+    def _supervised_recv(self, w: int, cmd: str, payloads):
+        resend = False
+        while True:
+            try:
+                if resend:
+                    self._send(w, cmd, self._payload_for(w, payloads))
+                return self._recv(w)
+            except WorkerCrashError as exc:
+                self._restart_worker(w, exc)
+                # The respawned worker is synced up to (excluding) the
+                # in-flight command; re-issue it and collect normally.
+                resend = True
+
+    # -- the supervision loop ------------------------------------------------
+    def _restart_worker(self, w: int, cause: WorkerCrashError) -> None:
+        """Reap, back off, respawn and resync worker ``w``.
+
+        Raises :class:`SupervisionExhaustedError` once the total restart
+        budget is spent; a respawned worker that dies again during its
+        replay consumes further budget (bounded recursion).
+        """
+        cfg = self.supervisor
+        if self.total_restarts >= cfg.max_restarts:
+            raise SupervisionExhaustedError(
+                f"vec-env worker {w} still failing after "
+                f"{self.total_restarts} restarts (budget {cfg.max_restarts}); "
+                f"last crash: {cause}"
+            ) from cause
+        self.total_restarts += 1
+        consecutive = self._consecutive_restarts.get(w, 0) + 1
+        self._consecutive_restarts[w] = consecutive
+        backoff = cfg.backoff_s(consecutive)
+        if backoff > 0:
+            time.sleep(backoff)
+        self._reap_worker(w)
+        self._spawn_worker(w)
+        try:
+            self._recv(w)  # the ("ready", dims) handshake
+            self._replay_journal(w)
+        except WorkerCrashError as exc:
+            self._restart_worker(w, exc)
+            return
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_worker_restart(
+                worker=w,
+                pid=self._procs[w].pid,
+                envs=list(self._chunks[w]),
+                restarts_total=self.total_restarts,
+                restarts_worker=consecutive,
+                backoff_s=backoff,
+                replayed_commands=len(self._journal),
+                cause=str(cause).splitlines()[0],
+            )
+
+    def _replay_journal(self, w: int) -> None:
+        """Re-drive worker ``w`` through every journaled command."""
+        for cmd, payloads in self._journal:
+            self._send(w, cmd, self._payload_for(w, payloads))
+            self._recv(w)
+
+    def note_recovered(self) -> None:
+        """Reset the consecutive-restart counters (e.g. after an episode
+        completes cleanly); the *total* budget keeps counting."""
+        self._consecutive_restarts.clear()

@@ -2,32 +2,200 @@
 
 State dicts throughout the library are flat ``{name: ndarray}`` mappings;
 nesting is expressed with ``/``-separated keys (e.g. ``actor/layer0/W``).
+
+Durability contract (crash/power-loss safety):
+
+* :func:`save_npz_state` writes to a temp file, **fsyncs** it, publishes
+  it with an atomic ``os.replace`` and fsyncs the containing directory —
+  a crash at any instant leaves either the complete previous checkpoint
+  or the complete new one, never a truncated or empty file;
+* every checkpoint gets a sidecar ``<path>.sha256`` manifest holding the
+  content digest, so silent corruption (bit rot, torn writes surviving a
+  non-journaling filesystem) is *detected* at load time instead of
+  producing garbage weights;
+* :func:`load_npz_state` verifies the sidecar when present and raises
+  :class:`CheckpointCorruptError` — a single, catchable type — for any
+  truncated/garbage/mismatching checkpoint, so callers can fall back
+  through a rotation of older checkpoints (see
+  :mod:`repro.resilience.checkpoint`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Dict, Mapping
+import zipfile
+from typing import Dict, Iterator, List, Mapping
 
 import numpy as np
 
+#: Suffix of the checksum sidecar written next to every checkpoint.
+CHECKSUM_SUFFIX = ".sha256"
 
-def save_npz_state(path: str, state: Mapping[str, np.ndarray]) -> None:
-    """Atomically persist a flat state dict to ``path`` (.npz)."""
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file is truncated, garbage, or fails its checksum."""
+
+
+def _fsync_path(path: str) -> None:
+    """fsync a file or directory by path (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        # Some platforms refuse O_RDONLY opens of directories; durability
+        # degrades to the filesystem's default ordering there.
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def checksum_path(path: str) -> str:
+    """The sidecar manifest path for checkpoint ``path``."""
+    return path + CHECKSUM_SUFFIX
+
+
+def write_checksum_sidecar(path: str, durable: bool = True) -> str:
+    """Write/refresh ``<path>.sha256`` for an existing file; returns digest.
+
+    The sidecar itself is published atomically so it is never torn.
+    """
+    digest = _sha256_file(path)
+    sidecar = checksum_path(path)
+    tmp = sidecar + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        # `sha256sum -c`-compatible: "<digest>  <basename>".
+        fh.write(f"{digest}  {os.path.basename(path)}\n")
+        fh.flush()
+        if durable:
+            os.fsync(fh.fileno())
+    os.replace(tmp, sidecar)
+    return digest
+
+
+def read_checksum_sidecar(path: str) -> str:
+    """Return the digest recorded in ``<path>.sha256``."""
+    with open(checksum_path(path), "r", encoding="utf-8") as fh:
+        content = fh.read().strip()
+    if not content:
+        raise CheckpointCorruptError(f"empty checksum sidecar for {path}")
+    return content.split()[0]
+
+
+def verify_checksum(path: str, missing_ok: bool = True) -> bool:
+    """Check ``path`` against its sidecar digest.
+
+    Returns ``True`` when the digest matches, ``False`` when no sidecar
+    exists and ``missing_ok`` is set; raises
+    :class:`CheckpointCorruptError` on a mismatch (or on a missing
+    sidecar with ``missing_ok=False``).
+    """
+    sidecar = checksum_path(path)
+    if not os.path.exists(sidecar):
+        if missing_ok:
+            return False
+        raise CheckpointCorruptError(f"no checksum sidecar for {path}")
+    expected = read_checksum_sidecar(path)
+    actual = _sha256_file(path)
+    if actual != expected:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} fails its checksum (sha256 {actual[:12]}... "
+            f"!= recorded {expected[:12]}...); the file is corrupt"
+        )
+    return True
+
+
+def rotation_chain(path: str, keep: int) -> List[str]:
+    """The fallback order of a rotated checkpoint: newest first.
+
+    ``path`` itself, then ``path.1`` (previous), ``path.2``, ...
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    return [path] + [f"{path}.{i}" for i in range(1, keep)]
+
+
+def rotate_checkpoints(path: str, keep: int) -> None:
+    """Shift ``path`` -> ``path.1`` -> ... -> ``path.{keep-1}`` (with
+    sidecars), making room for a new generation at ``path``.
+
+    Rotation uses ``os.replace`` links only — no checkpoint is ever
+    copied or partially visible.  A missing generation simply leaves the
+    next slot unchanged.
+    """
+    chain = rotation_chain(path, keep)
+    for older, newer in zip(reversed(chain), reversed(chain[:-1])):
+        for src, dst in ((newer, older), (checksum_path(newer), checksum_path(older))):
+            if os.path.exists(src):
+                os.replace(src, dst)
+
+
+def save_npz_state(
+    path: str,
+    state: Mapping[str, np.ndarray],
+    keep: int = 1,
+    durable: bool = True,
+) -> None:
+    """Atomically and durably persist a flat state dict to ``path`` (.npz).
+
+    ``keep > 1`` rotates existing generations (``path.1`` ... ``path.{keep-1}``)
+    before publishing, so the last ``keep`` good checkpoints survive on
+    disk.  ``durable=False`` skips the fsyncs (tests/benchmarks where
+    power-loss durability is irrelevant).
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     tmp = path + ".tmp"
     arrays = {k: np.asarray(v) for k, v in state.items()}
     with open(tmp, "wb") as fh:
         np.savez(fh, **arrays)
+        fh.flush()
+        if durable:
+            # The replace below only publishes an *empty or torn* file on
+            # power loss if the data never reached the platter; fsync
+            # before rename closes exactly that window.
+            os.fsync(fh.fileno())
+    if keep > 1:
+        rotate_checkpoints(path, keep)
     os.replace(tmp, path)
+    write_checksum_sidecar(path, durable=durable)
+    if durable:
+        # The renames themselves live in the directory entry.
+        _fsync_path(directory)
 
 
-def load_npz_state(path: str) -> Dict[str, np.ndarray]:
-    """Load a state dict saved by :func:`save_npz_state`."""
-    with np.load(path, allow_pickle=False) as data:
-        return {k: data[k].copy() for k in data.files}
+def load_npz_state(path: str, verify: bool = True) -> Dict[str, np.ndarray]:
+    """Load a state dict saved by :func:`save_npz_state`.
+
+    Raises :class:`CheckpointCorruptError` when the file is truncated or
+    garbage, or (with ``verify``, the default) when it fails its sidecar
+    checksum.  A missing sidecar is tolerated — pre-durability
+    checkpoints remain loadable.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    if verify:
+        verify_checksum(path, missing_ok=True)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return {k: data[k].copy() for k in data.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError, KeyError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is truncated or corrupt and cannot be "
+            f"loaded: {exc}"
+        ) from exc
 
 
 def pack_rng_state(gen: np.random.Generator) -> np.ndarray:
@@ -83,3 +251,10 @@ def unflatten_state(flat: Mapping[str, np.ndarray]) -> Dict:
             node = node.setdefault(part, {})
         node[parts[-1]] = value
     return out
+
+
+def iter_existing_chain(path: str, keep: int) -> Iterator[str]:
+    """Yield the rotation-chain members that exist on disk, newest first."""
+    for candidate in rotation_chain(path, keep):
+        if os.path.exists(candidate):
+            yield candidate

@@ -110,6 +110,53 @@ class TestTrainAndDeploy:
         assert rc == 0
 
 
+class TestResilienceFlags:
+    def test_train_flag_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.checkpoint_keep == 1
+        assert args.supervise is False
+        assert args.max_restarts == 8
+        assert args.episode_length is None
+
+    def test_train_writes_rotated_checkpoints(self, tmp_path):
+        out = str(tmp_path / "agent.npz")
+        rc = main([
+            "train", "--episodes", "6", "--episode-length", "5",
+            "--devices", "2", "--out", out,
+            "--checkpoint-every", "2", "--checkpoint-keep", "2",
+        ])
+        assert rc == 0
+        assert os.path.exists(out + ".ckpt")
+        assert os.path.exists(out + ".ckpt.1")
+        assert os.path.exists(out + ".ckpt.sha256")
+
+    def test_train_resume_from_corrupt_falls_back(self, tmp_path):
+        out = str(tmp_path / "agent.npz")
+        argv = [
+            "train", "--episodes", "8", "--episode-length", "5",
+            "--devices", "2", "--out", out,
+            "--checkpoint-every", "2", "--checkpoint-keep", "3",
+        ]
+        assert main(argv) == 0
+        with open(out + ".ckpt", "r+b") as fh:
+            fh.truncate(16)
+        assert main(argv + ["--resume", out + ".ckpt"]) == 0
+
+    def test_soak_parser_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.mode == "kill"
+        assert args.kills == 2
+        assert args.checkpoint_keep == 3
+
+    def test_soak_crash_mode(self, capsys):
+        rc = main([
+            "soak", "--mode", "crash", "--kills", "1", "--num-envs", "2",
+            "--workers", "2", "--episodes", "1", "--episode-length", "4",
+        ])
+        assert rc == 0
+        assert "crash soak PASS" in capsys.readouterr().out
+
+
 class TestTelemetryFlags:
     def test_train_writes_telemetry_directory(self, tmp_path, capsys):
         tel_dir = str(tmp_path / "tel")

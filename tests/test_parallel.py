@@ -226,6 +226,16 @@ class TestWorkerCrash:
         venv.close()
         assert all(not p.is_alive() for p in venv._procs)
 
+    def test_close_kills_unresponsive_worker(self):
+        # A SIGSTOPped worker cannot run its SIGTERM handler; close()
+        # must escalate to SIGKILL instead of leaving a zombie behind.
+        spec = tiny_spec()
+        venv = SubprocVecEnv(spec, 2, workers=1)
+        venv.reset()
+        os.kill(venv._procs[0].pid, signal.SIGSTOP)
+        venv.close()
+        assert all(not p.is_alive() for p in venv._procs)
+
 
 class TestVectorizedCheckpoint:
     def test_resume_matches_uninterrupted(self, tmp_path):

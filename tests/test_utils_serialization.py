@@ -6,10 +6,17 @@ import numpy as np
 import pytest
 
 from repro.utils.serialization import (
+    CheckpointCorruptError,
+    checksum_path,
     flatten_state,
+    iter_existing_chain,
     load_npz_state,
+    read_checksum_sidecar,
+    rotation_chain,
     save_npz_state,
     unflatten_state,
+    verify_checksum,
+    write_checksum_sidecar,
 )
 
 
@@ -39,6 +46,128 @@ class TestNpzRoundtrip:
         save_npz_state(path, {"y": np.ones(3)})
         loaded = load_npz_state(path)
         assert set(loaded) == {"y"}
+
+
+class TestChecksumSidecar:
+    def test_save_writes_sidecar(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        sidecar = checksum_path(path)
+        assert os.path.exists(sidecar)
+        digest = read_checksum_sidecar(path)
+        assert len(digest) == 64
+        assert verify_checksum(path) is True
+
+    def test_sidecar_is_sha256sum_compatible(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        with open(checksum_path(path), encoding="utf-8") as fh:
+            line = fh.read()
+        digest, name = line.split()
+        assert name == "s.npz"
+        assert digest == read_checksum_sidecar(path)
+
+    def test_missing_sidecar_tolerated(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        os.remove(checksum_path(path))
+        assert verify_checksum(path) is False
+        loaded = load_npz_state(path)  # pre-durability checkpoints load
+        assert set(loaded) == {"x"}
+
+    def test_missing_sidecar_strict(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        os.remove(checksum_path(path))
+        with pytest.raises(CheckpointCorruptError):
+            verify_checksum(path, missing_ok=False)
+
+    def test_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        with open(path, "ab") as fh:
+            fh.write(b"garbage appended after publication")
+        with pytest.raises(CheckpointCorruptError):
+            load_npz_state(path)
+
+    def test_refresh_sidecar(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"hello")
+        digest = write_checksum_sidecar(path)
+        assert read_checksum_sidecar(path) == digest
+        assert verify_checksum(path) is True
+
+
+class TestCorruptionDetection:
+    def test_truncated_raises(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.arange(1000)})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        write_checksum_sidecar(path)  # checksum "valid" for the torn file
+        with pytest.raises(CheckpointCorruptError):
+            load_npz_state(path)
+
+    def test_garbage_raises(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00" * 128)
+        with pytest.raises(CheckpointCorruptError):
+            load_npz_state(path)
+
+    def test_missing_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_npz_state(str(tmp_path / "nope.npz"))
+
+    def test_verify_false_skips_checksum(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.zeros(2)})
+        with open(checksum_path(path), "w", encoding="utf-8") as fh:
+            fh.write("0" * 64 + "  s.npz\n")
+        loaded = load_npz_state(path, verify=False)
+        assert set(loaded) == {"x"}
+        with pytest.raises(CheckpointCorruptError):
+            load_npz_state(path, verify=True)
+
+
+class TestRotation:
+    def test_chain_order(self):
+        assert rotation_chain("a.npz", 3) == ["a.npz", "a.npz.1", "a.npz.2"]
+        assert rotation_chain("a.npz", 1) == ["a.npz"]
+        with pytest.raises(ValueError):
+            rotation_chain("a.npz", 0)
+
+    def test_keep_generations(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        for i in range(4):
+            save_npz_state(path, {"gen": np.asarray(i)}, keep=3)
+        # Newest first: 3, 2, 1 — generation 0 rotated off the end.
+        chain = list(iter_existing_chain(path, keep=3))
+        values = [int(load_npz_state(p)["gen"]) for p in chain]
+        assert values == [3, 2, 1]
+        assert not os.path.exists(path + ".3")
+
+    def test_rotated_sidecars_follow(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        for i in range(2):
+            save_npz_state(path, {"gen": np.asarray(i)}, keep=2)
+        assert verify_checksum(path) is True
+        assert verify_checksum(path + ".1") is True
+
+    def test_keep_one_keeps_no_history(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        for i in range(3):
+            save_npz_state(path, {"gen": np.asarray(i)}, keep=1)
+        assert int(load_npz_state(path)["gen"]) == 2
+        assert not os.path.exists(path + ".1")
+
+    def test_durable_false_still_correct(self, tmp_path):
+        path = str(tmp_path / "s.npz")
+        save_npz_state(path, {"x": np.ones(3)}, durable=False)
+        assert verify_checksum(path) is True
+        assert np.array_equal(load_npz_state(path)["x"], np.ones(3))
 
 
 class TestFlatten:
