@@ -41,6 +41,9 @@ Subpackages
                       checkpoints, graceful drain, kill/resume soak
 ``repro.experiments`` presets, evaluation runner, per-figure modules
 ``repro.analysis``    REPxxx static lints + opt-in runtime sanitizer
+``repro.serve``       online allocation service: policy artifacts with
+                      hot reload, micro-batched inference, TCP server,
+                      load generator
 """
 
 from repro.baselines import (
@@ -91,6 +94,16 @@ from repro.resilience import (
     run_soak,
 )
 from repro.rl import PPOAgent, PPOConfig
+from repro.serve import (
+    AllocationServer,
+    BatchedInferenceEngine,
+    LoadConfig,
+    PolicyArtifact,
+    PolicyRegistry,
+    ServeConfig,
+    export_policy,
+    run_load,
+)
 from repro.sim import CostModel, FLSystem, IterationResult, SystemConfig
 from repro.traces import (
     BandwidthTrace,
@@ -179,4 +192,13 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_fig8",
+    # serve
+    "AllocationServer",
+    "BatchedInferenceEngine",
+    "LoadConfig",
+    "PolicyArtifact",
+    "PolicyRegistry",
+    "ServeConfig",
+    "export_policy",
+    "run_load",
 ]

@@ -2,13 +2,16 @@
 
 Commands
 --------
-``train``      offline DRL training (Algorithm 1) + checkpoint save
-``evaluate``   online reasoning: compare allocators on a preset
-``traces``     generate synthetic traces to CSV / report their statistics
-``fig``        regenerate a paper figure's numbers (2, 3, 6, 7, 8)
-``soak``       kill/resume chaos harness (repro.resilience.soak)
-``telemetry``  summarize a ``--telemetry-dir`` produced by train/evaluate
-``analyze``    project-specific static checks (REP001-REP007, repro.analysis)
+``train``          offline DRL training (Algorithm 1) + checkpoint save
+``evaluate``       online reasoning: compare allocators on a preset
+``export-policy``  distill a checkpoint into a frozen serving artifact
+``serve``          online allocation service over TCP (repro.serve)
+``serve-bench``    seeded load test against a running server
+``traces``         generate synthetic traces to CSV / report their statistics
+``fig``            regenerate a paper figure's numbers (2, 3, 6, 7, 8)
+``soak``           kill/resume chaos harness (repro.resilience.soak)
+``telemetry``      summarize a ``--telemetry-dir`` produced by train/evaluate
+``analyze``        project-specific static checks (REP001-REP007, repro.analysis)
 
 Output goes through :data:`repro.obs.console` (level-filtered; ``--quiet``
 suppresses everything below warnings).  ``train``/``evaluate`` accept
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from dataclasses import replace
 
 import numpy as np
@@ -124,6 +128,22 @@ def _teardown_telemetry(telemetry) -> None:
     set_telemetry(NULL_TELEMETRY)
 
 
+@contextmanager
+def _telemetry_scope(args, command: str, config=None):
+    """Telemetry (and the sanitizer flag) scoped to a command body.
+
+    Guarantees :func:`_teardown_telemetry` runs however the body exits —
+    including failures *before* the command's own work starts, which a
+    hand-rolled configure/try/finally sequence can leak past.
+    """
+    telemetry = _configure_telemetry(args, command, config=config)
+    try:
+        _maybe_enable_sanitizer(args)
+        yield telemetry
+    finally:
+        _teardown_telemetry(telemetry)
+
+
 def _add_fault_flags(parser) -> None:
     parser.add_argument("--dropout", type=float, default=0.0,
                         help="per-device per-round dropout probability")
@@ -165,11 +185,9 @@ def cmd_train(args) -> int:
         env, env_spec = None, build_env_spec(preset, seed=args.seed)
     else:
         env, env_spec = build_env(preset, seed=args.seed), None
-    telemetry = _configure_telemetry(
+    with _telemetry_scope(
         args, "train", config={"preset": preset, "trainer": config}
-    )
-    _maybe_enable_sanitizer(args)
-    try:
+    ) as telemetry:
         trainer = OfflineTrainer(env, config, rng=args.seed, env_spec=env_spec)
         if args.resume:
             episode = trainer.resume(args.resume)
@@ -217,8 +235,6 @@ def cmd_train(args) -> int:
         console.info(f"checkpoint written to {args.out}")
         if telemetry is not None:
             console.info(f"telemetry written to {args.telemetry_dir}")
-    finally:
-        _teardown_telemetry(telemetry)
     return 0
 
 
@@ -238,7 +254,13 @@ def _build_allocators(names, checkpoint, hidden):
         if name == "drl":
             if not checkpoint:
                 raise SystemExit("--checkpoint is required to evaluate 'drl'")
-            out.append(DRLAllocator.from_checkpoint(checkpoint, hidden=hidden))
+            if checkpoint.endswith(".policy.npz"):
+                # A serving artifact (repro export-policy) also evaluates.
+                out.append(DRLAllocator.from_artifact(checkpoint))
+            else:
+                # Walks the rotation chain, so a corrupt newest
+                # generation falls back instead of aborting the eval.
+                out.append(DRLAllocator.from_checkpoint(checkpoint, hidden=hidden))
         elif name == "heuristic":
             out.append(HeuristicAllocator())
         elif name == "static":
@@ -260,12 +282,11 @@ def cmd_evaluate(args) -> int:
     from repro.experiments.runner import EvaluationRunner
 
     preset = _apply_faults(_get_preset(args.preset, args.devices, args.lam), args)
-    telemetry = _configure_telemetry(args, "evaluate", config={"preset": preset})
-    _maybe_enable_sanitizer(args)
-    try:
+    with _telemetry_scope(args, "evaluate", config={"preset": preset}):
         runner = EvaluationRunner(preset, seed=args.seed)
         allocators = _build_allocators(
-            args.allocators, args.checkpoint, tuple(args.hidden)
+            args.allocators, args.checkpoint,
+            tuple(args.hidden) if args.hidden else None,
         )
         result = runner.evaluate(allocators, n_iterations=args.iters)
         rows = [
@@ -278,8 +299,6 @@ def cmd_evaluate(args) -> int:
             title=f"{preset.name}: {args.iters or preset.eval_iterations} iterations",
         ))
         console.info("ranking: " + " < ".join(result.ranking()))
-    finally:
-        _teardown_telemetry(telemetry)
     return 0
 
 
@@ -451,13 +470,97 @@ def cmd_analyze(args) -> int:
     return result.exit_code(forbid_blanket=args.no_blanket)
 
 
+def cmd_export_policy(args) -> int:
+    from repro.experiments.presets import build_fleet
+    from repro.serve import export_policy
+
+    # The action bounds come from the deployment fleet, rebuilt
+    # deterministically from (preset, devices, seed) — training
+    # checkpoints never stored them.
+    preset = _get_preset(args.preset, args.devices)
+    fleet = build_fleet(preset, seed=args.seed)
+    artifact = export_policy(
+        args.checkpoint,
+        args.out,
+        fleet.max_frequencies,
+        floor_frac=args.floor_frac,
+        keep=args.keep,
+    )
+    console.info(
+        f"exported {artifact.policy} policy "
+        f"(obs_dim={artifact.obs_dim}, act_dim={artifact.act_dim}) "
+        f"to {args.out}"
+    )
+    console.always(f"artifact version: {artifact.version}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.resilience import GracefulDrain
+    from repro.serve import AllocationServer, PolicyRegistry, ServeConfig
+    from repro.utils.serialization import CheckpointCorruptError
+
+    with _telemetry_scope(args, "serve"):
+        registry = PolicyRegistry(args.policy)
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            deadline_ms=args.deadline_ms,
+            drain_grace_s=args.drain_grace,
+        )
+        try:
+            server = AllocationServer(registry, config)
+        except (FileNotFoundError, CheckpointCorruptError) as exc:
+            raise SystemExit(f"cannot serve {args.policy}: {exc}")
+        host, port = server.start()
+        # The bound address is the command's product (port 0 binds an
+        # ephemeral port): print it even under --quiet so scripts and CI
+        # can discover where to connect.
+        console.always(f"serving {registry.version()} on {host}:{port}")
+        with GracefulDrain() as drain:
+            server.run_until(drain)
+        console.info(f"drained ({drain.describe() or 'stopped'})")
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from repro.serve import LoadConfig, run_load
+
+    with _telemetry_scope(args, "serve-bench"):
+        config = LoadConfig(
+            host=args.host,
+            port=args.port,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            mode=args.mode,
+            rate=args.rate,
+            deadline_ms=args.deadline_ms,
+        )
+        report = run_load(config)
+        console.always(report.summary())
+        if report.n_errors and not args.allow_errors:
+            console.warning(
+                f"{report.n_errors} request(s) failed: {report.errors_by_code}"
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Experience-driven FL resource allocation (IPDPS'20 reproduction)",
     )
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress informational output (warnings still show)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("train", help="offline DRL training (Algorithm 1)")
@@ -498,8 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=["heuristic", "static", "oracle", "full-speed"],
         help="drl heuristic static oracle full-speed random predictive-<name>",
     )
-    p.add_argument("--checkpoint", default=None, help="agent .npz for 'drl'")
-    p.add_argument("--hidden", type=int, nargs="+", default=[64, 64])
+    p.add_argument("--checkpoint", default=None,
+                   help="agent .npz (or *.policy.npz artifact) for 'drl'")
+    p.add_argument("--hidden", type=int, nargs="+", default=None,
+                   help="actor hidden widths (default: inferred from the "
+                        "checkpoint's weight shapes)")
     p.add_argument("--iters", type=int, default=None)
     p.add_argument("--devices", type=int, default=None)
     p.add_argument("--lam", type=float, default=None)
@@ -565,6 +671,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", default=None,
                    help="keep soak artifacts here (default: temp dir)")
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser(
+        "export-policy",
+        help="distill a training checkpoint into a frozen serving artifact",
+    )
+    p.add_argument("checkpoint", help="trained agent .npz (repro train --out)")
+    p.add_argument("--out", default="policy-v0001.policy.npz",
+                   help="artifact path; version artifacts lexicographically "
+                        "(policy-v0001..., policy-v0002...) for hot reload")
+    p.add_argument("--preset", default="testbed",
+                   help="deployment fleet preset supplying the action bounds")
+    p.add_argument("--devices", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0,
+                   help="fleet-build seed (must match the evaluation fleet)")
+    p.add_argument("--floor-frac", type=float, default=0.1,
+                   help="minimum frequency fraction of the action map")
+    p.add_argument("--keep", type=int, default=1,
+                   help="rotated artifact generations to keep")
+    p.set_defaults(func=cmd_export_policy)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve allocations over TCP (JSON lines) from a policy artifact",
+    )
+    p.add_argument("policy",
+                   help="a policy artifact .npz, or a directory of versioned "
+                        "artifacts (newest serves; 'reload' hot-swaps)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; the bound port is printed)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="max states coalesced into one policy forward")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="admission bound; beyond it requests get 'overloaded'")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="default per-request deadline")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="seconds to drain in-flight work on SIGTERM/SIGINT")
+    _add_telemetry_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="seeded load test against a running allocation server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--requests", type=int, default=500)
+    p.add_argument("--concurrency", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mode", default="closed", choices=("closed", "open"),
+                   help="closed = wait-then-send; open = paced arrivals")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open-loop aggregate arrival rate (req/s)")
+    p.add_argument("--deadline-ms", type=float, default=None)
+    p.add_argument("--allow-errors", action="store_true",
+                   help="exit 0 even when some requests failed (overload tests)")
+    _add_telemetry_flags(p)
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("telemetry", help="inspect recorded telemetry")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)

@@ -3,16 +3,28 @@
 Section V.B.2: "During reasoning, we only use the trained actor network
 to generate its action a_k, given its own state s_k."  The allocator is
 deterministic (policy mean) and needs no critic, reward or buffer.
+
+Two rehydration paths produce bit-identical allocations:
+
+* :meth:`DRLAllocator.from_checkpoint` — a full training checkpoint
+  (loaded through the corruption-fallback rotation walk);
+* :meth:`DRLAllocator.from_artifact` — a frozen serving artifact
+  exported by ``repro export-policy`` (:mod:`repro.serve.artifact`).
+
+Both run the batch-stable inference kernel, which is also what the
+allocation server runs — so "evaluate in process" and "ask the service"
+are interchangeable down to the last bit.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.baselines.base import Allocator
 from repro.env.wrappers import ActionMapper
 from repro.rl.agent import AgentConfig, PPOAgent
-from repro.utils.serialization import load_npz_state
 
 
 class DRLAllocator(Allocator):
@@ -20,20 +32,31 @@ class DRLAllocator(Allocator):
 
     name = "drl"
 
-    def __init__(self, agent: PPOAgent, action_floor_frac: float = 0.1):
+    def __init__(self, agent: Optional[PPOAgent], action_floor_frac: float = 0.1):
         self.agent = agent
         self.action_floor_frac = float(action_floor_frac)
-        self._mapper = None
+        self._mapper: Optional[ActionMapper] = None
+        self._artifact = None
 
     def reset(self, system) -> None:
+        if self._artifact is not None:
+            return  # the artifact carries its own (exported) action map
         self._mapper = ActionMapper(
             system.fleet.max_frequencies, self.action_floor_frac
         )
 
     def allocate(self, system) -> np.ndarray:
+        obs = system.bandwidth_state().ravel()
+        if self._artifact is not None:
+            if obs.size != self._artifact.obs_dim:
+                raise ValueError(
+                    f"system state dim {obs.size} does not match the "
+                    f"artifact's obs dim {self._artifact.obs_dim}"
+                )
+            return self._artifact.act(obs)
         if self._mapper is None:
             self.reset(system)
-        obs = system.bandwidth_state().ravel()
+        assert self._mapper is not None and self.agent is not None
         if obs.size != self.agent.config.obs_dim:
             raise ValueError(
                 f"system state dim {obs.size} does not match the agent's "
@@ -46,17 +69,55 @@ class DRLAllocator(Allocator):
     def from_checkpoint(
         cls,
         path: str,
-        hidden=(64, 64),
+        hidden: Optional[Tuple[int, ...]] = None,
         action_floor_frac: float = 0.1,
+        keep: int = 3,
     ) -> "DRLAllocator":
-        """Rehydrate an allocator from a saved agent checkpoint."""
-        state = load_npz_state(path)
+        """Rehydrate an allocator from a saved agent checkpoint.
+
+        Loading walks the checkpoint's rotation chain
+        (:func:`~repro.resilience.checkpoint.load_checkpoint_with_fallback`),
+        so a corrupt newest generation falls back to an older good one
+        instead of failing the evaluation.  ``hidden`` is inferred from
+        the checkpoint's weight shapes when not given, and the policy
+        architecture (dense vs shared) is detected the same way.
+        """
+        from repro.resilience.checkpoint import load_checkpoint_with_fallback
+        from repro.serve.artifact import detect_policy_kind, infer_hidden
+
+        state, _used = load_checkpoint_with_fallback(path, keep=keep)
         obs_dim = int(np.asarray(state["meta/obs_dim"]))
         act_dim = int(np.asarray(state["meta/act_dim"]))
         agent = PPOAgent(
-            AgentConfig(obs_dim=obs_dim, act_dim=act_dim, hidden=tuple(hidden)),
+            AgentConfig(
+                obs_dim=obs_dim,
+                act_dim=act_dim,
+                hidden=infer_hidden(state) if hidden is None else tuple(hidden),
+                policy=detect_policy_kind(state),
+            ),
             rng=0,
         )
         agent.load_state_dict(state)
         agent.freeze()
         return cls(agent, action_floor_frac=action_floor_frac)
+
+    @classmethod
+    def from_artifact(cls, artifact: Union[str, "object"]) -> "DRLAllocator":
+        """Rehydrate an allocator from a serving artifact (path or object).
+
+        The returned allocator uses the artifact's own exported action
+        bounds rather than the live system's, exactly as the allocation
+        server does — its outputs are bit-identical to served responses.
+        """
+        from repro.serve.artifact import PolicyArtifact
+
+        if isinstance(artifact, str):
+            artifact = PolicyArtifact.load(artifact)
+        if not isinstance(artifact, PolicyArtifact):
+            raise TypeError(
+                f"expected a PolicyArtifact or path, got {type(artifact)!r}"
+            )
+        allocator = cls(None, action_floor_frac=artifact.mapper.floor_frac)
+        allocator._mapper = artifact.mapper
+        allocator._artifact = artifact
+        return allocator

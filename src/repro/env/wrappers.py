@@ -45,6 +45,19 @@ class ActionMapper:
         frac = self.floor_frac + 0.5 * (1.0 + a) * (1.0 - self.floor_frac)
         return frac * self.max_frequencies
 
+    def to_frequencies_batch(self, raw_actions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`to_frequencies` over a ``(B, n)`` batch.
+
+        Purely elementwise, so row ``i`` equals
+        ``to_frequencies(raw_actions[i])`` bit-for-bit — the serving
+        engine (:mod:`repro.serve`) maps whole micro-batches at once.
+        """
+        a = np.clip(np.asarray(raw_actions, dtype=np.float64), -1.0, 1.0)
+        if a.ndim != 2 or a.shape[1] != self.n:
+            raise ValueError(f"expected actions of shape (B, {self.n}), got {a.shape}")
+        frac = self.floor_frac + 0.5 * (1.0 + a) * (1.0 - self.floor_frac)
+        return frac * self.max_frequencies
+
     def to_raw(self, frequencies: np.ndarray) -> np.ndarray:
         """Inverse map (frequencies inside the range; used in tests)."""
         f = np.asarray(frequencies, dtype=np.float64).ravel()

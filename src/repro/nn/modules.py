@@ -62,6 +62,18 @@ class Module:
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward: no caching, batch-composition-stable.
+
+        Row ``i`` of the output is bit-identical whether the row is
+        computed alone or inside any batch — the property the serving
+        stack (:mod:`repro.serve`) relies on so that micro-batched
+        responses match single-request inference exactly.  Implementations
+        must not touch the backward caches, so concurrent inference never
+        corrupts an in-flight training step.
+        """
+        raise NotImplementedError
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -133,6 +145,28 @@ class Linear(Module):
         self._x = x
         return x @ self.W.data + self.b.data
 
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        """Batch-stable affine map (no input caching).
+
+        BLAS gemm reassociates the k-reduction differently for different
+        batch shapes, so ``(X @ W)[i]`` is *not* bit-identical to
+        ``X[i:i+1] @ W``.  Accumulating the k terms in fixed order with
+        elementwise (row-independent) operations makes every row's result
+        invariant to the rest of the batch, at the cost of ``in_features``
+        vectorized ops instead of one gemm — the right trade for the
+        low-dimensional actor MLPs this serves.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected (B, {self.in_features}); got {x.shape}"
+            )
+        w = self.W.data
+        out = np.broadcast_to(self.b.data, (x.shape[0], self.out_features)).copy()
+        for k in range(self.in_features):
+            out += x[:, k, None] * w[k]
+        return out
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
@@ -155,6 +189,9 @@ class Tanh(_Activation):
         self._cache = y
         return y
 
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * (1.0 - self._cache**2)
 
@@ -163,6 +200,9 @@ class ReLU(_Activation):
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._cache = x > 0
         return np.where(self._cache, x, 0.0)
+
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * self._cache
@@ -174,6 +214,9 @@ class Sigmoid(_Activation):
         self._cache = y
         return y
 
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * self._cache * (1.0 - self._cache)
 
@@ -183,12 +226,18 @@ class Softplus(_Activation):
         self._cache = x
         return np.logaddexp(0.0, x)
 
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        return np.logaddexp(0.0, x)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out / (1.0 + np.exp(-self._cache))
 
 
 class Identity(_Activation):
     def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
         return np.asarray(x, dtype=np.float64)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -223,6 +272,11 @@ class Sequential(Module):
                 x = layer.forward(x)
             return x
         return self._forward_sanitized(x, san)
+
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward_infer(x)
+        return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         san = _sanitizer.ACTIVE

@@ -20,6 +20,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from typing import Dict, List, Optional
 
 #: Version stamped into every emitted record; bump on breaking changes.
@@ -93,6 +94,10 @@ class JsonlEventSink(EventSink):
     keep the per-event cost at one ``json.dumps``.  Opening an existing
     log continues its sequence numbering, so a resumed run appends to
     the same file (after the trainer rewinds past-checkpoint records).
+
+    Emission and flushing are serialized by an internal lock: the
+    serving layer (:mod:`repro.serve`) emits from its engine worker and
+    request-handler threads concurrently.
     """
 
     def __init__(self, path: str, buffer_records: int = 128) -> None:
@@ -102,6 +107,7 @@ class JsonlEventSink(EventSink):
         self.buffer_records = int(buffer_records)
         self._buffer: List[str] = []
         self._closed = False
+        self._lock = threading.Lock()
         self.seq = 0
         directory = os.path.dirname(self.path)
         if directory:
@@ -111,25 +117,31 @@ class JsonlEventSink(EventSink):
                 self.seq = max(self.seq, int(record.get("seq", 0)))
 
     def emit(self, type_: str, fields: Dict) -> int:
-        if self._closed:
-            raise RuntimeError("emit() on a closed JsonlEventSink")
-        record = self._stamp(type_, fields)
-        self._buffer.append(json.dumps(record, separators=(",", ":")))
-        if len(self._buffer) >= self.buffer_records:
-            self.flush()
-        return record["seq"]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("emit() on a closed JsonlEventSink")
+            record = self._stamp(type_, fields)
+            self._buffer.append(json.dumps(record, separators=(",", ":")))
+            if len(self._buffer) >= self.buffer_records:
+                self._flush_locked()
+            return record["seq"]
 
-    def flush(self) -> None:
+    def _flush_locked(self) -> None:
         if not self._buffer:
             return
         with io.open(self.path, "a", encoding="utf-8") as fh:
             fh.write("\n".join(self._buffer) + "\n")
         self._buffer = []
 
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
     def close(self) -> None:
-        if not self._closed:
-            self.flush()
-            self._closed = True
+        with self._lock:
+            if not self._closed:
+                self._flush_locked()
+                self._closed = True
 
     def rewind(self, watermark: int) -> None:
         """Truncate the log to records with ``seq <= watermark``.

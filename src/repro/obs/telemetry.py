@@ -178,6 +178,15 @@ class Telemetry:
         fields["method"] = str(name)
         self.sink.emit("eval_method", fields)
 
+    def on_serve_batch(self, **fields) -> None:
+        """One coalesced inference micro-batch in the serving engine."""
+        self.sink.emit("serve_batch", fields)
+        self.registry.counter("serve_batches").inc()
+        if "batch_size" in fields:
+            self.registry.histogram("serve.batch_size").observe(
+                float(fields["batch_size"])
+            )
+
 
 class NullTelemetry(Telemetry):
     """The disabled backend: every hook is a pass, spans are shared."""
@@ -224,6 +233,9 @@ class NullTelemetry(Telemetry):
         pass
 
     def on_eval_method(self, name: str, **fields) -> None:
+        pass
+
+    def on_serve_batch(self, **fields) -> None:
         pass
 
 

@@ -177,10 +177,26 @@ class PPOAgent:
         return actions, log_probs, values
 
     def policy_action(self, obs: np.ndarray) -> np.ndarray:
-        """Deterministic action from the *trained* actor (online reasoning)."""
+        """Deterministic action from the *trained* actor (online reasoning).
+
+        Runs the batch-stable inference kernel (``mean_infer``) rather
+        than the training forward, so the result is bit-identical to what
+        the exported serving artifact (:mod:`repro.serve`) computes for
+        the same state — singly or inside any micro-batch.
+        """
         norm_obs = self.obs_norm.normalize_frozen(obs)
-        action, _ = self.actor.act(norm_obs, deterministic=True)
-        return action
+        return self.actor.mean_infer(norm_obs)[0]
+
+    def policy_action_batch(self, obs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`policy_action` over ``(B, obs_dim)`` states.
+
+        One stable forward serves the whole batch; row ``i`` equals
+        ``policy_action(obs[i])`` bit-for-bit.
+        """
+        norm_obs = self.obs_norm.normalize_frozen(
+            np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        )
+        return self.actor.mean_infer(norm_obs)
 
     # -- learning ----------------------------------------------------------
     def observe(

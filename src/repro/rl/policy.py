@@ -55,6 +55,17 @@ class GaussianActor(Module):
         obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
         return self.mean_net.forward(obs)
 
+    def mean_infer(self, obs: np.ndarray) -> np.ndarray:
+        """Deterministic action mean via the batch-stable inference path.
+
+        Returns a ``(B, act_dim)`` batch of means.  Unlike :meth:`forward`
+        it caches nothing (safe to call concurrently with training) and
+        each row is bit-identical however the batch is composed — the
+        contract the online serving stack (:mod:`repro.serve`) builds on.
+        """
+        obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        return self.mean_net.forward_infer(obs)
+
     def backward(self, grad_mean: np.ndarray) -> np.ndarray:
         return self.mean_net.backward(grad_mean)
 

@@ -76,8 +76,8 @@ class SharedGaussianActor(Module):
         return self.net.parameters() + [self.log_std]
 
     # -- observation plumbing ------------------------------------------------
-    def _per_device_inputs(self, obs: np.ndarray) -> np.ndarray:
-        """(B, N*h) -> (B*N, h*(1+stats)) shared-network input."""
+    def _stack_inputs(self, obs: np.ndarray) -> np.ndarray:
+        """(B, N*h) -> (B*N, h*(1+stats)) shared-network input (pure)."""
         obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
         if obs.shape[1] != self.obs_dim:
             raise ValueError(
@@ -96,13 +96,30 @@ class SharedGaussianActor(Module):
         )  # (B, 1, 3h)
         context = np.broadcast_to(context, (b, self.n_devices, N_CONTEXT_STATS * self.h))
         stacked = np.concatenate([per, context], axis=2)
-        self._batch = b
         return stacked.reshape(b * self.n_devices, self.h * (1 + N_CONTEXT_STATS))
+
+    def _per_device_inputs(self, obs: np.ndarray) -> np.ndarray:
+        """Like :meth:`_stack_inputs` but records the batch for backward."""
+        obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        self._batch = obs.shape[0]
+        return self._stack_inputs(obs)
 
     def forward(self, obs: np.ndarray) -> np.ndarray:
         flat = self._per_device_inputs(obs)
         out = self.net.forward(flat)              # (B*N, 1)
         return out.reshape(self._batch, self.n_devices)
+
+    def mean_infer(self, obs: np.ndarray) -> np.ndarray:
+        """Batch-stable deterministic mean (see GaussianActor.mean_infer).
+
+        The per-row context pooling reduces only within a row, so stacking
+        rows into one batch never changes any row's result.  Nothing is
+        cached — concurrent with training/backward is safe.
+        """
+        obs = np.atleast_2d(np.asarray(obs, dtype=np.float64))
+        b = obs.shape[0]
+        out = self.net.forward_infer(self._stack_inputs(obs))  # (B*N, 1)
+        return out.reshape(b, self.n_devices)
 
     def backward(self, grad_mean: np.ndarray) -> np.ndarray:
         """Backprop d(loss)/d(mean) through the shared network.

@@ -1,0 +1,76 @@
+"""Online allocation service: serve a trained policy over TCP.
+
+The training side of this repository ends at a checkpoint; this package
+is the deployment side.  ``repro export-policy`` distills a checkpoint
+into a frozen forward-only :class:`~repro.serve.artifact.PolicyArtifact`,
+a :class:`~repro.serve.registry.PolicyRegistry` hot-reloads versioned
+artifacts with load-validate-swap semantics, a
+:class:`~repro.serve.engine.BatchedInferenceEngine` coalesces concurrent
+requests into single vectorized forwards, and
+:class:`~repro.serve.server.AllocationServer` fronts it all with a
+JSON-lines TCP protocol, explicit load shedding and graceful drain.
+``repro serve-bench`` (:mod:`repro.serve.loadgen`) load-tests the result.
+
+The one invariant everything here leans on: inference runs the
+batch-stable kernel, so a served response is bit-identical to the same
+state evaluated in-process — at any micro-batch size.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    PolicyArtifact,
+    detect_policy_kind,
+    export_policy,
+    infer_hidden,
+)
+from repro.serve.engine import (
+    BatchedInferenceEngine,
+    DeadlineExceededError,
+    EngineClosedError,
+    EngineOverloadedError,
+    InferenceTicket,
+)
+from repro.serve.loadgen import LoadConfig, LoadReport, request_once, run_load
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from repro.serve.registry import PolicyHandle, PolicyRegistry
+from repro.serve.server import AllocationServer, ServeConfig
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "AllocationServer",
+    "BatchedInferenceEngine",
+    "DeadlineExceededError",
+    "ERROR_CODES",
+    "EngineClosedError",
+    "EngineOverloadedError",
+    "InferenceTicket",
+    "LoadConfig",
+    "LoadReport",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "PolicyArtifact",
+    "PolicyHandle",
+    "PolicyRegistry",
+    "ProtocolError",
+    "ServeConfig",
+    "decode_request",
+    "detect_policy_kind",
+    "encode_response",
+    "error_response",
+    "export_policy",
+    "infer_hidden",
+    "ok_response",
+    "request_once",
+    "run_load",
+]

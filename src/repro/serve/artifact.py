@@ -1,0 +1,296 @@
+"""Frozen, forward-only policy artifacts for online serving.
+
+Training checkpoints carry everything Algorithm 1 needs to *continue*
+(critic, optimizer moments, reward scaler, RNG streams); serving needs
+none of it.  :func:`export_policy` distills a trained
+:class:`~repro.rl.agent.PPOAgent` checkpoint into a **policy artifact**:
+the actor weights, the frozen observation-normalization moments, the
+:class:`~repro.env.wrappers.ActionMapper` bounds and a schema version —
+written through the durable :func:`~repro.utils.serialization.save_npz_state`
+path, so every artifact is fsync-published with a sha256 sidecar.
+
+:class:`PolicyArtifact` loads one back and exposes the whole
+state -> frequencies map as a single vectorized call.  Every forward
+runs the batch-stable inference kernel (``mean_infer``), so a response
+is bit-identical whether the state was served alone, inside any
+micro-batch, or through an in-process
+:class:`~repro.core.drl_allocator.DRLAllocator` — batching is purely a
+throughput decision, never a numerics one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.env.wrappers import ActionMapper
+from repro.rl.normalization import ObservationNormalizer, PerDeviceNormalizer
+from repro.rl.policy import GaussianActor
+from repro.rl.shared_policy import N_CONTEXT_STATS, SharedGaussianActor
+from repro.utils.serialization import (
+    CheckpointCorruptError,
+    checksum_path,
+    load_npz_state,
+    read_checksum_sidecar,
+    save_npz_state,
+)
+
+#: Artifact layout version; bump on breaking key/semantic changes.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Keys every artifact must carry (weights/normalizer keys vary by arch).
+_REQUIRED_KEYS = (
+    "meta/schema",
+    "meta/obs_dim",
+    "meta/act_dim",
+    "meta/activation",
+    "meta/policy",
+    "meta/floor_frac",
+    "mapper/max_frequencies",
+)
+
+_Normalizer = Union[ObservationNormalizer, PerDeviceNormalizer]
+_Actor = Union[GaussianActor, SharedGaussianActor]
+
+
+def _scalar_str(value: np.ndarray) -> str:
+    return str(np.asarray(value).item())
+
+
+def _actor_weight_shapes(
+    state: Dict[str, np.ndarray], prefix: str = "actor/mean/"
+) -> List[Tuple[int, ...]]:
+    """Shapes of the actor MLP's weight matrices, in layer order."""
+    shapes: List[Tuple[int, ...]] = []
+    for i in range(0, 2 * len(state), 2):  # p0, p2, p4, ... are W matrices
+        key = f"{prefix}p{i}"
+        if key not in state:
+            break
+        shapes.append(np.asarray(state[key]).shape)
+    if not shapes or any(len(s) != 2 for s in shapes):
+        raise CheckpointCorruptError(
+            "checkpoint has no recognizable actor MLP weights under "
+            f"{prefix}p0, p2, ..."
+        )
+    return shapes
+
+
+def infer_hidden(state: Dict[str, np.ndarray]) -> Tuple[int, ...]:
+    """Recover the actor's hidden widths from its weight shapes.
+
+    The checkpoint format stores no architecture metadata; the chain of
+    ``(in, h1), (h1, h2), ..., (h_last, out)`` weight shapes determines
+    it completely, so export never needs a ``--hidden`` flag.
+    """
+    shapes = _actor_weight_shapes(state)
+    return tuple(int(s[1]) for s in shapes[:-1])
+
+
+def detect_policy_kind(state: Dict[str, np.ndarray]) -> str:
+    """``"dense"`` or ``"shared"`` from checkpoint shapes alone.
+
+    A shared (permutation-equivariant) actor consumes per-device blocks
+    of ``h * (1 + context_stats)`` features and its normalizer carries a
+    ``block_dim``; the dense actor consumes the flat ``obs_dim`` state.
+    """
+    if "obs_norm/block_dim" in state:
+        return "shared"
+    obs_dim = int(np.asarray(state["meta/obs_dim"]))
+    in_dim = _actor_weight_shapes(state)[0][0]
+    return "dense" if in_dim == obs_dim else "shared"
+
+
+class PolicyArtifact:
+    """A loaded forward-only policy: state batch -> frequency batch.
+
+    Construction always ends with a probe forward on a zero state, so a
+    corrupt or non-finite artifact fails at *load* time (where the
+    registry can fall back) rather than on the first live request.
+    """
+
+    def __init__(
+        self,
+        actor: _Actor,
+        normalizer: _Normalizer,
+        mapper: ActionMapper,
+        obs_dim: int,
+        act_dim: int,
+        policy: str,
+        source: str = "",
+        digest: str = "",
+    ) -> None:
+        self.actor = actor
+        self.normalizer = normalizer
+        self.mapper = mapper
+        self.obs_dim = int(obs_dim)
+        self.act_dim = int(act_dim)
+        self.policy = str(policy)
+        #: Path the artifact was loaded from ("" for in-memory builds).
+        self.source = str(source)
+        #: sha256 content digest from the sidecar ("" when absent).
+        self.digest = str(digest)
+        probe = self.act_batch(np.zeros((1, self.obs_dim)))
+        if probe.shape != (1, self.act_dim) or not np.all(np.isfinite(probe)):
+            raise CheckpointCorruptError(
+                f"policy artifact {source or '<memory>'} fails its probe "
+                f"forward (shape {probe.shape}, finite="
+                f"{bool(np.all(np.isfinite(probe)))})"
+            )
+
+    @property
+    def version(self) -> str:
+        """Human-readable identity: basename plus digest prefix."""
+        name = os.path.basename(self.source) if self.source else "<memory>"
+        return f"{name}@{self.digest[:12]}" if self.digest else name
+
+    # -- inference ----------------------------------------------------------
+    def raw_batch(self, states: np.ndarray) -> np.ndarray:
+        """Normalized stable forward: ``(B, obs_dim)`` -> raw actions."""
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if states.shape[1] != self.obs_dim:
+            raise ValueError(
+                f"expected states of shape (B, {self.obs_dim}), got {states.shape}"
+            )
+        norm = self.normalizer.normalize_frozen(states)
+        return self.actor.mean_infer(norm)
+
+    def raw_action(self, obs: np.ndarray) -> np.ndarray:
+        """Single flat state -> raw (pre-mapper) action."""
+        return self.raw_batch(np.asarray(obs, dtype=np.float64).ravel())[0]
+
+    def act_batch(self, states: np.ndarray) -> np.ndarray:
+        """``(B, obs_dim)`` states -> ``(B, act_dim)`` frequencies (GHz)."""
+        return self.mapper.to_frequencies_batch(self.raw_batch(states))
+
+    def act(self, obs: np.ndarray) -> np.ndarray:
+        """Single flat state -> per-device frequencies delta (GHz)."""
+        return self.act_batch(np.asarray(obs, dtype=np.float64).ravel())[0]
+
+    # -- loading ------------------------------------------------------------
+    @classmethod
+    def from_state(cls, state: Dict[str, np.ndarray], source: str = "",
+                   digest: str = "") -> "PolicyArtifact":
+        """Rebuild the serving stack from a flat artifact state dict."""
+        for key in _REQUIRED_KEYS:
+            if key not in state:
+                raise CheckpointCorruptError(
+                    f"policy artifact {source or '<memory>'} is missing "
+                    f"required key {key!r}"
+                )
+        schema = int(np.asarray(state["meta/schema"]))
+        if schema != ARTIFACT_SCHEMA_VERSION:
+            raise CheckpointCorruptError(
+                f"policy artifact {source or '<memory>'} has schema "
+                f"{schema}; this build reads schema {ARTIFACT_SCHEMA_VERSION}"
+            )
+        obs_dim = int(np.asarray(state["meta/obs_dim"]))
+        act_dim = int(np.asarray(state["meta/act_dim"]))
+        activation = _scalar_str(state["meta/activation"])
+        policy = _scalar_str(state["meta/policy"])
+        floor_frac = float(np.asarray(state["meta/floor_frac"]))
+        hidden = infer_hidden(state)
+        try:
+            actor: _Actor
+            if policy == "shared":
+                if obs_dim % act_dim != 0:
+                    raise ValueError("shared policy needs obs_dim % act_dim == 0")
+                actor = SharedGaussianActor(
+                    act_dim, obs_dim // act_dim, hidden=hidden,
+                    activation=activation, rng=0,
+                )
+            else:
+                actor = GaussianActor(
+                    obs_dim, act_dim, hidden=hidden, activation=activation, rng=0
+                )
+            actor.load_state_dict(state, prefix="actor/")
+            norm_state = {
+                k.split("/", 1)[1]: v
+                for k, v in state.items()
+                if k.startswith("obs_norm/")
+            }
+            normalizer: _Normalizer
+            if "block_dim" in norm_state:
+                normalizer = PerDeviceNormalizer(
+                    int(np.asarray(norm_state["block_dim"]))
+                )
+            else:
+                normalizer = ObservationNormalizer(obs_dim)
+            normalizer.load_state_dict(norm_state)
+            normalizer.freeze()
+            mapper = ActionMapper(
+                np.asarray(state["mapper/max_frequencies"], dtype=np.float64),
+                floor_frac,
+            )
+        except (KeyError, ValueError) as exc:
+            raise CheckpointCorruptError(
+                f"policy artifact {source or '<memory>'} cannot be "
+                f"rebuilt: {exc}"
+            ) from exc
+        if mapper.n != act_dim:
+            raise CheckpointCorruptError(
+                f"policy artifact {source or '<memory>'} mapper bounds size "
+                f"{mapper.n} does not match act_dim {act_dim}"
+            )
+        return cls(
+            actor, normalizer, mapper, obs_dim, act_dim, policy,
+            source=source, digest=digest,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "PolicyArtifact":
+        """Load and fully validate an artifact (checksum, schema, probe).
+
+        Raises :class:`CheckpointCorruptError` for any failure mode, so
+        callers (the registry's load-validate-swap) need one except.
+        """
+        state = load_npz_state(path)
+        digest = ""
+        if os.path.exists(checksum_path(path)):
+            digest = read_checksum_sidecar(path)
+        return cls.from_state(state, source=path, digest=digest)
+
+
+def export_policy(
+    checkpoint_path: str,
+    out_path: str,
+    max_frequencies: np.ndarray,
+    floor_frac: float = 0.1,
+    activation: str = "tanh",
+    keep: int = 1,
+    durable: bool = True,
+) -> PolicyArtifact:
+    """Distill an agent checkpoint into a durable serving artifact.
+
+    ``max_frequencies`` are the fleet's per-device DVFS ceilings — the
+    deployment-time half of the action map that training checkpoints
+    never stored.  Returns the loaded (validated) artifact.
+    """
+    state = load_npz_state(checkpoint_path)
+    for key in ("meta/obs_dim", "meta/act_dim"):
+        if key not in state:
+            raise CheckpointCorruptError(
+                f"{checkpoint_path} is not an agent checkpoint (missing {key})"
+            )
+    act_dim = int(np.asarray(state["meta/act_dim"]))
+    bounds = np.asarray(max_frequencies, dtype=np.float64).ravel()
+    if bounds.size != act_dim:
+        raise ValueError(
+            f"max_frequencies has {bounds.size} devices; the checkpoint "
+            f"was trained for act_dim {act_dim}"
+        )
+    artifact_state: Dict[str, np.ndarray] = {
+        k: v
+        for k, v in state.items()
+        if k.startswith("actor/") or k.startswith("obs_norm/")
+    }
+    artifact_state["meta/schema"] = np.asarray(ARTIFACT_SCHEMA_VERSION)
+    artifact_state["meta/obs_dim"] = np.asarray(state["meta/obs_dim"])
+    artifact_state["meta/act_dim"] = np.asarray(state["meta/act_dim"])
+    artifact_state["meta/activation"] = np.asarray(activation)
+    artifact_state["meta/policy"] = np.asarray(detect_policy_kind(state))
+    artifact_state["meta/floor_frac"] = np.asarray(float(floor_frac))
+    artifact_state["mapper/max_frequencies"] = bounds
+    save_npz_state(out_path, artifact_state, keep=keep, durable=durable)
+    return PolicyArtifact.load(out_path)

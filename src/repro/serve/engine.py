@@ -1,0 +1,262 @@
+"""Micro-batched inference engine with admission control.
+
+One worker thread drains a bounded request queue: it takes the oldest
+waiting request, lingers up to ``max_wait_ms`` for co-arriving requests
+(up to ``max_batch``), stacks their states and runs **one** vectorized
+policy forward for the whole batch — the serving-side mirror of
+:class:`~repro.parallel.collector.VecRolloutCollector`'s
+one-forward-per-step design.  Because the forward is the batch-stable
+inference kernel, coalescing requests never changes any response.
+
+Admission control is the queue bound: when ``max_queue`` requests are
+already waiting, :meth:`submit` fails *immediately* with
+:class:`EngineOverloadedError` so callers shed load with an explicit
+``overloaded`` response instead of stacking unbounded latency.  Each
+request may carry a deadline; requests that expire while queued are
+answered with :class:`DeadlineExceededError` without wasting a forward
+on them.
+
+All timing uses monotonic duration clocks (never wall time), and every
+request flows through counters/histograms on an engine-owned
+:class:`~repro.obs.metrics.MetricsRegistry`; per-batch ``serve_batch``
+events go to the telemetry sink when one is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, get_telemetry
+
+
+class EngineOverloadedError(RuntimeError):
+    """The admission queue is full; the request was shed, not queued."""
+
+
+class EngineClosedError(RuntimeError):
+    """The engine is draining or closed and accepts no new requests."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline expired before inference ran."""
+
+
+class InferenceTicket:
+    """A pending request's handle; :meth:`result` blocks for the answer."""
+
+    __slots__ = ("state", "deadline", "enqueued_at", "_event", "_value",
+                 "_version", "_error")
+
+    def __init__(self, state: np.ndarray, deadline: Optional[float],
+                 enqueued_at: float) -> None:
+        self.state = state
+        #: Absolute monotonic deadline (None = no deadline).
+        self.deadline = deadline
+        self.enqueued_at = enqueued_at
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._version = ""
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, value: np.ndarray, version: str) -> None:
+        self._value = value
+        self._version = version
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Tuple[np.ndarray, str]:
+        """Wait for ``(frequencies, policy_version)``; raises on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference did not complete in time")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value, self._version
+
+
+#: The engine's policy: a state batch in, (frequency batch, version) out.
+InferFn = Callable[[np.ndarray], Tuple[np.ndarray, str]]
+
+
+class BatchedInferenceEngine:
+    """Queue + micro-batching worker around a vectorized policy forward."""
+
+    def __init__(
+        self,
+        infer: InferFn,
+        max_batch: int = 16,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        default_deadline_ms: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._infer = infer
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self.default_deadline_s: Optional[float] = (
+            None if default_deadline_ms is None
+            else float(default_deadline_ms) / 1000.0
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue: List[InferenceTicket] = []
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._stopping = False
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-engine", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        state: np.ndarray,
+        deadline_ms: Optional[float] = None,
+    ) -> InferenceTicket:
+        """Enqueue one state; sheds immediately when the queue is full."""
+        now = time.monotonic()
+        deadline_s = (
+            float(deadline_ms) / 1000.0 if deadline_ms is not None
+            else self.default_deadline_s
+        )
+        ticket = InferenceTicket(
+            np.asarray(state, dtype=np.float64).ravel(),
+            None if deadline_s is None else now + deadline_s,
+            now,
+        )
+        with self._nonempty:
+            if self._stopping:
+                raise EngineClosedError("engine is draining; request refused")
+            if len(self._queue) >= self.max_queue:
+                self.metrics.counter("serve.shed").inc()
+                raise EngineOverloadedError(
+                    f"admission queue full ({self.max_queue} waiting)"
+                )
+            self._queue.append(ticket)
+            self.metrics.counter("serve.requests").inc()
+            self.metrics.gauge("serve.queue_depth").set(len(self._queue))
+            self._nonempty.notify()
+        return ticket
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # -- worker -------------------------------------------------------------
+    def _take_batch(self) -> List[InferenceTicket]:
+        """Block for the first request, linger for co-arrivals, pop <= max."""
+        with self._nonempty:
+            while not self._queue and not self._stopping:
+                self._nonempty.wait()
+            if not self._queue:
+                return []
+            # Linger: give micro-batches a chance to form, bounded by the
+            # latency budget.  Skipped when a full batch is already there.
+            linger_until = time.monotonic() + self.max_wait_s
+            while (
+                len(self._queue) < self.max_batch
+                and not self._stopping
+            ):
+                remaining = linger_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._nonempty.wait(remaining)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: len(batch)]
+            self.metrics.gauge("serve.queue_depth").set(len(self._queue))
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                if self._stopping:
+                    return
+                continue
+            self._process(batch)
+            with self._lock:
+                if self._stopping and not self._queue:
+                    return
+
+    def _process(self, batch: List[InferenceTicket]) -> None:
+        now = time.monotonic()
+        live: List[InferenceTicket] = []
+        for ticket in batch:
+            if ticket.deadline is not None and now > ticket.deadline:
+                self.metrics.counter("serve.expired").inc()
+                ticket._fail(DeadlineExceededError(
+                    "deadline expired before inference"
+                ))
+            else:
+                live.append(ticket)
+        if not live:
+            return
+        states = np.stack([t.state for t in live])
+        t0 = time.monotonic()
+        try:
+            outputs, version = self._infer(states)
+        except Exception as exc:  # noqa: BLE001 - worker must survive any policy failure
+            self.metrics.counter("serve.errors").inc(len(live))
+            for ticket in live:
+                ticket._fail(exc)
+            return
+        infer_ms = (time.monotonic() - t0) * 1000.0
+        outputs = np.asarray(outputs)
+        for i, ticket in enumerate(live):
+            wait_ms = (t0 - ticket.enqueued_at) * 1000.0
+            self.metrics.histogram("serve.wait_ms").observe(wait_ms)
+            ticket._resolve(outputs[i], version)
+        self.metrics.counter("serve.completed").inc(len(live))
+        self.metrics.histogram("serve.batch_size").observe(float(len(live)))
+        self.metrics.histogram("serve.infer_ms").observe(infer_ms)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_serve_batch(
+                batch_size=len(live),
+                infer_ms=infer_ms,
+                policy_version=version,
+            )
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self, drain: bool = True, timeout: Optional[float] = 10.0) -> None:
+        """Stop the worker; with ``drain`` the queue empties first.
+
+        After close, :meth:`submit` raises :class:`EngineClosedError`.
+        Without ``drain``, still-queued requests fail with the same error.
+        """
+        with self._nonempty:
+            if self._closed:
+                return
+            self._stopping = True
+            if not drain:
+                for ticket in self._queue:
+                    ticket._fail(EngineClosedError("engine closed"))
+                self._queue.clear()
+            self._nonempty.notify_all()
+        self._worker.join(timeout)
+        self._closed = True
+
+    def __enter__(self) -> "BatchedInferenceEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

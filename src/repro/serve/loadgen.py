@@ -1,0 +1,309 @@
+"""Seeded load generator for the allocation service.
+
+``repro serve-bench`` drives a running :class:`AllocationServer` with
+reproducible traffic: every worker draws its bandwidth-history states
+from its own seeded :class:`numpy.random.Generator` (spawned from one
+root seed), so two benchmark runs against the same policy issue the
+*identical* request sequence — latency differences are the server's,
+never the workload's.
+
+Two arrival models:
+
+* **closed** loop — each worker sends, waits for the response, sends
+  again; concurrency bounds the in-flight requests and the measured
+  latency is pure service latency.
+* **open** loop — each worker *paces* sends at ``rate / concurrency``
+  requests per second regardless of responses (pipelining on its
+  connection, a reader thread matching responses by id), which is what
+  exposes queueing collapse and load shedding under overload.
+
+Results aggregate into a :class:`LoadReport` (p50/p95/p99, throughput,
+errors by protocol code) built on the same
+:class:`~repro.obs.metrics.StreamingHistogram` the rest of the repo
+reports with, and are mirrored to telemetry as one ``serve_bench``
+event when a sink is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, get_telemetry
+from repro.serve.protocol import MAX_LINE_BYTES, ProtocolError, encode_response
+from repro.utils.rng import SeedLike, spawn_generators
+
+#: Bandwidth states are drawn uniformly from this range (Mbit/s-like).
+STATE_LOW = 0.1
+STATE_HIGH = 80.0
+
+
+def _send_line(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    sock.sendall(encode_response(payload))  # same JSON-line framing
+
+
+def _parse_response(line: bytes) -> Dict[str, Any]:
+    try:
+        response = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"unparseable response line: {exc}") from exc
+    if not isinstance(response, dict):
+        raise ProtocolError("response must be a JSON object")
+    return response
+
+
+def request_once(
+    host: str,
+    port: int,
+    op: str,
+    timeout: float = 10.0,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """One connection, one request, one response — CI scripting helper."""
+    payload: Dict[str, Any] = {"op": op}
+    payload.update(fields)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        _send_line(sock, payload)
+        with sock.makefile("rb") as fh:
+            line = fh.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        raise ConnectionError("server closed the connection")
+    return _parse_response(line)
+
+
+@dataclass
+class LoadConfig:
+    """One benchmark run's shape."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    requests: int = 500
+    concurrency: int = 4
+    seed: int = 0
+    #: "closed" (wait-then-send) or "open" (paced sends).
+    mode: str = "closed"
+    #: Open-loop aggregate arrival rate, requests/second.
+    rate: float = 200.0
+    deadline_ms: Optional[float] = None
+    timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if self.requests < 1 or self.concurrency < 1:
+            raise ValueError("requests and concurrency must be >= 1")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open-loop mode needs a positive rate")
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one benchmark run."""
+
+    n_requests: int = 0
+    n_ok: int = 0
+    errors_by_code: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+    duration_s: float = 0.0
+    policy_versions: List[str] = field(default_factory=list)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(self.errors_by_code.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def summary(self) -> str:
+        lines = [
+            f"requests      {self.n_requests}",
+            f"ok            {self.n_ok}",
+            f"errors        {self.n_errors}"
+            + (f"  {self.errors_by_code}" if self.errors_by_code else ""),
+            f"duration      {self.duration_s:.3f} s",
+            f"throughput    {self.throughput_rps:.1f} req/s",
+            f"latency p50   {self.percentile(50):.3f} ms",
+            f"latency p95   {self.percentile(95):.3f} ms",
+            f"latency p99   {self.percentile(99):.3f} ms",
+        ]
+        if self.policy_versions:
+            lines.append(f"policy        {sorted(set(self.policy_versions))}")
+        return "\n".join(lines)
+
+
+class _WorkerResult:
+    __slots__ = ("latencies", "ok", "errors", "versions", "failure")
+
+    def __init__(self) -> None:
+        self.latencies: List[float] = []
+        self.ok = 0
+        self.errors: Dict[str, int] = {}
+        self.versions: List[str] = []
+        self.failure: Optional[BaseException] = None
+
+    def record(self, response: Dict[str, Any], latency_ms: float) -> None:
+        self.latencies.append(latency_ms)
+        if response.get("ok"):
+            self.ok += 1
+            version = str(response.get("policy_version", ""))
+            if version and (not self.versions or self.versions[-1] != version):
+                self.versions.append(version)
+        else:
+            code = str(response.get("error", "internal"))
+            self.errors[code] = self.errors.get(code, 0) + 1
+
+
+def _states_for(rng: np.random.Generator, n: int, obs_dim: int) -> np.ndarray:
+    return rng.uniform(STATE_LOW, STATE_HIGH, size=(n, obs_dim))
+
+
+def _run_closed(cfg: LoadConfig, states: np.ndarray,
+                result: _WorkerResult) -> None:
+    with socket.create_connection(
+        (cfg.host, cfg.port), timeout=cfg.timeout_s
+    ) as sock, sock.makefile("rb") as fh:
+        for i in range(states.shape[0]):
+            payload: Dict[str, Any] = {
+                "op": "allocate", "id": i, "state": states[i].tolist(),
+            }
+            if cfg.deadline_ms is not None:
+                payload["deadline_ms"] = cfg.deadline_ms
+            t0 = time.monotonic()
+            _send_line(sock, payload)
+            line = fh.readline(MAX_LINE_BYTES + 1)
+            latency_ms = (time.monotonic() - t0) * 1000.0
+            if not line:
+                raise ConnectionError("server closed the connection")
+            result.record(_parse_response(line), latency_ms)
+
+
+def _run_open(cfg: LoadConfig, states: np.ndarray,
+              result: _WorkerResult) -> None:
+    n = states.shape[0]
+    interval = cfg.concurrency / cfg.rate  # per-worker send spacing
+    send_times: Dict[int, float] = {}
+    lock = threading.Lock()
+    with socket.create_connection(
+        (cfg.host, cfg.port), timeout=cfg.timeout_s
+    ) as sock, sock.makefile("rb") as fh:
+
+        def _read_all() -> None:
+            for _ in range(n):
+                line = fh.readline(MAX_LINE_BYTES + 1)
+                now = time.monotonic()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = _parse_response(line)
+                with lock:
+                    t0 = send_times.pop(int(response.get("id", -1)), now)
+                result.record(response, (now - t0) * 1000.0)
+
+        reader = threading.Thread(target=_read_all, daemon=True)
+        reader.start()
+        start = time.monotonic()
+        for i in range(n):
+            target = start + i * interval
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            payload: Dict[str, Any] = {
+                "op": "allocate", "id": i, "state": states[i].tolist(),
+            }
+            if cfg.deadline_ms is not None:
+                payload["deadline_ms"] = cfg.deadline_ms
+            with lock:
+                send_times[i] = time.monotonic()
+            _send_line(sock, payload)
+        reader.join(cfg.timeout_s)
+        if reader.is_alive():
+            raise TimeoutError("open-loop reader did not drain responses")
+
+
+def run_load(config: LoadConfig, obs_dim: Optional[int] = None,
+             rng: SeedLike = None) -> LoadReport:
+    """Run one benchmark against a live server; returns the report.
+
+    ``obs_dim`` defaults to whatever the server's ``health`` endpoint
+    reports, so the generator always sends well-shaped states.
+    """
+    if obs_dim is None:
+        health = request_once(config.host, config.port, "health",
+                              timeout=config.timeout_s)
+        if not health.get("ok"):
+            raise ConnectionError(f"health check failed: {health}")
+        obs_dim = int(health["obs_dim"])
+    seeds = spawn_generators(
+        rng if rng is not None else config.seed, config.concurrency
+    )
+    counts = [config.requests // config.concurrency] * config.concurrency
+    for i in range(config.requests % config.concurrency):
+        counts[i] += 1
+    workers: List[Tuple[threading.Thread, _WorkerResult]] = []
+    runner = _run_closed if config.mode == "closed" else _run_open
+    t_start = time.monotonic()
+    for i in range(config.concurrency):
+        if counts[i] == 0:
+            continue
+        states = _states_for(seeds[i], counts[i], obs_dim)
+        result = _WorkerResult()
+
+        def _work(states: np.ndarray = states,
+                  result: _WorkerResult = result) -> None:
+            try:
+                runner(config, states, result)
+            except BaseException as exc:  # noqa: BLE001 - report, don't hang the bench
+                result.failure = exc
+
+        thread = threading.Thread(target=_work, daemon=True)
+        thread.start()
+        workers.append((thread, result))
+    report = LoadReport(n_requests=config.requests)
+    for thread, result in workers:
+        thread.join(config.timeout_s + 30.0)
+        if thread.is_alive():
+            result.failure = TimeoutError("worker did not finish")
+    report.duration_s = time.monotonic() - t_start
+    failures = [r.failure for _, r in workers if r.failure is not None]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} load worker(s) failed; first: {failures[0]!r}"
+        ) from failures[0]
+    for _, result in workers:
+        report.n_ok += result.ok
+        report.latencies_ms.extend(result.latencies)
+        report.policy_versions.extend(result.versions)
+        for code, count in result.errors.items():
+            report.errors_by_code[code] = (
+                report.errors_by_code.get(code, 0) + count
+            )
+    metrics = MetricsRegistry()
+    hist = metrics.histogram("bench.latency_ms")
+    for latency in report.latencies_ms:
+        hist.observe(latency)
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.event(
+            "serve_bench",
+            mode=config.mode,
+            requests=report.n_requests,
+            ok=report.n_ok,
+            errors=report.errors_by_code,
+            duration_s=report.duration_s,
+            throughput_rps=report.throughput_rps,
+            p50_ms=report.percentile(50),
+            p95_ms=report.percentile(95),
+            p99_ms=report.percentile(99),
+        )
+    return report

@@ -1,0 +1,108 @@
+"""JSON-lines wire protocol for the allocation service.
+
+One request per line, one response per line, UTF-8 JSON objects.  A
+client may pipeline any number of requests over one connection; the
+server answers them in order.  The protocol is deliberately stdlib-flat
+(no framing beyond ``\\n``) so a shell one-liner, the bundled load
+generator and a CI smoke script all speak it with nothing but sockets
+and :mod:`json`.
+
+Requests::
+
+    {"op": "allocate", "state": [..obs_dim floats..], "deadline_ms": 50}
+    {"op": "health"}
+    {"op": "stats"}
+    {"op": "reload"}
+
+Responses always carry ``ok`` and echo ``id`` when the request had one::
+
+    {"ok": true,  "op": "allocate", "frequencies": [...], "policy_version": "..."}
+    {"ok": false, "op": "allocate", "error": "overloaded", "message": "..."}
+
+Error codes are a closed set (:data:`ERROR_CODES`) so clients can
+switch on them: ``bad_request``, ``overloaded``, ``deadline_exceeded``,
+``draining``, ``reload_failed``, ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO, Dict, Optional
+
+#: Wire protocol version, reported by ``health``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request line; longer lines are a protocol error.
+MAX_LINE_BYTES = 1 << 20
+
+#: Operations the server accepts.
+OPS = ("allocate", "health", "stats", "reload")
+
+#: Closed set of machine-readable error codes.
+ERROR_CODES = (
+    "bad_request",
+    "overloaded",
+    "deadline_exceeded",
+    "draining",
+    "reload_failed",
+    "internal",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (bad JSON, bad shape, oversized)."""
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse one request line into a dict with a validated ``op``."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        request = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {list(OPS)}")
+    return request
+
+
+def encode_response(response: Dict[str, Any]) -> bytes:
+    """Serialize one response dict to a newline-terminated JSON line."""
+    return json.dumps(response, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def ok_response(op: str, request_id: Optional[Any] = None,
+                **fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True, "op": op}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(fields)
+    return response
+
+
+def error_response(op: str, code: str, message: str,
+                   request_id: Optional[Any] = None) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    response: Dict[str, Any] = {
+        "ok": False, "op": op, "error": code, "message": message,
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def read_line(stream: BinaryIO) -> bytes:
+    """Read one protocol line (without the newline); b"" on EOF.
+
+    Raises :class:`ProtocolError` when the peer sends more than
+    :data:`MAX_LINE_BYTES` without a newline, instead of buffering
+    without bound.
+    """
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    return line.rstrip(b"\n")

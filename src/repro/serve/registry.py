@@ -1,0 +1,145 @@
+"""Policy registry: versioned artifacts with atomic hot-reload.
+
+A registry watches one artifact file *or* a directory of versioned
+artifacts (``policy-v0001.npz``, ``policy-v0002.npz``, ...; any
+``*.npz`` names sort lexicographically, newest last).  Reload follows
+**load-validate-swap**: the candidate is fully loaded and probe-validated
+*before* the serving handle moves, so a corrupt or truncated new version
+raises :class:`~repro.utils.serialization.CheckpointCorruptError` — with
+a ``checkpoint_corrupt`` telemetry event, mirroring
+:mod:`repro.resilience.checkpoint` — while the previous artifact keeps
+serving untouched.  The swap itself is a single reference assignment
+under a lock, so in-flight micro-batches finish on whichever version
+they grabbed and the next batch sees the new one: hot reload never
+drops a request.
+
+At *startup* (no current version yet) the registry walks candidates
+newest-first, skipping corrupt generations exactly like
+:func:`~repro.resilience.checkpoint.load_checkpoint_with_fallback`
+walks a rotation chain.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.obs import get_telemetry
+from repro.serve.artifact import PolicyArtifact
+from repro.utils.serialization import CHECKSUM_SUFFIX, CheckpointCorruptError
+
+
+@dataclass(frozen=True)
+class PolicyHandle:
+    """An immutable (artifact, identity) pair handed to the engine."""
+
+    artifact: PolicyArtifact
+    path: str
+    version: str
+
+
+def _is_artifact_file(name: str) -> bool:
+    """A publishable artifact: ``*.npz``, not a temp/sidecar/rotation file."""
+    return (
+        name.endswith(".npz")
+        and not name.endswith(".tmp")
+        and not name.endswith(CHECKSUM_SUFFIX)
+    )
+
+
+class PolicyRegistry:
+    """Serves the newest *good* policy artifact from a path.
+
+    ``loader`` is injectable for tests; it must raise
+    :class:`CheckpointCorruptError` for anything unservable.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        loader: Callable[[str], PolicyArtifact] = PolicyArtifact.load,
+    ) -> None:
+        self.path = str(path)
+        self._loader = loader
+        self._lock = threading.Lock()
+        self._current: Optional[PolicyHandle] = None
+
+    # -- discovery ----------------------------------------------------------
+    def candidates(self) -> List[str]:
+        """Servable artifact paths, oldest first (newest last)."""
+        if os.path.isdir(self.path):
+            names = sorted(
+                n for n in os.listdir(self.path) if _is_artifact_file(n)
+            )
+            return [os.path.join(self.path, n) for n in names]
+        return [self.path] if os.path.exists(self.path) else []
+
+    # -- serving handle -----------------------------------------------------
+    @property
+    def current(self) -> PolicyHandle:
+        """The live handle; loads initially on first access."""
+        with self._lock:
+            if self._current is None:
+                self._current = self._initial_load()
+            return self._current
+
+    def _initial_load(self) -> PolicyHandle:
+        """Newest-first walk with corruption fallback (startup only)."""
+        tel = get_telemetry()
+        candidates = self.candidates()
+        if not candidates:
+            raise FileNotFoundError(
+                f"no policy artifact at {self.path} (expected *.npz)"
+            )
+        errors: List[str] = []
+        for candidate in reversed(candidates):
+            try:
+                artifact = self._loader(candidate)
+            except CheckpointCorruptError as exc:
+                errors.append(str(exc))
+                if tel.enabled:
+                    tel.on_checkpoint_corrupt(
+                        path=candidate, error=str(exc).splitlines()[0]
+                    )
+                continue
+            return PolicyHandle(artifact, candidate, artifact.version)
+        raise CheckpointCorruptError(
+            "every policy artifact is corrupt:\n" + "\n".join(errors)
+        )
+
+    # -- hot reload ---------------------------------------------------------
+    def reload(self) -> PolicyHandle:
+        """Load-validate-swap to the newest candidate.
+
+        Returns the (possibly unchanged) live handle.  A corrupt newest
+        candidate raises :class:`CheckpointCorruptError` *after* emitting
+        telemetry, and the previous handle keeps serving.
+        """
+        with self._lock:
+            if self._current is None:
+                self._current = self._initial_load()
+                return self._current
+            candidates = self.candidates()
+            if not candidates:
+                raise FileNotFoundError(
+                    f"no policy artifact at {self.path} (expected *.npz)"
+                )
+            newest = candidates[-1]
+            try:
+                artifact = self._loader(newest)  # load + validate ...
+            except CheckpointCorruptError as exc:
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.on_checkpoint_corrupt(
+                        path=newest, error=str(exc).splitlines()[0]
+                    )
+                raise
+            handle = PolicyHandle(artifact, newest, artifact.version)
+            self._current = handle  # ... then swap (atomic assignment)
+            return handle
+
+    def version(self) -> str:
+        """The live artifact's identity string."""
+        return self.current.version

@@ -1,0 +1,275 @@
+"""Threaded TCP allocation server with admission control and drain.
+
+:class:`AllocationServer` glues the pieces together: a
+:class:`~repro.serve.registry.PolicyRegistry` owns *which* policy
+serves, a :class:`~repro.serve.engine.BatchedInferenceEngine` owns
+*how* states become frequencies, and a stdlib
+:class:`socketserver.ThreadingTCPServer` owns the sockets — one daemon
+thread per connection, requests pipelined over JSON lines
+(:mod:`repro.serve.protocol`).
+
+Load shedding is explicit: when the engine's admission queue is full a
+request gets an ``overloaded`` error immediately instead of queueing
+into unbounded latency.  Shutdown is graceful: :meth:`run_until` takes
+any stop predicate (typically a
+:class:`~repro.resilience.drain.GracefulDrain`, so SIGTERM/SIGINT land
+here), after which the server stops accepting work (``draining``
+errors), the engine drains every in-flight request, and only then do
+the sockets close.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import get_telemetry
+from repro.serve.engine import (
+    BatchedInferenceEngine,
+    DeadlineExceededError,
+    EngineClosedError,
+    EngineOverloadedError,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode_response,
+    error_response,
+    ok_response,
+    read_line,
+)
+from repro.serve.registry import PolicyRegistry
+from repro.utils.serialization import CheckpointCorruptError
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one :class:`AllocationServer`."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port; read the real one from ``address``.
+    port: int = 0
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+    #: Default per-request deadline (None = wait as long as it takes).
+    deadline_ms: Optional[float] = None
+    #: Seconds to wait for in-flight work during shutdown.
+    drain_grace_s: float = 10.0
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines, in order."""
+
+    server: "_TcpServer"
+
+    def handle(self) -> None:
+        owner = self.server.owner
+        while True:
+            try:
+                line = read_line(self.rfile)
+            except (ProtocolError, OSError):
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            try:
+                response = owner.handle_line(line)
+            except Exception as exc:  # noqa: BLE001 - never kill the connection thread
+                response = error_response("unknown", "internal", str(exc))
+            try:
+                self.wfile.write(encode_response(response))
+                self.wfile.flush()
+            except OSError:
+                return
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], owner: "AllocationServer"):
+        self.owner = owner
+        super().__init__(address, _Handler)
+
+
+class AllocationServer:
+    """The online allocation service: registry + engine + TCP front."""
+
+    def __init__(self, registry: PolicyRegistry, config: Optional[ServeConfig] = None):
+        self.registry = registry
+        self.config = config if config is not None else ServeConfig()
+        self._draining = threading.Event()
+        # Force the initial artifact load *now* so a bad policy directory
+        # fails at startup, not on the first request.
+        handle = self.registry.current
+        self.obs_dim = handle.artifact.obs_dim
+        self.act_dim = handle.artifact.act_dim
+        self.engine = BatchedInferenceEngine(
+            self._infer,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
+            default_deadline_ms=self.config.deadline_ms,
+        )
+        self._tcp = _TcpServer((self.config.host, self.config.port), self)
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- policy forward (engine worker thread) -------------------------------
+    def _infer(self, states: np.ndarray) -> Tuple[np.ndarray, str]:
+        handle = self.registry.current
+        return handle.artifact.act_batch(states), handle.version
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ephemeral port 0."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Serve connections on a background thread; returns the address."""
+        if self._serve_thread is not None:
+            raise RuntimeError("server already started")
+        self._serve_thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-tcp",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self.address
+
+    def run_until(self, stop: Callable[[], bool], poll_s: float = 0.1) -> None:
+        """Serve until ``stop()`` goes true, then drain and shut down.
+
+        ``stop`` is any zero-argument predicate — a
+        :class:`~repro.resilience.drain.GracefulDrain` instance works
+        as-is, giving the service SIGTERM-through-drain semantics.
+        """
+        if self._serve_thread is None:
+            self.start()
+        assert self._serve_thread is not None
+        while not stop():
+            self._serve_thread.join(poll_s)
+            if not self._serve_thread.is_alive():
+                break
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Graceful stop: refuse new work, drain in-flight, close sockets."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_drain(component="serve", queued=self.engine.queue_depth())
+        # Drain the engine first so every accepted request is answered
+        # before its connection thread loses the socket.
+        self.engine.close(drain=True, timeout=self.config.drain_grace_s)
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(2.0)
+
+    def __enter__(self) -> "AllocationServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # -- request dispatch ----------------------------------------------------
+    def handle_line(self, line: bytes) -> Dict[str, Any]:
+        """One request line -> one response dict (handler threads)."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return error_response("unknown", "bad_request", str(exc))
+        op = request["op"]
+        request_id = request.get("id")
+        if op == "allocate":
+            return self._handle_allocate(request, request_id)
+        if op == "health":
+            return self._handle_health(request_id)
+        if op == "stats":
+            return self._handle_stats(request_id)
+        return self._handle_reload(request_id)
+
+    def _handle_allocate(self, request: Dict[str, Any],
+                         request_id: Optional[Any]) -> Dict[str, Any]:
+        if self._draining.is_set():
+            return error_response(
+                "allocate", "draining", "server is draining", request_id
+            )
+        state = request.get("state")
+        if not isinstance(state, (list, tuple)):
+            return error_response(
+                "allocate", "bad_request",
+                "allocate needs a 'state' array", request_id,
+            )
+        arr = np.asarray(state, dtype=np.float64).ravel()
+        if arr.size != self.obs_dim or not np.all(np.isfinite(arr)):
+            return error_response(
+                "allocate", "bad_request",
+                f"state must be {self.obs_dim} finite floats, got "
+                f"{arr.size}", request_id,
+            )
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            return error_response(
+                "allocate", "bad_request",
+                "deadline_ms must be a positive number", request_id,
+            )
+        try:
+            ticket = self.engine.submit(arr, deadline_ms=deadline_ms)
+            frequencies, version = ticket.result()
+        except EngineOverloadedError as exc:
+            return error_response("allocate", "overloaded", str(exc), request_id)
+        except DeadlineExceededError as exc:
+            return error_response(
+                "allocate", "deadline_exceeded", str(exc), request_id
+            )
+        except EngineClosedError as exc:
+            return error_response("allocate", "draining", str(exc), request_id)
+        except Exception as exc:  # noqa: BLE001 - surface engine faults as responses
+            return error_response("allocate", "internal", str(exc), request_id)
+        return ok_response(
+            "allocate", request_id,
+            frequencies=[float(f) for f in frequencies],
+            policy_version=version,
+        )
+
+    def _handle_health(self, request_id: Optional[Any]) -> Dict[str, Any]:
+        return ok_response(
+            "health", request_id,
+            status="draining" if self._draining.is_set() else "serving",
+            protocol=PROTOCOL_VERSION,
+            policy_version=self.registry.version(),
+            obs_dim=self.obs_dim,
+            act_dim=self.act_dim,
+        )
+
+    def _handle_stats(self, request_id: Optional[Any]) -> Dict[str, Any]:
+        return ok_response(
+            "stats", request_id,
+            queue_depth=self.engine.queue_depth(),
+            metrics=self.engine.metrics.snapshot(),
+        )
+
+    def _handle_reload(self, request_id: Optional[Any]) -> Dict[str, Any]:
+        try:
+            handle = self.registry.reload()
+        except (CheckpointCorruptError, FileNotFoundError) as exc:
+            return error_response(
+                "reload", "reload_failed",
+                f"{exc} (still serving {self.registry.version()})",
+                request_id,
+            )
+        return ok_response("reload", request_id, policy_version=handle.version)

@@ -251,3 +251,102 @@ class TestFigCommand:
         assert main(["fig", "3", "--iters", "20"]) == 0
         out = capsys.readouterr().out
         assert "idle fractions" in out
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+class TestServeCommands:
+    @staticmethod
+    def _make_checkpoint(tmp_path):
+        from repro.experiments.presets import TESTBED_PRESET, build_system
+        from repro.rl.agent import AgentConfig, PPOAgent
+        from repro.utils.serialization import save_npz_state
+
+        system = build_system(TESTBED_PRESET, seed=0)
+        obs_dim = system.bandwidth_state().ravel().size
+        agent = PPOAgent(
+            AgentConfig(obs_dim=obs_dim, act_dim=TESTBED_PRESET.n_devices,
+                        hidden=(16, 8)),
+            rng=0,
+        )
+        path = str(tmp_path / "agent.npz")
+        save_npz_state(path, agent.state_dict())
+        return path
+
+    def test_export_policy_parser_defaults(self):
+        args = build_parser().parse_args(["export-policy", "agent.npz"])
+        assert args.preset == "testbed"
+        assert args.floor_frac == 0.1
+        assert args.out.endswith(".policy.npz")
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "policies/"])
+        assert args.port == 0
+        assert args.max_batch == 16
+        assert args.max_queue == 256
+
+    def test_serve_bench_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench"])
+
+    def test_export_policy_writes_artifact(self, tmp_path, capsys):
+        ckpt = self._make_checkpoint(tmp_path)
+        out = str(tmp_path / "policy-v0001.policy.npz")
+        rc = main(["export-policy", ckpt, "--out", out, "--seed", "0"])
+        assert rc == 0
+        assert os.path.exists(out)
+        assert os.path.exists(out + ".sha256")
+        assert "artifact version:" in capsys.readouterr().out
+
+    def test_export_policy_then_evaluate_artifact(self, tmp_path, capsys):
+        ckpt = self._make_checkpoint(tmp_path)
+        out = str(tmp_path / "policy-v0001.policy.npz")
+        assert main(["export-policy", ckpt, "--out", out, "--seed", "0"]) == 0
+        rc = main([
+            "evaluate", "--allocators", "drl", "heuristic",
+            "--checkpoint", out, "--iters", "3", "--seed", "0",
+        ])
+        assert rc == 0
+        assert "drl" in capsys.readouterr().out
+
+    def test_serve_bench_against_live_server(self, tmp_path, capsys):
+        from repro.serve import AllocationServer, PolicyRegistry, ServeConfig
+
+        ckpt = self._make_checkpoint(tmp_path)
+        out = str(tmp_path / "policy-v0001.policy.npz")
+        assert main(["export-policy", ckpt, "--out", out, "--seed", "0"]) == 0
+        with AllocationServer(PolicyRegistry(out), ServeConfig()) as server:
+            host, port = server.start()
+            capsys.readouterr()
+            rc = main([
+                "serve-bench", "--host", host, "--port", str(port),
+                "--requests", "40", "--concurrency", "2", "--seed", "1",
+            ])
+            assert rc == 0
+            bench_out = capsys.readouterr().out
+            assert "throughput" in bench_out and "latency p99" in bench_out
+
+    def test_serve_missing_policy_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", str(tmp_path / "nowhere")])
+
+
+class TestTelemetryTeardownOnFailure:
+    def test_failing_command_still_uninstalls_telemetry(self, tmp_path):
+        tel_dir = str(tmp_path / "tel")
+        # 'psychic' makes _build_allocators raise SystemExit *inside* the
+        # command body, after telemetry is installed.
+        with pytest.raises(SystemExit):
+            main([
+                "evaluate", "--allocators", "psychic", "--iters", "2",
+                "--telemetry-dir", tel_dir,
+            ])
+        assert get_telemetry() is NULL_TELEMETRY

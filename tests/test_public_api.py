@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core",
     "repro.parallel",
     "repro.experiments",
+    "repro.serve",
     "repro.viz",
 ]
 

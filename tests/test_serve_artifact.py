@@ -1,0 +1,145 @@
+"""Tests for repro.serve.artifact — export, load, validation, identity."""
+
+import numpy as np
+import pytest
+
+from repro.env.wrappers import ActionMapper
+from repro.rl.agent import AgentConfig, PPOAgent
+from repro.serve.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    PolicyArtifact,
+    detect_policy_kind,
+    export_policy,
+    infer_hidden,
+)
+from repro.utils.serialization import (
+    CheckpointCorruptError,
+    load_npz_state,
+    save_npz_state,
+)
+
+OBS_DIM, ACT_DIM = 12, 3
+MAXF = np.array([1.5, 2.0, 2.5])
+
+
+def make_checkpoint(tmp_path, policy="dense", hidden=(16, 8), warm=True):
+    agent = PPOAgent(
+        AgentConfig(obs_dim=OBS_DIM, act_dim=ACT_DIM, hidden=hidden, policy=policy),
+        rng=0,
+    )
+    if warm:
+        # Feed the observation normalizer so frozen stats are non-trivial.
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            agent.policy_action(rng.uniform(0.1, 80, OBS_DIM))
+    path = str(tmp_path / "agent.npz")
+    save_npz_state(path, agent.state_dict())
+    return agent, path
+
+
+class TestShapeInference:
+    def test_infer_hidden_recovers_widths(self, tmp_path):
+        _, ckpt = make_checkpoint(tmp_path, hidden=(16, 8))
+        assert infer_hidden(load_npz_state(ckpt)) == (16, 8)
+
+    def test_detect_dense_vs_shared(self, tmp_path):
+        _, dense = make_checkpoint(tmp_path, policy="dense")
+        assert detect_policy_kind(load_npz_state(dense)) == "dense"
+        _, shared = make_checkpoint(tmp_path, policy="shared", hidden=(16,))
+        assert detect_policy_kind(load_npz_state(shared)) == "shared"
+
+    def test_unrecognizable_weights_raise(self):
+        with pytest.raises(CheckpointCorruptError):
+            infer_hidden({"meta/obs_dim": np.asarray(4)})
+
+
+class TestExport:
+    def test_roundtrip(self, tmp_path):
+        _, ckpt = make_checkpoint(tmp_path)
+        out = str(tmp_path / "policy-v0001.npz")
+        artifact = export_policy(ckpt, out, MAXF)
+        assert artifact.obs_dim == OBS_DIM
+        assert artifact.act_dim == ACT_DIM
+        assert artifact.policy == "dense"
+        assert artifact.digest  # sha256 sidecar written and read back
+        assert artifact.version.startswith("policy-v0001.npz@")
+        # the artifact is schema-stamped and strips training-only state
+        state = load_npz_state(out)
+        assert int(np.asarray(state["meta/schema"])) == ARTIFACT_SCHEMA_VERSION
+        assert not any(k.startswith("critic/") for k in state)
+        assert not any(k.startswith("reward_scaler/") for k in state)
+
+    def test_bounds_size_must_match_act_dim(self, tmp_path):
+        _, ckpt = make_checkpoint(tmp_path)
+        with pytest.raises(ValueError, match="devices"):
+            export_policy(ckpt, str(tmp_path / "p.npz"), np.array([1.0, 2.0]))
+
+    def test_rejects_non_agent_checkpoint(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        save_npz_state(path, {"weights": np.zeros(3)})
+        with pytest.raises(CheckpointCorruptError):
+            export_policy(path, str(tmp_path / "p.npz"), MAXF)
+
+
+@pytest.mark.parametrize("policy,hidden", [("dense", (16, 8)), ("shared", (16,))])
+class TestBitIdentity:
+    def test_artifact_matches_agent(self, tmp_path, policy, hidden):
+        agent, ckpt = make_checkpoint(tmp_path, policy=policy, hidden=hidden)
+        artifact = export_policy(ckpt, str(tmp_path / "p.npz"), MAXF)
+        mapper = ActionMapper(MAXF)
+        rng = np.random.default_rng(7)
+        for _ in range(4):
+            obs = rng.uniform(0.1, 80, OBS_DIM)
+            expected = mapper.to_frequencies(agent.policy_action(obs))
+            assert np.array_equal(artifact.act(obs), expected)
+
+    def test_batch_rows_equal_singles(self, tmp_path, policy, hidden):
+        _, ckpt = make_checkpoint(tmp_path, policy=policy, hidden=hidden)
+        artifact = export_policy(ckpt, str(tmp_path / "p.npz"), MAXF)
+        rng = np.random.default_rng(11)
+        states = rng.uniform(0.1, 80, (9, OBS_DIM))
+        batched = artifact.act_batch(states)
+        for i in range(states.shape[0]):
+            assert np.array_equal(batched[i], artifact.act(states[i]))
+        # and rows are stable under a different batch composition
+        sub = artifact.act_batch(states[3:7])
+        assert np.array_equal(sub, batched[3:7])
+
+
+class TestValidation:
+    def _artifact_state(self, tmp_path):
+        _, ckpt = make_checkpoint(tmp_path)
+        out = str(tmp_path / "p.npz")
+        export_policy(ckpt, out, MAXF)
+        return out, load_npz_state(out)
+
+    def test_missing_required_key_raises(self, tmp_path):
+        _, state = self._artifact_state(tmp_path)
+        del state["mapper/max_frequencies"]
+        with pytest.raises(CheckpointCorruptError, match="missing"):
+            PolicyArtifact.from_state(state)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        _, state = self._artifact_state(tmp_path)
+        state["meta/schema"] = np.asarray(ARTIFACT_SCHEMA_VERSION + 1)
+        with pytest.raises(CheckpointCorruptError, match="schema"):
+            PolicyArtifact.from_state(state)
+
+    def test_nonfinite_weights_fail_probe(self, tmp_path):
+        _, state = self._artifact_state(tmp_path)
+        state["actor/mean/p0"] = np.full_like(state["actor/mean/p0"], np.nan)
+        with pytest.raises(CheckpointCorruptError, match="probe"):
+            PolicyArtifact.from_state(state)
+
+    def test_truncated_file_raises(self, tmp_path):
+        out, _ = self._artifact_state(tmp_path)
+        with open(out, "r+b") as fh:
+            fh.truncate(64)
+        with pytest.raises(CheckpointCorruptError):
+            PolicyArtifact.load(out)
+
+    def test_mapper_size_mismatch_raises(self, tmp_path):
+        _, state = self._artifact_state(tmp_path)
+        state["mapper/max_frequencies"] = np.array([1.0, 2.0])
+        with pytest.raises(CheckpointCorruptError):
+            PolicyArtifact.from_state(state)

@@ -1,0 +1,203 @@
+"""Tests for repro.serve.engine — micro-batching, shedding, deadlines."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import (
+    BatchedInferenceEngine,
+    DeadlineExceededError,
+    EngineClosedError,
+    EngineOverloadedError,
+)
+
+
+def echo_infer(states):
+    """A trivially checkable policy: f(x) = 2x, one 'version'."""
+    return np.asarray(states) * 2.0, "v-test"
+
+
+class GatedInfer:
+    """Blocks every forward until released; records batch sizes."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.batches = []
+
+    def __call__(self, states):
+        self.gate.wait(5.0)
+        self.batches.append(int(np.asarray(states).shape[0]))
+        return np.asarray(states) * 2.0, "v-gated"
+
+
+class TestBatching:
+    def test_results_are_per_request_and_versioned(self):
+        with BatchedInferenceEngine(echo_infer, max_batch=4, max_wait_ms=1.0) as eng:
+            states = [np.full(3, float(i)) for i in range(10)]
+            tickets = [eng.submit(s) for s in states]
+            for i, ticket in enumerate(tickets):
+                value, version = ticket.result(timeout=5.0)
+                assert np.array_equal(value, states[i] * 2.0)
+                assert version == "v-test"
+
+    def test_coalesces_waiting_requests_into_one_forward(self):
+        infer = GatedInfer()
+        with BatchedInferenceEngine(infer, max_batch=8, max_wait_ms=5.0) as eng:
+            tickets = [eng.submit(np.full(2, float(i))) for i in range(8)]
+            infer.gate.set()
+            for ticket in tickets:
+                ticket.result(timeout=5.0)
+        assert sum(infer.batches) == 8
+        # the first forward may have raced ahead with a partial batch,
+        # but the rest must have been coalesced, not served one by one
+        assert len(infer.batches) < 8
+        assert max(infer.batches) >= 2
+
+    def test_batch_never_exceeds_max_batch(self):
+        infer = GatedInfer()
+        with BatchedInferenceEngine(infer, max_batch=3, max_wait_ms=50.0) as eng:
+            tickets = [eng.submit(np.zeros(2)) for _ in range(7)]
+            infer.gate.set()
+            for ticket in tickets:
+                ticket.result(timeout=5.0)
+        assert max(infer.batches) <= 3
+
+
+class TestAdmissionControl:
+    def test_sheds_when_queue_full(self):
+        infer = GatedInfer()
+        eng = BatchedInferenceEngine(infer, max_batch=1, max_wait_ms=0.0,
+                                     max_queue=2)
+        try:
+            first = eng.submit(np.zeros(2))  # worker takes this, blocks
+            deadline = time.monotonic() + 5.0
+            while eng.queue_depth() != 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            held = [eng.submit(np.zeros(2)), eng.submit(np.zeros(2))]
+            with pytest.raises(EngineOverloadedError):
+                eng.submit(np.zeros(2))
+            assert eng.metrics.counter("serve.shed").value == 1
+            infer.gate.set()
+            for ticket in [first] + held:
+                ticket.result(timeout=5.0)
+        finally:
+            infer.gate.set()
+            eng.close()
+
+    def test_queue_drains_after_shedding(self):
+        infer = GatedInfer()
+        infer.gate.set()
+        with BatchedInferenceEngine(infer, max_batch=4, max_queue=4) as eng:
+            value, _ = eng.submit(np.ones(2)).result(timeout=5.0)
+            assert np.array_equal(value, np.full(2, 2.0))
+
+
+class TestDeadlines:
+    def test_expired_request_fails_without_inference(self):
+        infer = GatedInfer()
+        eng = BatchedInferenceEngine(infer, max_batch=1, max_wait_ms=0.0)
+        try:
+            blocker = eng.submit(np.zeros(2))
+            deadline = time.monotonic() + 5.0
+            while eng.queue_depth() != 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            doomed = eng.submit(np.zeros(2), deadline_ms=5.0)
+            time.sleep(0.05)  # let the deadline lapse while queued
+            infer.gate.set()
+            blocker.result(timeout=5.0)
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5.0)
+            assert eng.metrics.counter("serve.expired").value == 1
+        finally:
+            infer.gate.set()
+            eng.close()
+
+    def test_default_deadline_applies(self):
+        infer = GatedInfer()
+        eng = BatchedInferenceEngine(infer, max_batch=1, max_wait_ms=0.0,
+                                     default_deadline_ms=5.0)
+        try:
+            blocker = eng.submit(np.zeros(2), deadline_ms=60_000.0)
+            deadline = time.monotonic() + 5.0
+            while eng.queue_depth() != 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            doomed = eng.submit(np.zeros(2))  # inherits the 5 ms default
+            time.sleep(0.05)
+            infer.gate.set()
+            blocker.result(timeout=5.0)
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5.0)
+        finally:
+            infer.gate.set()
+            eng.close()
+
+
+class TestFailureIsolation:
+    def test_worker_survives_infer_exception(self):
+        calls = {"n": 0}
+
+        def flaky(states):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("policy exploded")
+            return echo_infer(states)
+
+        with BatchedInferenceEngine(flaky, max_batch=1, max_wait_ms=0.0) as eng:
+            bad = eng.submit(np.zeros(2))
+            with pytest.raises(ValueError, match="exploded"):
+                bad.result(timeout=5.0)
+            good = eng.submit(np.ones(2))
+            value, _ = good.result(timeout=5.0)
+            assert np.array_equal(value, np.full(2, 2.0))
+            assert eng.metrics.counter("serve.errors").value == 1
+
+
+class TestLifecycle:
+    def test_close_drains_queued_requests(self):
+        with BatchedInferenceEngine(echo_infer, max_batch=2, max_wait_ms=1.0) as eng:
+            tickets = [eng.submit(np.full(2, float(i))) for i in range(6)]
+            eng.close(drain=True)
+            for i, ticket in enumerate(tickets):
+                value, _ = ticket.result(timeout=1.0)
+                assert np.array_equal(value, np.full(2, 2.0 * i))
+
+    def test_submit_after_close_raises(self):
+        eng = BatchedInferenceEngine(echo_infer)
+        eng.close()
+        with pytest.raises(EngineClosedError):
+            eng.submit(np.zeros(2))
+
+    def test_close_without_drain_fails_queued(self):
+        infer = GatedInfer()
+        eng = BatchedInferenceEngine(infer, max_batch=1, max_wait_ms=0.0)
+        blocker = eng.submit(np.zeros(2))
+        deadline = time.monotonic() + 5.0
+        while eng.queue_depth() != 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        queued = eng.submit(np.zeros(2))
+        infer.gate.set()
+        eng.close(drain=False)
+        blocker.result(timeout=5.0)  # in-flight work still completes
+        with pytest.raises(EngineClosedError):
+            queued.result(timeout=5.0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            BatchedInferenceEngine(echo_infer, max_batch=0)
+        with pytest.raises(ValueError):
+            BatchedInferenceEngine(echo_infer, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            BatchedInferenceEngine(echo_infer, max_queue=0)
+
+
+class TestMetrics:
+    def test_counters_track_requests(self):
+        with BatchedInferenceEngine(echo_infer, max_batch=4, max_wait_ms=1.0) as eng:
+            tickets = [eng.submit(np.zeros(2)) for _ in range(5)]
+            for ticket in tickets:
+                ticket.result(timeout=5.0)
+            assert eng.metrics.counter("serve.requests").value == 5
+            assert eng.metrics.counter("serve.completed").value == 5
+            assert eng.metrics.histogram("serve.batch_size").n >= 1

@@ -1,0 +1,269 @@
+"""Tests for repro.serve registry + server — hot reload, shedding, identity."""
+
+import os
+import shutil
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.drl_allocator import DRLAllocator
+from repro.experiments.presets import TESTBED_PRESET, build_fleet, build_system
+from repro.obs import NULL_TELEMETRY, MemoryEventSink, Telemetry, set_telemetry
+from repro.rl.agent import AgentConfig, PPOAgent
+from repro.serve import (
+    AllocationServer,
+    PolicyRegistry,
+    ServeConfig,
+    export_policy,
+    request_once,
+    run_load,
+)
+from repro.serve.loadgen import LoadConfig
+from repro.utils.serialization import CheckpointCorruptError, save_npz_state
+
+SEED = 3
+FLEET = build_fleet(TESTBED_PRESET, seed=SEED)
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    yield
+    set_telemetry(NULL_TELEMETRY)
+
+
+def make_checkpoint(path, obs_dim, act_dim, rng=0, warm=True):
+    agent = PPOAgent(
+        AgentConfig(obs_dim=obs_dim, act_dim=act_dim, hidden=(16, 8)), rng=rng
+    )
+    if warm:
+        gen = np.random.default_rng(1)
+        for _ in range(5):
+            agent.policy_action(gen.uniform(0.1, 80, obs_dim))
+    save_npz_state(path, agent.state_dict())
+    return agent
+
+
+@pytest.fixture()
+def policy_dir(tmp_path):
+    """A directory holding one exported artifact matching the testbed fleet."""
+    system = build_system(TESTBED_PRESET, seed=SEED)
+    obs_dim = system.bandwidth_state().ravel().size
+    ckpt = str(tmp_path / "agent.npz")
+    make_checkpoint(ckpt, obs_dim, TESTBED_PRESET.n_devices)
+    directory = tmp_path / "policies"
+    directory.mkdir()
+    export_policy(ckpt, str(directory / "policy-v0001.npz"),
+                  FLEET.max_frequencies)
+    return str(directory), ckpt
+
+
+@pytest.fixture()
+def server(policy_dir):
+    directory, _ = policy_dir
+    srv = AllocationServer(
+        PolicyRegistry(directory), ServeConfig(max_batch=8, max_wait_ms=1.0)
+    )
+    host, port = srv.start()
+    yield srv, host, port
+    srv.shutdown()
+
+
+class TestRegistry:
+    def test_serves_newest_candidate(self, policy_dir, tmp_path):
+        directory, ckpt = policy_dir
+        registry = PolicyRegistry(directory)
+        assert "policy-v0001" in registry.version()
+        export_policy(ckpt, os.path.join(directory, "policy-v0002.npz"),
+                      FLEET.max_frequencies)
+        handle = registry.reload()
+        assert "policy-v0002" in handle.version
+
+    def test_initial_load_falls_back_past_corrupt_newest(self, policy_dir):
+        directory, _ = policy_dir
+        bad = os.path.join(directory, "policy-v0002.npz")
+        shutil.copy(os.path.join(directory, "policy-v0001.npz"), bad)
+        with open(bad, "r+b") as fh:
+            fh.truncate(50)
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        registry = PolicyRegistry(directory)
+        assert "policy-v0001" in registry.version()
+        assert sink.of_type("checkpoint_corrupt")
+
+    def test_reload_keeps_old_handle_on_corrupt_newest(self, policy_dir):
+        directory, _ = policy_dir
+        registry = PolicyRegistry(directory)
+        old = registry.version()
+        bad = os.path.join(directory, "policy-v0002.npz")
+        shutil.copy(os.path.join(directory, "policy-v0001.npz"), bad)
+        with open(bad, "r+b") as fh:
+            fh.truncate(50)
+        with pytest.raises(CheckpointCorruptError):
+            registry.reload()
+        assert registry.version() == old
+
+    def test_missing_path_raises(self, tmp_path):
+        registry = PolicyRegistry(str(tmp_path / "nowhere"))
+        with pytest.raises(FileNotFoundError):
+            registry.current
+
+    def test_sidecars_and_temps_are_not_candidates(self, policy_dir):
+        directory, _ = policy_dir
+        candidates = PolicyRegistry(directory).candidates()
+        assert len(candidates) == 1
+        assert candidates[0].endswith("policy-v0001.npz")
+
+
+class TestServerProtocol:
+    def test_health(self, server):
+        _, host, port = server
+        health = request_once(host, port, "health")
+        assert health["ok"] and health["status"] == "serving"
+        assert health["protocol"] == 1
+        assert "policy-v0001" in health["policy_version"]
+
+    def test_allocate_is_bit_identical_to_artifact(self, server):
+        srv, host, port = server
+        artifact = srv.registry.current.artifact
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            state = rng.uniform(0.1, 80, srv.obs_dim)
+            response = request_once(host, port, "allocate",
+                                    state=state.tolist())
+            assert response["ok"], response
+            assert np.array_equal(
+                np.asarray(response["frequencies"]), artifact.act(state)
+            )
+
+    def test_allocate_rejects_bad_states(self, server):
+        _, host, port = server
+        for bad in ([1.0, 2.0], "nope", None, [float("nan")] * 27):
+            response = request_once(host, port, "allocate", state=bad)
+            assert not response["ok"]
+            assert response["error"] == "bad_request"
+
+    def test_unknown_op_is_bad_request(self, server):
+        _, host, port = server
+        response = request_once(host, port, "frobnicate")
+        assert not response["ok"] and response["error"] == "bad_request"
+
+    def test_stats_exposes_engine_metrics(self, server):
+        _, host, port = server
+        request_once(host, port, "allocate", state=[1.0] * 27)
+        stats = request_once(host, port, "stats")
+        assert stats["ok"]
+        assert stats["metrics"]["counters"]["serve.requests"]["count"] >= 1
+
+    def test_request_id_is_echoed(self, server):
+        _, host, port = server
+        response = request_once(host, port, "health", id=42)
+        assert response["id"] == 42
+
+
+class TestHotReload:
+    def test_reload_swaps_without_dropping_requests(self, server, policy_dir):
+        srv, host, port = server
+        directory, ckpt = policy_dir
+        state = np.random.default_rng(5).uniform(0.1, 80, srv.obs_dim)
+        errors = []
+
+        def spam():
+            for _ in range(30):
+                response = request_once(host, port, "allocate",
+                                        state=state.tolist())
+                if not response.get("ok"):
+                    errors.append(response)
+
+        threads = [threading.Thread(target=spam) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        make_checkpoint(ckpt, srv.obs_dim, srv.act_dim, rng=9)
+        export_policy(ckpt, os.path.join(directory, "policy-v0002.npz"),
+                      FLEET.max_frequencies)
+        reload_response = request_once(host, port, "reload")
+        for thread in threads:
+            thread.join()
+        assert reload_response["ok"]
+        assert "policy-v0002" in reload_response["policy_version"]
+        assert errors == []
+
+    def test_corrupt_reload_keeps_serving_old_version(self, server, policy_dir):
+        srv, host, port = server
+        directory, _ = policy_dir
+        old = request_once(host, port, "health")["policy_version"]
+        bad = os.path.join(directory, "policy-v0002.npz")
+        shutil.copy(os.path.join(directory, "policy-v0001.npz"), bad)
+        with open(bad, "r+b") as fh:
+            fh.truncate(50)
+        response = request_once(host, port, "reload")
+        assert not response["ok"] and response["error"] == "reload_failed"
+        health = request_once(host, port, "health")
+        assert health["policy_version"] == old
+        state = [1.0] * srv.obs_dim
+        assert request_once(host, port, "allocate", state=state)["ok"]
+
+
+class TestRoundTrip:
+    def test_checkpoint_artifact_and_server_agree_on_eval_episode(
+        self, server, policy_dir
+    ):
+        """export-policy -> serve must be bit-identical to in-process
+        DRLAllocator reasoning over a seeded evaluation episode."""
+        srv, host, port = server
+        directory, ckpt = policy_dir
+        from_ckpt = DRLAllocator.from_checkpoint(ckpt)
+        from_art = DRLAllocator.from_artifact(
+            os.path.join(directory, "policy-v0001.npz")
+        )
+        system = build_system(TESTBED_PRESET, seed=SEED)
+        for _ in range(5):
+            state = system.bandwidth_state().ravel()
+            in_process = from_ckpt.allocate(system)
+            via_artifact = from_art.allocate(system)
+            response = request_once(host, port, "allocate",
+                                    state=state.tolist())
+            assert response["ok"], response
+            served = np.asarray(response["frequencies"])
+            assert np.array_equal(in_process, via_artifact)
+            assert np.array_equal(in_process, served)
+            system.step(in_process)
+
+
+class TestLoadGenerator:
+    def test_closed_loop_bench_is_error_free(self, server):
+        _, host, port = server
+        report = run_load(LoadConfig(host=host, port=port, requests=60,
+                                     concurrency=3, seed=1))
+        assert report.n_ok == 60
+        assert report.n_errors == 0
+        assert report.throughput_rps > 0
+        assert report.percentile(99) >= report.percentile(50)
+        assert "latency p99" in report.summary()
+
+    def test_seeded_benches_send_identical_workloads(self, server):
+        from repro.serve.loadgen import STATE_LOW, _states_for
+        from repro.utils.rng import spawn_generators
+
+        a = _states_for(spawn_generators(7, 2)[0], 5, 27)
+        b = _states_for(spawn_generators(7, 2)[0], 5, 27)
+        assert np.array_equal(a, b)
+        assert np.all(a >= STATE_LOW)
+
+    def test_open_loop_bench_completes(self, server):
+        _, host, port = server
+        report = run_load(LoadConfig(host=host, port=port, requests=40,
+                                     concurrency=2, seed=2, mode="open",
+                                     rate=500.0))
+        assert report.n_ok + report.n_errors == 40
+
+
+class TestDraining:
+    def test_shutdown_reports_draining_then_refuses(self, policy_dir):
+        directory, _ = policy_dir
+        srv = AllocationServer(PolicyRegistry(directory), ServeConfig())
+        host, port = srv.start()
+        assert request_once(host, port, "health")["status"] == "serving"
+        srv.shutdown()
+        with pytest.raises((ConnectionError, OSError)):
+            request_once(host, port, "health", timeout=1.0)
