@@ -9,6 +9,7 @@ terminal, so ``pytest benchmarks/ --benchmark-only`` leaves a
 paper-vs-measured record behind.
 """
 
+import json
 import os
 
 import pytest
@@ -32,6 +33,33 @@ def write_report(name: str, text: str) -> None:
     with open(os.path.join(OUT_DIR, name), "w") as fh:
         fh.write(text + "\n")
     print("\n" + text)
+
+
+def write_bench_json(name: str, metric: str, value: float, unit: str,
+                     seed: int = 0, **extra) -> None:
+    """Machine-readable benchmark record: ``benchmarks/out/BENCH_<name>.json``.
+
+    One headline metric per file plus provenance (seed, git sha), so CI
+    and regression tooling can track benchmark numbers across commits
+    without parsing the human-readable reports.
+    """
+    from repro.obs import RunManifest
+
+    manifest = RunManifest.collect(command=f"bench:{name}", seed=seed)
+    record = {
+        "name": name,
+        "metric": metric,
+        "value": float(value),
+        "unit": unit,
+        "seed": int(seed),
+        "git_sha": manifest.git_sha,
+        "fast_mode": FAST,
+    }
+    record.update(extra)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"BENCH_{name}.json"), "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,146 @@
+"""Closed-loop reaction latency: drift signal -> published candidate.
+
+Measures the two costs the loop adds on top of plain serving:
+
+* **per-round overhead** — experience append + drift-detector update on
+  every served round (must stay negligible next to the policy forward);
+* **end-to-end reaction** — wall-clock from a drift trigger to a gated
+  candidate: warm-start retrain on replayed experience plus the canary's
+  paired shadow evaluation.
+
+Numbers land in ``benchmarks/out/loop_latency.txt`` (human) and
+``BENCH_loop_e2e_latency.json`` (machine, with seed + git sha).
+"""
+
+import os
+import time
+
+from benchmarks.conftest import write_bench_json, write_report
+from repro.utils.tables import format_table
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+SEED = 0
+TRAIN_EPISODES = 2 if FAST else 6
+RETRAIN_EPISODES = 2 if FAST else 6
+EPISODE_LENGTH = 8 if FAST else 16
+CANARY_ITERS = 8 if FAST else 24
+MONITOR_ROUNDS = 48 if FAST else 128
+
+
+def _make_incumbent(tmp_path):
+    """Train a small agent, export it as the registry's serving artifact."""
+    from repro.core.trainer import OfflineTrainer, TrainerConfig
+    from repro.experiments.presets import TESTBED_PRESET, build_env, build_fleet
+    from repro.serve import PolicyRegistry, export_policy
+
+    env = build_env(TESTBED_PRESET, seed=SEED, episode_length=EPISODE_LENGTH)
+    trainer = OfflineTrainer(
+        env,
+        TrainerConfig(n_episodes=TRAIN_EPISODES, buffer_size=64),
+        rng=SEED,
+    )
+    trainer.train()
+    checkpoint = str(tmp_path / "agent.npz")
+    trainer.save_agent(checkpoint)
+    registry_dir = tmp_path / "registry"
+    registry_dir.mkdir()
+    fleet = build_fleet(TESTBED_PRESET, seed=SEED)
+    export_policy(
+        checkpoint,
+        str(registry_dir / "policy-v0001.policy.npz"),
+        fleet.max_frequencies,
+    )
+    return checkpoint, PolicyRegistry(str(registry_dir))
+
+
+def test_loop_latency_report(tmp_path):
+    from repro.experiments.presets import TESTBED_PRESET, build_fleet
+    from repro.loop import (
+        CanaryConfig,
+        CanaryGate,
+        ExperienceStore,
+        RetrainConfig,
+        Retrainer,
+    )
+    from repro.sim.system import FLSystem
+
+    checkpoint, registry = _make_incumbent(tmp_path)
+    config = TESTBED_PRESET.system_config()
+    system = FLSystem(build_fleet(TESTBED_PRESET, seed=SEED), config)
+    system.reset((config.history_slots + 1) * config.slot_duration)
+    store = ExperienceStore(str(tmp_path / "experience"), durable=False)
+    handle = registry.current
+
+    # 1) Per-round overhead: serve MONITOR_ROUNDS with and without the
+    #    experience append, measured adjacently.
+    bare_s = 0.0
+    loop_s = 0.0
+    for _ in range(MONITOR_ROUNDS):
+        state = system.bandwidth_state()
+        flat = state.ravel()
+        freqs = handle.artifact.act(flat)
+        t0 = time.perf_counter()
+        result = system.step(freqs)
+        t1 = time.perf_counter()
+        store.append(flat, freqs, result.reward, result.cost,
+                     result.start_time, handle.version)
+        t2 = time.perf_counter()
+        bare_s += t1 - t0
+        loop_s += t2 - t1
+    overhead_ms = 1000.0 * loop_s / MONITOR_ROUNDS
+    overhead_frac = loop_s / max(bare_s, 1e-12)
+
+    # 2) Reaction: retrain on the recorded experience, then canary-gate
+    #    the candidate (publish or reject — the cost is what matters).
+    retrainer = Retrainer(
+        checkpoint, system.fleet, config,
+        RetrainConfig(episodes=RETRAIN_EPISODES,
+                      episode_length=EPISODE_LENGTH),
+    )
+    traces = store.bandwidth_traces(
+        config.history_slots, slot_duration=config.slot_duration
+    )
+    candidate = str(tmp_path / "candidate.policy.npz")
+    t0 = time.perf_counter()
+    retrainer.retrain(traces, candidate)
+    retrain_s = time.perf_counter() - t0
+
+    start = (config.history_slots + 1) * config.slot_duration
+
+    def factory():
+        fresh = FLSystem(system.fleet.with_traces(traces), config)
+        fresh.reset(start)
+        return fresh
+
+    gate = CanaryGate(registry, CanaryConfig(iterations=CANARY_ITERS))
+    t0 = time.perf_counter()
+    gate.consider(candidate, {"replay": factory})
+    canary_s = time.perf_counter() - t0
+    reaction_s = retrain_s + canary_s
+
+    rows = [
+        ["round overhead (append+detect)", f"{overhead_ms:.3f} ms",
+         f"{overhead_frac:.1%} of sim step"],
+        ["retrain (warm-start PPO)", f"{retrain_s:.2f} s",
+         f"{RETRAIN_EPISODES} episodes x {EPISODE_LENGTH} rounds"],
+        ["canary shadow eval", f"{canary_s:.2f} s",
+         f"{CANARY_ITERS} paired iterations"],
+        ["drift -> gated candidate", f"{reaction_s:.2f} s", "end-to-end"],
+    ]
+    table = format_table(
+        ["stage", "latency", "detail"], rows,
+        title="== Closed-loop reaction latency ==",
+    )
+    write_report("loop_latency.txt", table)
+    write_bench_json(
+        "loop_e2e_latency", "drift_to_candidate_s", reaction_s, "s",
+        seed=SEED, retrain_s=round(retrain_s, 3),
+        canary_s=round(canary_s, 3),
+        round_overhead_ms=round(overhead_ms, 4),
+    )
+
+    # The loop must react in minutes-scale, not hours; generous CI bound.
+    assert reaction_s < 600.0
+    # The per-round bookkeeping must be a small fraction of the step.
+    assert overhead_ms < 50.0

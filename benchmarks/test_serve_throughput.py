@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import write_bench_json, write_report
 from repro.env.wrappers import ActionMapper
 from repro.rl.agent import AgentConfig, PPOAgent
 from repro.serve.artifact import PolicyArtifact
@@ -117,6 +117,10 @@ def test_serve_throughput_report():
         f"{speedup:.2f}x"
     )
     write_report("serve_throughput.txt", table + note)
+    write_bench_json(
+        "serve_throughput", "requests_per_sec", best[32], "req/s", seed=0,
+        speedup_vs_batch1=round(speedup, 3), max_batch=32,
+    )
 
     assert speedup >= 2.0, f"micro-batching only {speedup:.2f}x over batch-1"
     # batching must actually have happened for the claim to mean anything

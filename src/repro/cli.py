@@ -7,6 +7,7 @@ Commands
 ``export-policy``  distill a checkpoint into a frozen serving artifact
 ``serve``          online allocation service over TCP (repro.serve)
 ``serve-bench``    seeded load test against a running server
+``loop``           closed-loop policy lifecycle: run / status / retrain (repro.loop)
 ``traces``         generate synthetic traces to CSV / report their statistics
 ``fig``            regenerate a paper figure's numbers (2, 3, 6, 7, 8)
 ``soak``           kill/resume chaos harness (repro.resilience.soak)
@@ -261,6 +262,22 @@ def _build_allocators(names, checkpoint, hidden):
                 # Walks the rotation chain, so a corrupt newest
                 # generation falls back instead of aborting the eval.
                 out.append(DRLAllocator.from_checkpoint(checkpoint, hidden=hidden))
+        elif name == "drl-online":
+            from repro.core.online import OnlineAdaptingAllocator
+
+            if not checkpoint:
+                raise SystemExit(
+                    "--checkpoint is required to evaluate 'drl-online'"
+                )
+            if checkpoint.endswith(".policy.npz"):
+                raise SystemExit(
+                    "'drl-online' keeps training, so it needs an agent "
+                    "checkpoint (repro train --out), not a frozen "
+                    "*.policy.npz artifact"
+                )
+            out.append(
+                OnlineAdaptingAllocator.from_checkpoint(checkpoint, hidden=hidden)
+            )
         elif name == "heuristic":
             out.append(HeuristicAllocator())
         elif name == "static":
@@ -550,6 +567,139 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_loop_run(args) -> int:
+    import os
+
+    from repro.experiments.presets import build_fleet
+    from repro.loop import (
+        CanaryConfig,
+        ExperienceStore,
+        LoopConfig,
+        LoopController,
+        RetrainConfig,
+        inject_step_drift,
+    )
+    from repro.serve import PolicyRegistry
+    from repro.sim.system import FLSystem
+    from repro.utils.serialization import CheckpointCorruptError
+
+    if not os.path.isdir(args.policy):
+        raise SystemExit(
+            f"loop run needs a directory of versioned artifacts (the "
+            f"registry the canary publishes into), got {args.policy!r}"
+        )
+    preset = _get_preset(args.preset, args.devices, args.lam)
+    with _telemetry_scope(args, "loop", config={"preset": preset}):
+        fleet = build_fleet(preset, seed=args.seed)
+        if args.drift_factor is not None:
+            # Deterministic regime change: the world the frozen incumbent
+            # trained for ends at --drift-at-slot.
+            fleet = fleet.with_traces(
+                inject_step_drift(
+                    [d.trace for d in fleet], args.drift_factor,
+                    args.drift_at_slot,
+                )
+            )
+        system_config = preset.system_config()
+        system = FLSystem(fleet, system_config)
+        system.reset(
+            (system_config.history_slots + 1) * system_config.slot_duration
+        )
+        try:
+            registry = PolicyRegistry(args.policy)
+            registry.current
+        except (FileNotFoundError, CheckpointCorruptError) as exc:
+            raise SystemExit(f"cannot serve {args.policy}: {exc}")
+        store = ExperienceStore(os.path.join(args.loop_dir, "experience"))
+        config = LoopConfig(
+            warmup_rounds=args.warmup,
+            drift_threshold=args.drift_threshold,
+            drift_min_samples=args.drift_min_samples,
+            replay_last_n=args.last_n,
+            retrain=RetrainConfig(
+                episodes=args.retrain_episodes,
+                episode_length=args.retrain_episode_length,
+                seed=args.retrain_seed,
+                mode=args.retrain_mode,
+            ),
+            canary=CanaryConfig(
+                iterations=args.canary_iters,
+                significance=args.canary_significance,
+                min_relative_improvement=args.canary_min_improvement,
+                watch_rounds=args.watch_rounds,
+            ),
+            cooldown_rounds=args.cooldown,
+            max_publishes=args.max_publishes,
+            subprocess_preset=args.preset,
+            subprocess_seed=args.seed,
+            subprocess_devices=args.devices,
+        )
+        controller = LoopController(
+            system, registry, store, args.checkpoint, args.loop_dir, config
+        )
+        status = controller.run(args.rounds)
+        import json
+
+        # The status is the command's product (CI greps it): always print.
+        console.always(json.dumps(status, indent=2, sort_keys=True))
+        console.info(
+            f"status written to {os.path.join(args.loop_dir, 'status.json')}"
+        )
+    return 0
+
+
+def cmd_loop_status(args) -> int:
+    import json
+
+    from repro.loop import read_status
+
+    try:
+        status = read_status(args.loop_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    console.always(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_loop_retrain(args) -> int:
+    from repro.experiments.presets import build_fleet
+    from repro.loop import (
+        ExperienceStore,
+        RetrainConfig,
+        RetrainError,
+        Retrainer,
+    )
+
+    preset = _get_preset(args.preset, args.devices)
+    fleet = build_fleet(preset, seed=args.seed)
+    system_config = preset.system_config()
+    store = ExperienceStore(args.experience_dir)
+    config = RetrainConfig(
+        episodes=args.episodes,
+        episode_length=args.episode_length,
+        buffer_size=args.buffer_size,
+        seed=args.retrain_seed,
+        floor_frac=args.floor_frac,
+    )
+    try:
+        traces = store.bandwidth_traces(
+            system_config.history_slots,
+            slot_duration=system_config.slot_duration,
+            last_n=args.last_n,
+        )
+        result = Retrainer(args.checkpoint, fleet, system_config, config).retrain(
+            traces, args.out
+        )
+    except (RetrainError, ValueError, FileNotFoundError) as exc:
+        raise SystemExit(f"retrain failed: {exc}")
+    console.info(
+        f"retrained {result.episodes} episodes; final avg cost "
+        f"{result.final_avg_cost:.3f}"
+    )
+    console.always(f"candidate written to {args.out} ({result.artifact.version})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -599,7 +749,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--allocators", nargs="+",
         default=["heuristic", "static", "oracle", "full-speed"],
-        help="drl heuristic static oracle full-speed random predictive-<name>",
+        help="drl drl-online heuristic static oracle full-speed random "
+             "predictive-<name>",
     )
     p.add_argument("--checkpoint", default=None,
                    help="agent .npz (or *.policy.npz artifact) for 'drl'")
@@ -732,6 +883,87 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 0 even when some requests failed (overload tests)")
     _add_telemetry_flags(p)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "loop",
+        help="closed-loop policy lifecycle: drift -> retrain -> canary",
+    )
+    lsub = p.add_subparsers(dest="loop_command", required=True)
+
+    pr = lsub.add_parser(
+        "run",
+        help="serve a preset through the full lifecycle (repro.loop)",
+    )
+    pr.add_argument("policy",
+                    help="directory of versioned policy artifacts — the "
+                         "registry the canary publishes into")
+    pr.add_argument("--checkpoint", required=True,
+                    help="training checkpoint (agent .npz) retrains warm-start "
+                         "from")
+    pr.add_argument("--loop-dir", required=True,
+                    help="working directory: experience/, candidate artifacts, "
+                         "status.json")
+    pr.add_argument("--rounds", type=int, default=200,
+                    help="FL rounds to serve through the loop")
+    pr.add_argument("--preset", default="testbed")
+    pr.add_argument("--devices", type=int, default=None)
+    pr.add_argument("--lam", type=float, default=None)
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--drift-factor", type=float, default=None,
+                    help="inject a deterministic step drift: scale every "
+                         "trace's bandwidth by this factor from "
+                         "--drift-at-slot onward")
+    pr.add_argument("--drift-at-slot", type=int, default=64)
+    pr.add_argument("--warmup", type=int, default=24,
+                    help="rounds observed before the drift baseline freezes")
+    pr.add_argument("--drift-threshold", type=float, default=10.0,
+                    help="Page-Hinkley trigger threshold (z-score units)")
+    pr.add_argument("--drift-min-samples", type=int, default=8)
+    pr.add_argument("--last-n", type=int, default=None,
+                    help="retrain on only the most recent N records")
+    pr.add_argument("--retrain-episodes", type=int, default=8)
+    pr.add_argument("--retrain-episode-length", type=int, default=16)
+    pr.add_argument("--retrain-seed", type=int, default=0)
+    pr.add_argument("--retrain-mode", default="inline",
+                    choices=("inline", "subprocess"),
+                    help="subprocess = supervised child with timeout/restarts")
+    pr.add_argument("--canary-iters", type=int, default=40,
+                    help="shadow-evaluation rounds per evaluation system")
+    pr.add_argument("--canary-significance", type=float, default=0.05)
+    pr.add_argument("--canary-min-improvement", type=float, default=0.0,
+                    help="required relative mean-cost improvement to publish")
+    pr.add_argument("--watch-rounds", type=int, default=16,
+                    help="served rounds watched post-publish before the "
+                         "candidate is final (regression => rollback)")
+    pr.add_argument("--cooldown", type=int, default=16)
+    pr.add_argument("--max-publishes", type=int, default=4)
+    _add_telemetry_flags(pr)
+    pr.set_defaults(func=cmd_loop_run)
+
+    ps = lsub.add_parser("status", help="print a loop run's status.json")
+    ps.add_argument("loop_dir", help="the --loop-dir of a (possibly live) run")
+    ps.set_defaults(func=cmd_loop_status)
+
+    pt = lsub.add_parser(
+        "retrain",
+        help="(worker) warm-start retrain on stored experience; the "
+             "subprocess retrainer's child command",
+    )
+    pt.add_argument("--checkpoint", required=True)
+    pt.add_argument("--experience-dir", required=True)
+    pt.add_argument("--out", required=True,
+                    help="candidate artifact path (*.policy.npz)")
+    pt.add_argument("--preset", default="testbed")
+    pt.add_argument("--seed", type=int, default=0,
+                    help="fleet-build seed (must match the serving fleet)")
+    pt.add_argument("--episodes", type=int, default=8)
+    pt.add_argument("--episode-length", type=int, default=16)
+    pt.add_argument("--buffer-size", type=int, default=64)
+    pt.add_argument("--retrain-seed", type=int, default=0)
+    pt.add_argument("--floor-frac", type=float, default=0.1)
+    pt.add_argument("--devices", type=int, default=None)
+    pt.add_argument("--last-n", type=int, default=None)
+    pt.set_defaults(func=cmd_loop_retrain)
 
     p = sub.add_parser("telemetry", help="inspect recorded telemetry")
     tsub = p.add_subparsers(dest="telemetry_command", required=True)

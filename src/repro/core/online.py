@@ -16,7 +16,7 @@ of Algorithm 1's online loop.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -77,3 +77,38 @@ class OnlineAdaptingAllocator(Allocator):
         else:
             action = self.agent.policy_action(obs)
         return self._mapper.to_frequencies(action)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        hidden: Optional[Tuple[int, ...]] = None,
+        adapt: bool = True,
+        action_floor_frac: float = 0.1,
+        keep: int = 3,
+    ) -> "OnlineAdaptingAllocator":
+        """Rehydrate an adapting allocator from a saved agent checkpoint.
+
+        Mirrors :meth:`repro.core.drl_allocator.DRLAllocator.from_checkpoint`
+        (rotation-chain fallback, hidden/policy inferred from weight
+        shapes) but leaves the agent *unfrozen* so live PPO updates can
+        continue from the checkpointed optimizer state.
+        """
+        from repro.resilience.checkpoint import load_checkpoint_with_fallback
+        from repro.rl.agent import AgentConfig
+        from repro.serve.artifact import detect_policy_kind, infer_hidden
+
+        state, _used = load_checkpoint_with_fallback(path, keep=keep)
+        obs_dim = int(np.asarray(state["meta/obs_dim"]))
+        act_dim = int(np.asarray(state["meta/act_dim"]))
+        agent = PPOAgent(
+            AgentConfig(
+                obs_dim=obs_dim,
+                act_dim=act_dim,
+                hidden=infer_hidden(state) if hidden is None else tuple(hidden),
+                policy=detect_policy_kind(state),
+            ),
+            rng=0,
+        )
+        agent.load_state_dict(state)
+        return cls(agent, adapt=adapt, action_floor_frac=action_floor_frac)

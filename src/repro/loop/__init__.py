@@ -1,0 +1,85 @@
+"""Closed-loop policy lifecycle: experience → drift → retrain → canary.
+
+The serve stack (:mod:`repro.serve`) answers "allocate now" with a
+frozen artifact; this package closes Algorithm 1's outer loop around it.
+Served outcomes land in a durable :class:`ExperienceStore`; a streaming
+:class:`DriftDetector` notices when the live bandwidth/reward
+distribution walks away from the incumbent's training regime; a
+:class:`Retrainer` warm-starts PPO on traces reconstructed from that
+very experience; and a :class:`CanaryGate` shadow-evaluates the
+candidate, publishing it for hot reload only on a statistically
+significant cost improvement — with automatic rollback if the publish
+regresses in production.  :class:`LoopController` sequences the whole
+lifecycle; ``repro loop run`` / ``repro loop status`` drive it from the
+CLI.  See ``docs/loop.md``.
+"""
+
+from repro.loop.canary import (
+    CanaryConfig,
+    CanaryGate,
+    GateDecision,
+    ShadowEval,
+    SystemFactory,
+    registry_state_digests,
+    shadow_evaluate,
+)
+from repro.loop.controller import (
+    CANARY,
+    MONITORING,
+    RETRAINING,
+    STATUS_FILENAME,
+    WATCHING,
+    LoopConfig,
+    LoopController,
+    read_status,
+)
+from repro.loop.drift import (
+    DriftBaseline,
+    DriftDetector,
+    DriftReport,
+    PageHinkley,
+    inject_step_drift,
+)
+from repro.loop.experience import (
+    EXPERIENCE_SCHEMA_VERSION,
+    ExperienceRecord,
+    ExperienceStore,
+)
+from repro.loop.retrain import (
+    RetrainConfig,
+    RetrainError,
+    Retrainer,
+    RetrainResult,
+    SubprocessRetrainer,
+)
+
+__all__ = [
+    "CANARY",
+    "EXPERIENCE_SCHEMA_VERSION",
+    "MONITORING",
+    "RETRAINING",
+    "STATUS_FILENAME",
+    "WATCHING",
+    "CanaryConfig",
+    "CanaryGate",
+    "DriftBaseline",
+    "DriftDetector",
+    "DriftReport",
+    "ExperienceRecord",
+    "ExperienceStore",
+    "GateDecision",
+    "LoopConfig",
+    "LoopController",
+    "PageHinkley",
+    "RetrainConfig",
+    "RetrainError",
+    "Retrainer",
+    "RetrainResult",
+    "ShadowEval",
+    "SubprocessRetrainer",
+    "SystemFactory",
+    "inject_step_drift",
+    "read_status",
+    "registry_state_digests",
+    "shadow_evaluate",
+]

@@ -1,0 +1,305 @@
+"""Canary gating: shadow-evaluate, publish on significance, roll back.
+
+A retrained candidate never serves directly.  The gate first
+shadow-evaluates candidate vs. incumbent offline — both replayed as
+frozen :class:`~repro.core.drl_allocator.DRLAllocator` artifacts over
+the *same* deterministic systems (typically a replay of recent served
+experience plus a seeded drifting-trace preset), so the comparison is
+paired round-by-round.  Publication requires a statistically
+significant mean-cost improvement (one-sided paired t-test,
+:func:`scipy.stats.ttest_rel`) on the pooled rounds; anything less is
+rejected and the incumbent keeps serving untouched.
+
+Publishing is the registry's own durable path: the candidate's state is
+re-saved into the registry directory as the next lexicographic version
+(``policy-vNNNN.policy.npz``, fsync + sha256 sidecar) and the registry
+hot-reloads — load-validate-swap, so a corrupt candidate can never
+replace a serving policy.  :meth:`CanaryGate.rollback` re-publishes the
+incumbent's weights as a *newer* version (registries serve newest-last;
+history is append-only) when the post-publish watch window shows the
+candidate regressing in production.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.core.drl_allocator import DRLAllocator
+from repro.obs import get_telemetry
+from repro.serve.artifact import PolicyArtifact
+from repro.serve.registry import PolicyHandle, PolicyRegistry
+from repro.sim.system import FLSystem
+from repro.utils.serialization import load_npz_state, save_npz_state
+
+#: ``policy-v0007.policy.npz`` -> 7; used to pick the next version name.
+_VERSION_PATTERN = re.compile(r"policy-v(\d+)")
+
+#: A zero-argument factory producing a fresh, reset system for one
+#: shadow run.  Called once per artifact per named evaluation, so both
+#: sides see bit-identical initial conditions.
+SystemFactory = Callable[[], FLSystem]
+
+
+@dataclass
+class CanaryConfig:
+    """Gate thresholds and the post-publish watch window."""
+
+    #: Shadow rounds per named evaluation system.
+    iterations: int = 40
+    #: One-sided significance level the improvement must clear.
+    significance: float = 0.05
+    #: Required relative mean-cost improvement (0 = any improvement).
+    min_relative_improvement: float = 0.0
+    #: Served rounds watched after a publish before it is final.
+    watch_rounds: int = 16
+    #: Fractional served-cost regression (vs. the canary's estimate of
+    #: the candidate) tolerated before automatic rollback.
+    rollback_tolerance: float = 0.25
+
+    def validate(self) -> "CanaryConfig":
+        if self.iterations < 2:
+            raise ValueError("iterations must be at least 2")
+        if not 0 < self.significance < 1:
+            raise ValueError("significance must be in (0, 1)")
+        if self.min_relative_improvement < 0:
+            raise ValueError("min_relative_improvement must be non-negative")
+        if self.watch_rounds < 1:
+            raise ValueError("watch_rounds must be at least 1")
+        if self.rollback_tolerance < 0:
+            raise ValueError("rollback_tolerance must be non-negative")
+        return self
+
+
+@dataclass(frozen=True)
+class ShadowEval:
+    """Paired per-round costs of one named evaluation system."""
+
+    name: str
+    incumbent_costs: np.ndarray
+    candidate_costs: np.ndarray
+
+    @property
+    def incumbent_mean(self) -> float:
+        return float(self.incumbent_costs.mean())
+
+    @property
+    def candidate_mean(self) -> float:
+        return float(self.candidate_costs.mean())
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """The gate's verdict plus everything needed to audit it."""
+
+    accepted: bool
+    reason: str
+    p_value: float
+    #: Relative mean-cost improvement, pooled over evaluations
+    #: (positive = candidate cheaper).
+    improvement: float
+    #: The canary's estimate of the candidate's mean served cost —
+    #: the reference the post-publish watch compares against.
+    expected_cost: float
+    evals: Tuple[ShadowEval, ...]
+    published_version: Optional[str] = None
+
+
+def shadow_evaluate(
+    incumbent: PolicyArtifact,
+    candidate: PolicyArtifact,
+    factory: SystemFactory,
+    iterations: int,
+    name: str = "replay",
+) -> ShadowEval:
+    """Run both artifacts over identical fresh systems; paired costs."""
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    costs = []
+    for artifact in (incumbent, candidate):
+        system = factory()
+        results = system.run(DRLAllocator.from_artifact(artifact), iterations)
+        costs.append(np.asarray([r.cost for r in results], dtype=np.float64))
+    return ShadowEval(name=name, incumbent_costs=costs[0], candidate_costs=costs[1])
+
+
+def _paired_one_sided_p(incumbent: np.ndarray, candidate: np.ndarray) -> float:
+    """P(candidate is NOT cheaper) via a paired t-test on cost pairs.
+
+    A degenerate all-equal diff (t undefined) returns 1.0 — no evidence
+    of improvement, so the gate rejects.
+    """
+    diff = incumbent - candidate
+    if float(diff.std(ddof=1)) == 0.0:
+        return 0.0 if float(diff.mean()) > 0 else 1.0
+    t_stat, p_two = _scipy_stats.ttest_rel(incumbent, candidate)
+    if not np.isfinite(t_stat):
+        return 1.0
+    p_one = p_two / 2.0 if t_stat > 0 else 1.0 - p_two / 2.0
+    return float(p_one)
+
+
+class CanaryGate:
+    """Decides whether a candidate artifact may serve, and undoes it.
+
+    ``registry.path`` must be a *directory* of versioned artifacts —
+    publication appends the next lexicographic version and hot-reloads.
+    """
+
+    def __init__(
+        self, registry: PolicyRegistry, config: Optional[CanaryConfig] = None
+    ) -> None:
+        if not os.path.isdir(registry.path):
+            raise ValueError(
+                f"canary publishing needs a registry directory, got "
+                f"{registry.path!r}"
+            )
+        self.registry = registry
+        self.config = (config or CanaryConfig()).validate()
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(
+        self,
+        incumbent: PolicyArtifact,
+        candidate: PolicyArtifact,
+        factories: Mapping[str, SystemFactory],
+    ) -> GateDecision:
+        """Shadow-run both policies on every named system; no publish."""
+        if not factories:
+            raise ValueError("need at least one evaluation system factory")
+        cfg = self.config
+        evals = tuple(
+            shadow_evaluate(incumbent, candidate, factory, cfg.iterations, name)
+            for name, factory in sorted(factories.items())
+        )
+        inc = np.concatenate([e.incumbent_costs for e in evals])
+        cand = np.concatenate([e.candidate_costs for e in evals])
+        improvement = float((inc.mean() - cand.mean()) / max(abs(inc.mean()), 1e-12))
+        p_value = _paired_one_sided_p(inc, cand)
+        if improvement <= cfg.min_relative_improvement:
+            reason = (
+                f"improvement {improvement:.2%} <= required "
+                f"{cfg.min_relative_improvement:.2%}"
+            )
+            accepted = False
+        elif p_value >= cfg.significance:
+            reason = (
+                f"not significant (p={p_value:.3g} >= {cfg.significance:g})"
+            )
+            accepted = False
+        else:
+            reason = (
+                f"candidate improves mean cost by {improvement:.2%} "
+                f"(p={p_value:.3g})"
+            )
+            accepted = True
+        return GateDecision(
+            accepted=accepted,
+            reason=reason,
+            p_value=p_value,
+            improvement=improvement,
+            expected_cost=float(cand.mean()),
+            evals=evals,
+        )
+
+    def consider(
+        self,
+        candidate_path: str,
+        factories: Mapping[str, SystemFactory],
+    ) -> GateDecision:
+        """Evaluate a candidate file against the live incumbent; publish
+        (and hot-reload) only on an accepted decision."""
+        incumbent = self.registry.current
+        candidate = PolicyArtifact.load(candidate_path)
+        decision = self.evaluate(incumbent.artifact, candidate, factories)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_loop(
+                "canary",
+                accepted=decision.accepted,
+                improvement=round(decision.improvement, 6),
+                p_value=round(decision.p_value, 6),
+                expected_cost=round(decision.expected_cost, 6),
+                incumbent=incumbent.version,
+            )
+        if not decision.accepted:
+            if tel.enabled:
+                tel.on_loop("reject", reason=decision.reason)
+            return decision
+        handle = self.publish(candidate_path)
+        if tel.enabled:
+            tel.on_loop(
+                "publish", version=handle.version, reason=decision.reason
+            )
+        return GateDecision(
+            accepted=True,
+            reason=decision.reason,
+            p_value=decision.p_value,
+            improvement=decision.improvement,
+            expected_cost=decision.expected_cost,
+            evals=decision.evals,
+            published_version=handle.version,
+        )
+
+    # -- publication ---------------------------------------------------------
+    def next_version_name(self) -> str:
+        """The next lexicographic artifact name in the registry dir."""
+        numbers = [0]
+        for path in self.registry.candidates():
+            match = _VERSION_PATTERN.search(os.path.basename(path))
+            if match:
+                numbers.append(int(match.group(1)))
+        return f"policy-v{max(numbers) + 1:04d}.policy.npz"
+
+    def publish(self, artifact_path: str) -> PolicyHandle:
+        """Durably copy an artifact in as the next version and reload."""
+        state = load_npz_state(artifact_path)
+        target = os.path.join(self.registry.path, self.next_version_name())
+        save_npz_state(target, state, keep=1, durable=True)
+        return self.registry.reload()
+
+    def rollback(self, incumbent: PolicyHandle) -> PolicyHandle:
+        """Re-publish the incumbent's weights as the newest version.
+
+        Registries serve newest-last, so undoing a bad publish means
+        appending a fresh copy of the old weights — never deleting the
+        bad version (the audit trail stays intact).
+        """
+        handle = self.publish(incumbent.path)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_loop(
+                "rollback",
+                restored=incumbent.version,
+                serving=handle.version,
+            )
+        return handle
+
+    def should_rollback(
+        self, decision: GateDecision, served_costs: np.ndarray
+    ) -> bool:
+        """Did the published candidate regress past the tolerance?
+
+        ``served_costs`` are the post-publish watch-window round costs;
+        they are compared against the canary's own estimate of the
+        candidate's mean cost.
+        """
+        served = np.asarray(served_costs, dtype=np.float64)
+        if served.size == 0:
+            return False
+        limit = decision.expected_cost * (1.0 + self.config.rollback_tolerance)
+        return bool(served.mean() > limit)
+
+
+def registry_state_digests(registry: PolicyRegistry) -> Dict[str, str]:
+    """Map of candidate basename -> content digest (audit helper)."""
+    out: Dict[str, str] = {}
+    for path in registry.candidates():
+        artifact = PolicyArtifact.load(path)
+        out[os.path.basename(path)] = artifact.digest
+    return out

@@ -1,0 +1,479 @@
+"""The loop controller: serve → detect → retrain → gate → watch.
+
+:class:`LoopController` closes Algorithm 1's online phase around the
+serve stack as an explicit state machine:
+
+.. code-block:: text
+
+    MONITORING --drift--> RETRAINING --candidate--> CANARY
+        ^                     |  (retrain failed)      |
+        |<--------------------+          +-- rejected -+-- published
+        |         cooldown               v                  |
+        +---------------- MONITORING  WATCHING <------------+
+        ^                                 |
+        +---- ok / ROLLBACK (regressed) --+
+
+Each round the controller asks the live
+:class:`~repro.serve.registry.PolicyRegistry` handle for an allocation
+(the same batch-stable kernel the TCP server runs), steps the
+:class:`~repro.sim.system.FLSystem`, and feeds the outcome to the
+:class:`~repro.loop.experience.ExperienceStore` and
+:class:`~repro.loop.drift.DriftDetector`.  A drift trigger retrains on
+traces reconstructed from recent experience, the
+:class:`~repro.loop.canary.CanaryGate` shadow-evaluates the candidate
+(replay + a seeded drifting preset) and only a statistically
+significant winner is hot-published; a published candidate is then
+*watched* for ``watch_rounds`` served rounds and rolled back
+automatically if its realized cost regresses past the canary's
+estimate.
+
+Every transition emits a ``loop`` telemetry event and bumps a
+``loop.*`` counter; :meth:`LoopController.status` (mirrored to
+``status.json`` for ``repro loop status``) is the operator view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.loop.canary import CanaryConfig, CanaryGate, GateDecision, SystemFactory
+from repro.loop.drift import DriftBaseline, DriftDetector, DriftReport
+from repro.loop.experience import ExperienceStore
+from repro.loop.retrain import (
+    RetrainConfig,
+    Retrainer,
+    RetrainError,
+    SubprocessRetrainer,
+)
+from repro.obs import get_telemetry
+from repro.serve.registry import PolicyHandle, PolicyRegistry
+from repro.sim.system import FLSystem
+from repro.traces.base import BandwidthTrace
+from repro.utils.rng import RngFactory
+from repro.utils.serialization import CheckpointCorruptError
+
+STATUS_FILENAME = "status.json"
+
+#: Loop lifecycle states (plain strings: they go straight into JSON).
+MONITORING = "monitoring"
+RETRAINING = "retraining"
+CANARY = "canary"
+WATCHING = "watching"
+
+_STATES = (MONITORING, RETRAINING, CANARY, WATCHING)
+
+
+@dataclass
+class LoopConfig:
+    """Thresholds and budgets of one closed-loop run."""
+
+    #: Rounds served before the drift baseline freezes.
+    warmup_rounds: int = 24
+    #: Page–Hinkley drift magnitude tolerated (z-score units).
+    drift_delta: float = 0.5
+    #: Page–Hinkley trigger threshold (cumulative z-score gap).
+    drift_threshold: float = 10.0
+    #: Observations before the test may fire.
+    drift_min_samples: int = 8
+    #: Recent records replayed into retraining traces (None = all).
+    replay_last_n: Optional[int] = None
+    retrain: RetrainConfig = field(default_factory=RetrainConfig)
+    canary: CanaryConfig = field(default_factory=CanaryConfig)
+    #: Rounds after a rejection before drift may re-trigger.
+    cooldown_rounds: int = 16
+    #: Publishes allowed per run (0 = monitor/record only).
+    max_publishes: int = 4
+    #: Seed for the gate's drifting-trace evaluation preset.
+    canary_trace_seed: int = 7
+    #: ``(preset, seed, devices)`` the subprocess retrainer rebuilds the
+    #: fleet from; unused in inline mode (it has the live fleet).
+    subprocess_preset: str = "testbed"
+    subprocess_seed: int = 0
+    subprocess_devices: Optional[int] = None
+
+    def validate(self) -> "LoopConfig":
+        if self.warmup_rounds < 4:
+            raise ValueError("warmup_rounds must be at least 4")
+        if self.drift_min_samples < 1:
+            raise ValueError("drift_min_samples must be at least 1")
+        if self.cooldown_rounds < 0:
+            raise ValueError("cooldown_rounds must be non-negative")
+        if self.max_publishes < 0:
+            raise ValueError("max_publishes must be non-negative")
+        self.retrain.validate()
+        self.canary.validate()
+        return self
+
+
+class LoopController:
+    """Drives the closed policy lifecycle over one live system.
+
+    ``loop_dir`` holds the run's working artifacts: candidate exports,
+    refreshed agent checkpoints and ``status.json``.  The experience
+    store may live inside it or anywhere else.
+    """
+
+    def __init__(
+        self,
+        system: FLSystem,
+        registry: PolicyRegistry,
+        store: ExperienceStore,
+        agent_checkpoint: str,
+        loop_dir: str,
+        config: Optional[LoopConfig] = None,
+        canary_factory: Optional[SystemFactory] = None,
+    ) -> None:
+        self.system = system
+        self.registry = registry
+        self.store = store
+        self.agent_checkpoint = str(agent_checkpoint)
+        self.loop_dir = str(loop_dir)
+        self.config = (config or LoopConfig()).validate()
+        os.makedirs(self.loop_dir, exist_ok=True)
+        self.state = MONITORING
+        self.rounds = 0
+        self.drift_events = 0
+        self.retrains = 0
+        self.publishes = 0
+        self.rejects = 0
+        self.rollbacks = 0
+        self.last_decision: Optional[GateDecision] = None
+        self.last_drift: Optional[DriftReport] = None
+        self.detector: Optional[DriftDetector] = None
+        self._warm_bw: List[float] = []
+        self._warm_rw: List[float] = []
+        self._cooldown = 0
+        self._watch_costs: List[float] = []
+        self._watch_incumbent: Optional[PolicyHandle] = None
+        self._candidate_seq = 0
+        self._pending_checkpoint: Optional[str] = None
+        self._canary_factory = canary_factory
+        # Fail fast on an unservable registry, like AllocationServer does.
+        self._served_version = self.registry.current.version
+
+    # -- state machine -------------------------------------------------------
+    def _transition(self, state: str, **fields: Any) -> None:
+        if state not in _STATES:
+            raise ValueError(f"unknown loop state {state!r}")
+        self.state = state
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_loop("state", state=state, round=self.rounds, **fields)
+        self._write_status()
+
+    def run(self, n_rounds: int) -> Dict[str, Any]:
+        """Serve ``n_rounds`` through the full lifecycle; final status."""
+        if n_rounds <= 0:
+            raise ValueError("n_rounds must be positive")
+        for _ in range(n_rounds):
+            self.step()
+        self.store.flush()
+        self._write_status()
+        return self.status()
+
+    def step(self) -> None:
+        """One served round plus any lifecycle transitions it triggers."""
+        handle = self.registry.current
+        state = self.system.bandwidth_state()
+        flat = state.ravel()
+        frequencies = handle.artifact.act(flat)
+        result = self.system.step(frequencies)
+        self.rounds += 1
+        self._served_version = handle.version
+        self.store.append(
+            flat,
+            frequencies,
+            reward=float(result.reward),
+            cost=float(result.cost),
+            clock=float(result.start_time),
+            policy_version=handle.version,
+        )
+        newest_bw = state[:, 0]
+        if self.state == WATCHING:
+            self._watch(result.cost)
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if self.detector is None:
+            self._warm_bw.append(float(newest_bw.mean()))
+            self._warm_rw.append(float(result.reward))
+            if len(self._warm_bw) >= self.config.warmup_rounds:
+                self.detector = DriftDetector(
+                    DriftBaseline.from_samples(self._warm_bw, self._warm_rw),
+                    delta=self.config.drift_delta,
+                    threshold=self.config.drift_threshold,
+                    min_samples=self.config.drift_min_samples,
+                )
+            return
+        report = self.detector.update(newest_bw, float(result.reward))
+        if report is not None:
+            self.last_drift = report
+            self.drift_events += 1
+            self._on_drift(report)
+
+    # -- drift -> retrain -> canary ------------------------------------------
+    def _on_drift(self, report: DriftReport) -> None:
+        if self.publishes >= self.config.max_publishes:
+            # Budget spent: keep recording, stop retraining.
+            self._rebaseline()
+            self._cooldown = self.config.cooldown_rounds
+            return
+        self._transition(RETRAINING, stream=report.kind)
+        candidate = self._retrain()
+        if candidate is None:
+            self._rebaseline()
+            self._cooldown = self.config.cooldown_rounds
+            self._transition(MONITORING, retrain="failed")
+            return
+        self.retrains += 1
+        self._transition(CANARY, candidate=os.path.basename(candidate))
+        incumbent = self.registry.current
+        gate = CanaryGate(self.registry, self.config.canary)
+        try:
+            decision = gate.consider(candidate, self._factories())
+        except (CheckpointCorruptError, ValueError, OSError) as exc:
+            # A corrupt/unloadable candidate is a rejection, not a loop
+            # crash — the incumbent keeps serving untouched.
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.on_loop("reject", reason=f"candidate unusable: {exc}")
+            self.rejects += 1
+            self._rebaseline()
+            self._cooldown = self.config.cooldown_rounds
+            self._transition(MONITORING, rejected="candidate unusable")
+            return
+        self.last_decision = decision
+        if decision.accepted:
+            self.publishes += 1
+            if self._pending_checkpoint is not None:
+                self.agent_checkpoint = self._pending_checkpoint
+                self._pending_checkpoint = None
+            self._watch_costs = []
+            self._watch_incumbent = incumbent
+            self._transition(WATCHING, version=decision.published_version)
+        else:
+            self.rejects += 1
+            self._rebaseline()
+            self._cooldown = self.config.cooldown_rounds
+            self._transition(MONITORING, rejected=decision.reason)
+
+    def _retrain(self) -> Optional[str]:
+        """Produce a candidate artifact path, or None on failure."""
+        cfg = self.config
+        self._candidate_seq += 1
+        out_path = os.path.join(
+            self.loop_dir, f"candidate-{self._candidate_seq:04d}.policy.npz"
+        )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.on_loop(
+                "retrain",
+                mode=cfg.retrain.mode,
+                episodes=cfg.retrain.episodes,
+                candidate=os.path.basename(out_path),
+            )
+        try:
+            if cfg.retrain.mode == "subprocess":
+                sub = SubprocessRetrainer(
+                    self.agent_checkpoint,
+                    self.store.directory,
+                    preset_name=cfg.subprocess_preset,
+                    preset_seed=cfg.subprocess_seed,
+                    config=cfg.retrain,
+                    devices=cfg.subprocess_devices,
+                    replay_last_n=cfg.replay_last_n,
+                )
+                result = sub.retrain(out_path)
+            else:
+                retrainer = Retrainer(
+                    self.agent_checkpoint,
+                    self.system.fleet,
+                    self.system.config,
+                    cfg.retrain,
+                )
+                traces = self.store.bandwidth_traces(
+                    self.system.config.history_slots,
+                    slot_duration=self.system.config.slot_duration,
+                    last_n=cfg.replay_last_n,
+                )
+                result = retrainer.retrain(traces, out_path)
+        except (RetrainError, ValueError, OSError) as exc:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.on_loop("retrain_failed", error=str(exc).splitlines()[0])
+            return None
+        # Held until the gate's verdict: only a *published* candidate's
+        # refreshed checkpoint becomes the next warm-start — a rejected
+        # retrain must not poison later retrains with its weights.
+        self._pending_checkpoint = result.agent_checkpoint
+        return out_path
+
+    def _factories(self) -> Dict[str, SystemFactory]:
+        """The gate's evaluation systems: experience replay + drift preset."""
+        cfg = self.config
+        history_slots = self.system.config.history_slots
+        slot = self.system.config.slot_duration
+        replay_traces = self.store.bandwidth_traces(
+            history_slots, slot_duration=slot, last_n=cfg.replay_last_n
+        )
+        start = (history_slots + 1) * slot
+
+        def replay_factory() -> FLSystem:
+            system = FLSystem(
+                self.system.fleet.with_traces(replay_traces), self.system.config
+            )
+            system.reset(start)
+            return system
+
+        factories: Dict[str, SystemFactory] = {"replay": replay_factory}
+        if self._canary_factory is not None:
+            factories["drift-preset"] = self._canary_factory
+        else:
+            factories["drift-preset"] = self._default_drift_factory()
+        return factories
+
+    def _default_drift_factory(self) -> SystemFactory:
+        """A seeded drifting-trace preset evaluation system.
+
+        Fresh walking traces (``drift_amplitude`` 0.85, see
+        :func:`repro.traces.synthetic.lte_walking_trace`) on the live
+        fleet's device parameters — the gate's out-of-replay check that
+        a candidate generalizes to drift it has not literally seen.
+        """
+        from repro.traces.synthetic import lte_walking_trace
+
+        cfg = self.config
+        n = self.system.fleet.n
+        slot = self.system.config.slot_duration
+        n_slots = max(256, self.config.canary.iterations * 8)
+        rngs = RngFactory(cfg.canary_trace_seed)
+        traces: List[BandwidthTrace] = [
+            lte_walking_trace(
+                n_slots=n_slots, slot_duration=slot, rng=rng, name=f"canary-{i}"
+            )
+            for i, rng in enumerate(rngs.spawn("canary-traces", n))
+        ]
+        start = (self.system.config.history_slots + 1) * slot
+
+        def factory() -> FLSystem:
+            system = FLSystem(
+                self.system.fleet.with_traces(traces), self.system.config
+            )
+            system.reset(start)
+            return system
+
+        return factory
+
+    # -- post-publish watch --------------------------------------------------
+    def _watch(self, cost: float) -> None:
+        self._watch_costs.append(float(cost))
+        if len(self._watch_costs) < self.config.canary.watch_rounds:
+            return
+        decision = self.last_decision
+        incumbent = self._watch_incumbent
+        assert decision is not None and incumbent is not None
+        gate = CanaryGate(self.registry, self.config.canary)
+        served = np.asarray(self._watch_costs, dtype=np.float64)
+        if gate.should_rollback(decision, served):
+            gate.rollback(incumbent)
+            self.rollbacks += 1
+            outcome = "rolled_back"
+        else:
+            outcome = "kept"
+        self._watch_costs = []
+        self._watch_incumbent = None
+        self._rebaseline()
+        self._cooldown = self.config.cooldown_rounds
+        self._transition(
+            MONITORING, watch=outcome, served_mean=round(float(served.mean()), 6)
+        )
+
+    def _rebaseline(self) -> None:
+        """Re-freeze the drift baseline from the most recent window.
+
+        After a publish/reject the old baseline describes a world the
+        loop has already reacted to; drift is measured against the new
+        normal from here on.
+        """
+        window = max(self.config.warmup_rounds, self.config.drift_min_samples)
+        try:
+            arr = self.store.arrays(last_n=window)
+        except ValueError:
+            self.detector = None
+            self._warm_bw, self._warm_rw = [], []
+            return
+        history_slots = self.system.config.history_slots
+        states = arr["states"]
+        n = states.shape[1] // (history_slots + 1)
+        newest = states.reshape(states.shape[0], n, history_slots + 1)[:, :, 0]
+        bw = newest.mean(axis=1)
+        rw = arr["rewards"]
+        if bw.size < 2:
+            self.detector = None
+            self._warm_bw, self._warm_rw = [], []
+            return
+        baseline = DriftBaseline.from_samples(bw, rw)
+        if self.detector is None:
+            self.detector = DriftDetector(
+                baseline,
+                delta=self.config.drift_delta,
+                threshold=self.config.drift_threshold,
+                min_samples=self.config.drift_min_samples,
+            )
+        else:
+            self.detector.rebaseline(baseline)
+
+    # -- status --------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The operator view: state, counters, versions, last verdicts."""
+        out: Dict[str, Any] = {
+            "state": self.state,
+            "rounds": self.rounds,
+            "records": len(self.store),
+            "serving": self._served_version,
+            "drift_events": self.drift_events,
+            "retrains": self.retrains,
+            "publishes": self.publishes,
+            "rejects": self.rejects,
+            "rollbacks": self.rollbacks,
+        }
+        if self.last_drift is not None:
+            out["last_drift"] = {
+                "stream": self.last_drift.kind,
+                "statistic": round(self.last_drift.statistic, 4),
+                "threshold": self.last_drift.threshold,
+            }
+        if self.last_decision is not None:
+            out["last_canary"] = {
+                "accepted": self.last_decision.accepted,
+                "reason": self.last_decision.reason,
+                "improvement": round(self.last_decision.improvement, 6),
+                "p_value": round(self.last_decision.p_value, 6),
+                "published_version": self.last_decision.published_version,
+            }
+        return out
+
+    def _write_status(self) -> None:
+        tmp = os.path.join(self.loop_dir, STATUS_FILENAME + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(self.status(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, os.path.join(self.loop_dir, STATUS_FILENAME))
+
+
+def read_status(loop_dir: str) -> Dict[str, Any]:
+    """Load ``status.json`` written by a (possibly live) loop run."""
+    path = os.path.join(loop_dir, STATUS_FILENAME)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no {STATUS_FILENAME} in {loop_dir!r}")
+    with open(path) as fh:
+        loaded = json.load(fh)
+    if not isinstance(loaded, dict):
+        raise ValueError(f"{path!r} does not contain a status object")
+    return loaded

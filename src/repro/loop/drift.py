@@ -1,0 +1,233 @@
+"""Streaming drift detection over served experience.
+
+The network bandwidth process is non-stationary (the paper's whole
+motivation for learning from experience); a policy frozen at export time
+slowly goes stale as the distribution walks away from what it trained
+on.  :class:`DriftDetector` watches the live per-round bandwidth and
+reward stream with two classic streaming statistics:
+
+* **Welford moments** (:class:`~repro.utils.stats.RunningStat`) for the
+  live mean/variance, compared against a :class:`DriftBaseline` frozen
+  at training/warmup time;
+* a two-sided **Page–Hinkley** test on the baseline-normalized deviation
+  — the cumulative sum of ``z_t ∓ delta`` minus its running extremum —
+  which fires when the stream shifts persistently in either direction
+  rather than on single outliers.
+
+On trigger the detector emits a ``loop`` telemetry event
+(``kind="drift"``) and returns a :class:`DriftReport`; the
+:class:`~repro.loop.controller.LoopController` treats that as the
+retrain signal.
+
+:func:`inject_step_drift` is the seeded test/benchmark companion: it
+deterministically collapses (or boosts) every trace's bandwidth after a
+given slot, modelling the abrupt regime change the loop must survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import get_telemetry
+from repro.traces.base import BandwidthTrace
+from repro.utils.stats import RunningStat
+
+_EPS = 1e-8
+
+
+@dataclass(frozen=True)
+class DriftBaseline:
+    """Reference moments frozen when the serving policy was trained."""
+
+    bandwidth_mean: float
+    bandwidth_std: float
+    reward_mean: float
+    reward_std: float
+    n_samples: int
+
+    @classmethod
+    def from_samples(
+        cls, bandwidths: Sequence[float], rewards: Sequence[float]
+    ) -> "DriftBaseline":
+        """Freeze a baseline from warmup-window samples."""
+        bw = np.asarray(bandwidths, dtype=np.float64)
+        rw = np.asarray(rewards, dtype=np.float64)
+        if bw.size < 2 or rw.size < 2:
+            raise ValueError("need at least 2 samples per stream for a baseline")
+        return cls(
+            bandwidth_mean=float(bw.mean()),
+            bandwidth_std=float(max(bw.std(), _EPS)),
+            reward_mean=float(rw.mean()),
+            reward_std=float(max(rw.std(), _EPS)),
+            n_samples=int(bw.size),
+        )
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Why the detector fired: which stream, how far, on how much data."""
+
+    kind: str  # "bandwidth" | "reward"
+    statistic: float
+    threshold: float
+    n_samples: int
+    live_mean: float
+    baseline_mean: float
+
+
+class PageHinkley:
+    """Two-sided Page–Hinkley change detector on a scalar stream.
+
+    ``update(x)`` accumulates ``x - delta`` (and ``x + delta``) and
+    tracks the gap to the running minimum (maximum); a gap above
+    ``threshold`` after ``min_samples`` observations signals a
+    persistent upward (downward) mean shift.  ``delta`` is the
+    magnitude of drift tolerated without firing.
+    """
+
+    def __init__(
+        self, delta: float = 0.5, threshold: float = 10.0, min_samples: int = 16
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self._cum_up = 0.0
+        self._min_up = 0.0
+        self._cum_down = 0.0
+        self._max_down = 0.0
+
+    @property
+    def statistic(self) -> float:
+        """The larger of the two one-sided gap statistics."""
+        return max(self._cum_up - self._min_up, self._max_down - self._cum_down)
+
+    def update(self, x: float) -> bool:
+        """Feed one observation; True when a shift is detected."""
+        x = float(x)
+        self.n += 1
+        self._cum_up += x - self.delta
+        self._min_up = min(self._min_up, self._cum_up)
+        self._cum_down += x + self.delta
+        self._max_down = max(self._max_down, self._cum_down)
+        return self.n >= self.min_samples and self.statistic > self.threshold
+
+
+class DriftDetector:
+    """Compares the live bandwidth/reward streams against a baseline.
+
+    Each :meth:`update` takes one round's per-device bandwidth vector
+    and realized reward, normalizes both stream means against the
+    frozen baseline and feeds the z-scores to per-stream Page–Hinkley
+    tests.  The first stream to fire produces the :class:`DriftReport`
+    (bandwidth checked first: it is the cause, reward the symptom).
+    """
+
+    def __init__(
+        self,
+        baseline: DriftBaseline,
+        delta: float = 0.5,
+        threshold: float = 10.0,
+        min_samples: int = 16,
+    ) -> None:
+        self.baseline = baseline
+        self._config = (float(delta), float(threshold), int(min_samples))
+        self._bw_ph = PageHinkley(delta, threshold, min_samples)
+        self._rw_ph = PageHinkley(delta, threshold, min_samples)
+        self._bw_live = RunningStat()
+        self._rw_live = RunningStat()
+
+    @property
+    def n_samples(self) -> int:
+        return int(self._bw_live.n)
+
+    def rebaseline(self, baseline: DriftBaseline) -> None:
+        """Swap in a fresh baseline (post-publish) and reset the tests."""
+        delta, threshold, min_samples = self._config
+        self.baseline = baseline
+        self._bw_ph = PageHinkley(delta, threshold, min_samples)
+        self._rw_ph = PageHinkley(delta, threshold, min_samples)
+        self._bw_live = RunningStat()
+        self._rw_live = RunningStat()
+
+    def update(
+        self, bandwidths: np.ndarray, reward: float
+    ) -> Optional[DriftReport]:
+        """One round's observation; a report when drift is detected."""
+        bw = float(np.asarray(bandwidths, dtype=np.float64).mean())
+        rw = float(reward)
+        self._bw_live.push(bw)
+        self._rw_live.push(rw)
+        base = self.baseline
+        z_bw = (bw - base.bandwidth_mean) / max(base.bandwidth_std, _EPS)
+        z_rw = (rw - base.reward_mean) / max(base.reward_std, _EPS)
+        report: Optional[DriftReport] = None
+        bw_hit = self._bw_ph.update(z_bw)
+        rw_hit = self._rw_ph.update(z_rw)
+        if bw_hit:
+            report = DriftReport(
+                kind="bandwidth",
+                statistic=float(self._bw_ph.statistic),
+                threshold=self._bw_ph.threshold,
+                n_samples=self.n_samples,
+                live_mean=float(self._bw_live.mean),
+                baseline_mean=base.bandwidth_mean,
+            )
+        elif rw_hit:
+            report = DriftReport(
+                kind="reward",
+                statistic=float(self._rw_ph.statistic),
+                threshold=self._rw_ph.threshold,
+                n_samples=self.n_samples,
+                live_mean=float(self._rw_live.mean),
+                baseline_mean=base.reward_mean,
+            )
+        if report is not None:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.on_loop(
+                    "drift",
+                    stream=report.kind,
+                    statistic=round(report.statistic, 4),
+                    threshold=report.threshold,
+                    n_samples=report.n_samples,
+                    live_mean=round(report.live_mean, 6),
+                    baseline_mean=round(report.baseline_mean, 6),
+                )
+        return report
+
+
+def inject_step_drift(
+    traces: Sequence[BandwidthTrace], factor: float, at_slot: int
+) -> List[BandwidthTrace]:
+    """Scale every trace's bandwidth by ``factor`` from ``at_slot`` on.
+
+    A deterministic (RNG-free) regime change: the pre-drift segment is
+    untouched, everything after collapses (``factor < 1``) or surges
+    (``factor > 1``).  Traces are cyclic, so pick ``at_slot`` well
+    inside the horizon and keep runs short enough not to wrap.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    out: List[BandwidthTrace] = []
+    for trace in traces:
+        if not 0 <= at_slot < trace.n_slots:
+            raise ValueError(
+                f"at_slot {at_slot} outside trace horizon {trace.n_slots}"
+            )
+        values = trace.values.copy()
+        values[at_slot:] = values[at_slot:] * float(factor)
+        out.append(
+            BandwidthTrace(values, trace.h, name=f"{trace.name}+drift")
+        )
+    return out

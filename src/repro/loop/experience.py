@@ -1,0 +1,382 @@
+"""Durable, rotated log of served experience.
+
+The paper's premise is *experience-driven* allocation: the agent learns
+from the bandwidth history it actually observed (Algorithm 1).  Once a
+policy is frozen into a serving artifact that experience keeps arriving
+— every served allocation realizes a reward (Eq. 13) — but PR 6's stack
+dropped it on the floor.  :class:`ExperienceStore` is the loop's memory:
+an append-only log of ``(state, frequencies, reward, cost, clock,
+policy_version)`` records, buffered in memory and flushed as rotated,
+schema-versioned npz segments through the durable
+:func:`~repro.utils.serialization.save_npz_state` path (fsync + rename
++ sha256 sidecar), with a rewritten-atomically ``index.jsonl`` beside
+them so operators can inspect the log without loading a segment.
+
+Recent experience is replayable two ways:
+
+* :meth:`ExperienceStore.to_rollout_buffer` — a filled
+  :class:`~repro.rl.buffer.RolloutBuffer` for offline analysis;
+* :meth:`ExperienceStore.bandwidth_traces` — per-device
+  :class:`~repro.traces.base.BandwidthTrace` objects *reconstructed
+  from the recorded states* (the state ``s_k`` is the (N, H+1)
+  bandwidth-history matrix, so its newest-slot column across
+  consecutive records recovers the live bandwidth series), which is how
+  the :class:`~repro.loop.retrain.Retrainer` rebuilds the drifted world
+  the incumbent actually served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.rl.buffer import RolloutBuffer
+from repro.traces.base import BandwidthTrace
+from repro.utils.serialization import (
+    CHECKSUM_SUFFIX,
+    load_npz_state,
+    save_npz_state,
+)
+
+#: Segment layout version; bump on breaking key/semantic changes.
+EXPERIENCE_SCHEMA_VERSION = 1
+
+#: Segment filename pattern: ``segment-<first-record-index>.npz``.
+SEGMENT_PATTERN = re.compile(r"^segment-(\d{10})\.npz$")
+
+INDEX_FILENAME = "index.jsonl"
+
+
+@dataclass(frozen=True)
+class ExperienceRecord:
+    """One served allocation and its realized outcome."""
+
+    state: np.ndarray
+    frequencies: np.ndarray
+    reward: float
+    cost: float
+    clock: float
+    policy_version: str
+
+
+def _segment_name(start: int) -> str:
+    return f"segment-{start:010d}.npz"
+
+
+class ExperienceStore:
+    """Append-only rotated experience log under one directory.
+
+    Records accumulate in memory and are flushed as one durable npz
+    segment every ``segment_records`` appends (or on :meth:`flush`).
+    At most ``keep_segments`` segments are retained; older ones are
+    rotated out together with their checksum sidecars, bounding disk
+    use while keeping a recent-experience window for retraining.
+
+    The store is not thread-safe by design: the loop controller (or the
+    serving outcome handler) owns it from one thread.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        segment_records: int = 256,
+        keep_segments: int = 64,
+        durable: bool = True,
+    ) -> None:
+        if segment_records <= 0:
+            raise ValueError("segment_records must be positive")
+        if keep_segments <= 0:
+            raise ValueError("keep_segments must be positive")
+        self.directory = str(directory)
+        self.segment_records = int(segment_records)
+        self.keep_segments = int(keep_segments)
+        self.durable = bool(durable)
+        os.makedirs(self.directory, exist_ok=True)
+        self._buffer: List[ExperienceRecord] = []
+        self._persisted = 0  # records inside on-disk segments
+        self._next_start = 0  # first-record index of the next segment
+        for path in self.segment_paths():
+            arrays = load_npz_state(path, verify=False)
+            n = int(np.asarray(arrays["rewards"]).shape[0])
+            self._persisted += n
+            start = int(np.asarray(arrays["meta/seq"]))
+            self._next_start = max(self._next_start, start + n)
+
+    # -- writing -------------------------------------------------------------
+    def append(
+        self,
+        state: np.ndarray,
+        frequencies: np.ndarray,
+        reward: float,
+        cost: float,
+        clock: float,
+        policy_version: str = "",
+    ) -> None:
+        """Record one served allocation; flushes a segment when due."""
+        self._buffer.append(
+            ExperienceRecord(
+                state=np.asarray(state, dtype=np.float64).ravel().copy(),
+                frequencies=np.asarray(frequencies, dtype=np.float64).ravel().copy(),
+                reward=float(reward),
+                cost=float(cost),
+                clock=float(clock),
+                policy_version=str(policy_version),
+            )
+        )
+        if len(self._buffer) >= self.segment_records:
+            self.flush()
+
+    def record_outcome(self, state: np.ndarray, frequencies: np.ndarray,
+                       result: Any) -> None:
+        """:class:`~repro.sim.system.FLSystem` ``outcome_hook`` adapter.
+
+        ``result`` is the round's
+        :class:`~repro.sim.iteration.IterationResult`; the recorded
+        clock is the round's *start* time — the instant the state was
+        observed and the action chosen.
+        """
+        self.append(
+            np.asarray(state, dtype=np.float64).ravel(),
+            frequencies,
+            reward=float(result.reward),
+            cost=float(result.cost),
+            clock=float(result.start_time),
+        )
+
+    def record_served(self, payload: Dict[str, Any]) -> None:
+        """:class:`~repro.serve.server.AllocationServer` outcome adapter.
+
+        ``payload`` is a validated ``outcome`` request body (see
+        :mod:`repro.serve.protocol`).
+        """
+        self.append(
+            np.asarray(payload["state"], dtype=np.float64).ravel(),
+            np.asarray(payload["frequencies"], dtype=np.float64).ravel(),
+            reward=float(payload["reward"]),
+            cost=float(payload.get("cost", -float(payload["reward"]))),
+            clock=float(payload.get("clock", 0.0)),
+            policy_version=str(payload.get("policy_version", "")),
+        )
+
+    def flush(self) -> None:
+        """Write buffered records as one durable segment (no-op if empty)."""
+        if not self._buffer:
+            return
+        records = self._buffer
+        state: Dict[str, np.ndarray] = {
+            "meta/schema": np.asarray(EXPERIENCE_SCHEMA_VERSION),
+            "meta/seq": np.asarray(self._next_start),
+            "states": np.stack([r.state for r in records]),
+            "frequencies": np.stack([r.frequencies for r in records]),
+            "rewards": np.asarray([r.reward for r in records], dtype=np.float64),
+            "costs": np.asarray([r.cost for r in records], dtype=np.float64),
+            "clocks": np.asarray([r.clock for r in records], dtype=np.float64),
+            "versions": np.asarray([r.policy_version for r in records]),
+        }
+        path = os.path.join(self.directory, _segment_name(self._next_start))
+        save_npz_state(path, state, keep=1, durable=self.durable)
+        self._next_start += len(records)
+        self._persisted += len(records)
+        self._buffer = []
+        self._rotate()
+        self._rewrite_index()
+
+    def _rotate(self) -> None:
+        paths = self.segment_paths()
+        for path in paths[: max(0, len(paths) - self.keep_segments)]:
+            arrays = load_npz_state(path, verify=False)
+            self._persisted -= int(np.asarray(arrays["rewards"]).shape[0])
+            os.remove(path)
+            sidecar = path + CHECKSUM_SUFFIX
+            if os.path.exists(sidecar):
+                os.remove(sidecar)
+
+    def _rewrite_index(self) -> None:
+        """Atomically rewrite ``index.jsonl`` from the live segment set."""
+        lines = []
+        for path in self.segment_paths():
+            arrays = load_npz_state(path, verify=False)
+            rewards = np.asarray(arrays["rewards"], dtype=np.float64)
+            clocks = np.asarray(arrays["clocks"], dtype=np.float64)
+            lines.append(
+                json.dumps(
+                    {
+                        "schema": EXPERIENCE_SCHEMA_VERSION,
+                        "segment": os.path.basename(path),
+                        "start": int(np.asarray(arrays["meta/seq"])),
+                        "records": int(rewards.shape[0]),
+                        "clock_min": float(clocks.min()),
+                        "clock_max": float(clocks.max()),
+                        "mean_reward": float(rewards.mean()),
+                    },
+                    separators=(",", ":"),
+                )
+            )
+        tmp = os.path.join(self.directory, INDEX_FILENAME + ".tmp")
+        with open(tmp, "w") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        os.replace(tmp, os.path.join(self.directory, INDEX_FILENAME))
+
+    # -- inspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._persisted + len(self._buffer)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segment_paths())
+
+    def segment_paths(self) -> List[str]:
+        """On-disk segment paths, oldest first."""
+        names = sorted(
+            n for n in os.listdir(self.directory) if SEGMENT_PATTERN.match(n)
+        )
+        return [os.path.join(self.directory, n) for n in names]
+
+    def index(self) -> List[Dict[str, Any]]:
+        """Parsed ``index.jsonl`` entries (empty before the first flush)."""
+        path = os.path.join(self.directory, INDEX_FILENAME)
+        if not os.path.exists(path):
+            return []
+        entries = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+        return entries
+
+    # -- replay --------------------------------------------------------------
+    def arrays(self, last_n: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Stacked record columns (persisted + buffered), oldest first.
+
+        ``last_n`` keeps only the most recent records — the retraining
+        window.  ``versions`` is a unicode array; everything else is
+        float64.
+        """
+        states: List[np.ndarray] = []
+        freqs: List[np.ndarray] = []
+        rewards: List[np.ndarray] = []
+        costs: List[np.ndarray] = []
+        clocks: List[np.ndarray] = []
+        versions: List[np.ndarray] = []
+        for path in self.segment_paths():
+            seg = load_npz_state(path, verify=False)
+            states.append(np.asarray(seg["states"], dtype=np.float64))
+            freqs.append(np.asarray(seg["frequencies"], dtype=np.float64))
+            rewards.append(np.asarray(seg["rewards"], dtype=np.float64))
+            costs.append(np.asarray(seg["costs"], dtype=np.float64))
+            clocks.append(np.asarray(seg["clocks"], dtype=np.float64))
+            versions.append(np.asarray(seg["versions"]).astype(str))
+        if self._buffer:
+            states.append(np.stack([r.state for r in self._buffer]))
+            freqs.append(np.stack([r.frequencies for r in self._buffer]))
+            rewards.append(
+                np.asarray([r.reward for r in self._buffer], dtype=np.float64)
+            )
+            costs.append(
+                np.asarray([r.cost for r in self._buffer], dtype=np.float64)
+            )
+            clocks.append(
+                np.asarray([r.clock for r in self._buffer], dtype=np.float64)
+            )
+            versions.append(
+                np.asarray([r.policy_version for r in self._buffer]).astype(str)
+            )
+        if not rewards:
+            raise ValueError(f"experience store {self.directory!r} is empty")
+        out = {
+            "states": np.concatenate(states),
+            "frequencies": np.concatenate(freqs),
+            "rewards": np.concatenate(rewards),
+            "costs": np.concatenate(costs),
+            "clocks": np.concatenate(clocks),
+            "versions": np.concatenate(versions),
+        }
+        if last_n is not None and last_n > 0:
+            out = {k: v[-last_n:] for k, v in out.items()}
+        return out
+
+    def records(self, last_n: Optional[int] = None) -> List[ExperienceRecord]:
+        """Recent records as objects (convenience over :meth:`arrays`)."""
+        arr = self.arrays(last_n)
+        return [
+            ExperienceRecord(
+                state=arr["states"][i],
+                frequencies=arr["frequencies"][i],
+                reward=float(arr["rewards"][i]),
+                cost=float(arr["costs"][i]),
+                clock=float(arr["clocks"][i]),
+                policy_version=str(arr["versions"][i]),
+            )
+            for i in range(arr["rewards"].shape[0])
+        ]
+
+    def to_rollout_buffer(self, last_n: Optional[int] = None) -> RolloutBuffer:
+        """Replay recent experience into a filled RolloutBuffer.
+
+        Consecutive records form ``(s_k, a_k, r_k, s_{k+1})`` transitions
+        (the last record has no successor and is dropped).  Actions are
+        the served *frequencies*; log-probs/values are zero — the buffer
+        is a replay structure, not an on-policy PPO batch.
+        """
+        arr = self.arrays(last_n)
+        n = int(arr["rewards"].shape[0])
+        if n < 2:
+            raise ValueError("need at least 2 records to form a transition")
+        buffer = RolloutBuffer(
+            n - 1, int(arr["states"].shape[1]), int(arr["frequencies"].shape[1])
+        )
+        for i in range(n - 1):
+            buffer.add(
+                arr["states"][i],
+                arr["frequencies"][i],
+                float(arr["rewards"][i]),
+                arr["states"][i + 1],
+                False,
+                0.0,
+                0.0,
+            )
+        return buffer
+
+    def bandwidth_traces(
+        self,
+        history_slots: int,
+        slot_duration: float = 1.0,
+        last_n: Optional[int] = None,
+    ) -> List[BandwidthTrace]:
+        """Reconstruct per-device bandwidth traces from recorded states.
+
+        Each state reshapes to the paper's (N, H+1) history matrix with
+        the *newest* slot in column 0.  The first record contributes its
+        full window (reversed into chronological order); every later
+        record contributes its newest slot.  The result approximates the
+        bandwidth series the devices actually experienced while the
+        incumbent served — the world the retrainer should learn.
+        """
+        if history_slots < 0:
+            raise ValueError("history_slots must be non-negative")
+        arr = self.arrays(last_n)
+        states = arr["states"]
+        width = history_slots + 1
+        if states.shape[1] % width != 0:
+            raise ValueError(
+                f"state dim {states.shape[1]} is not divisible by "
+                f"history width {width}"
+            )
+        n_devices = states.shape[1] // width
+        mats = states.reshape(states.shape[0], n_devices, width)
+        first = mats[0, :, ::-1]  # oldest -> newest
+        values = (
+            np.concatenate([first, mats[1:, :, 0].T], axis=1)
+            if mats.shape[0] > 1
+            else first
+        )
+        return [
+            BandwidthTrace(values[i], slot_duration, name=f"replay-{i}")
+            for i in range(n_devices)
+        ]

@@ -1,0 +1,259 @@
+"""Retraining: warm-start PPO on recent experience, export a candidate.
+
+When drift fires, the loop rebuilds the world the incumbent actually
+served — the device fleet it deployed against, with per-device traces
+reconstructed from recorded states
+(:meth:`~repro.loop.experience.ExperienceStore.bandwidth_traces`) — and
+continues Algorithm 1 from the incumbent's training checkpoint instead
+of from scratch.  The result is distilled through
+:func:`~repro.serve.artifact.export_policy` into a *candidate* artifact
+that the :class:`~repro.loop.canary.CanaryGate` must approve before it
+ever serves.
+
+Two execution modes:
+
+* :class:`Retrainer` — in-process, fully deterministic; what the tests
+  and the loop controller's default path run.
+* :class:`SubprocessRetrainer` — the supervised background form:
+  ``repro loop retrain`` runs in a child process with a timeout and a
+  bounded restart budget (the :mod:`repro.resilience` supervisor
+  pattern), so a hung or crashed retrain never wedges the loop.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.trainer import OfflineTrainer, TrainerConfig
+from repro.devices.fleet import DeviceFleet
+from repro.env.fl_env import EnvConfig, FLSchedulingEnv
+from repro.obs import get_telemetry
+from repro.resilience.checkpoint import load_checkpoint_with_fallback
+from repro.serve.artifact import (
+    PolicyArtifact,
+    detect_policy_kind,
+    export_policy,
+    infer_hidden,
+)
+from repro.sim.system import FLSystem, SystemConfig
+from repro.traces.base import BandwidthTrace
+
+
+@dataclass
+class RetrainConfig:
+    """How much (and how) to continue training on recent experience."""
+
+    episodes: int = 8
+    episode_length: int = 16
+    #: PPO buffer |D|; small so short retrains actually update.
+    buffer_size: int = 64
+    #: Seed for the retraining env/agent RNG streams.
+    seed: int = 0
+    floor_frac: float = 0.1
+    #: ``inline`` (in-process) or ``subprocess`` (supervised child).
+    mode: str = "inline"
+    #: Subprocess wall-clock budget per attempt (seconds).
+    timeout_s: float = 600.0
+    #: Subprocess restarts tolerated before giving up.
+    max_restarts: int = 1
+
+    def validate(self) -> "RetrainConfig":
+        if self.episodes <= 0:
+            raise ValueError("episodes must be positive")
+        if self.episode_length <= 0:
+            raise ValueError("episode_length must be positive")
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if self.mode not in ("inline", "subprocess"):
+            raise ValueError("mode must be 'inline' or 'subprocess'")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        return self
+
+
+@dataclass(frozen=True)
+class RetrainResult:
+    """A finished retrain: the candidate artifact and its provenance."""
+
+    artifact: PolicyArtifact
+    agent_checkpoint: str
+    episodes: int
+    final_avg_cost: float
+
+
+class RetrainError(RuntimeError):
+    """The retrain failed (bad checkpoint, or subprocess budget spent)."""
+
+
+class Retrainer:
+    """In-process warm-started PPO continuation on replayed traces."""
+
+    def __init__(
+        self,
+        checkpoint_path: str,
+        fleet: DeviceFleet,
+        system_config: SystemConfig,
+        config: Optional[RetrainConfig] = None,
+    ) -> None:
+        self.checkpoint_path = str(checkpoint_path)
+        self.fleet = fleet
+        self.system_config = system_config
+        self.config = (config or RetrainConfig()).validate()
+
+    def retrain(
+        self, traces: Sequence[BandwidthTrace], out_path: str
+    ) -> RetrainResult:
+        """Continue training on ``traces``; export a candidate artifact.
+
+        The trainer is seeded from the config, warm-started from the
+        incumbent's training checkpoint (weights, normalizer moments,
+        optimizer state via the agent state dict), and its refreshed
+        checkpoint is written next to the candidate so the *next*
+        retrain warm-starts from this one.
+        """
+        cfg = self.config
+        state, _used = load_checkpoint_with_fallback(self.checkpoint_path)
+        obs_dim = int(np.asarray(state["meta/obs_dim"]))
+        act_dim = int(np.asarray(state["meta/act_dim"]))
+        if act_dim != self.fleet.n:
+            raise RetrainError(
+                f"checkpoint act_dim {act_dim} does not match the "
+                f"fleet's {self.fleet.n} devices"
+            )
+        fleet = self.fleet.with_traces(list(traces))
+        system = FLSystem(fleet, self.system_config)
+        env = FLSchedulingEnv(
+            system,
+            EnvConfig(episode_length=cfg.episode_length, random_start=True),
+            rng=cfg.seed + 1,
+        )
+        if env.obs_dim != obs_dim:
+            raise RetrainError(
+                f"checkpoint obs_dim {obs_dim} does not match the "
+                f"replay env's {env.obs_dim}"
+            )
+        trainer = OfflineTrainer(
+            env,
+            TrainerConfig(
+                n_episodes=cfg.episodes,
+                hidden=infer_hidden(state),
+                policy=detect_policy_kind(state),
+                buffer_size=cfg.buffer_size,
+            ),
+            rng=cfg.seed,
+        )
+        trainer.agent.load_state_dict(state)
+        # The saved agent was frozen for serving; re-open the running
+        # statistics so continued training keeps adapting them.
+        trainer.agent.obs_norm.unfreeze()
+        trainer.agent.reward_scaler.frozen = False
+        history = trainer.train()
+        agent_out = out_path + ".agent.npz"
+        trainer.save_agent(agent_out)
+        artifact = export_policy(
+            agent_out,
+            out_path,
+            fleet.max_frequencies,
+            floor_frac=cfg.floor_frac,
+        )
+        costs = np.asarray(history.episode_costs, dtype=np.float64)
+        tail = costs[-max(1, costs.size // 4):]
+        return RetrainResult(
+            artifact=artifact,
+            agent_checkpoint=agent_out,
+            episodes=int(history.n_episodes),
+            final_avg_cost=float(tail.mean()),
+        )
+
+
+class SubprocessRetrainer:
+    """Supervised background retrain via ``repro loop retrain``.
+
+    The child rebuilds the fleet from ``(preset, seed)``, reconstructs
+    traces from the experience directory, warm-starts from the
+    checkpoint and writes the candidate artifact.  A hung child is
+    killed at ``timeout_s``; failures are retried up to
+    ``max_restarts`` times (each restart emits a ``loop`` telemetry
+    event), after which :class:`RetrainError` propagates to the loop.
+    """
+
+    def __init__(
+        self,
+        checkpoint_path: str,
+        experience_dir: str,
+        preset_name: str,
+        preset_seed: int,
+        config: Optional[RetrainConfig] = None,
+        devices: Optional[int] = None,
+        replay_last_n: Optional[int] = None,
+    ) -> None:
+        self.checkpoint_path = str(checkpoint_path)
+        self.experience_dir = str(experience_dir)
+        self.preset_name = str(preset_name)
+        self.preset_seed = int(preset_seed)
+        self.config = (config or RetrainConfig()).validate()
+        self.devices = devices
+        self.replay_last_n = replay_last_n
+
+    def command(self, out_path: str) -> List[str]:
+        cfg = self.config
+        argv = [
+            sys.executable, "-m", "repro", "loop", "retrain",
+            "--checkpoint", self.checkpoint_path,
+            "--experience-dir", self.experience_dir,
+            "--out", out_path,
+            "--preset", self.preset_name,
+            "--seed", str(self.preset_seed),
+            "--episodes", str(cfg.episodes),
+            "--episode-length", str(cfg.episode_length),
+            "--buffer-size", str(cfg.buffer_size),
+            "--retrain-seed", str(cfg.seed),
+            "--floor-frac", str(cfg.floor_frac),
+        ]
+        if self.devices is not None:
+            argv += ["--devices", str(self.devices)]
+        if self.replay_last_n is not None:
+            argv += ["--last-n", str(self.replay_last_n)]
+        return argv
+
+    def retrain(self, out_path: str) -> RetrainResult:
+        cfg = self.config
+        tel = get_telemetry()
+        argv = self.command(out_path)
+        failures: List[str] = []
+        for attempt in range(cfg.max_restarts + 1):
+            try:
+                proc = subprocess.run(
+                    argv,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    timeout=cfg.timeout_s,
+                )
+            except subprocess.TimeoutExpired:
+                failures.append(f"attempt {attempt}: timed out after {cfg.timeout_s}s")
+            else:
+                if proc.returncode == 0 and os.path.exists(out_path):
+                    return RetrainResult(
+                        artifact=PolicyArtifact.load(out_path),
+                        agent_checkpoint=out_path + ".agent.npz",
+                        episodes=cfg.episodes,
+                        final_avg_cost=float("nan"),
+                    )
+                tail = proc.stdout.decode("utf-8", "replace").splitlines()[-3:]
+                failures.append(
+                    f"attempt {attempt}: exit {proc.returncode}: {' | '.join(tail)}"
+                )
+            if attempt < cfg.max_restarts and tel.enabled:
+                tel.on_loop("retrain_restart", attempt=attempt, error=failures[-1])
+        raise RetrainError(
+            "subprocess retrain exhausted its restart budget:\n"
+            + "\n".join(failures)
+        )

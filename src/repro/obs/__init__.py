@@ -35,9 +35,11 @@ from repro.obs.summarize import (
     collector_table,
     fault_table,
     load_run,
+    loop_table,
     manifest_summary,
     phase_table,
     round_table,
+    serve_table,
     summarize_run,
     update_table,
 )
@@ -93,4 +95,6 @@ __all__ = [
     "update_table",
     "collector_table",
     "fault_table",
+    "serve_table",
+    "loop_table",
 ]

@@ -226,6 +226,83 @@ def fault_table(events: List[Dict]) -> Optional[str]:
     return format_table(["fault kind", "events"], rows, title="== Fault events ==")
 
 
+def serve_table(events: List[Dict]) -> Optional[str]:
+    """Serving-engine behaviour: micro-batch sizes, latency, shedding."""
+    batches = _of_type(events, "serve_batch")
+    sheds = _of_type(events, "serve_shed")
+    if not batches and not sheds:
+        return None
+    if not batches:
+        return f"== Serving ==\nshed requests (queue full): {len(sheds)}"
+    sizes = np.asarray(
+        [float(e.get("batch_size", 0.0)) for e in batches], dtype=np.float64
+    )
+    infer = np.asarray(
+        [float(e.get("infer_ms", 0.0)) for e in batches], dtype=np.float64
+    )
+    versions = TallyCounter(
+        str(e.get("policy_version", "?")) for e in batches
+    )
+    rows = [
+        [
+            len(batches),
+            int(sizes.sum()),
+            float(sizes.mean()),
+            int(sizes.max()),
+            float(np.quantile(infer, 0.5)),
+            float(np.quantile(infer, 0.9)),
+            float(infer.max()),
+            len(sheds),
+        ]
+    ]
+    table = format_table(
+        [
+            "batches",
+            "requests",
+            "mean batch",
+            "max batch",
+            "p50 infer ms",
+            "p90 infer ms",
+            "max infer ms",
+            "shed",
+        ],
+        rows,
+        title="== Serving micro-batches ==",
+    )
+    served = ", ".join(f"{v} x{n}" for v, n in sorted(versions.items()))
+    return table + f"\npolicy versions served: {served}"
+
+
+def loop_table(events: List[Dict]) -> Optional[str]:
+    """Policy-lifecycle transitions recorded by the closed loop."""
+    loops = _of_type(events, "loop")
+    if not loops:
+        return None
+    tallies = TallyCounter(str(e.get("kind", "?")) for e in loops)
+    rows = [[kind, count] for kind, count in sorted(tallies.items())]
+    table = format_table(
+        ["transition", "events"], rows, title="== Policy lifecycle (loop) =="
+    )
+    notes = []
+    for e in loops:
+        kind = e.get("kind")
+        if kind == "drift":
+            notes.append(
+                f"drift on {e.get('stream', '?')}: statistic "
+                f"{e.get('statistic', '?')} (threshold {e.get('threshold', '?')})"
+            )
+        elif kind == "publish":
+            notes.append(f"published {e.get('version', '?')}")
+        elif kind == "rollback":
+            notes.append(
+                f"rolled back to {e.get('restored', '?')} "
+                f"(now serving {e.get('serving', '?')})"
+            )
+    if notes:
+        table += "\n" + "\n".join(notes)
+    return table
+
+
 def summarize_run(directory: str) -> str:
     """The full plain-text report for one telemetry directory."""
     events, manifest = load_run(directory)
@@ -236,6 +313,8 @@ def summarize_run(directory: str) -> str:
         update_table(events),
         collector_table(events),
         fault_table(events),
+        serve_table(events),
+        loop_table(events),
     ]
     rendered = [s for s in sections if s]
     if not rendered:

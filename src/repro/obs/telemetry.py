@@ -187,6 +187,12 @@ class Telemetry:
                 float(fields["batch_size"])
             )
 
+    def on_loop(self, kind: str, **fields) -> None:
+        """One policy-lifecycle transition (drift, retrain, canary, ...)."""
+        fields["kind"] = str(kind)
+        self.sink.emit("loop", fields)
+        self.registry.counter(f"loop.{kind}").inc()
+
 
 class NullTelemetry(Telemetry):
     """The disabled backend: every hook is a pass, spans are shared."""
@@ -236,6 +242,9 @@ class NullTelemetry(Telemetry):
         pass
 
     def on_serve_batch(self, **fields) -> None:
+        pass
+
+    def on_loop(self, kind: str, **fields) -> None:
         pass
 
 

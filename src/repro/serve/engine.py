@@ -148,6 +148,9 @@ class BatchedInferenceEngine:
                 raise EngineClosedError("engine is draining; request refused")
             if len(self._queue) >= self.max_queue:
                 self.metrics.counter("serve.shed").inc()
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.event("serve_shed", queued=len(self._queue))
                 raise EngineOverloadedError(
                     f"admission queue full ({self.max_queue} waiting)"
                 )

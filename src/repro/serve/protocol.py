@@ -10,9 +10,15 @@ and :mod:`json`.
 Requests::
 
     {"op": "allocate", "state": [..obs_dim floats..], "deadline_ms": 50}
+    {"op": "outcome", "state": [...], "frequencies": [...], "reward": -3.2}
     {"op": "health"}
     {"op": "stats"}
     {"op": "reload"}
+
+``outcome`` reports the realized reward (optionally ``cost``, ``clock``
+and ``policy_version``) of a previously served allocation back to the
+server, which forwards it to the experience store feeding the closed
+policy-improvement loop (:mod:`repro.loop`).
 
 Responses always carry ``ok`` and echo ``id`` when the request had one::
 
@@ -36,7 +42,7 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 1 << 20
 
 #: Operations the server accepts.
-OPS = ("allocate", "health", "stats", "reload")
+OPS = ("allocate", "outcome", "health", "stats", "reload")
 
 #: Closed set of machine-readable error codes.
 ERROR_CODES = (

@@ -102,9 +102,18 @@ class _TcpServer(socketserver.ThreadingTCPServer):
 class AllocationServer:
     """The online allocation service: registry + engine + TCP front."""
 
-    def __init__(self, registry: PolicyRegistry, config: Optional[ServeConfig] = None):
+    def __init__(
+        self,
+        registry: PolicyRegistry,
+        config: Optional[ServeConfig] = None,
+        on_serve_outcome: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ):
         self.registry = registry
         self.config = config if config is not None else ServeConfig()
+        #: Called with each validated ``outcome`` payload — typically
+        #: :meth:`repro.loop.ExperienceStore.record_served`.  ``None``
+        #: makes the op a validated no-op acknowledgement.
+        self.on_serve_outcome = on_serve_outcome
         self._draining = threading.Event()
         # Force the initial artifact load *now* so a bad policy directory
         # fails at startup, not on the first request.
@@ -194,6 +203,8 @@ class AllocationServer:
         request_id = request.get("id")
         if op == "allocate":
             return self._handle_allocate(request, request_id)
+        if op == "outcome":
+            return self._handle_outcome(request, request_id)
         if op == "health":
             return self._handle_health(request_id)
         if op == "stats":
@@ -245,6 +256,72 @@ class AllocationServer:
             frequencies=[float(f) for f in frequencies],
             policy_version=version,
         )
+
+    def _handle_outcome(self, request: Dict[str, Any],
+                        request_id: Optional[Any]) -> Dict[str, Any]:
+        if self._draining.is_set():
+            return error_response(
+                "outcome", "draining", "server is draining", request_id
+            )
+        state = request.get("state")
+        frequencies = request.get("frequencies")
+        reward = request.get("reward")
+        if not isinstance(state, (list, tuple)):
+            return error_response(
+                "outcome", "bad_request",
+                "outcome needs a 'state' array", request_id,
+            )
+        if not isinstance(frequencies, (list, tuple)):
+            return error_response(
+                "outcome", "bad_request",
+                "outcome needs a 'frequencies' array", request_id,
+            )
+        if not isinstance(reward, (int, float)) or not np.isfinite(reward):
+            return error_response(
+                "outcome", "bad_request",
+                "outcome needs a finite 'reward' number", request_id,
+            )
+        state_arr = np.asarray(state, dtype=np.float64).ravel()
+        freq_arr = np.asarray(frequencies, dtype=np.float64).ravel()
+        if state_arr.size != self.obs_dim or not np.all(np.isfinite(state_arr)):
+            return error_response(
+                "outcome", "bad_request",
+                f"state must be {self.obs_dim} finite floats, got "
+                f"{state_arr.size}", request_id,
+            )
+        if freq_arr.size != self.act_dim or not np.all(np.isfinite(freq_arr)):
+            return error_response(
+                "outcome", "bad_request",
+                f"frequencies must be {self.act_dim} finite floats, got "
+                f"{freq_arr.size}", request_id,
+            )
+        recorded = False
+        if self.on_serve_outcome is not None:
+            payload: Dict[str, Any] = {
+                "state": state_arr,
+                "frequencies": freq_arr,
+                "reward": float(reward),
+                "policy_version": str(
+                    request.get("policy_version") or self.registry.version()
+                ),
+            }
+            for key in ("cost", "clock"):
+                value = request.get(key)
+                if value is not None:
+                    if not isinstance(value, (int, float)) or not np.isfinite(
+                        value
+                    ):
+                        return error_response(
+                            "outcome", "bad_request",
+                            f"{key} must be a finite number", request_id,
+                        )
+                    payload[key] = float(value)
+            try:
+                self.on_serve_outcome(payload)
+            except Exception as exc:  # noqa: BLE001 - sink faults become responses
+                return error_response("outcome", "internal", str(exc), request_id)
+            recorded = True
+        return ok_response("outcome", request_id, recorded=recorded)
 
     def _handle_health(self, request_id: Optional[Any]) -> Dict[str, Any]:
         return ok_response(

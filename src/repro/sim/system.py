@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -14,6 +14,9 @@ from repro.obs import get_telemetry
 from repro.sim.cost import CostModel
 from repro.sim.iteration import IterationResult, simulate_iteration
 from repro.utils.rng import SeedLike, as_generator
+
+#: ``hook(pre_state, frequencies, result)`` — the per-round outcome feed.
+OutcomeHook = Callable[[np.ndarray, np.ndarray, IterationResult], None]
 
 
 @dataclass
@@ -94,6 +97,12 @@ class FLSystem:
         #: Sub-quorum round attempts (time/energy they wasted is real).
         self.failed_history: List[IterationResult] = []
         self._last_bw: Optional[np.ndarray] = None
+        #: Optional ``hook(pre_state, frequencies, result)`` invoked after
+        #: every accepted round with the (N, H+1) bandwidth state the
+        #: decision was made from — the experience-store feed
+        #: (:meth:`repro.loop.ExperienceStore.record_outcome`).  ``None``
+        #: (the default) costs one attribute check per step.
+        self.outcome_hook: Optional[OutcomeHook] = None
 
     @property
     def n_devices(self) -> int:
@@ -197,6 +206,11 @@ class FLSystem:
         if san is not None:
             # Cost-model checks inside this round report its index.
             san.note_round(self.iteration)
+        # Capture the decision-time state only when someone is listening:
+        # bandwidth_state() is a pure trace read (no RNG), so the disabled
+        # path stays bit-identical.
+        hook = self.outcome_hook
+        pre_state = self.bandwidth_state() if hook is not None else None
         cfg = self.config
         if self.faults is None and cfg.round_deadline_s is None:
             result = simulate_iteration(
@@ -224,6 +238,9 @@ class FLSystem:
             )
         else:
             self._last_bw = np.where(result.participants, observed, self._last_bw)
+        if hook is not None:
+            assert pre_state is not None
+            hook(pre_state, freqs, result)
         return result
 
     def _faulty_round(self, freqs: np.ndarray, participants) -> IterationResult:

@@ -350,3 +350,119 @@ class TestTelemetryTeardownOnFailure:
                 "--telemetry-dir", tel_dir,
             ])
         assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestLoopCommands:
+    @staticmethod
+    def _registry(tmp_path):
+        """An agent checkpoint + a registry serving its exported policy."""
+        ckpt = TestServeCommands._make_checkpoint(tmp_path)
+        registry_dir = tmp_path / "registry"
+        registry_dir.mkdir()
+        out = str(registry_dir / "policy-v0001.policy.npz")
+        assert main(["export-policy", ckpt, "--out", out, "--seed", "0"]) == 0
+        return ckpt, str(registry_dir)
+
+    def test_loop_run_parser_defaults(self):
+        args = build_parser().parse_args([
+            "loop", "run", "policies/", "--checkpoint", "agent.npz",
+            "--loop-dir", "loop/",
+        ])
+        assert args.rounds == 200
+        assert args.warmup == 24
+        assert args.drift_threshold == 10.0
+        assert args.retrain_mode == "inline"
+        assert args.drift_factor is None
+
+    def test_loop_run_monitors_and_status_reads_back(self, tmp_path, capsys):
+        ckpt, registry_dir = self._registry(tmp_path)
+        loop_dir = str(tmp_path / "loop")
+        capsys.readouterr()
+        rc = main([
+            "loop", "run", registry_dir, "--checkpoint", ckpt,
+            "--loop-dir", loop_dir, "--rounds", "6", "--warmup", "4",
+            "--seed", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        status = json.loads(out[out.index("{"): out.rindex("}") + 1])
+        assert status["state"] == "monitoring"
+        assert status["rounds"] == 6
+        assert status["drift_events"] == 0
+        assert main(["loop", "status", loop_dir]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out[out.index("{"): out.rindex("}") + 1]) == status
+
+    def test_loop_run_rejects_single_artifact(self, tmp_path):
+        ckpt, registry_dir = self._registry(tmp_path)
+        artifact = os.path.join(registry_dir, "policy-v0001.policy.npz")
+        with pytest.raises(SystemExit, match="directory"):
+            main([
+                "loop", "run", artifact, "--checkpoint", ckpt,
+                "--loop-dir", str(tmp_path / "loop"),
+            ])
+
+    def test_loop_status_missing_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["loop", "status", str(tmp_path)])
+
+    def test_loop_retrain_writes_candidate(self, tmp_path, capsys):
+        from repro.experiments.presets import TESTBED_PRESET, build_system
+        from repro.loop import ExperienceStore
+
+        ckpt = TestServeCommands._make_checkpoint(tmp_path)
+        system = build_system(TESTBED_PRESET, seed=0)
+        config = TESTBED_PRESET.system_config()
+        system.reset((config.history_slots + 1) * config.slot_duration)
+        store = ExperienceStore(str(tmp_path / "experience"))
+        freqs = system.fleet.max_frequencies * 0.5
+        for _ in range(6):
+            state = system.bandwidth_state().ravel()
+            result = system.step(freqs)
+            store.append(state, freqs, reward=result.reward,
+                         cost=result.cost, clock=result.start_time)
+        store.flush()
+        out = str(tmp_path / "candidate.policy.npz")
+        rc = main([
+            "loop", "retrain", "--checkpoint", ckpt,
+            "--experience-dir", str(tmp_path / "experience"),
+            "--out", out, "--episodes", "2", "--episode-length", "4",
+            "--seed", "0",
+        ])
+        assert rc == 0
+        assert os.path.exists(out)
+        assert "candidate written to" in capsys.readouterr().out
+
+    def test_loop_retrain_empty_experience_exits(self, tmp_path):
+        ckpt = TestServeCommands._make_checkpoint(tmp_path)
+        with pytest.raises(SystemExit, match="retrain failed"):
+            main([
+                "loop", "retrain", "--checkpoint", ckpt,
+                "--experience-dir", str(tmp_path / "empty"),
+                "--out", str(tmp_path / "c.policy.npz"),
+            ])
+
+
+class TestDrlOnlineAllocator:
+    def test_evaluate_drl_online_smoke(self, tmp_path, capsys):
+        ckpt = TestServeCommands._make_checkpoint(tmp_path)
+        rc = main([
+            "evaluate", "--allocators", "drl-online", "heuristic",
+            "--checkpoint", ckpt, "--iters", "3", "--seed", "0",
+        ])
+        assert rc == 0
+        assert "drl-online" in capsys.readouterr().out
+
+    def test_drl_online_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main(["evaluate", "--allocators", "drl-online", "--iters", "2"])
+
+    def test_drl_online_rejects_frozen_artifact(self, tmp_path):
+        ckpt = TestServeCommands._make_checkpoint(tmp_path)
+        out = str(tmp_path / "policy-v0001.policy.npz")
+        assert main(["export-policy", ckpt, "--out", out, "--seed", "0"]) == 0
+        with pytest.raises(SystemExit):
+            main([
+                "evaluate", "--allocators", "drl-online",
+                "--checkpoint", out, "--iters", "2",
+            ])

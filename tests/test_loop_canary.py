@@ -1,0 +1,245 @@
+"""Tests for repro.loop.canary — shadow eval, gated publish, rollback."""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.experiments.presets import TESTBED_PRESET, build_fleet, build_system
+from repro.loop import (
+    CanaryConfig,
+    CanaryGate,
+    GateDecision,
+    ShadowEval,
+    registry_state_digests,
+    shadow_evaluate,
+)
+from repro.obs import NULL_TELEMETRY, MemoryEventSink, Telemetry, set_telemetry
+from repro.serve import PolicyRegistry, export_policy
+from repro.serve.artifact import PolicyArtifact
+from repro.utils.serialization import CheckpointCorruptError, save_npz_state
+
+SEED = 3
+FLEET = build_fleet(TESTBED_PRESET, seed=SEED)
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    yield
+    set_telemetry(NULL_TELEMETRY)
+
+
+def make_checkpoint(path, obs_dim, act_dim, rng=0):
+    from repro.rl.agent import AgentConfig, PPOAgent
+
+    agent = PPOAgent(
+        AgentConfig(obs_dim=obs_dim, act_dim=act_dim, hidden=(16, 8)), rng=rng
+    )
+    gen = np.random.default_rng(1)
+    for _ in range(5):
+        agent.policy_action(gen.uniform(0.1, 80, obs_dim))
+    save_npz_state(path, agent.state_dict())
+
+
+@pytest.fixture()
+def registry_dir(tmp_path):
+    """Registry with one serving version plus a distinct candidate file."""
+    system = build_system(TESTBED_PRESET, seed=SEED)
+    obs_dim = system.bandwidth_state().ravel().size
+    directory = tmp_path / "registry"
+    directory.mkdir()
+    ckpt = str(tmp_path / "agent.npz")
+    make_checkpoint(ckpt, obs_dim, TESTBED_PRESET.n_devices, rng=0)
+    export_policy(ckpt, str(directory / "policy-v0001.policy.npz"),
+                  FLEET.max_frequencies)
+    other = str(tmp_path / "other.npz")
+    make_checkpoint(other, obs_dim, TESTBED_PRESET.n_devices, rng=9)
+    candidate = str(tmp_path / "candidate.policy.npz")
+    export_policy(other, candidate, FLEET.max_frequencies)
+    return str(directory), candidate
+
+
+def fresh_system():
+    return build_system(TESTBED_PRESET, seed=SEED)
+
+
+class TestShadowEvaluate:
+    def test_identical_artifacts_pair_identically(self, registry_dir):
+        directory, _ = registry_dir
+        artifact = PolicyRegistry(directory).current.artifact
+        ev = shadow_evaluate(artifact, artifact, fresh_system, iterations=4)
+        assert ev.incumbent_costs.shape == (4,)
+        np.testing.assert_array_equal(ev.incumbent_costs, ev.candidate_costs)
+
+    def test_is_deterministic_across_calls(self, registry_dir):
+        directory, candidate = registry_dir
+        incumbent = PolicyRegistry(directory).current.artifact
+        cand = PolicyArtifact.load(candidate)
+        a = shadow_evaluate(incumbent, cand, fresh_system, iterations=4)
+        b = shadow_evaluate(incumbent, cand, fresh_system, iterations=4)
+        np.testing.assert_array_equal(a.incumbent_costs, b.incumbent_costs)
+        np.testing.assert_array_equal(a.candidate_costs, b.candidate_costs)
+
+
+class TestGateRejects:
+    def test_identical_candidate_rejected_registry_untouched(
+        self, registry_dir, tmp_path
+    ):
+        directory, _ = registry_dir
+        registry = PolicyRegistry(directory)
+        before = registry_state_digests(registry)
+        twin = str(tmp_path / "twin.policy.npz")
+        shutil.copy(os.path.join(directory, "policy-v0001.policy.npz"), twin)
+        gate = CanaryGate(registry, CanaryConfig(iterations=4))
+        decision = gate.consider(twin, {"replay": fresh_system})
+        assert not decision.accepted
+        assert decision.improvement == 0.0
+        assert decision.p_value == 1.0
+        assert decision.published_version is None
+        assert "improvement" in decision.reason
+        # the registry is bit-identical: same files, same content digests
+        assert registry_state_digests(registry) == before
+        assert "policy-v0001" in registry.version()
+
+    def test_reject_emits_loop_telemetry(self, registry_dir, tmp_path):
+        directory, _ = registry_dir
+        twin = str(tmp_path / "twin.policy.npz")
+        shutil.copy(os.path.join(directory, "policy-v0001.policy.npz"), twin)
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        gate = CanaryGate(PolicyRegistry(directory), CanaryConfig(iterations=4))
+        gate.consider(twin, {"replay": fresh_system})
+        kinds = [e["kind"] for e in sink.of_type("loop")]
+        assert kinds == ["canary", "reject"]
+
+    def test_corrupt_candidate_raises_and_keeps_registry(
+        self, registry_dir, tmp_path
+    ):
+        directory, candidate = registry_dir
+        with open(candidate, "r+b") as fh:
+            fh.truncate(50)
+        registry = PolicyRegistry(directory)
+        before = registry_state_digests(registry)
+        gate = CanaryGate(registry, CanaryConfig(iterations=4))
+        with pytest.raises(CheckpointCorruptError):
+            gate.consider(candidate, {"replay": fresh_system})
+        assert registry_state_digests(registry) == before
+
+    def test_needs_at_least_one_factory(self, registry_dir):
+        directory, candidate = registry_dir
+        gate = CanaryGate(PolicyRegistry(directory), CanaryConfig(iterations=4))
+        with pytest.raises(ValueError):
+            gate.consider(candidate, {})
+
+    def test_registry_must_be_a_directory(self, registry_dir):
+        directory, _ = registry_dir
+        single = PolicyRegistry(
+            os.path.join(directory, "policy-v0001.policy.npz")
+        )
+        with pytest.raises(ValueError, match="directory"):
+            CanaryGate(single)
+
+
+class TestGateAccepts:
+    def test_clear_winner_is_published_and_serves(
+        self, registry_dir, monkeypatch
+    ):
+        directory, candidate = registry_dir
+        registry = PolicyRegistry(directory)
+
+        def fake_shadow(incumbent, cand, factory, iterations, name="replay"):
+            costs = np.linspace(9.0, 11.0, iterations)
+            return ShadowEval(name=name, incumbent_costs=costs,
+                              candidate_costs=costs - 2.0)
+
+        monkeypatch.setattr(
+            "repro.loop.canary.shadow_evaluate", fake_shadow
+        )
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        gate = CanaryGate(registry, CanaryConfig(iterations=4))
+        decision = gate.consider(candidate, {"replay": fresh_system})
+        assert decision.accepted
+        assert decision.improvement == pytest.approx(0.2)
+        assert decision.published_version is not None
+        assert "policy-v0002" in decision.published_version
+        # the published version is the candidate's content, now serving
+        assert registry.current.artifact.digest == (
+            PolicyArtifact.load(candidate).digest
+        )
+        kinds = [e["kind"] for e in sink.of_type("loop")]
+        assert kinds == ["canary", "publish"]
+
+    def test_min_improvement_raises_the_bar(self, registry_dir, monkeypatch):
+        directory, candidate = registry_dir
+
+        def fake_shadow(incumbent, cand, factory, iterations, name="replay"):
+            costs = np.linspace(9.0, 11.0, iterations)
+            return ShadowEval(name=name, incumbent_costs=costs,
+                              candidate_costs=costs - 2.0)
+
+        monkeypatch.setattr("repro.loop.canary.shadow_evaluate", fake_shadow)
+        gate = CanaryGate(
+            PolicyRegistry(directory),
+            CanaryConfig(iterations=4, min_relative_improvement=0.5),
+        )
+        decision = gate.consider(candidate, {"replay": fresh_system})
+        assert not decision.accepted
+
+
+class TestPublishAndRollback:
+    def test_next_version_name_counts_up(self, registry_dir):
+        directory, candidate = registry_dir
+        gate = CanaryGate(PolicyRegistry(directory), CanaryConfig(iterations=4))
+        assert gate.next_version_name() == "policy-v0002.policy.npz"
+        gate.publish(candidate)
+        assert gate.next_version_name() == "policy-v0003.policy.npz"
+
+    def test_rollback_restores_incumbent_weights_append_only(
+        self, registry_dir
+    ):
+        directory, candidate = registry_dir
+        registry = PolicyRegistry(directory)
+        incumbent = registry.current
+        gate = CanaryGate(registry, CanaryConfig(iterations=4))
+        gate.publish(candidate)
+        assert "policy-v0002" in registry.version()
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        handle = gate.rollback(incumbent)
+        assert "policy-v0003" in handle.version
+        digests = registry_state_digests(registry)
+        # append-only history: all three versions remain on disk, and the
+        # newest (serving) one is a bit-identical copy of the incumbent
+        assert len(digests) == 3
+        assert digests["policy-v0003.policy.npz"] == (
+            digests["policy-v0001.policy.npz"]
+        )
+        [event] = [e for e in sink.of_type("loop") if e["kind"] == "rollback"]
+        assert event["restored"] == incumbent.version
+        assert "policy-v0003" in event["serving"]
+
+
+class TestShouldRollback:
+    def decision(self, expected):
+        return GateDecision(
+            accepted=True, reason="", p_value=0.0, improvement=0.1,
+            expected_cost=expected, evals=(),
+        )
+
+    def test_within_tolerance_keeps_candidate(self, registry_dir):
+        directory, _ = registry_dir
+        gate = CanaryGate(
+            PolicyRegistry(directory),
+            CanaryConfig(iterations=4, rollback_tolerance=0.25),
+        )
+        assert not gate.should_rollback(
+            self.decision(10.0), np.full(8, 12.0)
+        )
+        assert gate.should_rollback(self.decision(10.0), np.full(8, 13.0))
+
+    def test_empty_watch_window_never_rolls_back(self, registry_dir):
+        directory, _ = registry_dir
+        gate = CanaryGate(PolicyRegistry(directory))
+        assert not gate.should_rollback(self.decision(10.0), np.asarray([]))

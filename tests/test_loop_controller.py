@@ -1,0 +1,382 @@
+"""Tests for repro.loop.controller — the closed serve/retrain lifecycle.
+
+The end-to-end test follows the paper's online phase: a weakly trained
+incumbent serves a live system whose bandwidth collapses mid-run; the
+controller must notice (Page-Hinkley on the served stream), retrain on
+replayed experience, publish only a canary-approved candidate, and that
+candidate must actually beat the frozen incumbent on post-drift cost.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.presets import TESTBED_PRESET, build_env, build_fleet
+from repro.loop import (
+    MONITORING,
+    WATCHING,
+    CanaryConfig,
+    CanaryGate,
+    DriftReport,
+    ExperienceStore,
+    GateDecision,
+    LoopConfig,
+    LoopController,
+    RetrainConfig,
+    inject_step_drift,
+    read_status,
+    registry_state_digests,
+    shadow_evaluate,
+)
+from repro.obs import NULL_TELEMETRY, MemoryEventSink, Telemetry, set_telemetry
+from repro.serve import PolicyRegistry, export_policy
+from repro.serve.artifact import PolicyArtifact
+from repro.sim.system import FLSystem
+from repro.utils.rng import RngFactory
+
+SEED = 3
+FLEET = build_fleet(TESTBED_PRESET, seed=SEED)
+CONFIG = TESTBED_PRESET.system_config()
+START = (CONFIG.history_slots + 1) * CONFIG.slot_duration
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    yield
+    set_telemetry(NULL_TELEMETRY)
+
+
+def flat_traces(n_slots=6000, base=30.0, jitter=3.0):
+    """Stationary noisy traces — no drift unless injected."""
+    from repro.traces.base import BandwidthTrace
+
+    rngs = RngFactory(11).spawn("loop-traces", TESTBED_PRESET.n_devices)
+    return [
+        BandwidthTrace(
+            rng.uniform(base - jitter, base + jitter, n_slots),
+            CONFIG.slot_duration,
+            name=f"flat-{i}",
+        )
+        for i, rng in enumerate(rngs)
+    ]
+
+
+def make_system(traces):
+    system = FLSystem(FLEET.with_traces(traces), CONFIG)
+    system.reset(START)
+    return system
+
+
+def make_registry(tmp_path, episodes=2):
+    """A weak incumbent: barely trained, exported as policy-v0001."""
+    from repro.core.trainer import OfflineTrainer, TrainerConfig
+
+    env = build_env(TESTBED_PRESET, seed=SEED, episode_length=16)
+    trainer = OfflineTrainer(
+        env, TrainerConfig(n_episodes=episodes, buffer_size=64), rng=SEED
+    )
+    trainer.train()
+    ckpt = str(tmp_path / "agent.npz")
+    trainer.save_agent(ckpt)
+    registry_dir = tmp_path / "registry"
+    registry_dir.mkdir()
+    export_policy(
+        ckpt,
+        str(registry_dir / "policy-v0001.policy.npz"),
+        FLEET.max_frequencies,
+    )
+    return ckpt, PolicyRegistry(str(registry_dir))
+
+
+def make_controller(tmp_path, system, registry, ckpt, **overrides):
+    defaults = dict(
+        warmup_rounds=8,
+        drift_min_samples=4,
+        cooldown_rounds=4,
+        retrain=RetrainConfig(episodes=2, episode_length=8, seed=1),
+        canary=CanaryConfig(iterations=4, watch_rounds=3),
+    )
+    defaults.update(overrides)
+    store = ExperienceStore(str(tmp_path / "experience"), durable=False)
+    return LoopController(
+        system,
+        registry,
+        store,
+        ckpt,
+        str(tmp_path / "loop"),
+        config=LoopConfig(**defaults),
+    )
+
+
+def drift_report():
+    return DriftReport(
+        kind="bandwidth", statistic=12.0, threshold=10.0,
+        n_samples=8, live_mean=8.0, baseline_mean=30.0,
+    )
+
+
+class TestOutcomeHook:
+    def test_hook_observes_without_perturbing_the_simulation(self):
+        """The outcome hook must be read-only: a hooked system is
+        bit-identical to an unhooked one on the same seeded run."""
+        traces = flat_traces(n_slots=800)
+        bare = make_system(traces)
+        hooked = make_system(traces)
+        seen = []
+        hooked.outcome_hook = lambda state, freqs, result: seen.append(
+            (state.copy(), freqs.copy(), result)
+        )
+        freqs = FLEET.max_frequencies * 0.5
+        for _ in range(10):
+            expect_state = hooked.bandwidth_state()
+            a = bare.step(freqs)
+            b = hooked.step(freqs)
+            assert a.cost == b.cost and a.reward == b.reward
+            assert a.end_time == b.end_time
+            np.testing.assert_array_equal(a.avg_bandwidths, b.avg_bandwidths)
+            state, got_freqs, result = seen[-1]
+            np.testing.assert_array_equal(state, expect_state)
+            np.testing.assert_array_equal(got_freqs, freqs)
+            assert result is b
+        assert bare.clock == hooked.clock
+        assert len(seen) == 10
+
+    def test_hook_exceptions_propagate(self):
+        system = make_system(flat_traces(n_slots=400))
+
+        def bad_hook(state, freqs, result):
+            raise RuntimeError("boom")
+
+        system.outcome_hook = bad_hook
+        with pytest.raises(RuntimeError, match="boom"):
+            system.step(FLEET.max_frequencies * 0.5)
+
+
+class TestMonitoring:
+    def test_stationary_serving_never_triggers(self, tmp_path):
+        ckpt, registry = make_registry(tmp_path)
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt
+        )
+        status = controller.run(16)
+        assert status["state"] == MONITORING
+        assert status["rounds"] == 16
+        assert status["records"] == 16
+        assert status["drift_events"] == 0
+        assert status["retrains"] == 0
+        assert "policy-v0001" in status["serving"]
+        assert controller.detector is not None  # baseline froze after warmup
+
+    def test_status_file_round_trips(self, tmp_path):
+        ckpt, registry = make_registry(tmp_path)
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt
+        )
+        controller.run(4)
+        assert read_status(str(tmp_path / "loop")) == controller.status()
+
+    def test_read_status_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_status(str(tmp_path))
+
+    def test_run_rejects_nonpositive_rounds(self, tmp_path):
+        ckpt, registry = make_registry(tmp_path)
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt
+        )
+        with pytest.raises(ValueError):
+            controller.run(0)
+
+
+class TestFailurePaths:
+    def test_retrain_failure_returns_to_monitoring(self, tmp_path):
+        ckpt, registry = make_registry(tmp_path)
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt
+        )
+        controller.run(10)  # past warmup, store populated
+        controller.agent_checkpoint = str(tmp_path / "gone.npz")
+        controller._on_drift(drift_report())
+        assert controller.state == MONITORING
+        assert controller.retrains == 0
+        assert controller.publishes == 0
+        assert controller._cooldown > 0
+        assert "policy-v0001" in registry.version()
+
+    def test_corrupt_candidate_counts_as_reject(self, tmp_path, monkeypatch):
+        ckpt, registry = make_registry(tmp_path)
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt
+        )
+        controller.run(10)
+        before = registry_state_digests(registry)
+
+        def bad_retrain():
+            path = str(tmp_path / "loop" / "candidate-0001.policy.npz")
+            with open(path, "wb") as fh:
+                fh.write(b"not a checkpoint")
+            return path
+
+        monkeypatch.setattr(controller, "_retrain", bad_retrain)
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        controller._on_drift(drift_report())
+        assert controller.state == MONITORING
+        assert controller.rejects == 1
+        assert controller.publishes == 0
+        # the serving registry is untouched, bit for bit
+        assert registry_state_digests(registry) == before
+        [event] = [
+            e for e in sink.of_type("loop") if e["kind"] == "reject"
+        ]
+        assert "candidate unusable" in event["reason"]
+
+    def test_publish_budget_zero_monitors_only(self, tmp_path):
+        ckpt, registry = make_registry(tmp_path)
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt,
+            max_publishes=0,
+        )
+        controller.run(10)
+        controller._on_drift(drift_report())
+        assert controller.retrains == 0
+        assert controller.state == MONITORING
+        assert controller._cooldown > 0
+
+
+class TestWatchAndRollback:
+    def publish_candidate(self, tmp_path, registry):
+        """Export a distinct artifact and publish it as policy-v0002."""
+        from tests.test_loop_canary import make_checkpoint
+
+        obs_dim = TESTBED_PRESET.n_devices * (CONFIG.history_slots + 1)
+        other = str(tmp_path / "other.npz")
+        make_checkpoint(other, obs_dim, TESTBED_PRESET.n_devices, rng=9)
+        candidate = str(tmp_path / "candidate.policy.npz")
+        export_policy(other, candidate, FLEET.max_frequencies)
+        gate = CanaryGate(registry, CanaryConfig(iterations=4))
+        return gate.publish(candidate)
+
+    def enter_watch(self, controller, incumbent, expected_cost):
+        controller.last_decision = GateDecision(
+            accepted=True, reason="test", p_value=0.0, improvement=0.1,
+            expected_cost=expected_cost, evals=(),
+        )
+        controller._watch_incumbent = incumbent
+        controller.state = WATCHING
+
+    def test_regressing_candidate_rolls_back_incumbent_intact(self, tmp_path):
+        ckpt, registry = make_registry(tmp_path)
+        incumbent = registry.current
+        incumbent_digest = registry_state_digests(registry)[
+            "policy-v0001.policy.npz"
+        ]
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt
+        )
+        self.publish_candidate(tmp_path, registry)
+        # Served cost can never approach this, so the watch must trip.
+        self.enter_watch(controller, incumbent, expected_cost=1e-9)
+        controller.run(controller.config.canary.watch_rounds)
+        assert controller.rollbacks == 1
+        assert controller.state == MONITORING
+        digests = registry_state_digests(registry)
+        # rollback appends v0003 = a bit-identical copy of the incumbent,
+        # whose own file was never touched
+        assert "policy-v0003" in registry.version()
+        assert digests["policy-v0001.policy.npz"] == incumbent_digest
+        assert digests["policy-v0003.policy.npz"] == incumbent_digest
+
+    def test_healthy_candidate_is_kept(self, tmp_path):
+        ckpt, registry = make_registry(tmp_path)
+        incumbent = registry.current
+        controller = make_controller(
+            tmp_path, make_system(flat_traces()), registry, ckpt
+        )
+        self.publish_candidate(tmp_path, registry)
+        self.enter_watch(controller, incumbent, expected_cost=1e12)
+        controller.run(controller.config.canary.watch_rounds)
+        assert controller.rollbacks == 0
+        assert controller.state == MONITORING
+        assert "policy-v0002" in registry.version()
+
+
+class TestEndToEnd:
+    """Drift -> retrain -> canary publish, seeded and deterministic."""
+
+    WARMUP = 10
+    PRE_ROUNDS = WARMUP + 4  # rounds served before the drift hits
+
+    def probe_drift_slot(self, traces, registry):
+        """Serve PRE_ROUNDS on an undrifted copy to find the wall-clock
+        slot the drift must start at (round duration is state-dependent,
+        so the slot cannot be computed in advance)."""
+        system = make_system(traces)
+        handle = registry.current
+        for _ in range(self.PRE_ROUNDS):
+            state = system.bandwidth_state().ravel()
+            system.step(handle.artifact.act(state))
+        return int(system.clock / CONFIG.slot_duration) + 2
+
+    def test_published_candidate_beats_frozen_incumbent_after_drift(
+        self, tmp_path
+    ):
+        ckpt, registry = make_registry(tmp_path, episodes=2)
+        incumbent = PolicyArtifact.load(
+            os.path.join(registry.path, "policy-v0001.policy.npz")
+        )
+        traces = flat_traces()
+        at_slot = self.probe_drift_slot(traces, registry)
+        drifted = inject_step_drift(traces, factor=0.3, at_slot=at_slot)
+        post_start = (at_slot + CONFIG.history_slots + 1) * CONFIG.slot_duration
+
+        def post_drift_factory():
+            system = FLSystem(FLEET.with_traces(drifted), CONFIG)
+            system.reset(post_start)
+            return system
+
+        store = ExperienceStore(str(tmp_path / "experience"), durable=False)
+        controller = LoopController(
+            make_system(drifted),
+            registry,
+            store,
+            ckpt,
+            str(tmp_path / "loop"),
+            config=LoopConfig(
+                warmup_rounds=self.WARMUP,
+                drift_min_samples=4,
+                # long enough that the post-reject re-trigger's replay
+                # window is fully post-drift
+                cooldown_rounds=8,
+                max_publishes=1,
+                # focus both retraining and the replay eval on recent
+                # (post-drift) experience, not the stale regime
+                replay_last_n=12,
+                retrain=RetrainConfig(
+                    episodes=48, episode_length=16, buffer_size=64, seed=1
+                ),
+                canary=CanaryConfig(iterations=12, watch_rounds=4),
+            ),
+            canary_factory=post_drift_factory,
+        )
+        status = controller.run(self.PRE_ROUNDS + 34)
+
+        assert status["drift_events"] >= 1
+        assert status["publishes"] == 1
+        assert status["rollbacks"] == 0
+        assert status["last_canary"]["accepted"]
+        published_version = status["last_canary"]["published_version"]
+        assert published_version and "policy-v0002" in published_version
+        assert "policy-v0002" in registry.version()
+
+        # The acceptance bar: on post-drift conditions the published
+        # policy beats the frozen incumbent on mean served cost.
+        ev = shadow_evaluate(
+            incumbent,
+            registry.current.artifact,
+            post_drift_factory,
+            iterations=12,
+            name="post-drift",
+        )
+        assert ev.candidate_mean < ev.incumbent_mean

@@ -1,0 +1,148 @@
+"""Tests for repro.loop.drift — Page-Hinkley detection, drift injection."""
+
+import numpy as np
+import pytest
+
+from repro.loop import (
+    DriftBaseline,
+    DriftDetector,
+    PageHinkley,
+    inject_step_drift,
+)
+from repro.obs import (
+    NULL_TELEMETRY,
+    MemoryEventSink,
+    Telemetry,
+    set_telemetry,
+)
+from repro.traces.base import BandwidthTrace
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    yield
+    set_telemetry(NULL_TELEMETRY)
+
+
+def make_baseline(bw_mean=10.0, rw_mean=-5.0):
+    return DriftBaseline(
+        bandwidth_mean=bw_mean,
+        bandwidth_std=1.0,
+        reward_mean=rw_mean,
+        reward_std=1.0,
+        n_samples=16,
+    )
+
+
+class TestPageHinkley:
+    def test_stationary_stream_never_fires(self):
+        # Default delta/threshold are tuned so unit-variance z-score noise
+        # never trips the test (checked over many seeds during tuning).
+        ph = PageHinkley(min_samples=4)
+        rng = np.random.default_rng(0)
+        assert not any(ph.update(x) for x in rng.normal(0.0, 1.0, 500))
+
+    def test_detects_upward_and_downward_shifts(self):
+        for sign in (+1.0, -1.0):
+            ph = PageHinkley(min_samples=4)
+            for _ in range(20):
+                assert not ph.update(0.0) or False
+            hits = [ph.update(sign * 3.0) for _ in range(10)]
+            assert any(hits), f"no detection for shift sign {sign}"
+
+    def test_min_samples_gates_early_outliers(self):
+        ph = PageHinkley(min_samples=10)
+        assert not ph.update(100.0)  # single huge outlier, too early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_samples=0)
+
+
+class TestDriftBaseline:
+    def test_from_samples_freezes_moments(self):
+        base = DriftBaseline.from_samples([1.0, 3.0], [-1.0, -3.0])
+        assert base.bandwidth_mean == 2.0
+        assert base.reward_mean == -2.0
+        assert base.n_samples == 2
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            DriftBaseline.from_samples([1.0], [-1.0, -2.0])
+
+    def test_zero_variance_is_clamped(self):
+        base = DriftBaseline.from_samples([2.0, 2.0], [-1.0, -1.0])
+        assert base.bandwidth_std > 0
+
+
+class TestDriftDetector:
+    def test_no_report_on_baseline_stream(self):
+        detector = DriftDetector(make_baseline(), min_samples=4)
+        for _ in range(100):
+            report = detector.update(np.full(3, 10.0), -5.0)
+            assert report is None
+
+    def test_bandwidth_collapse_fires_bandwidth_first(self):
+        detector = DriftDetector(make_baseline(), min_samples=4)
+        for _ in range(10):
+            detector.update(np.full(3, 10.0), -5.0)
+        report = None
+        for _ in range(20):
+            # Both streams shift; bandwidth is reported as the cause.
+            report = detector.update(np.full(3, 4.0), -11.0)
+            if report:
+                break
+        assert report is not None
+        assert report.kind == "bandwidth"
+        assert report.statistic > report.threshold
+        assert report.live_mean < report.baseline_mean
+
+    def test_reward_only_shift_reports_reward(self):
+        detector = DriftDetector(make_baseline(), min_samples=4)
+        report = None
+        for _ in range(30):
+            report = detector.update(np.full(3, 10.0), -12.0)
+            if report:
+                break
+        assert report is not None and report.kind == "reward"
+
+    def test_trigger_emits_loop_telemetry(self):
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        detector = DriftDetector(make_baseline(), min_samples=4)
+        for _ in range(30):
+            detector.update(np.full(3, 2.0), -5.0)
+        events = [
+            e for e in sink.of_type("loop") if e.get("kind") == "drift"
+        ]
+        assert events
+        assert events[0]["stream"] == "bandwidth"
+
+    def test_rebaseline_resets_the_tests(self):
+        detector = DriftDetector(make_baseline(), min_samples=4)
+        for _ in range(30):
+            detector.update(np.full(3, 2.0), -5.0)
+        detector.rebaseline(make_baseline(bw_mean=2.0))
+        assert detector.n_samples == 0
+        for _ in range(50):
+            assert detector.update(np.full(3, 2.0), -5.0) is None
+
+
+class TestInjectStepDrift:
+    def test_scales_only_after_the_slot(self):
+        trace = BandwidthTrace(np.full(10, 8.0), 1.0, name="t")
+        [drifted] = inject_step_drift([trace], factor=0.25, at_slot=4)
+        np.testing.assert_allclose(drifted.values[:4], 8.0)
+        np.testing.assert_allclose(drifted.values[4:], 2.0)
+        assert drifted.name == "t+drift"
+        # the source trace is untouched
+        np.testing.assert_allclose(trace.values, 8.0)
+
+    def test_validation(self):
+        trace = BandwidthTrace(np.full(10, 8.0), 1.0)
+        with pytest.raises(ValueError):
+            inject_step_drift([trace], factor=0.0, at_slot=4)
+        with pytest.raises(ValueError):
+            inject_step_drift([trace], factor=0.5, at_slot=10)

@@ -1,0 +1,165 @@
+"""Tests for repro.loop.experience — durable rotated segments, replay."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.loop import EXPERIENCE_SCHEMA_VERSION, ExperienceStore
+from repro.utils.serialization import load_npz_state
+
+N_DEVICES = 2
+H = 2  # history_slots; states are (N_DEVICES * (H + 1),) flat
+
+
+def bandwidth_series(n_records):
+    """Deterministic per-device series long enough for ``n_records``."""
+    length = n_records + H
+    return np.asarray(
+        [[10.0 * (i + 1) + t for t in range(length)] for i in range(N_DEVICES)]
+    )
+
+
+def state_for(series, k):
+    """Record ``k``'s flat state: per-device window, newest slot first."""
+    width = H + 1
+    rows = [series[i, k : k + width][::-1] for i in range(N_DEVICES)]
+    return np.stack(rows).ravel()
+
+
+def fill(store, n, start=0):
+    series = bandwidth_series(start + n)
+    for k in range(start, start + n):
+        store.append(
+            state_for(series, k),
+            np.full(N_DEVICES, 1.0 + 0.1 * k),
+            reward=-float(k),
+            cost=float(k),
+            clock=float(k),
+            policy_version=f"v{k:03d}",
+        )
+
+
+class TestAppendFlush:
+    def test_buffers_then_flushes_segments(self, tmp_path):
+        store = ExperienceStore(str(tmp_path), segment_records=4)
+        fill(store, 3)
+        assert len(store) == 3
+        assert store.n_segments == 0  # still buffered
+        fill(store, 1, start=3)
+        assert store.n_segments == 1  # auto-flush at segment_records
+        assert len(store) == 4
+
+    def test_segment_contents_and_schema(self, tmp_path):
+        store = ExperienceStore(str(tmp_path), segment_records=4)
+        fill(store, 4)
+        [path] = store.segment_paths()
+        seg = load_npz_state(path)
+        assert int(np.asarray(seg["meta/schema"])) == EXPERIENCE_SCHEMA_VERSION
+        assert int(np.asarray(seg["meta/seq"])) == 0
+        assert seg["states"].shape == (4, N_DEVICES * (H + 1))
+        np.testing.assert_allclose(seg["costs"], [0.0, 1.0, 2.0, 3.0])
+        assert list(np.asarray(seg["versions"]).astype(str)) == [
+            "v000", "v001", "v002", "v003",
+        ]
+
+    def test_rotation_bounds_disk_and_removes_sidecars(self, tmp_path):
+        store = ExperienceStore(
+            str(tmp_path), segment_records=4, keep_segments=2
+        )
+        fill(store, 12)
+        assert store.n_segments == 2
+        assert len(store) == 8  # the retained window
+        names = {os.path.basename(p) for p in store.segment_paths()}
+        assert names == {"segment-0000000004.npz", "segment-0000000008.npz"}
+        leftovers = [
+            n for n in os.listdir(str(tmp_path))
+            if n.startswith("segment-0000000000")
+        ]
+        assert leftovers == []
+
+    def test_index_matches_live_segments(self, tmp_path):
+        store = ExperienceStore(
+            str(tmp_path), segment_records=4, keep_segments=2
+        )
+        fill(store, 12)
+        entries = store.index()
+        assert [e["segment"] for e in entries] == [
+            "segment-0000000004.npz", "segment-0000000008.npz",
+        ]
+        assert all(e["schema"] == EXPERIENCE_SCHEMA_VERSION for e in entries)
+        assert entries[0]["records"] == 4
+        assert entries[0]["clock_min"] == 4.0
+        assert entries[1]["clock_max"] == 11.0
+
+    def test_reopen_restores_counts_and_sequence(self, tmp_path):
+        store = ExperienceStore(str(tmp_path), segment_records=4)
+        fill(store, 8)
+        reopened = ExperienceStore(str(tmp_path), segment_records=4)
+        assert len(reopened) == 8
+        fill(reopened, 4, start=8)
+        names = [os.path.basename(p) for p in reopened.segment_paths()]
+        assert names[-1] == "segment-0000000008.npz"
+        np.testing.assert_allclose(
+            reopened.arrays()["clocks"], np.arange(12, dtype=float)
+        )
+
+    def test_record_served_defaults_cost_to_neg_reward(self, tmp_path):
+        store = ExperienceStore(str(tmp_path))
+        store.record_served(
+            {
+                "state": np.zeros(N_DEVICES * (H + 1)),
+                "frequencies": np.ones(N_DEVICES),
+                "reward": -7.5,
+            }
+        )
+        [record] = store.records()
+        assert record.cost == 7.5
+        assert record.policy_version == ""
+
+
+class TestReplay:
+    def test_arrays_empty_raises(self, tmp_path):
+        store = ExperienceStore(str(tmp_path))
+        with pytest.raises(ValueError, match="empty"):
+            store.arrays()
+
+    def test_arrays_last_n_spans_disk_and_buffer(self, tmp_path):
+        store = ExperienceStore(str(tmp_path), segment_records=4)
+        fill(store, 6)  # 4 persisted + 2 buffered
+        arr = store.arrays(last_n=3)
+        np.testing.assert_allclose(arr["clocks"], [3.0, 4.0, 5.0])
+
+    def test_to_rollout_buffer_links_transitions(self, tmp_path):
+        store = ExperienceStore(str(tmp_path))
+        fill(store, 5)
+        buffer = store.to_rollout_buffer()
+        assert len(buffer) == 4
+        arr = store.arrays()
+        np.testing.assert_allclose(buffer.states[0], arr["states"][0])
+        np.testing.assert_allclose(buffer.next_states[0], arr["states"][1])
+        np.testing.assert_allclose(buffer.actions[2], arr["frequencies"][2])
+
+    def test_to_rollout_buffer_needs_two_records(self, tmp_path):
+        store = ExperienceStore(str(tmp_path))
+        fill(store, 1)
+        with pytest.raises(ValueError, match="2 records"):
+            store.to_rollout_buffer()
+
+    def test_bandwidth_traces_recover_the_series(self, tmp_path):
+        store = ExperienceStore(str(tmp_path))
+        n = 6
+        fill(store, n)
+        series = bandwidth_series(n)
+        traces = store.bandwidth_traces(H, slot_duration=1.0)
+        assert len(traces) == N_DEVICES
+        for i, trace in enumerate(traces):
+            # first record's window (chronological) + each later newest slot
+            np.testing.assert_allclose(trace.values, series[i, : H + n])
+            assert trace.name == f"replay-{i}"
+
+    def test_bandwidth_traces_rejects_mismatched_width(self, tmp_path):
+        store = ExperienceStore(str(tmp_path))
+        fill(store, 3)
+        with pytest.raises(ValueError, match="not divisible"):
+            store.bandwidth_traces(H + 1)

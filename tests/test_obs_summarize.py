@@ -165,3 +165,51 @@ class TestSummarizeRun:
 
     def test_manifest_summary_handles_none(self):
         assert manifest_summary(None) is None
+
+
+class TestServeAndLoopTables:
+    def test_serve_table_renders_batches_and_versions(self):
+        from repro.obs import serve_table
+
+        events = [
+            {"type": "serve_batch", "batch_size": 4, "infer_ms": 1.5,
+             "policy_version": "policy-v0001@abc"},
+            {"type": "serve_batch", "batch_size": 2, "infer_ms": 0.5,
+             "policy_version": "policy-v0002@def"},
+            {"type": "serve_shed", "queued": 256},
+        ]
+        table = serve_table(events)
+        assert "Serving micro-batches" in table
+        assert "policy versions served" in table
+        assert "policy-v0001@abc x1" in table
+        assert "policy-v0002@def x1" in table
+
+    def test_serve_table_shed_only_and_empty(self):
+        from repro.obs import serve_table
+
+        assert serve_table([]) is None
+        text = serve_table([{"type": "serve_shed", "queued": 10}])
+        assert "shed requests" in text
+
+    def test_loop_table_tallies_and_notes(self):
+        from repro.obs import loop_table
+
+        events = [
+            {"type": "loop", "kind": "drift", "stream": "bandwidth",
+             "statistic": 42.5, "threshold": 10.0},
+            {"type": "loop", "kind": "retrain"},
+            {"type": "loop", "kind": "canary"},
+            {"type": "loop", "kind": "publish", "version": "policy-v0002@def"},
+            {"type": "loop", "kind": "rollback",
+             "restored": "policy-v0001@abc", "serving": "policy-v0003@abc"},
+        ]
+        table = loop_table(events)
+        assert "Policy lifecycle" in table
+        assert "drift on bandwidth: statistic 42.5" in table
+        assert "published policy-v0002@def" in table
+        assert "rolled back to policy-v0001@abc" in table
+
+    def test_loop_table_empty_is_none(self):
+        from repro.obs import loop_table
+
+        assert loop_table([{"type": "round"}]) is None

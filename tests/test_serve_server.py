@@ -267,3 +267,185 @@ class TestDraining:
         srv.shutdown()
         with pytest.raises((ConnectionError, OSError)):
             request_once(host, port, "health", timeout=1.0)
+
+
+class TestOutcomeOp:
+    def test_outcome_feeds_the_experience_sink(self, policy_dir, tmp_path):
+        from repro.loop import ExperienceStore
+
+        directory, _ = policy_dir
+        store = ExperienceStore(str(tmp_path / "experience"), durable=False)
+        srv = AllocationServer(
+            PolicyRegistry(directory), ServeConfig(),
+            on_serve_outcome=store.record_served,
+        )
+        host, port = srv.start()
+        try:
+            response = request_once(
+                host, port, "outcome",
+                state=[1.0] * srv.obs_dim,
+                frequencies=[0.5] * srv.act_dim,
+                reward=-4.0, cost=4.0, clock=12.0,
+            )
+        finally:
+            srv.shutdown()
+        assert response["ok"] and response["recorded"]
+        [record] = store.records()
+        assert record.cost == 4.0
+        assert record.clock == 12.0
+        assert record.reward == -4.0
+        assert "policy-v0001" in record.policy_version
+
+    def test_outcome_without_sink_reports_unrecorded(self, server):
+        srv, host, port = server
+        response = request_once(
+            host, port, "outcome", state=[1.0] * srv.obs_dim,
+            frequencies=[0.5] * srv.act_dim, reward=-1.0,
+        )
+        assert response["ok"]
+        assert response["recorded"] is False
+
+    def test_outcome_validates_payload(self, server):
+        srv, host, port = server
+        state = [1.0] * srv.obs_dim
+        freqs = [0.5] * srv.act_dim
+        for kwargs in (
+            dict(frequencies=freqs, reward=-1.0),            # no state
+            dict(state=state, reward=-1.0),                  # no frequencies
+            dict(state=state, frequencies=freqs),            # no reward
+            dict(state=[1.0], frequencies=freqs, reward=-1.0),
+            dict(state=state, frequencies=[0.5], reward=-1.0),
+            dict(state=state, frequencies=freqs, reward=float("nan")),
+        ):
+            response = request_once(host, port, "outcome", **kwargs)
+            assert not response["ok"], kwargs
+            assert response["error"] == "bad_request"
+
+    def test_outcome_sink_fault_becomes_internal_error(self, policy_dir):
+        directory, _ = policy_dir
+
+        def explode(payload):
+            raise RuntimeError("sink is down")
+
+        srv = AllocationServer(
+            PolicyRegistry(directory), ServeConfig(), on_serve_outcome=explode
+        )
+        host, port = srv.start()
+        try:
+            response = request_once(
+                host, port, "outcome", state=[1.0] * srv.obs_dim,
+                frequencies=[0.5] * srv.act_dim, reward=-1.0,
+            )
+        finally:
+            srv.shutdown()
+        assert not response["ok"]
+        assert response["error"] == "internal"
+
+
+class TestReloadDrainRace:
+    def test_handles_stay_internally_consistent_under_reload_storm(
+        self, policy_dir
+    ):
+        """Hot reloads racing readers must never expose a half-swapped
+        handle: every observed handle's version string must match its
+        own artifact's digest."""
+        directory, ckpt = policy_dir
+        registry = PolicyRegistry(directory)
+        obs_dim = registry.current.artifact.obs_dim
+        act_dim = registry.current.artifact.act_dim
+        stop = threading.Event()
+        problems = []
+
+        def churn():
+            rngs = [9, 10]
+            for i in range(30):
+                make_checkpoint(ckpt, obs_dim, act_dim, rng=rngs[i % 2])
+                export_policy(
+                    ckpt, os.path.join(directory, "policy-v0002.npz"),
+                    FLEET.max_frequencies,
+                )
+                registry.reload()
+            stop.set()
+
+        def observe():
+            while not stop.is_set():
+                handle = registry.current
+                if handle.version != handle.artifact.version:
+                    problems.append((handle.version, handle.artifact.version))
+                if handle.version.split("@")[1] != handle.artifact.digest[:12]:
+                    problems.append(("digest", handle.version))
+
+        threads = [threading.Thread(target=churn)] + [
+            threading.Thread(target=observe) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert problems == []
+
+    def test_reload_racing_shutdown_drains_cleanly(self, policy_dir):
+        """Reload requests racing a GracefulDrain shutdown: every served
+        allocation must match a complete artifact, and every failure must
+        be a clean 'draining' refusal or a closed connection — never a
+        half-swapped response."""
+        directory, ckpt = policy_dir
+        registry = PolicyRegistry(directory)
+        srv = AllocationServer(
+            registry, ServeConfig(max_batch=8, max_wait_ms=1.0)
+        )
+        host, port = srv.start()
+        art1 = registry.current.artifact
+        make_checkpoint(ckpt, srv.obs_dim, srv.act_dim, rng=9)
+        export_policy(ckpt, os.path.join(directory, "policy-v0002.npz"),
+                      FLEET.max_frequencies)
+        from repro.serve.artifact import PolicyArtifact
+
+        art2 = PolicyArtifact.load(
+            os.path.join(directory, "policy-v0002.npz")
+        )
+        state = np.random.default_rng(5).uniform(0.1, 80, srv.obs_dim)
+        valid = {
+            tuple(float(f) for f in art1.act(state)),
+            tuple(float(f) for f in art2.act(state)),
+        }
+        served, dirty = [], []
+
+        def spam_allocate():
+            while True:
+                try:
+                    response = request_once(host, port, "allocate",
+                                            state=state.tolist(), timeout=2.0)
+                except (ConnectionError, OSError):
+                    return
+                if response.get("ok"):
+                    served.append(tuple(response["frequencies"]))
+                elif response.get("error") != "draining":
+                    dirty.append(response)
+
+        def spam_reload():
+            while True:
+                try:
+                    response = request_once(host, port, "reload", timeout=2.0)
+                except (ConnectionError, OSError):
+                    return
+                if not response.get("ok") and (
+                    response.get("error") != "draining"
+                ):
+                    dirty.append(response)
+
+        threads = [threading.Thread(target=spam_allocate) for _ in range(3)]
+        threads += [threading.Thread(target=spam_reload) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        # let the storm build, then drain mid-flight
+        for _ in range(200):
+            if len(served) >= 20:
+                break
+            threading.Event().wait(0.01)
+        srv.shutdown()
+        for thread in threads:
+            thread.join()
+        assert dirty == []
+        assert served  # the storm did serve before the drain
+        assert set(served) <= valid
