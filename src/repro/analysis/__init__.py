@@ -12,12 +12,26 @@ that silently destroy it.
   ``repro analyze src/ tests/``; suppress per line with
   ``# repro: noqa REPxxx``.
 
+* **Static, concurrency** (:mod:`repro.analysis.concurrency`): rules
+  REP101-REP105 over the threaded serve/loop/resilience stack — lock
+  inventory with per-lock write attribution, unlocked writes to
+  guarded attributes, static acquisition-order cycles, unmanaged
+  threads, callbacks/telemetry invoked under a lock, blocking calls
+  under a lock.
+
 * **Runtime** (:mod:`repro.analysis.sanitizer`): opt-in
   (``REPRO_SANITIZE=1`` or ``--sanitize``) shape/dtype/finiteness
   contracts on ``repro.nn`` forward/backward and the Eq. 9 cost model,
   with NaN/Inf provenance (module + round/update/episode) reported
   through the :mod:`repro.obs` event sink.  Disabled, every hook is a
   single ``None`` check — bit-identical, allocation-free.
+
+* **Runtime, concurrency** (:mod:`repro.analysis.lockwatch`): opt-in
+  (``REPRO_LOCKWATCH=1`` or ``--lockwatch``) lock-order watchdog that
+  wraps ``threading.Lock``/``RLock`` construction, maintains the
+  process's acquisition-order graph and reports cycles and long-held
+  locks through the event sink with thread/span provenance.  Disabled,
+  nothing is patched — bit-identical.
 
 Layering: ``repro.analysis`` sits directly above ``repro.obs``; the
 hooked layers (``nn``, ``sim``, ``rl``, ``core``) import only
@@ -38,7 +52,27 @@ from repro.analysis.engine import (
     iter_python_files,
 )
 from repro.analysis.report import format_json, format_rules, format_text
+
+# rules must load before concurrency (concurrency imports the Rule base
+# from rules, and rules registers the concurrency rule classes).
 from repro.analysis.rules import RULE_CLASSES, Rule, default_rules
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULE_CLASSES,
+    ModuleLockInfo,
+    collect_lock_info,
+    lock_inventory,
+)
+from repro.analysis.lockwatch import (
+    LockWatch,
+    WatchedLock,
+    disable_lockwatch,
+    enable_lockwatch,
+    get_lockwatch,
+    lockwatch_session,
+)
+from repro.analysis.lockwatch import (
+    enable_from_env as lockwatch_enable_from_env,
+)
 from repro.analysis.sanitizer import (
     NonFiniteReport,
     Sanitizer,
@@ -66,6 +100,19 @@ __all__ = [
     "Rule",
     "RULE_CLASSES",
     "default_rules",
+    # concurrency
+    "CONCURRENCY_RULE_CLASSES",
+    "ModuleLockInfo",
+    "collect_lock_info",
+    "lock_inventory",
+    # lockwatch
+    "LockWatch",
+    "WatchedLock",
+    "get_lockwatch",
+    "enable_lockwatch",
+    "disable_lockwatch",
+    "lockwatch_session",
+    "lockwatch_enable_from_env",
     # report
     "format_text",
     "format_json",

@@ -1,0 +1,972 @@
+"""Concurrency lint rules REP101-REP105: lock discipline, statically.
+
+PRs 5-7 made the reproduction a threaded online system — the
+:class:`~repro.serve.engine.BatchedInferenceEngine` worker, one
+``socketserver`` thread per connection, the loop controller feeding an
+:class:`~repro.loop.experience.ExperienceStore` that retraining reads
+back.  A racy append or an inconsistent lock order silently corrupts
+the very experience the DRL agent retrains on, so lock discipline is a
+checkable contract here, not folklore:
+
+* every shared mutable attribute has one dominating lock and every
+  write happens under it (REP101);
+* locks are acquired in one global order (REP102);
+* threads are either daemonized or joined (REP103);
+* injected callbacks and telemetry hooks run *outside* internal locks
+  (REP104) — the registry-reload-vs-drain hazard class;
+* nothing blocks indefinitely while holding a lock (REP105).
+
+The pass is a pure AST + symbol-table analysis built on one shared
+:func:`collect_lock_info` result: it inventories every
+``threading.Lock`` / ``RLock`` / ``Condition`` binding
+(``Condition(self._lock)`` aliases the lock it wraps), records which
+attributes are written inside each lexical ``with <lock>:`` block, and
+builds a static acquisition-order graph across all functions of the
+module.
+
+Conventions the pass understands:
+
+* ``__init__``/``__new__`` bodies are construction — the object is not
+  shared yet, so unlocked writes there are legal;
+* a method whose name ends in ``_locked`` declares "caller holds the
+  lock": its writes are exempt from REP101 (the convention
+  :class:`~repro.obs.events.JsonlEventSink` uses);
+* ``Condition.wait()`` on the condition you entered is exempt from
+  REP105 — waiting releases the lock by design;
+* suppress a deliberate exception with ``# repro: noqa REP1xx`` plus a
+  justification comment, exactly like the REP0xx rules.
+
+Nested (closure) function bodies are not analyzed — they run later,
+under whatever locks their eventual caller holds, which a lexical pass
+cannot know.  The runtime half of the contract,
+:mod:`repro.analysis.lockwatch`, covers that gap.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import ImportIndex, SourceFile, Violation
+from repro.analysis.rules import Rule, _attr_chain
+
+#: ``threading`` factories that create a lock (or something owning one).
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
+
+#: Reentrant factories: re-acquiring one you hold is legal.
+REENTRANT_FACTORIES = frozenset({"RLock"})
+
+#: Method names that mutate their receiver in place; REP101 treats
+#: ``self._buffer.append(x)`` as a write to ``_buffer``.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Socket methods that block indefinitely on an un-timeouted socket.
+BLOCKING_SOCKET_METHODS = frozenset(
+    {"accept", "recv", "recvfrom", "recv_into", "sendall", "sendto", "connect"}
+)
+
+
+# --------------------------------------------------------------------------
+# Shared symbol-table pass
+# --------------------------------------------------------------------------
+
+
+def _threading_aliases(tree: ast.Module) -> Tuple[Set[str], Dict[str, str]]:
+    """``(module_names, direct_names)`` bound to the threading module.
+
+    ``module_names`` holds local names of the module itself (``import
+    threading``, ``import threading as t``); ``direct_names`` maps local
+    names from ``from threading import Lock as L`` to what they alias
+    (lock factories and ``Thread``).
+    """
+    modules: Set[str] = set()
+    direct: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "threading":
+                    modules.add(alias.asname or "threading")
+        elif isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                if alias.name in LOCK_FACTORIES | {"Thread"}:
+                    direct[alias.asname or alias.name] = alias.name
+    return modules, direct
+
+
+@dataclass(frozen=True)
+class LockBinding:
+    """One lock-valued binding: ``self._lock`` or a module-level name."""
+
+    #: Canonical key, e.g. ``"Engine.self._lock"`` or ``"module.LOCK"``.
+    key: str
+    #: The factory that created it (``Lock``/``RLock``/``Condition``).
+    factory: str
+    #: Reentrant locks may be re-acquired by their holder.
+    reentrant: bool
+    line: int
+
+
+@dataclass
+class ClassLocks:
+    """Lock inventory of one class: bindings plus Condition aliases."""
+
+    name: str
+    #: attribute name (e.g. ``_lock``) -> binding
+    bindings: Dict[str, LockBinding] = field(default_factory=dict)
+    #: Condition attribute -> attribute of the lock it wraps
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    def canonical(self, attr: str) -> Optional[LockBinding]:
+        attr = self.aliases.get(attr, attr)
+        return self.bindings.get(attr)
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One write to ``self.<attr>`` and the locks lexically held there."""
+
+    attr: str
+    node: ast.AST
+    #: ``"ClassName.method"`` (class part empty for module functions).
+    method: str
+    #: Canonical lock keys held at the write, outermost first.
+    held: Tuple[str, ...]
+    #: Construction / ``*_locked`` convention writes are REP101-exempt.
+    exempt: bool
+
+
+@dataclass
+class ModuleLockInfo:
+    """Everything the REP1xx rules need, computed once per file."""
+
+    classes: Dict[str, ClassLocks] = field(default_factory=dict)
+    module_locks: Dict[str, LockBinding] = field(default_factory=dict)
+    writes: List[AttrWrite] = field(default_factory=list)
+    #: Acquisition-order edges ``(outer_key, inner_key, inner site)``.
+    order_edges: List[Tuple[str, str, ast.AST]] = field(default_factory=list)
+
+    def binding(self, key: str) -> Optional[LockBinding]:
+        for cls in self.classes.values():
+            for bound in cls.bindings.values():
+                if bound.key == key:
+                    return bound
+        for bound in self.module_locks.values():
+            if bound.key == key:
+                return bound
+        return None
+
+
+def _lock_factory_of(
+    node: ast.expr, modules: Set[str], direct: Dict[str, str]
+) -> Optional[str]:
+    """The lock factory a call expression invokes, or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    chain = _attr_chain(node.func)
+    if chain is None:
+        return None
+    if len(chain) == 1 and direct.get(chain[0]) in LOCK_FACTORIES:
+        return direct[chain[0]]
+    if len(chain) == 2 and chain[0] in modules and chain[1] in LOCK_FACTORIES:
+        return chain[1]
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> ``attr`` (None for anything else)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_exempt_method(name: str) -> bool:
+    return name in ("__init__", "__new__") or name.endswith("_locked")
+
+
+def _lock_key_of_with_item(
+    expr: ast.expr,
+    cls: Optional[ClassLocks],
+    module_locks: Dict[str, LockBinding],
+) -> Optional[str]:
+    """Canonical key of the lock a ``with`` item acquires, if any."""
+    attr = _self_attr(expr)
+    if attr is not None and cls is not None:
+        binding = cls.canonical(attr)
+        return binding.key if binding is not None else None
+    if isinstance(expr, ast.Name) and expr.id in module_locks:
+        return module_locks[expr.id].key
+    return None
+
+
+class _FunctionScanner:
+    """Walks one function body tracking the lexical lock-held stack.
+
+    Produces, on the shared :class:`ModuleLockInfo`: attribute writes
+    (with the held-lock stack at each) and acquisition-order edges.
+    Locally exposes :attr:`lock_bodies` — the top-level statements of
+    every ``with <lock>:`` body, tagged with the innermost held lock —
+    for the callback/blocking rules to walk.
+    """
+
+    def __init__(
+        self,
+        info: ModuleLockInfo,
+        cls: Optional[ClassLocks],
+        method_name: str,
+    ) -> None:
+        self.info = info
+        self.cls = cls
+        self.method_name = method_name
+        self.held: List[str] = []
+        self.lock_bodies: List[Tuple[str, ast.stmt]] = []
+
+    def scan(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt)
+
+    def _scan_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested scope: runs later, under unknowable locks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._scan_with(stmt)
+            return
+        self._record_writes(stmt)
+        for attr_name in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr_name, None)
+            if sub:
+                self.scan(sub)
+        for handler in getattr(stmt, "handlers", None) or []:
+            self.scan(handler.body)
+        for case in getattr(stmt, "cases", None) or []:  # match (3.10+)
+            self.scan(case.body)
+
+    def _scan_with(self, stmt: ast.stmt) -> None:
+        acquired = 0
+        for item in stmt.items:  # type: ignore[attr-defined]
+            key = _lock_key_of_with_item(
+                item.context_expr, self.cls, self.info.module_locks
+            )
+            if key is None:
+                continue
+            for outer in self.held:
+                self.info.order_edges.append((outer, key, item.context_expr))
+            self.held.append(key)
+            acquired += 1
+        if self.held:
+            for body_stmt in stmt.body:  # type: ignore[attr-defined]
+                self.lock_bodies.append((self.held[-1], body_stmt))
+        self.scan(stmt.body)  # type: ignore[attr-defined]
+        for _ in range(acquired):
+            self.held.pop()
+
+    def _record_writes(self, stmt: ast.stmt) -> None:
+        attrs: List[Tuple[str, ast.AST]] = []
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                attrs.extend(self._write_targets(target))
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            attrs.extend(self._write_targets(stmt.target))
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                attrs.extend(self._write_targets(target))
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            chain = _attr_chain(stmt.value.func)
+            if (
+                chain is not None
+                and len(chain) == 3
+                and chain[0] == "self"
+                and chain[2] in MUTATOR_METHODS
+            ):
+                attrs.append((chain[1], stmt.value))
+        if not attrs:
+            return
+        class_name = self.cls.name if self.cls is not None else ""
+        for attr, node in attrs:
+            self.info.writes.append(
+                AttrWrite(
+                    attr=attr,
+                    node=node,
+                    method=f"{class_name}.{self.method_name}",
+                    held=tuple(self.held),
+                    exempt=_is_exempt_method(self.method_name),
+                )
+            )
+
+    def _write_targets(self, target: ast.expr) -> List[Tuple[str, ast.AST]]:
+        out: List[Tuple[str, ast.AST]] = []
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                out.extend(self._write_targets(element))
+            return out
+        attr = _self_attr(target)
+        if attr is not None:
+            out.append((attr, target))
+        elif isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)  # self.x[i] = ... mutates x
+            if attr is not None:
+                out.append((attr, target))
+        return out
+
+
+def collect_lock_info(source: SourceFile) -> ModuleLockInfo:
+    """The shared symbol-table pass: inventory, writes, order edges."""
+    modules, direct = _threading_aliases(source.tree)
+    info = ModuleLockInfo()
+    for stmt in source.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            factory = _lock_factory_of(stmt.value, modules, direct)
+            if factory is not None and isinstance(target, ast.Name):
+                info.module_locks[target.id] = LockBinding(
+                    key=f"module.{target.id}",
+                    factory=factory,
+                    reentrant=factory in REENTRANT_FACTORIES,
+                    line=stmt.lineno,
+                )
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cls = ClassLocks(name=node.name)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign) or len(sub.targets) != 1:
+                continue
+            attr = _self_attr(sub.targets[0])
+            if attr is None:
+                continue
+            factory = _lock_factory_of(sub.value, modules, direct)
+            if factory is None:
+                continue
+            if factory == "Condition" and isinstance(sub.value, ast.Call):
+                args = sub.value.args
+                wrapped = _self_attr(args[0]) if args else None
+                if wrapped is not None:
+                    cls.aliases[attr] = wrapped
+                    continue
+            cls.bindings[attr] = LockBinding(
+                key=f"{node.name}.self.{attr}",
+                factory=factory,
+                reentrant=factory in REENTRANT_FACTORIES,
+                line=sub.lineno,
+            )
+        if cls.bindings or cls.aliases:
+            info.classes[node.name] = cls
+    _scan_scopes(source.tree, info, cls=None)
+    return info
+
+
+def _scan_scopes(
+    node: ast.AST, info: ModuleLockInfo, cls: Optional[ClassLocks]
+) -> None:
+    """Run a :class:`_FunctionScanner` over every function, with its
+    owning class's lock inventory in scope."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.ClassDef):
+            _scan_scopes(child, info, info.classes.get(child.name))
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _FunctionScanner(info, cls, child.name).scan(child.body)
+        else:
+            _scan_scopes(child, info, cls)
+
+
+def lock_inventory(source: SourceFile) -> Dict[str, List[str]]:
+    """``{lock key: [attrs written under it]}`` — the audit inventory.
+
+    Exposed for tests and tooling: which attributes each inventoried
+    lock guards, derived from the writes observed under it.
+    """
+    info = collect_lock_info(source)
+    out: Dict[str, List[str]] = {}
+    for cls in info.classes.values():
+        for binding in cls.bindings.values():
+            out[binding.key] = []
+    for binding in info.module_locks.values():
+        out[binding.key] = []
+    for write in info.writes:
+        for key in write.held:
+            if key in out and write.attr not in out[key]:
+                out[key].append(write.attr)
+    for attrs in out.values():
+        attrs.sort()
+    return out
+
+
+# --------------------------------------------------------------------------
+# REP101 — unlocked write to a lock-guarded attribute
+# --------------------------------------------------------------------------
+
+
+class SharedWriteRule(Rule):
+    """REP101: an attribute written under a lock is written everywhere
+    under that lock.
+
+    The dominating lock of each ``self.<attr>`` is inferred from the
+    ``with <lock>:`` blocks that write it; any write to the same
+    attribute with no lock held (outside ``__init__`` construction and
+    ``*_locked`` convention methods) races the locked writers.
+    """
+
+    code = "REP101"
+    name = "locked-attr-write"
+    summary = "shared attribute written both under and outside its lock"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        info = collect_lock_info(source)
+        if not info.classes:
+            return
+        guarded: Dict[Tuple[str, str], Set[str]] = {}
+        for write in info.writes:
+            class_name = write.method.split(".", 1)[0]
+            if class_name in info.classes and write.held:
+                guarded.setdefault((class_name, write.attr), set()).update(
+                    write.held
+                )
+        for write in info.writes:
+            class_name = write.method.split(".", 1)[0]
+            locks = guarded.get((class_name, write.attr))
+            if not locks or write.held or write.exempt:
+                continue
+            lock_list = ", ".join(sorted(locks))
+            yield self.violation(
+                source,
+                write.node,
+                f"attribute {write.attr!r} is written under {lock_list} "
+                f"elsewhere but written here with no lock held; hold the "
+                f"lock (or suffix the method _locked if the caller holds it)",
+            )
+
+
+# --------------------------------------------------------------------------
+# REP102 — inconsistent acquisition order (static cycle)
+# --------------------------------------------------------------------------
+
+
+class LockOrderRule(Rule):
+    """REP102: the static lock acquisition-order graph must be acyclic.
+
+    Every lexical ``with B:`` inside ``with A:`` adds the edge
+    ``A -> B``; a cycle means two paths acquire the same locks in
+    opposite orders — the classic deadlock.  A self-edge on a
+    non-reentrant lock (including a ``Condition`` wrapping it) is
+    re-acquisition and deadlocks immediately.
+    """
+
+    code = "REP102"
+    name = "lock-order-cycle"
+    summary = "locks acquired in inconsistent order across functions"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        info = collect_lock_info(source)
+        if not info.order_edges:
+            return
+        graph: Dict[str, Set[str]] = {}
+        for outer, inner, node in info.order_edges:
+            if outer == inner:
+                binding = info.binding(inner)
+                if binding is None or not binding.reentrant:
+                    yield self.violation(
+                        source,
+                        node,
+                        f"non-reentrant lock {inner} acquired while already "
+                        f"held; this deadlocks immediately",
+                    )
+                continue
+            graph.setdefault(outer, set()).add(inner)
+        reported: Set[frozenset] = set()
+        for outer, inner, node in info.order_edges:
+            if outer == inner:
+                continue
+            path = self._find_path(graph, inner, outer)
+            if path is None:
+                continue
+            cycle = frozenset(path)
+            if cycle in reported:
+                continue
+            reported.add(cycle)
+            ordering = " -> ".join(path + [path[0]])
+            yield self.violation(
+                source,
+                node,
+                f"lock acquisition-order cycle: {ordering}; pick one global "
+                f"order and acquire these locks in it on every path",
+            )
+
+    @staticmethod
+    def _find_path(
+        graph: Dict[str, Set[str]], start: str, goal: str
+    ) -> Optional[List[str]]:
+        """A path ``start -> ... -> goal`` in the edge graph, if any."""
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        seen: Set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in sorted(graph.get(node, ())):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+
+# --------------------------------------------------------------------------
+# REP103 — threads neither daemonized nor joined
+# --------------------------------------------------------------------------
+
+
+class ThreadLifecycleRule(Rule):
+    """REP103: a started ``threading.Thread`` must be daemonized or joined.
+
+    A non-daemon thread nobody joins keeps the process alive after main
+    exits (hangs CI); daemon threads die with the process and joined
+    threads have an owner.  The rule accepts ``daemon=True`` in the
+    constructor, a later ``<t>.daemon = True`` assignment, or a
+    ``<t>.join(...)`` on the binding anywhere in the file — including
+    the ``for t in threads: t.join()`` idiom over a list the thread was
+    appended to or built from a comprehension.
+    """
+
+    code = "REP103"
+    name = "thread-lifecycle"
+    summary = "Thread started without daemon=True and never joined"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        modules, direct = _threading_aliases(source.tree)
+        thread_names = {n for n, what in direct.items() if what == "Thread"}
+        if not modules and not thread_names:
+            return
+        joined, daemonized = self._managed_bindings(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            is_thread = (
+                len(chain) == 2 and chain[0] in modules and chain[1] == "Thread"
+            ) or (len(chain) == 1 and chain[0] in thread_names)
+            if not is_thread:
+                continue
+            if self._daemon_kwarg_true(node):
+                continue
+            binding = self._binding_of(source.tree, node)
+            if binding is not None and binding in (joined | daemonized):
+                continue
+            yield self.violation(
+                source,
+                node,
+                "Thread is neither daemon=True nor joined on any path; a "
+                "forgotten non-daemon thread hangs process exit",
+            )
+
+    @staticmethod
+    def _daemon_kwarg_true(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "daemon" and isinstance(kw.value, ast.Constant):
+                return bool(kw.value.value)
+        return False
+
+    @staticmethod
+    def _binding_of(tree: ast.Module, call: ast.Call) -> Optional[str]:
+        """The name/attr the Thread's result lands in.
+
+        Covers direct assignment, ``list.append(Thread(...))``, and any
+        assignment/augmented-assignment whose value expression contains
+        the call — list literals, comprehensions, ``a + [Thread(...)]``.
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                if any(sub is call for sub in ast.walk(node.value)):
+                    target = (
+                        node.targets[0]
+                        if isinstance(node, ast.Assign)
+                        else node.target
+                    )
+                    if isinstance(target, ast.Name):
+                        return target.id
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        return f"self.{attr}"
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if (
+                    chain is not None
+                    and chain[-1] == "append"
+                    and len(chain) == 2
+                    and node.args
+                    and node.args[0] is call
+                ):
+                    return chain[0]
+        return None
+
+    @staticmethod
+    def _managed_bindings(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+        """Bindings with a ``.join(...)`` call / ``.daemon = True``,
+        following one level of ``for t in <list>:`` aliasing."""
+        joined: Set[str] = set()
+        daemonized: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain is not None and chain[-1] == "join":
+                    if len(chain) == 3 and chain[0] == "self":
+                        joined.add(f"self.{chain[1]}")
+                    elif len(chain) == 2:
+                        joined.add(chain[0])
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "daemon"
+                    and isinstance(node.value, ast.Constant)
+                    and bool(node.value.value)
+                ):
+                    base = target.value
+                    if isinstance(base, ast.Name):
+                        daemonized.add(base.id)
+                    else:
+                        attr = _self_attr(base)
+                        if attr is not None:
+                            daemonized.add(f"self.{attr}")
+        # `for t in threads: t.join()` manages the whole list binding.
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.For)
+                and isinstance(node.target, ast.Name)
+                and isinstance(node.iter, ast.Name)
+            ):
+                if node.target.id in joined:
+                    joined.add(node.iter.id)
+                if node.target.id in daemonized:
+                    daemonized.add(node.iter.id)
+        return joined, daemonized
+
+
+# --------------------------------------------------------------------------
+# REP104 — callback / telemetry hook invoked under an internal lock
+# --------------------------------------------------------------------------
+
+#: Attribute-name shapes that mark an ``__init__``-assigned attribute as
+#: an injected callable (REP104).
+_CALLBACK_PREFIXES = ("on_", "callback", "hook", "loader", "factory", "infer")
+_CALLBACK_SUFFIXES = ("_callback", "_hook", "_loader", "_factory", "_fn", "_cb")
+
+
+class CallbackUnderLockRule(Rule):
+    """REP104: never call out to foreign code while holding your lock.
+
+    An injected callable (constructor-parameter attribute), a telemetry
+    hook (anything reached through ``get_telemetry()``), or a bare
+    function parameter invoked inside a ``with <lock>:`` body runs
+    arbitrary code — including code that takes the same lock (the
+    registry-reload-vs-drain hazard) or blocks on I/O — while every
+    other thread is barred.  Collect what you need under the lock,
+    release, then call.  Same-class helpers are followed to a fixpoint,
+    so hiding the callback one method deep does not evade the rule.
+    """
+
+    code = "REP104"
+    name = "callback-under-lock"
+    summary = "callback/telemetry hook invoked while holding a lock"
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        info = collect_lock_info(source)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls = info.classes.get(node.name)
+            if cls is None or not cls.bindings:
+                continue
+            yield from self._check_class(source, node, cls, info)
+
+    def _check_class(
+        self,
+        source: SourceFile,
+        node: ast.ClassDef,
+        cls: ClassLocks,
+        info: ModuleLockInfo,
+    ) -> Iterator[Violation]:
+        injected = self._injected_attrs(node)
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        # Which methods contain a callback site anywhere in their body?
+        calls_out: Dict[str, bool] = {
+            name: self._has_direct_site(method, injected)
+            for name, method in methods.items()
+        }
+        changed = True
+        while changed:  # propagate through same-class calls to a fixpoint
+            changed = False
+            for name, method in methods.items():
+                if calls_out[name]:
+                    continue
+                for sub in ast.walk(method):
+                    if isinstance(sub, ast.Call):
+                        callee = _self_attr(sub.func)
+                        if callee is not None and calls_out.get(callee):
+                            calls_out[name] = True
+                            changed = True
+                            break
+        for name, method in methods.items():
+            if name == "__init__":
+                continue
+            scanner = _FunctionScanner(info, cls, name)
+            scanner.scan(method.body)
+            seen: Set[int] = set()
+            for lock_key, stmt in scanner.lock_bodies:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call) or id(sub) in seen:
+                        continue
+                    seen.add(id(sub))
+                    reason = self._site_reason(sub, injected, method, calls_out)
+                    if reason is not None:
+                        yield self.violation(
+                            source,
+                            sub,
+                            f"{reason} invoked while holding {lock_key}; "
+                            f"collect under the lock, call after releasing",
+                        )
+
+    def _has_direct_site(self, method: ast.AST, injected: Set[str]) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                if self._site_reason(node, injected, method, {}) is not None:
+                    return True
+        return False
+
+    def _site_reason(
+        self,
+        call: ast.Call,
+        injected: Set[str],
+        method: ast.AST,
+        calls_out: Dict[str, bool],
+    ) -> Optional[str]:
+        chain = _attr_chain(call.func)
+        if chain is None:
+            return None
+        if len(chain) == 2 and chain[0] == "self" and chain[1] in injected:
+            return f"injected callable self.{chain[1]}"
+        if len(chain) >= 2 and chain[0] in _telemetry_names(method):
+            return f"telemetry hook {'.'.join(chain)}"
+        if len(chain) >= 2 and chain[0] == "get_telemetry":
+            return f"telemetry hook {'.'.join(chain)}"
+        if len(chain) == 1 and chain[0] in _param_names(method):
+            return f"callback parameter {chain[0]}"
+        callee = _self_attr(call.func)
+        if callee is not None and calls_out.get(callee):
+            return f"self.{callee}() (which reaches a callback/telemetry hook)"
+        return None
+
+    @staticmethod
+    def _injected_attrs(cls_node: ast.ClassDef) -> Set[str]:
+        """Attributes assigned in ``__init__`` from constructor params,
+        with callable-suggesting names (on_*/callback/hook/loader/...)."""
+        init = next(
+            (
+                stmt
+                for stmt in cls_node.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return set()
+        params = _param_names(init)
+        out: Set[str] = set()
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            attr = _self_attr(node.targets[0])
+            if attr is None:
+                continue
+            value_names = {
+                sub.id
+                for sub in ast.walk(node.value)
+                if isinstance(sub, ast.Name)
+            }
+            if not (value_names & params):
+                continue
+            base = attr.lstrip("_")
+            if base.startswith(_CALLBACK_PREFIXES) or base.endswith(
+                _CALLBACK_SUFFIXES
+            ):
+                out.add(attr)
+        return out
+
+
+def _param_names(func: ast.AST) -> Set[str]:
+    args = getattr(func, "args", None)
+    if args is None:
+        return set()
+    names = {
+        arg.arg
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    }
+    names.discard("self")
+    names.discard("cls")
+    return names
+
+
+def _telemetry_names(func: ast.AST) -> Set[str]:
+    """Local names bound from a ``get_telemetry()`` call in ``func``."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "get_telemetry"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+# --------------------------------------------------------------------------
+# REP105 — blocking call while holding a lock
+# --------------------------------------------------------------------------
+
+
+class BlockingUnderLockRule(Rule):
+    """REP105: no indefinite blocking inside a ``with <lock>:`` body.
+
+    Flags, lexically under a held lock: ``time.sleep``, blocking socket
+    methods, timeout-less ``.join()`` / ``.wait()`` / ``.result()``, and
+    timeout-less ``.get()``/``.put()`` on queue-named receivers (the
+    receiver-name heuristic is documented in ``docs/analysis.md``).  A
+    ``.wait(...)`` on the held condition itself is exempt — Condition
+    wait releases the lock by design.  File I/O is deliberately not
+    flagged: lock-serialized writes are how the event sink works.
+    """
+
+    code = "REP105"
+    name = "blocking-under-lock"
+    summary = "indefinitely blocking call inside a lock-held block"
+
+    _TIMEOUTLESS = frozenset({"join", "wait", "result"})
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        info = collect_lock_info(source)
+        if not info.classes and not info.module_locks:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cls = self._owning_class(source.tree, node, info)
+            scanner = _FunctionScanner(info, cls, node.name)
+            scanner.scan(node.body)
+            seen: Set[int] = set()
+            for lock_key, stmt in scanner.lock_bodies:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call) or id(sub) in seen:
+                        continue
+                    seen.add(id(sub))
+                    reason = self._blocking_reason(
+                        sub, source.imports, cls, lock_key
+                    )
+                    if reason is not None:
+                        yield self.violation(
+                            source,
+                            sub,
+                            f"{reason} while holding {lock_key}; blocking "
+                            f"under a lock stalls every other thread",
+                        )
+
+    @staticmethod
+    def _owning_class(
+        tree: ast.Module, func: ast.AST, info: ModuleLockInfo
+    ) -> Optional[ClassLocks]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and func in node.body:
+                return info.classes.get(node.name)
+        return None
+
+    def _blocking_reason(
+        self,
+        call: ast.Call,
+        imports: ImportIndex,
+        cls: Optional[ClassLocks],
+        lock_key: str,
+    ) -> Optional[str]:
+        chain = _attr_chain(call.func)
+        if chain is None:
+            return None
+        has_args = bool(call.args) or bool(call.keywords)
+        if len(chain) == 2 and chain[0] in imports.time and chain[1] == "sleep":
+            return "time.sleep()"
+        if len(chain) < 2:
+            return None
+        method = chain[-1]
+        if method in BLOCKING_SOCKET_METHODS:
+            return f"blocking socket call .{method}()"
+        if method in self._TIMEOUTLESS and not has_args:
+            if (
+                method == "wait"
+                and cls is not None
+                and len(chain) == 3
+                and chain[0] == "self"
+            ):
+                binding = cls.canonical(chain[1])
+                if binding is not None and binding.key == lock_key:
+                    return None  # Condition.wait on the held lock releases it
+            return f"timeout-less .{method}()"
+        if (
+            method in ("get", "put")
+            and "queue" in chain[-2].lower()
+            and not any(kw.arg == "timeout" for kw in call.keywords)
+        ):
+            nonblocking = any(
+                kw.arg == "block"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in call.keywords
+            ) or (
+                bool(call.args)
+                and isinstance(call.args[0], ast.Constant)
+                and call.args[0].value is False
+            )
+            if not nonblocking:
+                return f"timeout-less queue .{method}()"
+        return None
+
+
+#: The five concurrency rules, in code order; registered into
+#: :data:`repro.analysis.rules.RULE_CLASSES` by ``rules.py`` itself.
+CONCURRENCY_RULE_CLASSES: Tuple[type, ...] = (
+    SharedWriteRule,
+    LockOrderRule,
+    ThreadLifecycleRule,
+    CallbackUnderLockRule,
+    BlockingUnderLockRule,
+)

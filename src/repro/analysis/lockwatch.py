@@ -1,0 +1,355 @@
+"""Opt-in runtime lock-order watchdog: deadlock risk with provenance.
+
+The static pass (:mod:`repro.analysis.concurrency`, REP101-REP105) sees
+lexical ``with lock:`` nesting; it cannot see orders that only emerge
+at runtime — a callback re-entering the engine, a Condition handoff, a
+lock taken through three call frames.  The lockwatch covers that gap:
+while enabled, ``threading.Lock`` / ``threading.RLock`` construction is
+patched to return :class:`WatchedLock` wrappers that maintain a
+per-process acquisition-order graph (edge ``A -> B`` whenever a thread
+acquires B while holding A).  Two reports come out of it, through the
+:mod:`repro.obs` event sink as ``lockwatch`` events with thread and
+span provenance:
+
+* ``cycle`` — the acquisition-order graph gained a cycle: two threads
+  can now deadlock by taking those locks in opposite orders, even if
+  this run got lucky;
+* ``long_hold`` — a lock was held longer than ``long_hold_s``
+  (monotonic time): the convoy that turns "fast as hardware allows"
+  into a single-file queue.
+
+Cost model, mirroring :mod:`repro.analysis.sanitizer`: *disabled* (the
+default) nothing is patched — ``threading.Lock`` is the stock factory
+and serve/loop output is bit-identical to an uninstrumented build.
+Enabled, each acquisition adds two dict operations under a raw
+``_thread`` guard (never a patched lock, so the watchdog cannot watch
+itself into recursion).
+
+Enable with ``REPRO_LOCKWATCH=1`` (the CLI honors it at startup), the
+``--lockwatch`` flag on ``serve`` / ``serve-bench`` / ``loop run``, or
+programmatically::
+
+    from repro.analysis import lockwatch_session
+    with lockwatch_session() as watch:
+        run_threaded_thing()
+    assert watch.cycles == []
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from repro.obs import get_telemetry
+
+
+def _creation_site() -> str:
+    """``file.py:line`` of the frame that constructed the lock, skipping
+    threading internals and this module."""
+    frame = sys._getframe(1)
+    here = __file__
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != here and not filename.endswith("threading.py"):
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+def _span_name() -> Optional[str]:
+    """Innermost open telemetry span, if any (best-effort provenance)."""
+    stack = get_telemetry().tracer._stack
+    return stack[-1].name if stack else None
+
+
+class WatchedLock:
+    """A ``threading.Lock``/``RLock`` stand-in that reports to the watch.
+
+    Only ``acquire``/``release`` are interposed; everything else
+    delegates.  ``threading.Condition`` wraps these transparently — its
+    fallback wait path releases and re-acquires through the interposed
+    methods, so Condition waits update the held-stack correctly.
+    """
+
+    __slots__ = ("_inner", "_watch", "name", "reentrant")
+
+    def __init__(
+        self, inner: Any, watch: "LockWatch", name: str, reentrant: bool
+    ) -> None:
+        self._inner = inner
+        self._watch = watch
+        self.name = name
+        self.reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got and self._watch.enabled:
+            self._watch._note_acquired(self)
+        return got
+
+    def release(self) -> None:
+        if self._watch.enabled:
+            self._watch._note_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<WatchedLock {self.name} wrapping {self._inner!r}>"
+
+
+class LockWatch:
+    """The per-process acquisition-order graph and its reports.
+
+    Internal synchronization uses a raw ``_thread.allocate_lock()`` —
+    deliberately not ``threading.Lock``, which is patched while the
+    watch is active.  Telemetry emission happens strictly *outside*
+    that guard (REP104 applies to the watchdog too), with a per-thread
+    reentrancy latch so emitting a report through the (locked) event
+    sink does not recurse into the watch.
+    """
+
+    def __init__(
+        self, long_hold_s: float = 0.5, max_reports: int = 100
+    ) -> None:
+        self.long_hold_s = float(long_hold_s)
+        self.max_reports = int(max_reports)
+        self.enabled = True
+        self.n_locks = 0
+        self.n_acquisitions = 0
+        self.cycles: List[Dict[str, Any]] = []
+        self.long_holds: List[Dict[str, Any]] = []
+        self._guard = _thread.allocate_lock()
+        self._local = threading.local()
+        #: lock name -> set of lock names acquired while it was held
+        self._graph: Dict[str, Set[str]] = {}
+        self._reported_cycles: Set[frozenset] = set()
+
+    # -- wiring --------------------------------------------------------------
+    def _stack(self) -> List[List[Any]]:
+        """This thread's held stack: ``[lock, t_acquired]`` entries."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _note_acquired(self, lock: WatchedLock) -> None:
+        if getattr(self._local, "reporting", False):
+            return
+        stack = self._stack()
+        report: Optional[Dict[str, Any]] = None
+        held_names = [entry[0].name for entry in stack]
+        already_held = lock.reentrant and any(
+            entry[0] is lock for entry in stack
+        )
+        with self._guard:
+            self.n_acquisitions += 1
+            if not already_held:
+                for outer in held_names:
+                    if outer == lock.name:
+                        continue
+                    edges = self._graph.setdefault(outer, set())
+                    if lock.name not in edges:
+                        edges.add(lock.name)
+                        report = self._detect_cycle_locked(outer, lock.name)
+        stack.append([lock, time.monotonic()])
+        if report is not None:
+            self._emit(report)
+
+    def _note_released(self, lock: WatchedLock) -> None:
+        if getattr(self._local, "reporting", False):
+            return
+        stack = self._stack()
+        held_s: Optional[float] = None
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                entry = stack.pop(index)
+                held_s = time.monotonic() - entry[1]
+                break
+        if held_s is None or held_s < self.long_hold_s:
+            return
+        report = {
+            "kind": "long_hold",
+            "lock": lock.name,
+            "held_s": round(held_s, 6),
+            "thread": threading.current_thread().name,
+            "span": _span_name(),
+        }
+        with self._guard:
+            if len(self.long_holds) >= self.max_reports:
+                return
+            self.long_holds.append(report)
+        self._emit(report)
+
+    def _detect_cycle_locked(
+        self, outer: str, inner: str
+    ) -> Optional[Dict[str, Any]]:
+        """After adding ``outer -> inner``: a cycle through the new edge?
+
+        Called with ``_guard`` held; returns the report (for the caller
+        to emit after release) instead of emitting here.
+        """
+        path = self._find_path(inner, outer)
+        if path is None:
+            return None
+        cycle = frozenset(path)
+        if cycle in self._reported_cycles:
+            return None
+        if len(self.cycles) >= self.max_reports:
+            return None
+        self._reported_cycles.add(cycle)
+        report = {
+            "kind": "cycle",
+            "locks": path + [path[0]],
+            "thread": threading.current_thread().name,
+            "span": _span_name(),
+        }
+        self.cycles.append(report)
+        return report
+
+    def _find_path(self, start: str, goal: str) -> Optional[List[str]]:
+        stack = [(start, [start])]
+        seen: Set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in sorted(self._graph.get(node, ())):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    def _emit(self, report: Dict[str, Any]) -> None:
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        self._local.reporting = True
+        try:
+            tel.event("lockwatch", **report)
+        finally:
+            self._local.reporting = False
+
+    # -- reporting -----------------------------------------------------------
+    def edges(self) -> Dict[str, List[str]]:
+        """A sorted snapshot of the acquisition-order graph."""
+        with self._guard:
+            return {
+                outer: sorted(inners)
+                for outer, inners in sorted(self._graph.items())
+            }
+
+    def summary(self) -> Dict[str, int]:
+        with self._guard:
+            return {
+                "locks": self.n_locks,
+                "acquisitions": self.n_acquisitions,
+                "cycles": len(self.cycles),
+                "long_holds": len(self.long_holds),
+            }
+
+    def format_summary(self) -> str:
+        """One console line; CI greps the ``0 cycles`` out of it."""
+        counts = self.summary()
+        return (
+            f"lockwatch: {counts['locks']} locks, "
+            f"{counts['acquisitions']} acquisitions, "
+            f"{counts['cycles']} cycles, {counts['long_holds']} long holds"
+        )
+
+
+#: The active watch, or None.  Factories read this one attribute.
+ACTIVE: Optional[LockWatch] = None
+
+_ORIG_LOCK = threading.Lock
+_ORIG_RLOCK = threading.RLock
+
+
+def _watched_lock_factory() -> Any:
+    watch = ACTIVE
+    inner = _ORIG_LOCK()
+    if watch is None or not watch.enabled:
+        return inner
+    with watch._guard:
+        watch.n_locks += 1
+    return WatchedLock(inner, watch, _creation_site(), reentrant=False)
+
+
+def _watched_rlock_factory() -> Any:
+    watch = ACTIVE
+    inner = _ORIG_RLOCK()
+    if watch is None or not watch.enabled:
+        return inner
+    with watch._guard:
+        watch.n_locks += 1
+    return WatchedLock(inner, watch, _creation_site(), reentrant=True)
+
+
+def get_lockwatch() -> Optional[LockWatch]:
+    """The active watch (``None`` when disabled — the default)."""
+    return ACTIVE
+
+
+def enable_lockwatch(
+    long_hold_s: float = 0.5, max_reports: int = 100
+) -> LockWatch:
+    """Install a fresh :class:`LockWatch` and patch the lock factories.
+
+    Locks created *before* enabling stay unwatched (the watch sees the
+    order graph of everything constructed from here on); locks created
+    while enabled keep working after :func:`disable_lockwatch`, they
+    just stop reporting.
+    """
+    global ACTIVE
+    ACTIVE = LockWatch(long_hold_s=long_hold_s, max_reports=max_reports)
+    threading.Lock = _watched_lock_factory  # type: ignore[assignment]
+    threading.RLock = _watched_rlock_factory  # type: ignore[assignment]
+    return ACTIVE
+
+
+def disable_lockwatch() -> None:
+    """Restore the stock factories and deactivate reporting."""
+    global ACTIVE
+    if ACTIVE is not None:
+        ACTIVE.enabled = False
+    ACTIVE = None
+    threading.Lock = _ORIG_LOCK  # type: ignore[assignment]
+    threading.RLock = _ORIG_RLOCK  # type: ignore[assignment]
+
+
+@contextmanager
+def lockwatch_session(
+    long_hold_s: float = 0.5, max_reports: int = 100
+) -> Iterator[LockWatch]:
+    """``enable_lockwatch`` scoped to a ``with`` block."""
+    watch = enable_lockwatch(long_hold_s=long_hold_s, max_reports=max_reports)
+    try:
+        yield watch
+    finally:
+        disable_lockwatch()
+
+
+#: Values of ``REPRO_LOCKWATCH`` that mean "leave it off".
+_FALSY = frozenset({"", "0", "false", "False", "no", "off"})
+
+
+def enable_from_env(environ: Optional[dict] = None) -> Optional[LockWatch]:
+    """Honor ``REPRO_LOCKWATCH=1``; returns the watch iff enabled."""
+    env = os.environ if environ is None else environ
+    if env.get("REPRO_LOCKWATCH", "") in _FALSY:
+        return None
+    return enable_lockwatch()

@@ -26,10 +26,17 @@ def format_text(result: AnalysisResult, forbid_blanket: bool = False) -> str:
     return "\n".join(lines)
 
 
-def format_json(result: AnalysisResult) -> str:
-    """Machine-readable report (stable key order for diffing in CI)."""
+def format_json(result: AnalysisResult, forbid_blanket: bool = False) -> str:
+    """Machine-readable report (stable key order for diffing in CI).
+
+    ``exit_code`` mirrors what the CLI process returns under the same
+    gate settings, so a CI consumer parsing the JSON and one checking
+    the process status can never disagree about pass/fail.
+    """
     payload: Dict[str, object] = {
         "files_checked": result.files_checked,
+        "forbid_blanket": forbid_blanket,
+        "exit_code": result.exit_code(forbid_blanket=forbid_blanket),
         "violations": [
             {
                 "code": v.code,

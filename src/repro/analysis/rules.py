@@ -535,3 +535,15 @@ RULE_CLASSES: Dict[str, Type[Rule]] = {
 def default_rules() -> List[Rule]:
     """Fresh instances of every registered rule, in code order."""
     return [cls() for _, cls in sorted(RULE_CLASSES.items())]
+
+
+# The concurrency rules live in their own module (they share a heavier
+# symbol-table pass) but register here so every entry point that asks
+# for default_rules() runs them.  This import sits at the bottom on
+# purpose: concurrency.py imports Rule/_attr_chain from this module, so
+# everything above must already be bound when it executes.
+from repro.analysis.concurrency import CONCURRENCY_RULE_CLASSES as _REP1XX
+
+for _cls in _REP1XX:
+    RULE_CLASSES[_cls.code] = _cls
+del _cls, _REP1XX

@@ -95,6 +95,40 @@ def _maybe_enable_sanitizer(args) -> None:
         enable_sanitizer()
 
 
+def _add_lockwatch_flag(parser) -> None:
+    parser.add_argument(
+        "--lockwatch", action="store_true",
+        help="enable the runtime lock-order watchdog "
+             "(repro.analysis.lockwatch); also honored via REPRO_LOCKWATCH=1",
+    )
+
+
+def _maybe_enable_lockwatch(args) -> bool:
+    """Enable the lockwatch for this command; True iff *we* turned it on.
+
+    Returns False when it was already active (REPRO_LOCKWATCH=1 enabled
+    it in :func:`main` before any lock existed) so the scope teardown
+    does not disable an environment-requested watch.
+    """
+    if not getattr(args, "lockwatch", False):
+        return False
+    from repro.analysis import enable_lockwatch, get_lockwatch
+
+    if get_lockwatch() is not None:
+        return False
+    enable_lockwatch()
+    return True
+
+
+def _lockwatch_summary() -> None:
+    """Print the watch's one-line summary (CI greps ``0 cycles``)."""
+    from repro.analysis import get_lockwatch
+
+    watch = get_lockwatch()
+    if watch is not None:
+        console.always(watch.format_summary())
+
+
 def _add_telemetry_flags(parser) -> None:
     parser.add_argument("--telemetry-dir", default=None,
                         help="record a JSONL event log + run manifest here")
@@ -131,17 +165,27 @@ def _teardown_telemetry(telemetry) -> None:
 
 @contextmanager
 def _telemetry_scope(args, command: str, config=None):
-    """Telemetry (and the sanitizer flag) scoped to a command body.
+    """Telemetry (and the sanitizer/lockwatch flags) scoped to a command.
 
     Guarantees :func:`_teardown_telemetry` runs however the body exits —
     including failures *before* the command's own work starts, which a
-    hand-rolled configure/try/finally sequence can leak past.
+    hand-rolled configure/try/finally sequence can leak past.  The
+    lockwatch is enabled before the body so every lock the command
+    constructs is watched, and disabled afterwards (only if this scope
+    enabled it) so in-process ``main()`` reentrancy — the test suite —
+    never leaks a patched ``threading.Lock`` into the next command.
     """
     telemetry = _configure_telemetry(args, command, config=config)
+    lockwatch_owned = False
     try:
         _maybe_enable_sanitizer(args)
+        lockwatch_owned = _maybe_enable_lockwatch(args)
         yield telemetry
     finally:
+        if lockwatch_owned:
+            from repro.analysis import disable_lockwatch
+
+            disable_lockwatch()
         _teardown_telemetry(telemetry)
 
 
@@ -476,15 +520,18 @@ def cmd_analyze(args) -> int:
         result = analyze_paths(args.paths, config=config)
     except FileNotFoundError as exc:
         raise SystemExit(str(exc))
+    # One exit-code computation feeds both reporters and the process
+    # status: `--format json` must gate CI exactly like text mode.
+    exit_code = result.exit_code(forbid_blanket=args.no_blanket)
     if args.format == "json":
-        console.always(format_json(result))
+        console.always(format_json(result, forbid_blanket=args.no_blanket))
     else:
         report = format_text(result, forbid_blanket=args.no_blanket)
-        if result.ok and not (args.no_blanket and result.blanket_suppressions):
+        if exit_code == 0:
             console.info(report)
         else:
             console.always(report)
-    return result.exit_code(forbid_blanket=args.no_blanket)
+    return exit_code
 
 
 def cmd_export_policy(args) -> int:
@@ -540,6 +587,7 @@ def cmd_serve(args) -> int:
         with GracefulDrain() as drain:
             server.run_until(drain)
         console.info(f"drained ({drain.describe() or 'stopped'})")
+        _lockwatch_summary()
     return 0
 
 
@@ -645,6 +693,7 @@ def cmd_loop_run(args) -> int:
         console.info(
             f"status written to {os.path.join(args.loop_dir, 'status.json')}"
         )
+        _lockwatch_summary()
     return 0
 
 
@@ -783,7 +832,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="run the repro.analysis static checks (REP001-REP007)",
+        help="run the repro.analysis static checks "
+             "(REP001-REP007, concurrency REP101-REP105)",
     )
     p.add_argument("paths", nargs="*", default=["src", "tests"],
                    help="files/directories to check (default: src tests)")
@@ -863,6 +913,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-grace", type=float, default=10.0,
                    help="seconds to drain in-flight work on SIGTERM/SIGINT")
     _add_telemetry_flags(p)
+    _add_lockwatch_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -882,6 +933,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-errors", action="store_true",
                    help="exit 0 even when some requests failed (overload tests)")
     _add_telemetry_flags(p)
+    _add_lockwatch_flag(p)
     p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser(
@@ -938,6 +990,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--cooldown", type=int, default=16)
     pr.add_argument("--max-publishes", type=int, default=4)
     _add_telemetry_flags(pr)
+    _add_lockwatch_flag(pr)
     pr.set_defaults(func=cmd_loop_run)
 
     ps = lsub.add_parser("status", help="print a loop run's status.json")
@@ -981,9 +1034,10 @@ def main(argv=None) -> int:
     # Set (not toggle) the level each invocation: main() is reentrant in
     # tests and must not inherit a previous call's --quiet.
     console.set_level("warning" if args.quiet else "info")
-    from repro.analysis import enable_from_env
+    from repro.analysis import enable_from_env, lockwatch_enable_from_env
 
     enable_from_env()
+    lockwatch_enable_from_env()
     return args.func(args)
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -77,8 +78,11 @@ class ExperienceStore:
     rotated out together with their checksum sidecars, bounding disk
     use while keeping a recent-experience window for retraining.
 
-    The store is not thread-safe by design: the loop controller (or the
-    serving outcome handler) owns it from one thread.
+    The store is thread-safe: when wired as the serving layer's outcome
+    hook it is appended to from concurrent request-handler threads while
+    the loop controller reads it back for retraining.  One internal lock
+    serializes buffer mutation, segment flushing and replay snapshots;
+    ``*_locked`` helpers assume the caller holds it.
     """
 
     def __init__(
@@ -97,6 +101,7 @@ class ExperienceStore:
         self.keep_segments = int(keep_segments)
         self.durable = bool(durable)
         os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
         self._buffer: List[ExperienceRecord] = []
         self._persisted = 0  # records inside on-disk segments
         self._next_start = 0  # first-record index of the next segment
@@ -118,18 +123,18 @@ class ExperienceStore:
         policy_version: str = "",
     ) -> None:
         """Record one served allocation; flushes a segment when due."""
-        self._buffer.append(
-            ExperienceRecord(
-                state=np.asarray(state, dtype=np.float64).ravel().copy(),
-                frequencies=np.asarray(frequencies, dtype=np.float64).ravel().copy(),
-                reward=float(reward),
-                cost=float(cost),
-                clock=float(clock),
-                policy_version=str(policy_version),
-            )
+        record = ExperienceRecord(
+            state=np.asarray(state, dtype=np.float64).ravel().copy(),
+            frequencies=np.asarray(frequencies, dtype=np.float64).ravel().copy(),
+            reward=float(reward),
+            cost=float(cost),
+            clock=float(clock),
+            policy_version=str(policy_version),
         )
-        if len(self._buffer) >= self.segment_records:
-            self.flush()
+        with self._lock:
+            self._buffer.append(record)
+            if len(self._buffer) >= self.segment_records:
+                self._flush_locked()
 
     def record_outcome(self, state: np.ndarray, frequencies: np.ndarray,
                        result: Any) -> None:
@@ -165,6 +170,10 @@ class ExperienceStore:
 
     def flush(self) -> None:
         """Write buffered records as one durable segment (no-op if empty)."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
         if not self._buffer:
             return
         records = self._buffer
@@ -183,10 +192,10 @@ class ExperienceStore:
         self._next_start += len(records)
         self._persisted += len(records)
         self._buffer = []
-        self._rotate()
-        self._rewrite_index()
+        self._rotate_locked()
+        self._rewrite_index_locked()
 
-    def _rotate(self) -> None:
+    def _rotate_locked(self) -> None:
         paths = self.segment_paths()
         for path in paths[: max(0, len(paths) - self.keep_segments)]:
             arrays = load_npz_state(path, verify=False)
@@ -196,7 +205,7 @@ class ExperienceStore:
             if os.path.exists(sidecar):
                 os.remove(sidecar)
 
-    def _rewrite_index(self) -> None:
+    def _rewrite_index_locked(self) -> None:
         """Atomically rewrite ``index.jsonl`` from the live segment set."""
         lines = []
         for path in self.segment_paths():
@@ -224,7 +233,8 @@ class ExperienceStore:
 
     # -- inspection ----------------------------------------------------------
     def __len__(self) -> int:
-        return self._persisted + len(self._buffer)
+        with self._lock:
+            return self._persisted + len(self._buffer)
 
     @property
     def n_segments(self) -> int:
@@ -257,7 +267,16 @@ class ExperienceStore:
         ``last_n`` keeps only the most recent records — the retraining
         window.  ``versions`` is a unicode array; everything else is
         float64.
+
+        The whole read runs under the store lock: a concurrent append
+        could otherwise flush the buffer into a new segment between the
+        segment walk and the buffer snapshot, duplicating (or hiding)
+        the records in flight.
         """
+        with self._lock:
+            return self._arrays_locked(last_n)
+
+    def _arrays_locked(self, last_n: Optional[int]) -> Dict[str, np.ndarray]:
         states: List[np.ndarray] = []
         freqs: List[np.ndarray] = []
         rewards: List[np.ndarray] = []

@@ -148,18 +148,27 @@ class JsonlEventSink(EventSink):
 
         Called on resume before any new event is emitted, so everything
         the crashed run wrote past its last checkpoint is discarded and
-        the re-run's records take their place exactly once.
+        the re-run's records take their place exactly once.  The whole
+        flush + rewrite + watermark update runs under the same lock as
+        ``emit``: a concurrently emitting thread must observe either the
+        pre-rewind log or the truncated one, never a half-rewritten file
+        or a sequence number behind the watermark.
         """
-        self.flush()
         watermark = int(watermark)
-        if not os.path.exists(self.path):
+        with self._lock:
+            self._flush_locked()
+            if os.path.exists(self.path):
+                kept = [
+                    r
+                    for r in iter_events(self.path)
+                    if r.get("seq", 0) <= watermark
+                ]
+                with io.open(self.path, "w", encoding="utf-8") as fh:
+                    for record in kept:
+                        fh.write(
+                            json.dumps(record, separators=(",", ":")) + "\n"
+                        )
             self.seq = watermark
-            return
-        kept = [r for r in iter_events(self.path) if r.get("seq", 0) <= watermark]
-        with io.open(self.path, "w", encoding="utf-8") as fh:
-            for record in kept:
-                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-        self.seq = watermark
 
 
 def iter_events(path: str):

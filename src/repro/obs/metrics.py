@@ -8,6 +8,7 @@ unbounded memory, O(1) amortized per observation.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -121,44 +122,60 @@ class StreamingHistogram:
 
 
 class MetricsRegistry:
-    """Named metric instruments, created on first use."""
+    """Named metric instruments, created on first use.
+
+    Get-or-create is serialized by an internal lock so two threads
+    asking for the same name never race one instrument's counts away
+    behind two instances.  The instruments themselves stay unlocked:
+    their updates are single bytecode-level mutations whose worst
+    concurrent outcome is an off-by-one sample, which metrics tolerate
+    and the hot serve path should not pay a lock for.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, StreamingHistogram] = {}
 
     def counter(self, name: str) -> Counter:
-        try:
-            return self._counters[name]
-        except KeyError:
-            c = self._counters[name] = Counter()
-            return c
+        with self._lock:
+            try:
+                return self._counters[name]
+            except KeyError:
+                c = self._counters[name] = Counter()
+                return c
 
     def gauge(self, name: str) -> Gauge:
-        try:
-            return self._gauges[name]
-        except KeyError:
-            g = self._gauges[name] = Gauge()
-            return g
+        with self._lock:
+            try:
+                return self._gauges[name]
+            except KeyError:
+                g = self._gauges[name] = Gauge()
+                return g
 
     def histogram(self, name: str, max_samples: int = 4096) -> StreamingHistogram:
-        try:
-            return self._histograms[name]
-        except KeyError:
-            h = self._histograms[name] = StreamingHistogram(max_samples)
-            return h
+        with self._lock:
+            try:
+                return self._histograms[name]
+            except KeyError:
+                h = self._histograms[name] = StreamingHistogram(max_samples)
+                return h
 
     def snapshot(self) -> Dict[str, Dict[str, Dict[str, float]]]:
         """Nested ``{kind: {name: summary}}`` view of every instrument."""
-        return {
-            "counters": {k: v.snapshot() for k, v in self._counters.items()},
-            "gauges": {k: v.snapshot() for k, v in self._gauges.items()},
-            "histograms": {k: v.snapshot() for k, v in self._histograms.items()},
-        }
+        with self._lock:
+            return {
+                "counters": {k: v.snapshot() for k, v in self._counters.items()},
+                "gauges": {k: v.snapshot() for k, v in self._gauges.items()},
+                "histograms": {
+                    k: v.snapshot() for k, v in self._histograms.items()
+                },
+            }
 
     def histogram_names(self, prefix: Optional[str] = None) -> List[str]:
-        names = sorted(self._histograms)
+        with self._lock:
+            names = sorted(self._histograms)
         if prefix is not None:
             names = [n for n in names if n.startswith(prefix)]
         return names

@@ -143,21 +143,28 @@ class BatchedInferenceEngine:
             None if deadline_s is None else now + deadline_s,
             now,
         )
+        # Decide under the lock, report after releasing it: the shed
+        # telemetry event goes through the sink's own lock, and foreign
+        # locks must never be taken while holding the engine's (REP104).
+        shed_depth: Optional[int] = None
         with self._nonempty:
             if self._stopping:
                 raise EngineClosedError("engine is draining; request refused")
             if len(self._queue) >= self.max_queue:
-                self.metrics.counter("serve.shed").inc()
-                tel = get_telemetry()
-                if tel.enabled:
-                    tel.event("serve_shed", queued=len(self._queue))
-                raise EngineOverloadedError(
-                    f"admission queue full ({self.max_queue} waiting)"
-                )
-            self._queue.append(ticket)
-            self.metrics.counter("serve.requests").inc()
-            self.metrics.gauge("serve.queue_depth").set(len(self._queue))
-            self._nonempty.notify()
+                shed_depth = len(self._queue)
+            else:
+                self._queue.append(ticket)
+                self.metrics.counter("serve.requests").inc()
+                self.metrics.gauge("serve.queue_depth").set(len(self._queue))
+                self._nonempty.notify()
+        if shed_depth is not None:
+            self.metrics.counter("serve.shed").inc()
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.event("serve_shed", queued=shed_depth)
+            raise EngineOverloadedError(
+                f"admission queue full ({self.max_queue} waiting)"
+            )
         return ticket
 
     def queue_depth(self) -> int:
@@ -256,7 +263,8 @@ class BatchedInferenceEngine:
                 self._queue.clear()
             self._nonempty.notify_all()
         self._worker.join(timeout)
-        self._closed = True
+        with self._lock:
+            self._closed = True
 
     def __enter__(self) -> "BatchedInferenceEngine":
         return self

@@ -79,10 +79,26 @@ class PolicyRegistry:
     # -- serving handle -----------------------------------------------------
     @property
     def current(self) -> PolicyHandle:
-        """The live handle; loads initially on first access."""
+        """The live handle; loads initially on first access.
+
+        Loading (disk I/O, probe validation, telemetry) runs *outside*
+        the lock — only the reference check and swap are locked, so a
+        slow or corrupt artifact never stalls concurrent readers
+        (REP104/REP105).  Two first-access racers may both load; the
+        first swap wins and both return the same handle.
+        """
+        with self._lock:
+            handle = self._current
+        if handle is not None:
+            return handle
+        return self._ensure_loaded()
+
+    def _ensure_loaded(self) -> PolicyHandle:
+        """Initial load outside the lock, first-swap-wins under it."""
+        handle = self._initial_load()
         with self._lock:
             if self._current is None:
-                self._current = self._initial_load()
+                self._current = handle
             return self._current
 
     def _initial_load(self) -> PolicyHandle:
@@ -116,29 +132,34 @@ class PolicyRegistry:
         Returns the (possibly unchanged) live handle.  A corrupt newest
         candidate raises :class:`CheckpointCorruptError` *after* emitting
         telemetry, and the previous handle keeps serving.
+
+        Load-validate runs outside the lock (the injectable loader and
+        the telemetry hooks are foreign code — REP104); only the final
+        swap is locked, one atomic reference assignment.
         """
         with self._lock:
-            if self._current is None:
-                self._current = self._initial_load()
-                return self._current
-            candidates = self.candidates()
-            if not candidates:
-                raise FileNotFoundError(
-                    f"no policy artifact at {self.path} (expected *.npz)"
+            current = self._current
+        if current is None:
+            return self._ensure_loaded()
+        candidates = self.candidates()
+        if not candidates:
+            raise FileNotFoundError(
+                f"no policy artifact at {self.path} (expected *.npz)"
+            )
+        newest = candidates[-1]
+        try:
+            artifact = self._loader(newest)  # load + validate ...
+        except CheckpointCorruptError as exc:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.on_checkpoint_corrupt(
+                    path=newest, error=str(exc).splitlines()[0]
                 )
-            newest = candidates[-1]
-            try:
-                artifact = self._loader(newest)  # load + validate ...
-            except CheckpointCorruptError as exc:
-                tel = get_telemetry()
-                if tel.enabled:
-                    tel.on_checkpoint_corrupt(
-                        path=newest, error=str(exc).splitlines()[0]
-                    )
-                raise
-            handle = PolicyHandle(artifact, newest, artifact.version)
+            raise
+        handle = PolicyHandle(artifact, newest, artifact.version)
+        with self._lock:
             self._current = handle  # ... then swap (atomic assignment)
-            return handle
+        return handle
 
     def version(self) -> str:
         """The live artifact's identity string."""

@@ -1,0 +1,662 @@
+"""Fixture coverage for the REP101-REP105 concurrency rules.
+
+Mirrors ``test_analysis_rules.py``: every rule gets at least one known
+violation (must fire), a suppressed variant (must stay silent) and a
+clean idiomatic variant (must stay silent).  Fixtures are inline source
+strings, so the repo's own ``repro analyze`` run never sees them.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    SourceFile,
+    analyze_source,
+    collect_lock_info,
+    lock_inventory,
+)
+
+
+def codes(text, path="pkg/mod.py", select=None):
+    config = AnalysisConfig(select=frozenset(select) if select else None)
+    return [
+        v.code
+        for v in analyze_source(textwrap.dedent(text), path=path, config=config)
+    ]
+
+
+def parse(text, path="pkg/mod.py"):
+    return SourceFile.parse(textwrap.dedent(text), path=path)
+
+
+# ---------------------------------------------------------------- REP101
+
+class TestSharedWrite:
+    def test_unlocked_write_to_guarded_attr_flagged(self):
+        assert codes("""
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def reset(self):
+                    self._items = []
+        """, select={"REP101"}) == ["REP101"]
+
+    def test_mutator_call_outside_lock_flagged(self):
+        assert codes("""
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def drop(self, x):
+                    self._items.remove(x)
+        """, select={"REP101"}) == ["REP101"]
+
+    def test_suppressed(self):
+        assert codes("""
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def reset(self):
+                    self._items = []  # repro: noqa REP101 -- single-thread teardown
+        """, select={"REP101"}) == []
+
+    def test_all_writes_locked_clean(self):
+        assert codes("""
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def reset(self):
+                    with self._lock:
+                        self._items = []
+        """, select={"REP101"}) == []
+
+    def test_locked_suffix_convention_clean(self):
+        """``*_locked`` methods declare the caller holds the lock."""
+        assert codes("""
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+                        self._compact_locked()
+
+                def _compact_locked(self):
+                    self._items = self._items[-10:]
+        """, select={"REP101"}) == []
+
+    def test_init_construction_clean(self):
+        """Construction writes predate sharing; never flagged."""
+        assert codes("""
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+                    self._items = list(self._items)
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+        """, select={"REP101"}) == []
+
+
+# ---------------------------------------------------------------- REP102
+
+class TestLockOrder:
+    def test_opposite_order_cycle_flagged(self):
+        assert codes("""
+            import threading
+
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """, select={"REP102"}) == ["REP102"]
+
+    def test_self_reacquire_nonreentrant_flagged(self):
+        assert codes("""
+            import threading
+
+            LOCK = threading.Lock()
+
+            def f():
+                with LOCK:
+                    with LOCK:
+                        pass
+        """, select={"REP102"}) == ["REP102"]
+
+    def test_self_reacquire_rlock_clean(self):
+        assert codes("""
+            import threading
+
+            LOCK = threading.RLock()
+
+            def f():
+                with LOCK:
+                    with LOCK:
+                        pass
+        """, select={"REP102"}) == []
+
+    def test_suppressed(self):
+        assert codes("""
+            import threading
+
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:  # repro: noqa REP102 -- never concurrent with backward()
+                        pass
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """, select={"REP102"}) == []
+
+    def test_consistent_order_clean(self):
+        assert codes("""
+            import threading
+
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def f():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def g():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+        """, select={"REP102"}) == []
+
+    def test_instance_lock_cycle_flagged(self):
+        assert codes("""
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+        """, select={"REP102"}) == ["REP102"]
+
+
+# ---------------------------------------------------------------- REP103
+
+class TestThreadLifecycle:
+    def test_unmanaged_thread_flagged(self):
+        assert codes("""
+            import threading
+
+            def run(work):
+                t = threading.Thread(target=work)
+                t.start()
+        """, select={"REP103"}) == ["REP103"]
+
+    def test_suppressed(self):
+        assert codes("""
+            import threading
+
+            def run(work):
+                t = threading.Thread(target=work)  # repro: noqa REP103 -- owned by caller
+                t.start()
+        """, select={"REP103"}) == []
+
+    def test_daemon_kwarg_clean(self):
+        assert codes("""
+            import threading
+
+            def run(work):
+                t = threading.Thread(target=work, daemon=True)
+                t.start()
+        """, select={"REP103"}) == []
+
+    def test_daemon_assignment_clean(self):
+        assert codes("""
+            import threading
+
+            def run(work):
+                t = threading.Thread(target=work)
+                t.daemon = True
+                t.start()
+        """, select={"REP103"}) == []
+
+    def test_joined_clean(self):
+        assert codes("""
+            import threading
+
+            def run(work):
+                t = threading.Thread(target=work)
+                t.start()
+                t.join()
+        """, select={"REP103"}) == []
+
+    def test_join_via_list_loop_clean(self):
+        """The ``for t in threads: t.join()`` idiom manages the list."""
+        assert codes("""
+            import threading
+
+            def run(work):
+                threads = [threading.Thread(target=work) for _ in range(4)]
+                threads += [threading.Thread(target=work)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        """, select={"REP103"}) == []
+
+    def test_self_attr_joined_clean(self):
+        assert codes("""
+            import threading
+
+            class Owner:
+                def start(self, work):
+                    self._worker = threading.Thread(target=work)
+                    self._worker.start()
+
+                def close(self):
+                    self._worker.join()
+        """, select={"REP103"}) == []
+
+
+# ---------------------------------------------------------------- REP104
+
+class TestCallbackUnderLock:
+    def test_injected_callable_under_lock_flagged(self):
+        assert codes("""
+            import threading
+
+            class Engine:
+                def __init__(self, on_batch):
+                    self._lock = threading.Lock()
+                    self.on_batch = on_batch
+
+                def step(self):
+                    with self._lock:
+                        self.on_batch(1)
+        """, select={"REP104"}) == ["REP104"]
+
+    def test_telemetry_under_lock_flagged(self):
+        assert codes("""
+            import threading
+
+            from repro.obs import get_telemetry
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self):
+                    tel = get_telemetry()
+                    with self._lock:
+                        tel.event("step")
+        """, select={"REP104"}) == ["REP104"]
+
+    def test_callback_hidden_in_helper_flagged(self):
+        """Same-class helpers are followed to a fixpoint."""
+        assert codes("""
+            import threading
+
+            class Engine:
+                def __init__(self, on_batch):
+                    self._lock = threading.Lock()
+                    self.on_batch = on_batch
+
+                def step(self):
+                    with self._lock:
+                        self._notify()
+
+                def _notify(self):
+                    self.on_batch(1)
+        """, select={"REP104"}) == ["REP104"]
+
+    def test_suppressed(self):
+        assert codes("""
+            import threading
+
+            class Engine:
+                def __init__(self, on_batch):
+                    self._lock = threading.Lock()
+                    self.on_batch = on_batch
+
+                def step(self):
+                    with self._lock:
+                        self.on_batch(1)  # repro: noqa REP104 -- callback is lock-free by contract
+        """, select={"REP104"}) == []
+
+    def test_call_after_release_clean(self):
+        assert codes("""
+            import threading
+
+            class Engine:
+                def __init__(self, on_batch):
+                    self._lock = threading.Lock()
+                    self.on_batch = on_batch
+                    self._pending = []
+
+                def step(self):
+                    with self._lock:
+                        batch = list(self._pending)
+                    self.on_batch(batch)
+        """, select={"REP104"}) == []
+
+
+# ---------------------------------------------------------------- REP105
+
+class TestBlockingUnderLock:
+    def test_sleep_under_lock_flagged(self):
+        assert codes("""
+            import threading
+            import time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self):
+                    with self._lock:
+                        time.sleep(0.5)
+        """, select={"REP105"}) == ["REP105"]
+
+    def test_timeoutless_queue_get_flagged(self):
+        assert codes("""
+            import threading
+
+            class Worker:
+                def __init__(self, queue):
+                    self._lock = threading.Lock()
+                    self.task_queue = queue
+
+                def step(self):
+                    with self._lock:
+                        item = self.task_queue.get()
+                    return item
+        """, select={"REP105"}) == ["REP105"]
+
+    def test_timeoutless_result_flagged(self):
+        assert codes("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self, ticket):
+                    with self._lock:
+                        return ticket.result()
+        """, select={"REP105"}) == ["REP105"]
+
+    def test_suppressed(self):
+        assert codes("""
+            import threading
+            import time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self):
+                    with self._lock:
+                        time.sleep(0.5)  # repro: noqa REP105 -- test-only pacing
+        """, select={"REP105"}) == []
+
+    def test_condition_wait_on_held_lock_clean(self):
+        """Condition.wait releases the lock it wraps by design."""
+        assert codes("""
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._nonempty = threading.Condition(self._lock)
+                    self._queue = []
+
+                def take(self):
+                    with self._nonempty:
+                        while not self._queue:
+                            self._nonempty.wait()
+                        return self._queue.pop(0)
+        """, select={"REP105"}) == []
+
+    def test_queue_get_with_timeout_clean(self):
+        assert codes("""
+            import threading
+
+            class Worker:
+                def __init__(self, queue):
+                    self._lock = threading.Lock()
+                    self.task_queue = queue
+
+                def step(self):
+                    with self._lock:
+                        return self.task_queue.get(timeout=1.0)
+        """, select={"REP105"}) == []
+
+
+# ------------------------------------------------ shared symbol table
+
+class TestLockInfo:
+    def test_condition_aliases_its_lock(self):
+        info = collect_lock_info(parse("""
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._nonempty = threading.Condition(self._lock)
+        """))
+        cls = info.classes["Engine"]
+        assert cls.aliases == {"_nonempty": "_lock"}
+        binding = cls.canonical("_nonempty")
+        assert binding is not None and binding.key == "Engine.self._lock"
+
+    def test_lock_inventory_attributes(self):
+        inventory = lock_inventory(parse("""
+            import threading
+
+            class Buffer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+                    self.total = 0
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+                        self.total += 1
+        """))
+        assert inventory == {"Buffer.self._lock": ["_items", "total"]}
+
+    def test_module_lock_inventoried(self):
+        info = collect_lock_info(parse("""
+            import threading as t
+
+            GUARD = t.RLock()
+        """))
+        assert info.module_locks["GUARD"].key == "module.GUARD"
+        assert info.module_locks["GUARD"].reentrant
+
+
+# ------------------------------------------------ suppressions (satellite)
+
+class TestSuppressionMechanics:
+    def test_multi_code_noqa_spans_rule_families(self):
+        """One comma-separated comment suppressing a REP0xx and a
+        REP1xx finding on the same line."""
+        plain = textwrap.dedent("""
+            import threading
+            import numpy as np
+
+            LOCK = threading.Lock()
+
+            def f():
+                with LOCK:
+                    with LOCK:
+                        return np.random.rand(3)
+        """)
+        assert sorted(
+            v.code for v in analyze_source(plain, path="pkg/mod.py")
+        ) == ["REP001", "REP102"]
+        suppressed = textwrap.dedent("""
+            import threading
+            import numpy as np
+
+            LOCK = threading.Lock()
+
+            def f():
+                with LOCK:
+                    with LOCK:  # repro: noqa REP102,REP001 -- fixture
+                        return np.random.rand(3)  # repro: noqa REP001,REP102 -- fixture
+        """)
+        assert analyze_source(suppressed, path="pkg/mod.py") == []
+
+    def test_multi_code_noqa_only_listed_codes(self):
+        """Codes not named in the comma list still fire."""
+        text = textwrap.dedent("""
+            import threading
+            import time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def step(self):
+                    with self._lock:
+                        time.sleep(0.5)  # repro: noqa REP104,REP101 -- wrong codes
+        """)
+        assert [v.code for v in analyze_source(text, path="pkg/mod.py")] == [
+            "REP105"
+        ]
+
+    def test_noqa_on_decorated_function_def_line(self):
+        """REP1xx findings that anchor on a ``def`` line stay
+        suppressible when the function is decorated (the anchor is the
+        ``def`` line, not the decorator's)."""
+        text = textwrap.dedent("""
+            import functools
+            import numpy as np
+
+            @functools.lru_cache(maxsize=None)
+            def sample(n, seed=None):  # repro: noqa REP003 -- API compat
+                return np.arange(n)
+        """)
+        assert analyze_source(text, path="pkg/mod.py") == []
+
+    def test_decorated_method_body_suppression(self):
+        text = textwrap.dedent("""
+            import functools
+            import threading
+
+            class Engine:
+                def __init__(self, on_batch):
+                    self._lock = threading.Lock()
+                    self.on_batch = on_batch
+
+                @functools.wraps(print)
+                def step(self):
+                    with self._lock:
+                        self.on_batch(1)  # repro: noqa REP104 -- fixture
+        """)
+        assert analyze_source(text, path="pkg/mod.py") == []
+
+
+# ------------------------------------------------ integration
+
+class TestIntegration:
+    def test_realistic_engine_shape_is_clean(self):
+        """The serve-engine idiom — Condition over the lock, decide under
+        the lock / act after release — produces no REP1xx findings."""
+        assert codes("""
+            import threading
+
+            class MiniEngine:
+                def __init__(self, infer):
+                    self._infer = infer
+                    self._queue = []
+                    self._lock = threading.Lock()
+                    self._nonempty = threading.Condition(self._lock)
+                    self._worker = threading.Thread(
+                        target=self._run, daemon=True
+                    )
+                    self._worker.start()
+
+                def submit(self, item):
+                    with self._nonempty:
+                        self._queue.append(item)
+                        self._nonempty.notify()
+
+                def _take(self):
+                    with self._nonempty:
+                        while not self._queue:
+                            self._nonempty.wait()
+                        batch = self._queue[:]
+                        del self._queue[: len(batch)]
+                    return batch
+
+                def _run(self):
+                    batch = self._take()
+                    self._infer(batch)
+
+                def close(self):
+                    self._worker.join()
+        """) == []

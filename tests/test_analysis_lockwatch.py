@@ -1,0 +1,294 @@
+"""Runtime lock-order watchdog (repro.analysis.lockwatch) coverage.
+
+The static REP102 pass sees only lexical ``with`` nesting; these tests
+drive the runtime half: patched factories, the acquisition-order graph,
+seeded ordering cycles, long-hold reports, Condition compatibility and
+the disabled-is-bit-identical contract.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    WatchedLock,
+    disable_lockwatch,
+    enable_lockwatch,
+    get_lockwatch,
+    lockwatch_session,
+)
+from repro.analysis.lockwatch import _ORIG_LOCK, enable_from_env
+from repro.obs import (
+    NULL_TELEMETRY,
+    MemoryEventSink,
+    Telemetry,
+    set_telemetry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pristine():
+    """Every test starts and ends unpatched with null telemetry."""
+    disable_lockwatch()
+    set_telemetry(NULL_TELEMETRY)
+    yield
+    disable_lockwatch()
+    set_telemetry(NULL_TELEMETRY)
+
+
+class TestPatching:
+    def test_disabled_factories_are_stock(self):
+        lock = threading.Lock()
+        assert not isinstance(lock, WatchedLock)
+        assert get_lockwatch() is None
+
+    def test_enabled_factories_return_watched_locks(self):
+        with lockwatch_session() as watch:
+            lock = threading.Lock()
+            rlock = threading.RLock()
+            assert isinstance(lock, WatchedLock)
+            assert isinstance(rlock, WatchedLock)
+            assert not lock.reentrant and rlock.reentrant
+            assert watch.summary()["locks"] == 2
+        # session exit restores the stock factory
+        assert not isinstance(threading.Lock(), WatchedLock)
+
+    def test_locks_survive_disable(self):
+        with lockwatch_session():
+            lock = threading.Lock()
+        with lock:  # still a working lock, just no longer reporting
+            pass
+        assert not lock._watch.enabled
+
+    def test_creation_site_names_this_file(self):
+        with lockwatch_session():
+            lock = threading.Lock()
+        assert lock.name.startswith("test_analysis_lockwatch.py:")
+
+    def test_enable_from_env(self):
+        assert enable_from_env({"REPRO_LOCKWATCH": "0"}) is None
+        assert get_lockwatch() is None
+        watch = enable_from_env({"REPRO_LOCKWATCH": "1"})
+        assert watch is not None and get_lockwatch() is watch
+
+
+class TestCliWiring:
+    def test_telemetry_scope_enables_and_disables(self):
+        """`--lockwatch` turns the watch on for the command body only,
+        so in-process main() reentrancy never leaks a patched factory."""
+        from types import SimpleNamespace
+
+        from repro.cli import _telemetry_scope
+
+        args = SimpleNamespace(
+            lockwatch=True, sanitize=False, telemetry_dir=None,
+            no_telemetry=False,
+        )
+        with _telemetry_scope(args, "test"):
+            assert get_lockwatch() is not None
+            assert isinstance(threading.Lock(), WatchedLock)
+        assert get_lockwatch() is None
+        assert not isinstance(threading.Lock(), WatchedLock)
+
+    def test_scope_does_not_disable_env_enabled_watch(self):
+        from types import SimpleNamespace
+
+        from repro.cli import _telemetry_scope
+
+        watch = enable_lockwatch()
+        args = SimpleNamespace(
+            lockwatch=True, sanitize=False, telemetry_dir=None,
+            no_telemetry=False,
+        )
+        with _telemetry_scope(args, "test"):
+            assert get_lockwatch() is watch
+        # env-requested watch survives the command scope
+        assert get_lockwatch() is watch
+
+
+class TestOrderGraph:
+    def test_nested_acquisition_records_edge(self):
+        with lockwatch_session() as watch:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+        assert watch.edges() == {a.name: [b.name]}
+        assert watch.cycles == []
+
+    def test_seeded_two_lock_cycle_detected(self):
+        """The acceptance scenario: opposite orders => one cycle report."""
+        with lockwatch_session() as watch:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        assert len(watch.cycles) == 1
+        report = watch.cycles[0]
+        assert report["kind"] == "cycle"
+        # the cycle path closes on itself: first lock == last lock
+        assert report["locks"][0] == report["locks"][-1]
+        assert set(report["locks"]) == {a.name, b.name}
+        assert "1 cycles" in watch.format_summary()
+
+    def test_cycle_reported_once(self):
+        with lockwatch_session() as watch:
+            a = threading.Lock()
+            b = threading.Lock()
+            for _ in range(5):
+                with a:
+                    with b:
+                        pass
+                with b:
+                    with a:
+                        pass
+        assert len(watch.cycles) == 1
+
+    def test_cross_thread_cycle_detected(self):
+        """The graph is per-process: each order taken on its own thread."""
+        with lockwatch_session() as watch:
+            a = threading.Lock()
+            b = threading.Lock()
+
+            def forward():
+                with a:
+                    with b:
+                        pass
+
+            def backward():
+                with b:
+                    with a:
+                        pass
+
+            t1 = threading.Thread(target=forward)
+            t1.start()
+            t1.join()
+            t2 = threading.Thread(target=backward)
+            t2.start()
+            t2.join()
+        assert len(watch.cycles) == 1
+
+    def test_rlock_reacquire_is_not_an_edge(self):
+        with lockwatch_session() as watch:
+            r = threading.RLock()
+            with r:
+                with r:
+                    pass
+        assert watch.edges() == {}
+        assert watch.cycles == []
+
+    def test_consistent_order_is_clean(self):
+        with lockwatch_session() as watch:
+            a = threading.Lock()
+            b = threading.Lock()
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+        assert watch.cycles == []
+        assert "0 cycles" in watch.format_summary()
+
+    def test_cycle_event_reaches_obs_sink(self):
+        sink = MemoryEventSink()
+        set_telemetry(Telemetry(sink=sink))
+        with lockwatch_session():
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        events = sink.of_type("lockwatch")
+        assert len(events) == 1
+        assert events[0]["kind"] == "cycle"
+        assert events[0]["thread"] == threading.current_thread().name
+
+
+class TestLongHold:
+    def test_long_hold_reported(self):
+        with lockwatch_session(long_hold_s=0.0) as watch:
+            lock = threading.Lock()
+            with lock:
+                pass
+        assert len(watch.long_holds) == 1
+        report = watch.long_holds[0]
+        assert report["kind"] == "long_hold"
+        assert report["lock"] == lock.name
+        assert report["held_s"] >= 0.0
+
+    def test_short_hold_not_reported(self):
+        with lockwatch_session(long_hold_s=60.0) as watch:
+            lock = threading.Lock()
+            with lock:
+                pass
+        assert watch.long_holds == []
+
+    def test_max_reports_bounds_long_holds(self):
+        with lockwatch_session(long_hold_s=0.0, max_reports=3) as watch:
+            lock = threading.Lock()
+            for _ in range(10):
+                with lock:
+                    pass
+        assert len(watch.long_holds) == 3
+
+
+class TestConditionCompat:
+    def test_condition_over_watched_lock(self):
+        """threading.Condition wraps a WatchedLock transparently —
+        notify/wait across threads still works while watched."""
+        with lockwatch_session() as watch:
+            lock = threading.Lock()
+            cond = threading.Condition(lock)
+            box = []
+
+            def producer():
+                with cond:
+                    box.append(1)
+                    cond.notify()
+
+            with cond:
+                t = threading.Thread(target=producer)
+                t.start()
+                # wait releases the watched lock so the producer can run
+                got = cond.wait_for(lambda: box, timeout=5.0)
+            t.join()
+            assert got and box == [1]
+            assert watch.cycles == []
+
+
+class TestBitIdentity:
+    def test_disabled_leaves_serve_output_identical(self):
+        """The zero-cost contract: engine results are byte-equal with the
+        watch never enabled vs enabled-then-disabled instrumentation off."""
+        from repro.serve.engine import BatchedInferenceEngine
+
+        def infer(states):
+            return states * 2.0, "v1"
+
+        def run_once():
+            engine = BatchedInferenceEngine(infer, max_batch=4, max_wait_ms=0.0)
+            try:
+                tickets = [
+                    engine.submit(np.full(3, float(i))) for i in range(8)
+                ]
+                return [t.result(timeout=5.0)[0] for t in tickets]
+            finally:
+                engine.close()
+
+        baseline = run_once()
+        with lockwatch_session() as watch:
+            watched = run_once()
+        assert watch.cycles == []
+        again = run_once()
+        for a, b, c in zip(baseline, watched, again):
+            assert a.tobytes() == b.tobytes() == c.tobytes()
+        # and the factory really is the stock one again
+        assert threading.Lock is _ORIG_LOCK

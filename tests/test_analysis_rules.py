@@ -411,8 +411,10 @@ class TestEngine:
         assert out[0].format().startswith("x.py:2:1: REP001 ")
 
     def test_every_rule_has_distinct_code(self):
-        assert len(RULE_CLASSES) == 7
-        assert sorted(RULE_CLASSES) == [f"REP00{i}" for i in range(1, 8)]
+        assert len(RULE_CLASSES) == 12
+        expected = [f"REP00{i}" for i in range(1, 8)]
+        expected += [f"REP10{i}" for i in range(1, 6)]
+        assert sorted(RULE_CLASSES) == expected
         assert [r.code for r in default_rules()] == sorted(RULE_CLASSES)
 
     def test_reporters(self):
@@ -459,6 +461,28 @@ class TestRepoSelfCheck:
         )
         assert proc.returncode == 1
         assert '"code": "REP001"' in proc.stdout
+        assert '"exit_code": 1' in proc.stdout
+
+    def test_cli_json_gate_fails_on_blanket_suppression(self, tmp_path):
+        """`--format json --no-blanket` must exit non-zero on a blanket
+        noqa even with zero violations, exactly like text mode."""
+        bad = tmp_path / "blanket.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)  # repro: noqa\n")
+        env = {**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")}
+        base = [sys.executable, "-m", "repro", "analyze", str(bad)]
+        gated = subprocess.run(
+            base + ["--format", "json", "--no-blanket"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert gated.returncode == 1, gated.stdout + gated.stderr
+        assert '"exit_code": 1' in gated.stdout
+        assert '"forbid_blanket": true' in gated.stdout
+        ungated = subprocess.run(
+            base + ["--format", "json"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert ungated.returncode == 0, ungated.stdout + ungated.stderr
+        assert '"exit_code": 0' in ungated.stdout
 
     def test_cli_list_rules(self):
         from repro.cli import main
