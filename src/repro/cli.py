@@ -495,6 +495,65 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Deterministic hot-path profiling -> BENCH_<name>.json record.
+
+    Timing runs through the span machinery on an in-memory telemetry
+    the profiler installs itself, so --telemetry-dir is intentionally
+    not offered here: an external sink would add I/O inside the timed
+    sections.
+    """
+    from repro.perf import ProfileConfig, run_profile, write_record
+
+    config = ProfileConfig(
+        seed=args.seed,
+        devices=args.devices,
+        episodes=args.episodes,
+        requests=args.requests,
+        max_batch=args.max_batch,
+        fast=args.fast,
+    )
+    record = run_profile(args.workload, config)
+    path = write_record(record, args.out)
+    console.always(f"wrote {path}")
+    for family in ("throughput", "gated"):
+        for metric, value in sorted(record[family].items()):
+            console.always(f"  {family}.{metric} = {value:.4g}")
+    return 0
+
+
+def cmd_perf_compare(args) -> int:
+    """Gate a benchmark record against a committed baseline."""
+    from repro.perf import (
+        EXIT_MISSING_BASELINE,
+        EXIT_OK,
+        EXIT_REGRESSION,
+        compare_records,
+        load_record,
+    )
+
+    try:
+        baseline = load_record(args.baseline)
+    except FileNotFoundError:
+        console.always(
+            f"perf compare: baseline record not found: {args.baseline}"
+        )
+        return EXIT_MISSING_BASELINE
+    try:
+        current = load_record(args.current)
+    except FileNotFoundError:
+        console.always(
+            f"perf compare: current record not found: {args.current} "
+            "(run `repro profile` first)"
+        )
+        return EXIT_MISSING_BASELINE
+    result = compare_records(
+        current, baseline, tolerance=args.tolerance, include_raw=args.raw
+    )
+    console.always(result.describe())
+    return EXIT_OK if result.passed else EXIT_REGRESSION
+
+
 def cmd_analyze(args) -> int:
     from repro.analysis import (
         AnalysisConfig,
@@ -1024,6 +1083,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render phase/round/update tables from a run dir")
     ps.add_argument("dir", help="directory written by --telemetry-dir")
     ps.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser(
+        "profile",
+        help="deterministic hot-path profiling -> BENCH_<name>.json",
+    )
+    p.add_argument("workload", choices=("rollout", "train", "serve"),
+                   help="which hot path to profile")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="benchmarks/out",
+                   help="directory the BENCH_<name>.json record is written to")
+    p.add_argument("--devices", type=int, default=16,
+                   help="fleet size of the profiled system")
+    p.add_argument("--episodes", type=int, default=4,
+                   help="env episodes the rollout workload collects")
+    p.add_argument("--requests", type=int, default=256,
+                   help="requests per batching mode for the serve workload")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="engine micro-batch bound for the serve workload")
+    p.add_argument("--fast", action="store_true",
+                   help="reduced-scale smoke mode (CI)")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "perf",
+        help="benchmark regression tooling over BENCH records",
+    )
+    psub = p.add_subparsers(dest="perf_command", required=True)
+    pc = psub.add_parser(
+        "compare",
+        help="gate a BENCH record against a committed baseline "
+             "(exit 1 on regression, 2 on missing record)",
+    )
+    pc.add_argument("--baseline", required=True,
+                    help="committed baseline record "
+                         "(benchmarks/baselines/BENCH_<name>.json)")
+    pc.add_argument("--current", required=True,
+                    help="freshly produced record to check")
+    pc.add_argument("--tolerance", type=float, default=0.2,
+                    help="max tolerated relative drop (default 0.2 = 20%%)")
+    pc.add_argument("--raw", action="store_true",
+                    help="also gate raw ops/sec throughputs "
+                         "(hardware-dependent; same-machine comparisons only)")
+    pc.set_defaults(func=cmd_perf_compare)
 
     return parser
 

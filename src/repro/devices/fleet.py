@@ -21,6 +21,7 @@ from repro.devices.device import (
     MobileDevice,
 )
 from repro.traces.base import BandwidthTrace, TracePool
+from repro.traces.kernel import FleetTraceKernel
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -110,6 +111,9 @@ class DeviceFleet:
         self._e_tx = np.array([d.params.e_tx for d in devices], dtype=np.float64)
         self._p_idle = np.array([d.params.p_idle for d in devices], dtype=np.float64)
         self._has_idle_power = bool(self._p_idle.any())
+        # Vectorized whole-fleet trace kernel, built on first use (traces
+        # are immutable; trace swaps go through with_traces -> new fleet).
+        self._trace_kernel: Optional[FleetTraceKernel] = None
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -155,6 +159,20 @@ class DeviceFleet:
         """Whether any device draws idle power (lets the simulator skip
         the Eq. (6) idle term in the paper-faithful all-zero case)."""
         return self._has_idle_power
+
+    @property
+    def trace_kernel(self) -> FleetTraceKernel:
+        """Lazily built vectorized trace kernel over the fleet's traces.
+
+        Answers Eq. (2)-(3) upload times and bandwidth histories for the
+        whole fleet in one call, bit-identical to the per-device scalar
+        methods (see :class:`repro.traces.kernel.FleetTraceKernel`).
+        """
+        kernel = self._trace_kernel
+        if kernel is None:
+            kernel = FleetTraceKernel([d.trace for d in self.devices])
+            self._trace_kernel = kernel
+        return kernel
 
     def clamp_frequencies(self, freqs, floor_frac: float = 0.02) -> np.ndarray:
         """Elementwise clamp into ``(0, delta_max]`` (vectorized)."""

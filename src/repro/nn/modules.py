@@ -132,6 +132,11 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self._x: Optional[np.ndarray] = None
+        # Backward-pass scratch: parameter-gradient shapes are fixed, so
+        # the dL/dW and dL/db temporaries are computed into preallocated
+        # buffers instead of fresh arrays every step.
+        self._gw = np.empty_like(self.W.data)
+        self._gb = np.empty_like(self.b.data)
 
     def parameters(self) -> List[Parameter]:
         return [self.W, self.b]
@@ -171,21 +176,42 @@ class Linear(Module):
         if self._x is None:
             raise RuntimeError("backward called before forward")
         grad_out = np.asarray(grad_out, dtype=np.float64)
-        self.W.grad += self._x.T @ grad_out
-        self.b.grad += grad_out.sum(axis=0)
+        np.matmul(self._x.T, grad_out, out=self._gw)
+        self.W.grad += self._gw
+        np.sum(grad_out, axis=0, out=self._gb)
+        self.b.grad += self._gb
         return grad_out @ self.W.data.T
 
 
 class _Activation(Module):
-    """Stateless elementwise activation with cached forward context."""
+    """Stateless elementwise activation with cached forward context.
+
+    The ``*_owned`` variants take ownership of their argument and may
+    compute in place — :class:`Sequential` calls them only when the
+    neighbouring layer is a :class:`Linear`, whose matmul output/input
+    gradient is a freshly allocated array nobody else references.  Every
+    owned variant produces bit-identical values to its allocating twin;
+    subclasses with nothing to gain inherit the delegating defaults.
+    """
 
     def __init__(self) -> None:
         self._cache: Optional[np.ndarray] = None
+
+    def forward_owned(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward_owned(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.backward(grad_out)
 
 
 class Tanh(_Activation):
     def forward(self, x: np.ndarray) -> np.ndarray:
         y = np.tanh(x)
+        self._cache = y
+        return y
+
+    def forward_owned(self, x: np.ndarray) -> np.ndarray:
+        y = np.tanh(x, out=x)
         self._cache = y
         return y
 
@@ -195,17 +221,34 @@ class Tanh(_Activation):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * (1.0 - self._cache**2)
 
+    def backward_owned(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out *= 1.0 - self._cache**2
+        return grad_out
+
 
 class ReLU(_Activation):
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._cache = x > 0
         return np.where(self._cache, x, 0.0)
 
+    def forward_owned(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        self._cache = mask
+        # Matches np.where(mask, x, 0.0) bit-for-bit: masked-out lanes
+        # (including NaN and -0.0 inputs, which compare False) become
+        # +0.0 either way.
+        x[~mask] = 0.0
+        return x
+
     def forward_infer(self, x: np.ndarray) -> np.ndarray:
         return np.where(x > 0, x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * self._cache
+
+    def backward_owned(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out *= self._cache
+        return grad_out
 
 
 class Sigmoid(_Activation):
@@ -214,11 +257,29 @@ class Sigmoid(_Activation):
         self._cache = y
         return y
 
+    def forward_owned(self, x: np.ndarray) -> np.ndarray:
+        # Same clip -> negate -> exp -> +1 -> reciprocal chain as
+        # forward, computed into the owned buffer.
+        np.clip(x, -60.0, 60.0, out=x)
+        np.negative(x, out=x)
+        np.exp(x, out=x)
+        x += 1.0
+        np.divide(1.0, x, out=x)
+        self._cache = x
+        return x
+
     def forward_infer(self, x: np.ndarray) -> np.ndarray:
         return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * self._cache * (1.0 - self._cache)
+
+    def backward_owned(self, grad_out: np.ndarray) -> np.ndarray:
+        # Two in-place multiplies preserve the left-to-right association
+        # of grad * cache * (1 - cache).
+        grad_out *= self._cache
+        grad_out *= 1.0 - self._cache
+        return grad_out
 
 
 class Softplus(_Activation):
@@ -254,10 +315,31 @@ ACTIVATIONS = {
 
 
 class Sequential(Module):
-    """Composes modules; backward runs the chain in reverse."""
+    """Composes modules; backward runs the chain in reverse.
+
+    Activation layers sandwiched against a :class:`Linear` run through
+    their in-place ``*_owned`` variants on the unsanitized fast path:
+    the Linear's matmul output (forward) / input gradient (backward) is
+    a fresh array this chain exclusively owns, so mutating it saves one
+    allocation per activation per pass with bit-identical results.
+    Arrays supplied by the caller are never mutated — the first layer
+    always runs the allocating variant.
+    """
 
     def __init__(self, layers: Sequence[Module]):
         self.layers = list(layers)
+        self._owned_fwd = [
+            isinstance(layer, _Activation)
+            and i > 0
+            and isinstance(self.layers[i - 1], Linear)
+            for i, layer in enumerate(self.layers)
+        ]
+        self._owned_bwd = [
+            isinstance(layer, _Activation)
+            and i + 1 < len(self.layers)
+            and isinstance(self.layers[i + 1], Linear)
+            for i, layer in enumerate(self.layers)
+        ]
 
     def parameters(self) -> List[Parameter]:
         out: List[Parameter] = []
@@ -268,8 +350,8 @@ class Sequential(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         san = _sanitizer.ACTIVE
         if san is None:
-            for layer in self.layers:
-                x = layer.forward(x)
+            for layer, owned in zip(self.layers, self._owned_fwd):
+                x = layer.forward_owned(x) if owned else layer.forward(x)
             return x
         return self._forward_sanitized(x, san)
 
@@ -281,8 +363,12 @@ class Sequential(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         san = _sanitizer.ACTIVE
         if san is None:
-            for layer in reversed(self.layers):
-                grad_out = layer.backward(grad_out)
+            for i in range(len(self.layers) - 1, -1, -1):
+                layer = self.layers[i]
+                if self._owned_bwd[i]:
+                    grad_out = layer.backward_owned(grad_out)
+                else:
+                    grad_out = layer.backward(grad_out)
             return grad_out
         return self._backward_sanitized(grad_out, san)
 

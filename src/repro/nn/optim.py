@@ -90,20 +90,35 @@ class Adam(Optimizer):
         self.t = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Two reusable scratch buffers per parameter: the update rule is
+        # evaluated fully in place (zero allocations per step) while
+        # preserving the exact operation order of the allocating form.
+        self._s1 = [np.empty_like(p.data) for p in self.params]
+        self._s2 = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self.t += 1
         b1t = 1.0 - self.beta1**self.t
         b2t = 1.0 - self.beta2**self.t
-        for m, v, p in zip(self._m, self._v, self.params):
+        lr = self.lr
+        c1 = 1.0 - self.beta1
+        c2 = 1.0 - self.beta2
+        for m, v, s1, s2, p in zip(self._m, self._v, self._s1, self._s2, self.params):
             g = p.grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * g
+            np.multiply(g, c1, out=s1)           # (1 - beta1) * g
+            m += s1
             v *= self.beta2
-            v += (1.0 - self.beta2) * g * g
-            m_hat = m / b1t
-            v_hat = v / b2t
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(g, c2, out=s1)           # (1 - beta2) * g ...
+            s1 *= g                              # ... * g, same association
+            v += s1
+            np.divide(m, b1t, out=s1)            # m_hat
+            np.divide(v, b2t, out=s2)            # v_hat
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            s1 *= lr                             # lr * m_hat ...
+            s1 /= s2                             # ... / (sqrt(v_hat) + eps)
+            p.data -= s1
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         state = {"lr": np.asarray(self.lr), "t": np.asarray(self.t)}

@@ -1,0 +1,58 @@
+"""repro.perf — deterministic profiling harness + benchmark regression gate.
+
+``repro profile {rollout,train,serve}`` times the hot paths of the
+simulator, the policy-network training step and the serving engine on
+small seeded workloads, asserting along the way that every optimized
+kernel reproduces its reference implementation bit-for-bit.  Results
+land in schema-versioned ``BENCH_<name>.json`` records; ``repro perf
+compare`` gates a fresh record against the committed baselines under
+``benchmarks/baselines/`` (see ``docs/performance.md``).
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_path,
+    load_record,
+    make_record,
+    validate_record,
+    write_record,
+)
+from repro.perf.compare import (
+    DEFAULT_TOLERANCE,
+    EXIT_MISSING_BASELINE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    CompareResult,
+    MetricVerdict,
+    compare_records,
+)
+from repro.perf.profile import (
+    WORKLOADS,
+    ProfileConfig,
+    profile_rollout,
+    profile_serve,
+    profile_train,
+    run_profile,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "bench_path",
+    "load_record",
+    "make_record",
+    "validate_record",
+    "write_record",
+    "DEFAULT_TOLERANCE",
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "EXIT_MISSING_BASELINE",
+    "CompareResult",
+    "MetricVerdict",
+    "compare_records",
+    "WORKLOADS",
+    "ProfileConfig",
+    "profile_rollout",
+    "profile_train",
+    "profile_serve",
+    "run_profile",
+]

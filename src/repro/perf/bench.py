@@ -1,0 +1,111 @@
+"""Schema-versioned benchmark records (``BENCH_<name>.json``).
+
+One record per profiled workload, carrying four metric families:
+
+* ``throughput`` — raw ops/sec numbers.  Hardware-dependent, recorded
+  for trend inspection but **not** gated by default: a committed floor
+  for them would trip on any slower CI runner.
+* ``gated`` — hardware-portable *speedup ratios* (optimized kernel vs.
+  in-process reference implementation, measured back-to-back on the
+  same machine).  These are what ``repro perf compare`` enforces
+  against a committed baseline.
+* ``sections`` — per-span call counts and wall/CPU seconds, harvested
+  from the observability span machinery.
+* ``allocations`` — tracemalloc block/byte counts for the measured
+  hot section.
+
+Records also pin provenance (seed, workload parameters, git sha) so a
+regression report can name exactly what was measured.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, Optional
+
+#: Bump when the record layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Keys every record must carry.
+_REQUIRED = ("schema_version", "name", "workload", "seed", "throughput", "gated")
+
+
+def make_record(
+    name: str,
+    workload: Dict[str, Any],
+    seed: int,
+    throughput: Dict[str, float],
+    gated: Dict[str, float],
+    sections: Optional[Dict[str, Dict[str, float]]] = None,
+    allocations: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Assemble a validated benchmark record."""
+    from repro.obs import RunManifest
+
+    record: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": str(name),
+        "workload": dict(workload),
+        "seed": int(seed),
+        "git_sha": RunManifest.collect(command=f"profile:{name}", seed=seed).git_sha,
+        "throughput": {k: float(v) for k, v in throughput.items()},
+        "gated": {k: float(v) for k, v in gated.items()},
+        "sections": {
+            k: {kk: float(vv) for kk, vv in v.items()}
+            for k, v in (sections or {}).items()
+        },
+        "allocations": {k: float(v) for k, v in (allocations or {}).items()},
+    }
+    validate_record(record)
+    return record
+
+
+def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Check the record shape; raises ``ValueError`` with the defect."""
+    for key in _REQUIRED:
+        if key not in record:
+            raise ValueError(f"benchmark record missing required key {key!r}")
+    version = record["schema_version"]
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"benchmark record schema v{version} unsupported "
+            f"(this build reads v{BENCH_SCHEMA_VERSION})"
+        )
+    for family in ("throughput", "gated"):
+        metrics = record[family]
+        if not isinstance(metrics, dict):
+            raise ValueError(f"record[{family!r}] must be a metric dict")
+        for metric, value in metrics.items():
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not math.isfinite(value)
+            ):
+                raise ValueError(f"{family}.{metric} is not a finite number")
+            if value < 0:
+                raise ValueError(f"{family}.{metric} must be non-negative")
+    return record
+
+
+def bench_path(out_dir: str, name: str) -> str:
+    return os.path.join(out_dir, f"BENCH_{name}.json")
+
+
+def write_record(record: Dict[str, Any], out_dir: str) -> str:
+    """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path."""
+    validate_record(record)
+    os.makedirs(out_dir, exist_ok=True)
+    path = bench_path(out_dir, record["name"])
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_record(path: str) -> Dict[str, Any]:
+    """Read and validate a benchmark record."""
+    with open(path) as fh:
+        record = json.load(fh)
+    return validate_record(record)

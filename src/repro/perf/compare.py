@@ -1,0 +1,130 @@
+"""The benchmark regression gate (``repro perf compare``).
+
+Compares a current ``BENCH_<name>.json`` against a committed baseline
+and fails when any gated metric drops below ``(1 - tolerance) *
+baseline`` (default tolerance 20%).
+
+What gets gated
+---------------
+Only the ``gated`` family by default: those are *speedup ratios* of
+optimized kernels over their in-process references, measured
+back-to-back on the same machine — so a committed floor transfers
+across hardware.  Raw ``throughput`` numbers (ops/sec) are
+hardware-dependent; pass ``include_raw=True`` (CLI ``--raw``) to gate
+them too, e.g. when comparing two runs from the same machine.
+
+Committed baselines under ``benchmarks/baselines/`` hold conservative
+*floor* values, not the best numbers ever observed — refresh them only
+when an optimization durably raises the floor (see
+``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Maximum tolerated relative drop of a gated metric vs. its baseline.
+DEFAULT_TOLERANCE = 0.2
+
+#: Process exit codes for the CLI gate.
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_MISSING_BASELINE = 2
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One gated metric's comparison outcome."""
+
+    family: str
+    metric: str
+    baseline: float
+    current: float
+    floor: float
+    ok: bool
+
+    def describe(self) -> str:
+        state = "ok" if self.ok else "REGRESSION"
+        return (
+            f"[{state}] {self.family}.{self.metric}: "
+            f"current {self.current:.4g} vs baseline {self.baseline:.4g} "
+            f"(floor {self.floor:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """All verdicts for one record pair."""
+
+    name: str
+    tolerance: float
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.missing and all(v.ok for v in self.verdicts)
+
+    def describe(self) -> str:
+        lines = [
+            f"perf compare {self.name!r} "
+            f"(tolerance {self.tolerance:.0%}, {len(self.verdicts)} gated metrics)"
+        ]
+        lines.extend(v.describe() for v in self.verdicts)
+        lines.extend(
+            f"[REGRESSION] {m}: present in baseline, missing from current run"
+            for m in self.missing
+        )
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def compare_records(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    include_raw: bool = False,
+) -> CompareResult:
+    """Gate ``current`` against ``baseline``; see the module docstring.
+
+    Metrics present only in the *current* record pass silently (a new
+    optimization is not a regression); metrics present only in the
+    *baseline* fail loudly (a gated kernel silently lost its
+    measurement).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    if current.get("name") != baseline.get("name"):
+        raise ValueError(
+            f"record mismatch: current is {current.get('name')!r}, "
+            f"baseline is {baseline.get('name')!r}"
+        )
+    families = ("gated", "throughput") if include_raw else ("gated",)
+    verdicts: List[MetricVerdict] = []
+    missing: List[str] = []
+    for family in families:
+        base_metrics = baseline.get(family, {})
+        cur_metrics = current.get(family, {})
+        for metric, base_value in sorted(base_metrics.items()):
+            if metric not in cur_metrics:
+                missing.append(f"{family}.{metric}")
+                continue
+            floor = (1.0 - tolerance) * float(base_value)
+            value = float(cur_metrics[metric])
+            verdicts.append(
+                MetricVerdict(
+                    family=family,
+                    metric=metric,
+                    baseline=float(base_value),
+                    current=value,
+                    floor=floor,
+                    ok=value >= floor,
+                )
+            )
+    return CompareResult(
+        name=str(current.get("name")),
+        tolerance=tolerance,
+        verdicts=verdicts,
+        missing=missing,
+    )

@@ -1,0 +1,414 @@
+"""Deterministic profiling workloads (``repro profile <workload>``).
+
+Each workload builds a small seeded slice of the system, times its hot
+sections through the observability span machinery (an in-memory
+telemetry is installed for the duration and restored afterwards), and
+returns a :mod:`repro.perf.bench` record.
+
+Two kinds of numbers come out:
+
+* raw throughputs (env steps/s, simulated iterations/s, served
+  requests/s) — hardware-dependent, for trend inspection;
+* **gated speedup ratios** — each optimized kernel measured
+  back-to-back against the reference implementation it replaced
+  (:func:`repro.sim.iteration.upload_times_reference`, per-device
+  ``BandwidthTrace.history`` loops,
+  :func:`repro.rl.gae.compute_gae_reference`, unbatched serving).
+  Ratios are hardware-portable, so they are what the committed
+  baselines gate (see :mod:`repro.perf.compare`).
+
+Every speedup measurement *asserts bit-identity* between the optimized
+and reference results before it is reported: a fast-but-wrong kernel
+fails the profile run itself, not some downstream consumer.
+
+Allocation counts come from ``tracemalloc`` in a separate, smaller
+pass — tracing slows execution, so it must never overlap the timing
+sections.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import MemoryEventSink, Telemetry, get_telemetry, set_telemetry
+from repro.perf.bench import make_record
+
+WORKLOADS = ("rollout", "train", "serve")
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """Knobs for the profiling workloads (all seeded, all deterministic)."""
+
+    seed: int = 0
+    #: Fleet size for the rollout/sim workload (the vectorized trace
+    #: kernel engages at repro.traces.kernel.VECTOR_MIN_DEVICES).
+    devices: int = 16
+    #: Env episodes collected by the rollout workload.
+    episodes: int = 4
+    #: Standalone simulate_iteration calls timed by the rollout workload.
+    sim_iterations: int = 300
+    #: Repetitions for the kernel-vs-reference speedup sections.
+    micro_reps: int = 150
+    #: Training steps (forward/backward/optimizer) for the train workload.
+    train_steps: int = 300
+    #: Requests pushed through the serving engine per batching mode.
+    requests: int = 256
+    #: Engine micro-batch bound for the batched serving measurement.
+    max_batch: int = 16
+    #: Iterations of the tracemalloc allocation pass.
+    alloc_iters: int = 30
+    #: Reduced-scale smoke mode (CI).
+    fast: bool = False
+
+    def scaled(self) -> "ProfileConfig":
+        """The fast-mode shrink: same shape, ~5x less work."""
+        if not self.fast:
+            return self
+        return replace(
+            self,
+            episodes=max(1, self.episodes // 4),
+            sim_iterations=max(50, self.sim_iterations // 5),
+            micro_reps=max(30, self.micro_reps // 5),
+            train_steps=max(60, self.train_steps // 5),
+            requests=max(64, self.requests // 4),
+            alloc_iters=max(10, self.alloc_iters // 3),
+        )
+
+
+def _testbed_at(devices: int):
+    from repro.devices.fleet import FleetConfig
+    from repro.experiments.presets import TESTBED_PRESET
+
+    return replace(
+        TESTBED_PRESET, n_devices=devices, fleet=FleetConfig(n_devices=devices)
+    )
+
+
+def _sections_from(sink: MemoryEventSink) -> Dict[str, Dict[str, float]]:
+    """Aggregate span events into {name: {calls, wall_s, cpu_s}}."""
+    out: Dict[str, Dict[str, float]] = {}
+    for rec in sink.records:
+        if rec.get("type") != "span":
+            continue
+        agg = out.setdefault(
+            rec["name"], {"calls": 0.0, "wall_s": 0.0, "cpu_s": 0.0}
+        )
+        agg["calls"] += 1.0
+        agg["wall_s"] += float(rec["wall_s"])
+        agg["cpu_s"] += float(rec["cpu_s"])
+    return out
+
+
+def _span_wall(sections: Dict[str, Dict[str, float]], name: str) -> float:
+    if name not in sections:
+        raise RuntimeError(f"profiling span {name!r} was never recorded")
+    return sections[name]["wall_s"]
+
+
+class _Meter:
+    """Scoped in-memory telemetry install (save/restore the global)."""
+
+    def __init__(self) -> None:
+        self.sink = MemoryEventSink()
+        self._previous: Optional[Telemetry] = None
+
+    def __enter__(self) -> "_Meter":
+        self._previous = get_telemetry()
+        set_telemetry(Telemetry(sink=self.sink))
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        set_telemetry(self._previous)
+
+    def sections(self) -> Dict[str, Dict[str, float]]:
+        return _sections_from(self.sink)
+
+
+def _alloc_stats(fn, iters: int) -> Dict[str, float]:
+    """Blocks/KiB allocated by ``iters`` calls of ``fn`` (tracemalloc)."""
+    fn()  # warm caches outside the trace
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for _ in range(iters):
+            fn()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = after.compare_to(before, "lineno")
+    blocks = float(sum(max(s.count_diff, 0) for s in stats))
+    kib = float(sum(max(s.size_diff, 0) for s in stats)) / 1024.0
+    return {
+        "iters": float(iters),
+        "blocks_per_iter": blocks / iters,
+        "kib_per_iter": kib / iters,
+    }
+
+
+# -- workloads --------------------------------------------------------------
+def profile_rollout(config: ProfileConfig) -> Dict[str, Any]:
+    """Env rollouts + the sim/trace/GAE hot-path speedup sections."""
+    from repro.experiments.presets import build_env, build_system
+    from repro.rl.gae import compute_gae, compute_gae_reference
+    from repro.sim.iteration import upload_times_reference
+
+    cfg = config.scaled()
+    preset = _testbed_at(cfg.devices)
+    rng = np.random.default_rng(cfg.seed)
+    with _Meter() as meter:
+        tel = get_telemetry()
+
+        # -- env rollout throughput ----------------------------------------
+        env = build_env(preset, seed=cfg.seed, env_rng=cfg.seed + 1)
+        n_steps = 0
+        with tel.span("profile.rollout.episodes", episodes=cfg.episodes):
+            for _ in range(cfg.episodes):
+                env.reset()
+                done = False
+                while not done:
+                    action = rng.uniform(-1.0, 1.0, size=env.act_dim)
+                    result = env.step(action)
+                    done = result.done
+                    n_steps += 1
+
+        # -- standalone simulate_iteration throughput ----------------------
+        system = build_system(preset, seed=cfg.seed)
+        system.reset(0.0)
+        freqs = rng.uniform(
+            0.3, 1.0, size=(cfg.sim_iterations, system.n_devices)
+        ) * system.fleet.max_frequencies
+        with tel.span("profile.sim.iterations", iterations=cfg.sim_iterations):
+            for k in range(cfg.sim_iterations):
+                system.step(freqs[k])
+
+        # -- upload kernel vs per-device reference -------------------------
+        fleet = system.fleet
+        kernel = fleet.trace_kernel
+        model_mbit = preset.model_size_mbit
+        starts = rng.uniform(0.0, 5000.0, size=(cfg.micro_reps, fleet.n))
+        fast_out: List[np.ndarray] = []
+        with tel.span("profile.upload.kernel", reps=cfg.micro_reps):
+            for k in range(cfg.micro_reps):
+                fast_out.append(kernel.time_to_transfer(starts[k], model_mbit))
+        with tel.span("profile.upload.reference", reps=cfg.micro_reps):
+            ref_out = [
+                upload_times_reference(fleet, starts[k], model_mbit)
+                for k in range(cfg.micro_reps)
+            ]
+        for fast, ref in zip(fast_out, ref_out):
+            if fast.tobytes() != ref.tobytes():
+                raise AssertionError(
+                    "upload kernel diverged bitwise from the scalar reference"
+                )
+
+        # -- bandwidth-state kernel vs per-device reference ----------------
+        n_hist = system.config.history_slots + 1
+        times = rng.uniform(0.0, 5000.0, size=cfg.micro_reps)
+        hist_fast: List[np.ndarray] = []
+        with tel.span("profile.bandwidth_state.kernel", reps=cfg.micro_reps):
+            for k in range(cfg.micro_reps):
+                hist_fast.append(kernel.histories(float(times[k]), n_hist))
+        with tel.span("profile.bandwidth_state.reference", reps=cfg.micro_reps):
+            hist_ref = [
+                np.stack(
+                    [d.trace.history(float(times[k]), n_hist) for d in fleet]
+                )
+                for k in range(cfg.micro_reps)
+            ]
+        for fast, ref in zip(hist_fast, hist_ref):
+            if fast.tobytes() != ref.tobytes():
+                raise AssertionError(
+                    "bandwidth-state kernel diverged bitwise from reference"
+                )
+
+        # -- GAE scan vs numpy-scalar reference ----------------------------
+        n_gae = 512
+        rewards = rng.normal(size=n_gae)
+        values = rng.normal(size=n_gae)
+        dones = rng.random(n_gae) < 0.05
+        gae_fast = (np.empty(0), np.empty(0))
+        with tel.span("profile.gae.fast", reps=cfg.micro_reps):
+            for _ in range(cfg.micro_reps):
+                gae_fast = compute_gae(rewards, values, dones, 0.1, 0.9, 0.9)
+        with tel.span("profile.gae.reference", reps=cfg.micro_reps):
+            for _ in range(cfg.micro_reps):
+                gae_ref = compute_gae_reference(
+                    rewards, values, dones, 0.1, 0.9, 0.9
+                )
+        if (
+            gae_fast[0].tobytes() != gae_ref[0].tobytes()
+            or gae_fast[1].tobytes() != gae_ref[1].tobytes()
+        ):
+            raise AssertionError("GAE scan diverged bitwise from reference")
+
+        sections = meter.sections()
+
+    allocations = _alloc_stats(
+        lambda: system.step(freqs[0]), cfg.alloc_iters
+    )
+    rollout_wall = _span_wall(sections, "profile.rollout.episodes")
+    sim_wall = _span_wall(sections, "profile.sim.iterations")
+    throughput = {
+        "rollout_steps_per_s": n_steps / rollout_wall,
+        "sim_iterations_per_s": cfg.sim_iterations / sim_wall,
+    }
+    gated = {
+        "sim_upload_speedup": (
+            _span_wall(sections, "profile.upload.reference")
+            / _span_wall(sections, "profile.upload.kernel")
+        ),
+        "bandwidth_state_speedup": (
+            _span_wall(sections, "profile.bandwidth_state.reference")
+            / _span_wall(sections, "profile.bandwidth_state.kernel")
+        ),
+        "gae_speedup": (
+            _span_wall(sections, "profile.gae.reference")
+            / _span_wall(sections, "profile.gae.fast")
+        ),
+    }
+    return make_record(
+        name="profile_rollout",
+        workload={
+            "devices": cfg.devices,
+            "episodes": cfg.episodes,
+            "sim_iterations": cfg.sim_iterations,
+            "micro_reps": cfg.micro_reps,
+            "fast": cfg.fast,
+        },
+        seed=cfg.seed,
+        throughput=throughput,
+        gated=gated,
+        sections=sections,
+        allocations=allocations,
+    )
+
+
+def profile_train(config: ProfileConfig) -> Dict[str, Any]:
+    """Policy-network training-step throughput (forward/backward/Adam)."""
+    from repro.nn.modules import MLP
+    from repro.nn.optim import Adam
+
+    cfg = config.scaled()
+    rng = np.random.default_rng(cfg.seed)
+    obs_dim = cfg.devices * 9
+    net = MLP(obs_dim, (64, 64), cfg.devices, rng=cfg.seed)
+    opt = Adam(net.parameters())
+    x = rng.normal(size=(128, obs_dim))
+    grad = rng.normal(size=(128, cfg.devices))
+
+    def train_step() -> None:
+        net.forward(x)
+        net.zero_grad()
+        net.backward(grad)
+        opt.step()
+
+    train_step()  # warm-up outside the timed span
+    with _Meter() as meter:
+        tel = get_telemetry()
+        with tel.span("profile.train.steps", steps=cfg.train_steps):
+            for _ in range(cfg.train_steps):
+                train_step()
+        sections = meter.sections()
+    allocations = _alloc_stats(train_step, cfg.alloc_iters)
+    wall = _span_wall(sections, "profile.train.steps")
+    return make_record(
+        name="profile_train",
+        workload={
+            "devices": cfg.devices,
+            "train_steps": cfg.train_steps,
+            "batch": 128,
+            "hidden": [64, 64],
+            "fast": cfg.fast,
+        },
+        seed=cfg.seed,
+        throughput={"train_steps_per_s": cfg.train_steps / wall},
+        gated={},
+        sections=sections,
+        allocations=allocations,
+    )
+
+
+def profile_serve(config: ProfileConfig) -> Dict[str, Any]:
+    """Serving throughput, micro-batched vs. unbatched, byte-checked."""
+    from repro.nn.modules import MLP
+    from repro.serve.engine import BatchedInferenceEngine
+
+    cfg = config.scaled()
+    rng = np.random.default_rng(cfg.seed)
+    obs_dim = cfg.devices * 9
+    policy = MLP(obs_dim, (64, 64), cfg.devices, rng=cfg.seed)
+    states = rng.uniform(0.0, 9.0, size=(cfg.requests, obs_dim))
+
+    def infer(batch: np.ndarray) -> Tuple[np.ndarray, str]:
+        return policy.forward_infer(batch), "profile"
+
+    def pump(max_batch: int, span_name: str) -> int:
+        tel = get_telemetry()
+        engine = BatchedInferenceEngine(
+            infer,
+            max_batch=max_batch,
+            max_wait_ms=0.2,
+            max_queue=cfg.requests,
+        )
+        try:
+            with tel.span(span_name, requests=cfg.requests, max_batch=max_batch):
+                tickets = [engine.submit(states[k]) for k in range(cfg.requests)]
+                outputs = [t.result(timeout=30.0)[0] for t in tickets]
+        finally:
+            engine.close()
+        # Byte-equality oracle: micro-batched responses must match
+        # single-row inference exactly (the batch-stable kernel
+        # guarantee the serving stack is built on).
+        for k in range(0, cfg.requests, max(1, cfg.requests // 8)):
+            solo = policy.forward_infer(states[k : k + 1])[0]
+            if outputs[k].tobytes() != solo.tobytes():
+                raise AssertionError(
+                    "batched serve response diverged bitwise from "
+                    "single-request inference"
+                )
+        return len(outputs)
+
+    with _Meter() as meter:
+        served_batched = pump(cfg.max_batch, "profile.serve.batched")
+        served_single = pump(1, "profile.serve.single")
+        sections = meter.sections()
+    batched_wall = _span_wall(sections, "profile.serve.batched")
+    single_wall = _span_wall(sections, "profile.serve.single")
+    thr_batched = served_batched / batched_wall
+    thr_single = served_single / single_wall
+    return make_record(
+        name="profile_serve",
+        workload={
+            "devices": cfg.devices,
+            "requests": cfg.requests,
+            "max_batch": cfg.max_batch,
+            "fast": cfg.fast,
+        },
+        seed=cfg.seed,
+        throughput={
+            "serve_batched_requests_per_s": thr_batched,
+            "serve_single_requests_per_s": thr_single,
+        },
+        gated={"serve_batch_speedup": thr_batched / thr_single},
+        sections=sections,
+        allocations={},
+    )
+
+
+def run_profile(workload: str, config: ProfileConfig) -> Dict[str, Any]:
+    """Dispatch to one of :data:`WORKLOADS`."""
+    runners = {
+        "rollout": profile_rollout,
+        "train": profile_train,
+        "serve": profile_serve,
+    }
+    if workload not in runners:
+        raise ValueError(
+            f"unknown profile workload {workload!r}; choose from {WORKLOADS}"
+        )
+    return runners[workload](config)

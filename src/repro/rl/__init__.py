@@ -13,7 +13,12 @@ from repro.rl.guards import (
     restore_snapshot,
     take_snapshot,
 )
-from repro.rl.gae import compute_gae, compute_returns, td_targets
+from repro.rl.gae import (
+    compute_gae,
+    compute_gae_reference,
+    compute_returns,
+    td_targets,
+)
 from repro.rl.normalization import ObservationNormalizer, RewardScaler
 from repro.rl.policy import Critic, GaussianActor
 from repro.rl.shared_policy import SharedGaussianActor
@@ -28,6 +33,7 @@ __all__ = [
     "Transition",
     "RolloutBuffer",
     "compute_gae",
+    "compute_gae_reference",
     "compute_returns",
     "td_targets",
     "ObservationNormalizer",

@@ -124,7 +124,10 @@ class RolloutBuffer:
             raise ValueError(
                 f"batch of {k} transitions exceeds the buffer's {self.n_envs} envs"
             )
-        if self.full:
+        # Check the *actual* batch against the remaining rows, not the
+        # worst-case n_envs: envs finishing at different times legally
+        # produce tail batches of k < n_envs rows that still fit.
+        if self._size + k > self.capacity:
             raise RuntimeError(
                 "RolloutBuffer is full; run the PPO update and clear() first"
             )
@@ -163,9 +166,19 @@ class RolloutBuffer:
     def minibatch_indices(
         self, batch_size: int, rng: SeedLike = None, drop_last: bool = False
     ) -> Iterator[np.ndarray]:
-        """Yield shuffled index blocks covering the filled prefix."""
+        """Yield shuffled index blocks covering the filled prefix.
+
+        Raises on an empty buffer: iterating zero minibatches would let
+        an update "succeed" with zero gradient steps, which is always a
+        caller bug (the updaters guard with their own empty-buffer check).
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self._size == 0:
+            raise ValueError(
+                "minibatch_indices on an empty buffer would yield no "
+                "minibatches; fill the buffer before updating"
+            )
         rng = as_generator(rng)
         perm = rng.permutation(self._size)
         for start in range(0, self._size, batch_size):

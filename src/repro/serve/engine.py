@@ -117,6 +117,11 @@ class BatchedInferenceEngine:
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue: List[InferenceTicket] = []
+        # Batch-assembly scratch, worker-thread-only: rows are copied in
+        # before every forward, so the buffer never leaks request state
+        # between batches.  The infer fn must not retain its argument
+        # past the call (the bundled policy forwards never do).
+        self._batch_buf: Optional[np.ndarray] = None
         self._lock = threading.Lock()
         self._nonempty = threading.Condition(self._lock)
         self._stopping = False
@@ -220,7 +225,17 @@ class BatchedInferenceEngine:
                 live.append(ticket)
         if not live:
             return
-        states = np.stack([t.state for t in live])
+        # Assemble the batch into the reused scratch (only this worker
+        # thread touches it); a [:k] view keeps the forward's input
+        # C-contiguous and bit-identical to a freshly stacked array.
+        dim = live[0].state.shape[0]
+        buf = self._batch_buf
+        if buf is None or buf.shape[0] < len(live) or buf.shape[1] != dim:
+            buf = np.empty((max(self.max_batch, len(live)), dim), dtype=np.float64)
+            self._batch_buf = buf
+        states = buf[: len(live)]
+        for i, ticket in enumerate(live):
+            states[i] = ticket.state
         t0 = time.monotonic()
         try:
             outputs, version = self._infer(states)

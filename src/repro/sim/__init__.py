@@ -11,7 +11,11 @@ are strictly opt-in.
 """
 
 from repro.sim.cost import CostModel, iteration_cost, reward_from_cost
-from repro.sim.iteration import IterationResult, simulate_iteration
+from repro.sim.iteration import (
+    IterationResult,
+    simulate_iteration,
+    upload_times_reference,
+)
 from repro.sim.system import FLSystem, SystemConfig
 
 __all__ = [
@@ -20,6 +24,7 @@ __all__ = [
     "reward_from_cost",
     "IterationResult",
     "simulate_iteration",
+    "upload_times_reference",
     "FLSystem",
     "SystemConfig",
 ]

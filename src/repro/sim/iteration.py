@@ -82,11 +82,12 @@ def _simulate_full_round(
     # Eq. (1) — same expression as DeviceFleet.compute_times, minus the
     # positivity re-check (clamp_frequencies already enforced the floor).
     t_cmp = fleet.cycle_budgets / np.minimum(freqs, fleet.max_frequencies)
-    t_com = np.empty(n, dtype=np.float64)
-    for i, device in enumerate(fleet):                       # Eqs. (2)-(3)
-        t_com[i] = device.trace.time_to_transfer(
-            start_time + t_cmp[i], model_size_mbit
-        )
+    # Eqs. (2)-(3): one vectorized upload-time query for the whole fleet,
+    # bit-identical to per-device BandwidthTrace.time_to_transfer calls
+    # (see upload_times_reference / tests/test_traces_kernel.py).
+    t_com = fleet.trace_kernel.time_to_transfer(
+        start_time + t_cmp, model_size_mbit
+    )
     device_times = t_cmp + t_com                             # Eq. (4)
     iteration_time = float(device_times.max())               # Eq. (5)
     idle = iteration_time - device_times
@@ -111,6 +112,26 @@ def _simulate_full_round(
         participants=everyone,
         attempted=everyone,
     )
+
+
+def upload_times_reference(
+    fleet: DeviceFleet,
+    start_times: np.ndarray,
+    model_size_mbit: float,
+) -> np.ndarray:
+    """Per-device scalar Eq. (2)-(3) upload times (reference semantics).
+
+    This is the loop the vectorized fast path replaced; it remains the
+    ground truth the kernel must match bit-for-bit and the baseline the
+    profiling harness (``repro profile rollout``) measures speedup
+    against.
+    """
+    t_com = np.empty(fleet.n, dtype=np.float64)
+    for i, device in enumerate(fleet):
+        t_com[i] = device.trace.time_to_transfer(
+            float(start_times[i]), model_size_mbit
+        )
+    return t_com
 
 
 def _participation_mask(n: int, participants) -> np.ndarray:

@@ -135,10 +135,10 @@ class FLSystem:
         exactly the paper's state definition (Section IV.B.1).
         """
         n_slots = self.config.history_slots + 1
-        state = np.empty((self.fleet.n, n_slots), dtype=np.float64)
-        for i, device in enumerate(self.fleet):
-            state[i] = device.trace.history(self.clock, n_slots)
-        return state
+        # One vectorized gather for the whole fleet, bit-identical to
+        # per-device BandwidthTrace.history calls (the reference path,
+        # enforced by tests/test_traces_kernel.py).
+        return self.fleet.trace_kernel.histories(self.clock, n_slots)
 
     def current_bandwidths(self) -> np.ndarray:
         """Instantaneous per-device bandwidth at the clock (Mbit/s)."""

@@ -14,6 +14,7 @@ are not redistributable here, so this package provides:
 """
 
 from repro.traces.base import BandwidthTrace, TracePool
+from repro.traces.kernel import FleetTraceKernel
 from repro.traces.synthetic import (
     SCENARIOS,
     TraceConfig,
@@ -37,6 +38,7 @@ from repro.traces.forecast import (
 
 __all__ = [
     "BandwidthTrace",
+    "FleetTraceKernel",
     "TracePool",
     "TraceConfig",
     "generate_trace",

@@ -1,0 +1,198 @@
+"""Vectorized whole-fleet trace kernel (the Eq. (2)-(3) hot path).
+
+:class:`repro.traces.base.BandwidthTrace` answers one device at a time;
+the rollout hot path (:func:`repro.sim.iteration.simulate_iteration`'s
+fault-free fast path and :meth:`repro.sim.system.FLSystem.bandwidth_state`)
+asks the *same* question for every device of the fleet each step.  At
+N = 50 devices those per-device Python calls dominate the simulator's
+wall clock, so :class:`FleetTraceKernel` stacks the per-device trace
+tables once and answers the whole fleet with a handful of array ops.
+
+Bit-identity contract
+---------------------
+Every kernel result is bit-identical to calling the scalar trace method
+per device (``tests/test_traces_kernel.py`` enforces this over random
+fleets).  The scalar methods remain the reference semantics; the kernel
+either replays the same IEEE-754 operation sequence lane-wise or
+computes the same *integer* intermediate by other exact means:
+
+* ``np.divmod`` on float64 arrays performs the same floor-divide /
+  remainder computation as Python's ``divmod(float, float)``;
+* the slot index ``j`` that ``searchsorted(cum, rem, side="right")``
+  yields is recovered through one global search over per-row keys
+  ``row + cum/2**k`` (monotone: division by a power of two is exact
+  outside subnormals, and the same transform is applied to the query,
+  so the candidate never undershoots the true ``j``) followed by an
+  exact backward scan over the real ``cum`` values — the floats that
+  enter the final arithmetic are decided by real comparisons, so any
+  key-rounding tie is corrected before it can matter;
+* conditional volume terms use ``base + np.where(cond, x, 0.0)``, which
+  is bitwise equal to the scalar's guarded ``+=`` because the base
+  volume is never ``-0.0``;
+* per-row tables are padded (key rows with ``row + 1.0``, slot values
+  with ``1.0``) so heterogeneous fleets share one rectangular gather;
+  padding is never selected, only addressed.
+
+Below :data:`VECTOR_MIN_DEVICES` the fixed cost of the array pipeline
+exceeds the per-device loop, so the kernel transparently falls back to
+the scalar methods — the dispatch affects speed only, never bits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.base import BandwidthTrace
+
+#: Fleet size at which the vectorized upload path overtakes the scalar
+#: loop (measured; the scalar loop costs ~4 us/device, the array
+#: pipeline ~45 us flat).  Dispatch below is bit-identical either way.
+VECTOR_MIN_DEVICES = 12
+
+
+class FleetTraceKernel:
+    """Stacked per-device trace tables + vectorized trace queries.
+
+    Build once per fleet (traces are immutable); see
+    :attr:`repro.devices.fleet.DeviceFleet.trace_kernel` for the cached
+    accessor the simulator uses.
+    """
+
+    def __init__(self, traces: Sequence[BandwidthTrace]):
+        traces = list(traces)
+        if not traces:
+            raise ValueError("kernel requires at least one trace")
+        self.traces = traces
+        n = len(traces)
+        self.n = n
+        self._h = np.array([t.h for t in traces], dtype=np.float64)
+        self._n_slots = np.array([t.n_slots for t in traces], dtype=np.intp)
+        self._cycle_volume = np.array(
+            [t._cycle_volume for t in traces], dtype=np.float64
+        )
+        self._cycle_duration = np.array(
+            [t._cycle_duration for t in traces], dtype=np.float64
+        )
+        max_slots = int(self._n_slots.max())
+        width = max_slots + 1
+        # values row i holds trace i's slot table; the pad column(s) are
+        # addressed by masked-out gathers only (any finite value works).
+        self._values = np.ones((n, width), dtype=np.float64)
+        # cum row i holds trace i's cumulative volume table (n_slots + 1
+        # real entries); +inf padding keeps the backward fix-up scan
+        # inside the row's real prefix.
+        self._cum = np.full((n, width), np.inf, dtype=np.float64)
+        for i, t in enumerate(traces):
+            self._values[i, : t.n_slots] = t.values
+            self._cum[i, : t.n_slots + 1] = t._cum
+        self._rows = np.arange(n, dtype=np.intp)
+        # -- flattened search keys ------------------------------------------
+        # 2**k strictly above every cumulative volume, so cum/2**k < 1
+        # exactly and each row occupies the disjoint key range
+        # [row, row + 1).  Power-of-two division is exact (exponent
+        # shift), hence monotone AND tie-free against the identically
+        # transformed query except where float rounding of the sum
+        # row + cum/2**k collapses neighbours — the backward scan
+        # repairs those with real-cum comparisons.
+        self._inv_scale = 0.5 ** float(
+            np.ceil(np.log2(max(float(self._cycle_volume.max()), 1.0))) + 1.0
+        )
+        keys = self._rows[:, None] + self._cum * self._inv_scale
+        keys[~np.isfinite(keys)] = 0.0
+        for i, t in enumerate(traces):
+            keys[i, t.n_slots + 1 :] = i + 1.0
+        flat = keys.ravel()
+        if np.any(flat[1:] < flat[:-1]):  # pragma: no cover - safety net
+            raise AssertionError("fleet trace search keys are not sorted")
+        self._flat_keys = flat
+        self._row_f = self._rows.astype(np.float64)
+        # searchsorted index -> in-row slot candidate: subtract the row
+        # base and the +1 of side="right" in one go.
+        self._row_start1 = self._rows * width + 1
+        # histories() window index cache (fixed window per system).
+        self._hist_arange: np.ndarray = np.empty(0, dtype=np.intp)
+
+    # -- internals ----------------------------------------------------------
+    def _volume_to(self, t: np.ndarray) -> np.ndarray:
+        """Per-device Mbit transferred over [0, t_i) — vectorized
+        :meth:`BandwidthTrace._volume_to`."""
+        if np.any(t < 0):
+            raise ValueError("time must be non-negative")
+        cycles, rem = np.divmod(t, self._cycle_duration)
+        full_f, frac = np.divmod(rem, self._h)
+        full = full_f.astype(np.intp)
+        rows = self._rows
+        vol = cycles * self._cycle_volume + self._cum[rows, full]
+        extra = self._values[rows, full] * frac
+        take = (frac > 0) & (full < self._n_slots)
+        # vol is never -0.0, so adding a +0.0 where the scalar skips the
+        # guarded += leaves the bits unchanged.
+        return vol + np.where(take, extra, 0.0)
+
+    def _slot_of_volume(self, rem_target: np.ndarray) -> np.ndarray:
+        """The per-row ``searchsorted(cum, rem, side="right") - 1`` index.
+
+        One global search over the flattened keys gives a candidate
+        ``jA >= j_true`` (the key transform is monotone and shared with
+        the query); the backward scan then settles ``j`` with exact
+        ``cum`` comparisons, so rounding ties in the keys cannot change
+        the result.
+        """
+        keys = self._row_f + rem_target * self._inv_scale
+        idx = np.searchsorted(self._flat_keys, keys, side="right")
+        j = idx - self._row_start1
+        rows = self._rows
+        while True:
+            over = self._cum[rows, j] > rem_target
+            if not over.any():
+                return j
+            j = j - over
+
+    # -- queries ------------------------------------------------------------
+    def time_to_transfer(self, t0: np.ndarray, volume: float) -> np.ndarray:
+        """Per-device upload durations — vectorized
+        :meth:`BandwidthTrace.time_to_transfer` (Eqs. (2)-(3)).
+
+        ``t0`` holds each device's upload start time; ``volume`` is the
+        shared model payload (Mbit).
+        """
+        if volume < 0:
+            raise ValueError("volume must be non-negative")
+        t0 = np.asarray(t0, dtype=np.float64)
+        if t0.shape != (self.n,):
+            raise ValueError(f"expected start times of shape ({self.n},)")
+        if volume == 0:
+            return np.zeros(self.n, dtype=np.float64)
+        if self.n < VECTOR_MIN_DEVICES:
+            out = np.empty(self.n, dtype=np.float64)
+            for i, trace in enumerate(self.traces):
+                out[i] = trace.time_to_transfer(float(t0[i]), volume)
+            return out
+        start_vol = self._volume_to(t0)
+        target = start_vol + volume
+        cycles, rem_target = np.divmod(target, self._cycle_volume)
+        j = self._slot_of_volume(rem_target)
+        j = np.minimum(np.maximum(j, 0), self._n_slots - 1)
+        rows = self._rows
+        frac_vol = rem_target - self._cum[rows, j]
+        t_end = (
+            cycles * self._cycle_duration
+            + j * self._h
+            + frac_vol / self._values[rows, j]
+        )
+        return t_end - t0
+
+    def histories(self, t: float, n_slots: int) -> np.ndarray:
+        """The (N, n_slots) bandwidth-history state — vectorized
+        :meth:`BandwidthTrace.history` at a shared clock ``t``."""
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        j = np.floor(t / self._h).astype(np.intp)
+        ar = self._hist_arange
+        if ar.size != n_slots:
+            ar = np.arange(n_slots, dtype=np.intp)
+            self._hist_arange = ar
+        idx = (j[:, None] - ar[None, :]) % self._n_slots[:, None]
+        return self._values[self._rows[:, None], idx]

@@ -1,0 +1,199 @@
+"""Tests for repro.perf: bench records, profiling workloads, the gate."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_TOLERANCE,
+    EXIT_MISSING_BASELINE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    ProfileConfig,
+    compare_records,
+    load_record,
+    make_record,
+    run_profile,
+    validate_record,
+    write_record,
+)
+
+SMOKE = ProfileConfig(
+    devices=6,
+    episodes=1,
+    sim_iterations=12,
+    micro_reps=6,
+    train_steps=12,
+    requests=24,
+    alloc_iters=3,
+)
+
+
+def _mini_record(name="profile_rollout", gated=None, throughput=None):
+    return make_record(
+        name=name,
+        workload={"devices": 4},
+        seed=0,
+        throughput=throughput if throughput is not None else {"steps_per_s": 100.0},
+        gated=gated if gated is not None else {"speedup": 2.0},
+    )
+
+
+class TestBenchRecords:
+    def test_roundtrip(self, tmp_path):
+        record = _mini_record()
+        path = write_record(record, str(tmp_path))
+        assert os.path.basename(path) == "BENCH_profile_rollout.json"
+        assert load_record(path) == record
+        assert record["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_validation_rejects_bad_records(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_record({"schema_version": BENCH_SCHEMA_VERSION})
+        record = _mini_record()
+        record["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema v999"):
+            validate_record(record)
+        with pytest.raises(ValueError, match="not a finite number"):
+            _mini_record(gated={"speedup": float("nan")})
+        with pytest.raises(ValueError, match="non-negative"):
+            _mini_record(gated={"speedup": -1.0})
+
+
+class TestProfileWorkloads:
+    """Small seeded runs of each workload; bit-identity asserts included."""
+
+    def test_rollout_record_structure(self):
+        record = run_profile("rollout", SMOKE)
+        assert record["name"] == "profile_rollout"
+        assert record["throughput"]["rollout_steps_per_s"] > 0
+        assert record["throughput"]["sim_iterations_per_s"] > 0
+        for metric in (
+            "sim_upload_speedup",
+            "bandwidth_state_speedup",
+            "gae_speedup",
+        ):
+            assert record["gated"][metric] > 0
+        assert record["sections"]["profile.sim.iterations"]["calls"] == 1
+        assert record["allocations"]["blocks_per_iter"] >= 0
+
+    def test_train_record_structure(self):
+        record = run_profile("train", SMOKE)
+        assert record["name"] == "profile_train"
+        assert record["throughput"]["train_steps_per_s"] > 0
+        assert "profile.train.steps" in record["sections"]
+
+    def test_serve_record_structure(self):
+        record = run_profile("serve", SMOKE)
+        assert record["name"] == "profile_serve"
+        assert record["throughput"]["serve_batched_requests_per_s"] > 0
+        assert record["gated"]["serve_batch_speedup"] > 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown profile workload"):
+            run_profile("nope", SMOKE)
+
+    def test_fast_mode_scales_down(self):
+        cfg = ProfileConfig(fast=True).scaled()
+        full = ProfileConfig().scaled()
+        assert cfg.sim_iterations < full.sim_iterations
+        assert cfg.requests < full.requests
+
+    def test_profiler_restores_global_telemetry(self):
+        from repro.obs import get_telemetry
+
+        before = get_telemetry()
+        run_profile("train", SMOKE)
+        assert get_telemetry() is before
+
+
+class TestCompare:
+    def test_pass_and_describe(self):
+        base = _mini_record(gated={"speedup": 2.0})
+        cur = _mini_record(gated={"speedup": 1.7})
+        result = compare_records(cur, base, tolerance=0.2)
+        assert result.passed  # 1.7 >= 0.8 * 2.0
+        assert "PASS" in result.describe()
+
+    def test_regression_fails(self):
+        base = _mini_record(gated={"speedup": 2.0})
+        cur = _mini_record(gated={"speedup": 1.5})
+        result = compare_records(cur, base, tolerance=0.2)
+        assert not result.passed
+        assert "REGRESSION" in result.describe()
+
+    def test_metric_missing_from_current_fails(self):
+        base = _mini_record(gated={"speedup": 2.0, "other": 3.0})
+        cur = _mini_record(gated={"speedup": 2.0})
+        result = compare_records(cur, base)
+        assert not result.passed
+        assert result.missing == ["gated.other"]
+
+    def test_new_metric_in_current_passes(self):
+        base = _mini_record(gated={"speedup": 2.0})
+        cur = _mini_record(gated={"speedup": 2.0, "brand_new": 9.0})
+        assert compare_records(cur, base).passed
+
+    def test_raw_gating_optional(self):
+        base = _mini_record(throughput={"steps_per_s": 100.0})
+        cur = _mini_record(throughput={"steps_per_s": 10.0})
+        assert compare_records(cur, base).passed
+        assert not compare_records(cur, base, include_raw=True).passed
+
+    def test_name_mismatch_raises(self):
+        with pytest.raises(ValueError, match="record mismatch"):
+            compare_records(
+                _mini_record(name="profile_serve"), _mini_record()
+            )
+
+    def test_bad_tolerance_raises(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_records(_mini_record(), _mini_record(), tolerance=1.5)
+
+    def test_default_tolerance_is_20_percent(self):
+        assert DEFAULT_TOLERANCE == pytest.approx(0.2)
+
+
+class TestCli:
+    def test_profile_writes_record(self, tmp_path):
+        out = str(tmp_path / "out")
+        rc = main(
+            ["--quiet", "profile", "train", "--fast", "--out", out,
+             "--devices", "4"]
+        )
+        assert rc == 0
+        record = load_record(os.path.join(out, "BENCH_profile_train.json"))
+        assert record["workload"]["devices"] == 4
+
+    def test_compare_pass_fail_missing(self, tmp_path):
+        base_path = tmp_path / "BENCH_profile_rollout.json"
+        cur_path = tmp_path / "cur" / "BENCH_profile_rollout.json"
+        os.makedirs(tmp_path / "cur")
+        base = _mini_record(gated={"speedup": 2.0})
+        cur = _mini_record(gated={"speedup": 1.9})
+        base_path.write_text(json.dumps(base))
+        cur_path.write_text(json.dumps(cur))
+        argv = ["--quiet", "perf", "compare",
+                "--baseline", str(base_path), "--current", str(cur_path)]
+        assert main(argv) == EXIT_OK
+        cur["gated"]["speedup"] = 0.5
+        cur_path.write_text(json.dumps(cur))
+        assert main(argv) == EXIT_REGRESSION
+        argv[4] = str(tmp_path / "absent.json")
+        assert main(argv) == EXIT_MISSING_BASELINE
+
+    def test_committed_baselines_are_valid_records(self):
+        root = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                            "baselines")
+        names = sorted(os.listdir(root))
+        assert names == [
+            "BENCH_profile_rollout.json",
+            "BENCH_profile_serve.json",
+        ]
+        for name in names:
+            record = load_record(os.path.join(root, name))
+            assert record["gated"], f"{name} gates nothing"

@@ -110,3 +110,52 @@ class TestNormalizeAdvantages:
         adv = normalize_advantages(np.full(5, 3.0))
         assert np.allclose(adv, 0.0)
         assert np.all(np.isfinite(adv))
+
+
+class TestGaeBitIdentity:
+    """The fast list-based scan must match the reference loop bitwise."""
+
+    def test_matches_reference_random(self):
+        from repro.rl.gae import compute_gae_reference
+
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            n = int(rng.integers(1, 200))
+            rewards = rng.normal(size=n)
+            values = rng.normal(size=n)
+            dones = rng.random(n) < 0.15
+            last_value = float(rng.normal())
+            adv_f, ret_f = compute_gae(rewards, values, dones, last_value)
+            adv_r, ret_r = compute_gae_reference(rewards, values, dones, last_value)
+            assert adv_f.tobytes() == adv_r.tobytes()
+            assert ret_f.tobytes() == ret_r.tobytes()
+
+    def test_grouped_matches_per_env(self):
+        from repro.rl.gae import compute_gae_grouped, compute_gae_reference
+
+        rng = np.random.default_rng(12)
+        n, n_envs = 120, 4
+        env_ids = rng.integers(0, n_envs, size=n)
+        rewards = rng.normal(size=n)
+        values = rng.normal(size=n)
+        dones = rng.random(n) < 0.2
+        last_values = {e: float(rng.normal()) for e in range(n_envs)}
+        adv, ret = compute_gae_grouped(
+            rewards, values, dones, env_ids, last_values
+        )
+        for e in range(n_envs):
+            mask = env_ids == e
+            adv_e, ret_e = compute_gae_reference(
+                rewards[mask], values[mask], dones[mask], last_values[e]
+            )
+            assert adv[mask].tobytes() == adv_e.tobytes()
+            assert ret[mask].tobytes() == ret_e.tobytes()
+
+    def test_grouped_empty_input(self):
+        from repro.rl.gae import compute_gae_grouped
+
+        adv, ret = compute_gae_grouped(
+            np.empty(0), np.empty(0), np.empty(0, dtype=bool),
+            np.empty(0, dtype=int), {},
+        )
+        assert adv.size == 0 and ret.size == 0

@@ -122,3 +122,143 @@ class TestRolloutBuffer:
         self.add_one(buf)
         with pytest.raises(ValueError):
             list(buf.minibatch_indices(0))
+
+
+class TestAddBatch:
+    """Vectorized batches, including partial tails (k < n_envs)."""
+
+    def make(self, cap=8, n_envs=4):
+        return RolloutBuffer(cap, obs_dim=3, act_dim=2, n_envs=n_envs)
+
+    def add_k(self, buf, k, reward=1.0):
+        buf.add_batch(
+            np.arange(k),
+            np.ones((k, 3)),
+            np.full((k, 2), 0.5),
+            np.full(k, reward),
+            np.zeros((k, 3)),
+            np.zeros(k, dtype=bool),
+            np.full(k, -0.7),
+            np.full(k, 0.3),
+        )
+
+    def test_partial_batches_interleaved_with_full(self):
+        # capacity 8, n_envs 4: full batches twice -> full flag set
+        buf = self.make(cap=8, n_envs=4)
+        self.add_k(buf, 4)
+        assert not buf.full
+        self.add_k(buf, 4)
+        assert buf.full
+        assert len(buf) == 8
+
+    def test_tail_batches_fit_when_nenvs_would_not(self):
+        # 6 rows remain of 10; a worst-case batch (4) no longer fits so
+        # `full` fires, but smaller tail batches must still be accepted
+        # right up to the true capacity.
+        buf = self.make(cap=10, n_envs=4)
+        self.add_k(buf, 4)
+        self.add_k(buf, 3)
+        assert buf.full  # 7 + 4 > 10: the *next worst-case* batch
+        self.add_k(buf, 2)  # but k=2 fits (9 <= 10)
+        self.add_k(buf, 1)  # and k=1 tops it off exactly
+        assert len(buf) == 10
+        with pytest.raises(RuntimeError):
+            self.add_k(buf, 1)
+
+    def test_overflowing_partial_batch_raises(self):
+        buf = self.make(cap=5, n_envs=4)
+        self.add_k(buf, 4)
+        with pytest.raises(RuntimeError):
+            self.add_k(buf, 2)  # 4 + 2 > 5
+        self.add_k(buf, 1)
+        assert len(buf) == 5
+
+    def test_batch_larger_than_nenvs_raises(self):
+        buf = self.make(cap=8, n_envs=2)
+        with pytest.raises(ValueError):
+            self.add_k(buf, 3)
+
+    def test_empty_batch_is_noop(self):
+        buf = self.make()
+        self.add_k(buf, 0)
+        assert len(buf) == 0
+
+    def test_clear_resets_capacity_check(self):
+        buf = self.make(cap=4, n_envs=4)
+        self.add_k(buf, 4)
+        assert buf.full
+        buf.clear()
+        assert not buf.full
+        self.add_k(buf, 4)
+        assert len(buf) == 4
+
+    def test_stored_rows_in_env_order(self):
+        buf = self.make(cap=8, n_envs=4)
+        self.add_k(buf, 3, reward=7.0)
+        assert np.array_equal(buf.env_ids[:3], [0, 1, 2])
+        assert np.allclose(buf.data()["rewards"], 7.0)
+
+
+class TestEmptyBufferUpdate:
+    def test_minibatch_indices_on_empty_buffer_raises(self):
+        buf = RolloutBuffer(4, obs_dim=3, act_dim=2)
+        with pytest.raises(ValueError, match="empty buffer"):
+            list(buf.minibatch_indices(2))
+
+    def test_updaters_reject_empty_buffer(self):
+        from repro.rl.a2c import A2CUpdater
+        from repro.rl.policy import Critic, GaussianActor
+        from repro.rl.ppo import PPOConfig, PPOUpdater
+
+        buf = RolloutBuffer(4, obs_dim=3, act_dim=2)
+        actor = GaussianActor(3, 2, rng=0)
+        critic = Critic(3, rng=1)
+        cfg = PPOConfig()
+        for updater in (
+            PPOUpdater(actor, critic, cfg, rng=2),
+            A2CUpdater(actor, critic, cfg, rng=2),
+        ):
+            with pytest.raises(ValueError, match="empty buffer"):
+                updater.update(buf)
+
+
+class TestAgentPartialBatchCheckpoint:
+    """observe_batch across an update boundary + checkpoint/resume."""
+
+    def test_shrinking_batches_update_and_resume(self):
+        from repro.rl.agent import AgentConfig, PPOAgent
+
+        from repro.rl.ppo import PPOConfig
+
+        cfg = AgentConfig(
+            obs_dim=3, act_dim=2, hidden=(8,), buffer_size=8, n_envs=4,
+            ppo=PPOConfig(epochs=1, minibatch_size=4),
+        )
+        agent = PPOAgent(cfg, rng=0)
+        rng = np.random.default_rng(3)
+
+        def batch(k):
+            obs = rng.normal(size=(k, 3))
+            acts = rng.normal(size=(k, 2))
+            return (
+                np.arange(k), obs, acts, rng.normal(size=k),
+                rng.normal(size=(k, 3)), np.zeros(k, dtype=bool),
+                rng.normal(size=k), rng.normal(size=k),
+            )
+
+        # 4 + 3 rows; a third worst-case batch would overflow -> the
+        # next full batch triggers the update via the `full` check.
+        assert agent.observe_batch(*batch(4)) is None
+        stats = agent.observe_batch(*batch(3))
+        assert stats is not None  # buffer became full (7 + 4 > 8)
+        assert len(agent.buffer) == 0
+
+        # checkpoint, keep collecting partial batches, then resume the
+        # checkpoint and confirm collection restarts cleanly.
+        state = agent.state_dict()
+        assert agent.observe_batch(*batch(2)) is None
+        resumed = PPOAgent(cfg, rng=1)
+        resumed.load_state_dict(state)
+        assert len(resumed.buffer) == 0
+        assert resumed.observe_batch(*batch(3)) is None
+        assert len(resumed.buffer) == 3

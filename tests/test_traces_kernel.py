@@ -1,0 +1,144 @@
+"""Bit-identity of the vectorized FleetTraceKernel vs. scalar traces.
+
+The kernel is only allowed to exist because every output is bitwise
+equal to the per-device reference methods; these tests enforce that
+over random heterogeneous fleets (mixed slot counts and durations),
+both presets, and the dispatch edge cases.
+"""
+
+import numpy as np
+import pytest
+
+import repro.traces.kernel as kernel_mod
+from repro.experiments.presets import (
+    SIMULATION_PRESET,
+    TESTBED_PRESET,
+    build_fleet,
+)
+from repro.sim.iteration import upload_times_reference
+from repro.traces.base import BandwidthTrace
+from repro.traces.kernel import VECTOR_MIN_DEVICES, FleetTraceKernel
+
+
+def random_traces(rng, n, max_slots=64):
+    """Heterogeneous traces: varying widths, slot durations, magnitudes."""
+    traces = []
+    for i in range(n):
+        n_slots = int(rng.integers(2, max_slots))
+        scale = float(rng.uniform(0.05, 30.0))
+        values = rng.uniform(0.0, scale, size=n_slots)  # zeros hit the floor
+        h = float(rng.uniform(0.1, 4.0))
+        traces.append(BandwidthTrace(values, slot_duration=h, name=f"t{i}"))
+    return traces
+
+
+def reference_uploads(traces, t0, volume):
+    return np.array(
+        [tr.time_to_transfer(float(t), volume) for tr, t in zip(traces, t0)]
+    )
+
+
+class TestKernelBitIdentity:
+    @pytest.mark.parametrize("n", [1, 2, 5, VECTOR_MIN_DEVICES, 31])
+    def test_random_heterogeneous_fleets(self, n):
+        rng = np.random.default_rng(100 + n)
+        traces = random_traces(rng, n)
+        kernel = FleetTraceKernel(traces)
+        for _ in range(40):
+            t0 = rng.uniform(0.0, 2000.0, size=n)
+            volume = float(rng.uniform(0.01, 500.0))
+            fast = kernel.time_to_transfer(t0, volume)
+            ref = reference_uploads(traces, t0, volume)
+            assert fast.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("n", [1, 3, VECTOR_MIN_DEVICES, 20])
+    def test_histories_match_scalar(self, n):
+        rng = np.random.default_rng(200 + n)
+        traces = random_traces(rng, n)
+        kernel = FleetTraceKernel(traces)
+        for _ in range(25):
+            t = float(rng.uniform(0.0, 2000.0))
+            n_hist = int(rng.integers(1, 9))
+            fast = kernel.histories(t, n_hist)
+            ref = np.stack([tr.history(t, n_hist) for tr in traces])
+            assert fast.tobytes() == ref.tobytes()
+
+    def test_forced_vectorized_path_matches(self, monkeypatch):
+        """The array pipeline itself (not just the small-n fallback)."""
+        monkeypatch.setattr(kernel_mod, "VECTOR_MIN_DEVICES", 1)
+        rng = np.random.default_rng(7)
+        traces = random_traces(rng, 4)
+        kernel = FleetTraceKernel(traces)
+        for _ in range(60):
+            t0 = rng.uniform(0.0, 2000.0, size=4)
+            volume = float(rng.uniform(0.01, 500.0))
+            fast = kernel.time_to_transfer(t0, volume)
+            ref = reference_uploads(traces, t0, volume)
+            assert fast.tobytes() == ref.tobytes()
+
+    def test_slot_boundaries_and_cycle_edges(self, monkeypatch):
+        """Targets landing exactly on slot/cycle boundaries."""
+        monkeypatch.setattr(kernel_mod, "VECTOR_MIN_DEVICES", 1)
+        traces = [
+            BandwidthTrace([1.0, 2.0, 4.0], slot_duration=1.0),
+            BandwidthTrace([0.5, 0.5], slot_duration=2.0),
+        ]
+        kernel = FleetTraceKernel(traces)
+        cycle_volumes = [tr._cycle_volume for tr in traces]
+        for frac in (0.0, 0.5, 1.0, 1.5, 2.0):
+            for t_start in (0.0, 0.25, 1.0, 2.5, 3.0):
+                t0 = np.full(2, t_start)
+                for cv in cycle_volumes:
+                    volume = frac * cv
+                    if volume == 0:
+                        continue
+                    fast = kernel.time_to_transfer(t0, volume)
+                    ref = reference_uploads(traces, t0, volume)
+                    assert fast.tobytes() == ref.tobytes()
+
+    def test_presets_match(self):
+        for preset, seed in ((TESTBED_PRESET, 0), (SIMULATION_PRESET, 3)):
+            fleet = build_fleet(preset, seed=seed)
+            kernel = fleet.trace_kernel
+            rng = np.random.default_rng(seed + 50)
+            for _ in range(10):
+                t0 = rng.uniform(0.0, 8000.0, size=fleet.n)
+                vol = float(rng.uniform(1.0, 200.0))
+                assert (
+                    kernel.time_to_transfer(t0, vol).tobytes()
+                    == upload_times_reference(fleet, t0, vol).tobytes()
+                )
+
+    def test_zero_volume_returns_zeros(self):
+        traces = random_traces(np.random.default_rng(1), 3)
+        kernel = FleetTraceKernel(traces)
+        out = kernel.time_to_transfer(np.zeros(3), 0.0)
+        assert np.array_equal(out, np.zeros(3))
+
+    def test_validation(self):
+        traces = random_traces(np.random.default_rng(2), 3)
+        kernel = FleetTraceKernel(traces)
+        with pytest.raises(ValueError):
+            kernel.time_to_transfer(np.zeros(2), 1.0)  # wrong shape
+        with pytest.raises(ValueError):
+            kernel.time_to_transfer(np.zeros(3), -1.0)
+        with pytest.raises(ValueError):
+            kernel.histories(0.0, 0)
+        with pytest.raises(ValueError):
+            FleetTraceKernel([])
+
+
+class TestKernelCaching:
+    def test_fleet_caches_kernel(self):
+        fleet = build_fleet(TESTBED_PRESET, seed=0)
+        assert fleet.trace_kernel is fleet.trace_kernel
+
+    def test_with_traces_gets_fresh_kernel(self):
+        fleet = build_fleet(TESTBED_PRESET, seed=0)
+        k1 = fleet.trace_kernel
+        swapped = fleet.with_traces([d.trace.scaled(2.0) for d in fleet])
+        assert swapped.trace_kernel is not k1
+        # and the new kernel reflects the new traces
+        t0 = np.zeros(fleet.n)
+        ref = upload_times_reference(swapped, t0, 10.0)
+        assert swapped.trace_kernel.time_to_transfer(t0, 10.0).tobytes() == ref.tobytes()
